@@ -1,0 +1,298 @@
+// Ablation benches for TimeCrypt's design choices (DESIGN.md calls these
+// out; none corresponds to a single paper table, but each quantifies a
+// decision the paper makes):
+//
+//   1. Index fanout k (the paper fixes k = 64): ingest + query cost across
+//      k = 2..256 — why 64 is a good middle ground.
+//   2. Key canceling (§4.2.2): decrypting an n-chunk aggregate with the
+//      telescoped outer keys (O(1) derivations) vs the naive Castelluccia
+//      keystream (O(n) derivations) — the core scaling claim.
+//   3. PRG construction on the *ingest* path (Fig 6 measures derivation in
+//      isolation; this measures the end-impact on sequential encryption).
+//   4. Chunk compression codec: none vs zlib on realistic vitals data.
+//   5. §7 limitation: strided (every-2nd-chunk) aggregation decrypt cost
+//      grows linearly, unlike contiguous ranges.
+//   6. Index cache budget sweep: query latency as the cache shrinks below
+//      the working set (the Fig 7 "small cache" effect, isolated).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "chunk/compress.hpp"
+#include "crypto/ggm_tree.hpp"
+#include "crypto/heac.hpp"
+#include "index/digest_cipher.hpp"
+#include "integrity/attestation.hpp"
+#include "integrity/merkle.hpp"
+#include "workload/mhealth.hpp"
+
+namespace tc::bench {
+namespace {
+
+// ------------------------------------------------------------- 1. fanout
+
+void BM_FanoutIngest(benchmark::State& state) {
+  uint32_t fanout = static_cast<uint32_t>(state.range(0));
+  auto cipher = std::shared_ptr<const index::DigestCipher>(
+      index::MakePlainCipher(2));
+  std::vector<uint64_t> fields = {123, 10};
+  Bytes blob = *cipher->Encrypt(fields, 0);
+  IndexFixture fx(cipher, fanout);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    if (!fx.tree->Append(i++, blob).ok()) std::abort();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(i));
+}
+BENCHMARK(BM_FanoutIngest)->Arg(2)->Arg(8)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_FanoutQuery(benchmark::State& state) {
+  uint32_t fanout = static_cast<uint32_t>(state.range(0));
+  constexpr uint64_t kChunks = 1 << 16;
+  auto cipher = std::shared_ptr<const index::DigestCipher>(
+      index::MakePlainCipher(2));
+  IndexFixture fx(cipher, fanout);
+  fx.Fill(kChunks, /*fresh_encrypt=*/false);
+  // Worst-case alignment: a range starting and ending mid-node.
+  uint64_t first = fanout / 2 + 1;
+  uint64_t last = kChunks - fanout / 2 - 1;
+  for (auto _ : state) {
+    auto blob = fx.tree->Query(first, last);
+    if (!blob.ok()) std::abort();
+    benchmark::DoNotOptimize(blob->data());
+  }
+}
+BENCHMARK(BM_FanoutQuery)->Arg(2)->Arg(8)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+// ----------------------------------------------- 2. key canceling payoff
+
+void BM_DecryptTelescoped(benchmark::State& state) {
+  // TimeCrypt: an n-chunk aggregate needs exactly two leaf derivations.
+  uint64_t n = static_cast<uint64_t>(state.range(0));
+  crypto::GgmTree tree(crypto::RandomKey128(), 30);
+  crypto::HeacCodec codec(1);
+  crypto::HeacCiphertext agg;
+  agg.fields = {12345};
+  agg.first_chunk = 0;
+  agg.last_chunk = n;
+  for (auto _ : state) {
+    auto m = codec.Decrypt(agg, tree.DeriveLeaf(0).value(),
+                           tree.DeriveLeaf(n).value());
+    benchmark::DoNotOptimize(m.data());
+  }
+  state.counters["key_derivations"] = 2;
+}
+BENCHMARK(BM_DecryptTelescoped)
+    ->Arg(1 << 4)->Arg(1 << 8)->Arg(1 << 12)->Arg(1 << 16)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_DecryptNaiveKeystream(benchmark::State& state) {
+  // Naive Castelluccia (no key canceling): the decryptor must derive and
+  // add every per-chunk key in the range — O(n).
+  uint64_t n = static_cast<uint64_t>(state.range(0));
+  crypto::GgmTree ggm(crypto::RandomKey128(), 30);
+  for (auto _ : state) {
+    uint64_t key_sum = 0;
+    crypto::SequentialLeafIterator it(crypto::RandomKey128(), 0, 0, 30, 0);
+    for (uint64_t i = 0; i < n; ++i) {
+      key_sum += crypto::Fold64(it.Current());
+      it.Next();
+    }
+    uint64_t m = 12345 - key_sum;
+    benchmark::DoNotOptimize(m);
+  }
+  state.counters["key_derivations"] = static_cast<double>(n);
+}
+BENCHMARK(BM_DecryptNaiveKeystream)
+    ->Arg(1 << 4)->Arg(1 << 8)->Arg(1 << 12)->Arg(1 << 16)
+    ->Unit(benchmark::kMicrosecond);
+
+// --------------------------------------------- 3. PRG kind on ingest path
+
+void BM_SequentialEncrypt(benchmark::State& state, crypto::PrgKind kind) {
+  crypto::HeacCodec codec(2);
+  crypto::SequentialLeafIterator it(crypto::RandomKey128(), 0, 0, 30, 0,
+                                    kind);
+  crypto::Key128 current = it.Current();
+  std::vector<uint64_t> fields = {42, 10};
+  uint64_t chunk = 0;
+  for (auto _ : state) {
+    it.Next();
+    crypto::Key128 next = it.Current();
+    auto c = codec.Encrypt(fields, chunk++, current, next);
+    benchmark::DoNotOptimize(c.fields.data());
+    current = next;
+  }
+}
+BENCHMARK_CAPTURE(BM_SequentialEncrypt, AESNI, crypto::PrgKind::kAesNi)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_SequentialEncrypt, SHA256, crypto::PrgKind::kSha256)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_SequentialEncrypt, SoftAES, crypto::PrgKind::kAesSoft)
+    ->Unit(benchmark::kMicrosecond);
+
+// ------------------------------------------------------ 4. compression
+
+std::vector<index::DataPoint> VitalsPoints(size_t n) {
+  workload::MHealthConfig config;
+  config.seed = 7;
+  workload::MHealthGenerator gen(config);
+  return gen.Batch(/*metric=*/0, n);
+}
+
+void BM_CompressNone(benchmark::State& state) {
+  auto points = VitalsPoints(500);
+  size_t out_bytes = 0;
+  for (auto _ : state) {
+    auto blob = chunk::CompressPoints(points, chunk::Compression::kNone);
+    if (!blob.ok()) std::abort();
+    out_bytes = blob->size();
+    benchmark::DoNotOptimize(blob->data());
+  }
+  state.counters["bytes_per_chunk"] = static_cast<double>(out_bytes);
+  state.counters["bytes_per_point"] =
+      static_cast<double>(out_bytes) / static_cast<double>(points.size());
+}
+BENCHMARK(BM_CompressNone)->Unit(benchmark::kMicrosecond);
+
+void BM_CompressZlib(benchmark::State& state) {
+  auto points = VitalsPoints(500);
+  size_t out_bytes = 0;
+  for (auto _ : state) {
+    auto blob = chunk::CompressPoints(points, chunk::Compression::kZlib);
+    if (!blob.ok()) std::abort();
+    out_bytes = blob->size();
+    benchmark::DoNotOptimize(blob->data());
+  }
+  state.counters["bytes_per_chunk"] = static_cast<double>(out_bytes);
+  state.counters["bytes_per_point"] =
+      static_cast<double>(out_bytes) / static_cast<double>(points.size());
+}
+BENCHMARK(BM_CompressZlib)->Unit(benchmark::kMicrosecond);
+
+// ----------------------------------------- 5. strided aggregation (§7)
+
+void BM_DecryptStrided(benchmark::State& state) {
+  // Aggregating every SECOND chunk defeats key canceling: each selected
+  // chunk contributes both its outer keys, so decryption needs 2 keys per
+  // chunk instead of 2 total (§7 "suffers from alternative patterns").
+  uint64_t n = static_cast<uint64_t>(state.range(0));  // selected chunks
+  crypto::GgmTree tree(crypto::RandomKey128(), 30);
+  crypto::HeacCodec codec(1);
+  for (auto _ : state) {
+    uint64_t sum_keys = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      uint64_t chunk = 2 * i;  // stride 2
+      crypto::FieldKeys lo(tree.DeriveLeaf(chunk).value(), 1);
+      crypto::FieldKeys hi(tree.DeriveLeaf(chunk + 1).value(), 1);
+      sum_keys += lo.key(0) - hi.key(0);
+    }
+    uint64_t m = 999 - sum_keys;
+    benchmark::DoNotOptimize(m);
+  }
+  state.counters["key_derivations"] = static_cast<double>(2 * n);
+}
+BENCHMARK(BM_DecryptStrided)
+    ->Arg(1 << 4)->Arg(1 << 8)->Arg(1 << 12)
+    ->Unit(benchmark::kMicrosecond);
+
+// ------------------------------------- 5b. integrity extension overhead
+
+void BM_WitnessAppend(benchmark::State& state) {
+  // The ingest-path cost the integrity extension adds per chunk: one
+  // witness hash + tree append (both producer- and server-side pay this).
+  Bytes digest(16, 0x42);
+  Bytes payload(700, 0x17);  // typical compressed+sealed chunk size
+  integrity::MerkleTree tree;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    tree.Append(integrity::ChunkWitness(7, i++, digest, payload));
+    benchmark::DoNotOptimize(tree.size());
+  }
+}
+BENCHMARK(BM_WitnessAppend)->Unit(benchmark::kMicrosecond);
+
+void BM_AuditProofServe(benchmark::State& state) {
+  // Server-side cost of serving one audit path at various tree sizes.
+  uint64_t n = static_cast<uint64_t>(state.range(0));
+  integrity::MerkleTree tree;
+  Bytes digest(16, 0x42);
+  for (uint64_t i = 0; i < n; ++i) {
+    tree.Append(integrity::ChunkWitness(7, i, digest, digest));
+  }
+  crypto::DeterministicRng rng(3);
+  for (auto _ : state) {
+    auto proof = tree.Proof(rng.NextBelow(n), n);
+    if (!proof.ok()) std::abort();
+    benchmark::DoNotOptimize(proof->siblings.data());
+  }
+}
+BENCHMARK(BM_AuditProofServe)
+    ->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ChunkVerify(benchmark::State& state) {
+  // Consumer-side cost of verifying one witnessed chunk (signature checked
+  // once per attestation in practice; here it is amortized in).
+  constexpr uint64_t kN = 1 << 14;
+  auto signing = crypto::GenerateSigningKeyPair();
+  integrity::StreamAttestor attestor(7, signing);
+  Bytes digest(16, 0x42);
+  Bytes payload(700, 0x17);
+  integrity::MerkleTree server_tree;
+  for (uint64_t i = 0; i < kN; ++i) {
+    if (!attestor.Add(i, digest, payload).ok()) std::abort();
+    server_tree.Append(integrity::ChunkWitness(7, i, digest, payload));
+  }
+  auto att = attestor.Attest();
+  if (!att.ok()) std::abort();
+  crypto::DeterministicRng rng(4);
+  for (auto _ : state) {
+    uint64_t i = rng.NextBelow(kN);
+    auto proof = server_tree.Proof(i, kN);
+    if (!proof.ok()) std::abort();
+    auto verdict = integrity::VerifyChunk(*att, signing.public_key, i,
+                                          digest, payload, *proof);
+    if (!verdict.ok()) std::abort();
+  }
+}
+BENCHMARK(BM_ChunkVerify)->Unit(benchmark::kMicrosecond);
+
+// ------------------------------------------------- 6. cache budget sweep
+
+void BM_CacheBudgetQuery(benchmark::State& state) {
+  size_t cache_bytes = static_cast<size_t>(state.range(0)) << 10;  // KiB
+  constexpr uint64_t kChunks = 1 << 15;
+  auto cipher = std::shared_ptr<const index::DigestCipher>(
+      index::MakePlainCipher(2));
+  IndexFixture fx(cipher, 64, cache_bytes);
+  fx.Fill(kChunks, /*fresh_encrypt=*/false);
+  crypto::DeterministicRng rng(99);
+  for (auto _ : state) {
+    uint64_t first = rng.NextBelow(kChunks / 2);
+    uint64_t last = first + 1 + rng.NextBelow(kChunks - first - 1);
+    auto blob = fx.tree->Query(first, last);
+    if (!blob.ok()) std::abort();
+    benchmark::DoNotOptimize(blob->data());
+  }
+  const auto& cache = fx.tree->cache();
+  double total = static_cast<double>(cache.hits() + cache.misses());
+  state.counters["hit_rate"] =
+      total > 0 ? static_cast<double>(cache.hits()) / total : 0.0;
+}
+BENCHMARK(BM_CacheBudgetQuery)
+    ->Arg(1)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace tc::bench
+
+int main(int argc, char** argv) {
+  std::printf(
+      "=== Ablations: fanout / key-canceling / PRG / compression / "
+      "strided / cache ===\n"
+      "(design-choice quantification; see DESIGN.md experiment index)\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

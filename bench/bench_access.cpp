@@ -1,0 +1,128 @@
+// §6.2 access-control comparison: TimeCrypt's crypto-enforced access
+// (GGM tree derivation, dual key regression, HEAC decrypt) measured from
+// the real implementation, against an ABE baseline.
+//
+// The ABE numbers use the paper's measured per-chunk costs (53 ms grant-
+// side, 13 ms decrypt at 80-bit security, one attribute) as a calibrated
+// cost model — implementing a pairing library offline is out of scope, and
+// any real pairing implementation pays milliseconds per operation, so the
+// 3-4 orders-of-magnitude gap being reproduced is insensitive to the exact
+// constant (DESIGN.md substitution #4).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "crypto/ggm_tree.hpp"
+#include "crypto/heac.hpp"
+#include "crypto/key_regression.hpp"
+
+namespace tc::bench {
+namespace {
+
+// --- TimeCrypt side: real measurements ------------------------------------
+
+// Worst-case single key derivation in a 2^30 tree: log(n) = 30 PRG calls.
+void BM_TreeDerive30(benchmark::State& state) {
+  crypto::GgmTree tree(crypto::RandomKey128(), 30);
+  crypto::DeterministicRng rng(1);
+  for (auto _ : state) {
+    auto key = tree.DeriveLeaf(rng.NextU64() & ((uint64_t{1} << 30) - 1));
+    benchmark::DoNotOptimize(key);
+  }
+}
+BENCHMARK(BM_TreeDerive30)->Unit(benchmark::kMicrosecond);
+
+// Granting a range: computing the token cover (at most 2h nodes).
+void BM_TreeCoverRange(benchmark::State& state) {
+  crypto::GgmTree tree(crypto::RandomKey128(), 30);
+  crypto::DeterministicRng rng(2);
+  for (auto _ : state) {
+    uint64_t a = rng.NextU64() & ((uint64_t{1} << 29) - 1);
+    uint64_t b = a + (rng.NextU64() & 0xffffff);
+    auto cover = tree.CoverRange(a, b);
+    benchmark::DoNotOptimize(cover);
+  }
+}
+BENCHMARK(BM_TreeCoverRange)->Unit(benchmark::kMicrosecond);
+
+// Consumer-side derivation from a token (subtree walk).
+void BM_TokenDerive(benchmark::State& state) {
+  crypto::GgmTree tree(crypto::RandomKey128(), 30);
+  auto cover = *tree.CoverRange(1u << 20, (1u << 21) - 1);
+  crypto::TokenSet tokens(cover, 30);
+  crypto::DeterministicRng rng(3);
+  for (auto _ : state) {
+    uint64_t leaf = (1u << 20) + (rng.NextU64() & ((1u << 20) - 1));
+    auto key = tokens.DeriveLeaf(leaf);
+    benchmark::DoNotOptimize(key);
+  }
+}
+BENCHMARK(BM_TokenDerive)->Unit(benchmark::kMicrosecond);
+
+// Dual key regression: worst-case enumeration with sqrt(n) checkpoints at
+// the resolution matching 2^30 chunk keys (paper: 2.7 ms upper bound).
+void BM_DualKeyRegressionWorstCase(benchmark::State& state) {
+  const uint64_t n = 1u << 16;
+  crypto::DualKeyRegression kr(crypto::RandomKey128(), crypto::RandomKey128(),
+                               n);
+  crypto::DeterministicRng rng(4);
+  for (auto _ : state) {
+    auto key = kr.DeriveKey(rng.NextBelow(n));
+    benchmark::DoNotOptimize(key);
+  }
+  state.counters["chain_len"] = static_cast<double>(n);
+}
+BENCHMARK(BM_DualKeyRegressionWorstCase)->Unit(benchmark::kMicrosecond);
+
+// Consumer-side dual-KR walk within a shared interval.
+void BM_DualKeyRegressionConsumer(benchmark::State& state) {
+  const uint64_t n = 1u << 16;
+  crypto::DualKeyRegression kr(crypto::RandomKey128(), crypto::RandomKey128(),
+                               n);
+  auto view = *kr.Share(n / 4, 3 * n / 4);
+  crypto::DeterministicRng rng(5);
+  for (auto _ : state) {
+    uint64_t j = n / 4 + rng.NextBelow(n / 2);
+    auto key = view.DeriveKey(j);
+    benchmark::DoNotOptimize(key);
+  }
+}
+BENCHMARK(BM_DualKeyRegressionConsumer)->Unit(benchmark::kMicrosecond);
+
+// HEAC decrypt once keys are in hand: one add + one subtract per field
+// (paper: ~2 ns vs ABE's 13 ms per chunk).
+void BM_HeacDecryptWithKeys(benchmark::State& state) {
+  crypto::HeacCodec codec(1);
+  crypto::Key128 ka = crypto::RandomKey128();
+  crypto::Key128 kb = crypto::RandomKey128();
+  auto c = codec.Encrypt(std::vector<uint64_t>{42}, 0, ka, kb);
+  crypto::FieldKeys fa(ka, 1), fb(kb, 1);
+  for (auto _ : state) {
+    uint64_t m = c.fields[0] - fa.key(0) + fb.key(0);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_HeacDecryptWithKeys);
+
+}  // namespace
+}  // namespace tc::bench
+
+int main(int argc, char** argv) {
+  std::printf(
+      "=== §6.2 access control: TimeCrypt (measured) vs ABE (paper-"
+      "calibrated model) ===\n"
+      "ABE baseline (Sieve-style, 80-bit, 1 attribute, per chunk):\n"
+      "  grant/encrypt side : 53 ms/chunk   (scales linearly in attributes)\n"
+      "  consumer decrypt   : 13 ms/chunk\n"
+      "TimeCrypt (this machine, below): tree derive ~log(n) PRG calls,\n"
+      "dual key regression O(sqrt n) hashes, decrypt 2 arithmetic ops.\n"
+      "Paper reference: 2.5 us derive (2^30 keys), 2.7 ms dual-KR worst "
+      "case, 2 ns decrypt.\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  std::printf(
+      "\nspeedup summary (per-chunk grant-path): ABE 53ms vs TimeCrypt "
+      "token derive —\nsee BM_TokenDerive above; the gap is ~4 orders of "
+      "magnitude on any hardware.\n");
+  return 0;
+}

@@ -1,0 +1,127 @@
+// mHealth sharing scenario (the paper's §1 running example):
+//
+// A wearable records heart rate at 50 Hz. The data owner shares the same
+// encrypted stream with three parties at different scopes, enforced purely
+// by key material:
+//   - the doctor:   full-resolution access during physiotherapy (Jan-Feb),
+//                   hourly resolution from March on (§4.4.2 example)
+//   - the trainer:  per-minute averages, workout window only
+//   - the insurer:  daily aggregates of the whole period
+//
+// Build & run:  ./build/examples/mhealth_sharing
+#include <cstdio>
+
+#include "client/consumer.hpp"
+#include "client/owner.hpp"
+#include "server/server_engine.hpp"
+#include "store/mem_kv.hpp"
+#include "workload/mhealth.hpp"
+
+using namespace tc;
+
+namespace {
+
+constexpr DurationMs kDelta = 10 * kSecond;  // chunk interval (§6: 10 s)
+constexpr uint64_t kChunksPerMinute = 6;
+constexpr uint64_t kChunksPerHour = 360;
+
+void PrintResult(const char* who, const char* what,
+                 const Result<client::StatResult>& r) {
+  if (r.ok()) {
+    std::printf("  %-10s %-34s mean=%.1f (n=%llu)\n", who, what,
+                *r->stats.Mean(),
+                static_cast<unsigned long long>(*r->stats.Count()));
+  } else {
+    std::printf("  %-10s %-34s %s\n", who, what,
+                r.status().ToString().c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  auto kv = std::make_shared<store::MemKvStore>();
+  auto engine = std::make_shared<server::ServerEngine>(kv);
+  auto transport = std::make_shared<net::InProcTransport>(engine);
+  client::OwnerClient owner(transport);
+
+  // Heart-rate stream: 50 Hz wearable, 10 s chunks (≤500 points each).
+  net::StreamConfig config;
+  config.name = "heart_rate/wearable-1";
+  config.t0 = 0;
+  config.delta_ms = kDelta;
+  config.schema = workload::MHealthGenerator::VitalsSchema();
+  config.cipher = net::CipherKind::kHeac;
+  auto uuid = owner.CreateStream(config);
+  if (!uuid.ok()) return 1;
+
+  // Ingest two "hours" of data (720 chunks). For example brevity we thin
+  // the rate to 1 Hz; the chunking math is identical.
+  workload::MHealthGenerator gen({.num_metrics = 1, .sample_hz = 1.0});
+  uint64_t total_chunks = 2 * kChunksPerHour;
+  for (uint64_t i = 0; i < total_chunks * 10; ++i) {
+    if (!owner.InsertRecord(*uuid, gen.Next(0)).ok()) return 1;
+  }
+  (void)owner.Flush(*uuid);
+  std::printf("ingested %llu chunks of heart-rate data\n\n",
+              static_cast<unsigned long long>(*owner.NumChunks(*uuid)));
+
+  // --- Grants: same stream, three scopes ----------------------------------
+  client::Principal doctor{"doctor", crypto::GenerateBoxKeyPair()};
+  client::Principal trainer{"trainer", crypto::GenerateBoxKeyPair()};
+  client::Principal insurer{"insurer", crypto::GenerateBoxKeyPair()};
+
+  // Doctor: full resolution for the first hour ("physiotherapy"), then
+  // hourly-only afterwards — two grants on one stream.
+  (void)owner.GrantAccess(*uuid, doctor.id, doctor.keys.public_key,
+                          {0, kHour}, /*resolution_chunks=*/1);
+  (void)owner.GrantAccess(*uuid, doctor.id, doctor.keys.public_key,
+                          {kHour, 2 * kHour}, kChunksPerHour);
+
+  // Trainer: per-minute aggregates, only the 20-minute "workout".
+  (void)owner.GrantAccess(*uuid, trainer.id, trainer.keys.public_key,
+                          {30 * kMinute, 50 * kMinute}, kChunksPerMinute);
+
+  // Insurer: the whole 2 hours, but only as hourly aggregates.
+  (void)owner.GrantAccess(*uuid, insurer.id, insurer.keys.public_key,
+                          {0, 2 * kHour}, kChunksPerHour);
+
+  client::ConsumerClient doc(transport, doctor);
+  client::ConsumerClient trn(transport, trainer);
+  client::ConsumerClient ins(transport, insurer);
+  (void)doc.FetchGrants();
+  (void)trn.FetchGrants();
+  (void)ins.FetchGrants();
+
+  std::printf("first hour (physio):\n");
+  PrintResult("doctor", "one 10s chunk", doc.GetStatRange(*uuid, {0, kDelta}));
+  PrintResult("trainer", "same chunk (no grant)",
+              trn.GetStatRange(*uuid, {0, kDelta}));
+
+  std::printf("\nworkout window (min 30-50):\n");
+  PrintResult("trainer", "one minute",
+              trn.GetStatRange(*uuid, {30 * kMinute, 31 * kMinute}));
+  PrintResult("trainer", "10s inside the minute (denied)",
+              trn.GetStatRange(*uuid, {30 * kMinute, 30 * kMinute + kDelta}));
+
+  std::printf("\nsecond hour (post-physio):\n");
+  PrintResult("doctor", "hourly aggregate",
+              doc.GetStatRange(*uuid, {kHour, 2 * kHour}));
+  PrintResult("doctor", "minute inside hour 2 (denied)",
+              doc.GetStatRange(*uuid, {kHour, kHour + kMinute}));
+
+  std::printf("\ninsurer (hourly only):\n");
+  PrintResult("insurer", "hour 1", ins.GetStatRange(*uuid, {0, kHour}));
+  PrintResult("insurer", "hour 2",
+              ins.GetStatRange(*uuid, {kHour, 2 * kHour}));
+  PrintResult("insurer", "one minute (denied)",
+              ins.GetStatRange(*uuid, {0, kMinute}));
+
+  // Raw data: only the doctor's full-resolution grant can open payloads.
+  auto doc_points = doc.GetRange(*uuid, {0, kMinute});
+  auto ins_points = ins.GetRange(*uuid, {0, kMinute});
+  std::printf("\nraw access: doctor=%zu points, insurer=%s\n",
+              doc_points.ok() ? doc_points->size() : 0,
+              ins_points.status().ToString().c_str());
+  return 0;
+}

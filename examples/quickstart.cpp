@@ -1,0 +1,96 @@
+// Quickstart: the minimal TimeCrypt flow end to end.
+//
+//   1. Spin up a server (in-process here; see devops_monitoring.cpp for TCP).
+//   2. Create an encrypted stream and ingest data points.
+//   3. Run statistical range queries over the encrypted index.
+//   4. Grant a consumer access and let them decrypt a query result.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "client/consumer.hpp"
+#include "client/owner.hpp"
+#include "server/server_engine.hpp"
+#include "store/mem_kv.hpp"
+
+using namespace tc;
+
+int main() {
+  // --- 1. Server (untrusted: sees only ciphertext) ------------------------
+  auto kv = std::make_shared<store::MemKvStore>();
+  auto engine = std::make_shared<server::ServerEngine>(kv);
+  auto transport = std::make_shared<net::InProcTransport>(engine);
+
+  // --- 2. Owner creates a stream and ingests ------------------------------
+  client::OwnerClient owner(transport);
+
+  net::StreamConfig config;
+  config.name = "temperature/living-room";
+  config.t0 = 0;
+  config.delta_ms = 10 * kSecond;  // chunk interval Δ
+  config.schema.with_sum = config.schema.with_count = true;
+  config.schema.with_sumsq = true;   // enables VAR/STDEV
+  config.schema.hist_bins = 8;       // enables MIN/MAX/FREQ
+  config.schema.hist_min = 0;
+  config.schema.hist_width = 50;     // 8 bins over [0, 400) deci-degrees
+  config.cipher = net::CipherKind::kHeac;
+
+  auto uuid = owner.CreateStream(config);
+  if (!uuid.ok()) {
+    std::fprintf(stderr, "CreateStream: %s\n",
+                 uuid.status().ToString().c_str());
+    return 1;
+  }
+
+  // One hour of readings at 1 Hz: a day/night-ish temperature curve,
+  // stored as deci-degrees (integers).
+  for (int sec = 0; sec < 3600; ++sec) {
+    int64_t deci_deg = 200 + (sec % 600) / 10;  // 20.0°C .. 25.9°C
+    auto status = owner.InsertRecord(
+        *uuid, {static_cast<Timestamp>(sec) * kSecond, deci_deg});
+    if (!status.ok()) {
+      std::fprintf(stderr, "InsertRecord: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  (void)owner.Flush(*uuid);
+  std::printf("ingested 3600 points into %zu encrypted chunks\n",
+              static_cast<size_t>(*owner.NumChunks(*uuid)));
+
+  // --- 3. Statistical queries over encrypted data -------------------------
+  auto stats = owner.GetStatRange(*uuid, {0, kHour});
+  if (!stats.ok()) {
+    std::fprintf(stderr, "GetStatRange: %s\n",
+                 stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("hour mean: %.1f deci-deg  (count=%llu, stddev=%.2f)\n",
+              *stats->stats.Mean(),
+              static_cast<unsigned long long>(*stats->stats.Count()),
+              *stats->stats.StdDev());
+  std::printf("min bin >= %lld, max bin < %lld deci-deg\n",
+              static_cast<long long>(*stats->stats.MinBinLow()),
+              static_cast<long long>(*stats->stats.MaxBinHigh()));
+
+  // --- 4. Share a 10-minute window with a consumer ------------------------
+  client::Principal guest{"guest", crypto::GenerateBoxKeyPair()};
+  auto grant = owner.GrantAccess(*uuid, guest.id, guest.keys.public_key,
+                                 {10 * kMinute, 20 * kMinute},
+                                 /*resolution_chunks=*/6);  // 1-min windows
+  if (!grant.ok()) {
+    std::fprintf(stderr, "GrantAccess: %s\n", grant.ToString().c_str());
+    return 1;
+  }
+
+  client::ConsumerClient consumer(transport, guest);
+  (void)consumer.FetchGrants();
+  auto window = consumer.GetStatRange(*uuid, {10 * kMinute, 20 * kMinute});
+  std::printf("guest decrypts granted window mean: %.1f deci-deg\n",
+              *window->stats.Mean());
+
+  // Outside the grant the keys are cryptographically out of reach.
+  auto denied = consumer.GetStatRange(*uuid, {0, 10 * kMinute});
+  std::printf("guest outside grant: %s\n",
+              denied.status().ToString().c_str());
+  return 0;
+}

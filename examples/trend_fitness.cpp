@@ -1,0 +1,81 @@
+// Encrypted trend analysis (the §4.5 extension hook): a fitness service
+// fits a linear model — resting-heart-rate drift over training weeks —
+// without the server ever seeing a single reading. The Σt/Σt²/Σt·v digest
+// moments aggregate homomorphically like any other field; the consumer
+// solves the 2x2 least-squares system locally after decryption.
+//
+// Build & run:  ./build/examples/trend_fitness
+#include <cstdio>
+
+#include "client/consumer.hpp"
+#include "client/owner.hpp"
+#include "server/server_engine.hpp"
+#include "store/mem_kv.hpp"
+
+using namespace tc;
+
+int main() {
+  auto kv = std::make_shared<store::MemKvStore>();
+  auto engine = std::make_shared<server::ServerEngine>(kv);
+  auto transport = std::make_shared<net::InProcTransport>(engine);
+  client::OwnerClient owner(transport);
+
+  // Resting heart rate, one reading per hour for four weeks, chunked daily.
+  net::StreamConfig config;
+  config.name = "resting_hr/athlete-7";
+  config.delta_ms = kDay;
+  config.schema.with_sum = config.schema.with_count = true;
+  config.schema.with_trend = true;
+  config.schema.trend_t0 = 0;
+  config.schema.trend_unit_ms = kDay;  // slope comes out in bpm/day
+
+  auto uuid = owner.CreateStream(config);
+  if (!uuid.ok()) return 1;
+
+  // Simulated training effect: resting HR drops ~0.25 bpm/day from 62,
+  // plus deterministic daily wobble.
+  crypto::DeterministicRng rng(2024);
+  for (int day = 0; day < 28; ++day) {
+    for (int hour = 0; hour < 24; ++hour) {
+      int64_t wobble = static_cast<int64_t>(rng.NextBelow(5)) - 2;
+      int64_t bpm = 62 - day / 4 + wobble;  // −0.25 bpm/day in integers
+      (void)owner.InsertRecord(
+          *uuid,
+          {static_cast<Timestamp>(day) * kDay + hour * kHour, bpm});
+    }
+  }
+  (void)owner.Flush(*uuid);
+
+  // The coach gets week-resolution access only (7-day aggregates) — enough
+  // for the trend, too coarse to reconstruct any single night's data.
+  client::Principal coach{"coach", crypto::GenerateBoxKeyPair()};
+  (void)owner.GrantAccess(*uuid, coach.id, coach.keys.public_key,
+                          {0, 28 * kDay}, /*resolution_chunks=*/7);
+  client::ConsumerClient consumer(transport, coach);
+  (void)consumer.FetchGrants();
+
+  auto month = consumer.GetStatRange(*uuid, {0, 28 * kDay});
+  if (!month.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 month.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("4-week mean resting HR: %.1f bpm\n", *month->stats.Mean());
+  std::printf("fitted trend: %+.3f bpm/day (intercept %.1f bpm)\n",
+              *month->stats.TrendSlope(), *month->stats.TrendIntercept());
+  std::printf(
+      "-> the server computed the model's moments on ciphertext only\n");
+
+  // Weekly aggregates the coach is allowed to see:
+  auto weeks = consumer.GetStatSeries(*uuid, {0, 28 * kDay}, 7);
+  for (size_t w = 0; w < weeks->size(); ++w) {
+    std::printf("  week %zu mean: %.1f bpm\n", w + 1,
+                *(*weeks)[w].stats.Mean());
+  }
+
+  // Day-level detail stays cryptographically out of reach.
+  auto denied = consumer.GetStatRange(*uuid, {0, kDay});
+  std::printf("coach asks for one day: %s\n",
+              denied.status().ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,47 @@
+#include "chunk/chunk.hpp"
+
+#include "common/io.hpp"
+
+namespace tc::chunk {
+
+Bytes ChunkAad(uint64_t chunk_index) {
+  BinaryWriter w(12);
+  w.PutString("tc-chunk");
+  w.PutU64(chunk_index);
+  return std::move(w).Take();
+}
+
+Status ChunkBuilder::Add(const index::DataPoint& point) {
+  if (!window_.Contains(point.timestamp_ms)) {
+    return OutOfRange("point timestamp outside chunk window " +
+                      window_.ToString());
+  }
+  if (!points_.empty() && point.timestamp_ms < points_.back().timestamp_ms) {
+    return FailedPrecondition("points must arrive in time order");
+  }
+  points_.push_back(point);
+  return Status::Ok();
+}
+
+Result<Bytes> ChunkBuilder::SealPayload(
+    const crypto::Key128& payload_key) const {
+  TC_ASSIGN_OR_RETURN(Bytes compressed, CompressPoints(points_, codec_));
+  return crypto::GcmSeal(payload_key, compressed, ChunkAad(index_));
+}
+
+void ChunkBuilder::Reset(uint64_t chunk_index, TimeRange window) {
+  index_ = chunk_index;
+  window_ = window;
+  points_.clear();
+}
+
+Result<std::vector<index::DataPoint>> OpenPayload(
+    const crypto::Key128& payload_key, uint64_t chunk_index,
+    BytesView sealed) {
+  TC_ASSIGN_OR_RETURN(
+      Bytes compressed,
+      crypto::GcmOpen(payload_key, sealed, ChunkAad(chunk_index)));
+  return DecompressPoints(compressed);
+}
+
+}  // namespace tc::chunk

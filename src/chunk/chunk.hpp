@@ -1,0 +1,66 @@
+// Chunk building and sealing (§4.1): the client-side serialization pipeline.
+//
+// A ChunkBuilder accumulates points for one fixed Δ window; Seal() produces
+// the pair the client uploads:
+//   - the encrypted digest blob (HEAC, goes into the server's index), and
+//   - the sealed payload (compressed points under AES-GCM with the
+//     per-chunk key H(k_i - k_{i+1}), §4.3).
+#pragma once
+
+#include "chunk/compress.hpp"
+#include "common/time.hpp"
+#include "crypto/aes_gcm.hpp"
+#include "index/digest.hpp"
+
+namespace tc::chunk {
+
+/// A sealed chunk ready for upload.
+struct SealedChunk {
+  uint64_t index = 0;          // chunk position in the stream
+  Bytes digest_blob;           // encrypted digest (index ingest)
+  Bytes payload;               // AES-GCM(compressed points)
+};
+
+/// Accumulates the points of one chunk window and enforces the window
+/// bounds. Reusable: Reset() starts the next window.
+class ChunkBuilder {
+ public:
+  ChunkBuilder(uint64_t chunk_index, TimeRange window, Compression codec)
+      : index_(chunk_index), window_(window), codec_(codec) {}
+
+  /// Points must arrive in non-decreasing time order inside the window.
+  Status Add(const index::DataPoint& point);
+
+  size_t num_points() const { return points_.size(); }
+  uint64_t index() const { return index_; }
+  const TimeRange& window() const { return window_; }
+  std::span<const index::DataPoint> points() const { return points_; }
+
+  /// Compute the plaintext digest fields for this window.
+  std::vector<uint64_t> ComputeDigest(const index::DigestSchema& schema) const {
+    return schema.Compute(points_);
+  }
+
+  /// Compress and AES-GCM-seal the payload under `payload_key`, binding the
+  /// chunk index as AAD so chunks cannot be transplanted.
+  Result<Bytes> SealPayload(const crypto::Key128& payload_key) const;
+
+  /// Start the next window.
+  void Reset(uint64_t chunk_index, TimeRange window);
+
+ private:
+  uint64_t index_;
+  TimeRange window_;
+  Compression codec_;
+  std::vector<index::DataPoint> points_;
+};
+
+/// Open a sealed payload: verify the AAD/chunk binding and decompress.
+Result<std::vector<index::DataPoint>> OpenPayload(
+    const crypto::Key128& payload_key, uint64_t chunk_index,
+    BytesView sealed);
+
+/// AAD used to bind a payload to its chunk position.
+Bytes ChunkAad(uint64_t chunk_index);
+
+}  // namespace tc::chunk

@@ -1,0 +1,118 @@
+#include "chunk/compress.hpp"
+
+#include <zlib.h>
+
+#include "chunk/gorilla.hpp"
+#include "common/io.hpp"
+
+namespace tc::chunk {
+
+namespace {
+constexpr uint8_t kFormatVersion = 1;
+}
+
+Result<Bytes> ZlibDeflate(BytesView data) {
+  uLongf bound = compressBound(static_cast<uLong>(data.size()));
+  Bytes out(bound);
+  int rc = compress2(out.data(), &bound, data.data(),
+                     static_cast<uLong>(data.size()), Z_DEFAULT_COMPRESSION);
+  if (rc != Z_OK) return Internal("zlib deflate failed: " + std::to_string(rc));
+  out.resize(bound);
+  return out;
+}
+
+Result<Bytes> ZlibInflate(BytesView data, size_t max_output) {
+  // Grow the output buffer geometrically until the payload fits.
+  size_t cap = std::max<size_t>(data.size() * 4, 256);
+  while (cap <= max_output) {
+    Bytes out(cap);
+    uLongf out_len = static_cast<uLongf>(out.size());
+    int rc = uncompress(out.data(), &out_len, data.data(),
+                        static_cast<uLong>(data.size()));
+    if (rc == Z_OK) {
+      out.resize(out_len);
+      return out;
+    }
+    if (rc != Z_BUF_ERROR) {
+      return DataLoss("zlib inflate failed: " + std::to_string(rc));
+    }
+    cap *= 2;
+  }
+  return DataLoss("zlib payload exceeds size limit");
+}
+
+Result<Bytes> CompressPoints(std::span<const index::DataPoint> points,
+                             Compression codec) {
+  Bytes out;
+  out.push_back(kFormatVersion);
+
+  if (codec == Compression::kGorilla) {
+    out.push_back(static_cast<uint8_t>(Compression::kGorilla));
+    Append(out, GorillaCompress(points));
+    return out;
+  }
+
+  // Delta+zigzag+varint both columns. First point stored absolute.
+  BinaryWriter w(points.size() * 4 + 16);
+  w.PutVar(points.size());
+  int64_t prev_ts = 0;
+  int64_t prev_val = 0;
+  for (const auto& p : points) {
+    w.PutVarSigned(p.timestamp_ms - prev_ts);
+    w.PutVarSigned(p.value - prev_val);
+    prev_ts = p.timestamp_ms;
+    prev_val = p.value;
+  }
+
+  Bytes body = std::move(w).Take();
+  if (codec == Compression::kZlib) {
+    TC_ASSIGN_OR_RETURN(Bytes deflated, ZlibDeflate(body));
+    // Keep whichever representation is smaller (incompressible data).
+    if (deflated.size() < body.size()) {
+      out.push_back(static_cast<uint8_t>(Compression::kZlib));
+      Append(out, deflated);
+      return out;
+    }
+  }
+  out.push_back(static_cast<uint8_t>(Compression::kNone));
+  Append(out, body);
+  return out;
+}
+
+Result<std::vector<index::DataPoint>> DecompressPoints(BytesView data) {
+  if (data.size() < 2) return DataLoss("chunk payload too short");
+  if (data[0] != kFormatVersion) {
+    return DataLoss("unknown chunk format version");
+  }
+  auto codec = static_cast<Compression>(data[1]);
+  BytesView body_view = data.subspan(2);
+  if (codec == Compression::kGorilla) {
+    return GorillaDecompress(body_view);
+  }
+  Bytes inflated;
+  if (codec == Compression::kZlib) {
+    TC_ASSIGN_OR_RETURN(inflated, ZlibInflate(body_view));
+    body_view = inflated;
+  } else if (codec != Compression::kNone) {
+    return DataLoss("unknown chunk compression codec");
+  }
+
+  BinaryReader r(body_view);
+  TC_ASSIGN_OR_RETURN(uint64_t n, r.GetVar());
+  // Each point consumes ≥ 2 varint bytes; a larger claimed count is a
+  // hostile allocation bomb.
+  if (n > r.remaining() / 2) return DataLoss("implausible point count");
+  std::vector<index::DataPoint> points;
+  points.reserve(n);
+  int64_t ts = 0, val = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    TC_ASSIGN_OR_RETURN(int64_t dts, r.GetVarSigned());
+    TC_ASSIGN_OR_RETURN(int64_t dval, r.GetVarSigned());
+    ts += dts;
+    val += dval;
+    points.push_back({ts, val});
+  }
+  return points;
+}
+
+}  // namespace tc::chunk

@@ -1,0 +1,31 @@
+// Chunk compression (§4.1 / §5): time series points are delta-encoded
+// (timestamps and values) into zigzag varints, then optionally deflated with
+// zlib — the paper's default lossless codec. Delta encoding exploits the
+// regular sampling cadence; zlib squeezes the residue.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "index/digest.hpp"
+
+namespace tc::chunk {
+
+enum class Compression : uint8_t {
+  kNone = 0,     // delta+varint only
+  kZlib = 1,     // delta+varint, then zlib (the paper's default)
+  kGorilla = 2,  // delta-of-delta + XOR bit packing (gorilla.hpp)
+};
+
+/// Serialize and compress a batch of points.
+Result<Bytes> CompressPoints(std::span<const index::DataPoint> points,
+                             Compression codec);
+
+/// Inverse of CompressPoints.
+Result<std::vector<index::DataPoint>> DecompressPoints(BytesView data);
+
+/// Raw zlib helpers (exposed for tests and for callers compressing other
+/// payloads, e.g. archived rollups).
+Result<Bytes> ZlibDeflate(BytesView data);
+Result<Bytes> ZlibInflate(BytesView data, size_t max_output = 256 << 20);
+
+}  // namespace tc::chunk

@@ -1,0 +1,56 @@
+// Gorilla-style chunk codec: delta-of-delta timestamps + XOR values with
+// bit-level packing — the in-memory TSDB compression technique the paper
+// cites ([52]) as state of the art for regular time series. Regularly
+// sampled streams (the common case for wearables and DevOps metrics)
+// compress to ~1-2 bits per timestamp because the delta-of-delta is almost
+// always zero; slowly-drifting integer values XOR into short bit windows.
+//
+// TimeCrypt treats codecs as pluggable (§4.1: "supports various lossless
+// compression techniques"); this one slots in as Compression::kGorilla.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "index/digest.hpp"
+
+namespace tc::chunk {
+
+/// Append-only bit buffer (MSB-first within each byte).
+class BitWriter {
+ public:
+  void PutBit(bool bit);
+  /// Low `count` bits of `value`, most significant first. count <= 64.
+  void PutBits(uint64_t value, uint32_t count);
+
+  size_t bit_count() const { return bits_; }
+  /// Final byte is zero-padded.
+  Bytes Take() &&;
+
+ private:
+  Bytes buf_;
+  size_t bits_ = 0;
+};
+
+/// Sequential reader over a BitWriter's output.
+class BitReader {
+ public:
+  explicit BitReader(BytesView data) : data_(data) {}
+
+  Result<bool> GetBit();
+  Result<uint64_t> GetBits(uint32_t count);
+
+  size_t consumed_bits() const { return pos_; }
+
+ private:
+  BytesView data_;
+  size_t pos_ = 0;
+};
+
+/// Encode a batch of points. Output is self-contained (carries the count
+/// and the absolute first point).
+Bytes GorillaCompress(std::span<const index::DataPoint> points);
+
+/// Inverse of GorillaCompress.
+Result<std::vector<index::DataPoint>> GorillaDecompress(BytesView data);
+
+}  // namespace tc::chunk

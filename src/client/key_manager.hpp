@@ -1,0 +1,64 @@
+// Owner-side key management (§4.2.3, §4.4.2): the per-stream GGM key tree,
+// the ingest keystream fast path, and the resolution keystreams (dual key
+// regression) with their envelope publication.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "crypto/aes_gcm.hpp"
+#include "crypto/ggm_tree.hpp"
+#include "crypto/heac.hpp"
+#include "crypto/key_regression.hpp"
+
+namespace tc::client {
+
+struct StreamKeysConfig {
+  uint32_t tree_height = 30;            // ~10^9 keys (the §6 setup)
+  uint64_t resolution_stream_length = 1 << 16;  // windows per resolution
+};
+
+/// All secret material for one stream the owner writes. Deterministic from
+/// (master_seed, config): exportable and re-importable.
+class StreamKeys {
+ public:
+  StreamKeys(crypto::Key128 master_seed, StreamKeysConfig config = {});
+
+  const crypto::GgmTree& tree() const { return *tree_; }
+  std::shared_ptr<const crypto::GgmTree> shared_tree() const { return tree_; }
+  uint32_t tree_height() const { return config_.tree_height; }
+
+  /// Leaf for chunk i. Sequential calls (i, i+1, ...) are amortized O(1)
+  /// via an internal iterator; random access costs log(n) PRG calls.
+  crypto::Key128 Leaf(uint64_t i);
+
+  /// Per-chunk payload key H(k_i - k_{i+1}) (§4.3).
+  crypto::Key128 PayloadKey(uint64_t chunk);
+
+  /// The dual key regression for a resolution (created lazily; deterministic
+  /// from the master seed so re-opened streams agree).
+  const crypto::DualKeyRegression& Resolution(uint64_t resolution_chunks);
+
+  /// Envelope for window j of a resolution: enc_{k̄_j}(leaf(j*r)) (§4.4.2).
+  Result<Bytes> MakeEnvelope(uint64_t resolution_chunks, uint64_t window);
+
+  /// Open an envelope with a derived resolution key (consumer side).
+  static Result<crypto::Key128> OpenEnvelope(const crypto::Key128& res_key,
+                                             BytesView envelope);
+
+  const StreamKeysConfig& config() const { return config_; }
+  const crypto::Key128& master_seed() const { return master_; }
+
+ private:
+  crypto::Key128 master_;
+  StreamKeysConfig config_;
+  crypto::Key128 ggm_root_;  // cached subseed: Leaf() re-anchors often
+  std::shared_ptr<crypto::GgmTree> tree_;
+  std::optional<crypto::SequentialLeafIterator> iter_;
+  crypto::Key128 cached_leaf_{};
+  uint64_t cached_index_ = ~uint64_t{0};
+  std::map<uint64_t, std::unique_ptr<crypto::DualKeyRegression>> resolutions_;
+};
+
+}  // namespace tc::client

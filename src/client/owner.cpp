@@ -1,0 +1,590 @@
+#include "client/owner.hpp"
+
+#include <algorithm>
+
+#include "crypto/rand.hpp"
+
+namespace tc::client {
+
+using net::MessageType;
+
+namespace {
+/// Issue a request and discard the (empty) payload.
+Status CallVoid(net::Transport& t, MessageType type, BytesView body) {
+  return t.Call(type, body).status();
+}
+}  // namespace
+
+Result<std::vector<uint64_t>> DecryptStatBlob(
+    const net::StreamConfig& config, BytesView blob,
+    std::span<const std::pair<crypto::Key128, crypto::Key128>> leaf_pairs) {
+  size_t fields = config.schema.num_fields();
+  if (config.cipher != net::CipherKind::kHeac) {
+    return FailedPrecondition("DecryptStatBlob expects a HEAC stream");
+  }
+  if (blob.size() != fields * 8) {
+    return InvalidArgument("aggregate blob size mismatch");
+  }
+  std::vector<uint64_t> m(fields);
+  std::memcpy(m.data(), blob.data(), blob.size());
+  // m[f] = c[f] - sum_s k_first^{s,f} + sum_s k_last^{s,f}: outer-key pairs
+  // accumulate across streams for inter-stream aggregates (§4.3).
+  for (const auto& [leaf_first, leaf_last] : leaf_pairs) {
+    crypto::FieldKeys kf(leaf_first, fields);
+    crypto::FieldKeys kl(leaf_last, fields);
+    for (size_t f = 0; f < fields; ++f) {
+      m[f] = m[f] - kf.key(f) + kl.key(f);
+    }
+  }
+  return m;
+}
+
+OwnerClient::OwnerClient(std::shared_ptr<net::Transport> transport,
+                         OwnerOptions options)
+    : transport_(std::move(transport)), options_(options) {}
+
+Result<OwnerClient::StreamState*> OwnerClient::FindStream(uint64_t uuid) {
+  auto it = streams_.find(uuid);
+  if (it == streams_.end()) {
+    return NotFound("owner has no stream " + std::to_string(uuid));
+  }
+  return &it->second;
+}
+
+Result<uint64_t> OwnerClient::CreateStream(const net::StreamConfig& config) {
+  // Stream uuids are client-assigned (§4.6); draw randomly and retry on the
+  // (vanishingly rare at 64 bits) collision so independent producers sharing
+  // a server never step on each other.
+  uint64_t uuid = 0;
+  Status create_status;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    uuid = crypto::RandomU64();
+    if (uuid == 0) continue;  // 0 is reserved as "unset" in requests
+    net::CreateStreamRequest req{uuid, config};
+    create_status =
+        CallVoid(*transport_, MessageType::kCreateStream, req.Encode());
+    if (create_status.code() != StatusCode::kAlreadyExists) break;
+  }
+  TC_RETURN_IF_ERROR(create_status);
+
+  StreamState s{config, ChunkClock(config.t0, config.delta_ms), nullptr,
+                nullptr, nullptr, nullptr, 0};
+  s.keys = std::make_unique<StreamKeys>(crypto::RandomKey128(), options_.keys);
+  if (config.cipher == net::CipherKind::kHeac) {
+    s.heac = index::MakeHeacCipher(config.schema.num_fields(),
+                                   s.keys->shared_tree());
+  }
+  s.builder = std::make_unique<chunk::ChunkBuilder>(
+      0, s.clock.RangeOfChunk(0),
+      static_cast<chunk::Compression>(config.compression));
+  if (config.integrity) {
+    if (options_.signing.secret_key.empty()) {
+      options_.signing = crypto::GenerateSigningKeyPair();
+    }
+    s.attestor = std::make_unique<integrity::StreamAttestor>(
+        uuid, options_.signing);
+  }
+  streams_.emplace(uuid, std::move(s));
+  return uuid;
+}
+
+Status OwnerClient::AttachStream(uint64_t uuid,
+                                 const crypto::Key128& master_seed) {
+  if (streams_.contains(uuid)) {
+    return AlreadyExists("stream already attached");
+  }
+  net::DeleteStreamRequest info_req{uuid};  // GetStreamInfo shares the body
+  TC_ASSIGN_OR_RETURN(
+      Bytes payload,
+      transport_->Call(MessageType::kGetStreamInfo, info_req.Encode()));
+  TC_ASSIGN_OR_RETURN(auto info, net::StreamInfoResponse::Decode(payload));
+
+  StreamState s{info.config,
+                ChunkClock(info.config.t0, info.config.delta_ms),
+                nullptr,
+                nullptr,
+                nullptr,
+                nullptr,
+                info.num_chunks};
+  s.keys = std::make_unique<StreamKeys>(master_seed, options_.keys);
+  if (info.config.cipher == net::CipherKind::kHeac) {
+    s.heac = index::MakeHeacCipher(info.config.schema.num_fields(),
+                                   s.keys->shared_tree());
+  }
+  s.builder = std::make_unique<chunk::ChunkBuilder>(
+      info.num_chunks, s.clock.RangeOfChunk(info.num_chunks),
+      static_cast<chunk::Compression>(info.config.compression));
+  if (info.config.integrity) {
+    if (options_.signing.secret_key.empty()) {
+      options_.signing = crypto::GenerateSigningKeyPair();
+    }
+    s.attestor = std::make_unique<integrity::StreamAttestor>(
+        uuid, options_.signing);
+    // Rebuild the witness history from the server's stored ciphertexts
+    // (proof-less bulk read; the witnesses hash exactly what we uploaded).
+    // If a previous attestation of ours exists, cross-check the rebuilt
+    // prefix against it — a tampering server then fails loudly here
+    // instead of tricking us into signing a bogus head. Chunks past the
+    // old attestation are taken on the honest-but-curious assumption
+    // (§3.3) — they are our own uploads served back to us.
+    if (info.num_chunks > 0) {
+      net::GetChunkWitnessedRequest req{uuid, 0, info.num_chunks, 0};
+      TC_ASSIGN_OR_RETURN(
+          Bytes resp_blob,
+          transport_->Call(MessageType::kGetChunkWitnessed, req.Encode()));
+      TC_ASSIGN_OR_RETURN(auto resp,
+                          net::GetChunkWitnessedResponse::Decode(resp_blob));
+      if (resp.entries.size() != info.num_chunks) {
+        return DataLoss("server returned wrong witness history length");
+      }
+      for (const auto& entry : resp.entries) {
+        TC_RETURN_IF_ERROR(s.attestor->Add(entry.chunk_index,
+                                           entry.digest_blob, entry.payload));
+      }
+      net::GetAttestationRequest att_req{uuid};
+      auto att_blob =
+          transport_->Call(MessageType::kGetAttestation, att_req.Encode());
+      if (att_blob.ok()) {
+        TC_ASSIGN_OR_RETURN(auto previous,
+                            integrity::Attestation::Decode(*att_blob));
+        if (previous.Verify(options_.signing.public_key).ok()) {
+          TC_ASSIGN_OR_RETURN(auto current, s.attestor->Attest());
+          // Compare the rebuilt tree's root over the previously attested
+          // prefix with what we signed back then.
+          if (previous.size > current.size) {
+            return DataLoss("server shrank the attested stream");
+          }
+          TC_ASSIGN_OR_RETURN(
+              integrity::Attestation prefix,
+              s.attestor->AttestPrefix(previous.size));
+          if (prefix.root != previous.root) {
+            return PermissionDenied(
+                "rebuilt witness history contradicts our previous "
+                "attestation — server tampering detected");
+          }
+        }
+      }
+    }
+  }
+  streams_.emplace(uuid, std::move(s));
+  return Status::Ok();
+}
+
+Status OwnerClient::DeleteStream(uint64_t uuid) {
+  net::DeleteStreamRequest req{uuid};
+  TC_RETURN_IF_ERROR(
+      CallVoid(*transport_, MessageType::kDeleteStream, req.Encode()));
+  streams_.erase(uuid);
+  return Status::Ok();
+}
+
+Status OwnerClient::SealAndUpload(uint64_t uuid, StreamState& s) {
+  auto& builder = *s.builder;
+  uint64_t chunk_index = builder.index();
+
+  // Digest: compute plaintext fields, encrypt per stream cipher.
+  std::vector<uint64_t> fields = builder.ComputeDigest(s.config.schema);
+  Bytes digest_blob;
+  switch (s.config.cipher) {
+    case net::CipherKind::kHeac: {
+      TC_ASSIGN_OR_RETURN(digest_blob, s.heac->Encrypt(fields, chunk_index));
+      break;
+    }
+    case net::CipherKind::kPlain: {
+      auto plain = index::MakePlainCipher(fields.size());
+      TC_ASSIGN_OR_RETURN(digest_blob, plain->Encrypt(fields, chunk_index));
+      break;
+    }
+    default:
+      return Unimplemented(
+          "owner ingest supports HEAC and plaintext streams; strawman "
+          "ciphers are exercised by the benchmarks directly");
+  }
+
+  // Payload: compress + AES-GCM under the per-chunk key. Empty chunks (gap
+  // filler) upload digests only.
+  Bytes payload;
+  if (builder.num_points() > 0) {
+    TC_ASSIGN_OR_RETURN(payload,
+                        builder.SealPayload(s.keys->PayloadKey(chunk_index)));
+  }
+
+  net::InsertChunkRequest req{uuid, chunk_index, std::move(digest_blob),
+                              std::move(payload)};
+  TC_RETURN_IF_ERROR(
+      CallVoid(*transport_, MessageType::kInsertChunk, req.Encode()));
+  if (s.attestor) {
+    TC_RETURN_IF_ERROR(
+        s.attestor->Add(chunk_index, req.digest_blob, req.payload));
+  }
+
+  s.next_chunk = chunk_index + 1;
+  builder.Reset(s.next_chunk, s.clock.RangeOfChunk(s.next_chunk));
+  return Status::Ok();
+}
+
+Status OwnerClient::InsertRecord(uint64_t uuid, const index::DataPoint& point) {
+  TC_ASSIGN_OR_RETURN(StreamState * s, FindStream(uuid));
+  TC_ASSIGN_OR_RETURN(uint64_t target_chunk,
+                      s->clock.IndexOf(point.timestamp_ms));
+  if (target_chunk < s->builder->index()) {
+    return FailedPrecondition("point is older than the open chunk window");
+  }
+  // Seal every window up to the point's window (gaps become empty chunks).
+  while (target_chunk > s->builder->index()) {
+    TC_RETURN_IF_ERROR(SealAndUpload(uuid, *s));
+  }
+  return s->builder->Add(point);
+}
+
+Status OwnerClient::Flush(uint64_t uuid) {
+  TC_ASSIGN_OR_RETURN(StreamState * s, FindStream(uuid));
+  return SealAndUpload(uuid, *s);
+}
+
+Result<std::vector<index::DataPoint>> OwnerClient::GetRange(uint64_t uuid,
+                                                            TimeRange range) {
+  TC_ASSIGN_OR_RETURN(StreamState * s, FindStream(uuid));
+  net::GetRangeRequest req{uuid, range};
+  TC_ASSIGN_OR_RETURN(Bytes payload,
+                      transport_->Call(MessageType::kGetRange, req.Encode()));
+  TC_ASSIGN_OR_RETURN(auto resp, net::GetRangeResponse::Decode(payload));
+
+  std::vector<index::DataPoint> points;
+  for (const auto& c : resp.chunks) {
+    TC_ASSIGN_OR_RETURN(
+        auto chunk_points,
+        chunk::OpenPayload(s->keys->PayloadKey(c.chunk_index), c.chunk_index,
+                           c.payload));
+    for (const auto& p : chunk_points) {
+      if (range.Contains(p.timestamp_ms)) points.push_back(p);
+    }
+  }
+  return points;
+}
+
+Result<StatResult> OwnerClient::GetStatRange(uint64_t uuid, TimeRange range) {
+  TC_ASSIGN_OR_RETURN(StreamState * s, FindStream(uuid));
+  net::StatRangeRequest req{uuid, range};
+  TC_ASSIGN_OR_RETURN(
+      Bytes payload, transport_->Call(MessageType::kGetStatRange, req.Encode()));
+  TC_ASSIGN_OR_RETURN(auto resp, net::StatRangeResponse::Decode(payload));
+
+  std::vector<uint64_t> fields;
+  if (s->config.cipher == net::CipherKind::kHeac) {
+    std::pair<crypto::Key128, crypto::Key128> leaves = {
+        s->keys->Leaf(s->LeafIndexOf(resp.first_chunk)),
+        s->keys->Leaf(s->LeafIndexOf(resp.last_chunk))};
+    TC_ASSIGN_OR_RETURN(
+        fields, DecryptStatBlob(s->config, resp.aggregate_blob, {&leaves, 1}));
+  } else {
+    auto plain = index::MakePlainCipher(s->config.schema.num_fields());
+    TC_ASSIGN_OR_RETURN(fields,
+                        plain->Decrypt(resp.aggregate_blob, resp.first_chunk,
+                                       resp.last_chunk));
+  }
+  return StatResult{resp.first_chunk, resp.last_chunk,
+                    index::DigestStats(s->config.schema, std::move(fields))};
+}
+
+Result<std::vector<StatResult>> OwnerClient::GetStatSeries(
+    uint64_t uuid, TimeRange range, uint64_t granularity_chunks) {
+  TC_ASSIGN_OR_RETURN(StreamState * s, FindStream(uuid));
+  net::StatSeriesRequest req{uuid, range, granularity_chunks};
+  TC_ASSIGN_OR_RETURN(
+      Bytes payload,
+      transport_->Call(MessageType::kGetStatSeries, req.Encode()));
+  TC_ASSIGN_OR_RETURN(auto resp, net::StatSeriesResponse::Decode(payload));
+
+  std::vector<StatResult> results;
+  results.reserve(resp.aggregates.size());
+  uint64_t w = resp.first_chunk;
+  for (const auto& blob : resp.aggregates) {
+    // The final window clips to the response's end bound — NOT to local
+    // ingest state, which is absent when chunks were uploaded out-of-band.
+    uint64_t end = std::min(w + resp.granularity_chunks, resp.last_chunk);
+    std::vector<uint64_t> fields;
+    if (s->config.cipher == net::CipherKind::kHeac) {
+      std::pair<crypto::Key128, crypto::Key128> leaves = {
+          s->keys->Leaf(s->LeafIndexOf(w)),
+          s->keys->Leaf(s->LeafIndexOf(end))};
+      TC_ASSIGN_OR_RETURN(fields,
+                          DecryptStatBlob(s->config, blob, {&leaves, 1}));
+    } else {
+      auto plain = index::MakePlainCipher(s->config.schema.num_fields());
+      TC_ASSIGN_OR_RETURN(fields, plain->Decrypt(blob, w, end));
+    }
+    results.push_back(StatResult{
+        w, end, index::DigestStats(s->config.schema, std::move(fields))});
+    w = end;
+  }
+  return results;
+}
+
+Result<uint64_t> OwnerClient::RollupStream(uint64_t uuid,
+                                           uint64_t granularity_chunks,
+                                           TimeRange range) {
+  TC_ASSIGN_OR_RETURN(StreamState * s, FindStream(uuid));
+  uint64_t target_uuid = crypto::RandomU64();
+  net::RollupStreamRequest req{uuid, target_uuid, granularity_chunks, range};
+  TC_ASSIGN_OR_RETURN(
+      Bytes resp,
+      transport_->Call(MessageType::kRollupStream, req.Encode()));
+  BinaryReader resp_reader(resp);
+  TC_ASSIGN_OR_RETURN(uint64_t aligned_first, resp_reader.GetU64());
+  TC_ASSIGN_OR_RETURN(uint64_t aligned_last, resp_reader.GetU64());
+
+  // The derived stream reuses the source key material: rollup chunk j
+  // aggregates source chunks [j*r, (j+1)*r), so its outer keys are source
+  // leaves at j*r — the same keystream with indices scaled by r. The HEAC
+  // telescoping makes every window boundary decryptable without re-keying.
+  StreamState derived;
+  derived.config = s->config;
+  derived.config.name = s->config.name + "/rollup" +
+                        std::to_string(granularity_chunks);
+  derived.config.delta_ms =
+      s->config.delta_ms * static_cast<int64_t>(granularity_chunks);
+  derived.clock = ChunkClock(
+      s->clock.RangeOfChunk(aligned_first).start, derived.config.delta_ms);
+  derived.keys =
+      std::make_unique<StreamKeys>(s->keys->master_seed(), options_.keys);
+  derived.leaf_scale = s->leaf_scale * granularity_chunks;
+  derived.leaf_offset = s->LeafIndexOf(aligned_first);
+  derived.next_chunk = (aligned_last - aligned_first) / granularity_chunks;
+  streams_.emplace(target_uuid, std::move(derived));
+  return target_uuid;
+}
+
+Status OwnerClient::DeleteRange(uint64_t uuid, TimeRange range) {
+  net::DeleteRangeRequest req{uuid, range};
+  return CallVoid(*transport_, MessageType::kDeleteRange, req.Encode());
+}
+
+Status OwnerClient::GrantChunkRange(StreamState& s, uint64_t uuid,
+                                    const std::string& principal_id,
+                                    BytesView principal_public,
+                                    uint64_t first_chunk, uint64_t last_chunk,
+                                    uint64_t resolution_chunks) {
+  AccessGrant grant;
+  grant.stream_uuid = uuid;
+  grant.first_chunk = first_chunk;
+  grant.last_chunk = last_chunk;
+
+  if (resolution_chunks <= 1) {
+    grant.kind = GrantKind::kFullResolution;
+    grant.tree_height = s.keys->tree_height();
+    // Cover leaves [first, last] inclusive: chunk range [first, last) needs
+    // outer keys up to leaf `last`.
+    TC_ASSIGN_OR_RETURN(grant.tokens,
+                        s.keys->tree().CoverRange(first_chunk, last_chunk));
+  } else {
+    if (first_chunk % resolution_chunks != 0 ||
+        last_chunk % resolution_chunks != 0) {
+      return InvalidArgument(
+          "resolution grant range must align to the resolution (§4.4.1: "
+          "resolutions are aligned at timestamps)");
+    }
+    grant.kind = GrantKind::kResolution;
+    grant.resolution_chunks = resolution_chunks;
+    grant.window_lower = first_chunk / resolution_chunks;
+    grant.window_upper = last_chunk / resolution_chunks;
+    const auto& kr = s.keys->Resolution(resolution_chunks);
+    TC_ASSIGN_OR_RETURN(auto view,
+                        kr.Share(grant.window_lower, grant.window_upper));
+    // Extract the two states from the view by re-deriving: Share returns
+    // exactly the states we need to embed.
+    grant.primary_state = view.primary_state();
+    grant.secondary_state = view.secondary_state();
+
+    // Publish the envelopes the consumer will need.
+    net::PutEnvelopesRequest env_req;
+    env_req.uuid = uuid;
+    env_req.resolution_chunks = resolution_chunks;
+    env_req.first_index = grant.window_lower;
+    for (uint64_t j = grant.window_lower; j <= grant.window_upper; ++j) {
+      TC_ASSIGN_OR_RETURN(Bytes env,
+                          s.keys->MakeEnvelope(resolution_chunks, j));
+      env_req.envelopes.push_back(std::move(env));
+    }
+    TC_RETURN_IF_ERROR(
+        CallVoid(*transport_, MessageType::kPutEnvelopes, env_req.Encode()));
+  }
+
+  TC_ASSIGN_OR_RETURN(Bytes sealed, grant.SealTo(principal_public));
+  // Random grant ids: a restarted owner must not overwrite earlier grants
+  // in the key store (a sequential counter would restart at 1).
+  uint64_t grant_id = crypto::RandomU64();
+  net::PutGrantRequest req{uuid, principal_id, grant_id, std::move(sealed)};
+  TC_RETURN_IF_ERROR(
+      CallVoid(*transport_, MessageType::kPutGrant, req.Encode()));
+  issued_grants_.push_back(IssuedGrant{uuid, principal_id, grant_id,
+                                       first_chunk, last_chunk});
+  return Status::Ok();
+}
+
+Status OwnerClient::GrantAccess(uint64_t uuid, const std::string& principal_id,
+                                BytesView principal_public, TimeRange range,
+                                uint64_t resolution_chunks) {
+  TC_ASSIGN_OR_RETURN(StreamState * s, FindStream(uuid));
+  TC_ASSIGN_OR_RETURN(auto idx_range, s->clock.IndexRange(range));
+  return GrantChunkRange(*s, uuid, principal_id, principal_public,
+                         idx_range.first, idx_range.second,
+                         resolution_chunks);
+}
+
+Status OwnerClient::GrantOpenAccess(uint64_t uuid,
+                                    const std::string& principal_id,
+                                    BytesView principal_public,
+                                    Timestamp start,
+                                    uint64_t resolution_chunks) {
+  TC_ASSIGN_OR_RETURN(StreamState * s, FindStream(uuid));
+  TC_ASSIGN_OR_RETURN(uint64_t start_chunk, s->clock.IndexOf(start));
+  start_chunk -= start_chunk % std::max<uint64_t>(resolution_chunks, 1);
+  open_grants_.push_back(OpenGrant{
+      uuid, principal_id,
+      Bytes(principal_public.begin(), principal_public.end()),
+      std::max<uint64_t>(resolution_chunks, 1), start_chunk, true});
+  return ExtendOpenGrants().status();
+}
+
+Result<int> OwnerClient::ExtendOpenGrants() {
+  int issued = 0;
+  for (auto& og : open_grants_) {
+    if (!og.active) continue;
+    TC_ASSIGN_OR_RETURN(StreamState * s, FindStream(og.uuid));
+    uint64_t epoch = options_.open_grant_epoch_chunks;
+    epoch -= epoch % og.resolution_chunks;
+    if (epoch == 0) epoch = og.resolution_chunks;
+    while (og.next_chunk + epoch <= s->next_chunk) {
+      TC_RETURN_IF_ERROR(GrantChunkRange(*s, og.uuid, og.principal_id,
+                                         og.principal_public, og.next_chunk,
+                                         og.next_chunk + epoch,
+                                         og.resolution_chunks));
+      og.next_chunk += epoch;
+      ++issued;
+    }
+  }
+  return issued;
+}
+
+Status OwnerClient::RevokeAccess(uint64_t uuid,
+                                 const std::string& principal_id,
+                                 Timestamp end) {
+  TC_ASSIGN_OR_RETURN(StreamState * s, FindStream(uuid));
+  TC_ASSIGN_OR_RETURN(uint64_t end_chunk, s->clock.IndexOf(end));
+  // Forward secrecy: stop extending subscriptions past `end`.
+  for (auto& og : open_grants_) {
+    if (og.uuid == uuid && og.principal_id == principal_id) {
+      og.active = false;
+    }
+  }
+  // Remove stored grants whose data lies at/after the revocation point;
+  // grants wholly over old data stay — the revoked user keeps what it
+  // could already access (§3.3: "The revoked user can, however, still
+  // access old data"; revoking that is impossible anyway, it may be
+  // cached). Straddling grants are also removed: the sealed blob cannot be
+  // split, and the consumer keeps any keys it already downloaded.
+  for (auto it = issued_grants_.begin(); it != issued_grants_.end();) {
+    bool match = it->uuid == uuid && it->principal_id == principal_id &&
+                 it->last_chunk > end_chunk;
+    if (match) {
+      net::RevokeGrantRequest req{uuid, principal_id, it->grant_id};
+      TC_RETURN_IF_ERROR(
+          CallVoid(*transport_, MessageType::kRevokeGrant, req.Encode()));
+      it = issued_grants_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::Ok();
+}
+
+Result<StreamKeys*> OwnerClient::KeysFor(uint64_t uuid) {
+  TC_ASSIGN_OR_RETURN(StreamState * s, FindStream(uuid));
+  return s->keys.get();
+}
+
+Result<uint64_t> OwnerClient::NumChunks(uint64_t uuid) const {
+  auto it = streams_.find(uuid);
+  if (it == streams_.end()) return NotFound("unknown stream");
+  return it->second.next_chunk;
+}
+
+Result<integrity::Attestation> OwnerClient::Attest(uint64_t uuid) {
+  TC_ASSIGN_OR_RETURN(StreamState * s, FindStream(uuid));
+  if (!s->attestor) {
+    return FailedPrecondition("stream was not created with integrity");
+  }
+  TC_ASSIGN_OR_RETURN(integrity::Attestation att, s->attestor->Attest());
+  net::PutAttestationRequest req{uuid, att.Encode()};
+  TC_RETURN_IF_ERROR(
+      CallVoid(*transport_, MessageType::kPutAttestation, req.Encode()));
+  return att;
+}
+
+Result<StatResult> OwnerClient::GetVerifiedStatRange(uint64_t uuid,
+                                                     TimeRange range) {
+  TC_ASSIGN_OR_RETURN(StreamState * s, FindStream(uuid));
+  if (!s->attestor) {
+    return FailedPrecondition("stream was not created with integrity");
+  }
+  if (s->config.cipher != net::CipherKind::kHeac) {
+    return Unimplemented("verified queries require a HEAC stream");
+  }
+
+  // Fetch the latest published attestation (what a consumer would do; the
+  // owner could also call s->attestor->Attest() locally).
+  net::GetAttestationRequest att_req{uuid};
+  TC_ASSIGN_OR_RETURN(
+      Bytes att_blob,
+      transport_->Call(MessageType::kGetAttestation, att_req.Encode()));
+  TC_ASSIGN_OR_RETURN(auto attestation,
+                      integrity::Attestation::Decode(att_blob));
+
+  TC_ASSIGN_OR_RETURN(auto idx_range, s->clock.IndexRange(range));
+  uint64_t first = idx_range.first;
+  uint64_t last = std::min(idx_range.second, attestation.size);
+  if (first >= last) return OutOfRange("range beyond attested prefix");
+
+  net::GetChunkWitnessedRequest req{uuid, first, last, attestation.size};
+  TC_ASSIGN_OR_RETURN(
+      Bytes resp_blob,
+      transport_->Call(MessageType::kGetChunkWitnessed, req.Encode()));
+  TC_ASSIGN_OR_RETURN(auto resp,
+                      net::GetChunkWitnessedResponse::Decode(resp_blob));
+  if (resp.entries.size() != last - first) {
+    return DataLoss("server returned wrong number of witnessed chunks");
+  }
+
+  // Verify every chunk against the signed root, then re-aggregate the
+  // (verified) HEAC ciphertexts locally — addition in the uint64 ring.
+  size_t fields = s->config.schema.num_fields();
+  std::vector<uint64_t> acc(fields, 0);
+  for (const auto& entry : resp.entries) {
+    BinaryReader pr(entry.proof);
+    TC_ASSIGN_OR_RETURN(auto path, integrity::DecodeAuditPath(pr));
+    TC_RETURN_IF_ERROR(integrity::VerifyChunk(
+        attestation, options_.signing.public_key, entry.chunk_index,
+        entry.digest_blob, entry.payload, path));
+    if (entry.digest_blob.size() != fields * 8) {
+      return DataLoss("digest blob size mismatch");
+    }
+    for (size_t f = 0; f < fields; ++f) {
+      uint64_t word;
+      std::memcpy(&word, entry.digest_blob.data() + f * 8, 8);
+      acc[f] += word;
+    }
+  }
+
+  std::pair<crypto::Key128, crypto::Key128> leaves = {
+      s->keys->Leaf(s->LeafIndexOf(first)),
+      s->keys->Leaf(s->LeafIndexOf(last))};
+  Bytes acc_blob(fields * 8);
+  std::memcpy(acc_blob.data(), acc.data(), acc_blob.size());
+  TC_ASSIGN_OR_RETURN(auto decrypted,
+                      DecryptStatBlob(s->config, acc_blob, {&leaves, 1}));
+  return StatResult{first, last,
+                    index::DigestStats(s->config.schema, std::move(decrypted))};
+}
+
+}  // namespace tc::client

@@ -1,0 +1,196 @@
+// Data-owner / data-producer client (§3.2, Table 1): creates streams, runs
+// the serialization pipeline (chunking -> digest -> HEAC encrypt -> compress
+// -> AES-GCM), uploads chunks, issues statistical queries over its own data,
+// and manages grants (time-range, resolution-restricted, open-ended) and
+// revocation.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "chunk/chunk.hpp"
+#include "client/grants.hpp"
+#include "client/key_manager.hpp"
+#include "crypto/ed25519.hpp"
+#include "index/digest.hpp"
+#include "index/digest_cipher.hpp"
+#include "integrity/attestation.hpp"
+#include "net/messages.hpp"
+#include "net/wire.hpp"
+
+namespace tc::client {
+
+/// Decoded statistical query result.
+struct StatResult {
+  uint64_t first_chunk = 0;
+  uint64_t last_chunk = 0;
+  index::DigestStats stats;
+};
+
+struct OwnerOptions {
+  StreamKeysConfig keys;
+  /// Open-ended grants are extended one epoch at a time (chunks per epoch).
+  uint64_t open_grant_epoch_chunks = 360;
+  /// Signing identity for stream attestations (integrity extension). A
+  /// fresh keypair is generated when left empty and an integrity stream is
+  /// created; pass long-term keys for identities that outlive the process.
+  crypto::SigningKeyPair signing;
+};
+
+class OwnerClient {
+ public:
+  OwnerClient(std::shared_ptr<net::Transport> transport,
+              OwnerOptions options = {});
+
+  /// (1) CreateStream — registers the stream server-side and provisions the
+  /// local key material. Returns the stream uuid.
+  Result<uint64_t> CreateStream(const net::StreamConfig& config);
+
+  /// Re-attach to an existing server-side stream from exported key material
+  /// (a producer re-opening its stream after restart). Fetches the config
+  /// and chunk position from the server and resumes ingest at the next
+  /// chunk. The master seed is the one KeysFor(uuid)->master_seed() exported
+  /// before shutdown; all keys re-derive deterministically from it.
+  Status AttachStream(uint64_t uuid, const crypto::Key128& master_seed);
+
+  /// (2) DeleteStream.
+  Status DeleteStream(uint64_t uuid);
+
+  /// (4) InsertRecord — buffers into the current chunk; when the point
+  /// crosses the chunk boundary the finished chunk is sealed and uploaded.
+  /// Gaps produce empty chunks so the index stays contiguous.
+  Status InsertRecord(uint64_t uuid, const index::DataPoint& point);
+
+  /// Seal and upload the current partial chunk (call at stream end or to
+  /// bound ingest latency, §4.6 client-side batching).
+  Status Flush(uint64_t uuid);
+
+  /// (5) GetRange — fetch and decrypt raw points.
+  Result<std::vector<index::DataPoint>> GetRange(uint64_t uuid,
+                                                 TimeRange range);
+
+  /// (6) GetStatRange — server-side aggregate, owner-side decrypt.
+  Result<StatResult> GetStatRange(uint64_t uuid, TimeRange range);
+
+  /// (6) at fixed granularity: one decoded aggregate per window.
+  Result<std::vector<StatResult>> GetStatSeries(uint64_t uuid, TimeRange range,
+                                                uint64_t granularity_chunks);
+
+  /// (3) RollupStream — server-side re-aggregation into a derived stream.
+  /// Returns the new stream's uuid. The derived stream shares this stream's
+  /// keys (aggregates of HEAC ciphertexts stay decryptable at window
+  /// boundaries).
+  Result<uint64_t> RollupStream(uint64_t uuid, uint64_t granularity_chunks,
+                                TimeRange range = {0, 0});
+
+  /// (7) DeleteRange — drop raw chunks, keep digests.
+  Status DeleteRange(uint64_t uuid, TimeRange range);
+
+  /// (8) GrantAccess — resolution_chunks == 1 grants full resolution
+  /// (tree tokens); r > 1 grants r-chunk aggregates only (dual key
+  /// regression + envelopes). Time range must align to r chunks.
+  Status GrantAccess(uint64_t uuid, const std::string& principal_id,
+                     BytesView principal_public, TimeRange range,
+                     uint64_t resolution_chunks = 1);
+
+  /// (9) GrantOpenAccess — subscription extended epoch-by-epoch until
+  /// revoked. Call ExtendOpenGrants() as ingest progresses.
+  Status GrantOpenAccess(uint64_t uuid, const std::string& principal_id,
+                         BytesView principal_public, Timestamp start,
+                         uint64_t resolution_chunks = 1);
+
+  /// Publish grants for epochs that ingest has reached. Returns the number
+  /// of new epoch grants issued.
+  Result<int> ExtendOpenGrants();
+
+  /// (10) RevokeAccess — forward secrecy: the subscription stops extending
+  /// at `end`; sealed grants covering data after `end` are removed from the
+  /// key store. Already-shared keys for old data remain usable (§3.3).
+  Status RevokeAccess(uint64_t uuid, const std::string& principal_id,
+                      Timestamp end);
+
+  /// Owner key handle (tests/benchmarks need leaf access).
+  Result<StreamKeys*> KeysFor(uint64_t uuid);
+
+  /// Number of chunks fully uploaded for a stream.
+  Result<uint64_t> NumChunks(uint64_t uuid) const;
+
+  // ------------------------------------------------- integrity extension
+
+  /// Sign the current stream head and publish the attestation to the
+  /// server's key store. Returns the attestation (consumers also fetch it
+  /// from the server). Requires config.integrity.
+  Result<integrity::Attestation> Attest(uint64_t uuid);
+
+  /// The public signing key consumers verify attestations against (share
+  /// through the identity provider alongside the X25519 key).
+  const Bytes& signing_public() const { return options_.signing.public_key; }
+
+  /// Verified statistical query: fetches the attested per-chunk digests
+  /// with audit paths, verifies each against the owner-signed root,
+  /// re-aggregates client-side and decrypts. O(chunks) work — the price of
+  /// not trusting the server's aggregation (Verena-style verified reads).
+  Result<StatResult> GetVerifiedStatRange(uint64_t uuid, TimeRange range);
+
+ private:
+  struct StreamState {
+    net::StreamConfig config;
+    ChunkClock clock{0, 1};
+    std::unique_ptr<StreamKeys> keys;
+    std::unique_ptr<index::DigestCipher> heac;  // set iff cipher == kHeac
+    std::unique_ptr<chunk::ChunkBuilder> builder;
+    std::unique_ptr<integrity::StreamAttestor> attestor;  // iff integrity
+    uint64_t next_chunk = 0;
+    // Rollup streams share the source keystream: their chunk j spans source
+    // chunks [offset + j*scale, offset + (j+1)*scale), so outer leaves are
+    // source leaves at affine-mapped indices.
+    uint64_t leaf_scale = 1;
+    uint64_t leaf_offset = 0;
+
+    uint64_t LeafIndexOf(uint64_t chunk) const {
+      return leaf_offset + chunk * leaf_scale;
+    }
+  };
+
+  struct OpenGrant {
+    uint64_t uuid;
+    std::string principal_id;
+    Bytes principal_public;
+    uint64_t resolution_chunks;
+    uint64_t next_chunk;   // first chunk of the next epoch to grant
+    bool active = true;
+  };
+
+  /// Every grant put to the key store, with its chunk range — revocation
+  /// needs to distinguish grants over old data (kept, §3.3) from grants
+  /// over data after the revocation point (removed).
+  struct IssuedGrant {
+    uint64_t uuid;
+    std::string principal_id;
+    uint64_t grant_id;
+    uint64_t first_chunk;
+    uint64_t last_chunk;  // exclusive
+  };
+
+  Result<StreamState*> FindStream(uint64_t uuid);
+  Status SealAndUpload(uint64_t uuid, StreamState& s);
+  Status GrantChunkRange(StreamState& s, uint64_t uuid,
+                         const std::string& principal_id,
+                         BytesView principal_public, uint64_t first_chunk,
+                         uint64_t last_chunk, uint64_t resolution_chunks);
+
+  std::shared_ptr<net::Transport> transport_;
+  OwnerOptions options_;
+  std::map<uint64_t, StreamState> streams_;
+  std::vector<OpenGrant> open_grants_;
+  std::vector<IssuedGrant> issued_grants_;
+};
+
+/// Decode + decrypt a stat response with explicit outer leaves (shared by
+/// owner and consumer paths, and by multi-stream aggregates where the key
+/// sums span streams).
+Result<std::vector<uint64_t>> DecryptStatBlob(
+    const net::StreamConfig& config, BytesView blob,
+    std::span<const std::pair<crypto::Key128, crypto::Key128>> leaf_pairs);
+
+}  // namespace tc::client

@@ -1,0 +1,55 @@
+#include "common/bytes.hpp"
+
+namespace tc {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string ToHex(BytesView data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0x0f]);
+  }
+  return out;
+}
+
+Result<Bytes> FromHex(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    return InvalidArgument("hex string has odd length");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = HexValue(hex[i]);
+    int lo = HexValue(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return InvalidArgument("non-hex character in input");
+    }
+    out.push_back(static_cast<uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+bool ConstantTimeEqual(BytesView a, BytesView b) {
+  if (a.size() != b.size()) return false;
+  uint8_t acc = 0;
+  for (size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+void SecureZero(MutableBytesView data) {
+  volatile uint8_t* p = data.data();
+  for (size_t i = 0; i < data.size(); ++i) p[i] = 0;
+}
+
+}  // namespace tc

@@ -1,0 +1,44 @@
+// Byte-buffer aliases and small helpers shared across modules.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace tc {
+
+using Bytes = std::vector<uint8_t>;
+using BytesView = std::span<const uint8_t>;
+using MutableBytesView = std::span<uint8_t>;
+
+/// Lowercase hex encoding of a byte span.
+std::string ToHex(BytesView data);
+
+/// Decode lowercase/uppercase hex. Fails on odd length or non-hex chars.
+Result<Bytes> FromHex(std::string_view hex);
+
+/// Constant-time equality for secrets (avoids early-exit timing leaks).
+bool ConstantTimeEqual(BytesView a, BytesView b);
+
+/// Best-effort scrubbing of key material. The volatile pointer prevents the
+/// compiler from eliding the store as a dead write.
+void SecureZero(MutableBytesView data);
+
+inline Bytes ToBytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+inline std::string ToString(BytesView b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+/// Append `src` to `dst`.
+inline void Append(Bytes& dst, BytesView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+}  // namespace tc

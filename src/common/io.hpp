@@ -1,0 +1,163 @@
+// Endian-safe binary writer/reader: the single serialization primitive used
+// by chunk serialization, index node encoding, and the wire codec.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+#include "common/varint.hpp"
+
+namespace tc {
+
+/// Appends little-endian fixed-width ints, varints, and length-prefixed blobs
+/// to an owned buffer.
+class BinaryWriter {
+ public:
+  BinaryWriter() = default;
+  explicit BinaryWriter(size_t reserve) { buf_.reserve(reserve); }
+
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+
+  void PutU16(uint16_t v) {
+    buf_.push_back(static_cast<uint8_t>(v));
+    buf_.push_back(static_cast<uint8_t>(v >> 8));
+  }
+
+  void PutU32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+
+  void PutU64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+
+  void PutDouble(double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU64(bits);
+  }
+
+  void PutVar(uint64_t v) { PutVarint(buf_, v); }
+  void PutVarSigned(int64_t v) { PutSignedVarint(buf_, v); }
+
+  /// Varint length prefix + raw bytes.
+  void PutBytes(BytesView b) {
+    PutVar(b.size());
+    Append(buf_, b);
+  }
+
+  void PutString(std::string_view s) {
+    PutVar(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  /// Raw bytes, no length prefix (caller manages framing).
+  void PutRaw(BytesView b) { Append(buf_, b); }
+
+  const Bytes& data() const { return buf_; }
+  Bytes Take() && { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Reads back what BinaryWriter wrote. All getters fail (return error) on
+/// truncated input rather than reading out of bounds.
+class BinaryReader {
+ public:
+  explicit BinaryReader(BytesView data) : data_(data) {}
+
+  Result<uint8_t> GetU8() {
+    if (pos_ + 1 > data_.size()) return Truncated();
+    return data_[pos_++];
+  }
+
+  Result<uint16_t> GetU16() {
+    if (pos_ + 2 > data_.size()) return Truncated();
+    uint16_t v = static_cast<uint16_t>(data_[pos_]) |
+                 static_cast<uint16_t>(data_[pos_ + 1]) << 8;
+    pos_ += 2;
+    return v;
+  }
+
+  Result<uint32_t> GetU32() {
+    if (pos_ + 4 > data_.size()) return Truncated();
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+
+  Result<uint64_t> GetU64() {
+    if (pos_ + 8 > data_.size()) return Truncated();
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+
+  Result<int64_t> GetI64() {
+    TC_ASSIGN_OR_RETURN(uint64_t v, GetU64());
+    return static_cast<int64_t>(v);
+  }
+
+  Result<double> GetDouble() {
+    TC_ASSIGN_OR_RETURN(uint64_t bits, GetU64());
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  Result<uint64_t> GetVar() {
+    auto v = GetVarint(data_, pos_);
+    if (!v) return Truncated();
+    return *v;
+  }
+
+  Result<int64_t> GetVarSigned() {
+    auto v = GetSignedVarint(data_, pos_);
+    if (!v) return Truncated();
+    return *v;
+  }
+
+  Result<Bytes> GetBytes() {
+    TC_ASSIGN_OR_RETURN(uint64_t n, GetVar());
+    // Compare against the remainder (never pos_ + n: a hostile 64-bit
+    // length would overflow the addition and slip past the bounds check).
+    if (n > remaining()) return Truncated();
+    Bytes out(data_.begin() + pos_, data_.begin() + pos_ + n);
+    pos_ += n;
+    return out;
+  }
+
+  Result<std::string> GetString() {
+    TC_ASSIGN_OR_RETURN(Bytes b, GetBytes());
+    return std::string(b.begin(), b.end());
+  }
+
+  /// View of the next n bytes without copying; advances the cursor.
+  Result<BytesView> GetRaw(size_t n) {
+    if (n > remaining()) return Truncated();  // overflow-safe bound check
+    BytesView v = data_.subspan(pos_, n);
+    pos_ += n;
+    return v;
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t position() const { return pos_; }
+
+ private:
+  static Status Truncated() { return DataLoss("truncated input"); }
+
+  BytesView data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace tc

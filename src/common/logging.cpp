@@ -1,0 +1,58 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+
+namespace tc {
+
+namespace {
+
+LogLevel InitialLevel() {
+  const char* env = std::getenv("TC_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "off") == 0) return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+std::atomic<LogLevel> g_level{InitialLevel()};
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kError: return "E";
+    case LogLevel::kOff: return "?";
+  }
+  return "?";
+}
+
+const char* Basename(std::string_view path) {
+  size_t slash = path.rfind('/');
+  return path.data() + (slash == std::string_view::npos ? 0 : slash + 1);
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel GetLogLevel() { return g_level.load(); }
+
+namespace internal {
+
+void LogLine(LogLevel level, std::string_view file, int line,
+             std::string_view msg) {
+  if (level < g_level.load()) return;
+  std::fprintf(stderr, "[%s %s:%d] %.*s\n", LevelTag(level), Basename(file),
+               line, static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace internal
+
+}  // namespace tc

@@ -1,0 +1,50 @@
+// Minimal leveled logger. Off by default above WARN so benchmarks stay quiet;
+// tests can raise verbosity via TC_LOG_LEVEL env or SetLogLevel().
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace tc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+void LogLine(LogLevel level, std::string_view file, int line,
+             std::string_view msg);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { LogLine(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace tc
+
+#define TC_LOG(level)                                                   \
+  if (::tc::LogLevel::level < ::tc::GetLogLevel()) {                    \
+  } else                                                                \
+    ::tc::internal::LogMessage(::tc::LogLevel::level, __FILE__, __LINE__)
+
+#define TC_LOG_DEBUG TC_LOG(kDebug)
+#define TC_LOG_INFO TC_LOG(kInfo)
+#define TC_LOG_WARN TC_LOG(kWarn)
+#define TC_LOG_ERROR TC_LOG(kError)

@@ -1,0 +1,9 @@
+#include "common/time.hpp"
+
+namespace tc {
+
+std::string TimeRange::ToString() const {
+  return "[" + std::to_string(start) + ", " + std::to_string(end) + ")";
+}
+
+}  // namespace tc

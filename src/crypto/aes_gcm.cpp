@@ -1,0 +1,108 @@
+#include "crypto/aes_gcm.hpp"
+
+#include <openssl/evp.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "crypto/sha256.hpp"
+
+namespace tc::crypto {
+
+namespace {
+[[noreturn]] void FatalOpenSsl(const char* what) {
+  std::fprintf(stderr, "fatal: OpenSSL %s failed\n", what);
+  std::abort();
+}
+
+EVP_CIPHER_CTX* ThreadCtx() {
+  thread_local EVP_CIPHER_CTX* ctx = EVP_CIPHER_CTX_new();
+  return ctx;
+}
+}  // namespace
+
+Bytes GcmSeal(const Key128& key, BytesView plaintext, BytesView aad) {
+  EVP_CIPHER_CTX* ctx = ThreadCtx();
+  Bytes out(kGcmNonceSize + plaintext.size() + kGcmTagSize);
+  RandomBytes(MutableBytesView(out.data(), kGcmNonceSize));
+
+  if (EVP_EncryptInit_ex(ctx, EVP_aes_128_gcm(), nullptr, key.data(),
+                         out.data()) != 1) {
+    FatalOpenSsl("EncryptInit(gcm)");
+  }
+  int len = 0;
+  if (!aad.empty() &&
+      EVP_EncryptUpdate(ctx, nullptr, &len, aad.data(),
+                        static_cast<int>(aad.size())) != 1) {
+    FatalOpenSsl("EncryptUpdate(aad)");
+  }
+  if (!plaintext.empty() &&
+      EVP_EncryptUpdate(ctx, out.data() + kGcmNonceSize, &len,
+                        plaintext.data(),
+                        static_cast<int>(plaintext.size())) != 1) {
+    FatalOpenSsl("EncryptUpdate");
+  }
+  int final_len = 0;
+  if (EVP_EncryptFinal_ex(ctx, out.data() + kGcmNonceSize + len,
+                          &final_len) != 1) {
+    FatalOpenSsl("EncryptFinal");
+  }
+  if (EVP_CIPHER_CTX_ctrl(ctx, EVP_CTRL_GCM_GET_TAG, kGcmTagSize,
+                          out.data() + kGcmNonceSize + plaintext.size()) !=
+      1) {
+    FatalOpenSsl("GET_TAG");
+  }
+  return out;
+}
+
+Result<Bytes> GcmOpen(const Key128& key, BytesView sealed, BytesView aad) {
+  if (sealed.size() < kGcmNonceSize + kGcmTagSize) {
+    return DataLoss("sealed blob too short");
+  }
+  EVP_CIPHER_CTX* ctx = ThreadCtx();
+  const uint8_t* nonce = sealed.data();
+  const uint8_t* ct = sealed.data() + kGcmNonceSize;
+  size_t ct_len = sealed.size() - kGcmNonceSize - kGcmTagSize;
+  const uint8_t* tag = ct + ct_len;
+
+  if (EVP_DecryptInit_ex(ctx, EVP_aes_128_gcm(), nullptr, key.data(),
+                         nonce) != 1) {
+    FatalOpenSsl("DecryptInit(gcm)");
+  }
+  int len = 0;
+  if (!aad.empty() &&
+      EVP_DecryptUpdate(ctx, nullptr, &len, aad.data(),
+                        static_cast<int>(aad.size())) != 1) {
+    FatalOpenSsl("DecryptUpdate(aad)");
+  }
+  Bytes plaintext(ct_len);
+  if (ct_len > 0 && EVP_DecryptUpdate(ctx, plaintext.data(), &len, ct,
+                                      static_cast<int>(ct_len)) != 1) {
+    return DataLoss("GCM decryption failed");
+  }
+  if (EVP_CIPHER_CTX_ctrl(ctx, EVP_CTRL_GCM_SET_TAG, kGcmTagSize,
+                          const_cast<uint8_t*>(tag)) != 1) {
+    FatalOpenSsl("SET_TAG");
+  }
+  int final_len = 0;
+  if (EVP_DecryptFinal_ex(ctx, plaintext.data() + len, &final_len) != 1) {
+    return DataLoss("GCM authentication failed (tampered or wrong key)");
+  }
+  return plaintext;
+}
+
+Key128 ChunkPayloadKey(const Key128& leaf_i, const Key128& leaf_next) {
+  // Component-wise difference of the two leaves (two uint64 lanes), hashed.
+  uint64_t a[2], b[2], d[2];
+  std::memcpy(a, leaf_i.data(), 16);
+  std::memcpy(b, leaf_next.data(), 16);
+  d[0] = a[0] - b[0];
+  d[1] = a[1] - b[1];
+  Sha256Digest h = Sha256(BytesView(reinterpret_cast<uint8_t*>(d), 16));
+  Key128 key;
+  std::memcpy(key.data(), h.data(), 16);
+  return key;
+}
+
+}  // namespace tc::crypto

@@ -1,0 +1,84 @@
+#include "crypto/aesni.hpp"
+
+#include <cpuid.h>
+#include <wmmintrin.h>
+
+#include <cstring>
+
+namespace tc::crypto {
+
+bool CpuHasAesNi() {
+  // CPUID is serializing and, under virtualization, a VM exit — ~10 µs per
+  // call on some hypervisors. MakePrg() probes this on every construction
+  // (e.g. each keystream re-anchor), so cache the answer once.
+  static const bool has_aesni = [] {
+    unsigned int eax, ebx, ecx, edx;
+    if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return false;
+    return (ecx & bit_AES) != 0;
+  }();
+  return has_aesni;
+}
+
+namespace {
+
+// One step of the AES-128 key schedule using AESKEYGENASSIST.
+template <int Rcon>
+inline __m128i ExpandStep(__m128i key) {
+  __m128i tmp = _mm_aeskeygenassist_si128(key, Rcon);
+  tmp = _mm_shuffle_epi32(tmp, _MM_SHUFFLE(3, 3, 3, 3));
+  key = _mm_xor_si128(key, _mm_slli_si128(key, 4));
+  key = _mm_xor_si128(key, _mm_slli_si128(key, 4));
+  key = _mm_xor_si128(key, _mm_slli_si128(key, 4));
+  return _mm_xor_si128(key, tmp);
+}
+
+}  // namespace
+
+AesNiBlock::AesNiBlock(const Key128& key) {
+  __m128i rk[11];
+  rk[0] = _mm_loadu_si128(reinterpret_cast<const __m128i*>(key.data()));
+  rk[1] = ExpandStep<0x01>(rk[0]);
+  rk[2] = ExpandStep<0x02>(rk[1]);
+  rk[3] = ExpandStep<0x04>(rk[2]);
+  rk[4] = ExpandStep<0x08>(rk[3]);
+  rk[5] = ExpandStep<0x10>(rk[4]);
+  rk[6] = ExpandStep<0x20>(rk[5]);
+  rk[7] = ExpandStep<0x40>(rk[6]);
+  rk[8] = ExpandStep<0x80>(rk[7]);
+  rk[9] = ExpandStep<0x1b>(rk[8]);
+  rk[10] = ExpandStep<0x36>(rk[9]);
+  std::memcpy(round_keys_.data(), rk, sizeof(rk));
+}
+
+Block128 AesNiBlock::EncryptBlock(const Block128& plaintext) const {
+  const __m128i* rk = reinterpret_cast<const __m128i*>(round_keys_.data());
+  __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(plaintext.data()));
+  b = _mm_xor_si128(b, _mm_load_si128(&rk[0]));
+  for (int i = 1; i < 10; ++i) b = _mm_aesenc_si128(b, _mm_load_si128(&rk[i]));
+  b = _mm_aesenclast_si128(b, _mm_load_si128(&rk[10]));
+  Block128 out;
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out.data()), b);
+  return out;
+}
+
+void AesNiBlock::EncryptTwoBlocks(const Block128& in0, const Block128& in1,
+                                  Block128& out0, Block128& out1) const {
+  const __m128i* rk = reinterpret_cast<const __m128i*>(round_keys_.data());
+  __m128i b0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in0.data()));
+  __m128i b1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in1.data()));
+  __m128i k = _mm_load_si128(&rk[0]);
+  b0 = _mm_xor_si128(b0, k);
+  b1 = _mm_xor_si128(b1, k);
+  for (int i = 1; i < 10; ++i) {
+    k = _mm_load_si128(&rk[i]);
+    b0 = _mm_aesenc_si128(b0, k);
+    b1 = _mm_aesenc_si128(b1, k);
+  }
+  k = _mm_load_si128(&rk[10]);
+  b0 = _mm_aesenclast_si128(b0, k);
+  b1 = _mm_aesenclast_si128(b1, k);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out0.data()), b0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out1.data()), b1);
+}
+
+}  // namespace tc::crypto

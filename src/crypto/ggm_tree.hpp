@@ -1,0 +1,124 @@
+// GGM key-derivation tree (§4.2.3, §A.1.3): a virtual balanced binary tree
+// whose root is a secret seed and whose 2^height leaves form the keystream
+// {k_0, k_1, ...}. Children are derived with a length-doubling PRG, so
+// possession of an inner node ("access token") yields exactly the leaves of
+// its subtree and — by the PRG's one-wayness — nothing else. This is the
+// mechanism behind TimeCrypt's cryptographic time-range access control.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.hpp"
+#include "crypto/prg.hpp"
+
+namespace tc::crypto {
+
+/// An inner (or leaf) node handed out to principals. Holding a token is
+/// equivalent to holding all leaves in [FirstLeaf(), LastLeaf()].
+struct AccessToken {
+  uint32_t depth = 0;   // 0 = root
+  uint64_t index = 0;   // node index within its level, left-to-right
+  Key128 node_key{};
+
+  friend bool operator==(const AccessToken& a, const AccessToken& b) {
+    return a.depth == b.depth && a.index == b.index &&
+           a.node_key == b.node_key;
+  }
+};
+
+/// The owner-side tree: knows the root seed and can derive any leaf or any
+/// token cover. Thread-compatible (const methods are safe concurrently).
+class GgmTree {
+ public:
+  /// height in [1, 63]; the keystream has 2^height leaves.
+  GgmTree(Key128 root_seed, uint32_t height,
+          PrgKind prg_kind = PrgKind::kAesNi);
+
+  uint32_t height() const { return height_; }
+  uint64_t num_leaves() const { return uint64_t{1} << height_; }
+
+  /// Derive leaf key k_i by walking the root->leaf path (height PRG calls).
+  Result<Key128> DeriveLeaf(uint64_t index) const;
+
+  /// Minimal set of subtree roots exactly covering leaves [first, last]
+  /// (inclusive). At most 2*height tokens (canonical segment cover).
+  Result<std::vector<AccessToken>> CoverRange(uint64_t first,
+                                              uint64_t last) const;
+
+  /// Derive the node key at (depth, index). depth 0/index 0 is the root.
+  Result<Key128> DeriveNode(uint32_t depth, uint64_t index) const;
+
+ private:
+  Key128 root_;
+  uint32_t height_;
+  std::unique_ptr<Prg> prg_;
+};
+
+/// Consumer-side view: a set of tokens received in a grant. Can derive
+/// exactly the leaves covered by its tokens.
+class TokenSet {
+ public:
+  TokenSet(std::vector<AccessToken> tokens, uint32_t tree_height,
+           PrgKind prg_kind = PrgKind::kAesNi);
+
+  /// Leaf range [first, last] covered by a single token.
+  static uint64_t FirstLeaf(const AccessToken& t, uint32_t tree_height);
+  static uint64_t LastLeaf(const AccessToken& t, uint32_t tree_height);
+
+  bool Covers(uint64_t leaf_index) const;
+
+  /// Derive leaf k_i; PermissionDenied if no token covers it — this is the
+  /// cryptographic enforcement surface (we simply cannot compute the key).
+  Result<Key128> DeriveLeaf(uint64_t leaf_index) const;
+
+  const std::vector<AccessToken>& tokens() const { return tokens_; }
+  uint32_t tree_height() const { return height_; }
+
+ private:
+  std::vector<AccessToken> tokens_;
+  uint32_t height_;
+  std::unique_ptr<Prg> prg_;
+};
+
+/// Amortized-O(1) sequential leaf derivation: keeps the root->leaf path as a
+/// stack and reuses the shared prefix between consecutive leaves. This is
+/// the ingest fast path — encrypting chunk i needs leaves i and i+1, and
+/// chunks arrive in order, so deriving each from the root (log n PRG calls)
+/// would waste a factor of ~height.
+class SequentialLeafIterator {
+ public:
+  /// Iterates leaves [start, 2^height) of the tree rooted at root_key, where
+  /// root_depth/root_index identify that root in the global tree (use
+  /// depth 0/index 0 with the master seed for the whole keystream).
+  SequentialLeafIterator(Key128 root_key, uint32_t root_depth,
+                         uint64_t root_index, uint32_t tree_height,
+                         uint64_t start_leaf,
+                         PrgKind prg_kind = PrgKind::kAesNi);
+
+  /// Key of the current leaf.
+  const Key128& Current() const { return path_.back().key; }
+  uint64_t CurrentIndex() const { return current_; }
+  bool AtEnd() const { return current_ >= end_; }
+
+  /// Advance to the next leaf. Returns false at the end of the subtree.
+  bool Next();
+
+ private:
+  struct PathEntry {
+    Key128 key;
+    uint64_t index;  // node index at this depth (global)
+  };
+
+  void DescendTo(uint64_t leaf_index);
+
+  std::unique_ptr<Prg> prg_;
+  std::vector<PathEntry> path_;  // path_[0] = subtree root ... back() = leaf
+  uint32_t root_depth_;
+  uint32_t height_;  // global tree height
+  uint64_t current_ = 0;
+  uint64_t end_ = 0;
+};
+
+}  // namespace tc::crypto

@@ -1,0 +1,69 @@
+#include "crypto/heac.hpp"
+
+#include <cassert>
+
+namespace tc::crypto {
+
+FieldKeys::FieldKeys(const Key128& leaf, size_t num_fields) {
+  keys_.reserve(num_fields);
+  AesNiBlock cipher(leaf);
+  Block128 counter{};
+  for (size_t f = 0; f < num_fields; ++f) {
+    std::memcpy(counter.data(), &f, sizeof(f));
+    keys_.push_back(Fold64(cipher.EncryptBlock(counter)));
+  }
+}
+
+Result<HeacCiphertext> HeacAdd(const HeacCiphertext& a,
+                               const HeacCiphertext& b) {
+  HeacCiphertext out = a;
+  TC_RETURN_IF_ERROR(HeacAddInPlace(out, b));
+  return out;
+}
+
+Status HeacAddInPlace(HeacCiphertext& acc, const HeacCiphertext& b) {
+  if (acc.fields.size() != b.fields.size()) {
+    return InvalidArgument("digest field count mismatch");
+  }
+  if (acc.last_chunk != b.first_chunk) {
+    return InvalidArgument(
+        "HEAC aggregation requires contiguous chunk ranges (key canceling)");
+  }
+  for (size_t i = 0; i < acc.fields.size(); ++i) {
+    acc.fields[i] += b.fields[i];  // wraps mod 2^64 by design
+  }
+  acc.last_chunk = b.last_chunk;
+  return Status::Ok();
+}
+
+HeacCiphertext HeacCodec::Encrypt(std::span<const uint64_t> fields,
+                                  uint64_t chunk, const Key128& leaf_i,
+                                  const Key128& leaf_next) const {
+  assert(fields.size() == num_fields_);
+  FieldKeys ki(leaf_i, num_fields_);
+  FieldKeys kn(leaf_next, num_fields_);
+  HeacCiphertext c;
+  c.fields.reserve(num_fields_);
+  for (size_t f = 0; f < num_fields_; ++f) {
+    c.fields.push_back(fields[f] + ki.key(f) - kn.key(f));
+  }
+  c.first_chunk = chunk;
+  c.last_chunk = chunk + 1;
+  return c;
+}
+
+std::vector<uint64_t> HeacCodec::Decrypt(const HeacCiphertext& c,
+                                         const Key128& leaf_first,
+                                         const Key128& leaf_last) const {
+  assert(c.fields.size() == num_fields_);
+  FieldKeys kf(leaf_first, num_fields_);
+  FieldKeys kl(leaf_last, num_fields_);
+  std::vector<uint64_t> m;
+  m.reserve(num_fields_);
+  for (size_t f = 0; f < num_fields_; ++f) {
+    m.push_back(c.fields[f] - kf.key(f) + kl.key(f));
+  }
+  return m;
+}
+
+}  // namespace tc::crypto

@@ -1,0 +1,34 @@
+// Hybrid public-key sealing for access tokens (§3.2: "Access tokens are
+// encrypted with the principal's public key (hybrid encryption) and stored
+// at the server's key-store").
+//
+// Construction: X25519 ephemeral ECDH -> HKDF-SHA256 -> AES-128-GCM.
+// Output: ephemeral_pub(32) || gcm(nonce || ct || tag).
+#pragma once
+
+#include "common/status.hpp"
+#include "crypto/rand.hpp"
+
+namespace tc::crypto {
+
+constexpr size_t kX25519KeySize = 32;
+
+/// A principal's long-term identity keypair. The identity provider of the
+/// threat model (e.g. Keybase, §3.3) maps principal ids to public keys;
+/// here the public half is passed around directly.
+struct BoxKeyPair {
+  Bytes public_key;   // 32 bytes
+  Bytes secret_key;   // 32 bytes
+};
+
+/// Generate a fresh X25519 keypair.
+BoxKeyPair GenerateBoxKeyPair();
+
+/// Seal `plaintext` to the holder of `recipient_public`. Anyone can seal;
+/// only the secret-key holder can open (sender-anonymous, like NaCl boxes).
+Result<Bytes> SealToPublicKey(BytesView recipient_public, BytesView plaintext);
+
+/// Open a sealed blob with the recipient keypair.
+Result<Bytes> OpenSealed(const BoxKeyPair& recipient, BytesView sealed);
+
+}  // namespace tc::crypto

@@ -1,0 +1,22 @@
+// SHA-256, HMAC-SHA256 and HKDF wrappers over OpenSSL EVP.
+#pragma once
+
+#include <array>
+
+#include "common/bytes.hpp"
+
+namespace tc::crypto {
+
+using Sha256Digest = std::array<uint8_t, 32>;
+
+Sha256Digest Sha256(BytesView data);
+
+/// SHA-256 over the concatenation a || b (avoids a temporary buffer).
+Sha256Digest Sha256Concat(BytesView a, BytesView b);
+
+Sha256Digest HmacSha256(BytesView key, BytesView data);
+
+/// HKDF (RFC 5869) extract-then-expand with SHA-256.
+Bytes HkdfSha256(BytesView ikm, BytesView salt, BytesView info, size_t length);
+
+}  // namespace tc::crypto

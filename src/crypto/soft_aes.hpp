@@ -1,0 +1,33 @@
+// Portable software AES-128 (encrypt-only), implemented from the FIPS-197
+// specification. Exists so the Fig 6 benchmark can compare a software AES
+// PRG against the AES-NI PRG on identical workloads; production code paths
+// use AesNiBlock (aesni.hpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "crypto/rand.hpp"
+
+namespace tc::crypto {
+
+using Block128 = std::array<uint8_t, 16>;
+
+/// AES-128 block cipher with a precomputed key schedule. Encrypt-only:
+/// the PRG and CTR-style uses never need the inverse cipher.
+class SoftAes128 {
+ public:
+  explicit SoftAes128(const Key128& key) { ExpandKey(key); }
+
+  /// Encrypt one 16-byte block (ECB single block).
+  Block128 EncryptBlock(const Block128& plaintext) const;
+
+ private:
+  void ExpandKey(const Key128& key);
+
+  // 11 round keys x 16 bytes.
+  std::array<uint8_t, 176> round_keys_{};
+};
+
+}  // namespace tc::crypto

@@ -1,0 +1,261 @@
+#include "index/agg_tree.hpp"
+
+#include <cassert>
+
+namespace tc::index {
+
+AggTree::AggTree(std::shared_ptr<store::KvStore> kv, std::string prefix,
+                 std::shared_ptr<const DigestCipher> cipher,
+                 AggTreeOptions options)
+    : kv_(std::move(kv)),
+      prefix_(std::move(prefix)),
+      cipher_(std::move(cipher)),
+      options_(options),
+      cache_(options.cache_bytes) {
+  assert(options_.fanout >= 2);
+}
+
+std::string AggTree::NodeKey(uint32_t level, uint64_t node_index) const {
+  // Identifier computed on the fly from the node's coordinates (§4.6).
+  std::string key = prefix_;
+  key += "/L";
+  key += std::to_string(level);
+  key += "/";
+  key += std::to_string(node_index);
+  return key;
+}
+
+Result<Bytes> AggTree::LoadNode(uint32_t level, uint64_t node_index,
+                                QueryStats* stats) const {
+  std::string key = NodeKey(level, node_index);
+  if (auto cached = cache_.Get(key)) {
+    if (stats != nullptr) {
+      ++stats->nodes_fetched;
+      ++stats->cache_hits;
+    }
+    return std::move(*cached);
+  }
+  if (stats != nullptr) ++stats->nodes_fetched;
+  TC_ASSIGN_OR_RETURN(Bytes node, kv_->Get(key));
+  cache_.Put(key, node);
+  return node;
+}
+
+Status AggTree::StoreNode(uint32_t level, uint64_t node_index,
+                          BytesView node) {
+  std::string key = NodeKey(level, node_index);
+  cache_.Put(key, node);
+  return kv_->Put(key, node);
+}
+
+Status AggTree::Append(uint64_t index, BytesView digest_blob) {
+  if (index != next_index_) {
+    return FailedPrecondition(
+        "append-only index: expected chunk " + std::to_string(next_index_) +
+        ", got " + std::to_string(index));
+  }
+  if (digest_blob.size() != cipher_->blob_size()) {
+    return InvalidArgument("digest blob size mismatch");
+  }
+  const uint32_t k = options_.fanout;
+
+  // Append at level 0, then cascade completed nodes upward. `carry` holds
+  // the aggregate of the node completed at the previous level.
+  Bytes carry(digest_blob.begin(), digest_blob.end());
+  uint64_t child_pos = index;  // entry position at the current level
+  uint32_t level = 0;
+  while (true) {
+    uint64_t node_index = child_pos / k;
+    size_t entry = child_pos % k;
+
+    Bytes node;
+    if (entry != 0) {
+      TC_ASSIGN_OR_RETURN(node, LoadNode(level, node_index, nullptr));
+      if (node.size() != entry * cipher_->blob_size()) {
+        return Internal("index node has unexpected entry count");
+      }
+    }
+    tc::Append(node, carry);  // append the new entry's bytes to the node
+    TC_RETURN_IF_ERROR(StoreNode(level, node_index, node));
+
+    if (entry != k - 1) break;  // node not complete: no cascade
+
+    // Node complete: compute its aggregate and insert into the parent.
+    Bytes agg(node.begin(), node.begin() + cipher_->blob_size());
+    for (size_t e = 1; e < k; ++e) {
+      TC_RETURN_IF_ERROR(cipher_->Add(
+          std::span<uint8_t>(agg),
+          BytesView(node).subspan(e * cipher_->blob_size(),
+                                  cipher_->blob_size())));
+    }
+    carry = std::move(agg);
+    child_pos = node_index;
+    ++level;
+  }
+  next_index_ = index + 1;
+  return Status::Ok();
+}
+
+Status AggTree::FoldEntries(BytesView node, size_t from, size_t to,
+                            Bytes& acc, QueryStats* stats) const {
+  size_t bs = cipher_->blob_size();
+  if (to * bs > node.size()) {
+    return Internal("index node shorter than expected");
+  }
+  for (size_t e = from; e < to; ++e) {
+    BytesView entry = node.subspan(e * bs, bs);
+    if (acc.empty()) {
+      acc.assign(entry.begin(), entry.end());
+    } else {
+      TC_RETURN_IF_ERROR(cipher_->Add(std::span<uint8_t>(acc), entry));
+      if (stats != nullptr) ++stats->digest_adds;
+    }
+  }
+  return Status::Ok();
+}
+
+Result<Bytes> AggTree::Query(uint64_t first, uint64_t last) const {
+  QueryStats stats;
+  return Query(first, last, stats);
+}
+
+Result<Bytes> AggTree::Query(uint64_t first, uint64_t last,
+                             QueryStats& stats) const {
+  if (first >= last) return InvalidArgument("empty query range");
+  if (last > next_index_) {
+    return OutOfRange("query range exceeds ingested chunks (" +
+                      std::to_string(next_index_) + ")");
+  }
+  const uint32_t k = options_.fanout;
+
+  // Collect covering pieces in left-to-right order per level; because HEAC
+  // requires contiguous addition, fold left pieces into `left_acc` (ordered
+  // ascending) and right pieces into a stack folded at the end.
+  //
+  // Standard k-ary segment walk: at each level clip partial nodes at both
+  // ends, then ascend. Left pieces are emitted in ascending chunk order;
+  // right pieces in descending order (they are collected while ascending,
+  // so fold them in reverse at the end).
+  Bytes left_acc;
+  std::vector<Bytes> right_pieces;
+
+  uint64_t lo = first, hi = last;
+  uint32_t level = 0;
+  while (lo < hi) {
+    uint64_t node_lo = lo / k;
+    uint64_t node_hi = (hi - 1) / k;
+    if (node_lo == node_hi) {
+      // Remaining range fits in one node.
+      TC_ASSIGN_OR_RETURN(Bytes node, LoadNode(level, node_lo, &stats));
+      TC_RETURN_IF_ERROR(
+          FoldEntries(node, lo % k, (hi - 1) % k + 1, left_acc, &stats));
+      break;
+    }
+    if (lo % k != 0) {
+      TC_ASSIGN_OR_RETURN(Bytes node, LoadNode(level, node_lo, &stats));
+      TC_RETURN_IF_ERROR(FoldEntries(node, lo % k, k, left_acc, &stats));
+      lo = (node_lo + 1) * k;
+    }
+    if (hi % k != 0) {
+      TC_ASSIGN_OR_RETURN(Bytes node, LoadNode(level, node_hi, &stats));
+      Bytes piece;
+      TC_RETURN_IF_ERROR(FoldEntries(node, 0, hi % k, piece, &stats));
+      right_pieces.push_back(std::move(piece));
+      hi = node_hi * k;
+    }
+    lo /= k;
+    hi /= k;
+    ++level;
+  }
+
+  // left_acc covers [first, X); right_pieces (reversed) cover [X, last)
+  // in ascending order.
+  for (auto it = right_pieces.rbegin(); it != right_pieces.rend(); ++it) {
+    if (left_acc.empty()) {
+      left_acc = std::move(*it);
+    } else {
+      TC_RETURN_IF_ERROR(cipher_->Add(std::span<uint8_t>(left_acc), *it));
+      ++stats.digest_adds;
+    }
+  }
+  if (left_acc.empty()) return Internal("query produced no digest");
+  return left_acc;
+}
+
+Status AggTree::Recover() {
+  // The probe assumes level-0 nodes form a contiguous prefix, which decay
+  // (DecayLeafRange) can break: recover *before* re-applying retention
+  // policies, or persist the decay watermark externally.
+  if (!kv_->Contains(NodeKey(0, 0))) {
+    next_index_ = 0;
+    return Status::Ok();
+  }
+  // Exponential then binary search for the last existing level-0 node.
+  uint64_t lo = 0, hi = 1;
+  while (kv_->Contains(NodeKey(0, hi))) {
+    lo = hi;
+    hi *= 2;
+  }
+  while (lo + 1 < hi) {
+    uint64_t mid = lo + (hi - lo) / 2;
+    if (kv_->Contains(NodeKey(0, mid))) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  TC_ASSIGN_OR_RETURN(Bytes node, LoadNode(0, lo, nullptr));
+  if (node.empty() || node.size() % cipher_->blob_size() != 0) {
+    return DataLoss("recovered index node has torn size");
+  }
+  next_index_ = lo * options_.fanout + node.size() / cipher_->blob_size();
+  return Status::Ok();
+}
+
+Result<Bytes> AggTree::LeafDigest(uint64_t index) const {
+  if (index >= next_index_) return OutOfRange("chunk not ingested");
+  const uint32_t k = options_.fanout;
+  TC_ASSIGN_OR_RETURN(Bytes node, LoadNode(0, index / k, nullptr));
+  size_t bs = cipher_->blob_size();
+  size_t entry = index % k;
+  if ((entry + 1) * bs > node.size()) {
+    return Internal("leaf node shorter than expected");
+  }
+  BytesView view = BytesView(node).subspan(entry * bs, bs);
+  return Bytes(view.begin(), view.end());
+}
+
+Status AggTree::DecayLeafRange(uint64_t first, uint64_t last) {
+  if (first >= last || last > next_index_) {
+    return InvalidArgument("bad decay range");
+  }
+  const uint32_t k = options_.fanout;
+  // Only drop level-0 nodes fully inside the range whose parents captured
+  // their aggregate (i.e. complete nodes).
+  uint64_t node_first = (first + k - 1) / k;
+  uint64_t node_last = last / k;
+  for (uint64_t n = node_first; n < node_last; ++n) {
+    // Parent aggregate exists only if the node completed.
+    if ((n + 1) * k <= next_index_) {
+      std::string key = NodeKey(0, n);
+      cache_.Erase(key);
+      Status s = kv_->Delete(key);
+      if (!s.ok() && s.code() != StatusCode::kNotFound) return s;
+    }
+  }
+  return Status::Ok();
+}
+
+uint64_t AggTree::IndexBytes() const {
+  // Sum over levels of ceil(n / k^level) entries, each blob_size() bytes.
+  const uint32_t k = options_.fanout;
+  uint64_t total = 0;
+  uint64_t entries = next_index_;
+  while (entries > 0) {
+    total += entries * cipher_->blob_size();
+    entries /= k;
+  }
+  return total;
+}
+
+}  // namespace tc::index

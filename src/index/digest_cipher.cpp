@@ -1,0 +1,278 @@
+#include "index/digest_cipher.hpp"
+
+#include <cstring>
+
+#include "crypto/heac.hpp"
+
+namespace tc::index {
+
+Bytes DigestCipher::ZeroBlob() const { return Bytes(blob_size(), 0); }
+
+namespace {
+
+// ---------------------------------------------------------------- plaintext
+
+class PlainCipher final : public DigestCipher {
+ public:
+  explicit PlainCipher(size_t num_fields) : num_fields_(num_fields) {}
+
+  std::string_view name() const override { return "Plaintext"; }
+  size_t num_fields() const override { return num_fields_; }
+  size_t blob_size() const override { return num_fields_ * 8; }
+
+  Result<Bytes> Encrypt(std::span<const uint64_t> fields,
+                        uint64_t /*index*/) const override {
+    if (fields.size() != num_fields_) {
+      return InvalidArgument("field count mismatch");
+    }
+    Bytes blob(blob_size());
+    std::memcpy(blob.data(), fields.data(), blob.size());
+    return blob;
+  }
+
+  Status Add(std::span<uint8_t> acc, BytesView other) const override {
+    if (acc.size() != blob_size() || other.size() != blob_size()) {
+      return InvalidArgument("blob size mismatch");
+    }
+    for (size_t f = 0; f < num_fields_; ++f) {
+      uint64_t a, b;
+      std::memcpy(&a, acc.data() + f * 8, 8);
+      std::memcpy(&b, other.data() + f * 8, 8);
+      a += b;
+      std::memcpy(acc.data() + f * 8, &a, 8);
+    }
+    return Status::Ok();
+  }
+
+  Result<std::vector<uint64_t>> Decrypt(BytesView blob, uint64_t /*first*/,
+                                        uint64_t /*last*/) const override {
+    if (blob.size() != blob_size()) {
+      return InvalidArgument("blob size mismatch");
+    }
+    std::vector<uint64_t> fields(num_fields_);
+    std::memcpy(fields.data(), blob.data(), blob.size());
+    return fields;
+  }
+
+ private:
+  size_t num_fields_;
+};
+
+// --------------------------------------------------------------------- HEAC
+
+class HeacCipher final : public DigestCipher {
+ public:
+  HeacCipher(size_t num_fields, std::shared_ptr<const crypto::GgmTree> tree)
+      : num_fields_(num_fields), tree_(std::move(tree)), codec_(num_fields) {}
+
+  std::string_view name() const override { return "TimeCrypt"; }
+  size_t num_fields() const override { return num_fields_; }
+  // No ciphertext expansion: 8 bytes per field, same as plaintext (§6.1).
+  size_t blob_size() const override { return num_fields_ * 8; }
+
+  Result<Bytes> Encrypt(std::span<const uint64_t> fields,
+                        uint64_t index) const override {
+    if (fields.size() != num_fields_) {
+      return InvalidArgument("field count mismatch");
+    }
+    TC_ASSIGN_OR_RETURN(crypto::Key128 leaf_i, tree_->DeriveLeaf(index));
+    TC_ASSIGN_OR_RETURN(crypto::Key128 leaf_n, tree_->DeriveLeaf(index + 1));
+    crypto::HeacCiphertext c = codec_.Encrypt(fields, index, leaf_i, leaf_n);
+    Bytes blob(blob_size());
+    std::memcpy(blob.data(), c.fields.data(), blob.size());
+    return blob;
+  }
+
+  Status Add(std::span<uint8_t> acc, BytesView other) const override {
+    if (acc.size() != blob_size() || other.size() != blob_size()) {
+      return InvalidArgument("blob size mismatch");
+    }
+    // Identical to plaintext addition — this is the whole point of HEAC
+    // (Table 2 "Micro ADD": 1 ns, same as plaintext).
+    for (size_t f = 0; f < num_fields_; ++f) {
+      uint64_t a, b;
+      std::memcpy(&a, acc.data() + f * 8, 8);
+      std::memcpy(&b, other.data() + f * 8, 8);
+      a += b;
+      std::memcpy(acc.data() + f * 8, &a, 8);
+    }
+    return Status::Ok();
+  }
+
+  Result<std::vector<uint64_t>> Decrypt(BytesView blob, uint64_t first,
+                                        uint64_t last) const override {
+    if (blob.size() != blob_size()) {
+      return InvalidArgument("blob size mismatch");
+    }
+    crypto::HeacCiphertext c;
+    c.fields.resize(num_fields_);
+    std::memcpy(c.fields.data(), blob.data(), blob.size());
+    c.first_chunk = first;
+    c.last_chunk = last;
+    TC_ASSIGN_OR_RETURN(crypto::Key128 leaf_f, tree_->DeriveLeaf(first));
+    TC_ASSIGN_OR_RETURN(crypto::Key128 leaf_l, tree_->DeriveLeaf(last));
+    return codec_.Decrypt(c, leaf_f, leaf_l);
+  }
+
+ private:
+  size_t num_fields_;
+  std::shared_ptr<const crypto::GgmTree> tree_;
+  crypto::HeacCodec codec_;
+};
+
+// ----------------------------------------------------------------- Paillier
+
+class PaillierCipher final : public DigestCipher {
+ public:
+  PaillierCipher(size_t num_fields,
+                 std::shared_ptr<const crypto::Paillier> paillier)
+      : num_fields_(num_fields), paillier_(std::move(paillier)) {}
+
+  std::string_view name() const override { return "Paillier"; }
+  size_t num_fields() const override { return num_fields_; }
+  size_t blob_size() const override {
+    return num_fields_ * paillier_->ciphertext_size();
+  }
+
+  Result<Bytes> Encrypt(std::span<const uint64_t> fields,
+                        uint64_t /*index*/) const override {
+    if (fields.size() != num_fields_) {
+      return InvalidArgument("field count mismatch");
+    }
+    Bytes blob;
+    blob.reserve(blob_size());
+    for (uint64_t f : fields) {
+      Bytes c = paillier_->Encrypt(f);
+      Append(blob, c);
+    }
+    return blob;
+  }
+
+  Status Add(std::span<uint8_t> acc, BytesView other) const override {
+    if (acc.size() != blob_size() || other.size() != blob_size()) {
+      return InvalidArgument("blob size mismatch");
+    }
+    size_t cs = paillier_->ciphertext_size();
+    for (size_t f = 0; f < num_fields_; ++f) {
+      Bytes a(acc.begin() + f * cs, acc.begin() + (f + 1) * cs);
+      Bytes b(other.begin() + f * cs, other.begin() + (f + 1) * cs);
+      Bytes sum = paillier_->Add(a, b);
+      std::memcpy(acc.data() + f * cs, sum.data(), cs);
+    }
+    return Status::Ok();
+  }
+
+  Result<std::vector<uint64_t>> Decrypt(BytesView blob, uint64_t /*first*/,
+                                        uint64_t /*last*/) const override {
+    if (blob.size() != blob_size()) {
+      return InvalidArgument("blob size mismatch");
+    }
+    size_t cs = paillier_->ciphertext_size();
+    std::vector<uint64_t> fields;
+    fields.reserve(num_fields_);
+    for (size_t f = 0; f < num_fields_; ++f) {
+      Bytes c(blob.begin() + f * cs, blob.begin() + (f + 1) * cs);
+      TC_ASSIGN_OR_RETURN(uint64_t m, paillier_->Decrypt(c));
+      fields.push_back(m);
+    }
+    return fields;
+  }
+
+  /// Paillier's additive identity blob is Enc(0) per field — but a fresh
+  /// Enc(0) costs a full exponentiation, so like HEAC the tree seeds
+  /// accumulators from the first operand instead (ZeroBlob unused).
+
+ private:
+  size_t num_fields_;
+  std::shared_ptr<const crypto::Paillier> paillier_;
+};
+
+// -------------------------------------------------------------- EC-ElGamal
+
+class EcElGamalCipher final : public DigestCipher {
+ public:
+  EcElGamalCipher(size_t num_fields,
+                  std::shared_ptr<const crypto::EcElGamal> eg,
+                  uint32_t table_bits)
+      : num_fields_(num_fields), eg_(std::move(eg)), table_bits_(table_bits) {}
+
+  std::string_view name() const override { return "EC-ElGamal"; }
+  size_t num_fields() const override { return num_fields_; }
+  size_t blob_size() const override {
+    return num_fields_ * eg_->ciphertext_size();
+  }
+
+  Result<Bytes> Encrypt(std::span<const uint64_t> fields,
+                        uint64_t /*index*/) const override {
+    if (fields.size() != num_fields_) {
+      return InvalidArgument("field count mismatch");
+    }
+    Bytes blob;
+    blob.reserve(blob_size());
+    for (uint64_t f : fields) {
+      Bytes c = eg_->Encrypt(f);
+      Append(blob, c);
+    }
+    return blob;
+  }
+
+  Status Add(std::span<uint8_t> acc, BytesView other) const override {
+    if (acc.size() != blob_size() || other.size() != blob_size()) {
+      return InvalidArgument("blob size mismatch");
+    }
+    size_t cs = eg_->ciphertext_size();
+    for (size_t f = 0; f < num_fields_; ++f) {
+      Bytes a(acc.begin() + f * cs, acc.begin() + (f + 1) * cs);
+      Bytes b(other.begin() + f * cs, other.begin() + (f + 1) * cs);
+      Bytes sum = eg_->Add(a, b);
+      std::memcpy(acc.data() + f * cs, sum.data(), cs);
+    }
+    return Status::Ok();
+  }
+
+  Result<std::vector<uint64_t>> Decrypt(BytesView blob, uint64_t /*first*/,
+                                        uint64_t /*last*/) const override {
+    if (blob.size() != blob_size()) {
+      return InvalidArgument("blob size mismatch");
+    }
+    size_t cs = eg_->ciphertext_size();
+    std::vector<uint64_t> fields;
+    fields.reserve(num_fields_);
+    for (size_t f = 0; f < num_fields_; ++f) {
+      Bytes c(blob.begin() + f * cs, blob.begin() + (f + 1) * cs);
+      TC_ASSIGN_OR_RETURN(uint64_t m, eg_->Decrypt(c, table_bits_));
+      fields.push_back(m);
+    }
+    return fields;
+  }
+
+ private:
+  size_t num_fields_;
+  std::shared_ptr<const crypto::EcElGamal> eg_;
+  uint32_t table_bits_;
+};
+
+}  // namespace
+
+std::unique_ptr<DigestCipher> MakePlainCipher(size_t num_fields) {
+  return std::make_unique<PlainCipher>(num_fields);
+}
+
+std::unique_ptr<DigestCipher> MakeHeacCipher(
+    size_t num_fields, std::shared_ptr<const crypto::GgmTree> tree) {
+  return std::make_unique<HeacCipher>(num_fields, std::move(tree));
+}
+
+std::unique_ptr<DigestCipher> MakePaillierCipher(
+    size_t num_fields, std::shared_ptr<const crypto::Paillier> paillier) {
+  return std::make_unique<PaillierCipher>(num_fields, std::move(paillier));
+}
+
+std::unique_ptr<DigestCipher> MakeEcElGamalCipher(
+    size_t num_fields, std::shared_ptr<const crypto::EcElGamal> eg,
+    uint32_t dlog_table_bits) {
+  return std::make_unique<EcElGamalCipher>(num_fields, std::move(eg),
+                                           dlog_table_bits);
+}
+
+}  // namespace tc::index

@@ -1,0 +1,524 @@
+#include "net/messages.hpp"
+
+namespace tc::net {
+
+std::string_view CipherKindName(CipherKind kind) {
+  switch (kind) {
+    case CipherKind::kPlain: return "Plaintext";
+    case CipherKind::kHeac: return "TimeCrypt";
+    case CipherKind::kPaillier: return "Paillier";
+    case CipherKind::kEcElGamal: return "EC-ElGamal";
+  }
+  return "?";
+}
+
+namespace {
+/// Shared helpers for the repetitive encode/decode bodies.
+void EncodeRange(BinaryWriter& w, const TimeRange& r) {
+  w.PutI64(r.start);
+  w.PutI64(r.end);
+}
+
+Result<TimeRange> DecodeRange(BinaryReader& r) {
+  TimeRange out;
+  TC_ASSIGN_OR_RETURN(out.start, r.GetI64());
+  TC_ASSIGN_OR_RETURN(out.end, r.GetI64());
+  return out;
+}
+
+/// Validate a hostile element count before reserving: every element consumes
+/// at least one input byte, so any claimed count beyond the remaining bytes
+/// is an allocation bomb, not a well-formed message.
+Result<size_t> CheckedCount(uint64_t claimed, const BinaryReader& r) {
+  if (claimed > r.remaining()) return DataLoss("element count exceeds input");
+  return static_cast<size_t>(claimed);
+}
+}  // namespace
+
+void StreamConfig::Encode(BinaryWriter& w) const {
+  w.PutString(name);
+  w.PutI64(t0);
+  w.PutI64(delta_ms);
+  Bytes schema_bytes;
+  schema.Serialize(schema_bytes);
+  w.PutBytes(schema_bytes);
+  w.PutU8(static_cast<uint8_t>(cipher));
+  w.PutBytes(cipher_public);
+  w.PutU32(fanout);
+  w.PutU8(compression);
+  w.PutU8(integrity ? 1 : 0);
+}
+
+Result<StreamConfig> StreamConfig::Decode(BinaryReader& r) {
+  StreamConfig c;
+  TC_ASSIGN_OR_RETURN(c.name, r.GetString());
+  TC_ASSIGN_OR_RETURN(c.t0, r.GetI64());
+  TC_ASSIGN_OR_RETURN(c.delta_ms, r.GetI64());
+  TC_ASSIGN_OR_RETURN(Bytes schema_bytes, r.GetBytes());
+  size_t pos = 0;
+  TC_ASSIGN_OR_RETURN(c.schema, index::DigestSchema::Deserialize(schema_bytes, pos));
+  TC_ASSIGN_OR_RETURN(uint8_t cipher, r.GetU8());
+  c.cipher = static_cast<CipherKind>(cipher);
+  TC_ASSIGN_OR_RETURN(c.cipher_public, r.GetBytes());
+  TC_ASSIGN_OR_RETURN(c.fanout, r.GetU32());
+  TC_ASSIGN_OR_RETURN(c.compression, r.GetU8());
+  TC_ASSIGN_OR_RETURN(uint8_t integrity, r.GetU8());
+  c.integrity = integrity != 0;
+  return c;
+}
+
+Bytes CreateStreamRequest::Encode() const {
+  BinaryWriter w;
+  w.PutU64(uuid);
+  config.Encode(w);
+  return std::move(w).Take();
+}
+
+Result<CreateStreamRequest> CreateStreamRequest::Decode(BytesView in) {
+  BinaryReader r(in);
+  CreateStreamRequest req;
+  TC_ASSIGN_OR_RETURN(req.uuid, r.GetU64());
+  TC_ASSIGN_OR_RETURN(req.config, StreamConfig::Decode(r));
+  return req;
+}
+
+Bytes DeleteStreamRequest::Encode() const {
+  BinaryWriter w;
+  w.PutU64(uuid);
+  return std::move(w).Take();
+}
+
+Result<DeleteStreamRequest> DeleteStreamRequest::Decode(BytesView in) {
+  BinaryReader r(in);
+  DeleteStreamRequest req;
+  TC_ASSIGN_OR_RETURN(req.uuid, r.GetU64());
+  return req;
+}
+
+Bytes InsertChunkRequest::Encode() const {
+  BinaryWriter w(digest_blob.size() + payload.size() + 32);
+  w.PutU64(uuid);
+  w.PutU64(chunk_index);
+  w.PutBytes(digest_blob);
+  w.PutBytes(payload);
+  return std::move(w).Take();
+}
+
+Result<InsertChunkRequest> InsertChunkRequest::Decode(BytesView in) {
+  BinaryReader r(in);
+  InsertChunkRequest req;
+  TC_ASSIGN_OR_RETURN(req.uuid, r.GetU64());
+  TC_ASSIGN_OR_RETURN(req.chunk_index, r.GetU64());
+  TC_ASSIGN_OR_RETURN(req.digest_blob, r.GetBytes());
+  TC_ASSIGN_OR_RETURN(req.payload, r.GetBytes());
+  return req;
+}
+
+Bytes GetRangeRequest::Encode() const {
+  BinaryWriter w;
+  w.PutU64(uuid);
+  EncodeRange(w, range);
+  return std::move(w).Take();
+}
+
+Result<GetRangeRequest> GetRangeRequest::Decode(BytesView in) {
+  BinaryReader r(in);
+  GetRangeRequest req;
+  TC_ASSIGN_OR_RETURN(req.uuid, r.GetU64());
+  TC_ASSIGN_OR_RETURN(req.range, DecodeRange(r));
+  return req;
+}
+
+Bytes GetRangeResponse::Encode() const {
+  BinaryWriter w;
+  w.PutVar(chunks.size());
+  for (const auto& c : chunks) {
+    w.PutU64(c.chunk_index);
+    w.PutBytes(c.payload);
+  }
+  return std::move(w).Take();
+}
+
+Result<GetRangeResponse> GetRangeResponse::Decode(BytesView in) {
+  BinaryReader r(in);
+  GetRangeResponse resp;
+  TC_ASSIGN_OR_RETURN(uint64_t claimed, r.GetVar());
+  TC_ASSIGN_OR_RETURN(size_t n, CheckedCount(claimed, r));
+  resp.chunks.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    ChunkData c;
+    TC_ASSIGN_OR_RETURN(c.chunk_index, r.GetU64());
+    TC_ASSIGN_OR_RETURN(c.payload, r.GetBytes());
+    resp.chunks.push_back(std::move(c));
+  }
+  return resp;
+}
+
+Bytes StatRangeRequest::Encode() const {
+  BinaryWriter w;
+  w.PutU64(uuid);
+  EncodeRange(w, range);
+  return std::move(w).Take();
+}
+
+Result<StatRangeRequest> StatRangeRequest::Decode(BytesView in) {
+  BinaryReader r(in);
+  StatRangeRequest req;
+  TC_ASSIGN_OR_RETURN(req.uuid, r.GetU64());
+  TC_ASSIGN_OR_RETURN(req.range, DecodeRange(r));
+  return req;
+}
+
+Bytes StatRangeResponse::Encode() const {
+  BinaryWriter w(aggregate_blob.size() + 24);
+  w.PutU64(first_chunk);
+  w.PutU64(last_chunk);
+  w.PutBytes(aggregate_blob);
+  return std::move(w).Take();
+}
+
+Result<StatRangeResponse> StatRangeResponse::Decode(BytesView in) {
+  BinaryReader r(in);
+  StatRangeResponse resp;
+  TC_ASSIGN_OR_RETURN(resp.first_chunk, r.GetU64());
+  TC_ASSIGN_OR_RETURN(resp.last_chunk, r.GetU64());
+  TC_ASSIGN_OR_RETURN(resp.aggregate_blob, r.GetBytes());
+  return resp;
+}
+
+Bytes StatSeriesRequest::Encode() const {
+  BinaryWriter w;
+  w.PutU64(uuid);
+  EncodeRange(w, range);
+  w.PutU64(granularity_chunks);
+  return std::move(w).Take();
+}
+
+Result<StatSeriesRequest> StatSeriesRequest::Decode(BytesView in) {
+  BinaryReader r(in);
+  StatSeriesRequest req;
+  TC_ASSIGN_OR_RETURN(req.uuid, r.GetU64());
+  TC_ASSIGN_OR_RETURN(req.range, DecodeRange(r));
+  TC_ASSIGN_OR_RETURN(req.granularity_chunks, r.GetU64());
+  return req;
+}
+
+Bytes StatSeriesResponse::Encode() const {
+  BinaryWriter w;
+  w.PutU64(first_chunk);
+  w.PutU64(last_chunk);
+  w.PutU64(granularity_chunks);
+  w.PutVar(aggregates.size());
+  for (const auto& a : aggregates) w.PutBytes(a);
+  return std::move(w).Take();
+}
+
+Result<StatSeriesResponse> StatSeriesResponse::Decode(BytesView in) {
+  BinaryReader r(in);
+  StatSeriesResponse resp;
+  TC_ASSIGN_OR_RETURN(resp.first_chunk, r.GetU64());
+  TC_ASSIGN_OR_RETURN(resp.last_chunk, r.GetU64());
+  TC_ASSIGN_OR_RETURN(resp.granularity_chunks, r.GetU64());
+  TC_ASSIGN_OR_RETURN(uint64_t claimed, r.GetVar());
+  TC_ASSIGN_OR_RETURN(size_t n, CheckedCount(claimed, r));
+  resp.aggregates.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    TC_ASSIGN_OR_RETURN(Bytes blob, r.GetBytes());
+    resp.aggregates.push_back(std::move(blob));
+  }
+  return resp;
+}
+
+Bytes MultiStatRangeRequest::Encode() const {
+  BinaryWriter w;
+  w.PutVar(uuids.size());
+  for (uint64_t id : uuids) w.PutU64(id);
+  EncodeRange(w, range);
+  return std::move(w).Take();
+}
+
+Result<MultiStatRangeRequest> MultiStatRangeRequest::Decode(BytesView in) {
+  BinaryReader r(in);
+  MultiStatRangeRequest req;
+  TC_ASSIGN_OR_RETURN(uint64_t claimed, r.GetVar());
+  TC_ASSIGN_OR_RETURN(size_t n, CheckedCount(claimed, r));
+  req.uuids.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    TC_ASSIGN_OR_RETURN(uint64_t id, r.GetU64());
+    req.uuids.push_back(id);
+  }
+  TC_ASSIGN_OR_RETURN(req.range, DecodeRange(r));
+  return req;
+}
+
+Bytes RollupStreamRequest::Encode() const {
+  BinaryWriter w;
+  w.PutU64(source_uuid);
+  w.PutU64(target_uuid);
+  w.PutU64(granularity_chunks);
+  EncodeRange(w, range);
+  return std::move(w).Take();
+}
+
+Result<RollupStreamRequest> RollupStreamRequest::Decode(BytesView in) {
+  BinaryReader r(in);
+  RollupStreamRequest req;
+  TC_ASSIGN_OR_RETURN(req.source_uuid, r.GetU64());
+  TC_ASSIGN_OR_RETURN(req.target_uuid, r.GetU64());
+  TC_ASSIGN_OR_RETURN(req.granularity_chunks, r.GetU64());
+  TC_ASSIGN_OR_RETURN(req.range, DecodeRange(r));
+  return req;
+}
+
+Bytes DeleteRangeRequest::Encode() const {
+  BinaryWriter w;
+  w.PutU64(uuid);
+  EncodeRange(w, range);
+  return std::move(w).Take();
+}
+
+Result<DeleteRangeRequest> DeleteRangeRequest::Decode(BytesView in) {
+  BinaryReader r(in);
+  DeleteRangeRequest req;
+  TC_ASSIGN_OR_RETURN(req.uuid, r.GetU64());
+  TC_ASSIGN_OR_RETURN(req.range, DecodeRange(r));
+  return req;
+}
+
+Bytes StreamInfoResponse::Encode() const {
+  BinaryWriter w;
+  config.Encode(w);
+  w.PutU64(num_chunks);
+  return std::move(w).Take();
+}
+
+Result<StreamInfoResponse> StreamInfoResponse::Decode(BytesView in) {
+  BinaryReader r(in);
+  StreamInfoResponse resp;
+  TC_ASSIGN_OR_RETURN(resp.config, StreamConfig::Decode(r));
+  TC_ASSIGN_OR_RETURN(resp.num_chunks, r.GetU64());
+  return resp;
+}
+
+Bytes PutGrantRequest::Encode() const {
+  BinaryWriter w(sealed_grant.size() + 48);
+  w.PutU64(uuid);
+  w.PutString(principal_id);
+  w.PutU64(grant_id);
+  w.PutBytes(sealed_grant);
+  return std::move(w).Take();
+}
+
+Result<PutGrantRequest> PutGrantRequest::Decode(BytesView in) {
+  BinaryReader r(in);
+  PutGrantRequest req;
+  TC_ASSIGN_OR_RETURN(req.uuid, r.GetU64());
+  TC_ASSIGN_OR_RETURN(req.principal_id, r.GetString());
+  TC_ASSIGN_OR_RETURN(req.grant_id, r.GetU64());
+  TC_ASSIGN_OR_RETURN(req.sealed_grant, r.GetBytes());
+  return req;
+}
+
+Bytes FetchGrantsRequest::Encode() const {
+  BinaryWriter w;
+  w.PutString(principal_id);
+  return std::move(w).Take();
+}
+
+Result<FetchGrantsRequest> FetchGrantsRequest::Decode(BytesView in) {
+  BinaryReader r(in);
+  FetchGrantsRequest req;
+  TC_ASSIGN_OR_RETURN(req.principal_id, r.GetString());
+  return req;
+}
+
+Bytes FetchGrantsResponse::Encode() const {
+  BinaryWriter w;
+  w.PutVar(grants.size());
+  for (const auto& g : grants) {
+    w.PutU64(g.uuid);
+    w.PutU64(g.grant_id);
+    w.PutBytes(g.sealed_grant);
+  }
+  return std::move(w).Take();
+}
+
+Result<FetchGrantsResponse> FetchGrantsResponse::Decode(BytesView in) {
+  BinaryReader r(in);
+  FetchGrantsResponse resp;
+  TC_ASSIGN_OR_RETURN(uint64_t claimed, r.GetVar());
+  TC_ASSIGN_OR_RETURN(size_t n, CheckedCount(claimed, r));
+  resp.grants.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    Entry e;
+    TC_ASSIGN_OR_RETURN(e.uuid, r.GetU64());
+    TC_ASSIGN_OR_RETURN(e.grant_id, r.GetU64());
+    TC_ASSIGN_OR_RETURN(e.sealed_grant, r.GetBytes());
+    resp.grants.push_back(std::move(e));
+  }
+  return resp;
+}
+
+Bytes RevokeGrantRequest::Encode() const {
+  BinaryWriter w;
+  w.PutU64(uuid);
+  w.PutString(principal_id);
+  w.PutU64(grant_id);
+  return std::move(w).Take();
+}
+
+Result<RevokeGrantRequest> RevokeGrantRequest::Decode(BytesView in) {
+  BinaryReader r(in);
+  RevokeGrantRequest req;
+  TC_ASSIGN_OR_RETURN(req.uuid, r.GetU64());
+  TC_ASSIGN_OR_RETURN(req.principal_id, r.GetString());
+  TC_ASSIGN_OR_RETURN(req.grant_id, r.GetU64());
+  return req;
+}
+
+Bytes PutEnvelopesRequest::Encode() const {
+  BinaryWriter w;
+  w.PutU64(uuid);
+  w.PutU64(resolution_chunks);
+  w.PutU64(first_index);
+  w.PutVar(envelopes.size());
+  for (const auto& e : envelopes) w.PutBytes(e);
+  return std::move(w).Take();
+}
+
+Result<PutEnvelopesRequest> PutEnvelopesRequest::Decode(BytesView in) {
+  BinaryReader r(in);
+  PutEnvelopesRequest req;
+  TC_ASSIGN_OR_RETURN(req.uuid, r.GetU64());
+  TC_ASSIGN_OR_RETURN(req.resolution_chunks, r.GetU64());
+  TC_ASSIGN_OR_RETURN(req.first_index, r.GetU64());
+  TC_ASSIGN_OR_RETURN(uint64_t claimed, r.GetVar());
+  TC_ASSIGN_OR_RETURN(size_t n, CheckedCount(claimed, r));
+  req.envelopes.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    TC_ASSIGN_OR_RETURN(Bytes e, r.GetBytes());
+    req.envelopes.push_back(std::move(e));
+  }
+  return req;
+}
+
+Bytes GetEnvelopesRequest::Encode() const {
+  BinaryWriter w;
+  w.PutU64(uuid);
+  w.PutU64(resolution_chunks);
+  w.PutU64(first_index);
+  w.PutU64(last_index);
+  return std::move(w).Take();
+}
+
+Result<GetEnvelopesRequest> GetEnvelopesRequest::Decode(BytesView in) {
+  BinaryReader r(in);
+  GetEnvelopesRequest req;
+  TC_ASSIGN_OR_RETURN(req.uuid, r.GetU64());
+  TC_ASSIGN_OR_RETURN(req.resolution_chunks, r.GetU64());
+  TC_ASSIGN_OR_RETURN(req.first_index, r.GetU64());
+  TC_ASSIGN_OR_RETURN(req.last_index, r.GetU64());
+  return req;
+}
+
+Bytes GetEnvelopesResponse::Encode() const {
+  BinaryWriter w;
+  w.PutU64(first_index);
+  w.PutVar(envelopes.size());
+  for (const auto& e : envelopes) w.PutBytes(e);
+  return std::move(w).Take();
+}
+
+Result<GetEnvelopesResponse> GetEnvelopesResponse::Decode(BytesView in) {
+  BinaryReader r(in);
+  GetEnvelopesResponse resp;
+  TC_ASSIGN_OR_RETURN(resp.first_index, r.GetU64());
+  TC_ASSIGN_OR_RETURN(uint64_t claimed, r.GetVar());
+  TC_ASSIGN_OR_RETURN(size_t n, CheckedCount(claimed, r));
+  resp.envelopes.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    TC_ASSIGN_OR_RETURN(Bytes e, r.GetBytes());
+    resp.envelopes.push_back(std::move(e));
+  }
+  return resp;
+}
+
+Bytes PutAttestationRequest::Encode() const {
+  BinaryWriter w(attestation.size() + 16);
+  w.PutU64(uuid);
+  w.PutBytes(attestation);
+  return std::move(w).Take();
+}
+
+Result<PutAttestationRequest> PutAttestationRequest::Decode(BytesView in) {
+  BinaryReader r(in);
+  PutAttestationRequest req;
+  TC_ASSIGN_OR_RETURN(req.uuid, r.GetU64());
+  TC_ASSIGN_OR_RETURN(req.attestation, r.GetBytes());
+  return req;
+}
+
+Bytes GetAttestationRequest::Encode() const {
+  BinaryWriter w;
+  w.PutU64(uuid);
+  return std::move(w).Take();
+}
+
+Result<GetAttestationRequest> GetAttestationRequest::Decode(BytesView in) {
+  BinaryReader r(in);
+  GetAttestationRequest req;
+  TC_ASSIGN_OR_RETURN(req.uuid, r.GetU64());
+  return req;
+}
+
+Bytes GetChunkWitnessedRequest::Encode() const {
+  BinaryWriter w;
+  w.PutU64(uuid);
+  w.PutU64(first_chunk);
+  w.PutU64(last_chunk);
+  w.PutU64(at_size);
+  return std::move(w).Take();
+}
+
+Result<GetChunkWitnessedRequest> GetChunkWitnessedRequest::Decode(
+    BytesView in) {
+  BinaryReader r(in);
+  GetChunkWitnessedRequest req;
+  TC_ASSIGN_OR_RETURN(req.uuid, r.GetU64());
+  TC_ASSIGN_OR_RETURN(req.first_chunk, r.GetU64());
+  TC_ASSIGN_OR_RETURN(req.last_chunk, r.GetU64());
+  TC_ASSIGN_OR_RETURN(req.at_size, r.GetU64());
+  return req;
+}
+
+Bytes GetChunkWitnessedResponse::Encode() const {
+  BinaryWriter w;
+  w.PutVar(entries.size());
+  for (const auto& e : entries) {
+    w.PutU64(e.chunk_index);
+    w.PutBytes(e.digest_blob);
+    w.PutBytes(e.payload);
+    w.PutBytes(e.proof);
+  }
+  return std::move(w).Take();
+}
+
+Result<GetChunkWitnessedResponse> GetChunkWitnessedResponse::Decode(
+    BytesView in) {
+  BinaryReader r(in);
+  GetChunkWitnessedResponse resp;
+  TC_ASSIGN_OR_RETURN(uint64_t claimed, r.GetVar());
+  TC_ASSIGN_OR_RETURN(size_t n, CheckedCount(claimed, r));
+  resp.entries.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    Entry e;
+    TC_ASSIGN_OR_RETURN(e.chunk_index, r.GetU64());
+    TC_ASSIGN_OR_RETURN(e.digest_blob, r.GetBytes());
+    TC_ASSIGN_OR_RETURN(e.payload, r.GetBytes());
+    TC_ASSIGN_OR_RETURN(e.proof, r.GetBytes());
+    resp.entries.push_back(std::move(e));
+  }
+  return resp;
+}
+
+}  // namespace tc::net

@@ -1,0 +1,288 @@
+// Typed request/response messages for TimeCrypt's API (Table 1), with
+// binary codecs. Each struct has Encode()/Decode() so both transports and
+// tests can round-trip them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/io.hpp"
+#include "common/time.hpp"
+#include "index/digest.hpp"
+#include "net/wire.hpp"
+
+namespace tc::net {
+
+/// Which digest cipher a stream uses — the server needs this to pick the
+/// homomorphic Add for index maintenance (public parameters only).
+enum class CipherKind : uint8_t {
+  kPlain = 0,
+  kHeac = 1,
+  kPaillier = 2,
+  kEcElGamal = 3,
+};
+
+std::string_view CipherKindName(CipherKind kind);
+
+/// Stream configuration, fixed at creation (§4.6: per-stream chunk interval,
+/// compression, operators/digest layout).
+struct StreamConfig {
+  std::string name;                 // human-readable metric/source metadata
+  Timestamp t0 = 0;                 // stream start
+  DurationMs delta_ms = 10'000;     // chunk interval Δ
+  index::DigestSchema schema;       // digest operators
+  CipherKind cipher = CipherKind::kHeac;
+  Bytes cipher_public;              // strawman public params (empty otherwise)
+  uint32_t fanout = 64;             // index tree k
+  uint8_t compression = 1;          // chunk::Compression
+  // Integrity extension: the server mirrors a Merkle witness tree over the
+  // sealed chunks and serves audit paths for verified reads (opt-in — adds
+  // one SHA-256 per chunk to the ingest path).
+  bool integrity = false;
+
+  void Encode(BinaryWriter& w) const;
+  static Result<StreamConfig> Decode(BinaryReader& r);
+
+  friend bool operator==(const StreamConfig&, const StreamConfig&) = default;
+};
+
+struct CreateStreamRequest {
+  uint64_t uuid = 0;
+  StreamConfig config;
+
+  Bytes Encode() const;
+  static Result<CreateStreamRequest> Decode(BytesView in);
+};
+
+struct DeleteStreamRequest {
+  uint64_t uuid = 0;
+
+  Bytes Encode() const;
+  static Result<DeleteStreamRequest> Decode(BytesView in);
+};
+
+struct InsertChunkRequest {
+  uint64_t uuid = 0;
+  uint64_t chunk_index = 0;
+  Bytes digest_blob;   // encrypted digest for the index
+  Bytes payload;       // sealed compressed points (may be empty: digest-only)
+
+  Bytes Encode() const;
+  static Result<InsertChunkRequest> Decode(BytesView in);
+};
+
+struct GetRangeRequest {
+  uint64_t uuid = 0;
+  TimeRange range;
+
+  Bytes Encode() const;
+  static Result<GetRangeRequest> Decode(BytesView in);
+};
+
+struct GetRangeResponse {
+  struct ChunkData {
+    uint64_t chunk_index = 0;
+    Bytes payload;
+  };
+  std::vector<ChunkData> chunks;
+
+  Bytes Encode() const;
+  static Result<GetRangeResponse> Decode(BytesView in);
+};
+
+struct StatRangeRequest {
+  uint64_t uuid = 0;
+  TimeRange range;
+
+  Bytes Encode() const;
+  static Result<StatRangeRequest> Decode(BytesView in);
+};
+
+/// Aggregate over [first_chunk, last_chunk) — the decryptor needs the chunk
+/// bounds to pick its outer keys.
+struct StatRangeResponse {
+  uint64_t first_chunk = 0;
+  uint64_t last_chunk = 0;
+  Bytes aggregate_blob;
+
+  Bytes Encode() const;
+  static Result<StatRangeResponse> Decode(BytesView in);
+};
+
+/// Series of fixed-granularity aggregates (visualization / Fig 8 views):
+/// one aggregate per `granularity_chunks` window across the range.
+struct StatSeriesRequest {
+  uint64_t uuid = 0;
+  TimeRange range;
+  uint64_t granularity_chunks = 1;
+
+  Bytes Encode() const;
+  static Result<StatSeriesRequest> Decode(BytesView in);
+};
+
+struct StatSeriesResponse {
+  uint64_t first_chunk = 0;
+  uint64_t last_chunk = 0;  // exclusive; the final window clips to this
+  uint64_t granularity_chunks = 1;
+  std::vector<Bytes> aggregates;  // consecutive windows
+
+  Bytes Encode() const;
+  static Result<StatSeriesResponse> Decode(BytesView in);
+};
+
+/// Inter-stream aggregate (§4.3): server sums the per-stream aggregates;
+/// only a principal holding keys for all streams can decrypt.
+struct MultiStatRangeRequest {
+  std::vector<uint64_t> uuids;
+  TimeRange range;
+
+  Bytes Encode() const;
+  static Result<MultiStatRangeRequest> Decode(BytesView in);
+};
+
+struct RollupStreamRequest {
+  uint64_t source_uuid = 0;
+  uint64_t target_uuid = 0;      // derived stream to create
+  uint64_t granularity_chunks = 0;  // aggregation factor
+  TimeRange range;               // segment to roll up ({0,0} = everything)
+
+  Bytes Encode() const;
+  static Result<RollupStreamRequest> Decode(BytesView in);
+};
+
+struct DeleteRangeRequest {
+  uint64_t uuid = 0;
+  TimeRange range;
+
+  Bytes Encode() const;
+  static Result<DeleteRangeRequest> Decode(BytesView in);
+};
+
+struct StreamInfoResponse {
+  StreamConfig config;
+  uint64_t num_chunks = 0;
+
+  Bytes Encode() const;
+  static Result<StreamInfoResponse> Decode(BytesView in);
+};
+
+// ------------------------------------------------------------- key store
+
+/// A sealed grant stored at the server's key store (§3.2). The server never
+/// sees inside `sealed_grant` — it is encrypted to the principal's key.
+struct PutGrantRequest {
+  uint64_t uuid = 0;
+  std::string principal_id;
+  uint64_t grant_id = 0;
+  Bytes sealed_grant;
+
+  Bytes Encode() const;
+  static Result<PutGrantRequest> Decode(BytesView in);
+};
+
+struct FetchGrantsRequest {
+  std::string principal_id;
+
+  Bytes Encode() const;
+  static Result<FetchGrantsRequest> Decode(BytesView in);
+};
+
+struct FetchGrantsResponse {
+  struct Entry {
+    uint64_t uuid = 0;
+    uint64_t grant_id = 0;
+    Bytes sealed_grant;
+  };
+  std::vector<Entry> grants;
+
+  Bytes Encode() const;
+  static Result<FetchGrantsResponse> Decode(BytesView in);
+};
+
+struct RevokeGrantRequest {
+  uint64_t uuid = 0;
+  std::string principal_id;
+  uint64_t grant_id = 0;  // 0 = all grants of this principal on this stream
+
+  Bytes Encode() const;
+  static Result<RevokeGrantRequest> Decode(BytesView in);
+};
+
+/// Resolution-keystream envelopes (§4.4.2): enc_k̄j(k_{j·r}) blobs stored
+/// under (stream, resolution, index).
+struct PutEnvelopesRequest {
+  uint64_t uuid = 0;
+  uint64_t resolution_chunks = 0;
+  uint64_t first_index = 0;
+  std::vector<Bytes> envelopes;
+
+  Bytes Encode() const;
+  static Result<PutEnvelopesRequest> Decode(BytesView in);
+};
+
+struct GetEnvelopesRequest {
+  uint64_t uuid = 0;
+  uint64_t resolution_chunks = 0;
+  uint64_t first_index = 0;
+  uint64_t last_index = 0;  // inclusive
+
+  Bytes Encode() const;
+  static Result<GetEnvelopesRequest> Decode(BytesView in);
+};
+
+struct GetEnvelopesResponse {
+  uint64_t first_index = 0;
+  std::vector<Bytes> envelopes;
+
+  Bytes Encode() const;
+  static Result<GetEnvelopesResponse> Decode(BytesView in);
+};
+
+// ---------------------------------------------------- integrity extension
+// Attestation blobs stay opaque at the wire layer (encoded/decoded by
+// src/integrity) so tc_net does not depend on tc_integrity.
+
+/// Owner publishes a signed stream-head attestation.
+struct PutAttestationRequest {
+  uint64_t uuid = 0;
+  Bytes attestation;
+
+  Bytes Encode() const;
+  static Result<PutAttestationRequest> Decode(BytesView in);
+};
+
+/// Fetch the latest attestation published for a stream.
+struct GetAttestationRequest {
+  uint64_t uuid = 0;
+
+  Bytes Encode() const;
+  static Result<GetAttestationRequest> Decode(BytesView in);
+};
+
+/// Witnessed chunk read: chunks [first_chunk, last_chunk) together with
+/// audit paths against the witness tree over the first `at_size` chunks
+/// (the attested prefix the consumer holds a signature for).
+struct GetChunkWitnessedRequest {
+  uint64_t uuid = 0;
+  uint64_t first_chunk = 0;
+  uint64_t last_chunk = 0;
+  uint64_t at_size = 0;
+
+  Bytes Encode() const;
+  static Result<GetChunkWitnessedRequest> Decode(BytesView in);
+};
+
+struct GetChunkWitnessedResponse {
+  struct Entry {
+    uint64_t chunk_index = 0;
+    Bytes digest_blob;
+    Bytes payload;
+    Bytes proof;  // integrity::AuditPath wire encoding
+  };
+  std::vector<Entry> entries;
+
+  Bytes Encode() const;
+  static Result<GetChunkWitnessedResponse> Decode(BytesView in);
+};
+
+}  // namespace tc::net

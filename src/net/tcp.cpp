@@ -1,0 +1,201 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/io.hpp"
+#include "common/logging.hpp"
+
+namespace tc::net {
+
+namespace {
+constexpr size_t kMaxFrameBody = 512u << 20;  // sanity bound
+
+struct FrameHeader {
+  uint32_t body_len;
+  MessageType type;
+  uint64_t request_id;
+};
+
+Result<FrameHeader> ReadFrameHeader(int fd) {
+  Bytes header(13);
+  TC_RETURN_IF_ERROR(ReadExact(fd, header));
+  BinaryReader r(header);
+  FrameHeader h{};
+  TC_ASSIGN_OR_RETURN(h.body_len, r.GetU32());
+  TC_ASSIGN_OR_RETURN(uint8_t type, r.GetU8());
+  TC_ASSIGN_OR_RETURN(h.request_id, r.GetU64());
+  h.type = static_cast<MessageType>(type);
+  if (h.body_len > kMaxFrameBody) return DataLoss("oversized frame");
+  return h;
+}
+}  // namespace
+
+Status ReadExact(int fd, MutableBytesView out) {
+  size_t done = 0;
+  while (done < out.size()) {
+    ssize_t n = ::read(fd, out.data() + done, out.size() - done);
+    if (n == 0) return Unavailable("connection closed");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Unavailable(std::string("read failed: ") + std::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status WriteAll(int fd, BytesView data) {
+  size_t done = 0;
+  while (done < data.size()) {
+    ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Unavailable(std::string("write failed: ") + std::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+TcpServer::TcpServer(std::shared_ptr<RequestHandler> handler, uint16_t port)
+    : handler_(std::move(handler)), port_(port) {}
+
+TcpServer::~TcpServer() { Stop(); }
+
+Status TcpServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Unavailable("socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port_);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Unavailable(std::string("bind failed: ") + std::strerror(errno));
+  }
+  if (port_ == 0) {
+    socklen_t len = sizeof(addr);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    return Unavailable("listen failed");
+  }
+  running_ = true;
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void TcpServer::Stop() {
+  if (!running_.exchange(false)) return;
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (acceptor_.joinable()) acceptor_.join();
+
+  // Connection threads block in read(); shut their sockets down so the
+  // blocked reads return before we join. Each thread closes and deregisters
+  // its own fd on exit, so joining must happen outside the lock.
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard lock(threads_mu_);
+    for (int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+    to_join.swap(connection_threads_);
+  }
+  for (auto& t : to_join) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void TcpServer::AcceptLoop() {
+  while (running_) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_) break;
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard lock(threads_mu_);
+    connection_fds_.push_back(fd);
+    connection_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void TcpServer::ServeConnection(int fd) {
+  while (running_) {
+    auto header = ReadFrameHeader(fd);
+    if (!header.ok()) break;  // peer closed or corrupt stream
+    Bytes body(header->body_len);
+    if (!ReadExact(fd, body).ok()) break;
+
+    Bytes payload;
+    Status status;
+    auto result = handler_->Handle(header->type, body);
+    if (result.ok()) {
+      payload = std::move(*result);
+    } else {
+      status = result.status();
+    }
+    Bytes response = EncodeFrame(MessageType::kResponse, header->request_id,
+                                 EncodeResponseBody(status, payload));
+    if (!WriteAll(fd, response).ok()) break;
+  }
+  // Deregister before closing so Stop() never shutdown()s a reused fd.
+  {
+    std::lock_guard lock(threads_mu_);
+    std::erase(connection_fds_, fd);
+  }
+  ::close(fd);
+}
+
+Result<std::unique_ptr<TcpClient>> TcpClient::Connect(const std::string& host,
+                                                      uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Unavailable("socket() failed");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return InvalidArgument("bad host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Unavailable(std::string("connect failed: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<TcpClient>(new TcpClient(fd));
+}
+
+TcpClient::~TcpClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<Bytes> TcpClient::Call(MessageType type, BytesView body) {
+  std::lock_guard lock(mu_);
+  uint64_t id = next_request_id_++;
+  TC_RETURN_IF_ERROR(WriteAll(fd_, EncodeFrame(type, id, body)));
+
+  auto header = ReadFrameHeader(fd_);
+  TC_RETURN_IF_ERROR(header.status());
+  if (header->type != MessageType::kResponse || header->request_id != id) {
+    return DataLoss("protocol violation: unexpected frame");
+  }
+  Bytes response_body(header->body_len);
+  TC_RETURN_IF_ERROR(ReadExact(fd_, response_body));
+  return DecodeResponseBody(response_body);
+}
+
+}  // namespace tc::net

@@ -1,0 +1,73 @@
+// Blocking TCP transport: listener with connection-per-thread dispatch on
+// the server, framed request/response client. Loopback-oriented (the E2E
+// benchmarks and examples run client and server on one host, like the
+// paper's mhealth setup).
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/wire.hpp"
+
+namespace tc::net {
+
+/// TCP server owning an accept loop. Start() binds and spawns the acceptor;
+/// Stop() closes the listener and joins all threads.
+class TcpServer {
+ public:
+  TcpServer(std::shared_ptr<RequestHandler> handler, uint16_t port);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Bind, listen, spawn the accept loop. Port 0 picks a free port.
+  Status Start();
+  void Stop();
+
+  uint16_t port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  std::shared_ptr<RequestHandler> handler_;
+  uint16_t port_;
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::thread acceptor_;
+  std::mutex threads_mu_;
+  std::vector<std::thread> connection_threads_;
+  std::vector<int> connection_fds_;  // live fds, shut down on Stop()
+};
+
+/// Client connection. One in-flight request at a time per connection
+/// (Call serializes internally); open several clients for parallelism.
+class TcpClient final : public Transport {
+ public:
+  static Result<std::unique_ptr<TcpClient>> Connect(const std::string& host,
+                                                    uint16_t port);
+  ~TcpClient() override;
+
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+
+  Result<Bytes> Call(MessageType type, BytesView body) override;
+
+ private:
+  explicit TcpClient(int fd) : fd_(fd) {}
+
+  std::mutex mu_;
+  int fd_;
+  uint64_t next_request_id_ = 1;
+};
+
+/// Read exactly n bytes / write all bytes on a socket fd (helpers shared by
+/// server and client; exposed for tests).
+Status ReadExact(int fd, MutableBytesView out);
+Status WriteAll(int fd, BytesView data);
+
+}  // namespace tc::net

@@ -1,0 +1,35 @@
+#include "net/wire.hpp"
+
+#include "common/io.hpp"
+
+namespace tc::net {
+
+Bytes EncodeFrame(MessageType type, uint64_t request_id, BytesView body) {
+  BinaryWriter w(body.size() + 16);
+  w.PutU32(static_cast<uint32_t>(body.size()));
+  w.PutU8(static_cast<uint8_t>(type));
+  w.PutU64(request_id);
+  w.PutRaw(body);
+  return std::move(w).Take();
+}
+
+Bytes EncodeResponseBody(const Status& status, BytesView payload) {
+  BinaryWriter w(payload.size() + 32);
+  w.PutU8(static_cast<uint8_t>(status.code()));
+  w.PutString(status.message());
+  w.PutRaw(payload);
+  return std::move(w).Take();
+}
+
+Result<Bytes> DecodeResponseBody(BytesView body) {
+  BinaryReader r(body);
+  TC_ASSIGN_OR_RETURN(uint8_t code, r.GetU8());
+  TC_ASSIGN_OR_RETURN(std::string msg, r.GetString());
+  if (code != static_cast<uint8_t>(StatusCode::kOk)) {
+    return Status(static_cast<StatusCode>(code), std::move(msg));
+  }
+  TC_ASSIGN_OR_RETURN(BytesView payload, r.GetRaw(r.remaining()));
+  return Bytes(payload.begin(), payload.end());
+}
+
+}  // namespace tc::net

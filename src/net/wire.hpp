@@ -1,0 +1,86 @@
+// Wire protocol: length-prefixed frames carrying typed request/response
+// messages (the prototype's Netty+protobuf layer, §5, rebuilt on POSIX
+// sockets with a hand-rolled binary codec).
+//
+// Frame layout:  u32 body_len | u8 msg_type | u64 request_id | body
+// Responses use the same frame with msg_type = kResponse and a body of
+// status_code | status_msg | payload.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace tc::net {
+
+enum class MessageType : uint8_t {
+  kResponse = 0,
+  kCreateStream = 1,
+  kDeleteStream = 2,
+  kInsertChunk = 3,
+  kGetRange = 4,
+  kGetStatRange = 5,
+  kGetStatSeries = 6,
+  kRollupStream = 7,
+  kDeleteRange = 8,
+  kGetStreamInfo = 9,
+  kPutGrant = 10,
+  kFetchGrants = 11,
+  kRevokeGrant = 12,
+  kPutEnvelopes = 13,
+  kGetEnvelopes = 14,
+  kMultiStatRange = 15,
+  kPing = 16,
+  // Integrity extension (src/integrity): owner-signed stream attestations
+  // and Merkle-witnessed chunk reads.
+  kPutAttestation = 17,
+  kGetAttestation = 18,
+  kGetChunkWitnessed = 19,
+};
+
+/// Server-side dispatch: handle one decoded request, produce a response
+/// payload. Implementations must be thread-safe (TCP server is
+/// connection-per-thread).
+class RequestHandler {
+ public:
+  virtual ~RequestHandler() = default;
+  virtual Result<Bytes> Handle(MessageType type, BytesView body) = 0;
+};
+
+/// Client-side transport: send one request, await the response payload.
+/// Call() is thread-safe in all implementations.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual Result<Bytes> Call(MessageType type, BytesView body) = 0;
+};
+
+/// Zero-copy in-process transport: directly invokes the handler. Used by
+/// microbenchmarks (the paper's microbenchmarks exclude network delay) and
+/// by tests that don't need sockets.
+class InProcTransport final : public Transport {
+ public:
+  explicit InProcTransport(std::shared_ptr<RequestHandler> handler)
+      : handler_(std::move(handler)) {}
+
+  Result<Bytes> Call(MessageType type, BytesView body) override {
+    return handler_->Handle(type, body);
+  }
+
+ private:
+  std::shared_ptr<RequestHandler> handler_;
+};
+
+/// Encode a frame (request or response) into bytes ready for the socket.
+Bytes EncodeFrame(MessageType type, uint64_t request_id, BytesView body);
+
+/// Encode the standard response body.
+Bytes EncodeResponseBody(const Status& status, BytesView payload);
+
+/// Decode a response body back into (status, payload).
+Result<Bytes> DecodeResponseBody(BytesView body);
+
+}  // namespace tc::net

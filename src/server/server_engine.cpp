@@ -1,0 +1,581 @@
+#include "server/server_engine.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "integrity/attestation.hpp"
+
+namespace tc::server {
+
+using net::MessageType;
+
+namespace {
+constexpr const char kDirectoryKey[] = "meta/streams";
+constexpr const char kGrantDirectoryKey[] = "meta/grantdir";
+
+std::string ConfigKey(uint64_t uuid) {
+  return "meta/cfg/" + std::to_string(uuid);
+}
+}  // namespace
+
+ServerEngine::ServerEngine(std::shared_ptr<store::KvStore> kv,
+                           ServerOptions options)
+    : kv_(std::move(kv)), options_(options) {
+  RecoverStreams();
+  RecoverGrantDirectory();
+}
+
+void ServerEngine::RecoverStreams() {
+  auto dir = kv_->Get(kDirectoryKey);
+  if (!dir.ok()) return;  // fresh store (or volatile one): nothing to do
+  BinaryReader r(*dir);
+  auto count = r.GetVar();
+  if (!count.ok()) return;
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto uuid = r.GetU64();
+    if (!uuid.ok()) return;
+    auto cfg_blob = kv_->Get(ConfigKey(*uuid));
+    if (!cfg_blob.ok()) continue;
+    BinaryReader cfg_reader(*cfg_blob);
+    auto config = net::StreamConfig::Decode(cfg_reader);
+    if (!config.ok()) continue;
+    auto stream = OpenStream(*uuid, *config, /*recover=*/true);
+    if (!stream.ok()) {
+      TC_LOG_WARN << "recovery: skipping stream " << *uuid << ": "
+                  << stream.status().ToString();
+      continue;
+    }
+    streams_.emplace(*uuid, std::move(*stream));
+  }
+}
+
+Result<std::shared_ptr<ServerEngine::Stream>> ServerEngine::OpenStream(
+    uint64_t uuid, const net::StreamConfig& config, bool recover) {
+  TC_ASSIGN_OR_RETURN(auto cipher, MakeAddCipher(config));
+  auto tree = std::make_unique<index::AggTree>(
+      kv_, "idx/" + std::to_string(uuid), cipher,
+      index::AggTreeOptions{config.fanout, options_.index_cache_bytes});
+  if (recover) {
+    TC_RETURN_IF_ERROR(tree->Recover());
+  }
+  auto stream = std::make_shared<Stream>(
+      config, ChunkClock(config.t0, config.delta_ms), cipher,
+      std::move(tree));
+  if (recover && stream->witnesses) {
+    // Rebuild the witness tree from the stored ciphertexts — the witnesses
+    // hash exactly what the store holds, so this is a pure recomputation.
+    uint64_t n = stream->tree->num_chunks();
+    for (uint64_t i = 0; i < n; ++i) {
+      TC_ASSIGN_OR_RETURN(Bytes digest, stream->tree->LeafDigest(i));
+      Bytes payload;
+      auto stored = kv_->Get(ChunkKey(uuid, i));
+      if (stored.ok()) payload = std::move(*stored);
+      stream->witnesses->Append(
+          integrity::ChunkWitness(uuid, i, digest, payload));
+    }
+  }
+  return stream;
+}
+
+Status ServerEngine::StoreDirectoryLocked() {
+  BinaryWriter w;
+  w.PutVar(streams_.size());
+  for (const auto& [uuid, stream] : streams_) w.PutU64(uuid);
+  return kv_->Put(kDirectoryKey, w.data());
+}
+
+Status ServerEngine::StoreGrantDirectoryLocked() {
+  BinaryWriter w;
+  w.PutVar(principal_grants_.size());
+  for (const auto& [principal, grants] : principal_grants_) {
+    w.PutString(principal);
+    w.PutVar(grants.size());
+    for (auto [uuid, grant_id] : grants) {
+      w.PutU64(uuid);
+      w.PutU64(grant_id);
+    }
+  }
+  return kv_->Put(kGrantDirectoryKey, w.data());
+}
+
+void ServerEngine::RecoverGrantDirectory() {
+  auto blob = kv_->Get(kGrantDirectoryKey);
+  if (!blob.ok()) return;
+  BinaryReader r(*blob);
+  auto principals = r.GetVar();
+  if (!principals.ok()) return;
+  for (uint64_t p = 0; p < *principals; ++p) {
+    auto principal = r.GetString();
+    auto count = r.GetVar();
+    if (!principal.ok() || !count.ok()) return;
+    auto& list = principal_grants_[*principal];
+    for (uint64_t g = 0; g < *count; ++g) {
+      auto uuid = r.GetU64();
+      auto grant_id = r.GetU64();
+      if (!uuid.ok() || !grant_id.ok()) return;
+      list.emplace_back(*uuid, *grant_id);
+    }
+  }
+}
+
+Result<Bytes> ServerEngine::Handle(MessageType type, BytesView body) {
+  switch (type) {
+    case MessageType::kCreateStream: return CreateStream(body);
+    case MessageType::kDeleteStream: return DeleteStream(body);
+    case MessageType::kInsertChunk: return InsertChunk(body);
+    case MessageType::kGetRange: return GetRange(body);
+    case MessageType::kGetStatRange: return GetStatRange(body);
+    case MessageType::kGetStatSeries: return GetStatSeries(body);
+    case MessageType::kMultiStatRange: return MultiStatRange(body);
+    case MessageType::kRollupStream: return RollupStream(body);
+    case MessageType::kDeleteRange: return DeleteRange(body);
+    case MessageType::kGetStreamInfo: return GetStreamInfo(body);
+    case MessageType::kPutGrant: return PutGrant(body);
+    case MessageType::kFetchGrants: return FetchGrants(body);
+    case MessageType::kRevokeGrant: return RevokeGrant(body);
+    case MessageType::kPutEnvelopes: return PutEnvelopes(body);
+    case MessageType::kGetEnvelopes: return GetEnvelopes(body);
+    case MessageType::kPutAttestation: return PutAttestation(body);
+    case MessageType::kGetAttestation: return GetAttestation(body);
+    case MessageType::kGetChunkWitnessed: return GetChunkWitnessed(body);
+    case MessageType::kPing: return Bytes{};
+    case MessageType::kResponse: break;
+  }
+  return InvalidArgument("unknown message type");
+}
+
+size_t ServerEngine::NumStreams() const {
+  std::shared_lock lock(streams_mu_);
+  return streams_.size();
+}
+
+uint64_t ServerEngine::TotalIndexBytes() const {
+  std::shared_lock lock(streams_mu_);
+  uint64_t total = 0;
+  for (const auto& [uuid, stream] : streams_) {
+    total += stream->tree->IndexBytes();
+  }
+  return total;
+}
+
+Result<const index::AggTree*> ServerEngine::GetIndexForTesting(
+    uint64_t uuid) const {
+  TC_ASSIGN_OR_RETURN(auto stream, FindStream(uuid));
+  return stream->tree.get();
+}
+
+Result<std::shared_ptr<const index::DigestCipher>> ServerEngine::MakeAddCipher(
+    const net::StreamConfig& config) {
+  size_t fields = config.schema.num_fields();
+  if (fields == 0) return InvalidArgument("stream schema has no fields");
+  switch (config.cipher) {
+    case net::CipherKind::kPlain:
+    case net::CipherKind::kHeac:
+      // HEAC addition is plaintext-ring addition over opaque words: the
+      // server runs the identical code for both (that is the design).
+      return std::shared_ptr<const index::DigestCipher>(
+          index::MakePlainCipher(fields));
+    case net::CipherKind::kPaillier: {
+      TC_ASSIGN_OR_RETURN(auto paillier,
+                          crypto::Paillier::FromPublicKey(config.cipher_public));
+      return std::shared_ptr<const index::DigestCipher>(
+          index::MakePaillierCipher(
+              fields, std::shared_ptr<const crypto::Paillier>(
+                          std::move(paillier))));
+    }
+    case net::CipherKind::kEcElGamal: {
+      TC_ASSIGN_OR_RETURN(auto eg,
+                          crypto::EcElGamal::FromPublicKey(config.cipher_public));
+      return std::shared_ptr<const index::DigestCipher>(
+          index::MakeEcElGamalCipher(
+              fields,
+              std::shared_ptr<const crypto::EcElGamal>(std::move(eg))));
+    }
+  }
+  return InvalidArgument("unknown cipher kind");
+}
+
+Result<std::shared_ptr<ServerEngine::Stream>> ServerEngine::FindStream(
+    uint64_t uuid) const {
+  std::shared_lock lock(streams_mu_);
+  auto it = streams_.find(uuid);
+  if (it == streams_.end()) {
+    return NotFound("stream " + std::to_string(uuid) + " does not exist");
+  }
+  return it->second;
+}
+
+Result<std::pair<uint64_t, uint64_t>> ServerEngine::ResolveRange(
+    const Stream& stream, const TimeRange& range) {
+  TC_ASSIGN_OR_RETURN(auto idx_range, stream.clock.IndexRange(range));
+  auto [first, last] = idx_range;
+  uint64_t ingested = stream.tree->num_chunks();
+  if (first >= ingested) return OutOfRange("range beyond ingested data");
+  last = std::min(last, ingested);
+  return std::make_pair(first, last);
+}
+
+std::string ServerEngine::ChunkKey(uint64_t uuid, uint64_t chunk_index) const {
+  return "chunk/" + std::to_string(uuid) + "/" + std::to_string(chunk_index);
+}
+
+std::string ServerEngine::GrantKey(const std::string& principal,
+                                   uint64_t uuid, uint64_t grant_id) const {
+  return "grant/" + principal + "/" + std::to_string(uuid) + "/" +
+         std::to_string(grant_id);
+}
+
+std::string ServerEngine::EnvelopeKey(uint64_t uuid, uint64_t resolution,
+                                      uint64_t index) const {
+  return "env/" + std::to_string(uuid) + "/" + std::to_string(resolution) +
+         "/" + std::to_string(index);
+}
+
+Result<Bytes> ServerEngine::CreateStream(BytesView body) {
+  TC_ASSIGN_OR_RETURN(auto req, net::CreateStreamRequest::Decode(body));
+  if (req.config.delta_ms <= 0) {
+    return InvalidArgument("chunk interval must be positive");
+  }
+
+  std::unique_lock lock(streams_mu_);
+  if (streams_.contains(req.uuid)) {
+    return AlreadyExists("stream " + std::to_string(req.uuid));
+  }
+  TC_ASSIGN_OR_RETURN(auto stream,
+                      OpenStream(req.uuid, req.config, /*recover=*/false));
+  streams_.emplace(req.uuid, std::move(stream));
+
+  // Persist the config + directory so a restarted engine recovers the
+  // stream from a durable store.
+  BinaryWriter cfg;
+  req.config.Encode(cfg);
+  TC_RETURN_IF_ERROR(kv_->Put(ConfigKey(req.uuid), cfg.data()));
+  TC_RETURN_IF_ERROR(StoreDirectoryLocked());
+  return Bytes{};
+}
+
+Result<Bytes> ServerEngine::DeleteStream(BytesView body) {
+  TC_ASSIGN_OR_RETURN(auto req, net::DeleteStreamRequest::Decode(body));
+  std::unique_lock lock(streams_mu_);
+  auto it = streams_.find(req.uuid);
+  if (it == streams_.end()) return NotFound("stream does not exist");
+  // Drop chunk payloads; index nodes stay orphaned in the KV (a real
+  // deployment would GC them; compaction handles it for the log store).
+  uint64_t n = it->second->tree->num_chunks();
+  for (uint64_t i = 0; i < n; ++i) {
+    (void)kv_->Delete(ChunkKey(req.uuid, i));
+  }
+  streams_.erase(it);
+  (void)kv_->Delete(ConfigKey(req.uuid));
+  TC_RETURN_IF_ERROR(StoreDirectoryLocked());
+  return Bytes{};
+}
+
+Result<Bytes> ServerEngine::InsertChunk(BytesView body) {
+  TC_ASSIGN_OR_RETURN(auto req, net::InsertChunkRequest::Decode(body));
+  TC_ASSIGN_OR_RETURN(auto stream, FindStream(req.uuid));
+
+  std::lock_guard lock(stream->mu);
+  TC_RETURN_IF_ERROR(stream->tree->Append(req.chunk_index, req.digest_blob));
+  if (!req.payload.empty()) {
+    TC_RETURN_IF_ERROR(
+        kv_->Put(ChunkKey(req.uuid, req.chunk_index), req.payload));
+  }
+  if (stream->witnesses) {
+    // Mirror the producer's witness so audit paths can be served. The
+    // producer computes the same hash over the same ciphertext bytes; any
+    // later divergence is exactly what verification catches.
+    stream->witnesses->Append(integrity::ChunkWitness(
+        req.uuid, req.chunk_index, req.digest_blob, req.payload));
+  }
+  return Bytes{};
+}
+
+Result<Bytes> ServerEngine::GetRange(BytesView body) const {
+  TC_ASSIGN_OR_RETURN(auto req, net::GetRangeRequest::Decode(body));
+  TC_ASSIGN_OR_RETURN(auto stream, FindStream(req.uuid));
+  TC_ASSIGN_OR_RETURN(auto range, ResolveRange(*stream, req.range));
+
+  net::GetRangeResponse resp;
+  for (uint64_t i = range.first; i < range.second; ++i) {
+    auto payload = kv_->Get(ChunkKey(req.uuid, i));
+    if (!payload.ok()) continue;  // decayed or digest-only chunk
+    resp.chunks.push_back({i, std::move(*payload)});
+  }
+  return resp.Encode();
+}
+
+Result<Bytes> ServerEngine::GetStatRange(BytesView body) const {
+  TC_ASSIGN_OR_RETURN(auto req, net::StatRangeRequest::Decode(body));
+  TC_ASSIGN_OR_RETURN(auto stream, FindStream(req.uuid));
+  TC_ASSIGN_OR_RETURN(auto range, ResolveRange(*stream, req.range));
+
+  TC_ASSIGN_OR_RETURN(Bytes blob,
+                      stream->tree->Query(range.first, range.second));
+  net::StatRangeResponse resp;
+  resp.first_chunk = range.first;
+  resp.last_chunk = range.second;
+  resp.aggregate_blob = std::move(blob);
+  return resp.Encode();
+}
+
+Result<Bytes> ServerEngine::GetStatSeries(BytesView body) const {
+  TC_ASSIGN_OR_RETURN(auto req, net::StatSeriesRequest::Decode(body));
+  if (req.granularity_chunks == 0) {
+    return InvalidArgument("granularity must be positive");
+  }
+  TC_ASSIGN_OR_RETURN(auto stream, FindStream(req.uuid));
+  TC_ASSIGN_OR_RETURN(auto range, ResolveRange(*stream, req.range));
+
+  net::StatSeriesResponse resp;
+  resp.first_chunk = range.first;
+  resp.last_chunk = range.second;
+  resp.granularity_chunks = req.granularity_chunks;
+  for (uint64_t w = range.first; w < range.second;
+       w += req.granularity_chunks) {
+    uint64_t end = std::min(w + req.granularity_chunks, range.second);
+    TC_ASSIGN_OR_RETURN(Bytes blob, stream->tree->Query(w, end));
+    resp.aggregates.push_back(std::move(blob));
+  }
+  return resp.Encode();
+}
+
+Result<Bytes> ServerEngine::MultiStatRange(BytesView body) const {
+  TC_ASSIGN_OR_RETURN(auto req, net::MultiStatRangeRequest::Decode(body));
+  if (req.uuids.empty()) return InvalidArgument("no streams given");
+
+  // Inter-stream aggregation (§4.3): all streams must share digest layout
+  // and cipher kind; the chunk range is resolved per-stream (streams may
+  // differ in Δ but the time window is common).
+  Bytes acc;
+  std::shared_ptr<const index::DigestCipher> cipher;
+  uint64_t first = 0, last = 0;
+  for (size_t s = 0; s < req.uuids.size(); ++s) {
+    TC_ASSIGN_OR_RETURN(auto stream, FindStream(req.uuids[s]));
+    TC_ASSIGN_OR_RETURN(auto range, ResolveRange(*stream, req.range));
+    TC_ASSIGN_OR_RETURN(Bytes blob,
+                        stream->tree->Query(range.first, range.second));
+    if (s == 0) {
+      acc = std::move(blob);
+      cipher = stream->add_cipher;
+      first = range.first;
+      last = range.second;
+    } else {
+      if (stream->add_cipher->blob_size() != cipher->blob_size()) {
+        return FailedPrecondition(
+            "inter-stream query requires matching digest layouts");
+      }
+      TC_RETURN_IF_ERROR(cipher->Add(std::span<uint8_t>(acc), blob));
+    }
+  }
+  net::StatRangeResponse resp;
+  resp.first_chunk = first;
+  resp.last_chunk = last;
+  resp.aggregate_blob = std::move(acc);
+  return resp.Encode();
+}
+
+Result<Bytes> ServerEngine::RollupStream(BytesView body) {
+  TC_ASSIGN_OR_RETURN(auto req, net::RollupStreamRequest::Decode(body));
+  if (req.granularity_chunks == 0) {
+    return InvalidArgument("rollup granularity must be positive");
+  }
+  TC_ASSIGN_OR_RETURN(auto source, FindStream(req.source_uuid));
+
+  // Resolve the segment ({0,0} = whole stream so far).
+  uint64_t first = 0, last = source->tree->num_chunks();
+  if (!(req.range.start == 0 && req.range.end == 0)) {
+    TC_ASSIGN_OR_RETURN(auto range, ResolveRange(*source, req.range));
+    first = range.first;
+    last = range.second;
+  }
+  // Align to whole rollup windows.
+  first -= first % req.granularity_chunks;
+  last -= last % req.granularity_chunks;
+  if (first >= last) return InvalidArgument("rollup segment is empty");
+
+  // Create the derived stream: same schema/cipher, Δ scaled up.
+  net::StreamConfig derived = source->config;
+  derived.name += "/rollup" + std::to_string(req.granularity_chunks);
+  derived.delta_ms =
+      source->config.delta_ms * static_cast<int64_t>(req.granularity_chunks);
+  derived.t0 = source->clock.RangeOfChunk(first).start;
+  net::CreateStreamRequest create{req.target_uuid, derived};
+  TC_RETURN_IF_ERROR(CreateStream(create.Encode()).status());
+
+  TC_ASSIGN_OR_RETURN(auto target, FindStream(req.target_uuid));
+  std::lock_guard lock(target->mu);
+  uint64_t out_index = 0;
+  for (uint64_t w = first; w < last; w += req.granularity_chunks) {
+    TC_ASSIGN_OR_RETURN(Bytes blob,
+                        source->tree->Query(w, w + req.granularity_chunks));
+    TC_RETURN_IF_ERROR(target->tree->Append(out_index++, blob));
+  }
+  // Report the aligned source chunk range so the owner can map derived
+  // chunk indices back to source keystream positions.
+  BinaryWriter w;
+  w.PutU64(first);
+  w.PutU64(last);
+  return std::move(w).Take();
+}
+
+Result<Bytes> ServerEngine::DeleteRange(BytesView body) {
+  TC_ASSIGN_OR_RETURN(auto req, net::DeleteRangeRequest::Decode(body));
+  TC_ASSIGN_OR_RETURN(auto stream, FindStream(req.uuid));
+  TC_ASSIGN_OR_RETURN(auto range, ResolveRange(*stream, req.range));
+
+  std::lock_guard lock(stream->mu);
+  // Drop raw payloads; per-chunk digests are retained (Table 1 row 7:
+  // "Delete specified segment of the stream, while maintaining per-chunk
+  // digest").
+  for (uint64_t i = range.first; i < range.second; ++i) {
+    Status s = kv_->Delete(ChunkKey(req.uuid, i));
+    if (!s.ok() && s.code() != StatusCode::kNotFound) return s;
+  }
+  return Bytes{};
+}
+
+Result<Bytes> ServerEngine::GetStreamInfo(BytesView body) const {
+  TC_ASSIGN_OR_RETURN(auto req, net::DeleteStreamRequest::Decode(body));
+  TC_ASSIGN_OR_RETURN(auto stream, FindStream(req.uuid));
+  net::StreamInfoResponse resp;
+  resp.config = stream->config;
+  resp.num_chunks = stream->tree->num_chunks();
+  return resp.Encode();
+}
+
+Result<Bytes> ServerEngine::PutGrant(BytesView body) {
+  TC_ASSIGN_OR_RETURN(auto req, net::PutGrantRequest::Decode(body));
+  TC_RETURN_IF_ERROR(kv_->Put(
+      GrantKey(req.principal_id, req.uuid, req.grant_id), req.sealed_grant));
+  std::lock_guard lock(keystore_mu_);
+  auto& list = principal_grants_[req.principal_id];
+  auto entry = std::make_pair(req.uuid, req.grant_id);
+  if (std::find(list.begin(), list.end(), entry) == list.end()) {
+    list.push_back(entry);
+  }
+  TC_RETURN_IF_ERROR(StoreGrantDirectoryLocked());
+  return Bytes{};
+}
+
+Result<Bytes> ServerEngine::FetchGrants(BytesView body) const {
+  TC_ASSIGN_OR_RETURN(auto req, net::FetchGrantsRequest::Decode(body));
+  net::FetchGrantsResponse resp;
+  std::lock_guard lock(keystore_mu_);
+  auto it = principal_grants_.find(req.principal_id);
+  if (it != principal_grants_.end()) {
+    for (auto [uuid, grant_id] : it->second) {
+      auto sealed = kv_->Get(GrantKey(req.principal_id, uuid, grant_id));
+      if (sealed.status().code() == StatusCode::kNotFound) continue;  // revoked
+      TC_RETURN_IF_ERROR(sealed.status());  // store outage: surface, not hide
+      resp.grants.push_back({uuid, grant_id, std::move(*sealed)});
+    }
+  }
+  return resp.Encode();
+}
+
+Result<Bytes> ServerEngine::PutAttestation(BytesView body) {
+  TC_ASSIGN_OR_RETURN(auto req, net::PutAttestationRequest::Decode(body));
+  TC_ASSIGN_OR_RETURN(auto stream, FindStream(req.uuid));
+  if (!stream->witnesses) {
+    return FailedPrecondition("stream has no integrity witness tree");
+  }
+  // The server need not (and cannot meaningfully) verify the signature —
+  // it just stores the latest attestation for consumers to pick up.
+  return kv_->Put("att/" + std::to_string(req.uuid), req.attestation)
+             .ok()
+         ? Result<Bytes>(Bytes{})
+         : Result<Bytes>(Unavailable("attestation store failed"));
+}
+
+Result<Bytes> ServerEngine::GetAttestation(BytesView body) const {
+  TC_ASSIGN_OR_RETURN(auto req, net::GetAttestationRequest::Decode(body));
+  return kv_->Get("att/" + std::to_string(req.uuid));
+}
+
+Result<Bytes> ServerEngine::GetChunkWitnessed(BytesView body) const {
+  TC_ASSIGN_OR_RETURN(auto req, net::GetChunkWitnessedRequest::Decode(body));
+  TC_ASSIGN_OR_RETURN(auto stream, FindStream(req.uuid));
+  if (!stream->witnesses) {
+    return FailedPrecondition("stream has no integrity witness tree");
+  }
+  if (req.first_chunk >= req.last_chunk) {
+    return InvalidArgument("empty chunk range");
+  }
+  // at_size == 0: proof-less bulk read (a producer rebuilding its witness
+  // history after restart; it recomputes and cross-checks the hashes
+  // itself). Otherwise paths are proven against the requested prefix.
+  bool with_proofs = req.at_size != 0;
+  if (with_proofs && req.last_chunk > req.at_size) {
+    return OutOfRange("chunk range exceeds attested prefix");
+  }
+  if (!with_proofs && req.last_chunk > stream->tree->num_chunks()) {
+    return OutOfRange("chunk range exceeds ingested chunks");
+  }
+
+  net::GetChunkWitnessedResponse resp;
+  for (uint64_t i = req.first_chunk; i < req.last_chunk; ++i) {
+    net::GetChunkWitnessedResponse::Entry entry;
+    entry.chunk_index = i;
+    TC_ASSIGN_OR_RETURN(entry.digest_blob, stream->tree->LeafDigest(i));
+    auto payload = kv_->Get(ChunkKey(req.uuid, i));
+    if (payload.ok()) entry.payload = std::move(*payload);
+    if (with_proofs) {
+      TC_ASSIGN_OR_RETURN(auto path,
+                          stream->witnesses->Proof(i, req.at_size));
+      BinaryWriter w;
+      integrity::EncodeAuditPath(w, path);
+      entry.proof = std::move(w).Take();
+    }
+    resp.entries.push_back(std::move(entry));
+  }
+  return resp.Encode();
+}
+
+Result<Bytes> ServerEngine::RevokeGrant(BytesView body) {
+  TC_ASSIGN_OR_RETURN(auto req, net::RevokeGrantRequest::Decode(body));
+  std::lock_guard lock(keystore_mu_);
+  auto it = principal_grants_.find(req.principal_id);
+  if (it == principal_grants_.end()) return Bytes{};
+  auto& list = it->second;
+  for (auto entry = list.begin(); entry != list.end();) {
+    bool match = entry->first == req.uuid &&
+                 (req.grant_id == 0 || entry->second == req.grant_id);
+    if (match) {
+      (void)kv_->Delete(GrantKey(req.principal_id, entry->first,
+                                 entry->second));
+      entry = list.erase(entry);
+    } else {
+      ++entry;
+    }
+  }
+  TC_RETURN_IF_ERROR(StoreGrantDirectoryLocked());
+  return Bytes{};
+}
+
+Result<Bytes> ServerEngine::PutEnvelopes(BytesView body) {
+  TC_ASSIGN_OR_RETURN(auto req, net::PutEnvelopesRequest::Decode(body));
+  for (size_t i = 0; i < req.envelopes.size(); ++i) {
+    TC_RETURN_IF_ERROR(kv_->Put(
+        EnvelopeKey(req.uuid, req.resolution_chunks, req.first_index + i),
+        req.envelopes[i]));
+  }
+  return Bytes{};
+}
+
+Result<Bytes> ServerEngine::GetEnvelopes(BytesView body) const {
+  TC_ASSIGN_OR_RETURN(auto req, net::GetEnvelopesRequest::Decode(body));
+  if (req.last_index < req.first_index) {
+    return InvalidArgument("bad envelope range");
+  }
+  net::GetEnvelopesResponse resp;
+  resp.first_index = req.first_index;
+  for (uint64_t i = req.first_index; i <= req.last_index; ++i) {
+    TC_ASSIGN_OR_RETURN(
+        Bytes e, kv_->Get(EnvelopeKey(req.uuid, req.resolution_chunks, i)));
+    resp.envelopes.push_back(std::move(e));
+  }
+  return resp.Encode();
+}
+
+}  // namespace tc::server

@@ -1,0 +1,141 @@
+// TimeCrypt server engine (§3.2, §4.5-4.6): the untrusted side.
+//
+// Holds the per-stream encrypted aggregation indices and sealed chunk
+// payloads, answers statistical/range queries, maintains the key store of
+// sealed grants and resolution-key envelopes, performs rollups and range
+// deletes. Sees only ciphertext: for HEAC and plaintext the homomorphic add
+// is uint64 vector addition; for the strawman ciphers it uses the public
+// parameters carried in the stream config.
+//
+// The engine is exposed as a net::RequestHandler so it can sit behind the
+// in-process transport or the TCP server unchanged. TimeCrypt instances are
+// stateless apart from the backing KvStore (horizontally scalable, §3.2) —
+// all stream state lives in the store.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+
+#include "index/agg_tree.hpp"
+#include "integrity/merkle.hpp"
+#include "net/messages.hpp"
+#include "net/wire.hpp"
+#include "store/kv_store.hpp"
+
+namespace tc::server {
+
+struct ServerOptions {
+  size_t index_cache_bytes = 256 << 20;  // per-stream LRU budget
+};
+
+class ServerEngine final : public net::RequestHandler {
+ public:
+  /// Opens the engine over `kv`. Streams previously created against the
+  /// same store (its metadata directory) are recovered automatically —
+  /// restart durability when kv is a persistent store (LogKvStore).
+  explicit ServerEngine(std::shared_ptr<store::KvStore> kv,
+                        ServerOptions options = {});
+
+  // net::RequestHandler
+  Result<Bytes> Handle(net::MessageType type, BytesView body) override;
+
+  /// Number of live streams.
+  size_t NumStreams() const;
+
+  /// Index bytes across all streams (Table 2 size column).
+  uint64_t TotalIndexBytes() const;
+
+  /// Direct handle to a stream's index (benchmarks peek at cache stats).
+  Result<const index::AggTree*> GetIndexForTesting(uint64_t uuid) const;
+
+ private:
+  struct Stream {
+    net::StreamConfig config;
+    ChunkClock clock;
+    std::shared_ptr<const index::DigestCipher> add_cipher;
+    std::unique_ptr<index::AggTree> tree;
+    // Integrity extension: the server-side mirror of the witness tree
+    // (config.integrity streams only). Guarded by mu for writes; reads of
+    // the attested prefix are safe because the tree is append-only.
+    std::unique_ptr<integrity::MerkleTree> witnesses;
+    mutable std::mutex mu;  // serializes ingest per stream
+
+    Stream(net::StreamConfig cfg, ChunkClock clk,
+           std::shared_ptr<const index::DigestCipher> cipher,
+           std::unique_ptr<index::AggTree> t)
+        : config(std::move(cfg)),
+          clock(clk),
+          add_cipher(std::move(cipher)),
+          tree(std::move(t)) {
+      if (config.integrity) {
+        witnesses = std::make_unique<integrity::MerkleTree>();
+      }
+    }
+  };
+
+  // Request handlers (one per message type).
+  Result<Bytes> CreateStream(BytesView body);
+  Result<Bytes> DeleteStream(BytesView body);
+  Result<Bytes> InsertChunk(BytesView body);
+  Result<Bytes> GetRange(BytesView body) const;
+  Result<Bytes> GetStatRange(BytesView body) const;
+  Result<Bytes> GetStatSeries(BytesView body) const;
+  Result<Bytes> MultiStatRange(BytesView body) const;
+  Result<Bytes> RollupStream(BytesView body);
+  Result<Bytes> DeleteRange(BytesView body);
+  Result<Bytes> GetStreamInfo(BytesView body) const;
+  Result<Bytes> PutGrant(BytesView body);
+  Result<Bytes> FetchGrants(BytesView body) const;
+  Result<Bytes> RevokeGrant(BytesView body);
+  Result<Bytes> PutEnvelopes(BytesView body);
+  Result<Bytes> GetEnvelopes(BytesView body) const;
+  Result<Bytes> PutAttestation(BytesView body);
+  Result<Bytes> GetAttestation(BytesView body) const;
+  Result<Bytes> GetChunkWitnessed(BytesView body) const;
+
+  Result<std::shared_ptr<Stream>> FindStream(uint64_t uuid) const;
+
+  /// Rebuild the in-memory stream registry from the store's metadata
+  /// directory (constructor path). Logs and skips unrecoverable streams.
+  void RecoverStreams();
+  /// Build a Stream (index handle + recovered append position + witness
+  /// tree) from a persisted config.
+  Result<std::shared_ptr<Stream>> OpenStream(uint64_t uuid,
+                                             const net::StreamConfig& config,
+                                             bool recover);
+  /// Persist / load the uuid directory under the metadata key.
+  Status StoreDirectoryLocked();
+  /// Persist / load the per-principal grant directory (key store state).
+  Status StoreGrantDirectoryLocked();
+  void RecoverGrantDirectory();
+
+  /// Server-side add-only cipher from a stream's public config.
+  static Result<std::shared_ptr<const index::DigestCipher>> MakeAddCipher(
+      const net::StreamConfig& config);
+
+  /// Resolve a time range to a chunk range, clipped to ingested chunks.
+  static Result<std::pair<uint64_t, uint64_t>> ResolveRange(
+      const Stream& stream, const TimeRange& range);
+
+  std::string ChunkKey(uint64_t uuid, uint64_t chunk_index) const;
+  std::string GrantKey(const std::string& principal, uint64_t uuid,
+                       uint64_t grant_id) const;
+  std::string EnvelopeKey(uint64_t uuid, uint64_t resolution,
+                          uint64_t index) const;
+
+  std::shared_ptr<store::KvStore> kv_;
+  ServerOptions options_;
+
+  mutable std::shared_mutex streams_mu_;
+  std::map<uint64_t, std::shared_ptr<Stream>> streams_;
+
+  // Key store: grants indexed per principal for FetchGrants. Values live in
+  // kv_; this is the per-principal directory.
+  mutable std::mutex keystore_mu_;
+  std::map<std::string, std::vector<std::pair<uint64_t, uint64_t>>>
+      principal_grants_;  // principal -> [(uuid, grant_id)]
+};
+
+}  // namespace tc::server

@@ -1,0 +1,60 @@
+#include "store/fault_kv.hpp"
+
+namespace tc::store {
+
+namespace {
+bool ShouldFire(std::atomic<uint64_t>& counter, uint64_t every_nth) {
+  if (every_nth == 0) return false;
+  return (counter.fetch_add(1) + 1) % every_nth == 0;
+}
+}  // namespace
+
+FaultKvStore::FaultKvStore(std::shared_ptr<KvStore> inner,
+                           FaultOptions options)
+    : inner_(std::move(inner)), options_(options) {}
+
+Status FaultKvStore::Fault() const {
+  return {options_.failure_code, "injected fault"};
+}
+
+Status FaultKvStore::Put(const std::string& key, BytesView value) {
+  if (options_.fail_all || ShouldFire(put_ops_, options_.fail_every_nth_put)) {
+    ++puts_failed_;
+    return Fault();
+  }
+  return inner_->Put(key, value);
+}
+
+Result<Bytes> FaultKvStore::Get(const std::string& key) const {
+  if (options_.fail_all || ShouldFire(get_ops_, options_.fail_every_nth_get)) {
+    ++gets_failed_;
+    return Fault();
+  }
+  auto value = inner_->Get(key);
+  if (value.ok() && !value->empty() &&
+      ShouldFire(get_ops_, options_.corrupt_every_nth_get)) {
+    ++gets_corrupted_;
+    (*value)[value->size() / 2] ^= 0x5a;
+  }
+  return value;
+}
+
+Status FaultKvStore::Delete(const std::string& key) {
+  if (options_.fail_all ||
+      ShouldFire(delete_ops_, options_.fail_every_nth_delete)) {
+    ++deletes_failed_;
+    return Fault();
+  }
+  return inner_->Delete(key);
+}
+
+bool FaultKvStore::Contains(const std::string& key) const {
+  if (options_.fail_all) return false;
+  return inner_->Contains(key);
+}
+
+size_t FaultKvStore::Size() const { return inner_->Size(); }
+
+size_t FaultKvStore::ValueBytes() const { return inner_->ValueBytes(); }
+
+}  // namespace tc::store

@@ -1,0 +1,66 @@
+// Fault-injecting KV decorator: deterministic failure and corruption
+// schedules for chaos-testing the layers above the store (server engine,
+// aggregation index, clients). The paper's deployment rides on Cassandra,
+// which can time out, drop connections, or return stale/garbled data under
+// partition — this wrapper lets tests exercise exactly those paths without
+// a real cluster.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+#include "store/kv_store.hpp"
+
+namespace tc::store {
+
+/// Failure schedule. All counters are per-operation-kind and 1-based:
+/// `fail_every_nth_get = 3` fails the 3rd, 6th, 9th... Get. Zero disables
+/// that fault. `fail_all` overrides everything (a hard outage).
+struct FaultOptions {
+  uint64_t fail_every_nth_put = 0;
+  uint64_t fail_every_nth_get = 0;
+  uint64_t fail_every_nth_delete = 0;
+  /// Corrupt (flip one byte of) the value returned by every nth Get. The
+  /// stored data is untouched — simulates a read-path bit flip / stale
+  /// replica, the case end-to-end integrity checking must catch.
+  uint64_t corrupt_every_nth_get = 0;
+  bool fail_all = false;
+  StatusCode failure_code = StatusCode::kUnavailable;
+};
+
+/// Thread-safe decorator; schedules apply process-wide across threads.
+class FaultKvStore final : public KvStore {
+ public:
+  FaultKvStore(std::shared_ptr<KvStore> inner, FaultOptions options = {});
+
+  Status Put(const std::string& key, BytesView value) override;
+  Result<Bytes> Get(const std::string& key) const override;
+  Status Delete(const std::string& key) override;
+  bool Contains(const std::string& key) const override;
+  size_t Size() const override;
+  size_t ValueBytes() const override;
+
+  /// Flip the hard-outage switch (all operations fail until cleared).
+  void SetFailAll(bool fail_all) { options_.fail_all = fail_all; }
+
+  /// Injected-failure counters (tests assert faults actually fired).
+  uint64_t puts_failed() const { return puts_failed_; }
+  uint64_t gets_failed() const { return gets_failed_; }
+  uint64_t gets_corrupted() const { return gets_corrupted_; }
+  uint64_t deletes_failed() const { return deletes_failed_; }
+
+ private:
+  Status Fault() const;
+
+  std::shared_ptr<KvStore> inner_;
+  FaultOptions options_;
+  mutable std::atomic<uint64_t> put_ops_{0};
+  mutable std::atomic<uint64_t> get_ops_{0};
+  mutable std::atomic<uint64_t> delete_ops_{0};
+  mutable std::atomic<uint64_t> puts_failed_{0};
+  mutable std::atomic<uint64_t> gets_failed_{0};
+  mutable std::atomic<uint64_t> gets_corrupted_{0};
+  mutable std::atomic<uint64_t> deletes_failed_{0};
+};
+
+}  // namespace tc::store

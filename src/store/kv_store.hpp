@@ -1,0 +1,35 @@
+// Key-value storage abstraction — TimeCrypt's persistence layer (§4.6:
+// "TimeCrypt can be plugged-in with any scalable key-value store"). The
+// paper's prototype uses Cassandra; this library ships an in-memory sharded
+// store and a file-backed log store, both behind this interface. Index node
+// and chunk identifiers are computed on the fly from (stream, level, index)
+// so no scans are ever needed — exactly the paper's storage model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace tc::store {
+
+/// Minimal KV contract. Implementations must be thread-safe.
+class KvStore {
+ public:
+  virtual ~KvStore() = default;
+
+  virtual Status Put(const std::string& key, BytesView value) = 0;
+  virtual Result<Bytes> Get(const std::string& key) const = 0;
+  virtual Status Delete(const std::string& key) = 0;
+  virtual bool Contains(const std::string& key) const = 0;
+
+  /// Number of stored entries (approximate under concurrency).
+  virtual size_t Size() const = 0;
+
+  /// Total bytes of stored values (approximate; for memory accounting).
+  virtual size_t ValueBytes() const = 0;
+};
+
+}  // namespace tc::store

@@ -1,0 +1,186 @@
+#include "store/log_kv.hpp"
+
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/io.hpp"
+
+namespace tc::store {
+
+namespace {
+constexpr uint8_t kRecordPut = 1;
+constexpr uint8_t kRecordTombstone = 2;
+}  // namespace
+
+LogKvStore::LogKvStore(std::string path) : path_(std::move(path)) {}
+
+LogKvStore::~LogKvStore() {
+  if (log_ != nullptr) std::fclose(log_);
+}
+
+Result<std::unique_ptr<LogKvStore>> LogKvStore::Open(const std::string& path) {
+  auto store = std::unique_ptr<LogKvStore>(new LogKvStore(path));
+  TC_RETURN_IF_ERROR(store->Replay());
+  store->log_ = std::fopen(path.c_str(), "ab");
+  if (store->log_ == nullptr) {
+    return Unavailable("cannot open log file: " + path);
+  }
+  return store;
+}
+
+Status LogKvStore::Replay() {
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  if (f == nullptr) return Status::Ok();  // fresh store
+  // Read the whole log; individual records are length-prefixed.
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  Bytes data(static_cast<size_t>(size));
+  if (size > 0 && std::fread(data.data(), 1, data.size(), f) != data.size()) {
+    std::fclose(f);
+    return DataLoss("short read replaying log: " + path_);
+  }
+  std::fclose(f);
+
+  BinaryReader r(data);
+  size_t valid_end = 0;  // offset just past the last complete record
+  while (!r.AtEnd()) {
+    auto type = r.GetU8();
+    auto key = r.GetString();
+    if (!type.ok() || !key.ok()) break;  // torn tail write
+    if (*type == kRecordPut) {
+      auto value = r.GetBytes();
+      if (!value.ok()) break;
+      auto [it, inserted] = map_.try_emplace(*key);
+      if (!inserted) {
+        dead_bytes_ += it->second.size();
+        value_bytes_ -= it->second.size();
+      }
+      it->second = std::move(*value);
+      value_bytes_ += it->second.size();
+    } else if (*type == kRecordTombstone) {
+      auto it = map_.find(*key);
+      if (it != map_.end()) {
+        dead_bytes_ += it->second.size();
+        value_bytes_ -= it->second.size();
+        map_.erase(it);
+      }
+    } else {
+      break;  // garbage tail (crash mid-write): recover the valid prefix
+    }
+    valid_end = r.position();
+  }
+  if (valid_end < data.size()) {
+    // Drop the torn tail so future appends follow a well-formed record —
+    // otherwise the next Replay would stop at the garbage and lose them.
+    TC_RETURN_IF_ERROR(TruncateTo(valid_end));
+  }
+  return Status::Ok();
+}
+
+Status LogKvStore::TruncateTo(size_t size) {
+  // POSIX truncate by path: Replay runs before the append handle opens.
+  if (::truncate(path_.c_str(), static_cast<off_t>(size)) != 0) {
+    return Unavailable("cannot truncate torn log tail: " + path_);
+  }
+  return Status::Ok();
+}
+
+Status LogKvStore::AppendRecord(const std::string& key, BytesView value,
+                                bool tombstone) {
+  BinaryWriter w(key.size() + value.size() + 16);
+  w.PutU8(tombstone ? kRecordTombstone : kRecordPut);
+  w.PutString(key);
+  if (!tombstone) w.PutBytes(value);
+  if (std::fwrite(w.data().data(), 1, w.size(), log_) != w.size()) {
+    return Unavailable("log append failed");
+  }
+  return Status::Ok();
+}
+
+Status LogKvStore::Put(const std::string& key, BytesView value) {
+  std::lock_guard lock(mu_);
+  TC_RETURN_IF_ERROR(AppendRecord(key, value, /*tombstone=*/false));
+  auto [it, inserted] = map_.try_emplace(key);
+  if (!inserted) {
+    dead_bytes_ += it->second.size();
+    value_bytes_ -= it->second.size();
+  }
+  it->second.assign(value.begin(), value.end());
+  value_bytes_ += value.size();
+  return Status::Ok();
+}
+
+Result<Bytes> LogKvStore::Get(const std::string& key) const {
+  std::lock_guard lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) return NotFound("key not found: " + key);
+  return it->second;
+}
+
+Status LogKvStore::Delete(const std::string& key) {
+  std::lock_guard lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) return NotFound("key not found: " + key);
+  TC_RETURN_IF_ERROR(AppendRecord(key, {}, /*tombstone=*/true));
+  dead_bytes_ += it->second.size();
+  value_bytes_ -= it->second.size();
+  map_.erase(it);
+  return Status::Ok();
+}
+
+bool LogKvStore::Contains(const std::string& key) const {
+  std::lock_guard lock(mu_);
+  return map_.contains(key);
+}
+
+size_t LogKvStore::Size() const {
+  std::lock_guard lock(mu_);
+  return map_.size();
+}
+
+size_t LogKvStore::ValueBytes() const {
+  std::lock_guard lock(mu_);
+  return value_bytes_;
+}
+
+Result<size_t> LogKvStore::Compact() {
+  std::lock_guard lock(mu_);
+  std::string tmp_path = path_ + ".compact";
+  std::FILE* tmp = std::fopen(tmp_path.c_str(), "wb");
+  if (tmp == nullptr) return Unavailable("cannot open compaction file");
+
+  for (const auto& [key, value] : map_) {
+    BinaryWriter w(key.size() + value.size() + 16);
+    w.PutU8(kRecordPut);
+    w.PutString(key);
+    w.PutBytes(value);
+    if (std::fwrite(w.data().data(), 1, w.size(), tmp) != w.size()) {
+      std::fclose(tmp);
+      std::remove(tmp_path.c_str());
+      return Unavailable("compaction write failed");
+    }
+  }
+  std::fclose(tmp);
+  std::fclose(log_);
+  log_ = nullptr;
+  if (std::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    return Unavailable("compaction rename failed");
+  }
+  log_ = std::fopen(path_.c_str(), "ab");
+  if (log_ == nullptr) return Unavailable("cannot reopen log");
+  size_t reclaimed = dead_bytes_;
+  dead_bytes_ = 0;
+  return reclaimed;
+}
+
+Status LogKvStore::Sync() {
+  std::lock_guard lock(mu_);
+  if (log_ != nullptr && std::fflush(log_) != 0) {
+    return Unavailable("fflush failed");
+  }
+  return Status::Ok();
+}
+
+}  // namespace tc::store

@@ -1,0 +1,58 @@
+// File-backed KV store: append-only value log with an in-memory index.
+// Gives the repository a durable storage engine so examples and tests can
+// exercise persistence/restart paths (the paper's Cassandra layer persists
+// to disk; this is our single-node equivalent).
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "store/kv_store.hpp"
+
+namespace tc::store {
+
+/// Log-structured store. Writes append `keylen key vallen value` records to
+/// a single log file; Get serves from an in-memory map populated at open.
+/// Deletes append a tombstone. Compact() rewrites the log dropping dead
+/// records.
+class LogKvStore final : public KvStore {
+ public:
+  /// Opens (or creates) the log at `path` and replays it.
+  static Result<std::unique_ptr<LogKvStore>> Open(const std::string& path);
+
+  ~LogKvStore() override;
+
+  Status Put(const std::string& key, BytesView value) override;
+  Result<Bytes> Get(const std::string& key) const override;
+  Status Delete(const std::string& key) override;
+  bool Contains(const std::string& key) const override;
+  size_t Size() const override;
+  size_t ValueBytes() const override;
+
+  /// Rewrite the log keeping only live records. Returns bytes reclaimed.
+  Result<size_t> Compact();
+
+  /// Flush buffered writes to the OS.
+  Status Sync();
+
+ private:
+  explicit LogKvStore(std::string path);
+
+  Status Replay();
+  /// Drop a torn tail discovered during replay (crash-recovery path).
+  Status TruncateTo(size_t size);
+  Status AppendRecord(const std::string& key, BytesView value,
+                      bool tombstone);
+
+  std::string path_;
+  mutable std::mutex mu_;
+  std::FILE* log_ = nullptr;
+  std::unordered_map<std::string, Bytes> map_;
+  size_t value_bytes_ = 0;
+  size_t dead_bytes_ = 0;
+};
+
+}  // namespace tc::store

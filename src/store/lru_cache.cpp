@@ -1,0 +1,69 @@
+#include "store/lru_cache.hpp"
+
+namespace tc::store {
+
+void LruCache::Put(const std::string& key, BytesView value) {
+  std::lock_guard lock(mu_);
+  if (value.size() > capacity_) return;
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    bytes_ -= it->second->value.size();
+    it->second->value.assign(value.begin(), value.end());
+    bytes_ += value.size();
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Entry{key, Bytes(value.begin(), value.end())});
+    map_[key] = lru_.begin();
+    bytes_ += value.size();
+  }
+  EvictIfNeededLocked();
+}
+
+std::optional<Bytes> LruCache::Get(const std::string& key) {
+  std::lock_guard lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->value;
+}
+
+void LruCache::Erase(const std::string& key) {
+  std::lock_guard lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) return;
+  bytes_ -= it->second->value.size();
+  lru_.erase(it->second);
+  map_.erase(it);
+}
+
+void LruCache::Clear() {
+  std::lock_guard lock(mu_);
+  lru_.clear();
+  map_.clear();
+  bytes_ = 0;
+}
+
+size_t LruCache::size_bytes() const {
+  std::lock_guard lock(mu_);
+  return bytes_;
+}
+
+size_t LruCache::entry_count() const {
+  std::lock_guard lock(mu_);
+  return lru_.size();
+}
+
+void LruCache::EvictIfNeededLocked() {
+  while (bytes_ > capacity_ && !lru_.empty()) {
+    Entry& victim = lru_.back();
+    bytes_ -= victim.value.size();
+    map_.erase(victim.key);
+    lru_.pop_back();
+  }
+}
+
+}  // namespace tc::store

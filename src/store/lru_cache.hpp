@@ -1,0 +1,54 @@
+// Byte-budget LRU cache for index nodes (the paper's caffeine cache, §5).
+// The Fig 7 "small cache (1 MB)" experiment shrinks this budget to force
+// cache misses against the backing store.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+
+namespace tc::store {
+
+/// Thread-safe LRU keyed by string, holding byte buffers, evicting by total
+/// value-byte budget.
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  /// Insert or refresh. Values larger than the whole budget are not cached.
+  void Put(const std::string& key, BytesView value);
+
+  /// Fetch + mark most recently used.
+  std::optional<Bytes> Get(const std::string& key);
+
+  void Erase(const std::string& key);
+  void Clear();
+
+  size_t size_bytes() const;
+  size_t entry_count() const;
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    Bytes value;
+  };
+
+  void EvictIfNeededLocked();
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  size_t bytes_ = 0;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace tc::store

@@ -1,0 +1,40 @@
+// Sharded in-memory KV store: the default storage engine (stands in for the
+// paper's Cassandra deployment; see DESIGN.md substitution #1).
+#pragma once
+
+#include <array>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "store/kv_store.hpp"
+
+namespace tc::store {
+
+/// Hash-sharded unordered_map store. Shard count fixed at construction;
+/// each shard has its own mutex so concurrent streams don't contend.
+class MemKvStore final : public KvStore {
+ public:
+  explicit MemKvStore(size_t num_shards = 16);
+
+  Status Put(const std::string& key, BytesView value) override;
+  Result<Bytes> Get(const std::string& key) const override;
+  Status Delete(const std::string& key) override;
+  bool Contains(const std::string& key) const override;
+  size_t Size() const override;
+  size_t ValueBytes() const override;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Bytes> map;
+    size_t value_bytes = 0;
+  };
+
+  Shard& ShardFor(const std::string& key) const;
+
+  size_t num_shards_;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+}  // namespace tc::store

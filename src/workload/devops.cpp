@@ -1,0 +1,64 @@
+#include "workload/devops.hpp"
+
+#include <algorithm>
+
+namespace tc::workload {
+
+namespace {
+constexpr const char* kCpuMetrics[] = {
+    "cpu_user",  "cpu_system", "cpu_idle",   "cpu_nice",  "cpu_iowait",
+    "cpu_irq",   "cpu_softirq", "cpu_steal", "cpu_guest", "cpu_guest_nice",
+};
+}  // namespace
+
+DevOpsGenerator::DevOpsGenerator(DevOpsConfig config)
+    : config_(config), rng_(config.seed) {
+  series_.resize(static_cast<size_t>(config_.num_hosts) * config_.num_metrics);
+  for (auto& s : series_) {
+    s.level = rng_.NextDouble() * 100.0;
+    s.next_ts = config_.t0;
+  }
+}
+
+std::string DevOpsGenerator::StreamName(uint32_t host, uint32_t metric) const {
+  constexpr size_t kNames = sizeof(kCpuMetrics) / sizeof(kCpuMetrics[0]);
+  std::string name = "host_";
+  if (host < 100) name += host < 10 ? "00" : "0";
+  name += std::to_string(host);
+  name += "/";
+  name += metric < kNames ? kCpuMetrics[metric]
+                          : ("metric_" + std::to_string(metric)).c_str();
+  return name;
+}
+
+index::DataPoint DevOpsGenerator::Next(uint32_t host, uint32_t metric) {
+  SeriesState& s = StateOf(host, metric);
+  // Bounded random walk, TSBS-style: step ~N(0, 4), clamp to [0, 100].
+  s.level = std::clamp(s.level + rng_.NextGaussian() * 4.0, 0.0, 100.0);
+  index::DataPoint p;
+  p.timestamp_ms = s.next_ts;
+  p.value = static_cast<int64_t>(s.level * 100.0);  // percent x100
+  s.next_ts += config_.sample_interval_ms;
+  return p;
+}
+
+std::vector<index::DataPoint> DevOpsGenerator::Batch(uint32_t host,
+                                                     uint32_t metric,
+                                                     size_t n) {
+  std::vector<index::DataPoint> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(Next(host, metric));
+  return out;
+}
+
+index::DigestSchema DevOpsGenerator::CpuSchema() {
+  index::DigestSchema s;
+  s.with_sum = s.with_count = true;
+  s.with_sumsq = false;
+  s.hist_bins = 10;
+  s.hist_min = 0;
+  s.hist_width = 1000;  // percent x100: bins of 10%
+  return s;
+}
+
+}  // namespace tc::workload

@@ -1,0 +1,60 @@
+// DevOps workload generator (§6 setup): data-center CPU monitoring in the
+// style of the Time Series Benchmark Suite — 10 metrics per host, 100
+// hosts, one sample per 10 s, chunked at Δ = 1 min (6 records per chunk).
+// CPU utilization is synthesized as a bounded random walk in [0, 100].
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "crypto/rand.hpp"
+#include "index/digest.hpp"
+
+namespace tc::workload {
+
+struct DevOpsConfig {
+  uint32_t num_hosts = 100;
+  uint32_t num_metrics = 10;
+  DurationMs sample_interval_ms = 10 * kSecond;
+  Timestamp t0 = 0;
+  uint64_t seed = 7;
+};
+
+class DevOpsGenerator {
+ public:
+  explicit DevOpsGenerator(DevOpsConfig config);
+
+  uint32_t num_streams() const {
+    return config_.num_hosts * config_.num_metrics;
+  }
+
+  /// Stream naming: "host_017/cpu_user".
+  std::string StreamName(uint32_t host, uint32_t metric) const;
+
+  /// Next sample of (host, metric); utilization percent x100 (integer).
+  index::DataPoint Next(uint32_t host, uint32_t metric);
+
+  std::vector<index::DataPoint> Batch(uint32_t host, uint32_t metric,
+                                      size_t n);
+
+  /// Digest schema for utilization: sum/count + 10 bins over [0, 100]% so
+  /// "fraction of machines above 50%" (§6.3) is a frequency query.
+  static index::DigestSchema CpuSchema();
+
+ private:
+  struct SeriesState {
+    double level;  // current utilization in percent
+    Timestamp next_ts;
+  };
+
+  SeriesState& StateOf(uint32_t host, uint32_t metric) {
+    return series_[host * config_.num_metrics + metric];
+  }
+
+  DevOpsConfig config_;
+  crypto::DeterministicRng rng_;
+  std::vector<SeriesState> series_;
+};
+
+}  // namespace tc::workload

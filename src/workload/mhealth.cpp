@@ -1,0 +1,67 @@
+#include "workload/mhealth.hpp"
+
+#include <cmath>
+
+namespace tc::workload {
+
+namespace {
+constexpr const char* kMetricNames[] = {
+    "heart_rate",      "spo2",          "skin_temp",    "resp_rate",
+    "activity",        "steps",         "perfusion",    "bp_systolic",
+    "bp_diastolic",    "galvanic_skin", "core_temp",    "hrv",
+};
+}  // namespace
+
+MHealthGenerator::MHealthGenerator(MHealthConfig config)
+    : config_(config), rng_(config.seed) {
+  metrics_.reserve(config_.num_metrics);
+  for (uint32_t m = 0; m < config_.num_metrics; ++m) {
+    MetricState s;
+    s.phase = rng_.NextDouble() * 2 * M_PI;
+    s.base = 60.0 + 20.0 * rng_.NextDouble();       // resting level
+    s.amplitude = 10.0 + 10.0 * rng_.NextDouble();  // circadian-ish swing
+    s.noise = 1.0 + 2.0 * rng_.NextDouble();
+    s.next_ts = config_.t0;
+    metrics_.push_back(s);
+  }
+}
+
+std::string MHealthGenerator::MetricName(uint32_t metric) const {
+  constexpr size_t kNames = sizeof(kMetricNames) / sizeof(kMetricNames[0]);
+  if (metric < kNames) return kMetricNames[metric];
+  return "metric_" + std::to_string(metric);
+}
+
+index::DataPoint MHealthGenerator::Next(uint32_t metric) {
+  MetricState& s = metrics_[metric];
+  // Slow sinusoidal drift (period ~1 min of samples) plus Gaussian noise,
+  // scaled x10 into integer units (e.g. deci-bpm).
+  double t = s.phase;
+  s.phase += 2 * M_PI / (60.0 * config_.sample_hz);
+  double value = s.base + s.amplitude * std::sin(t) +
+                 s.noise * rng_.NextGaussian();
+  index::DataPoint p;
+  p.timestamp_ms = s.next_ts;
+  p.value = static_cast<int64_t>(value * 10.0);
+  s.next_ts += static_cast<Timestamp>(1000.0 / config_.sample_hz);
+  return p;
+}
+
+std::vector<index::DataPoint> MHealthGenerator::Batch(uint32_t metric,
+                                                      size_t n) {
+  std::vector<index::DataPoint> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(Next(metric));
+  return out;
+}
+
+index::DigestSchema MHealthGenerator::VitalsSchema() {
+  index::DigestSchema s;
+  s.with_sum = s.with_count = s.with_sumsq = true;
+  s.hist_bins = 16;
+  s.hist_min = 0;
+  s.hist_width = 100;  // deci-units: 16 bins over [0, 160) base units
+  return s;
+}
+
+}  // namespace tc::workload

@@ -1,0 +1,59 @@
+// mhealth workload generator (§6 setup): a health-monitoring wearable
+// reporting 12 metrics at 50 Hz (heart rate, SpO2, skin temperature, etc.),
+// chunked at Δ = 10 s — up to 500 points per chunk per metric. Values are
+// synthesized as slow physiological drifts (sinusoid + noise) scaled to
+// integers, matching the integer encoding TimeCrypt operates on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "crypto/rand.hpp"
+#include "index/digest.hpp"
+
+namespace tc::workload {
+
+struct MHealthConfig {
+  uint32_t num_metrics = 12;
+  double sample_hz = 50.0;
+  Timestamp t0 = 0;
+  uint64_t seed = 1;
+};
+
+/// One synthetic wearable. NextBatch() yields the points of all metrics for
+/// a wall-clock step, interleaved per metric stream.
+class MHealthGenerator {
+ public:
+  explicit MHealthGenerator(MHealthConfig config);
+
+  uint32_t num_metrics() const { return config_.num_metrics; }
+
+  /// Metric name (e.g. "heart_rate") for stream metadata.
+  std::string MetricName(uint32_t metric) const;
+
+  /// Generate the next sample for a metric (advances that metric's clock).
+  index::DataPoint Next(uint32_t metric);
+
+  /// Generate `n` consecutive samples for one metric.
+  std::vector<index::DataPoint> Batch(uint32_t metric, size_t n);
+
+  /// A digest schema suitable for vitals: sum/count/sumsq + 16-bin
+  /// histogram over the physiological range.
+  static index::DigestSchema VitalsSchema();
+
+ private:
+  struct MetricState {
+    double phase;
+    double base;
+    double amplitude;
+    double noise;
+    Timestamp next_ts;
+  };
+
+  MHealthConfig config_;
+  crypto::DeterministicRng rng_;
+  std::vector<MetricState> metrics_;
+};
+
+}  // namespace tc::workload

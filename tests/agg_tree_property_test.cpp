@@ -1,0 +1,177 @@
+// Aggregation-tree property sweeps: for every fanout and size shape, every
+// query against the encrypted k-ary index must equal a brute-force oracle
+// over the plaintext digests — including after decay, across node
+// boundaries, and against the HEAC backend with telescoped decryption.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+
+#include "crypto/ggm_tree.hpp"
+#include "crypto/rand.hpp"
+#include "index/agg_tree.hpp"
+#include "index/digest_cipher.hpp"
+#include "store/mem_kv.hpp"
+
+namespace tc::index {
+namespace {
+
+/// Plaintext fixture + oracle: values[i] = digest of chunk i (one field).
+struct OracleFixture {
+  explicit OracleFixture(uint32_t fanout, uint64_t chunks)
+      : kv(std::make_shared<store::MemKvStore>()),
+        cipher(MakePlainCipher(1)),
+        tree(kv, "p", cipher, AggTreeOptions{fanout, 1 << 22}) {
+    crypto::DeterministicRng rng(fanout * 1000003 + chunks);
+    for (uint64_t i = 0; i < chunks; ++i) {
+      uint64_t v = rng.NextBelow(1'000'000);
+      values.push_back(v);
+      Bytes blob = *cipher->Encrypt(std::vector<uint64_t>{v}, i);
+      // gtest ASSERT_* cannot be used in a constructor (it returns).
+      if (!tree.Append(i, blob).ok()) std::abort();
+    }
+  }
+
+  uint64_t OracleSum(uint64_t first, uint64_t last) const {
+    return std::accumulate(values.begin() + first, values.begin() + last,
+                           uint64_t{0});
+  }
+
+  Result<uint64_t> QuerySum(uint64_t first, uint64_t last) const {
+    TC_ASSIGN_OR_RETURN(Bytes blob, tree.Query(first, last));
+    TC_ASSIGN_OR_RETURN(auto fields, cipher->Decrypt(blob, first, last));
+    return fields[0];
+  }
+
+  std::shared_ptr<store::MemKvStore> kv;
+  std::shared_ptr<const DigestCipher> cipher;
+  AggTree tree;
+  std::vector<uint64_t> values;
+};
+
+class AggTreeOracle
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint64_t>> {};
+
+TEST_P(AggTreeOracle, EveryQueryShapeMatchesOracle) {
+  auto [fanout, chunks] = GetParam();
+  OracleFixture fx(fanout, chunks);
+
+  // Deliberate shapes: full range, single chunks at the edges, one-node
+  // ranges, node-straddling ranges, and the worst-case mid-alignment.
+  std::vector<std::pair<uint64_t, uint64_t>> shapes = {
+      {0, chunks},
+      {0, 1},
+      {chunks - 1, chunks},
+      {0, std::min<uint64_t>(fanout, chunks)},
+  };
+  if (chunks > fanout + 2) {
+    shapes.push_back({fanout - 1, fanout + 2});        // straddles node 0/1
+    shapes.push_back({fanout / 2, chunks - fanout / 2});  // ragged both ends
+  }
+  crypto::DeterministicRng rng(fanout + chunks);
+  for (int i = 0; i < 12; ++i) {
+    uint64_t first = rng.NextBelow(chunks);
+    uint64_t last = first + 1 + rng.NextBelow(chunks - first);
+    shapes.emplace_back(first, last);
+  }
+
+  for (auto [first, last] : shapes) {
+    auto sum = fx.QuerySum(first, last);
+    ASSERT_TRUE(sum.ok()) << "[" << first << ", " << last << ")";
+    EXPECT_EQ(*sum, fx.OracleSum(first, last))
+        << "fanout=" << fanout << " chunks=" << chunks << " [" << first
+        << ", " << last << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FanoutsAndSizes, AggTreeOracle,
+    ::testing::Combine(::testing::Values(2u, 3u, 8u, 64u),
+                       // sizes straddling node-completion boundaries
+                       ::testing::Values(uint64_t{1}, uint64_t{7},
+                                         uint64_t{64}, uint64_t{65},
+                                         uint64_t{513})),
+    [](const auto& info) {
+      return "k" + std::to_string(std::get<0>(info.param)) + "n" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(AggTreeHeacOracle, TelescopedDecryptMatchesOracleAcrossShapes) {
+  // Same oracle discipline against the real HEAC backend: server-side adds
+  // happen on ciphertext; decryption uses only the two outer leaves.
+  constexpr uint32_t kFanout = 4;
+  constexpr uint64_t kChunks = 100;
+  auto ggm = std::make_shared<crypto::GgmTree>(crypto::RandomKey128(), 16);
+  auto kv = std::make_shared<store::MemKvStore>();
+  std::shared_ptr<const DigestCipher> cipher = MakeHeacCipher(1, ggm);
+  AggTree tree(kv, "h", cipher, AggTreeOptions{kFanout, 1 << 22});
+
+  crypto::DeterministicRng rng(42);
+  std::vector<uint64_t> values;
+  for (uint64_t i = 0; i < kChunks; ++i) {
+    uint64_t v = rng.NextBelow(1'000'000);
+    values.push_back(v);
+    ASSERT_TRUE(
+        tree.Append(i, *cipher->Encrypt(std::vector<uint64_t>{v}, i)).ok());
+  }
+
+  for (int round = 0; round < 40; ++round) {
+    uint64_t first = rng.NextBelow(kChunks);
+    uint64_t last = first + 1 + rng.NextBelow(kChunks - first);
+    auto blob = tree.Query(first, last);
+    ASSERT_TRUE(blob.ok());
+    auto fields = cipher->Decrypt(*blob, first, last);
+    ASSERT_TRUE(fields.ok());
+    uint64_t oracle = std::accumulate(values.begin() + first,
+                                      values.begin() + last, uint64_t{0});
+    EXPECT_EQ((*fields)[0], oracle) << "[" << first << ", " << last << ")";
+  }
+}
+
+TEST(AggTreeDecay, CoarseQueriesSurviveLeafDecay) {
+  // After decaying leaf digests of complete nodes, queries aligned to the
+  // parent level still answer from retained aggregates (§4.5 data decay).
+  constexpr uint32_t kFanout = 4;
+  constexpr uint64_t kChunks = 64;
+  OracleFixture fx(kFanout, kChunks);
+  uint64_t full = fx.OracleSum(0, kChunks);
+
+  ASSERT_TRUE(fx.tree.DecayLeafRange(0, 32).ok());
+
+  // Node-aligned coarse query over the decayed region still answers.
+  auto whole = fx.QuerySum(0, kChunks);
+  ASSERT_TRUE(whole.ok());
+  EXPECT_EQ(*whole, full);
+  auto aligned = fx.QuerySum(0, 32);
+  ASSERT_TRUE(aligned.ok());
+  EXPECT_EQ(*aligned, fx.OracleSum(0, 32));
+
+  // Chunk-granular queries inside the decayed region fail cleanly (the
+  // level-0 node is gone), and the undecayed tail still works.
+  EXPECT_FALSE(fx.QuerySum(1, 3).ok());
+  auto tail = fx.QuerySum(40, 50);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(*tail, fx.OracleSum(40, 50));
+}
+
+TEST(AggTreeLeafDigest, ReturnsExactStoredBlob) {
+  constexpr uint32_t kFanout = 4;
+  auto kv = std::make_shared<store::MemKvStore>();
+  std::shared_ptr<const DigestCipher> cipher = MakePlainCipher(2);
+  AggTree tree(kv, "l", cipher, AggTreeOptions{kFanout, 1 << 20});
+  std::vector<Bytes> blobs;
+  for (uint64_t i = 0; i < 10; ++i) {
+    Bytes blob = *cipher->Encrypt(std::vector<uint64_t>{i * 7, i}, i);
+    blobs.push_back(blob);
+    ASSERT_TRUE(tree.Append(i, blob).ok());
+  }
+  for (uint64_t i = 0; i < 10; ++i) {
+    auto leaf = tree.LeafDigest(i);
+    ASSERT_TRUE(leaf.ok());
+    EXPECT_EQ(*leaf, blobs[i]) << "chunk " << i;
+  }
+  EXPECT_FALSE(tree.LeafDigest(10).ok());
+}
+
+}  // namespace
+}  // namespace tc::index

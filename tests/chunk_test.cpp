@@ -1,0 +1,161 @@
+// Chunk pipeline tests: delta+varint+zlib compression round trips, builder
+// window enforcement, seal/open with chunk binding.
+#include <gtest/gtest.h>
+
+#include "chunk/chunk.hpp"
+#include "crypto/rand.hpp"
+
+namespace tc::chunk {
+namespace {
+
+using index::DataPoint;
+
+std::vector<DataPoint> RegularSeries(size_t n, int64_t t0 = 0,
+                                     int64_t dt = 20) {
+  std::vector<DataPoint> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pts.push_back({t0 + static_cast<int64_t>(i) * dt,
+                   static_cast<int64_t>(600 + (i % 7))});
+  }
+  return pts;
+}
+
+class CompressionTest : public ::testing::TestWithParam<Compression> {};
+
+TEST_P(CompressionTest, RoundTrip) {
+  auto pts = RegularSeries(500);
+  auto compressed = CompressPoints(pts, GetParam());
+  ASSERT_TRUE(compressed.ok());
+  auto back = DecompressPoints(*compressed);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, pts);
+}
+
+TEST_P(CompressionTest, EmptyBatch) {
+  auto compressed = CompressPoints({}, GetParam());
+  ASSERT_TRUE(compressed.ok());
+  auto back = DecompressPoints(*compressed);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST_P(CompressionTest, NegativeValuesAndTimestamps) {
+  std::vector<DataPoint> pts = {{-100, -5}, {-50, 3}, {0, -1000000}, {7, 0}};
+  auto compressed = CompressPoints(pts, GetParam());
+  ASSERT_TRUE(compressed.ok());
+  EXPECT_EQ(*DecompressPoints(*compressed), pts);
+}
+
+INSTANTIATE_TEST_SUITE_P(Codecs, CompressionTest,
+                         ::testing::Values(Compression::kNone,
+                                           Compression::kZlib),
+                         [](const auto& info) {
+                           return info.param == Compression::kZlib ? "Zlib"
+                                                                   : "None";
+                         });
+
+TEST(Compression, RegularSeriesCompressesWell) {
+  // 500 regular samples: delta encoding should collapse each point to a few
+  // bytes, far below the 16-byte raw representation.
+  auto pts = RegularSeries(500);
+  auto compressed = CompressPoints(pts, Compression::kZlib);
+  ASSERT_TRUE(compressed.ok());
+  EXPECT_LT(compressed->size(), pts.size() * 16 / 4);
+}
+
+TEST(Compression, RandomDataFallsBackToUncompressed) {
+  // High-entropy values: zlib cannot help; codec must keep the smaller
+  // representation and still round-trip.
+  crypto::DeterministicRng rng(3);
+  std::vector<DataPoint> pts;
+  for (int i = 0; i < 200; ++i) {
+    pts.push_back({static_cast<int64_t>(rng.NextU64() % 1000000),
+                   static_cast<int64_t>(rng.NextU64())});
+  }
+  std::sort(pts.begin(), pts.end(),
+            [](auto& a, auto& b) { return a.timestamp_ms < b.timestamp_ms; });
+  auto compressed = CompressPoints(pts, Compression::kZlib);
+  ASSERT_TRUE(compressed.ok());
+  EXPECT_EQ(*DecompressPoints(*compressed), pts);
+}
+
+TEST(Compression, CorruptPayloadRejected) {
+  auto compressed = CompressPoints(RegularSeries(10), Compression::kZlib);
+  (*compressed)[0] = 0xee;  // bad version byte
+  EXPECT_FALSE(DecompressPoints(*compressed).ok());
+  EXPECT_FALSE(DecompressPoints(Bytes{}).ok());
+}
+
+TEST(ZlibRaw, RoundTrip) {
+  Bytes data = ToBytes(std::string(10000, 'a'));
+  auto deflated = ZlibDeflate(data);
+  ASSERT_TRUE(deflated.ok());
+  EXPECT_LT(deflated->size(), data.size() / 10);
+  auto inflated = ZlibInflate(*deflated);
+  ASSERT_TRUE(inflated.ok());
+  EXPECT_EQ(*inflated, data);
+}
+
+TEST(ChunkBuilder, EnforcesWindow) {
+  ChunkBuilder b(0, {0, 10'000}, Compression::kZlib);
+  EXPECT_TRUE(b.Add({0, 1}).ok());
+  EXPECT_TRUE(b.Add({9'999, 2}).ok());
+  EXPECT_FALSE(b.Add({10'000, 3}).ok());  // next window
+  EXPECT_FALSE(b.Add({-1, 4}).ok());
+  EXPECT_EQ(b.num_points(), 2u);
+}
+
+TEST(ChunkBuilder, EnforcesTimeOrder) {
+  ChunkBuilder b(0, {0, 10'000}, Compression::kZlib);
+  EXPECT_TRUE(b.Add({100, 1}).ok());
+  EXPECT_FALSE(b.Add({50, 2}).ok());
+  EXPECT_TRUE(b.Add({100, 3}).ok());  // equal timestamps allowed
+}
+
+TEST(ChunkBuilder, SealOpenRoundTrip) {
+  ChunkBuilder b(7, {70'000, 80'000}, Compression::kZlib);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(b.Add({70'000 + i * 100, 500 + i}).ok());
+  }
+  crypto::Key128 key = crypto::RandomKey128();
+  auto sealed = b.SealPayload(key);
+  ASSERT_TRUE(sealed.ok());
+  auto points = OpenPayload(key, 7, *sealed);
+  ASSERT_TRUE(points.ok());
+  EXPECT_EQ(points->size(), 100u);
+  EXPECT_EQ((*points)[0].value, 500);
+}
+
+TEST(ChunkBuilder, ChunkBindingPreventsTransplant) {
+  ChunkBuilder b(7, {70'000, 80'000}, Compression::kZlib);
+  ASSERT_TRUE(b.Add({70'001, 42}).ok());
+  crypto::Key128 key = crypto::RandomKey128();
+  auto sealed = b.SealPayload(key);
+  // Replaying chunk 7's payload as chunk 8 must fail authentication.
+  EXPECT_FALSE(OpenPayload(key, 8, *sealed).ok());
+}
+
+TEST(ChunkBuilder, ResetStartsFreshWindow) {
+  ChunkBuilder b(0, {0, 10}, Compression::kNone);
+  ASSERT_TRUE(b.Add({5, 1}).ok());
+  b.Reset(1, {10, 20});
+  EXPECT_EQ(b.num_points(), 0u);
+  EXPECT_EQ(b.index(), 1u);
+  EXPECT_TRUE(b.Add({15, 2}).ok());
+  EXPECT_FALSE(b.Add({5, 3}).ok());
+}
+
+TEST(ChunkBuilder, DigestMatchesSchema) {
+  ChunkBuilder b(0, {0, 1000}, Compression::kNone);
+  ASSERT_TRUE(b.Add({1, 10}).ok());
+  ASSERT_TRUE(b.Add({2, 20}).ok());
+  index::DigestSchema schema;
+  schema.with_sum = schema.with_count = true;
+  auto fields = b.ComputeDigest(schema);
+  EXPECT_EQ(fields[0], 30u);
+  EXPECT_EQ(fields[1], 2u);
+}
+
+}  // namespace
+}  // namespace tc::chunk

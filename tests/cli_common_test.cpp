@@ -1,0 +1,124 @@
+// Tests for the CLI plumbing (tools/cli_common.hpp): flag parsing edge
+// cases and the on-disk key-state files tccli depends on — corrupting or
+// losing these means losing access to encrypted data, so they deserve the
+// same rigor as the wire codecs.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "tools/cli_common.hpp"
+
+namespace tc::tools {
+namespace {
+
+std::vector<char*> Argv(std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>("prog"));
+  for (auto& a : args) argv.push_back(a.data());
+  return argv;
+}
+
+TEST(Flags, ParsesValuesBooleansAndPositionals) {
+  std::vector<std::string> args = {"create", "--name",      "hr",
+                                   "--sumsq", "--delta-ms", "5000"};
+  auto argv = Argv(args);
+  Flags flags(static_cast<int>(argv.size()), argv.data(), {"sumsq"});
+
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "create");
+  EXPECT_EQ(flags.Get("name"), "hr");
+  EXPECT_TRUE(flags.Has("sumsq"));
+  EXPECT_EQ(flags.GetInt("delta-ms", 0), 5000);
+  EXPECT_EQ(flags.GetInt("missing", 42), 42);
+  EXPECT_EQ(flags.Get("missing", "fallback"), "fallback");
+}
+
+TEST(Flags, BooleanFlagDoesNotSwallowNextToken) {
+  std::vector<std::string> args = {"--integrity", "create"};
+  auto argv = Argv(args);
+  Flags flags(static_cast<int>(argv.size()), argv.data(), {"integrity"});
+  EXPECT_TRUE(flags.Has("integrity"));
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "create");
+}
+
+TEST(Flags, TrailingValueFlagWithoutValueActsBoolean) {
+  std::vector<std::string> args = {"--port"};
+  auto argv = Argv(args);
+  Flags flags(static_cast<int>(argv.size()), argv.data(), {});
+  EXPECT_TRUE(flags.Has("port"));
+  EXPECT_EQ(flags.GetInt("port", 4433), 1);  // "1" sentinel parses as 1
+}
+
+TEST(Flags, Uint64FullRange) {
+  std::vector<std::string> args = {"--uuid", "17834164730926769409"};
+  auto argv = Argv(args);
+  Flags flags(static_cast<int>(argv.size()), argv.data(), {});
+  // Above INT64_MAX: GetInt would clamp, GetUint must not.
+  EXPECT_EQ(flags.GetUint("uuid", 0), 17834164730926769409ull);
+}
+
+TEST(StreamStateFile, RoundTripsSeedAndConfig) {
+  std::string dir = ::testing::TempDir() + "/cli_state_rt";
+  std::filesystem::remove_all(dir);
+
+  StreamState s;
+  s.uuid = 0xfeedfacecafebeefull;
+  s.master_seed = crypto::RandomKey128();
+  s.config.name = "hr/device";
+  s.config.delta_ms = 10'000;
+  s.config.schema.with_sumsq = true;
+  s.config.schema.hist_bins = 8;
+  s.config.integrity = true;
+
+  ASSERT_TRUE(SaveStreamState(dir, s).ok());
+  auto back = LoadStreamState(dir, s.uuid);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->uuid, s.uuid);
+  EXPECT_EQ(back->master_seed, s.master_seed);
+  EXPECT_EQ(back->config, s.config);
+
+  // Unknown stream: clean error.
+  EXPECT_FALSE(LoadStreamState(dir, 12345).ok());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(IdentityFile, CreateOnceThenStable) {
+  std::string dir = ::testing::TempDir() + "/cli_identity";
+  std::filesystem::remove_all(dir);
+
+  // Without create: clean error guiding the user to keygen.
+  EXPECT_FALSE(LoadOrCreateIdentity(dir, /*create=*/false).ok());
+
+  auto first = LoadOrCreateIdentity(dir, /*create=*/true);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->public_key.size(), crypto::kX25519KeySize);
+
+  // Second load returns the SAME identity (stability is the whole point).
+  auto second = LoadOrCreateIdentity(dir, /*create=*/false);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->public_key, first->public_key);
+  EXPECT_EQ(second->secret_key, first->secret_key);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SigningFile, CreateOnceThenStable) {
+  std::string dir = ::testing::TempDir() + "/cli_signing";
+  std::filesystem::remove_all(dir);
+  auto first = LoadOrCreateSigning(dir);
+  ASSERT_TRUE(first.ok());
+  auto second = LoadOrCreateSigning(dir);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->public_key, first->public_key);
+  // Attestations signed by the first load verify against the second's key.
+  auto sig = crypto::SignMessage(first->secret_key, ToBytes("head"));
+  ASSERT_TRUE(sig.ok());
+  EXPECT_TRUE(
+      crypto::VerifySignature(second->public_key, ToBytes("head"), *sig)
+          .ok());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace tc::tools

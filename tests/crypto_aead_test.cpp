@@ -1,0 +1,111 @@
+// AES-GCM payload encryption and X25519 sealed-box tests.
+#include <gtest/gtest.h>
+
+#include "crypto/aes_gcm.hpp"
+#include "crypto/sealed_box.hpp"
+
+namespace tc::crypto {
+namespace {
+
+TEST(AesGcm, RoundTrip) {
+  Key128 key = RandomKey128();
+  Bytes pt = ToBytes("the quick brown fox");
+  Bytes sealed = GcmSeal(key, pt);
+  EXPECT_EQ(sealed.size(), kGcmNonceSize + pt.size() + kGcmTagSize);
+  auto open = GcmOpen(key, sealed);
+  ASSERT_TRUE(open.ok());
+  EXPECT_EQ(*open, pt);
+}
+
+TEST(AesGcm, EmptyPlaintext) {
+  Key128 key = RandomKey128();
+  Bytes sealed = GcmSeal(key, {});
+  auto open = GcmOpen(key, sealed);
+  ASSERT_TRUE(open.ok());
+  EXPECT_TRUE(open->empty());
+}
+
+TEST(AesGcm, RandomizedEncryption) {
+  Key128 key = RandomKey128();
+  Bytes pt = ToBytes("same message");
+  EXPECT_NE(GcmSeal(key, pt), GcmSeal(key, pt));  // fresh nonce per call
+}
+
+TEST(AesGcm, TamperDetected) {
+  Key128 key = RandomKey128();
+  Bytes sealed = GcmSeal(key, ToBytes("payload"));
+  sealed[kGcmNonceSize] ^= 1;  // flip a ciphertext bit
+  EXPECT_FALSE(GcmOpen(key, sealed).ok());
+}
+
+TEST(AesGcm, WrongKeyFails) {
+  Bytes sealed = GcmSeal(RandomKey128(), ToBytes("payload"));
+  EXPECT_FALSE(GcmOpen(RandomKey128(), sealed).ok());
+}
+
+TEST(AesGcm, AadIsAuthenticated) {
+  Key128 key = RandomKey128();
+  Bytes aad = ToBytes("chunk-42");
+  Bytes sealed = GcmSeal(key, ToBytes("payload"), aad);
+  EXPECT_TRUE(GcmOpen(key, sealed, aad).ok());
+  EXPECT_FALSE(GcmOpen(key, sealed, ToBytes("chunk-43")).ok());
+}
+
+TEST(AesGcm, TruncatedBlobRejected) {
+  Key128 key = RandomKey128();
+  Bytes sealed = GcmSeal(key, ToBytes("x"));
+  sealed.resize(kGcmNonceSize + kGcmTagSize - 1);
+  EXPECT_FALSE(GcmOpen(key, sealed).ok());
+}
+
+TEST(ChunkPayloadKeyTest, DeterministicAndPositionDependent) {
+  Key128 a = RandomKey128(), b = RandomKey128(), c = RandomKey128();
+  EXPECT_EQ(ChunkPayloadKey(a, b), ChunkPayloadKey(a, b));
+  EXPECT_NE(ChunkPayloadKey(a, b), ChunkPayloadKey(a, c));
+  EXPECT_NE(ChunkPayloadKey(a, b), ChunkPayloadKey(b, a));
+}
+
+TEST(SealedBox, RoundTrip) {
+  BoxKeyPair alice = GenerateBoxKeyPair();
+  Bytes msg = ToBytes("access token bundle");
+  auto sealed = SealToPublicKey(alice.public_key, msg);
+  ASSERT_TRUE(sealed.ok());
+  auto open = OpenSealed(alice, *sealed);
+  ASSERT_TRUE(open.ok());
+  EXPECT_EQ(*open, msg);
+}
+
+TEST(SealedBox, OnlyRecipientCanOpen) {
+  BoxKeyPair alice = GenerateBoxKeyPair();
+  BoxKeyPair eve = GenerateBoxKeyPair();
+  auto sealed = SealToPublicKey(alice.public_key, ToBytes("secret"));
+  ASSERT_TRUE(sealed.ok());
+  EXPECT_FALSE(OpenSealed(eve, *sealed).ok());
+}
+
+TEST(SealedBox, FreshEphemeralPerSeal) {
+  BoxKeyPair alice = GenerateBoxKeyPair();
+  auto a = SealToPublicKey(alice.public_key, ToBytes("m"));
+  auto b = SealToPublicKey(alice.public_key, ToBytes("m"));
+  EXPECT_NE(*a, *b);
+}
+
+TEST(SealedBox, TamperDetected) {
+  BoxKeyPair alice = GenerateBoxKeyPair();
+  auto sealed = SealToPublicKey(alice.public_key, ToBytes("secret"));
+  ASSERT_TRUE(sealed.ok());
+  (*sealed)[sealed->size() - 1] ^= 1;
+  EXPECT_FALSE(OpenSealed(alice, *sealed).ok());
+}
+
+TEST(SealedBox, RejectsBadPublicKeySize) {
+  EXPECT_FALSE(SealToPublicKey(Bytes(31, 0), ToBytes("m")).ok());
+}
+
+TEST(SealedBox, KeypairsAreUnique) {
+  EXPECT_NE(GenerateBoxKeyPair().public_key,
+            GenerateBoxKeyPair().public_key);
+}
+
+}  // namespace
+}  // namespace tc::crypto

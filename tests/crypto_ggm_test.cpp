@@ -1,0 +1,182 @@
+// GGM key-derivation tree tests: leaf derivation, range covers, token-set
+// enforcement, and the sequential iterator fast path. Includes property
+// sweeps over random ranges.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crypto/ggm_tree.hpp"
+#include "crypto/rand.hpp"
+
+namespace tc::crypto {
+namespace {
+
+TEST(GgmTree, LeavesAreDeterministic) {
+  Key128 seed = RandomKey128();
+  GgmTree a(seed, 10);
+  GgmTree b(seed, 10);
+  for (uint64_t i : {uint64_t{0}, uint64_t{1}, uint64_t{511}, uint64_t{1023}}) {
+    EXPECT_EQ(a.DeriveLeaf(i).value(), b.DeriveLeaf(i).value());
+  }
+}
+
+TEST(GgmTree, LeavesAreDistinct) {
+  GgmTree tree(RandomKey128(), 8);
+  std::set<Bytes> seen;
+  for (uint64_t i = 0; i < 256; ++i) {
+    Key128 k = tree.DeriveLeaf(i).value();
+    seen.insert(Bytes(k.begin(), k.end()));
+  }
+  EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(GgmTree, RejectsOutOfRangeLeaf) {
+  GgmTree tree(RandomKey128(), 4);
+  EXPECT_FALSE(tree.DeriveLeaf(16).ok());
+  EXPECT_TRUE(tree.DeriveLeaf(15).ok());
+}
+
+TEST(GgmTree, RootNodeIsSeed) {
+  Key128 seed = RandomKey128();
+  GgmTree tree(seed, 4);
+  EXPECT_EQ(tree.DeriveNode(0, 0).value(), seed);
+}
+
+TEST(GgmTree, NodeChildrenConsistentWithLeaves) {
+  GgmTree tree(RandomKey128(), 6);
+  // The subtree rooted at (3, 5) covers leaves [40, 47].
+  Key128 node = tree.DeriveNode(3, 5).value();
+  TokenSet ts({AccessToken{3, 5, node}}, 6);
+  for (uint64_t leaf = 40; leaf <= 47; ++leaf) {
+    EXPECT_EQ(ts.DeriveLeaf(leaf).value(), tree.DeriveLeaf(leaf).value());
+  }
+}
+
+TEST(GgmTree, CoverRangeFullTreeIsSingleToken) {
+  GgmTree tree(RandomKey128(), 8);
+  auto cover = tree.CoverRange(0, 255).value();
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].depth, 0u);
+}
+
+TEST(GgmTree, CoverRangeSingleLeaf) {
+  GgmTree tree(RandomKey128(), 8);
+  auto cover = tree.CoverRange(77, 77).value();
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].depth, 8u);
+  EXPECT_EQ(cover[0].index, 77u);
+}
+
+TEST(GgmTree, CoverSizeBoundedBy2H) {
+  GgmTree tree(RandomKey128(), 16);
+  DeterministicRng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    uint64_t a = rng.NextBelow(1 << 16);
+    uint64_t b = a + rng.NextBelow((1 << 16) - a);
+    auto cover = tree.CoverRange(a, b).value();
+    EXPECT_LE(cover.size(), 2u * 16u);
+  }
+}
+
+TEST(GgmTree, RejectsInvertedOrOutOfRangeCover) {
+  GgmTree tree(RandomKey128(), 8);
+  EXPECT_FALSE(tree.CoverRange(5, 4).ok());
+  EXPECT_FALSE(tree.CoverRange(0, 256).ok());
+}
+
+// Property: for random ranges, the token cover derives exactly the granted
+// leaves — every inside leaf matches the owner's derivation, every outside
+// leaf is PermissionDenied.
+class GgmCoverProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GgmCoverProperty, CoverGrantsExactlyTheRange) {
+  constexpr uint32_t kHeight = 10;
+  constexpr uint64_t kLeaves = 1 << kHeight;
+  GgmTree tree(RandomKey128(), kHeight);
+  DeterministicRng rng(GetParam());
+
+  uint64_t a = rng.NextBelow(kLeaves);
+  uint64_t b = a + rng.NextBelow(kLeaves - a);
+  auto cover = tree.CoverRange(a, b).value();
+  TokenSet ts(cover, kHeight);
+
+  // Inside: derivable and equal to owner's keys.
+  for (int probe = 0; probe < 32; ++probe) {
+    uint64_t i = a + rng.NextBelow(b - a + 1);
+    ASSERT_TRUE(ts.Covers(i));
+    EXPECT_EQ(ts.DeriveLeaf(i).value(), tree.DeriveLeaf(i).value());
+  }
+  // Boundaries just outside.
+  if (a > 0) {
+    EXPECT_FALSE(ts.Covers(a - 1));
+    EXPECT_EQ(ts.DeriveLeaf(a - 1).status().code(),
+              StatusCode::kPermissionDenied);
+  }
+  if (b + 1 < kLeaves) {
+    EXPECT_FALSE(ts.Covers(b + 1));
+    EXPECT_EQ(ts.DeriveLeaf(b + 1).status().code(),
+              StatusCode::kPermissionDenied);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomRanges, GgmCoverProperty,
+                         ::testing::Range(1, 26));
+
+TEST(TokenSet, LeafSpanHelpers) {
+  AccessToken t{2, 3, {}};
+  // Height 5: token at depth 2, index 3 covers leaves [3*8, 3*8+7].
+  EXPECT_EQ(TokenSet::FirstLeaf(t, 5), 24u);
+  EXPECT_EQ(TokenSet::LastLeaf(t, 5), 31u);
+}
+
+TEST(SequentialLeafIterator, MatchesDirectDerivation) {
+  constexpr uint32_t kHeight = 12;
+  Key128 seed = RandomKey128();
+  GgmTree tree(seed, kHeight);
+  SequentialLeafIterator it(seed, 0, 0, kHeight, 0);
+  uint64_t count = 0;
+  do {
+    ASSERT_EQ(it.Current(), tree.DeriveLeaf(it.CurrentIndex()).value())
+        << "leaf " << it.CurrentIndex();
+    ++count;
+  } while (it.Next() && count < 4096);
+  EXPECT_EQ(count, 4096u);
+}
+
+TEST(SequentialLeafIterator, StartsMidStream) {
+  constexpr uint32_t kHeight = 10;
+  Key128 seed = RandomKey128();
+  GgmTree tree(seed, kHeight);
+  SequentialLeafIterator it(seed, 0, 0, kHeight, 777);
+  EXPECT_EQ(it.CurrentIndex(), 777u);
+  EXPECT_EQ(it.Current(), tree.DeriveLeaf(777).value());
+  it.Next();
+  EXPECT_EQ(it.Current(), tree.DeriveLeaf(778).value());
+}
+
+TEST(SequentialLeafIterator, WorksWithinSubtreeToken) {
+  constexpr uint32_t kHeight = 8;
+  Key128 seed = RandomKey128();
+  GgmTree tree(seed, kHeight);
+  // Token subtree at depth 3, index 5 covers leaves [160, 191].
+  Key128 node = tree.DeriveNode(3, 5).value();
+  SequentialLeafIterator it(node, 3, 5, kHeight, 160);
+  for (uint64_t leaf = 160; leaf <= 191; ++leaf) {
+    EXPECT_EQ(it.CurrentIndex(), leaf);
+    EXPECT_EQ(it.Current(), tree.DeriveLeaf(leaf).value());
+    bool more = it.Next();
+    EXPECT_EQ(more, leaf != 191);
+  }
+  EXPECT_TRUE(it.AtEnd());
+}
+
+TEST(SequentialLeafIterator, EndOfStreamStops) {
+  Key128 seed = RandomKey128();
+  SequentialLeafIterator it(seed, 0, 0, 3, 6);
+  EXPECT_TRUE(it.Next());   // -> 7
+  EXPECT_FALSE(it.Next());  // past the end
+  EXPECT_TRUE(it.AtEnd());
+}
+
+}  // namespace
+}  // namespace tc::crypto

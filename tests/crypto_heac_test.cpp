@@ -1,0 +1,211 @@
+// HEAC tests: encrypt/decrypt round trips, the key-canceling telescoping
+// property over ranges, homomorphic addition, per-field key independence,
+// and the access-control interaction with GGM tokens.
+#include <gtest/gtest.h>
+
+#include "crypto/ggm_tree.hpp"
+#include "crypto/heac.hpp"
+#include "crypto/rand.hpp"
+
+namespace tc::crypto {
+namespace {
+
+constexpr uint32_t kHeight = 12;
+
+class HeacTest : public ::testing::Test {
+ protected:
+  HeacTest() : tree_(RandomKey128(), kHeight) {}
+
+  Key128 Leaf(uint64_t i) { return tree_.DeriveLeaf(i).value(); }
+
+  HeacCiphertext EncryptChunk(uint64_t chunk,
+                              std::vector<uint64_t> fields) {
+    HeacCodec codec(fields.size());
+    return codec.Encrypt(fields, chunk, Leaf(chunk), Leaf(chunk + 1));
+  }
+
+  GgmTree tree_;
+};
+
+TEST_F(HeacTest, SingleChunkRoundTrip) {
+  HeacCodec codec(3);
+  std::vector<uint64_t> m = {42, 7, 1};
+  auto c = codec.Encrypt(m, 5, Leaf(5), Leaf(6));
+  EXPECT_NE(c.fields, m);  // actually encrypted
+  auto back = codec.Decrypt(c, Leaf(5), Leaf(6));
+  EXPECT_EQ(back, m);
+}
+
+TEST_F(HeacTest, CiphertextHidesPlaintext) {
+  HeacCodec codec(1);
+  auto c1 = codec.Encrypt(std::vector<uint64_t>{0}, 0, Leaf(0), Leaf(1));
+  auto c2 = codec.Encrypt(std::vector<uint64_t>{0}, 1, Leaf(1), Leaf(2));
+  // Same plaintext, different positions -> different ciphertexts.
+  EXPECT_NE(c1.fields, c2.fields);
+}
+
+TEST_F(HeacTest, TelescopingSumNeedsOnlyOuterKeys) {
+  constexpr uint64_t kN = 100;
+  HeacCodec codec(1);
+  uint64_t expected = 0;
+  HeacCiphertext agg = EncryptChunk(0, {10});
+  expected += 10;
+  for (uint64_t i = 1; i < kN; ++i) {
+    uint64_t v = i * 3 + 1;
+    expected += v;
+    ASSERT_TRUE(HeacAddInPlace(agg, EncryptChunk(i, {v})).ok());
+  }
+  // Only leaves 0 and kN are needed — the inner 99 keys canceled out.
+  auto m = codec.Decrypt(agg, Leaf(0), Leaf(kN));
+  EXPECT_EQ(m[0], expected);
+}
+
+TEST_F(HeacTest, MidRangeAggregateDecrypts) {
+  HeacCodec codec(2);
+  HeacCiphertext agg = EncryptChunk(10, {1, 100});
+  ASSERT_TRUE(HeacAddInPlace(agg, EncryptChunk(11, {2, 200})).ok());
+  ASSERT_TRUE(HeacAddInPlace(agg, EncryptChunk(12, {3, 300})).ok());
+  auto m = codec.Decrypt(agg, Leaf(10), Leaf(13));
+  EXPECT_EQ(m, (std::vector<uint64_t>{6, 600}));
+}
+
+TEST_F(HeacTest, WrongOuterKeysGiveGarbage) {
+  HeacCodec codec(1);
+  auto c = EncryptChunk(4, {1234});
+  auto wrong = codec.Decrypt(c, Leaf(3), Leaf(5));
+  EXPECT_NE(wrong[0], 1234u);
+}
+
+TEST_F(HeacTest, NonContiguousAddRejected) {
+  auto a = EncryptChunk(0, {1});
+  auto b = EncryptChunk(2, {2});  // gap at chunk 1
+  EXPECT_FALSE(HeacAdd(a, b).ok());
+}
+
+TEST_F(HeacTest, FieldCountMismatchRejected) {
+  auto a = EncryptChunk(0, {1});
+  auto b = EncryptChunk(1, {1, 2});
+  EXPECT_FALSE(HeacAdd(a, b).ok());
+}
+
+TEST_F(HeacTest, ModularWraparoundMatchesPlaintextRing) {
+  // Values near 2^64 wrap exactly like plaintext uint64 arithmetic (§4.2.1:
+  // "there will be an overflow (modulo M), if the aggregated values grow
+  // larger than M" — same as plaintext).
+  HeacCodec codec(1);
+  uint64_t big = ~uint64_t{0} - 5;  // 2^64 - 6
+  HeacCiphertext agg = EncryptChunk(0, {big});
+  ASSERT_TRUE(HeacAddInPlace(agg, EncryptChunk(1, {20})).ok());
+  auto m = codec.Decrypt(agg, Leaf(0), Leaf(2));
+  EXPECT_EQ(m[0], big + 20);  // wrapped
+}
+
+TEST_F(HeacTest, FieldsUseIndependentKeystreams) {
+  HeacCodec codec(2);
+  auto c = codec.Encrypt(std::vector<uint64_t>{5, 5}, 0, Leaf(0), Leaf(1));
+  // Same plaintext in both fields must yield different ciphertexts.
+  EXPECT_NE(c.fields[0], c.fields[1]);
+}
+
+TEST_F(HeacTest, ConsumerWithTokensCanDecryptGrantedRange) {
+  // Grant chunks [8, 16): consumer needs leaves 8..16 (outer key of the last
+  // chunk is leaf 16).
+  auto cover = tree_.CoverRange(8, 16).value();
+  TokenSet tokens(cover, kHeight);
+  HeacCodec codec(1);
+
+  HeacCiphertext agg = EncryptChunk(8, {11});
+  for (uint64_t i = 9; i < 16; ++i) {
+    ASSERT_TRUE(HeacAddInPlace(agg, EncryptChunk(i, {11})).ok());
+  }
+  auto m = codec.Decrypt(agg, tokens.DeriveLeaf(8).value(),
+                         tokens.DeriveLeaf(16).value());
+  EXPECT_EQ(m[0], 11u * 8);
+}
+
+TEST_F(HeacTest, ConsumerCannotDeriveKeysOutsideGrant) {
+  auto cover = tree_.CoverRange(8, 16).value();
+  TokenSet tokens(cover, kHeight);
+  EXPECT_FALSE(tokens.DeriveLeaf(7).ok());
+  EXPECT_FALSE(tokens.DeriveLeaf(17).ok());
+}
+
+TEST(HeacOuterKeySharing, ResolutionRestriction) {
+  // §4.4.1: sharing only every 6th key restricts the consumer to 6-fold
+  // aggregates. Verify a consumer holding outer keys {k_0, k_6} can decrypt
+  // the 6-aggregate but no finer granularity.
+  GgmTree tree(RandomKey128(), 10);
+  HeacCodec codec(1);
+  auto leaf = [&](uint64_t i) { return tree.DeriveLeaf(i).value(); };
+
+  std::vector<uint64_t> values = {1, 2, 3, 4, 5, 6};
+  HeacCiphertext agg =
+      codec.Encrypt(std::vector<uint64_t>{values[0]}, 0, leaf(0), leaf(1));
+  HeacCiphertext first_three = agg;
+  for (uint64_t i = 1; i < 6; ++i) {
+    auto c = codec.Encrypt(std::vector<uint64_t>{values[i]}, i, leaf(i),
+                           leaf(i + 1));
+    ASSERT_TRUE(HeacAddInPlace(agg, c).ok());
+    if (i < 3) ASSERT_TRUE(HeacAddInPlace(first_three, c).ok());
+  }
+
+  // With outer keys k_0 and k_6 the full 6-aggregate decrypts...
+  auto m = codec.Decrypt(agg, leaf(0), leaf(6));
+  EXPECT_EQ(m[0], 21u);
+  // ...but the 3-aggregate (needs k_3, which was not shared) does not.
+  auto wrong = codec.Decrypt(first_three, leaf(0), leaf(6));
+  EXPECT_NE(wrong[0], 6u);
+}
+
+TEST(Fold64, MixesBothHalves) {
+  Key128 a{};
+  a[0] = 1;  // low half
+  Key128 b{};
+  b[8] = 1;  // high half
+  EXPECT_NE(Fold64(a), Fold64(Key128{}));
+  EXPECT_NE(Fold64(b), Fold64(Key128{}));
+}
+
+TEST(FieldKeys, DeterministicPerLeafAndField) {
+  Key128 leaf = RandomKey128();
+  FieldKeys a(leaf, 4), b(leaf, 4);
+  for (size_t f = 0; f < 4; ++f) EXPECT_EQ(a.key(f), b.key(f));
+  EXPECT_NE(a.key(0), a.key(1));
+}
+
+// Property sweep: random chunk ranges with random values always telescope.
+class HeacRangeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(HeacRangeProperty, RandomRangesTelescope) {
+  GgmTree tree(RandomKey128(), 10);
+  auto leaf = [&](uint64_t i) { return tree.DeriveLeaf(i).value(); };
+  DeterministicRng rng(GetParam());
+  HeacCodec codec(2);
+
+  uint64_t start = rng.NextBelow(500);
+  uint64_t len = 1 + rng.NextBelow(100);
+  uint64_t sum0 = 0, sum1 = 0;
+  HeacCiphertext agg;
+  for (uint64_t i = start; i < start + len; ++i) {
+    uint64_t v0 = rng.NextBelow(1'000'000);
+    uint64_t v1 = rng.NextBelow(1'000'000);
+    sum0 += v0;
+    sum1 += v1;
+    auto c = codec.Encrypt(std::vector<uint64_t>{v0, v1}, i, leaf(i),
+                           leaf(i + 1));
+    if (i == start) {
+      agg = c;
+    } else {
+      ASSERT_TRUE(HeacAddInPlace(agg, c).ok());
+    }
+  }
+  auto m = codec.Decrypt(agg, leaf(start), leaf(start + len));
+  EXPECT_EQ(m[0], sum0);
+  EXPECT_EQ(m[1], sum1);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomRanges, HeacRangeProperty,
+                         ::testing::Range(100, 120));
+
+}  // namespace
+}  // namespace tc::crypto

@@ -1,0 +1,149 @@
+// Dual key regression tests (§4.4.2, §A.2): bounded-interval key derivation,
+// forward/backward secrecy at the interval boundaries, checkpoint
+// acceleration consistency.
+#include <gtest/gtest.h>
+
+#include "crypto/key_regression.hpp"
+#include "crypto/rand.hpp"
+
+namespace tc::crypto {
+namespace {
+
+TEST(HashChain, StateAtMatchesManualWalk) {
+  Key128 seed = RandomKey128();
+  constexpr uint64_t kLen = 100;
+  HashChain chain(seed, kLen);
+
+  // Manually walk from the seed (state 99) down to every state.
+  Key128 cur = seed;
+  std::vector<Key128> states(kLen);
+  for (uint64_t i = kLen; i-- > 0;) {
+    states[i] = cur;
+    if (i > 0) cur = HashChain::StepDown(cur);
+  }
+  for (uint64_t i = 0; i < kLen; ++i) {
+    EXPECT_EQ(chain.StateAt(i).value(), states[i]) << "state " << i;
+  }
+}
+
+TEST(HashChain, RejectsOutOfRange) {
+  HashChain chain(RandomKey128(), 10);
+  EXPECT_FALSE(chain.StateAt(10).ok());
+  EXPECT_TRUE(chain.StateAt(9).ok());
+}
+
+TEST(HashChain, WalkOnlyGoesDown) {
+  HashChain chain(RandomKey128(), 50);
+  KeyRegressionState s{chain.StateAt(30).value(), 30};
+  EXPECT_EQ(HashChain::Walk(s, 10).value(), chain.StateAt(10).value());
+  EXPECT_FALSE(HashChain::Walk(s, 31).ok());
+}
+
+TEST(HashChain, LengthOneChain) {
+  HashChain chain(RandomKey128(), 1);
+  EXPECT_TRUE(chain.StateAt(0).ok());
+}
+
+TEST(DualKeyRegression, OwnerDerivesAllKeysDeterministically) {
+  Key128 p = RandomKey128(), s = RandomKey128();
+  DualKeyRegression a(p, s, 64);
+  DualKeyRegression b(p, s, 64);
+  for (uint64_t j = 0; j < 64; ++j) {
+    EXPECT_EQ(a.DeriveKey(j).value(), b.DeriveKey(j).value());
+  }
+}
+
+TEST(DualKeyRegression, KeysAreDistinct) {
+  DualKeyRegression kr(RandomKey128(), RandomKey128(), 32);
+  std::set<Bytes> seen;
+  for (uint64_t j = 0; j < 32; ++j) {
+    Key128 k = kr.DeriveKey(j).value();
+    seen.insert(Bytes(k.begin(), k.end()));
+  }
+  EXPECT_EQ(seen.size(), 32u);
+}
+
+TEST(DualKeyRegression, SharedViewDerivesExactInterval) {
+  constexpr uint64_t kLen = 200;
+  DualKeyRegression kr(RandomKey128(), RandomKey128(), kLen);
+  auto view = kr.Share(50, 120).value();
+  EXPECT_EQ(view.lower(), 50u);
+  EXPECT_EQ(view.upper(), 120u);
+
+  for (uint64_t j = 50; j <= 120; ++j) {
+    EXPECT_EQ(view.DeriveKey(j).value(), kr.DeriveKey(j).value())
+        << "key " << j;
+  }
+  // Outside the interval: computationally unreachable, API denies.
+  EXPECT_EQ(view.DeriveKey(49).status().code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(view.DeriveKey(121).status().code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST(DualKeyRegression, SingleKeyShare) {
+  DualKeyRegression kr(RandomKey128(), RandomKey128(), 100);
+  auto view = kr.Share(42, 42).value();
+  EXPECT_EQ(view.DeriveKey(42).value(), kr.DeriveKey(42).value());
+  EXPECT_FALSE(view.DeriveKey(41).ok());
+  EXPECT_FALSE(view.DeriveKey(43).ok());
+}
+
+TEST(DualKeyRegression, FullRangeShare) {
+  constexpr uint64_t kLen = 75;
+  DualKeyRegression kr(RandomKey128(), RandomKey128(), kLen);
+  auto view = kr.Share(0, kLen - 1).value();
+  for (uint64_t j = 0; j < kLen; j += 7) {
+    EXPECT_EQ(view.DeriveKey(j).value(), kr.DeriveKey(j).value());
+  }
+}
+
+TEST(DualKeyRegression, InvalidShareRanges) {
+  DualKeyRegression kr(RandomKey128(), RandomKey128(), 10);
+  EXPECT_FALSE(kr.Share(5, 4).ok());
+  EXPECT_FALSE(kr.Share(0, 10).ok());
+  EXPECT_FALSE(kr.DeriveKey(10).ok());
+}
+
+TEST(DualKeyRegression, DistinctSeedsDistinctKeystreams) {
+  DualKeyRegression a(RandomKey128(), RandomKey128(), 16);
+  DualKeyRegression b(RandomKey128(), RandomKey128(), 16);
+  EXPECT_NE(a.DeriveKey(3).value(), b.DeriveKey(3).value());
+}
+
+// Two principals with different intervals derive identical keys in the
+// overlap — the mechanism that lets a new consumer be granted a different
+// window over the same resolution keystream.
+TEST(DualKeyRegression, OverlappingViewsAgree) {
+  DualKeyRegression kr(RandomKey128(), RandomKey128(), 300);
+  auto doctor = kr.Share(10, 200).value();
+  auto trainer = kr.Share(150, 250).value();
+  for (uint64_t j = 150; j <= 200; j += 10) {
+    EXPECT_EQ(doctor.DeriveKey(j).value(), trainer.DeriveKey(j).value());
+  }
+}
+
+// Property sweep over random intervals.
+class DualKrProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DualKrProperty, RandomIntervalsEnforceBounds) {
+  constexpr uint64_t kLen = 512;
+  DeterministicRng rng(GetParam());
+  DualKeyRegression kr(RandomKey128(), RandomKey128(), kLen);
+  uint64_t lo = rng.NextBelow(kLen);
+  uint64_t hi = lo + rng.NextBelow(kLen - lo);
+  auto view = kr.Share(lo, hi).value();
+
+  uint64_t probe = lo + rng.NextBelow(hi - lo + 1);
+  EXPECT_EQ(view.DeriveKey(probe).value(), kr.DeriveKey(probe).value());
+  if (lo > 0) EXPECT_FALSE(view.DeriveKey(rng.NextBelow(lo)).ok());
+  if (hi + 1 < kLen) {
+    EXPECT_FALSE(view.DeriveKey(hi + 1 + rng.NextBelow(kLen - hi - 1)).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomIntervals, DualKrProperty,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace tc::crypto

@@ -1,0 +1,165 @@
+// PRG/AES correctness: software AES against the FIPS-197 test vector, the
+// AES-NI implementation against the software one, and PRG properties.
+#include <gtest/gtest.h>
+
+#include "crypto/aesni.hpp"
+#include "crypto/prg.hpp"
+#include "crypto/rand.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/soft_aes.hpp"
+
+namespace tc::crypto {
+namespace {
+
+Key128 KeyFromHex(const char* hex) {
+  auto b = FromHex(hex);
+  Key128 k{};
+  std::copy(b->begin(), b->end(), k.begin());
+  return k;
+}
+
+TEST(SoftAes, Fips197Vector) {
+  // FIPS-197 Appendix C.1 AES-128 known-answer test.
+  SoftAes128 aes(KeyFromHex("000102030405060708090a0b0c0d0e0f"));
+  Block128 pt = KeyFromHex("00112233445566778899aabbccddeeff");
+  Block128 ct = aes.EncryptBlock(pt);
+  EXPECT_EQ(ToHex(ct), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(SoftAes, DistinctBlocksDistinctOutputs) {
+  SoftAes128 aes(RandomKey128());
+  Block128 a{}, b{};
+  b[0] = 1;
+  EXPECT_NE(aes.EncryptBlock(a), aes.EncryptBlock(b));
+}
+
+TEST(AesNi, MatchesSoftwareAes) {
+  if (!CpuHasAesNi()) GTEST_SKIP() << "no AES-NI on this CPU";
+  for (int i = 0; i < 32; ++i) {
+    Key128 key = RandomKey128();
+    Block128 pt = RandomKey128();
+    SoftAes128 soft(key);
+    AesNiBlock hard(key);
+    EXPECT_EQ(soft.EncryptBlock(pt), hard.EncryptBlock(pt));
+  }
+}
+
+TEST(AesNi, TwoBlockPathMatchesSingle) {
+  if (!CpuHasAesNi()) GTEST_SKIP() << "no AES-NI on this CPU";
+  Key128 key = RandomKey128();
+  AesNiBlock aes(key);
+  Block128 a = RandomKey128(), b = RandomKey128();
+  Block128 out0, out1;
+  aes.EncryptTwoBlocks(a, b, out0, out1);
+  EXPECT_EQ(out0, aes.EncryptBlock(a));
+  EXPECT_EQ(out1, aes.EncryptBlock(b));
+}
+
+TEST(Sha256, KnownAnswer) {
+  // SHA-256("abc") — NIST FIPS 180-2 test vector.
+  auto d = Sha256(ToBytes("abc"));
+  EXPECT_EQ(ToHex(d),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, ConcatMatchesSingleShot) {
+  Bytes a = ToBytes("hello ");
+  Bytes b = ToBytes("world");
+  Bytes ab = ToBytes("hello world");
+  EXPECT_EQ(Sha256Concat(a, b), Sha256(ab));
+}
+
+TEST(Hkdf, ProducesRequestedLengthAndIsDeterministic) {
+  Bytes ikm = ToBytes("input key material");
+  Bytes salt = ToBytes("salt");
+  Bytes info = ToBytes("info");
+  Bytes a = HkdfSha256(ikm, salt, info, 42);
+  Bytes b = HkdfSha256(ikm, salt, info, 42);
+  EXPECT_EQ(a.size(), 42u);
+  EXPECT_EQ(a, b);
+  Bytes c = HkdfSha256(ikm, salt, ToBytes("other"), 42);
+  EXPECT_NE(a, c);
+}
+
+class PrgKindTest : public ::testing::TestWithParam<PrgKind> {};
+
+TEST_P(PrgKindTest, DeterministicAndChildrenDiffer) {
+  auto prg = MakePrg(GetParam());
+  Key128 parent = RandomKey128();
+  Key128 l1, r1, l2, r2;
+  prg->Expand(parent, l1, r1);
+  prg->Expand(parent, l2, r2);
+  EXPECT_EQ(l1, l2);
+  EXPECT_EQ(r1, r2);
+  EXPECT_NE(l1, r1);
+  EXPECT_NE(l1, parent);
+}
+
+TEST_P(PrgKindTest, ExpandOneMatchesExpand) {
+  auto prg = MakePrg(GetParam());
+  Key128 parent = RandomKey128();
+  Key128 l, r;
+  prg->Expand(parent, l, r);
+  EXPECT_EQ(prg->ExpandOne(parent, false), l);
+  EXPECT_EQ(prg->ExpandOne(parent, true), r);
+}
+
+TEST_P(PrgKindTest, DifferentParentsDiverge) {
+  auto prg = MakePrg(GetParam());
+  Key128 p1 = RandomKey128();
+  Key128 p2 = p1;
+  p2[15] ^= 1;
+  Key128 l1, r1, l2, r2;
+  prg->Expand(p1, l1, r1);
+  prg->Expand(p2, l2, r2);
+  EXPECT_NE(l1, l2);
+  EXPECT_NE(r1, r2);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrgs, PrgKindTest,
+                         ::testing::Values(PrgKind::kAesNi, PrgKind::kAesSoft,
+                                           PrgKind::kSha256),
+                         [](const auto& info) {
+                           return std::string(PrgKindName(info.param)) == "AES"
+                                      ? "AesSoft"
+                                  : PrgKindName(info.param) == "AES-NI"
+                                      ? "AesNi"
+                                      : "Sha256";
+                         });
+
+TEST(DeterministicRng, Reproducible) {
+  DeterministicRng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(DeterministicRng, BoundsRespected) {
+  DeterministicRng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(DeterministicRng, GaussianMomentsRoughlyStandard) {
+  DeterministicRng rng(123);
+  double sum = 0, sumsq = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  double mean = sum / kN;
+  double var = sumsq / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(RandomBytes, ProducesDifferentKeys) {
+  EXPECT_NE(RandomKey128(), RandomKey128());
+}
+
+}  // namespace
+}  // namespace tc::crypto

@@ -1,0 +1,214 @@
+// Wire protocol tests: frame/response encoding, message codec round trips
+// for every request type, and a real TCP loopback exchange.
+#include <gtest/gtest.h>
+
+#include "net/messages.hpp"
+#include "net/tcp.hpp"
+#include "net/wire.hpp"
+
+namespace tc::net {
+namespace {
+
+TEST(Wire, ResponseBodyRoundTripOk) {
+  Bytes payload = ToBytes("result");
+  Bytes body = EncodeResponseBody(Status::Ok(), payload);
+  auto decoded = DecodeResponseBody(body);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, payload);
+}
+
+TEST(Wire, ResponseBodyCarriesError) {
+  Bytes body = EncodeResponseBody(NotFound("missing"), {});
+  auto decoded = DecodeResponseBody(body);
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(decoded.status().message(), "missing");
+}
+
+TEST(Wire, FrameLayout) {
+  Bytes frame = EncodeFrame(MessageType::kPing, 42, ToBytes("xy"));
+  ASSERT_EQ(frame.size(), 13u + 2u);
+  // body_len little-endian
+  EXPECT_EQ(frame[0], 2);
+  EXPECT_EQ(frame[4], static_cast<uint8_t>(MessageType::kPing));
+}
+
+StreamConfig SampleConfig() {
+  StreamConfig c;
+  c.name = "hr/device-1";
+  c.t0 = 1700000000000;
+  c.delta_ms = 10'000;
+  c.schema.with_sum = c.schema.with_count = true;
+  c.schema.with_sumsq = true;
+  c.schema.hist_bins = 8;
+  c.schema.hist_min = 0;
+  c.schema.hist_width = 250;
+  c.cipher = CipherKind::kHeac;
+  c.fanout = 64;
+  c.compression = 1;
+  return c;
+}
+
+TEST(Messages, CreateStreamRoundTrip) {
+  CreateStreamRequest req{99, SampleConfig()};
+  auto back = CreateStreamRequest::Decode(req.Encode());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->uuid, 99u);
+  EXPECT_EQ(back->config, req.config);
+}
+
+TEST(Messages, InsertChunkRoundTrip) {
+  InsertChunkRequest req{7, 123, Bytes{1, 2, 3}, Bytes{9, 9}};
+  auto back = InsertChunkRequest::Decode(req.Encode());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->uuid, 7u);
+  EXPECT_EQ(back->chunk_index, 123u);
+  EXPECT_EQ(back->digest_blob, req.digest_blob);
+  EXPECT_EQ(back->payload, req.payload);
+}
+
+TEST(Messages, StatRangeRoundTrip) {
+  StatRangeRequest req{5, {100, 200}};
+  auto back = StatRangeRequest::Decode(req.Encode());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->range, (TimeRange{100, 200}));
+
+  StatRangeResponse resp{10, 20, Bytes{5, 6, 7}};
+  auto rback = StatRangeResponse::Decode(resp.Encode());
+  ASSERT_TRUE(rback.ok());
+  EXPECT_EQ(rback->first_chunk, 10u);
+  EXPECT_EQ(rback->last_chunk, 20u);
+  EXPECT_EQ(rback->aggregate_blob, resp.aggregate_blob);
+}
+
+TEST(Messages, SeriesRoundTrip) {
+  StatSeriesResponse resp;
+  resp.first_chunk = 4;
+  resp.granularity_chunks = 6;
+  resp.aggregates = {Bytes{1}, Bytes{2, 2}, Bytes{3, 3, 3}};
+  auto back = StatSeriesResponse::Decode(resp.Encode());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->aggregates.size(), 3u);
+  EXPECT_EQ(back->aggregates[2], (Bytes{3, 3, 3}));
+}
+
+TEST(Messages, MultiStatRoundTrip) {
+  MultiStatRangeRequest req{{1, 2, 3}, {0, 500}};
+  auto back = MultiStatRangeRequest::Decode(req.Encode());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->uuids, (std::vector<uint64_t>{1, 2, 3}));
+}
+
+TEST(Messages, GrantMessagesRoundTrip) {
+  PutGrantRequest put{8, "dr-alice", 3, Bytes{0xaa, 0xbb}};
+  auto pback = PutGrantRequest::Decode(put.Encode());
+  ASSERT_TRUE(pback.ok());
+  EXPECT_EQ(pback->principal_id, "dr-alice");
+
+  FetchGrantsResponse fetch;
+  fetch.grants.push_back({8, 3, Bytes{0xaa}});
+  auto fback = FetchGrantsResponse::Decode(fetch.Encode());
+  ASSERT_TRUE(fback.ok());
+  ASSERT_EQ(fback->grants.size(), 1u);
+  EXPECT_EQ(fback->grants[0].grant_id, 3u);
+
+  RevokeGrantRequest rev{8, "dr-alice", 0};
+  auto rback = RevokeGrantRequest::Decode(rev.Encode());
+  ASSERT_TRUE(rback.ok());
+  EXPECT_EQ(rback->grant_id, 0u);
+}
+
+TEST(Messages, EnvelopeMessagesRoundTrip) {
+  PutEnvelopesRequest put{4, 6, 10, {Bytes{1}, Bytes{2}}};
+  auto pback = PutEnvelopesRequest::Decode(put.Encode());
+  ASSERT_TRUE(pback.ok());
+  EXPECT_EQ(pback->envelopes.size(), 2u);
+
+  GetEnvelopesRequest get{4, 6, 10, 11};
+  auto gback = GetEnvelopesRequest::Decode(get.Encode());
+  ASSERT_TRUE(gback.ok());
+  EXPECT_EQ(gback->last_index, 11u);
+}
+
+TEST(Messages, RollupAndDeleteRoundTrip) {
+  RollupStreamRequest roll{1, 2, 6, {0, 0}};
+  auto rback = RollupStreamRequest::Decode(roll.Encode());
+  ASSERT_TRUE(rback.ok());
+  EXPECT_EQ(rback->granularity_chunks, 6u);
+
+  DeleteRangeRequest del{1, {5, 10}};
+  auto dback = DeleteRangeRequest::Decode(del.Encode());
+  ASSERT_TRUE(dback.ok());
+  EXPECT_EQ(dback->range, (TimeRange{5, 10}));
+}
+
+TEST(Messages, TruncatedDecodesFail) {
+  CreateStreamRequest req{99, SampleConfig()};
+  Bytes enc = req.Encode();
+  enc.resize(enc.size() / 2);
+  EXPECT_FALSE(CreateStreamRequest::Decode(enc).ok());
+}
+
+/// Echo handler for transport tests.
+class EchoHandler : public RequestHandler {
+ public:
+  Result<Bytes> Handle(MessageType type, BytesView body) override {
+    if (type == MessageType::kPing) return Bytes(body.begin(), body.end());
+    return InvalidArgument("echo only answers pings");
+  }
+};
+
+TEST(InProc, CallRoundTrip) {
+  InProcTransport t(std::make_shared<EchoHandler>());
+  auto reply = t.Call(MessageType::kPing, ToBytes("hello"));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(ToString(*reply), "hello");
+  EXPECT_FALSE(t.Call(MessageType::kGetRange, {}).ok());
+}
+
+TEST(Tcp, LoopbackRoundTrip) {
+  TcpServer server(std::make_shared<EchoHandler>(), 0);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = TcpClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  auto reply = (*client)->Call(MessageType::kPing, ToBytes("over tcp"));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(ToString(*reply), "over tcp");
+
+  // Errors propagate as status, connection stays usable.
+  EXPECT_FALSE((*client)->Call(MessageType::kGetRange, {}).ok());
+  auto again = (*client)->Call(MessageType::kPing, ToBytes("still alive"));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(ToString(*again), "still alive");
+  server.Stop();
+}
+
+TEST(Tcp, MultipleClients) {
+  TcpServer server(std::make_shared<EchoHandler>(), 0);
+  ASSERT_TRUE(server.Start().ok());
+  std::vector<std::thread> threads;
+  std::atomic<int> ok_count{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      auto client = TcpClient::Connect("127.0.0.1", server.port());
+      if (!client.ok()) return;
+      for (int i = 0; i < 50; ++i) {
+        std::string msg = "t" + std::to_string(t) + "-" + std::to_string(i);
+        auto reply = (*client)->Call(MessageType::kPing, ToBytes(msg));
+        if (reply.ok() && ToString(*reply) == msg) ++ok_count;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(ok_count.load(), 200);
+  server.Stop();
+}
+
+TEST(Tcp, ConnectToClosedPortFails) {
+  auto client = TcpClient::Connect("127.0.0.1", 1);  // reserved port
+  EXPECT_FALSE(client.ok());
+}
+
+}  // namespace
+}  // namespace tc::net

@@ -1,0 +1,360 @@
+// Restart durability tests: both sides of the deployment must survive a
+// process restart when state lives in a durable store — the server rebuilds
+// its stream registry, index positions, and witness trees from the KV; the
+// producer re-attaches with its exported master seed and keeps ingesting
+// the *same* keystream (decryption across the restart boundary must
+// telescope seamlessly).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "client/consumer.hpp"
+#include "client/owner.hpp"
+#include "server/server_engine.hpp"
+#include "store/log_kv.hpp"
+#include "store/mem_kv.hpp"
+
+namespace tc {
+namespace {
+
+using client::ConsumerClient;
+using client::OwnerClient;
+using client::Principal;
+
+constexpr DurationMs kDelta = 10 * kSecond;
+
+net::StreamConfig RestartConfig() {
+  net::StreamConfig c;
+  c.name = "restart/stream";
+  c.t0 = 0;
+  c.delta_ms = kDelta;
+  c.schema.with_sum = true;
+  c.schema.with_count = true;
+  c.cipher = net::CipherKind::kHeac;
+  c.fanout = 4;
+  return c;
+}
+
+Status IngestChunks(OwnerClient& owner, uint64_t uuid, uint64_t first,
+                    uint64_t count) {
+  for (uint64_t c = first; c < first + count; ++c) {
+    for (int i = 0; i < 5; ++i) {
+      TC_RETURN_IF_ERROR(owner.InsertRecord(
+          uuid, {static_cast<Timestamp>(c * kDelta + i * 1000),
+                 static_cast<int64_t>(c + 1)}));
+    }
+  }
+  return owner.Flush(uuid);
+}
+
+int64_t OracleSum(uint64_t first, uint64_t last) {
+  int64_t sum = 0;
+  for (uint64_t c = first; c < last; ++c) sum += 5 * (c + 1);
+  return sum;
+}
+
+TEST(Restart, ServerRecoversStreamsFromDurableStore) {
+  std::string path = ::testing::TempDir() + "/restart_server.log";
+  std::remove(path.c_str());
+  uint64_t uuid = 0;
+  crypto::Key128 seed{};
+
+  {
+    auto log = store::LogKvStore::Open(path);
+    ASSERT_TRUE(log.ok());
+    std::shared_ptr<store::KvStore> kv = std::move(*log);
+    auto server = std::make_shared<server::ServerEngine>(kv);
+    auto transport = std::make_shared<net::InProcTransport>(server);
+    OwnerClient owner(transport);
+    auto created = owner.CreateStream(RestartConfig());
+    ASSERT_TRUE(created.ok());
+    uuid = *created;
+    ASSERT_TRUE(IngestChunks(owner, uuid, 0, 10).ok());
+    seed = owner.KeysFor(uuid).value()->master_seed();
+  }  // server + store torn down
+
+  // Second life: a fresh engine over the same log must see the stream.
+  auto log = store::LogKvStore::Open(path);
+  ASSERT_TRUE(log.ok());
+  std::shared_ptr<store::KvStore> kv = std::move(*log);
+  auto server = std::make_shared<server::ServerEngine>(kv);
+  EXPECT_EQ(server->NumStreams(), 1u);
+
+  auto transport = std::make_shared<net::InProcTransport>(server);
+  OwnerClient owner(transport);
+  ASSERT_TRUE(owner.AttachStream(uuid, seed).ok());
+  EXPECT_EQ(owner.NumChunks(uuid).value(), 10u);
+
+  // Queries over pre-restart data decrypt.
+  auto stats = owner.GetStatRange(uuid, {0, 10 * kDelta});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->stats.Sum().value(), OracleSum(0, 10));
+
+  // Ingest continues where it left off; a range spanning the restart
+  // boundary telescopes across old and new chunks.
+  ASSERT_TRUE(IngestChunks(owner, uuid, 10, 6).ok());
+  auto spanning = owner.GetStatRange(uuid, {5 * kDelta, 16 * kDelta});
+  ASSERT_TRUE(spanning.ok()) << spanning.status().ToString();
+  EXPECT_EQ(spanning->stats.Sum().value(), OracleSum(5, 16));
+
+  std::remove(path.c_str());
+}
+
+TEST(Restart, RecoveredServerServesConsumersAndRawReads) {
+  std::string path = ::testing::TempDir() + "/restart_consumer.log";
+  std::remove(path.c_str());
+  uint64_t uuid = 0;
+  Principal alice{"alice", crypto::GenerateBoxKeyPair()};
+
+  {
+    auto log = store::LogKvStore::Open(path);
+    ASSERT_TRUE(log.ok());
+    std::shared_ptr<store::KvStore> kv = std::move(*log);
+    auto server = std::make_shared<server::ServerEngine>(kv);
+    auto transport = std::make_shared<net::InProcTransport>(server);
+    OwnerClient owner(transport);
+    auto created = owner.CreateStream(RestartConfig());
+    ASSERT_TRUE(created.ok());
+    uuid = *created;
+    ASSERT_TRUE(IngestChunks(owner, uuid, 0, 8).ok());
+    // The grant (sealed key material in the key store) must also survive.
+    ASSERT_TRUE(owner
+                    .GrantAccess(uuid, alice.id, alice.keys.public_key,
+                                 {0, 8 * kDelta}, 1)
+                    .ok());
+  }
+
+  auto log = store::LogKvStore::Open(path);
+  ASSERT_TRUE(log.ok());
+  std::shared_ptr<store::KvStore> kv = std::move(*log);
+  auto server = std::make_shared<server::ServerEngine>(kv);
+  auto transport = std::make_shared<net::InProcTransport>(server);
+
+  ConsumerClient consumer(transport, alice);
+  auto n = consumer.FetchGrants();
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  ASSERT_EQ(*n, 1);
+  auto stats = consumer.GetStatRange(uuid, {0, 8 * kDelta});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->stats.Sum().value(), OracleSum(0, 8));
+  auto points = consumer.GetRange(uuid, {0, 3 * kDelta});
+  ASSERT_TRUE(points.ok());
+  EXPECT_EQ(points->size(), 15u);
+
+  std::remove(path.c_str());
+}
+
+TEST(Restart, WitnessTreeRebuiltForIntegrityStreams) {
+  std::string path = ::testing::TempDir() + "/restart_integrity.log";
+  std::remove(path.c_str());
+  uint64_t uuid = 0;
+  Bytes signing_public;
+  Bytes attestation_blob;
+
+  {
+    auto log = store::LogKvStore::Open(path);
+    ASSERT_TRUE(log.ok());
+    std::shared_ptr<store::KvStore> kv = std::move(*log);
+    auto server = std::make_shared<server::ServerEngine>(kv);
+    auto transport = std::make_shared<net::InProcTransport>(server);
+    OwnerClient owner(transport);
+    auto config = RestartConfig();
+    config.integrity = true;
+    auto created = owner.CreateStream(config);
+    ASSERT_TRUE(created.ok());
+    uuid = *created;
+    ASSERT_TRUE(IngestChunks(owner, uuid, 0, 9).ok());
+    auto att = owner.Attest(uuid);
+    ASSERT_TRUE(att.ok());
+    signing_public = owner.signing_public();
+    attestation_blob = att->Encode();
+  }
+
+  // The recovered engine recomputes the witness tree from stored
+  // ciphertexts; proofs against the pre-restart attestation must verify.
+  auto log = store::LogKvStore::Open(path);
+  ASSERT_TRUE(log.ok());
+  std::shared_ptr<store::KvStore> kv = std::move(*log);
+  auto server = std::make_shared<server::ServerEngine>(kv);
+  auto transport = std::make_shared<net::InProcTransport>(server);
+
+  auto attestation = integrity::Attestation::Decode(attestation_blob);
+  ASSERT_TRUE(attestation.ok());
+  net::GetChunkWitnessedRequest req{uuid, 0, 9, attestation->size};
+  auto resp_blob = transport->Call(net::MessageType::kGetChunkWitnessed,
+                                   req.Encode());
+  ASSERT_TRUE(resp_blob.ok()) << resp_blob.status().ToString();
+  auto resp = net::GetChunkWitnessedResponse::Decode(*resp_blob);
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp->entries.size(), 9u);
+  for (const auto& e : resp->entries) {
+    BinaryReader pr(e.proof);
+    auto proof = integrity::DecodeAuditPath(pr);
+    ASSERT_TRUE(proof.ok());
+    EXPECT_TRUE(integrity::VerifyChunk(*attestation, signing_public,
+                                       e.chunk_index, e.digest_blob,
+                                       e.payload, *proof)
+                    .ok())
+        << "chunk " << e.chunk_index;
+  }
+
+  std::remove(path.c_str());
+}
+
+TEST(Restart, ReattachedProducerCanStillAttest) {
+  // A producer restarting must rebuild its witness history (proof-less
+  // bulk read, cross-checked against its previous attestation) so that
+  // new attestations keep covering the whole stream.
+  std::string path = ::testing::TempDir() + "/restart_attest.log";
+  std::remove(path.c_str());
+  uint64_t uuid = 0;
+  crypto::Key128 seed{};
+  crypto::SigningKeyPair signing = crypto::GenerateSigningKeyPair();
+
+  {
+    auto log = store::LogKvStore::Open(path);
+    ASSERT_TRUE(log.ok());
+    std::shared_ptr<store::KvStore> kv = std::move(*log);
+    auto server = std::make_shared<server::ServerEngine>(kv);
+    auto transport = std::make_shared<net::InProcTransport>(server);
+    client::OwnerOptions options;
+    options.signing = signing;
+    OwnerClient owner(transport, options);
+    auto config = RestartConfig();
+    config.integrity = true;
+    auto created = owner.CreateStream(config);
+    ASSERT_TRUE(created.ok());
+    uuid = *created;
+    ASSERT_TRUE(IngestChunks(owner, uuid, 0, 7).ok());
+    ASSERT_TRUE(owner.Attest(uuid).ok());
+    seed = owner.KeysFor(uuid).value()->master_seed();
+  }
+
+  auto log = store::LogKvStore::Open(path);
+  ASSERT_TRUE(log.ok());
+  std::shared_ptr<store::KvStore> kv = std::move(*log);
+  auto server = std::make_shared<server::ServerEngine>(kv);
+  auto transport = std::make_shared<net::InProcTransport>(server);
+  client::OwnerOptions options;
+  options.signing = signing;  // the SAME long-term identity
+  OwnerClient owner(transport, options);
+  ASSERT_TRUE(owner.AttachStream(uuid, seed).ok());
+
+  // Ingest more, attest again: the new attestation covers old + new.
+  ASSERT_TRUE(IngestChunks(owner, uuid, 7, 5).ok());
+  auto att = owner.Attest(uuid);
+  ASSERT_TRUE(att.ok()) << att.status().ToString();
+  EXPECT_EQ(att->size, 12u);
+
+  // And the verified read path works over the restart boundary.
+  auto verified = owner.GetVerifiedStatRange(uuid, {0, 12 * kDelta});
+  ASSERT_TRUE(verified.ok()) << verified.status().ToString();
+  EXPECT_EQ(verified->stats.Sum().value(), OracleSum(0, 12));
+
+  std::remove(path.c_str());
+}
+
+TEST(Restart, ReattachRejectsTamperedWitnessHistory) {
+  // If the server's stored ciphertexts contradict the owner's previous
+  // attestation, AttachStream must refuse instead of signing a bogus head.
+  auto kv = std::make_shared<store::MemKvStore>();
+  auto server = std::make_shared<server::ServerEngine>(kv);
+  auto transport = std::make_shared<net::InProcTransport>(server);
+  crypto::SigningKeyPair signing = crypto::GenerateSigningKeyPair();
+  client::OwnerOptions options;
+  options.signing = signing;
+
+  uint64_t uuid = 0;
+  crypto::Key128 seed{};
+  {
+    OwnerClient owner(transport, options);
+    auto config = RestartConfig();
+    config.integrity = true;
+    auto created = owner.CreateStream(config);
+    ASSERT_TRUE(created.ok());
+    uuid = *created;
+    ASSERT_TRUE(IngestChunks(owner, uuid, 0, 4).ok());
+    ASSERT_TRUE(owner.Attest(uuid).ok());
+    seed = owner.KeysFor(uuid).value()->master_seed();
+  }
+
+  // Tamper with a stored chunk payload (the server "loses" a byte).
+  // Chunk keys are internal; flip via direct put on the known layout.
+  auto payload = kv->Get("chunk/" + std::to_string(uuid) + "/2");
+  ASSERT_TRUE(payload.ok());
+  Bytes tampered = *payload;
+  tampered[tampered.size() / 2] ^= 0x01;
+  ASSERT_TRUE(
+      kv->Put("chunk/" + std::to_string(uuid) + "/2", tampered).ok());
+
+  // Reattach on a FRESH engine (so the witness tree is rebuilt from the
+  // tampered store rather than served from memory).
+  auto server2 = std::make_shared<server::ServerEngine>(kv);
+  auto transport2 = std::make_shared<net::InProcTransport>(server2);
+  OwnerClient owner2(transport2, options);
+  Status attach = owner2.AttachStream(uuid, seed);
+  EXPECT_EQ(attach.code(), StatusCode::kPermissionDenied)
+      << attach.ToString();
+}
+
+TEST(Restart, DeletedStreamsStayDeletedAfterRestart) {
+  std::string path = ::testing::TempDir() + "/restart_deleted.log";
+  std::remove(path.c_str());
+  uint64_t kept = 0, dropped = 0;
+  {
+    auto log = store::LogKvStore::Open(path);
+    ASSERT_TRUE(log.ok());
+    std::shared_ptr<store::KvStore> kv = std::move(*log);
+    auto server = std::make_shared<server::ServerEngine>(kv);
+    auto transport = std::make_shared<net::InProcTransport>(server);
+    OwnerClient owner(transport);
+    auto a = owner.CreateStream(RestartConfig());
+    auto config_b = RestartConfig();
+    config_b.name = "restart/other";
+    auto b = owner.CreateStream(config_b);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    kept = *a;
+    dropped = *b;
+    ASSERT_TRUE(IngestChunks(owner, kept, 0, 3).ok());
+    ASSERT_TRUE(owner.DeleteStream(dropped).ok());
+  }
+
+  auto log = store::LogKvStore::Open(path);
+  ASSERT_TRUE(log.ok());
+  std::shared_ptr<store::KvStore> kv = std::move(*log);
+  auto server = std::make_shared<server::ServerEngine>(kv);
+  EXPECT_EQ(server->NumStreams(), 1u);
+  EXPECT_TRUE(server->GetIndexForTesting(kept).ok());
+  EXPECT_FALSE(server->GetIndexForTesting(dropped).ok());
+
+  std::remove(path.c_str());
+}
+
+TEST(Restart, AggTreeRecoverFindsExactAppendPosition) {
+  // Sweep positions around fanout boundaries — the probe must find the
+  // exact next index for complete and partial level-0 nodes alike.
+  for (uint64_t chunks : {1u, 3u, 4u, 5u, 15u, 16u, 17u, 64u, 65u}) {
+    auto kv = std::make_shared<store::MemKvStore>();
+    auto cipher = std::shared_ptr<const index::DigestCipher>(
+        index::MakePlainCipher(1));
+    index::AggTreeOptions opts{4, 1 << 20};
+    {
+      index::AggTree tree(kv, "t", cipher, opts);
+      Bytes blob(8, 0);
+      for (uint64_t i = 0; i < chunks; ++i) {
+        blob[0] = static_cast<uint8_t>(i);
+        ASSERT_TRUE(tree.Append(i, blob).ok());
+      }
+    }
+    index::AggTree recovered(kv, "t", cipher, opts);
+    ASSERT_TRUE(recovered.Recover().ok());
+    EXPECT_EQ(recovered.num_chunks(), chunks) << "chunks=" << chunks;
+    // Appending continues seamlessly.
+    Bytes blob(8, 0xee);
+    EXPECT_TRUE(recovered.Append(chunks, blob).ok());
+  }
+}
+
+}  // namespace
+}  // namespace tc

@@ -1,0 +1,204 @@
+// Server engine unit tests: direct handler-level exercises of stream
+// lifecycle, key store, envelopes, and error paths (complementing the
+// client-driven e2e tests).
+#include <gtest/gtest.h>
+
+#include "index/digest_cipher.hpp"
+#include "server/server_engine.hpp"
+#include "store/mem_kv.hpp"
+
+namespace tc::server {
+namespace {
+
+using net::MessageType;
+
+class ServerTest : public ::testing::Test {
+ protected:
+  ServerTest()
+      : kv_(std::make_shared<store::MemKvStore>()),
+        engine_(std::make_shared<ServerEngine>(kv_)) {}
+
+  net::StreamConfig PlainConfig() {
+    net::StreamConfig c;
+    c.name = "s";
+    c.t0 = 0;
+    c.delta_ms = 1000;
+    c.schema.with_sum = true;
+    c.schema.with_count = false;
+    c.cipher = net::CipherKind::kPlain;
+    c.fanout = 4;
+    return c;
+  }
+
+  Status Create(uint64_t uuid, const net::StreamConfig& config) {
+    net::CreateStreamRequest req{uuid, config};
+    return engine_->Handle(MessageType::kCreateStream, req.Encode()).status();
+  }
+
+  Status Insert(uint64_t uuid, uint64_t chunk, uint64_t value,
+                Bytes payload = {}) {
+    auto cipher = index::MakePlainCipher(1);
+    net::InsertChunkRequest req{
+        uuid, chunk, *cipher->Encrypt(std::vector<uint64_t>{value}, chunk),
+        std::move(payload)};
+    return engine_->Handle(MessageType::kInsertChunk, req.Encode()).status();
+  }
+
+  Result<net::StatRangeResponse> Query(uint64_t uuid, TimeRange range) {
+    net::StatRangeRequest req{uuid, range};
+    TC_ASSIGN_OR_RETURN(Bytes payload,
+                        engine_->Handle(MessageType::kGetStatRange,
+                                        req.Encode()));
+    return net::StatRangeResponse::Decode(payload);
+  }
+
+  uint64_t DecodeSum(const net::StatRangeResponse& resp) {
+    auto cipher = index::MakePlainCipher(1);
+    return (*cipher->Decrypt(resp.aggregate_blob, resp.first_chunk,
+                             resp.last_chunk))[0];
+  }
+
+  std::shared_ptr<store::MemKvStore> kv_;
+  std::shared_ptr<ServerEngine> engine_;
+};
+
+TEST_F(ServerTest, StreamLifecycle) {
+  EXPECT_TRUE(Create(1, PlainConfig()).ok());
+  EXPECT_EQ(Create(1, PlainConfig()).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(engine_->NumStreams(), 1u);
+
+  net::DeleteStreamRequest del{1};
+  EXPECT_TRUE(engine_->Handle(MessageType::kDeleteStream, del.Encode()).ok());
+  EXPECT_EQ(engine_->NumStreams(), 0u);
+  EXPECT_FALSE(engine_->Handle(MessageType::kDeleteStream, del.Encode()).ok());
+}
+
+TEST_F(ServerTest, RejectsZeroDeltaAndEmptySchema) {
+  auto bad_delta = PlainConfig();
+  bad_delta.delta_ms = 0;
+  EXPECT_FALSE(Create(1, bad_delta).ok());
+
+  auto no_fields = PlainConfig();
+  no_fields.schema.with_sum = false;
+  EXPECT_FALSE(Create(2, no_fields).ok());
+}
+
+TEST_F(ServerTest, InsertAndQueryRoundTrip) {
+  ASSERT_TRUE(Create(1, PlainConfig()).ok());
+  for (uint64_t c = 0; c < 10; ++c) {
+    ASSERT_TRUE(Insert(1, c, c + 1).ok());
+  }
+  auto resp = Query(1, {0, 10'000});
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(DecodeSum(*resp), 55u);
+}
+
+TEST_F(ServerTest, InsertEnforcesOrderAndBlobSize) {
+  ASSERT_TRUE(Create(1, PlainConfig()).ok());
+  ASSERT_TRUE(Insert(1, 0, 1).ok());
+  EXPECT_FALSE(Insert(1, 2, 1).ok());  // gap
+  net::InsertChunkRequest bad{1, 1, Bytes(3, 0), {}};
+  EXPECT_FALSE(engine_->Handle(MessageType::kInsertChunk, bad.Encode()).ok());
+}
+
+TEST_F(ServerTest, UnknownStreamAndTypeErrors) {
+  EXPECT_FALSE(Query(9, {0, 1000}).ok());
+  EXPECT_FALSE(engine_->Handle(static_cast<MessageType>(200), {}).ok());
+  EXPECT_TRUE(engine_->Handle(MessageType::kPing, {}).ok());
+}
+
+TEST_F(ServerTest, GrantStoreLifecycle) {
+  net::PutGrantRequest put{1, "alice", 7, Bytes{1, 2, 3}};
+  ASSERT_TRUE(engine_->Handle(MessageType::kPutGrant, put.Encode()).ok());
+  net::PutGrantRequest put2{2, "alice", 8, Bytes{4}};
+  ASSERT_TRUE(engine_->Handle(MessageType::kPutGrant, put2.Encode()).ok());
+
+  net::FetchGrantsRequest fetch{"alice"};
+  auto resp = engine_->Handle(MessageType::kFetchGrants, fetch.Encode());
+  ASSERT_TRUE(resp.ok());
+  auto grants = net::FetchGrantsResponse::Decode(*resp);
+  ASSERT_TRUE(grants.ok());
+  EXPECT_EQ(grants->grants.size(), 2u);
+
+  // Revoke stream 1's grants only.
+  net::RevokeGrantRequest revoke{1, "alice", 0};
+  ASSERT_TRUE(engine_->Handle(MessageType::kRevokeGrant, revoke.Encode()).ok());
+  resp = engine_->Handle(MessageType::kFetchGrants, fetch.Encode());
+  grants = net::FetchGrantsResponse::Decode(*resp);
+  ASSERT_EQ(grants->grants.size(), 1u);
+  EXPECT_EQ(grants->grants[0].uuid, 2u);
+
+  // Unknown principals fetch empty lists, revoking them is a no-op.
+  net::FetchGrantsRequest nobody{"nobody"};
+  resp = engine_->Handle(MessageType::kFetchGrants, nobody.Encode());
+  EXPECT_TRUE(net::FetchGrantsResponse::Decode(*resp)->grants.empty());
+}
+
+TEST_F(ServerTest, EnvelopeStoreRoundTrip) {
+  net::PutEnvelopesRequest put{1, 6, 10, {Bytes{1}, Bytes{2}, Bytes{3}}};
+  ASSERT_TRUE(engine_->Handle(MessageType::kPutEnvelopes, put.Encode()).ok());
+
+  net::GetEnvelopesRequest get{1, 6, 11, 12};
+  auto resp = engine_->Handle(MessageType::kGetEnvelopes, get.Encode());
+  ASSERT_TRUE(resp.ok());
+  auto envs = net::GetEnvelopesResponse::Decode(*resp);
+  ASSERT_TRUE(envs.ok());
+  ASSERT_EQ(envs->envelopes.size(), 2u);
+  EXPECT_EQ(envs->envelopes[0], Bytes{2});
+
+  net::GetEnvelopesRequest missing{1, 6, 99, 99};
+  EXPECT_FALSE(
+      engine_->Handle(MessageType::kGetEnvelopes, missing.Encode()).ok());
+}
+
+TEST_F(ServerTest, StreamInfoReportsProgress) {
+  ASSERT_TRUE(Create(1, PlainConfig()).ok());
+  ASSERT_TRUE(Insert(1, 0, 5).ok());
+  net::DeleteStreamRequest info{1};
+  auto resp = engine_->Handle(MessageType::kGetStreamInfo, info.Encode());
+  ASSERT_TRUE(resp.ok());
+  auto decoded = net::StreamInfoResponse::Decode(*resp);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->num_chunks, 1u);
+  EXPECT_EQ(decoded->config.name, "s");
+}
+
+TEST_F(ServerTest, RollupValidation) {
+  ASSERT_TRUE(Create(1, PlainConfig()).ok());
+  for (uint64_t c = 0; c < 8; ++c) ASSERT_TRUE(Insert(1, c, 1).ok());
+
+  net::RollupStreamRequest bad{1, 2, 0, {0, 0}};
+  EXPECT_FALSE(engine_->Handle(MessageType::kRollupStream, bad.Encode()).ok());
+
+  net::RollupStreamRequest ok{1, 2, 4, {0, 0}};
+  ASSERT_TRUE(engine_->Handle(MessageType::kRollupStream, ok.Encode()).ok());
+  auto resp = Query(2, {0, 8000});
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(DecodeSum(*resp), 8u);
+}
+
+TEST_F(ServerTest, MultiStatRequiresMatchingLayouts) {
+  ASSERT_TRUE(Create(1, PlainConfig()).ok());
+  auto two_fields = PlainConfig();
+  two_fields.schema.with_count = true;
+  ASSERT_TRUE(Create(2, two_fields).ok());
+  ASSERT_TRUE(Insert(1, 0, 5).ok());
+
+  auto cipher2 = index::MakePlainCipher(2);
+  net::InsertChunkRequest ins2{
+      2, 0, *cipher2->Encrypt(std::vector<uint64_t>{5, 1}, 0), {}};
+  ASSERT_TRUE(engine_->Handle(MessageType::kInsertChunk, ins2.Encode()).ok());
+
+  net::MultiStatRangeRequest req{{1, 2}, {0, 1000}};
+  EXPECT_FALSE(
+      engine_->Handle(MessageType::kMultiStatRange, req.Encode()).ok());
+}
+
+TEST_F(ServerTest, TotalIndexBytesAccumulates) {
+  ASSERT_TRUE(Create(1, PlainConfig()).ok());
+  ASSERT_TRUE(Insert(1, 0, 1).ok());
+  EXPECT_GT(engine_->TotalIndexBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace tc::server

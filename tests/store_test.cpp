@@ -1,0 +1,215 @@
+// Storage substrate tests: sharded in-memory KV, file-backed log KV with
+// restart/compaction, byte-budget LRU cache, latency decorator.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+
+#include "store/latency.hpp"
+#include "store/log_kv.hpp"
+#include "store/lru_cache.hpp"
+#include "store/mem_kv.hpp"
+
+namespace tc::store {
+namespace {
+
+class MemKvTest : public ::testing::Test {
+ protected:
+  MemKvStore kv_{4};
+};
+
+TEST_F(MemKvTest, PutGetRoundTrip) {
+  ASSERT_TRUE(kv_.Put("a", ToBytes("hello")).ok());
+  auto v = kv_.Get("a");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(ToString(*v), "hello");
+}
+
+TEST_F(MemKvTest, GetMissingIsNotFound) {
+  EXPECT_EQ(kv_.Get("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(MemKvTest, OverwriteReplacesValueAndAccounting) {
+  ASSERT_TRUE(kv_.Put("k", ToBytes("12345")).ok());
+  ASSERT_TRUE(kv_.Put("k", ToBytes("67")).ok());
+  EXPECT_EQ(ToString(*kv_.Get("k")), "67");
+  EXPECT_EQ(kv_.ValueBytes(), 2u);
+  EXPECT_EQ(kv_.Size(), 1u);
+}
+
+TEST_F(MemKvTest, DeleteRemoves) {
+  ASSERT_TRUE(kv_.Put("k", ToBytes("v")).ok());
+  ASSERT_TRUE(kv_.Delete("k").ok());
+  EXPECT_FALSE(kv_.Contains("k"));
+  EXPECT_EQ(kv_.Delete("k").code(), StatusCode::kNotFound);
+}
+
+TEST_F(MemKvTest, ConcurrentWritersDistinctKeys) {
+  constexpr int kThreads = 4, kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        std::string key = "t" + std::to_string(t) + "-" + std::to_string(i);
+        ASSERT_TRUE(kv_.Put(key, ToBytes(key)).ok());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(kv_.Size(), static_cast<size_t>(kThreads * kPerThread));
+}
+
+class LogKvTest : public ::testing::Test {
+ protected:
+  LogKvTest() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("tc_log_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+  }
+  ~LogKvTest() override { std::filesystem::remove(path_); }
+
+  std::filesystem::path path_;
+  static int counter_;
+};
+int LogKvTest::counter_ = 0;
+
+TEST_F(LogKvTest, PersistsAcrossReopen) {
+  {
+    auto kv = LogKvStore::Open(path_.string());
+    ASSERT_TRUE(kv.ok());
+    ASSERT_TRUE((*kv)->Put("alpha", ToBytes("1")).ok());
+    ASSERT_TRUE((*kv)->Put("beta", ToBytes("2")).ok());
+    ASSERT_TRUE((*kv)->Delete("alpha").ok());
+    ASSERT_TRUE((*kv)->Sync().ok());
+  }
+  auto kv = LogKvStore::Open(path_.string());
+  ASSERT_TRUE(kv.ok());
+  EXPECT_FALSE((*kv)->Contains("alpha"));
+  EXPECT_EQ(ToString(*(*kv)->Get("beta")), "2");
+  EXPECT_EQ((*kv)->Size(), 1u);
+}
+
+TEST_F(LogKvTest, OverwriteKeepsLatestAfterReplay) {
+  {
+    auto kv = LogKvStore::Open(path_.string());
+    ASSERT_TRUE(kv.ok());
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE((*kv)->Put("k", ToBytes(std::to_string(i))).ok());
+    }
+    ASSERT_TRUE((*kv)->Sync().ok());
+  }
+  auto kv = LogKvStore::Open(path_.string());
+  EXPECT_EQ(ToString(*(*kv)->Get("k")), "9");
+}
+
+TEST_F(LogKvTest, CompactShrinksLog) {
+  auto kv = LogKvStore::Open(path_.string());
+  ASSERT_TRUE(kv.ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE((*kv)->Put("hot", Bytes(100, uint8_t(i))).ok());
+  }
+  ASSERT_TRUE((*kv)->Sync().ok());
+  auto before = std::filesystem::file_size(path_);
+  auto reclaimed = (*kv)->Compact();
+  ASSERT_TRUE(reclaimed.ok());
+  EXPECT_GT(*reclaimed, 0u);
+  ASSERT_TRUE((*kv)->Sync().ok());
+  auto after = std::filesystem::file_size(path_);
+  EXPECT_LT(after, before);
+  EXPECT_EQ((*kv)->Get("hot")->size(), 100u);
+}
+
+TEST_F(LogKvTest, ToleratesTornTailWrite) {
+  {
+    auto kv = LogKvStore::Open(path_.string());
+    ASSERT_TRUE((*kv)->Put("good", ToBytes("value")).ok());
+    ASSERT_TRUE((*kv)->Sync().ok());
+  }
+  // Simulate a crash mid-append: truncate a few bytes off the tail after
+  // appending another record.
+  {
+    auto kv = LogKvStore::Open(path_.string());
+    ASSERT_TRUE((*kv)->Put("torn", ToBytes("partial")).ok());
+    ASSERT_TRUE((*kv)->Sync().ok());
+  }
+  auto full = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, full - 3);
+
+  auto kv = LogKvStore::Open(path_.string());
+  ASSERT_TRUE(kv.ok());
+  EXPECT_TRUE((*kv)->Contains("good"));
+  EXPECT_FALSE((*kv)->Contains("torn"));
+}
+
+TEST(LruCacheTest, HitAndMissCounting) {
+  LruCache cache(1024);
+  cache.Put("a", ToBytes("1"));
+  EXPECT_TRUE(cache.Get("a").has_value());
+  EXPECT_FALSE(cache.Get("b").has_value());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache cache(30);
+  cache.Put("a", Bytes(10, 1));
+  cache.Put("b", Bytes(10, 2));
+  cache.Put("c", Bytes(10, 3));
+  // Touch "a" so "b" becomes the LRU victim.
+  EXPECT_TRUE(cache.Get("a").has_value());
+  cache.Put("d", Bytes(10, 4));
+  EXPECT_TRUE(cache.Get("a").has_value());
+  EXPECT_FALSE(cache.Get("b").has_value());
+  EXPECT_TRUE(cache.Get("c").has_value());
+  EXPECT_TRUE(cache.Get("d").has_value());
+}
+
+TEST(LruCacheTest, OversizedValueNotCached) {
+  LruCache cache(8);
+  cache.Put("big", Bytes(100, 0));
+  EXPECT_FALSE(cache.Get("big").has_value());
+  EXPECT_EQ(cache.size_bytes(), 0u);
+}
+
+TEST(LruCacheTest, UpdateRefreshesSizeAccounting) {
+  LruCache cache(100);
+  cache.Put("k", Bytes(50, 0));
+  cache.Put("k", Bytes(10, 0));
+  EXPECT_EQ(cache.size_bytes(), 10u);
+  EXPECT_EQ(cache.entry_count(), 1u);
+}
+
+TEST(LruCacheTest, EraseAndClear) {
+  LruCache cache(100);
+  cache.Put("a", Bytes(10, 0));
+  cache.Put("b", Bytes(10, 0));
+  cache.Erase("a");
+  EXPECT_FALSE(cache.Get("a").has_value());
+  cache.Clear();
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_EQ(cache.size_bytes(), 0u);
+}
+
+TEST(LatencyKvTest, DelegatesAndCounts) {
+  auto inner = std::make_shared<MemKvStore>();
+  LatencyKvStore kv(inner, std::chrono::microseconds(0));
+  ASSERT_TRUE(kv.Put("k", ToBytes("v")).ok());
+  EXPECT_EQ(ToString(*kv.Get("k")), "v");
+  EXPECT_EQ(kv.ops(), 2u);
+  EXPECT_EQ(inner->Size(), 1u);
+}
+
+TEST(LatencyKvTest, InjectsDelay) {
+  auto inner = std::make_shared<MemKvStore>();
+  LatencyKvStore kv(inner, std::chrono::microseconds(2000));
+  auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(kv.Put("k", ToBytes("v")).ok());
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+                .count(),
+            1900);
+}
+
+}  // namespace
+}  // namespace tc::store

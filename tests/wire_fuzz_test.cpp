@@ -1,0 +1,237 @@
+// Decode-robustness sweeps: every wire message decoder must survive
+// truncation at any byte boundary and arbitrary byte garbage without
+// crashing — returning clean Status errors. An untrusted network peer can
+// send anything; the server must never trust frame contents.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "client/grants.hpp"
+#include "crypto/rand.hpp"
+#include "net/messages.hpp"
+#include "net/wire.hpp"
+
+namespace tc::net {
+namespace {
+
+/// A named decoder run against hostile input. Returns true if decoding
+/// succeeded (allowed — a fuzzed prefix can be a valid message; the
+/// property under test is "no crash, no UB", enforced by running at all).
+struct NamedDecoder {
+  const char* name;
+  std::function<bool(BytesView)> decode;
+};
+
+std::vector<NamedDecoder> AllDecoders() {
+  return {
+      {"CreateStream",
+       [](BytesView in) { return CreateStreamRequest::Decode(in).ok(); }},
+      {"DeleteStream",
+       [](BytesView in) { return DeleteStreamRequest::Decode(in).ok(); }},
+      {"InsertChunk",
+       [](BytesView in) { return InsertChunkRequest::Decode(in).ok(); }},
+      {"GetRange",
+       [](BytesView in) { return GetRangeRequest::Decode(in).ok(); }},
+      {"GetRangeResponse",
+       [](BytesView in) { return GetRangeResponse::Decode(in).ok(); }},
+      {"StatRange",
+       [](BytesView in) { return StatRangeRequest::Decode(in).ok(); }},
+      {"StatRangeResponse",
+       [](BytesView in) { return StatRangeResponse::Decode(in).ok(); }},
+      {"StatSeries",
+       [](BytesView in) { return StatSeriesRequest::Decode(in).ok(); }},
+      {"StatSeriesResponse",
+       [](BytesView in) { return StatSeriesResponse::Decode(in).ok(); }},
+      {"MultiStatRange",
+       [](BytesView in) { return MultiStatRangeRequest::Decode(in).ok(); }},
+      {"RollupStream",
+       [](BytesView in) { return RollupStreamRequest::Decode(in).ok(); }},
+      {"DeleteRange",
+       [](BytesView in) { return DeleteRangeRequest::Decode(in).ok(); }},
+      {"StreamInfoResponse",
+       [](BytesView in) { return StreamInfoResponse::Decode(in).ok(); }},
+      {"PutGrant",
+       [](BytesView in) { return PutGrantRequest::Decode(in).ok(); }},
+      {"FetchGrants",
+       [](BytesView in) { return FetchGrantsRequest::Decode(in).ok(); }},
+      {"FetchGrantsResponse",
+       [](BytesView in) { return FetchGrantsResponse::Decode(in).ok(); }},
+      {"RevokeGrant",
+       [](BytesView in) { return RevokeGrantRequest::Decode(in).ok(); }},
+      {"PutEnvelopes",
+       [](BytesView in) { return PutEnvelopesRequest::Decode(in).ok(); }},
+      {"GetEnvelopes",
+       [](BytesView in) { return GetEnvelopesRequest::Decode(in).ok(); }},
+      {"GetEnvelopesResponse",
+       [](BytesView in) { return GetEnvelopesResponse::Decode(in).ok(); }},
+      {"ResponseBody",
+       [](BytesView in) { return DecodeResponseBody(in).ok(); }},
+      {"AccessGrant",
+       [](BytesView in) { return client::AccessGrant::Decode(in).ok(); }},
+      {"PutAttestation",
+       [](BytesView in) { return PutAttestationRequest::Decode(in).ok(); }},
+      {"GetAttestation",
+       [](BytesView in) { return GetAttestationRequest::Decode(in).ok(); }},
+      {"GetChunkWitnessed",
+       [](BytesView in) {
+         return GetChunkWitnessedRequest::Decode(in).ok();
+       }},
+      {"GetChunkWitnessedResponse",
+       [](BytesView in) {
+         return GetChunkWitnessedResponse::Decode(in).ok();
+       }},
+  };
+}
+
+/// One valid encoded instance per message type, used as the truncation
+/// baseline (truncating a *valid* message probes every partial-field path).
+std::vector<Bytes> ValidEncodings() {
+  std::vector<Bytes> out;
+  StreamConfig config;
+  config.name = "fuzz/stream";
+  config.schema.hist_bins = 4;
+  out.push_back(CreateStreamRequest{7, config}.Encode());
+  out.push_back(DeleteStreamRequest{7}.Encode());
+  out.push_back(
+      InsertChunkRequest{7, 3, ToBytes("digest"), ToBytes("payload")}
+          .Encode());
+  out.push_back(GetRangeRequest{7, {100, 200}}.Encode());
+  GetRangeResponse rr;
+  rr.chunks.push_back({1, ToBytes("chunk-1")});
+  rr.chunks.push_back({2, ToBytes("chunk-2")});
+  out.push_back(rr.Encode());
+  out.push_back(StatRangeRequest{7, {100, 200}}.Encode());
+  out.push_back(StatRangeResponse{1, 5, ToBytes("aggregate")}.Encode());
+  out.push_back(StatSeriesRequest{7, {0, 500}, 4}.Encode());
+  StatSeriesResponse sr;
+  sr.first_chunk = 0;
+  sr.granularity_chunks = 4;
+  sr.aggregates = {ToBytes("w0"), ToBytes("w1")};
+  out.push_back(sr.Encode());
+  out.push_back(MultiStatRangeRequest{{1, 2, 3}, {0, 100}}.Encode());
+  out.push_back(RollupStreamRequest{7, 8, 6, {0, 0}}.Encode());
+  out.push_back(DeleteRangeRequest{7, {0, 100}}.Encode());
+  out.push_back(StreamInfoResponse{config, 42}.Encode());
+  out.push_back(PutGrantRequest{7, "alice", 1, ToBytes("sealed")}.Encode());
+  out.push_back(FetchGrantsRequest{"alice"}.Encode());
+  FetchGrantsResponse fr;
+  fr.grants.push_back({7, 1, ToBytes("sealed")});
+  out.push_back(fr.Encode());
+  out.push_back(RevokeGrantRequest{7, "alice", 1}.Encode());
+  PutEnvelopesRequest pe;
+  pe.uuid = 7;
+  pe.resolution_chunks = 6;
+  pe.envelopes = {ToBytes("env0"), ToBytes("env1")};
+  out.push_back(pe.Encode());
+  out.push_back(GetEnvelopesRequest{7, 6, 0, 10}.Encode());
+  GetEnvelopesResponse ge;
+  ge.envelopes = {ToBytes("env")};
+  out.push_back(ge.Encode());
+  out.push_back(EncodeResponseBody(Status::Ok(), ToBytes("payload")));
+  out.push_back(PutAttestationRequest{7, ToBytes("attestation")}.Encode());
+  out.push_back(GetAttestationRequest{7}.Encode());
+  out.push_back(GetChunkWitnessedRequest{7, 0, 8, 8}.Encode());
+  GetChunkWitnessedResponse wr;
+  wr.entries.push_back({3, ToBytes("digest"), ToBytes("payload"),
+                        ToBytes("proof")});
+  out.push_back(wr.Encode());
+  client::AccessGrant grant;
+  grant.stream_uuid = 7;
+  grant.kind = client::GrantKind::kFullResolution;
+  grant.first_chunk = 0;
+  grant.last_chunk = 8;
+  grant.tree_height = 10;
+  grant.tokens.push_back({3, 1, crypto::Key128{}});
+  out.push_back(grant.Encode());
+  return out;
+}
+
+TEST(WireFuzz, EveryDecoderSurvivesTruncationOfValidMessages) {
+  auto decoders = AllDecoders();
+  auto encodings = ValidEncodings();
+  // Truncate each valid encoding at every byte boundary and feed it to
+  // every decoder (not just its own — cross-type confusion included).
+  for (const auto& full : encodings) {
+    for (size_t cut = 0; cut < full.size(); ++cut) {
+      BytesView prefix(full.data(), cut);
+      for (const auto& decoder : decoders) {
+        (void)decoder.decode(prefix);  // must not crash
+      }
+    }
+  }
+  SUCCEED();
+}
+
+TEST(WireFuzz, EveryDecoderSurvivesRandomBytes) {
+  auto decoders = AllDecoders();
+  crypto::DeterministicRng rng(0xf022);
+  for (int round = 0; round < 200; ++round) {
+    Bytes garbage(rng.NextBelow(300));
+    rng.Fill(garbage);
+    for (const auto& decoder : decoders) {
+      (void)decoder.decode(garbage);  // must not crash
+    }
+  }
+  SUCCEED();
+}
+
+TEST(WireFuzz, EveryDecoderSurvivesBitFlipsOfValidMessages) {
+  auto decoders = AllDecoders();
+  auto encodings = ValidEncodings();
+  crypto::DeterministicRng rng(77);
+  for (const auto& full : encodings) {
+    for (int round = 0; round < 32; ++round) {
+      Bytes mutated = full;
+      if (mutated.empty()) continue;
+      mutated[rng.NextBelow(mutated.size())] ^=
+          static_cast<uint8_t>(1u << rng.NextBelow(8));
+      for (const auto& decoder : decoders) {
+        (void)decoder.decode(mutated);  // must not crash
+      }
+    }
+  }
+  SUCCEED();
+}
+
+TEST(WireFuzz, LengthPrefixedVectorsRejectAbsurdCounts) {
+  // A hostile length prefix claiming billions of elements must fail cleanly
+  // (allocation-bomb defense), never attempt the allocation. The count is
+  // positioned per message layout: `filler` bytes of preceding fields, then
+  // a 5-byte varint ≈ 2^34, then a little trailing data.
+  auto hostile_at = [](size_t filler) {
+    Bytes b(filler, 0x00);
+    for (int i = 0; i < 4; ++i) b.push_back(0xff);
+    b.push_back(0x7f);  // varint terminator: count = 0x7ffffffff
+    for (int i = 0; i < 8; ++i) b.push_back(0x01);
+    return b;
+  };
+  EXPECT_FALSE(GetRangeResponse::Decode(hostile_at(0)).ok());
+  EXPECT_FALSE(FetchGrantsResponse::Decode(hostile_at(0)).ok());
+  EXPECT_FALSE(MultiStatRangeRequest::Decode(hostile_at(0)).ok());
+  // StatSeriesResponse: count follows first_chunk + last_chunk +
+  // granularity (24 bytes).
+  EXPECT_FALSE(StatSeriesResponse::Decode(hostile_at(24)).ok());
+  // AccessGrant: count follows uuid+kind+range+height (29 bytes).
+  EXPECT_FALSE(client::AccessGrant::Decode(hostile_at(29)).ok());
+}
+
+TEST(WireFuzz, ResponseBodyRoundTripsStatusCodes) {
+  for (auto code :
+       {StatusCode::kOk, StatusCode::kNotFound, StatusCode::kPermissionDenied,
+        StatusCode::kInvalidArgument, StatusCode::kUnavailable}) {
+    Status in = code == StatusCode::kOk ? Status::Ok()
+                                        : Status(code, "some message");
+    Bytes body = EncodeResponseBody(in, ToBytes("data"));
+    auto out = DecodeResponseBody(body);
+    if (code == StatusCode::kOk) {
+      ASSERT_TRUE(out.ok());
+      EXPECT_EQ(ToString(*out), "data");
+    } else {
+      EXPECT_EQ(out.status().code(), code);
+      EXPECT_EQ(out.status().message(), "some message");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tc::net

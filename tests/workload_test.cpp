@@ -1,0 +1,93 @@
+// Workload generator tests: determinism, value ranges, schema fit.
+#include <gtest/gtest.h>
+
+#include "workload/devops.hpp"
+#include "workload/mhealth.hpp"
+
+namespace tc::workload {
+namespace {
+
+TEST(MHealth, DeterministicForSameSeed) {
+  MHealthGenerator a({.seed = 5});
+  MHealthGenerator b({.seed = 5});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(0), b.Next(0));
+  }
+}
+
+TEST(MHealth, SampleCadenceMatchesRate) {
+  MHealthGenerator gen({.sample_hz = 50.0});
+  auto p0 = gen.Next(0);
+  auto p1 = gen.Next(0);
+  EXPECT_EQ(p1.timestamp_ms - p0.timestamp_ms, 20);  // 50 Hz
+}
+
+TEST(MHealth, MetricsAreIndependentStreams) {
+  MHealthGenerator gen({});
+  auto a = gen.Batch(0, 10);
+  auto b = gen.Batch(1, 10);
+  EXPECT_EQ(a[0].timestamp_ms, b[0].timestamp_ms);  // same clock
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= a[i].value != b[i].value;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(MHealth, ValuesFitVitalsSchemaRange) {
+  MHealthGenerator gen({.seed = 11});
+  auto schema = MHealthGenerator::VitalsSchema();
+  for (int i = 0; i < 5000; ++i) {
+    auto p = gen.Next(i % 12);
+    uint32_t bin = schema.BinOf(p.value);
+    EXPECT_LT(bin, schema.hist_bins);
+  }
+}
+
+TEST(MHealth, NamesAreStable) {
+  MHealthGenerator gen({});
+  EXPECT_EQ(gen.MetricName(0), "heart_rate");
+  EXPECT_EQ(gen.MetricName(11), "hrv");
+  EXPECT_EQ(gen.MetricName(99), "metric_99");
+}
+
+TEST(DevOps, DeterministicForSameSeed) {
+  DevOpsGenerator a({.seed = 9});
+  DevOpsGenerator b({.seed = 9});
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.Next(3, 2), b.Next(3, 2));
+  }
+}
+
+TEST(DevOps, UtilizationStaysBounded) {
+  DevOpsGenerator gen({});
+  for (int i = 0; i < 10000; ++i) {
+    auto p = gen.Next(i % 100, i % 10);
+    EXPECT_GE(p.value, 0);
+    EXPECT_LE(p.value, 10000);  // percent x100
+  }
+}
+
+TEST(DevOps, SampleCadence) {
+  DevOpsGenerator gen({});
+  auto p0 = gen.Next(0, 0);
+  auto p1 = gen.Next(0, 0);
+  EXPECT_EQ(p1.timestamp_ms - p0.timestamp_ms, 10 * kSecond);
+}
+
+TEST(DevOps, StreamNaming) {
+  DevOpsGenerator gen({});
+  EXPECT_EQ(gen.StreamName(17, 0), "host_017/cpu_user");
+  EXPECT_EQ(gen.StreamName(5, 1), "host_005/cpu_system");
+  EXPECT_EQ(gen.num_streams(), 1000u);
+}
+
+TEST(DevOps, CpuSchemaSupportsUtilizationQueries) {
+  auto schema = DevOpsGenerator::CpuSchema();
+  // "machines above 50% utilization" = bins 5..9.
+  EXPECT_EQ(schema.hist_bins, 10u);
+  EXPECT_EQ(schema.BinOf(4999), 4u);
+  EXPECT_EQ(schema.BinOf(5000), 5u);
+  EXPECT_EQ(schema.BinOf(10000), 9u);
+}
+
+}  // namespace
+}  // namespace tc::workload

@@ -1,0 +1,399 @@
+// tccli — the TimeCrypt command-line client.
+//
+// Exercises the full Table 1 API against a running tcserver. All key
+// material stays client-side: producer master seeds live in per-stream
+// state files under --state-dir, consumer identities in identity.key —
+// the server only ever sees ciphertext.
+//
+//   tccli create --name heart_rate --delta-ms 10000 --hist 16:0:10
+//   cat points.csv | tccli insert --uuid 123456
+//   tccli stats --uuid 123456 --start 0 --end 3600000
+//   tccli keygen                       # consumer identity (prints pub key)
+//   tccli grant --uuid 123456 --principal doctor --pub <hex> \
+//         --start 0 --end 3600000 --resolution 6
+//   tccli consume --uuid 123456 --principal doctor --start 0 --end 3600000
+#include <cinttypes>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "client/consumer.hpp"
+#include "client/owner.hpp"
+#include "net/tcp.hpp"
+#include "tools/cli_common.hpp"
+
+namespace tc::tools {
+namespace {
+
+void Usage() {
+  std::puts(
+      "tccli — TimeCrypt client\n"
+      "\n"
+      "common flags: --host H (127.0.0.1)  --port N (4433)  --state-dir D "
+      "(.tccli)\n"
+      "\n"
+      "commands:\n"
+      "  create   --name S --delta-ms N [--sumsq] [--trend UNIT_MS]\n"
+      "           [--hist BINS:MIN:WIDTH] [--fanout K] [--integrity]\n"
+      "           create a stream; prints its uuid, saves the key state\n"
+      "  insert   --uuid U [--file F]   read 'timestamp_ms,value' lines\n"
+      "           (default stdin), chunk + encrypt + upload\n"
+      "  stats    --uuid U --start MS --end MS [--granularity CHUNKS]\n"
+      "           statistical range query (owner keys)\n"
+      "  range    --uuid U --start MS --end MS    raw decrypted points\n"
+      "  info     --uuid U               server-side stream info\n"
+      "  attest   --uuid U               sign + publish the stream head\n"
+      "  verify   --uuid U --start MS --end MS    verified stat query\n"
+      "  keygen                          consumer identity; prints public "
+      "key\n"
+      "  grant    --uuid U --principal ID --pub HEX --start MS --end MS\n"
+      "           [--resolution CHUNKS]\n"
+      "  revoke   --uuid U --principal ID [--end MS]\n"
+      "  consume  --uuid U --principal ID --start MS --end MS\n"
+      "           fetch grants and run a stat query as that principal\n");
+}
+
+Result<std::shared_ptr<net::Transport>> Connect(const Flags& flags) {
+  auto client = net::TcpClient::Connect(
+      flags.Get("host", "127.0.0.1"),
+      static_cast<uint16_t>(flags.GetInt("port", 4433)));
+  TC_RETURN_IF_ERROR(client.status());
+  return std::shared_ptr<net::Transport>(std::move(*client));
+}
+
+/// Owner options with the state dir's persistent signing identity, so
+/// attestations verify across invocations.
+Result<client::OwnerOptions> OwnerOpts(const std::string& state_dir) {
+  client::OwnerOptions options;
+  TC_ASSIGN_OR_RETURN(options.signing, LoadOrCreateSigning(state_dir));
+  return options;
+}
+
+/// Re-attach the stream from its state file into `owner`.
+Result<uint64_t> Attach(client::OwnerClient& owner, const Flags& flags,
+                        const std::string& state_dir) {
+  uint64_t uuid = flags.GetUint("uuid", 0);
+  if (uuid == 0) return InvalidArgument("--uuid is required");
+  TC_ASSIGN_OR_RETURN(StreamState s, LoadStreamState(state_dir, uuid));
+  TC_RETURN_IF_ERROR(owner.AttachStream(uuid, s.master_seed));
+  return uuid;
+}
+
+int CmdCreate(const Flags& flags, const std::string& state_dir) {
+  auto transport = Connect(flags);
+  if (!transport.ok()) Die(transport.status());
+  auto owner_opts = OwnerOpts(state_dir);
+  if (!owner_opts.ok()) Die(owner_opts.status());
+  client::OwnerClient owner(*transport, *owner_opts);
+
+  net::StreamConfig config;
+  config.name = flags.Get("name", "stream");
+  config.delta_ms = flags.GetInt("delta-ms", 10'000);
+  config.t0 = flags.GetInt("t0", 0);
+  config.fanout = static_cast<uint32_t>(flags.GetInt("fanout", 64));
+  config.integrity = flags.Has("integrity");
+  config.schema.with_sum = true;
+  config.schema.with_count = true;
+  config.schema.with_sumsq = flags.Has("sumsq");
+  if (flags.Has("trend")) {
+    config.schema.with_trend = true;
+    config.schema.trend_t0 = config.t0;
+    config.schema.trend_unit_ms = flags.GetInt("trend", 60'000);
+  }
+  if (flags.Has("hist")) {
+    // BINS:MIN:WIDTH
+    std::istringstream spec(flags.Get("hist"));
+    std::string bins, min, width;
+    std::getline(spec, bins, ':');
+    std::getline(spec, min, ':');
+    std::getline(spec, width, ':');
+    config.schema.hist_bins =
+        static_cast<uint32_t>(std::strtoul(bins.c_str(), nullptr, 10));
+    config.schema.hist_min = std::strtoll(min.c_str(), nullptr, 10);
+    config.schema.hist_width = std::strtoll(width.c_str(), nullptr, 10);
+    if (config.schema.hist_width <= 0) config.schema.hist_width = 1;
+  }
+
+  auto uuid = owner.CreateStream(config);
+  if (!uuid.ok()) Die(uuid.status());
+  auto keys = owner.KeysFor(*uuid);
+  if (!keys.ok()) Die(keys.status());
+  CheckOk(SaveStreamState(state_dir,
+                          StreamState{*uuid, (*keys)->master_seed(), config}));
+  std::printf("created stream %" PRIu64 " (%s), key state saved in %s\n",
+              *uuid, config.name.c_str(), state_dir.c_str());
+  return 0;
+}
+
+int CmdInsert(const Flags& flags, const std::string& state_dir) {
+  auto transport = Connect(flags);
+  if (!transport.ok()) Die(transport.status());
+  auto owner_opts = OwnerOpts(state_dir);
+  if (!owner_opts.ok()) Die(owner_opts.status());
+  client::OwnerClient owner(*transport, *owner_opts);
+  auto uuid = Attach(owner, flags, state_dir);
+  if (!uuid.ok()) Die(uuid.status());
+
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (flags.Has("file")) {
+    file.open(flags.Get("file"));
+    if (!file) Die(Unavailable("cannot open " + flags.Get("file")));
+    in = &file;
+  }
+
+  uint64_t inserted = 0;
+  std::string line;
+  while (std::getline(*in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    auto comma = line.find(',');
+    if (comma == std::string::npos) {
+      Die(InvalidArgument("expected 'timestamp_ms,value': " + line));
+    }
+    index::DataPoint p{std::strtoll(line.c_str(), nullptr, 10),
+                       std::strtoll(line.c_str() + comma + 1, nullptr, 10)};
+    CheckOk(owner.InsertRecord(*uuid, p));
+    ++inserted;
+  }
+  CheckOk(owner.Flush(*uuid));
+  std::printf("inserted %" PRIu64 " point(s) into stream %" PRIu64 "\n",
+              inserted, *uuid);
+  return 0;
+}
+
+void PrintStats(const client::StatResult& r,
+                const index::DigestSchema& schema) {
+  std::printf("chunks [%" PRIu64 ", %" PRIu64 ")\n", r.first_chunk,
+              r.last_chunk);
+  if (auto sum = r.stats.Sum(); sum.ok()) {
+    std::printf("  sum      %" PRId64 "\n", *sum);
+  }
+  if (auto count = r.stats.Count(); count.ok()) {
+    std::printf("  count    %" PRIu64 "\n", *count);
+  }
+  if (auto mean = r.stats.Mean(); mean.ok()) {
+    std::printf("  mean     %.4f\n", *mean);
+  }
+  if (schema.with_sumsq) {
+    if (auto var = r.stats.Variance(); var.ok()) {
+      std::printf("  var      %.4f\n", *var);
+      std::printf("  stddev   %.4f\n", r.stats.StdDev().value());
+    }
+  }
+  if (schema.with_trend) {
+    if (auto slope = r.stats.TrendSlope(); slope.ok()) {
+      std::printf("  trend    %.6f per unit (intercept %.4f)\n", *slope,
+                  r.stats.TrendIntercept().value());
+    }
+  }
+  if (schema.hist_bins > 0) {
+    if (auto lo = r.stats.MinBinLow(); lo.ok()) {
+      std::printf("  min-bin  >= %" PRId64 "\n", *lo);
+      std::printf("  max-bin  <  %" PRId64 "\n", r.stats.MaxBinHigh().value());
+    }
+  }
+}
+
+int CmdStats(const Flags& flags, const std::string& state_dir) {
+  auto transport = Connect(flags);
+  if (!transport.ok()) Die(transport.status());
+  auto owner_opts = OwnerOpts(state_dir);
+  if (!owner_opts.ok()) Die(owner_opts.status());
+  client::OwnerClient owner(*transport, *owner_opts);
+  auto uuid = Attach(owner, flags, state_dir);
+  if (!uuid.ok()) Die(uuid.status());
+  TimeRange range{flags.GetInt("start", 0), flags.GetInt("end", 0)};
+
+  auto state = LoadStreamState(state_dir, *uuid);
+  if (!state.ok()) Die(state.status());
+
+  if (flags.Has("granularity")) {
+    auto series = owner.GetStatSeries(
+        *uuid, range, static_cast<uint64_t>(flags.GetInt("granularity", 1)));
+    if (!series.ok()) Die(series.status());
+    for (const auto& window : *series) PrintStats(window, state->config.schema);
+  } else {
+    auto result = owner.GetStatRange(*uuid, range);
+    if (!result.ok()) Die(result.status());
+    PrintStats(*result, state->config.schema);
+  }
+  return 0;
+}
+
+int CmdRange(const Flags& flags, const std::string& state_dir) {
+  auto transport = Connect(flags);
+  if (!transport.ok()) Die(transport.status());
+  auto owner_opts = OwnerOpts(state_dir);
+  if (!owner_opts.ok()) Die(owner_opts.status());
+  client::OwnerClient owner(*transport, *owner_opts);
+  auto uuid = Attach(owner, flags, state_dir);
+  if (!uuid.ok()) Die(uuid.status());
+  auto points = owner.GetRange(
+      *uuid, {flags.GetInt("start", 0), flags.GetInt("end", 0)});
+  if (!points.ok()) Die(points.status());
+  for (const auto& p : *points) {
+    std::printf("%" PRId64 ",%" PRId64 "\n", p.timestamp_ms, p.value);
+  }
+  return 0;
+}
+
+int CmdInfo(const Flags& flags) {
+  auto transport = Connect(flags);
+  if (!transport.ok()) Die(transport.status());
+  net::DeleteStreamRequest req{flags.GetUint("uuid", 0)};
+  auto payload = (*transport)->Call(net::MessageType::kGetStreamInfo,
+                                    req.Encode());
+  if (!payload.ok()) Die(payload.status());
+  auto info = net::StreamInfoResponse::Decode(*payload);
+  if (!info.ok()) Die(info.status());
+  std::printf(
+      "name        %s\n"
+      "delta_ms    %" PRId64 "\n"
+      "chunks      %" PRIu64 "\n"
+      "fields      %zu\n"
+      "cipher      %s\n"
+      "integrity   %s\n",
+      info->config.name.c_str(), info->config.delta_ms, info->num_chunks,
+      info->config.schema.num_fields(),
+      std::string(net::CipherKindName(info->config.cipher)).c_str(),
+      info->config.integrity ? "yes" : "no");
+  return 0;
+}
+
+int CmdAttest(const Flags& flags, const std::string& state_dir) {
+  auto transport = Connect(flags);
+  if (!transport.ok()) Die(transport.status());
+  auto owner_opts = OwnerOpts(state_dir);
+  if (!owner_opts.ok()) Die(owner_opts.status());
+  client::OwnerClient owner(*transport, *owner_opts);
+  auto uuid = Attach(owner, flags, state_dir);
+  if (!uuid.ok()) Die(uuid.status());
+  // NOTE: a re-attached producer can only attest streams it has witnessed
+  // from chunk 0 (see OwnerClient::AttachStream); attest right after
+  // ingesting in the same process.
+  auto att = owner.Attest(*uuid);
+  if (!att.ok()) Die(att.status());
+  std::printf("attested stream %" PRIu64 " at %" PRIu64
+              " chunks (root %s...)\n",
+              att->uuid, att->size,
+              ToHex(BytesView(att->root.data(), 8)).c_str());
+  return 0;
+}
+
+int CmdVerify(const Flags& flags, const std::string& state_dir) {
+  auto transport = Connect(flags);
+  if (!transport.ok()) Die(transport.status());
+  auto owner_opts = OwnerOpts(state_dir);
+  if (!owner_opts.ok()) Die(owner_opts.status());
+  client::OwnerClient owner(*transport, *owner_opts);
+  auto uuid = Attach(owner, flags, state_dir);
+  if (!uuid.ok()) Die(uuid.status());
+  auto state = LoadStreamState(state_dir, *uuid);
+  if (!state.ok()) Die(state.status());
+  auto result = owner.GetVerifiedStatRange(
+      *uuid, {flags.GetInt("start", 0), flags.GetInt("end", 0)});
+  if (!result.ok()) Die(result.status());
+  std::puts("verified against the signed attestation:");
+  PrintStats(*result, state->config.schema);
+  return 0;
+}
+
+int CmdKeygen(const Flags& flags, const std::string& state_dir) {
+  (void)flags;
+  auto identity = LoadOrCreateIdentity(state_dir, /*create=*/true);
+  if (!identity.ok()) Die(identity.status());
+  std::printf("public key: %s\n", ToHex(identity->public_key).c_str());
+  return 0;
+}
+
+int CmdGrant(const Flags& flags, const std::string& state_dir) {
+  auto transport = Connect(flags);
+  if (!transport.ok()) Die(transport.status());
+  auto owner_opts = OwnerOpts(state_dir);
+  if (!owner_opts.ok()) Die(owner_opts.status());
+  client::OwnerClient owner(*transport, *owner_opts);
+  auto uuid = Attach(owner, flags, state_dir);
+  if (!uuid.ok()) Die(uuid.status());
+  auto pub = FromHex(flags.Get("pub"));
+  if (!pub.ok()) Die(InvalidArgument("--pub must be the consumer's hex key"));
+  CheckOk(owner.GrantAccess(
+      *uuid, flags.Get("principal"), *pub,
+      {flags.GetInt("start", 0), flags.GetInt("end", 0)},
+      static_cast<uint64_t>(flags.GetInt("resolution", 1))));
+  std::printf("granted %s access to stream %" PRIu64 " at resolution %lld\n",
+              flags.Get("principal").c_str(), *uuid,
+              static_cast<long long>(flags.GetInt("resolution", 1)));
+  return 0;
+}
+
+int CmdRevoke(const Flags& flags, const std::string& state_dir) {
+  auto transport = Connect(flags);
+  if (!transport.ok()) Die(transport.status());
+  auto owner_opts = OwnerOpts(state_dir);
+  if (!owner_opts.ok()) Die(owner_opts.status());
+  client::OwnerClient owner(*transport, *owner_opts);
+  auto uuid = Attach(owner, flags, state_dir);
+  if (!uuid.ok()) Die(uuid.status());
+  CheckOk(owner.RevokeAccess(*uuid, flags.Get("principal"),
+                             flags.GetInt("end", 0)));
+  std::printf("revoked %s on stream %" PRIu64 "\n",
+              flags.Get("principal").c_str(), *uuid);
+  return 0;
+}
+
+int CmdConsume(const Flags& flags, const std::string& state_dir) {
+  auto transport = Connect(flags);
+  if (!transport.ok()) Die(transport.status());
+  auto identity = LoadOrCreateIdentity(state_dir, /*create=*/false);
+  if (!identity.ok()) Die(identity.status());
+
+  client::Principal principal{flags.Get("principal"), *identity};
+  client::ConsumerClient consumer(*transport, principal);
+  auto n = consumer.FetchGrants();
+  if (!n.ok()) Die(n.status());
+  std::printf("%d grant(s) held\n", *n);
+
+  uint64_t uuid = flags.GetUint("uuid", 0);
+  auto result = consumer.GetStatRange(
+      uuid, {flags.GetInt("start", 0), flags.GetInt("end", 0)});
+  if (!result.ok()) Die(result.status());
+  // Consumers know the schema from the (public) stream config.
+  net::DeleteStreamRequest info_req{uuid};
+  auto info_payload = (*transport)->Call(net::MessageType::kGetStreamInfo,
+                                         info_req.Encode());
+  if (!info_payload.ok()) Die(info_payload.status());
+  auto info = net::StreamInfoResponse::Decode(*info_payload);
+  if (!info.ok()) Die(info.status());
+  PrintStats(*result, info->config.schema);
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv,
+              {"help", "sumsq", "integrity"});
+  if (flags.Has("help") || flags.positional().empty()) {
+    Usage();
+    return flags.Has("help") ? 0 : 1;
+  }
+  std::string state_dir = flags.Get("state-dir", ".tccli");
+  const std::string& cmd = flags.positional()[0];
+  if (cmd == "create") return CmdCreate(flags, state_dir);
+  if (cmd == "insert") return CmdInsert(flags, state_dir);
+  if (cmd == "stats") return CmdStats(flags, state_dir);
+  if (cmd == "range") return CmdRange(flags, state_dir);
+  if (cmd == "info") return CmdInfo(flags);
+  if (cmd == "attest") return CmdAttest(flags, state_dir);
+  if (cmd == "verify") return CmdVerify(flags, state_dir);
+  if (cmd == "keygen") return CmdKeygen(flags, state_dir);
+  if (cmd == "grant") return CmdGrant(flags, state_dir);
+  if (cmd == "revoke") return CmdRevoke(flags, state_dir);
+  if (cmd == "consume") return CmdConsume(flags, state_dir);
+  std::fprintf(stderr, "unknown command: %s\n\n", cmd.c_str());
+  Usage();
+  return 1;
+}
+
+}  // namespace
+}  // namespace tc::tools
+
+int main(int argc, char** argv) { return tc::tools::Run(argc, argv); }
