@@ -9,7 +9,11 @@
 //
 // Chunks are ingested digest-only (the figure measures the statistical
 // path; raw payloads are irrelevant to it).
+//
+// `--quick` shrinks the fixture to one day so a CI smoke run finishes in
+// about a second while still exercising every code path.
 #include <cstdio>
+#include <cstring>
 
 #include "bench_common.hpp"
 #include "client/owner.hpp"
@@ -31,8 +35,10 @@ struct MonthFixture {
   std::shared_ptr<net::Transport> transport;
   std::unique_ptr<client::OwnerClient> owner;
   uint64_t uuid;
+  uint64_t total_chunks;
 
-  explicit MonthFixture(net::CipherKind cipher) {
+  MonthFixture(net::CipherKind cipher, uint64_t chunks)
+      : total_chunks(chunks) {
     kv = std::make_shared<store::MemKvStore>();
     server = std::make_shared<server::ServerEngine>(kv);
     transport = std::make_shared<net::InProcTransport>(server);
@@ -53,7 +59,7 @@ struct MonthFixture {
                     ? index::MakeHeacCipher(2, keys->shared_tree())
                     : index::MakePlainCipher(2);
     WallTimer t;
-    for (uint64_t c = 0; c < kMonthChunks; ++c) {
+    for (uint64_t c = 0; c < total_chunks; ++c) {
       std::vector<uint64_t> fields = {467 * 600, 467};
       Bytes blob = *heac->Encrypt(fields, c);
       net::InsertChunkRequest req{uuid, c, std::move(blob), {}};
@@ -64,8 +70,8 @@ struct MonthFixture {
     }
     std::printf("  [setup] %llu chunks (%.0fM records equivalent) ingested "
                 "in %.1fs\n",
-                static_cast<unsigned long long>(kMonthChunks),
-                kMonthChunks * 467 / 1e6, t.Seconds());
+                static_cast<unsigned long long>(total_chunks),
+                total_chunks * 467 / 1e6, t.Seconds());
   }
 
   /// The Fig 8 query: the whole month at `granularity` windows, decrypted
@@ -73,18 +79,18 @@ struct MonthFixture {
   double ViewLatencyMs(uint64_t granularity_chunks) {
     WallTimer t;
     auto series = owner->GetStatSeries(
-        uuid, {0, static_cast<Timestamp>(kMonthChunks) * kDelta},
+        uuid, {0, static_cast<Timestamp>(total_chunks) * kDelta},
         granularity_chunks);
     if (!series.ok()) std::abort();
     // Touch the decoded results (the plot data).
     uint64_t count = 0;
     for (const auto& window : *series) count += *window.stats.Count();
-    if (count != 467 * kMonthChunks) std::abort();
+    if (count != 467 * total_chunks) std::abort();
     return t.Seconds() * 1000.0;
   }
 };
 
-void Run() {
+void Run(uint64_t total_chunks) {
   struct Row {
     const char* label;
     uint64_t granularity;
@@ -98,13 +104,14 @@ void Run() {
   };
 
   std::printf("building plaintext fixture...\n");
-  MonthFixture plain(net::CipherKind::kPlain);
+  MonthFixture plain(net::CipherKind::kPlain, total_chunks);
   std::printf("building TimeCrypt fixture...\n");
-  MonthFixture heac(net::CipherKind::kHeac);
+  MonthFixture heac(net::CipherKind::kHeac, total_chunks);
 
   std::printf("\n%-8s %12s %12s %9s %10s\n", "granny", "plaintext",
               "timecrypt", "overhead", "windows");
   for (const Row& row : rows) {
+    if (row.granularity > total_chunks) continue;
     // Two repetitions, keep the second (warm cache) — as the paper's
     // steady-state measurement.
     (void)plain.ViewLatencyMs(row.granularity);
@@ -114,7 +121,7 @@ void Run() {
     std::printf("%-8s %10.2fms %10.2fms %8.2fx %10llu\n", row.label, p, h,
                 h / p,
                 static_cast<unsigned long long>(
-                    (kMonthChunks + row.granularity - 1) / row.granularity));
+                    (total_chunks + row.granularity - 1) / row.granularity));
   }
   std::printf(
       "\npaper (Fig 8): minute-granularity overhead 1.51x (40320 "
@@ -124,8 +131,15 @@ void Run() {
 }  // namespace
 }  // namespace tc::bench
 
-int main() {
-  std::printf("=== Fig 8: one-month views at varying granularity ===\n");
-  tc::bench::Run();
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  uint64_t chunks =
+      quick ? tc::bench::kChunksPerMinute * 60 * 24 : tc::bench::kMonthChunks;
+  std::printf("=== Fig 8: one-month views at varying granularity%s ===\n",
+              quick ? " (quick: one day)" : "");
+  tc::bench::Run(chunks);
   return 0;
 }

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "crypto/evp_ctx.hpp"
 #include "crypto/sha256.hpp"
 
 namespace tc::crypto {
@@ -17,8 +18,8 @@ namespace {
 }
 
 EVP_CIPHER_CTX* ThreadCtx() {
-  thread_local EVP_CIPHER_CTX* ctx = EVP_CIPHER_CTX_new();
-  return ctx;
+  return internal::ThreadLocalCtx<EVP_CIPHER_CTX, EVP_CIPHER_CTX_new,
+                                  EVP_CIPHER_CTX_free>();
 }
 }  // namespace
 

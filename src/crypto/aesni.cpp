@@ -1,17 +1,39 @@
 #include "crypto/aesni.hpp"
 
-#include <cpuid.h>
-#include <wmmintrin.h>
-
+#include <cstdlib>
 #include <cstring>
 
+// The hardware path needs both x86 and a translation unit compiled with
+// -maes (the build system sets that only where supported). Everything else
+// gets the portable fallback at the bottom of this file; runtime dispatch in
+// MakePrg() keeps callers off AesNiBlock when CpuHasAesNi() is false.
+#if defined(__AES__) && (defined(__x86_64__) || defined(__i386__))
+#define TC_AESNI_COMPILED 1
+#include <cpuid.h>
+#include <wmmintrin.h>
+#endif
+
 namespace tc::crypto {
+
+namespace {
+
+// Operators can force the software dispatch path (e.g. to exercise the
+// fallback on AES-NI hardware, or to sidestep a hypervisor CPUID quirk).
+bool AesNiDisabledByEnv() {
+  const char* v = std::getenv("TC_DISABLE_AESNI");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+}  // namespace
+
+#if defined(TC_AESNI_COMPILED)
 
 bool CpuHasAesNi() {
   // CPUID is serializing and, under virtualization, a VM exit — ~10 µs per
   // call on some hypervisors. MakePrg() probes this on every construction
   // (e.g. each keystream re-anchor), so cache the answer once.
   static const bool has_aesni = [] {
+    if (AesNiDisabledByEnv()) return false;
     unsigned int eax, ebx, ecx, edx;
     if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return false;
     return (ecx & bit_AES) != 0;
@@ -80,5 +102,36 @@ void AesNiBlock::EncryptTwoBlocks(const Block128& in0, const Block128& in1,
   _mm_storeu_si128(reinterpret_cast<__m128i*>(out0.data()), b0);
   _mm_storeu_si128(reinterpret_cast<__m128i*>(out1.data()), b1);
 }
+
+#else  // !TC_AESNI_COMPILED — portable fallback
+
+bool CpuHasAesNi() {
+  (void)AesNiDisabledByEnv();  // keep the helper referenced on all paths
+  return false;
+}
+
+// Without AES-NI codegen the class delegates to the portable implementation.
+// CpuHasAesNi() is false here so the PRG dispatch never puts AesNiBlock on a
+// hot path; the delegate only runs if someone constructs it directly.
+AesNiBlock::AesNiBlock(const Key128& key) {
+  std::memcpy(round_keys_.data(), key.data(), key.size());
+}
+
+Block128 AesNiBlock::EncryptBlock(const Block128& plaintext) const {
+  Key128 key;
+  std::memcpy(key.data(), round_keys_.data(), key.size());
+  return SoftAes128(key).EncryptBlock(plaintext);
+}
+
+void AesNiBlock::EncryptTwoBlocks(const Block128& in0, const Block128& in1,
+                                  Block128& out0, Block128& out1) const {
+  Key128 key;
+  std::memcpy(key.data(), round_keys_.data(), key.size());
+  SoftAes128 cipher(key);
+  out0 = cipher.EncryptBlock(in0);
+  out1 = cipher.EncryptBlock(in1);
+}
+
+#endif  // TC_AESNI_COMPILED
 
 }  // namespace tc::crypto

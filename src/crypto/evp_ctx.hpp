@@ -1,0 +1,19 @@
+// Thread-local RAII holder for reusable OpenSSL EVP contexts. Hot paths
+// (SHA-256 in the PRG, AES-GCM chunk sealing) reuse one context per thread
+// instead of allocating per call; the holder frees it at thread exit so
+// worker threads don't leak one context each.
+#pragma once
+
+namespace tc::crypto::internal {
+
+template <typename Ctx, Ctx* (*New)(), void (*Free)(Ctx*)>
+Ctx* ThreadLocalCtx() {
+  struct Holder {
+    Ctx* ctx = New();
+    ~Holder() { Free(ctx); }
+  };
+  thread_local Holder holder;
+  return holder.ctx;
+}
+
+}  // namespace tc::crypto::internal

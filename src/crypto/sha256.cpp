@@ -7,6 +7,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "crypto/evp_ctx.hpp"
+
 namespace tc::crypto {
 
 namespace {
@@ -23,7 +25,8 @@ Sha256Digest Sha256(BytesView data) {
 Sha256Digest Sha256Concat(BytesView a, BytesView b) {
   // Thread-local context: SHA-256 is on the PRG hot path (Fig 6), so avoid
   // per-call allocation.
-  thread_local EVP_MD_CTX* ctx = EVP_MD_CTX_new();
+  EVP_MD_CTX* ctx = internal::ThreadLocalCtx<EVP_MD_CTX, EVP_MD_CTX_new,
+                                             EVP_MD_CTX_free>();
   Sha256Digest out;
   if (EVP_DigestInit_ex(ctx, EVP_sha256(), nullptr) != 1) {
     FatalOpenSsl("DigestInit");

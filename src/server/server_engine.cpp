@@ -153,6 +153,7 @@ uint64_t ServerEngine::TotalIndexBytes() const {
   std::shared_lock lock(streams_mu_);
   uint64_t total = 0;
   for (const auto& [uuid, stream] : streams_) {
+    std::shared_lock stream_lock(stream->mu);
     total += stream->tree->IndexBytes();
   }
   return total;
@@ -259,15 +260,24 @@ Result<Bytes> ServerEngine::DeleteStream(BytesView body) {
   std::unique_lock lock(streams_mu_);
   auto it = streams_.find(req.uuid);
   if (it == streams_.end()) return NotFound("stream does not exist");
-  // Drop chunk payloads; index nodes stay orphaned in the KV (a real
-  // deployment would GC them; compaction handles it for the log store).
-  uint64_t n = it->second->tree->num_chunks();
-  for (uint64_t i = 0; i < n; ++i) {
-    (void)kv_->Delete(ChunkKey(req.uuid, i));
-  }
+  // Unpublish the stream first, then release streams_mu_ before waiting on
+  // per-stream state: blocking on stream->mu (or running the chunk delete
+  // loop) under the global lock would stall every request on the server
+  // behind one slow stream operation.
+  std::shared_ptr<Stream> stream = it->second;
   streams_.erase(it);
   (void)kv_->Delete(ConfigKey(req.uuid));
   TC_RETURN_IF_ERROR(StoreDirectoryLocked());
+  lock.unlock();
+
+  // Wait out any in-flight ingest on this stream, then drop chunk payloads;
+  // index nodes stay orphaned in the KV (a real deployment would GC them;
+  // compaction handles it for the log store).
+  std::unique_lock stream_lock(stream->mu);
+  uint64_t n = stream->tree->num_chunks();
+  for (uint64_t i = 0; i < n; ++i) {
+    (void)kv_->Delete(ChunkKey(req.uuid, i));
+  }
   return Bytes{};
 }
 
@@ -294,6 +304,7 @@ Result<Bytes> ServerEngine::InsertChunk(BytesView body) {
 Result<Bytes> ServerEngine::GetRange(BytesView body) const {
   TC_ASSIGN_OR_RETURN(auto req, net::GetRangeRequest::Decode(body));
   TC_ASSIGN_OR_RETURN(auto stream, FindStream(req.uuid));
+  std::shared_lock stream_lock(stream->mu);
   TC_ASSIGN_OR_RETURN(auto range, ResolveRange(*stream, req.range));
 
   net::GetRangeResponse resp;
@@ -308,6 +319,7 @@ Result<Bytes> ServerEngine::GetRange(BytesView body) const {
 Result<Bytes> ServerEngine::GetStatRange(BytesView body) const {
   TC_ASSIGN_OR_RETURN(auto req, net::StatRangeRequest::Decode(body));
   TC_ASSIGN_OR_RETURN(auto stream, FindStream(req.uuid));
+  std::shared_lock stream_lock(stream->mu);
   TC_ASSIGN_OR_RETURN(auto range, ResolveRange(*stream, req.range));
 
   TC_ASSIGN_OR_RETURN(Bytes blob,
@@ -325,6 +337,7 @@ Result<Bytes> ServerEngine::GetStatSeries(BytesView body) const {
     return InvalidArgument("granularity must be positive");
   }
   TC_ASSIGN_OR_RETURN(auto stream, FindStream(req.uuid));
+  std::shared_lock stream_lock(stream->mu);
   TC_ASSIGN_OR_RETURN(auto range, ResolveRange(*stream, req.range));
 
   net::StatSeriesResponse resp;
@@ -352,6 +365,7 @@ Result<Bytes> ServerEngine::MultiStatRange(BytesView body) const {
   uint64_t first = 0, last = 0;
   for (size_t s = 0; s < req.uuids.size(); ++s) {
     TC_ASSIGN_OR_RETURN(auto stream, FindStream(req.uuids[s]));
+    std::shared_lock stream_lock(stream->mu);
     TC_ASSIGN_OR_RETURN(auto range, ResolveRange(*stream, req.range));
     TC_ASSIGN_OR_RETURN(Bytes blob,
                         stream->tree->Query(range.first, range.second));
@@ -382,12 +396,18 @@ Result<Bytes> ServerEngine::RollupStream(BytesView body) {
   }
   TC_ASSIGN_OR_RETURN(auto source, FindStream(req.source_uuid));
 
-  // Resolve the segment ({0,0} = whole stream so far).
-  uint64_t first = 0, last = source->tree->num_chunks();
-  if (!(req.range.start == 0 && req.range.end == 0)) {
-    TC_ASSIGN_OR_RETURN(auto range, ResolveRange(*source, req.range));
-    first = range.first;
-    last = range.second;
+  // Resolve the segment ({0,0} = whole stream so far). The shared lock is
+  // scoped: CreateStream below takes streams_mu_, and holding source->mu
+  // across it would invert the streams_mu_ -> stream->mu lock order.
+  uint64_t first = 0, last = 0;
+  {
+    std::shared_lock source_lock(source->mu);
+    last = source->tree->num_chunks();
+    if (!(req.range.start == 0 && req.range.end == 0)) {
+      TC_ASSIGN_OR_RETURN(auto range, ResolveRange(*source, req.range));
+      first = range.first;
+      last = range.second;
+    }
   }
   // Align to whole rollup windows.
   first -= first % req.granularity_chunks;
@@ -404,6 +424,10 @@ Result<Bytes> ServerEngine::RollupStream(BytesView body) {
   TC_RETURN_IF_ERROR(CreateStream(create.Encode()).status());
 
   TC_ASSIGN_OR_RETURN(auto target, FindStream(req.target_uuid));
+  // source is read under a shared lock while target is written; the target
+  // stream was just created, so no opposite-direction rollup can hold
+  // target shared while waiting for source exclusive.
+  std::shared_lock source_lock(source->mu);
   std::lock_guard lock(target->mu);
   uint64_t out_index = 0;
   for (uint64_t w = first; w < last; w += req.granularity_chunks) {
@@ -422,9 +446,9 @@ Result<Bytes> ServerEngine::RollupStream(BytesView body) {
 Result<Bytes> ServerEngine::DeleteRange(BytesView body) {
   TC_ASSIGN_OR_RETURN(auto req, net::DeleteRangeRequest::Decode(body));
   TC_ASSIGN_OR_RETURN(auto stream, FindStream(req.uuid));
-  TC_ASSIGN_OR_RETURN(auto range, ResolveRange(*stream, req.range));
 
   std::lock_guard lock(stream->mu);
+  TC_ASSIGN_OR_RETURN(auto range, ResolveRange(*stream, req.range));
   // Drop raw payloads; per-chunk digests are retained (Table 1 row 7:
   // "Delete specified segment of the stream, while maintaining per-chunk
   // digest").
@@ -438,6 +462,7 @@ Result<Bytes> ServerEngine::DeleteRange(BytesView body) {
 Result<Bytes> ServerEngine::GetStreamInfo(BytesView body) const {
   TC_ASSIGN_OR_RETURN(auto req, net::DeleteStreamRequest::Decode(body));
   TC_ASSIGN_OR_RETURN(auto stream, FindStream(req.uuid));
+  std::shared_lock stream_lock(stream->mu);
   net::StreamInfoResponse resp;
   resp.config = stream->config;
   resp.num_chunks = stream->tree->num_chunks();
@@ -509,6 +534,7 @@ Result<Bytes> ServerEngine::GetChunkWitnessed(BytesView body) const {
   if (with_proofs && req.last_chunk > req.at_size) {
     return OutOfRange("chunk range exceeds attested prefix");
   }
+  std::shared_lock stream_lock(stream->mu);
   if (!with_proofs && req.last_chunk > stream->tree->num_chunks()) {
     return OutOfRange("chunk range exceeds ingested chunks");
   }

@@ -57,10 +57,12 @@ class ServerEngine final : public net::RequestHandler {
     std::shared_ptr<const index::DigestCipher> add_cipher;
     std::unique_ptr<index::AggTree> tree;
     // Integrity extension: the server-side mirror of the witness tree
-    // (config.integrity streams only). Guarded by mu for writes; reads of
-    // the attested prefix are safe because the tree is append-only.
+    // (config.integrity streams only). Guarded by mu like the agg tree.
     std::unique_ptr<integrity::MerkleTree> witnesses;
-    mutable std::mutex mu;  // serializes ingest per stream
+    // Reader/writer lock over tree + witnesses: Append grows internal
+    // vectors, so even "append-only prefix" reads can hit a reallocation;
+    // ingest takes it exclusive, query paths take it shared.
+    mutable std::shared_mutex mu;
 
     Stream(net::StreamConfig cfg, ChunkClock clk,
            std::shared_ptr<const index::DigestCipher> cipher,

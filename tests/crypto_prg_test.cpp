@@ -2,6 +2,8 @@
 // AES-NI implementation against the software one, and PRG properties.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "crypto/aesni.hpp"
 #include "crypto/prg.hpp"
 #include "crypto/rand.hpp"
@@ -53,6 +55,21 @@ TEST(AesNi, TwoBlockPathMatchesSingle) {
   aes.EncryptTwoBlocks(a, b, out0, out1);
   EXPECT_EQ(out0, aes.EncryptBlock(a));
   EXPECT_EQ(out1, aes.EncryptBlock(b));
+}
+
+TEST(AesNi, DispatchHonoursDisableEnv) {
+  // The CTest entry crypto_prg_test_soft_fallback reruns this binary with
+  // TC_DISABLE_AESNI=1: the dispatch must then report no AES-NI, and
+  // MakePrg(kAesNi) must transparently produce the software fallback so no
+  // code path can reach an AES instruction.
+  const char* disabled = std::getenv("TC_DISABLE_AESNI");
+  if (disabled != nullptr && *disabled != '\0' && *disabled != '0') {
+    EXPECT_FALSE(CpuHasAesNi());
+  }
+  auto prg = MakePrg(PrgKind::kAesNi);
+  Key128 l, r;
+  prg->Expand(RandomKey128(), l, r);
+  EXPECT_NE(l, r);
 }
 
 TEST(Sha256, KnownAnswer) {

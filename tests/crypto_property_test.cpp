@@ -292,17 +292,25 @@ TEST(SealedBox, WrongRecipientCannotOpen) {
 
 TEST(Fold64Property, OutputBitsAreBalanced) {
   // The length-matching hash (§A.1.5) must preserve uniformity: over many
-  // PRF outputs each output bit should be ~50/50. Loose 3-sigma bound.
+  // PRF outputs each output bit should be ~50/50. A fixed root key keeps the
+  // check deterministic, and the bound is sized for the MAX deviation over
+  // 64 bits (Bonferroni): a per-bit 3-sigma bound trips for some bit in
+  // ~16% of random keys, which made this test flaky.
   constexpr int kSamples = 4096;
-  GgmTree tree(RandomKey128(), 13);
+  Key128 root{};
+  for (size_t i = 0; i < root.size(); ++i) {
+    root[i] = static_cast<uint8_t>(i * 17 + 3);
+  }
+  GgmTree tree(root, 13);
   std::array<int, 64> ones{};
   for (int i = 0; i < kSamples; ++i) {
     uint64_t folded = Fold64(tree.DeriveLeaf(i).value());
     for (int b = 0; b < 64; ++b) ones[b] += (folded >> b) & 1;
   }
-  // sigma = sqrt(n*p*q) = sqrt(4096*0.25) = 32; 3-sigma = 96.
+  // sigma = sqrt(n*p*q) = sqrt(4096*0.25) = 32; 4.5-sigma = 144 keeps the
+  // per-run false-positive rate for max-over-64-bits below ~0.1%.
   for (int b = 0; b < 64; ++b) {
-    EXPECT_NEAR(ones[b], kSamples / 2, 96) << "bit " << b;
+    EXPECT_NEAR(ones[b], kSamples / 2, 144) << "bit " << b;
   }
 }
 
