@@ -1,0 +1,315 @@
+// Cluster-layer scaling benchmark: does throughput scale with the number
+// of engine shards (the paper's §4.6 horizontal-scaling claim, Fig 9
+// reproduced in-process), and does batched ingest beat chunk-at-a-time
+// uploads on a real socket?
+//
+//  1. Ingest scaling: N log-backed shards behind a ShardRouter, fixed
+//     writer-thread pool, digest-only InsertChunk requests. A single
+//     shard serializes every append behind one log mutex; N shards give
+//     N independent append paths, so aggregate chunks/s should rise with
+//     the shard count on a multi-core host.
+//  2. Query scaling: GetStatRange over the same fixture from the same
+//     thread pool (per-shard stores give independent read paths).
+//  3. Batched ingest on loopback TCP: one InsertChunkBatch frame of K
+//     chunks vs K InsertChunk round trips against a tcserver-shaped
+//     stack (TcpServer + TcpClient) — the batching win is K-1 saved
+//     round trips plus one group-committed log sync per batch.
+//
+// `--quick` shrinks sizes for the CI smoke run; TC_BENCH_LARGE=1 unlocks
+// an 8-shard sweep. Results depend on available cores: a 1-core host
+// shows flat shard scaling (expected — there is nothing to scale onto)
+// while the batching win persists, since it saves round trips, not CPU.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cluster/shard_router.hpp"
+#include "index/digest_cipher.hpp"
+#include "net/messages.hpp"
+#include "net/tcp.hpp"
+#include "server/server_engine.hpp"
+#include "store/log_kv.hpp"
+#include "store/mem_kv.hpp"
+
+namespace tc::bench {
+namespace {
+
+constexpr DurationMs kDelta = 10 * kSecond;
+
+net::StreamConfig PlainConfig(const std::string& name) {
+  net::StreamConfig c;
+  c.name = name;
+  c.t0 = 0;
+  c.delta_ms = kDelta;
+  c.schema.with_sum = c.schema.with_count = true;
+  c.cipher = net::CipherKind::kPlain;
+  c.fanout = 64;
+  return c;
+}
+
+struct LogCluster {
+  std::vector<std::string> paths;
+  std::vector<std::shared_ptr<server::ServerEngine>> engines;
+  std::shared_ptr<cluster::ShardRouter> router;
+
+  explicit LogCluster(size_t shards, bool sync_each_insert) {
+    auto dir = std::filesystem::temp_directory_path();
+    for (size_t i = 0; i < shards; ++i) {
+      std::string path =
+          (dir / ("bench_cluster_" + std::to_string(::getpid()) + "_s" +
+                  std::to_string(shards) + "_" + std::to_string(i) + ".log"))
+              .string();
+      std::remove(path.c_str());
+      paths.push_back(path);
+      auto log = store::LogKvStore::Open(path);
+      if (!log.ok()) std::abort();
+      server::ServerOptions options;
+      options.sync_each_insert = sync_each_insert;
+      options.shard_id = static_cast<uint32_t>(i);
+      engines.push_back(std::make_shared<server::ServerEngine>(
+          std::shared_ptr<store::KvStore>(std::move(*log)), options));
+    }
+    router = std::make_shared<cluster::ShardRouter>(engines);
+  }
+
+  ~LogCluster() {
+    engines.clear();
+    router.reset();
+    for (const auto& path : paths) std::remove(path.c_str());
+  }
+};
+
+/// Pre-encoded digest-only InsertChunk bodies for `streams` plain streams
+/// of `chunks` chunks each (encoding cost is client-side; the benchmark
+/// times the server).
+struct IngestLoad {
+  std::vector<uint64_t> uuids;
+  // bodies[s][c] = encoded InsertChunkRequest for stream s, chunk c.
+  std::vector<std::vector<Bytes>> bodies;
+
+  IngestLoad(size_t streams, uint64_t chunks) {
+    auto cipher = index::MakePlainCipher(2);
+    for (size_t s = 0; s < streams; ++s) {
+      uuids.push_back(0x1000 + s);
+      bodies.emplace_back();
+      bodies.back().reserve(chunks);
+      for (uint64_t c = 0; c < chunks; ++c) {
+        std::vector<uint64_t> fields{c + 1, 1};
+        net::InsertChunkRequest req{uuids[s], c, *cipher->Encrypt(fields, c),
+                                    {}};
+        bodies.back().push_back(req.Encode());
+      }
+    }
+  }
+};
+
+void CreateStreams(net::RequestHandler& handler,
+                   const std::vector<uint64_t>& uuids) {
+  for (uint64_t uuid : uuids) {
+    net::CreateStreamRequest req{uuid, PlainConfig("b" + std::to_string(uuid))};
+    if (!handler.Handle(net::MessageType::kCreateStream, req.Encode()).ok()) {
+      std::abort();
+    }
+  }
+}
+
+/// Partition streams across `threads` workers; each worker drives its
+/// streams' requests through the handler. Returns wall seconds.
+double RunThreads(size_t threads,
+                  const std::function<void(size_t worker)>& body) {
+  WallTimer timer;
+  std::vector<std::thread> pool;
+  for (size_t w = 0; w < threads; ++w) pool.emplace_back(body, w);
+  for (auto& t : pool) t.join();
+  return timer.Seconds();
+}
+
+void BenchShardScaling(const std::vector<size_t>& shard_counts,
+                       size_t streams, uint64_t chunks, size_t threads) {
+  IngestLoad load(streams, chunks);
+  uint64_t total_chunks = streams * chunks;
+
+  std::printf(
+      "== ingest scaling: log-backed shards, %zu writer thread(s), "
+      "digest-only ==\n",
+      threads);
+  std::printf("%6s %9s %9s %11s %8s\n", "shards", "chunks", "wall",
+              "chunks/s", "speedup");
+  double base_rate = 0;
+  std::vector<std::unique_ptr<LogCluster>> keep_alive;
+  for (size_t shards : shard_counts) {
+    auto cluster = std::make_unique<LogCluster>(shards, /*sync=*/false);
+    CreateStreams(*cluster->router, load.uuids);
+    double wall = RunThreads(threads, [&](size_t worker) {
+      for (size_t s = worker; s < load.uuids.size(); s += threads) {
+        for (const auto& body : load.bodies[s]) {
+          if (!cluster->router
+                   ->Handle(net::MessageType::kInsertChunk, body)
+                   .ok()) {
+            std::abort();
+          }
+        }
+      }
+    });
+    double rate = static_cast<double>(total_chunks) / wall;
+    if (base_rate == 0) base_rate = rate;
+    std::printf("%6zu %9llu %9s %10.1fk %7.2fx\n", shards,
+                static_cast<unsigned long long>(total_chunks),
+                FmtMicros(wall * 1e6).c_str(), rate / 1000.0,
+                rate / base_rate);
+    keep_alive.push_back(std::move(cluster));
+  }
+
+  std::printf(
+      "\n== query scaling: GetStatRange over the same fixtures, %zu "
+      "reader thread(s) ==\n",
+      threads);
+  std::printf("%6s %9s %9s %11s %8s\n", "shards", "queries", "wall",
+              "queries/s", "speedup");
+  uint64_t queries_per_thread = std::max<uint64_t>(total_chunks / 4, 1);
+  base_rate = 0;
+  for (size_t i = 0; i < shard_counts.size(); ++i) {
+    auto& cluster = *keep_alive[i];
+    uint64_t total_queries = queries_per_thread * threads;
+    double wall = RunThreads(threads, [&](size_t worker) {
+      // Deterministic per-worker range walk over all streams.
+      uint64_t x = 0x9e3779b9u + worker;
+      for (uint64_t q = 0; q < queries_per_thread; ++q) {
+        x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+        uint64_t uuid = load.uuids[(x >> 33) % load.uuids.size()];
+        uint64_t first = (x >> 17) % (chunks - 1);
+        uint64_t max_span = chunks - first - 1;
+        uint64_t last = first + 1 + (max_span == 0 ? 0 : x % max_span);
+        net::StatRangeRequest req{
+            uuid,
+            {static_cast<Timestamp>(first * kDelta),
+             static_cast<Timestamp>(last * kDelta)}};
+        if (!cluster.router
+                 ->Handle(net::MessageType::kGetStatRange, req.Encode())
+                 .ok()) {
+          std::abort();
+        }
+      }
+    });
+    double rate = static_cast<double>(total_queries) / wall;
+    if (base_rate == 0) base_rate = rate;
+    std::printf("%6zu %9llu %9s %10.1fk %7.2fx\n", shard_counts[i],
+                static_cast<unsigned long long>(total_queries),
+                FmtMicros(wall * 1e6).c_str(), rate / 1000.0,
+                rate / base_rate);
+  }
+  std::printf("\n");
+}
+
+void BenchBatchedTcpIngest(uint64_t chunks, const std::vector<size_t>& batches,
+                           bool durable) {
+  // One engine behind a real TCP loopback server — the client pays a full
+  // round trip per Call, which is exactly what batching amortizes.
+  std::string path;
+  std::shared_ptr<store::KvStore> kv;
+  if (durable) {
+    path = (std::filesystem::temp_directory_path() /
+            ("bench_cluster_tcp_" + std::to_string(::getpid()) + ".log"))
+               .string();
+    std::remove(path.c_str());
+    auto log = store::LogKvStore::Open(path);
+    if (!log.ok()) std::abort();
+    kv = std::move(*log);
+  } else {
+    kv = std::make_shared<store::MemKvStore>();
+  }
+  server::ServerOptions options;
+  options.sync_each_insert = durable;  // batch => one group-committed sync
+  auto engine = std::make_shared<server::ServerEngine>(kv, options);
+  net::TcpServer server(engine, 0);
+  if (!server.Start().ok()) std::abort();
+  auto client = net::TcpClient::Connect("127.0.0.1", server.port());
+  if (!client.ok()) std::abort();
+
+  auto cipher = index::MakePlainCipher(2);
+  Bytes payload(256, 0xab);  // a small sealed payload per chunk
+
+  std::printf(
+      "== batched ingest over loopback TCP (%s store%s), %llu chunks ==\n",
+      durable ? "log" : "mem", durable ? ", sync per message" : "",
+      static_cast<unsigned long long>(chunks));
+  std::printf("%9s %9s %11s %8s\n", "batch", "wall", "chunks/s", "speedup");
+  double base_rate = 0;
+  uint64_t uuid = 0x2000;
+  for (size_t batch : batches) {
+    net::CreateStreamRequest create{++uuid, PlainConfig("tcp")};
+    if (!(*client)->Call(net::MessageType::kCreateStream, create.Encode())
+             .ok()) {
+      std::abort();
+    }
+    WallTimer timer;
+    if (batch <= 1) {
+      for (uint64_t c = 0; c < chunks; ++c) {
+        std::vector<uint64_t> fields{c, 1};
+        net::InsertChunkRequest req{uuid, c, *cipher->Encrypt(fields, c),
+                                    payload};
+        if (!(*client)->Call(net::MessageType::kInsertChunk, req.Encode())
+                 .ok()) {
+          std::abort();
+        }
+      }
+    } else {
+      for (uint64_t c = 0; c < chunks;) {
+        net::InsertChunkBatchRequest req;
+        req.uuid = uuid;
+        for (size_t b = 0; b < batch && c < chunks; ++b, ++c) {
+          std::vector<uint64_t> fields{c, 1};
+          req.entries.push_back({c, *cipher->Encrypt(fields, c), payload});
+        }
+        if (!(*client)
+                 ->Call(net::MessageType::kInsertChunkBatch, req.Encode())
+                 .ok()) {
+          std::abort();
+        }
+      }
+    }
+    double wall = timer.Seconds();
+    double rate = static_cast<double>(chunks) / wall;
+    if (base_rate == 0) base_rate = rate;
+    std::printf("%9zu %9s %10.1fk %7.2fx\n", batch,
+                FmtMicros(wall * 1e6).c_str(), rate / 1000.0,
+                rate / base_rate);
+  }
+  server.Stop();
+  if (durable) std::remove(path.c_str());
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace tc::bench
+
+int main(int argc, char** argv) {
+  using namespace tc::bench;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  std::vector<size_t> shard_counts = {1, 2, 4};
+  if (LargeRuns()) shard_counts.push_back(8);
+  size_t streams = 8;
+  uint64_t chunks = quick ? 400 : 4000;
+  size_t hw = std::thread::hardware_concurrency();
+  // Floor at 2 so the concurrent routing path is exercised even on a
+  // single-core runner (where the speedup column will read ~1.0x).
+  size_t threads = std::max<size_t>(2, std::min<size_t>(4, hw));
+  std::printf("bench_cluster: %zu hardware thread(s) visible — shard "
+              "speedups need cores to land on\n\n",
+              hw);
+
+  BenchShardScaling(shard_counts, streams, chunks, threads);
+  BenchBatchedTcpIngest(quick ? 512 : 4096, {1, 16, 64}, /*durable=*/false);
+  BenchBatchedTcpIngest(quick ? 512 : 4096, {1, 16, 64}, /*durable=*/true);
+  return 0;
+}

@@ -67,8 +67,9 @@ Result<uint64_t> OwnerClient::CreateStream(const net::StreamConfig& config) {
   }
   TC_RETURN_IF_ERROR(create_status);
 
-  StreamState s{config, ChunkClock(config.t0, config.delta_ms), nullptr,
-                nullptr, nullptr, nullptr, 0};
+  StreamState s{config, ChunkClock(config.t0, config.delta_ms),
+                nullptr, nullptr, nullptr, nullptr,
+                0,       1,       0,       {},      false};
   s.keys = std::make_unique<StreamKeys>(crypto::RandomKey128(), options_.keys);
   if (config.cipher == net::CipherKind::kHeac) {
     s.heac = index::MakeHeacCipher(config.schema.num_fields(),
@@ -105,7 +106,11 @@ Status OwnerClient::AttachStream(uint64_t uuid,
                 nullptr,
                 nullptr,
                 nullptr,
-                info.num_chunks};
+                info.num_chunks,
+                1,
+                0,
+                {},
+                false};
   s.keys = std::make_unique<StreamKeys>(master_seed, options_.keys);
   if (info.config.cipher == net::CipherKind::kHeac) {
     s.heac = index::MakeHeacCipher(info.config.schema.num_fields(),
@@ -209,17 +214,66 @@ Status OwnerClient::SealAndUpload(uint64_t uuid, StreamState& s) {
                         builder.SealPayload(s.keys->PayloadKey(chunk_index)));
   }
 
-  net::InsertChunkRequest req{uuid, chunk_index, std::move(digest_blob),
-                              std::move(payload)};
-  TC_RETURN_IF_ERROR(
-      CallVoid(*transport_, MessageType::kInsertChunk, req.Encode()));
-  if (s.attestor) {
+  if (options_.upload_batch_chunks > 1) {
+    // Batched path: buffer the sealed chunk; one InsertChunkBatch frame
+    // carries upload_batch_chunks of them. The attestor witnesses at seal
+    // time — the server appends the batch in the same order, so the trees
+    // agree once the batch lands.
+    if (s.attestor) {
+      TC_RETURN_IF_ERROR(s.attestor->Add(chunk_index, digest_blob, payload));
+    }
+    s.pending.push_back(
+        {chunk_index, std::move(digest_blob), std::move(payload)});
+    if (s.pending.size() >= options_.upload_batch_chunks) {
+      TC_RETURN_IF_ERROR(FlushPending(uuid, s));
+    }
+  } else {
+    net::InsertChunkRequest req{uuid, chunk_index, std::move(digest_blob),
+                                std::move(payload)};
     TC_RETURN_IF_ERROR(
-        s.attestor->Add(chunk_index, req.digest_blob, req.payload));
+        CallVoid(*transport_, MessageType::kInsertChunk, req.Encode()));
+    if (s.attestor) {
+      TC_RETURN_IF_ERROR(
+          s.attestor->Add(chunk_index, req.digest_blob, req.payload));
+    }
   }
 
   s.next_chunk = chunk_index + 1;
   builder.Reset(s.next_chunk, s.clock.RangeOfChunk(s.next_chunk));
+  return Status::Ok();
+}
+
+Status OwnerClient::FlushPending(uint64_t uuid, StreamState& s) {
+  if (s.pending.empty()) return Status::Ok();
+  if (s.pending_retry) {
+    // The failed attempt may have been applied partially (mid-batch store
+    // error) or fully (response lost): the server's append-only index
+    // rejects re-sent indices, so drop whatever it already holds.
+    net::DeleteStreamRequest info_req{uuid};
+    TC_ASSIGN_OR_RETURN(
+        Bytes payload,
+        transport_->Call(MessageType::kGetStreamInfo, info_req.Encode()));
+    TC_ASSIGN_OR_RETURN(auto info, net::StreamInfoResponse::Decode(payload));
+    std::erase_if(s.pending, [&](const auto& e) {
+      return e.chunk_index < info.num_chunks;
+    });
+    s.pending_retry = false;
+    if (s.pending.empty()) return Status::Ok();
+  }
+  net::InsertChunkBatchRequest req;
+  req.uuid = uuid;
+  req.entries = std::move(s.pending);
+  Status status =
+      CallVoid(*transport_, MessageType::kInsertChunkBatch, req.Encode());
+  if (!status.ok()) {
+    // Keep the sealed chunks so a later Flush() can retry once the
+    // transport recovers — dropping them would gap the append-only stream
+    // (and, on integrity streams, orphan their already-witnessed hashes).
+    s.pending = std::move(req.entries);
+    s.pending_retry = true;
+    return status;
+  }
+  s.pending.clear();  // moved-from: restore a defined empty state
   return Status::Ok();
 }
 
@@ -239,7 +293,8 @@ Status OwnerClient::InsertRecord(uint64_t uuid, const index::DataPoint& point) {
 
 Status OwnerClient::Flush(uint64_t uuid) {
   TC_ASSIGN_OR_RETURN(StreamState * s, FindStream(uuid));
-  return SealAndUpload(uuid, *s);
+  TC_RETURN_IF_ERROR(SealAndUpload(uuid, *s));
+  return FlushPending(uuid, *s);
 }
 
 Result<std::vector<index::DataPoint>> OwnerClient::GetRange(uint64_t uuid,
@@ -515,6 +570,10 @@ Result<integrity::Attestation> OwnerClient::Attest(uint64_t uuid) {
   if (!s->attestor) {
     return FailedPrecondition("stream was not created with integrity");
   }
+  // The attestor witnesses at seal time; push any batched chunks still
+  // buffered client-side so the signed head never covers chunks the
+  // server's witness tree cannot prove.
+  TC_RETURN_IF_ERROR(FlushPending(uuid, *s));
   TC_ASSIGN_OR_RETURN(integrity::Attestation att, s->attestor->Attest());
   net::PutAttestationRequest req{uuid, att.Encode()};
   TC_RETURN_IF_ERROR(

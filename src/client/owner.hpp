@@ -31,6 +31,12 @@ struct OwnerOptions {
   StreamKeysConfig keys;
   /// Open-ended grants are extended one epoch at a time (chunks per epoch).
   uint64_t open_grant_epoch_chunks = 360;
+  /// Upload sealed chunks in InsertChunkBatch messages of this many chunks
+  /// (1 = one InsertChunk per chunk, the classic path). Batching amortizes
+  /// framing, round trips, and the server's per-stream lock/log sync; until
+  /// a batch fills (or Flush() is called) the buffered chunks are not yet
+  /// visible to server-side queries.
+  uint64_t upload_batch_chunks = 1;
   /// Signing identity for stream attestations (integrity extension). A
   /// fresh keypair is generated when left empty and an integrity stream is
   /// created; pass long-term keys for identities that outlive the process.
@@ -61,8 +67,10 @@ class OwnerClient {
   /// Gaps produce empty chunks so the index stays contiguous.
   Status InsertRecord(uint64_t uuid, const index::DataPoint& point);
 
-  /// Seal and upload the current partial chunk (call at stream end or to
-  /// bound ingest latency, §4.6 client-side batching).
+  /// Seal and upload the current partial chunk, and push any batched
+  /// chunks still buffered client-side (call at stream end, before
+  /// querying freshly ingested data, or to bound ingest latency — §4.6
+  /// client-side batching).
   Status Flush(uint64_t uuid);
 
   /// (5) GetRange — fetch and decrypt raw points.
@@ -146,6 +154,11 @@ class OwnerClient {
     // source leaves at affine-mapped indices.
     uint64_t leaf_scale = 1;
     uint64_t leaf_offset = 0;
+    // Sealed chunks awaiting a batched upload (upload_batch_chunks > 1).
+    std::vector<net::InsertChunkBatchRequest::Entry> pending;
+    // A previous batch send failed; the server may have applied a prefix
+    // (the batch is not atomic), so the retry must re-sync first.
+    bool pending_retry = false;
 
     uint64_t LeafIndexOf(uint64_t chunk) const {
       return leaf_offset + chunk * leaf_scale;
@@ -174,6 +187,8 @@ class OwnerClient {
 
   Result<StreamState*> FindStream(uint64_t uuid);
   Status SealAndUpload(uint64_t uuid, StreamState& s);
+  /// Send the buffered batch (no-op when empty).
+  Status FlushPending(uint64_t uuid, StreamState& s);
   Status GrantChunkRange(StreamState& s, uint64_t uuid,
                          const std::string& principal_id,
                          BytesView principal_public, uint64_t first_chunk,

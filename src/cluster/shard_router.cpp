@@ -1,0 +1,281 @@
+#include "cluster/shard_router.hpp"
+
+#include <algorithm>
+
+#include "common/time.hpp"
+#include "net/messages.hpp"
+
+namespace tc::cluster {
+
+using net::MessageType;
+
+namespace {
+
+/// SplitMix64 finalizer: stream uuids are client-chosen, so the placement
+/// hash must disperse any input distribution (sequential test uuids
+/// included) uniformly across shards.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+size_t PoolThreads(size_t num_shards, const RouterOptions& options) {
+  if (options.scatter_threads > 0) return options.scatter_threads;
+  if (num_shards <= 1) return 0;
+  size_t hw = std::thread::hardware_concurrency();
+  return std::min(num_shards, hw == 0 ? size_t{1} : hw);
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(
+    std::vector<std::shared_ptr<server::ServerEngine>> shards,
+    RouterOptions options)
+    : shards_(std::move(shards)), pool_(PoolThreads(shards_.size(), options)) {
+  if (shards_.empty()) {
+    // A router needs at least one shard; constructing without any is a
+    // programming error, fail loudly rather than segfault on first use.
+    std::abort();
+  }
+}
+
+size_t ShardRouter::ShardOf(uint64_t uuid) const {
+  return static_cast<size_t>(Mix64(uuid) % shards_.size());
+}
+
+size_t ShardRouter::NumStreams() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->NumStreams();
+  return total;
+}
+
+uint64_t ShardRouter::TotalIndexBytes() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->TotalIndexBytes();
+  return total;
+}
+
+Result<Bytes> ShardRouter::Handle(MessageType type, BytesView body) {
+  switch (type) {
+    // Single-stream messages: the body starts with the owning stream's
+    // uuid; route to its shard and stay out of the data path.
+    case MessageType::kCreateStream:
+    case MessageType::kDeleteStream:
+    case MessageType::kInsertChunk:
+    case MessageType::kInsertChunkBatch:
+    case MessageType::kGetRange:
+    case MessageType::kGetStatRange:
+    case MessageType::kGetStatSeries:
+    case MessageType::kDeleteRange:
+    case MessageType::kGetStreamInfo:
+    case MessageType::kPutGrant:
+    case MessageType::kRevokeGrant:
+    case MessageType::kPutEnvelopes:
+    case MessageType::kGetEnvelopes:
+    case MessageType::kPutAttestation:
+    case MessageType::kGetAttestation:
+    case MessageType::kGetChunkWitnessed:
+      return RouteByUuid(type, body);
+    // Cluster-wide operations: scatter-gather.
+    case MessageType::kFetchGrants: return FetchGrants(body);
+    case MessageType::kMultiStatRange: return MultiStatRange(body);
+    case MessageType::kClusterInfo: return ClusterInfo();
+    case MessageType::kPing: return Broadcast(type, body);
+    case MessageType::kRollupStream: return RollupStream(body);
+    case MessageType::kResponse: break;
+  }
+  return InvalidArgument("unknown message type");
+}
+
+Result<Bytes> ShardRouter::RouteByUuid(MessageType type, BytesView body) {
+  BinaryReader r(body);
+  TC_ASSIGN_OR_RETURN(uint64_t uuid, r.GetU64());
+  return shards_[ShardOf(uuid)]->Handle(type, body);
+}
+
+std::vector<Result<Bytes>> ShardRouter::Scatter(
+    size_t n, const std::function<Result<Bytes>(size_t)>& fn) const {
+  std::vector<Result<Bytes>> results(n, Result<Bytes>(Bytes{}));
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    tasks.push_back([i, &fn, &results] { results[i] = fn(i); });
+  }
+  pool_.RunAll(std::move(tasks));
+  return results;
+}
+
+Result<Bytes> ShardRouter::Broadcast(MessageType type, BytesView body) {
+  auto results = Scatter(shards_.size(), [&](size_t i) {
+    return shards_[i]->Handle(type, body);
+  });
+  for (auto& result : results) {
+    TC_RETURN_IF_ERROR(result.status());
+  }
+  return Bytes{};
+}
+
+Result<Bytes> ShardRouter::FetchGrants(BytesView body) {
+  // Grants are keyed by principal, and a principal's streams can live on
+  // any shard — the one cluster-wide read on the consumer path.
+  auto results = Scatter(shards_.size(), [&](size_t i) {
+    return shards_[i]->Handle(MessageType::kFetchGrants, body);
+  });
+
+  net::FetchGrantsResponse merged;
+  for (auto& result : results) {
+    TC_RETURN_IF_ERROR(result.status());
+    TC_ASSIGN_OR_RETURN(auto partial, net::FetchGrantsResponse::Decode(*result));
+    for (auto& entry : partial.grants) merged.grants.push_back(std::move(entry));
+  }
+  return merged.Encode();
+}
+
+Result<Bytes> ShardRouter::ClusterInfo() {
+  net::ClusterInfoResponse resp;
+  resp.shards.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    resp.shards.push_back({static_cast<uint32_t>(i), shards_[i]->NumStreams(),
+                           shards_[i]->TotalIndexBytes()});
+  }
+  return resp.Encode();
+}
+
+Result<Bytes> ShardRouter::MultiStatRange(BytesView body) {
+  TC_ASSIGN_OR_RETURN(auto req, net::MultiStatRangeRequest::Decode(body));
+  if (req.uuids.empty()) return InvalidArgument("no streams given");
+
+  // Group streams by owning shard, preserving request order so the first
+  // group starts with uuids[0] (whose chunk bounds name the response, as
+  // in the single-engine handler).
+  std::vector<std::vector<uint64_t>> groups;
+  std::vector<size_t> group_shard;
+  std::vector<size_t> shard_to_group(shards_.size(), SIZE_MAX);
+  for (uint64_t uuid : req.uuids) {
+    size_t shard = ShardOf(uuid);
+    if (shard_to_group[shard] == SIZE_MAX) {
+      shard_to_group[shard] = groups.size();
+      groups.emplace_back();
+      group_shard.push_back(shard);
+    }
+    groups[shard_to_group[shard]].push_back(uuid);
+  }
+  if (groups.size() == 1) {
+    // All streams on one shard: its engine does the whole aggregation.
+    return shards_[group_shard[0]]->Handle(MessageType::kMultiStatRange, body);
+  }
+
+  // The merge needs the homomorphic Add; build it from the first stream's
+  // public config, exactly as each shard does server-side.
+  net::DeleteStreamRequest info_req{req.uuids[0]};
+  TC_ASSIGN_OR_RETURN(Bytes info_blob,
+                      shards_[ShardOf(req.uuids[0])]->Handle(
+                          MessageType::kGetStreamInfo, info_req.Encode()));
+  TC_ASSIGN_OR_RETURN(auto info, net::StreamInfoResponse::Decode(info_blob));
+  TC_ASSIGN_OR_RETURN(auto cipher,
+                      server::ServerEngine::MakeAddCipher(info.config));
+
+  auto results = Scatter(groups.size(), [&](size_t g) {
+    net::MultiStatRangeRequest sub{groups[g], req.range};
+    return shards_[group_shard[g]]->Handle(MessageType::kMultiStatRange,
+                                           sub.Encode());
+  });
+
+  net::StatRangeResponse merged;
+  Bytes acc;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    TC_RETURN_IF_ERROR(results[g].status());
+    TC_ASSIGN_OR_RETURN(auto partial,
+                        net::StatRangeResponse::Decode(*results[g]));
+    if (g == 0) {
+      acc = std::move(partial.aggregate_blob);
+      merged.first_chunk = partial.first_chunk;
+      merged.last_chunk = partial.last_chunk;
+    } else {
+      if (partial.aggregate_blob.size() != acc.size()) {
+        return FailedPrecondition(
+            "inter-stream query requires matching digest layouts");
+      }
+      TC_RETURN_IF_ERROR(
+          cipher->Add(std::span<uint8_t>(acc), partial.aggregate_blob));
+    }
+  }
+  merged.aggregate_blob = std::move(acc);
+  return merged.Encode();
+}
+
+Result<Bytes> ShardRouter::RollupStream(BytesView body) {
+  TC_ASSIGN_OR_RETURN(auto req, net::RollupStreamRequest::Decode(body));
+  size_t source_shard = ShardOf(req.source_uuid);
+  size_t target_shard = ShardOf(req.target_uuid);
+  if (source_shard == target_shard) {
+    // Same shard: the engine's native rollup (one lock scope, no wire
+    // re-encoding of window aggregates).
+    return shards_[source_shard]->Handle(MessageType::kRollupStream, body);
+  }
+  if (req.granularity_chunks == 0) {
+    return InvalidArgument("rollup granularity must be positive");
+  }
+
+  // Cross-shard: decompose into the wire operations rollup is made of.
+  // Window aggregates are plain encrypted digests, so the derived stream
+  // built from a StatSeries is byte-identical to the engine-native path.
+  net::DeleteStreamRequest info_req{req.source_uuid};
+  TC_ASSIGN_OR_RETURN(Bytes info_blob,
+                      shards_[source_shard]->Handle(MessageType::kGetStreamInfo,
+                                                    info_req.Encode()));
+  TC_ASSIGN_OR_RETURN(auto info, net::StreamInfoResponse::Decode(info_blob));
+  ChunkClock clock(info.config.t0, info.config.delta_ms);
+
+  uint64_t first = 0, last = info.num_chunks;
+  if (!(req.range.start == 0 && req.range.end == 0)) {
+    TC_ASSIGN_OR_RETURN(auto idx_range, clock.IndexRange(req.range));
+    first = idx_range.first;
+    if (first >= info.num_chunks) return OutOfRange("range beyond ingested data");
+    last = std::min(idx_range.second, info.num_chunks);
+  }
+  first -= first % req.granularity_chunks;
+  last -= last % req.granularity_chunks;
+  if (first >= last) return InvalidArgument("rollup segment is empty");
+
+  net::StreamConfig derived = info.config;
+  // Match the engine-native path: derived streams carry no witness tree
+  // (their digests are server-computed, not producer-sealed).
+  derived.integrity = false;
+  derived.name += "/rollup" + std::to_string(req.granularity_chunks);
+  derived.delta_ms = info.config.delta_ms *
+                     static_cast<int64_t>(req.granularity_chunks);
+  derived.t0 = clock.RangeOfChunk(first).start;
+  net::CreateStreamRequest create{req.target_uuid, derived};
+  TC_RETURN_IF_ERROR(shards_[target_shard]
+                         ->Handle(MessageType::kCreateStream, create.Encode())
+                         .status());
+
+  net::StatSeriesRequest series{
+      req.source_uuid,
+      {clock.RangeOfChunk(first).start, clock.RangeOfChunk(last - 1).end},
+      req.granularity_chunks};
+  TC_ASSIGN_OR_RETURN(Bytes series_blob,
+                      shards_[source_shard]->Handle(MessageType::kGetStatSeries,
+                                                    series.Encode()));
+  TC_ASSIGN_OR_RETURN(auto windows, net::StatSeriesResponse::Decode(series_blob));
+
+  net::InsertChunkBatchRequest batch;
+  batch.uuid = req.target_uuid;
+  batch.entries.reserve(windows.aggregates.size());
+  for (size_t j = 0; j < windows.aggregates.size(); ++j) {
+    batch.entries.push_back({j, std::move(windows.aggregates[j]), Bytes{}});
+  }
+  TC_RETURN_IF_ERROR(shards_[target_shard]
+                         ->Handle(MessageType::kInsertChunkBatch, batch.Encode())
+                         .status());
+
+  BinaryWriter w;
+  w.PutU64(first);
+  w.PutU64(last);
+  return std::move(w).Take();
+}
+
+}  // namespace tc::cluster

@@ -1,0 +1,84 @@
+// Sharded cluster layer (§3.2, §4.6): TimeCrypt server nodes are stateless
+// over a partitioned key-value store, so throughput scales horizontally
+// with the number of nodes. This router reproduces that architecture in
+// one process: N independent ServerEngine shards, each over its own KV
+// namespace, with streams partitioned by uuid hash.
+//
+// Single-stream messages (the hot path: ingest, range/stat queries, grants
+// on a stream) route to the owning shard with no cross-shard coordination.
+// Cluster-wide operations — FetchGrants (keyed by principal, not stream),
+// MultiStatRange over streams on different shards, Ping, ClusterInfo —
+// scatter-gather across shards on a small worker pool. RollupStream whose
+// source and target hash to different shards is decomposed into the wire
+// operations it is made of (create + windowed stat series + batch insert),
+// so derived streams always live on the shard their uuid hashes to and
+// later requests find them without a placement directory.
+//
+// The router implements net::RequestHandler, so it drops in anywhere a
+// single engine did: behind InProcTransport, behind the TCP server, under
+// the same clients. Restart durability composes: shard placement is a pure
+// hash, so engines recovered from the same per-shard stores see exactly
+// the streams they owned before.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/worker_pool.hpp"
+#include "net/wire.hpp"
+#include "server/server_engine.hpp"
+
+namespace tc::cluster {
+
+struct RouterOptions {
+  /// Scatter-gather pool width. 0 = one thread per shard, capped at the
+  /// hardware concurrency (a 1-shard or 1-core router runs inline).
+  size_t scatter_threads = 0;
+};
+
+class ShardRouter final : public net::RequestHandler {
+ public:
+  explicit ShardRouter(
+      std::vector<std::shared_ptr<server::ServerEngine>> shards,
+      RouterOptions options = {});
+
+  // net::RequestHandler
+  Result<Bytes> Handle(net::MessageType type, BytesView body) override;
+
+  size_t num_shards() const { return shards_.size(); }
+
+  /// The shard owning `uuid` — a pure stateless hash, identical across
+  /// restarts and across every node running the same shard count.
+  size_t ShardOf(uint64_t uuid) const;
+
+  /// Cluster-wide stream count / index bytes (sums over shards).
+  size_t NumStreams() const;
+  uint64_t TotalIndexBytes() const;
+
+  /// Direct handle to one shard (tests and tools peek at placement).
+  const std::shared_ptr<server::ServerEngine>& shard(size_t i) const {
+    return shards_[i];
+  }
+
+ private:
+  /// Route a message whose body starts with the owning stream's uuid.
+  Result<Bytes> RouteByUuid(net::MessageType type, BytesView body);
+
+  /// Run `fn(0..n)` on the worker pool and gather the per-slot results.
+  std::vector<Result<Bytes>> Scatter(
+      size_t n, const std::function<Result<Bytes>(size_t)>& fn) const;
+
+  // Scatter-gather handlers.
+  Result<Bytes> FetchGrants(BytesView body);
+  Result<Bytes> MultiStatRange(BytesView body);
+  Result<Bytes> ClusterInfo();
+  Result<Bytes> Broadcast(net::MessageType type, BytesView body);
+
+  /// Cross-shard rollup: decomposed into wire ops against both shards.
+  Result<Bytes> RollupStream(BytesView body);
+
+  std::vector<std::shared_ptr<server::ServerEngine>> shards_;
+  mutable WorkerPool pool_;
+};
+
+}  // namespace tc::cluster

@@ -1,0 +1,65 @@
+#include "cluster/worker_pool.hpp"
+
+namespace tc::cluster {
+
+WorkerPool::WorkerPool(size_t num_threads) {
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and drained
+      task = std::move(queue_.front().first);
+      batch = std::move(queue_.front().second);
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard lock(batch->mu);
+      if (--batch->remaining == 0) batch->done_cv.notify_all();
+    }
+  }
+}
+
+void WorkerPool::RunAll(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  // Inline when the pool has no workers, or for a single task (dispatching
+  // one task to a worker just adds a handoff).
+  if (threads_.empty() || tasks.size() == 1) {
+    for (auto& t : tasks) t();
+    return;
+  }
+  // Run one task on the calling thread — it would otherwise idle-wait, and
+  // with pools sized one-thread-per-shard this keeps all cores busy.
+  auto batch = std::make_shared<Batch>();
+  batch->remaining = tasks.size() - 1;
+  {
+    std::lock_guard lock(mu_);
+    for (size_t i = 1; i < tasks.size(); ++i) {
+      queue_.emplace_back(std::move(tasks[i]), batch);
+    }
+  }
+  work_cv_.notify_all();
+  tasks[0]();
+  std::unique_lock lock(batch->mu);
+  batch->done_cv.wait(lock, [&] { return batch->remaining == 0; });
+}
+
+}  // namespace tc::cluster

@@ -1,0 +1,52 @@
+// Fixed-size worker pool for scatter-gather fan-out: the shard router
+// dispatches one task per shard and blocks until all complete. Sized small
+// (one thread per shard by default) — the per-connection server threads
+// provide request-level parallelism; this pool only widens a single
+// cluster-wide request across shards.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tc::cluster {
+
+class WorkerPool {
+ public:
+  /// Spawns `num_threads` workers. 0 is allowed: RunAll then executes
+  /// inline on the calling thread (the single-shard / single-core case).
+  explicit WorkerPool(size_t num_threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Run every task and block until all have finished. Safe to call from
+  /// many threads concurrently (each call tracks its own completion);
+  /// tasks must not call RunAll on the same pool (no nested fan-out).
+  void RunAll(std::vector<std::function<void()>> tasks);
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  struct Batch {
+    std::mutex mu;
+    std::condition_variable done_cv;
+    size_t remaining = 0;
+  };
+
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::pair<std::function<void()>, std::shared_ptr<Batch>>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace tc::cluster

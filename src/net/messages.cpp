@@ -114,6 +114,72 @@ Result<InsertChunkRequest> InsertChunkRequest::Decode(BytesView in) {
   return req;
 }
 
+Bytes InsertChunkBatchRequest::Encode() const {
+  size_t payload_bytes = 0;
+  for (const auto& e : entries) {
+    payload_bytes += e.digest_blob.size() + e.payload.size() + 32;
+  }
+  BinaryWriter w(payload_bytes + 16);
+  w.PutU64(uuid);
+  w.PutVar(entries.size());
+  for (const auto& e : entries) {
+    w.PutU64(e.chunk_index);
+    w.PutBytes(e.digest_blob);
+    w.PutBytes(e.payload);
+  }
+  return std::move(w).Take();
+}
+
+Result<InsertChunkBatchRequest> InsertChunkBatchRequest::Decode(BytesView in) {
+  BinaryReader r(in);
+  InsertChunkBatchRequest req;
+  TC_ASSIGN_OR_RETURN(req.uuid, r.GetU64());
+  TC_ASSIGN_OR_RETURN(uint64_t claimed, r.GetVar());
+  TC_ASSIGN_OR_RETURN(size_t count, CheckedCount(claimed, r));
+  req.entries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Entry e;
+    TC_ASSIGN_OR_RETURN(e.chunk_index, r.GetU64());
+    TC_ASSIGN_OR_RETURN(e.digest_blob, r.GetBytes());
+    TC_ASSIGN_OR_RETURN(e.payload, r.GetBytes());
+    // Append-only invariant: indices strictly increase within a batch.
+    // Overlapping or reordered entries are a malformed frame, not a
+    // server-side state error.
+    if (i > 0 && e.chunk_index <= req.entries.back().chunk_index) {
+      return InvalidArgument("batch chunk indices must strictly increase");
+    }
+    req.entries.push_back(std::move(e));
+  }
+  return req;
+}
+
+Bytes ClusterInfoResponse::Encode() const {
+  BinaryWriter w;
+  w.PutVar(shards.size());
+  for (const auto& s : shards) {
+    w.PutU32(s.shard);
+    w.PutU64(s.num_streams);
+    w.PutU64(s.index_bytes);
+  }
+  return std::move(w).Take();
+}
+
+Result<ClusterInfoResponse> ClusterInfoResponse::Decode(BytesView in) {
+  BinaryReader r(in);
+  ClusterInfoResponse resp;
+  TC_ASSIGN_OR_RETURN(uint64_t claimed, r.GetVar());
+  TC_ASSIGN_OR_RETURN(size_t count, CheckedCount(claimed, r));
+  resp.shards.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    ClusterInfoResponse::ShardInfo s;
+    TC_ASSIGN_OR_RETURN(s.shard, r.GetU32());
+    TC_ASSIGN_OR_RETURN(s.num_streams, r.GetU64());
+    TC_ASSIGN_OR_RETURN(s.index_bytes, r.GetU64());
+    resp.shards.push_back(s);
+  }
+  return resp;
+}
+
 Bytes GetRangeRequest::Encode() const {
   BinaryWriter w;
   w.PutU64(uuid);

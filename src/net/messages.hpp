@@ -71,6 +71,39 @@ struct InsertChunkRequest {
   static Result<InsertChunkRequest> Decode(BytesView in);
 };
 
+/// Batched single-stream ingest (§4.6 scalability): many sealed chunks in
+/// one frame, amortizing framing, dispatch, the per-stream lock, and (on
+/// durable stores) the log sync across the batch. Entries must carry
+/// strictly increasing chunk indices — the stream is append-only, so an
+/// out-of-order or overlapping batch is malformed, and Decode rejects it.
+struct InsertChunkBatchRequest {
+  struct Entry {
+    uint64_t chunk_index = 0;
+    Bytes digest_blob;
+    Bytes payload;
+  };
+  uint64_t uuid = 0;
+  std::vector<Entry> entries;
+
+  Bytes Encode() const;
+  static Result<InsertChunkBatchRequest> Decode(BytesView in);
+};
+
+/// Per-shard stream counts and index sizes (cluster introspection). A
+/// standalone engine answers with one entry; the shard router scatter-
+/// gathers one entry per shard.
+struct ClusterInfoResponse {
+  struct ShardInfo {
+    uint32_t shard = 0;
+    uint64_t num_streams = 0;
+    uint64_t index_bytes = 0;
+  };
+  std::vector<ShardInfo> shards;
+
+  Bytes Encode() const;
+  static Result<ClusterInfoResponse> Decode(BytesView in);
+};
+
 struct GetRangeRequest {
   uint64_t uuid = 0;
   TimeRange range;

@@ -39,6 +39,10 @@ enum class MessageType : uint8_t {
   kPutAttestation = 17,
   kGetAttestation = 18,
   kGetChunkWitnessed = 19,
+  // Cluster extension (src/cluster): batched single-stream ingest and
+  // per-shard introspection.
+  kInsertChunkBatch = 20,
+  kClusterInfo = 21,
 };
 
 /// Server-side dispatch: handle one decoded request, produce a response

@@ -123,6 +123,8 @@ Result<Bytes> ServerEngine::Handle(MessageType type, BytesView body) {
     case MessageType::kCreateStream: return CreateStream(body);
     case MessageType::kDeleteStream: return DeleteStream(body);
     case MessageType::kInsertChunk: return InsertChunk(body);
+    case MessageType::kInsertChunkBatch: return InsertChunkBatch(body);
+    case MessageType::kClusterInfo: return ClusterInfo();
     case MessageType::kGetRange: return GetRange(body);
     case MessageType::kGetStatRange: return GetStatRange(body);
     case MessageType::kGetStatSeries: return GetStatSeries(body);
@@ -298,7 +300,39 @@ Result<Bytes> ServerEngine::InsertChunk(BytesView body) {
     stream->witnesses->Append(integrity::ChunkWitness(
         req.uuid, req.chunk_index, req.digest_blob, req.payload));
   }
+  if (options_.sync_each_insert) TC_RETURN_IF_ERROR(kv_->Sync());
   return Bytes{};
+}
+
+Result<Bytes> ServerEngine::InsertChunkBatch(BytesView body) {
+  TC_ASSIGN_OR_RETURN(auto req, net::InsertChunkBatchRequest::Decode(body));
+  if (req.entries.empty()) return InvalidArgument("empty chunk batch");
+  TC_ASSIGN_OR_RETURN(auto stream, FindStream(req.uuid));
+
+  // One lock acquisition, one (group-committed) store sync for the whole
+  // batch — the amortization InsertChunkBatch exists for. The batch is not
+  // atomic: on a mid-batch error the already-appended prefix stays (same
+  // observable state as the equivalent InsertChunk sequence failing there).
+  std::lock_guard lock(stream->mu);
+  for (const auto& e : req.entries) {
+    TC_RETURN_IF_ERROR(stream->tree->Append(e.chunk_index, e.digest_blob));
+    if (!e.payload.empty()) {
+      TC_RETURN_IF_ERROR(
+          kv_->Put(ChunkKey(req.uuid, e.chunk_index), e.payload));
+    }
+    if (stream->witnesses) {
+      stream->witnesses->Append(integrity::ChunkWitness(
+          req.uuid, e.chunk_index, e.digest_blob, e.payload));
+    }
+  }
+  if (options_.sync_each_insert) TC_RETURN_IF_ERROR(kv_->Sync());
+  return Bytes{};
+}
+
+Result<Bytes> ServerEngine::ClusterInfo() const {
+  net::ClusterInfoResponse resp;
+  resp.shards.push_back({options_.shard_id, NumStreams(), TotalIndexBytes()});
+  return resp.Encode();
 }
 
 Result<Bytes> ServerEngine::GetRange(BytesView body) const {
@@ -414,8 +448,11 @@ Result<Bytes> ServerEngine::RollupStream(BytesView body) {
   last -= last % req.granularity_chunks;
   if (first >= last) return InvalidArgument("rollup segment is empty");
 
-  // Create the derived stream: same schema/cipher, Δ scaled up.
+  // Create the derived stream: same schema/cipher, Δ scaled up. No witness
+  // tree: its digests are server-computed aggregates, not producer-sealed
+  // ciphertexts, so there is no owner attestation they could prove against.
   net::StreamConfig derived = source->config;
+  derived.integrity = false;
   derived.name += "/rollup" + std::to_string(req.granularity_chunks);
   derived.delta_ms =
       source->config.delta_ms * static_cast<int64_t>(req.granularity_chunks);

@@ -28,6 +28,12 @@ namespace tc::server {
 
 struct ServerOptions {
   size_t index_cache_bytes = 256 << 20;  // per-stream LRU budget
+  /// Sync the backing store after every ingest message. A single
+  /// InsertChunk pays one sync; an InsertChunkBatch pays one sync for the
+  /// whole batch (group commit — the durable-ingest amortization lever).
+  bool sync_each_insert = false;
+  /// This engine's shard id in a cluster (ClusterInfo reporting only).
+  uint32_t shard_id = 0;
 };
 
 class ServerEngine final : public net::RequestHandler {
@@ -49,6 +55,12 @@ class ServerEngine final : public net::RequestHandler {
 
   /// Direct handle to a stream's index (benchmarks peek at cache stats).
   Result<const index::AggTree*> GetIndexForTesting(uint64_t uuid) const;
+
+  /// Server-side add-only cipher from a stream's public config. Public so
+  /// the shard router can merge partial inter-stream aggregates with the
+  /// same cipher the shards used.
+  static Result<std::shared_ptr<const index::DigestCipher>> MakeAddCipher(
+      const net::StreamConfig& config);
 
  private:
   struct Stream {
@@ -81,6 +93,8 @@ class ServerEngine final : public net::RequestHandler {
   Result<Bytes> CreateStream(BytesView body);
   Result<Bytes> DeleteStream(BytesView body);
   Result<Bytes> InsertChunk(BytesView body);
+  Result<Bytes> InsertChunkBatch(BytesView body);
+  Result<Bytes> ClusterInfo() const;
   Result<Bytes> GetRange(BytesView body) const;
   Result<Bytes> GetStatRange(BytesView body) const;
   Result<Bytes> GetStatSeries(BytesView body) const;
@@ -112,10 +126,6 @@ class ServerEngine final : public net::RequestHandler {
   /// Persist / load the per-principal grant directory (key store state).
   Status StoreGrantDirectoryLocked();
   void RecoverGrantDirectory();
-
-  /// Server-side add-only cipher from a stream's public config.
-  static Result<std::shared_ptr<const index::DigestCipher>> MakeAddCipher(
-      const net::StreamConfig& config);
 
   /// Resolve a time range to a chunk range, clipped to ingested chunks.
   static Result<std::pair<uint64_t, uint64_t>> ResolveRange(

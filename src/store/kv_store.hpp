@@ -30,6 +30,11 @@ class KvStore {
 
   /// Total bytes of stored values (approximate; for memory accounting).
   virtual size_t ValueBytes() const = 0;
+
+  /// Flush buffered writes toward stable storage. No-op for volatile
+  /// stores; durable stores (LogKvStore) override with a group-committing
+  /// flush so many callers share one flush of the same appends.
+  virtual Status Sync() { return Status::Ok(); }
 };
 
 }  // namespace tc::store

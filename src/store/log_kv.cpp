@@ -2,9 +2,11 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/io.hpp"
+#include "common/logging.hpp"
 
 namespace tc::store {
 
@@ -13,14 +15,16 @@ constexpr uint8_t kRecordPut = 1;
 constexpr uint8_t kRecordTombstone = 2;
 }  // namespace
 
-LogKvStore::LogKvStore(std::string path) : path_(std::move(path)) {}
+LogKvStore::LogKvStore(std::string path, LogKvOptions options)
+    : path_(std::move(path)), options_(options) {}
 
 LogKvStore::~LogKvStore() {
   if (log_ != nullptr) std::fclose(log_);
 }
 
-Result<std::unique_ptr<LogKvStore>> LogKvStore::Open(const std::string& path) {
-  auto store = std::unique_ptr<LogKvStore>(new LogKvStore(path));
+Result<std::unique_ptr<LogKvStore>> LogKvStore::Open(const std::string& path,
+                                                     LogKvOptions options) {
+  auto store = std::unique_ptr<LogKvStore>(new LogKvStore(path, options));
   TC_RETURN_IF_ERROR(store->Replay());
   store->log_ = std::fopen(path.c_str(), "ab");
   if (store->log_ == nullptr) {
@@ -89,6 +93,12 @@ Status LogKvStore::TruncateTo(size_t size) {
 
 Status LogKvStore::AppendRecord(const std::string& key, BytesView value,
                                 bool tombstone) {
+  // A failed compaction can lose the append handle (reopen failed); refuse
+  // writes instead of fwrite-ing into a null stream.
+  if (log_ == nullptr) {
+    return Unavailable("log append handle closed (failed compaction?): " +
+                       path_);
+  }
   BinaryWriter w(key.size() + value.size() + 16);
   w.PutU8(tombstone ? kRecordTombstone : kRecordPut);
   w.PutString(key);
@@ -96,7 +106,32 @@ Status LogKvStore::AppendRecord(const std::string& key, BytesView value,
   if (std::fwrite(w.data().data(), 1, w.size(), log_) != w.size()) {
     return Unavailable("log append failed");
   }
+  ++append_seq_;
   return Status::Ok();
+}
+
+void LogKvStore::MaybeAutoCompactLocked() {
+  if (options_.compact_dead_fraction <= 0.0) return;
+  if (dead_bytes_ < options_.compact_min_dead_bytes) return;
+  if (dead_bytes_ < compact_backoff_dead_bytes_) return;
+  size_t total = value_bytes_ + dead_bytes_;
+  if (static_cast<double>(dead_bytes_) <=
+      options_.compact_dead_fraction * static_cast<double>(total)) {
+    return;
+  }
+  // Best-effort: an auto-compaction failure (e.g. disk full for the rewrite
+  // copy) must not fail the Put/Delete that tripped it — the log is still
+  // correct, just fat. Don't immediately retry a full O(store) rewrite on
+  // every subsequent write either: back off until another min_dead_bytes of
+  // churn accumulates (the backoff resets when any compaction succeeds).
+  auto compacted = CompactLocked();
+  if (!compacted.ok()) {
+    TC_LOG_WARN << "auto-compaction of " << path_
+                << " failed: " << compacted.status().ToString();
+    compact_backoff_dead_bytes_ =
+        dead_bytes_ + std::max(options_.compact_min_dead_bytes,
+                               size_t{1} << 20);
+  }
 }
 
 Status LogKvStore::Put(const std::string& key, BytesView value) {
@@ -109,6 +144,7 @@ Status LogKvStore::Put(const std::string& key, BytesView value) {
   }
   it->second.assign(value.begin(), value.end());
   value_bytes_ += value.size();
+  MaybeAutoCompactLocked();
   return Status::Ok();
 }
 
@@ -127,6 +163,7 @@ Status LogKvStore::Delete(const std::string& key) {
   dead_bytes_ += it->second.size();
   value_bytes_ -= it->second.size();
   map_.erase(it);
+  MaybeAutoCompactLocked();
   return Status::Ok();
 }
 
@@ -147,6 +184,10 @@ size_t LogKvStore::ValueBytes() const {
 
 Result<size_t> LogKvStore::Compact() {
   std::lock_guard lock(mu_);
+  return CompactLocked();
+}
+
+Result<size_t> LogKvStore::CompactLocked() {
   std::string tmp_path = path_ + ".compact";
   std::FILE* tmp = std::fopen(tmp_path.c_str(), "wb");
   if (tmp == nullptr) return Unavailable("cannot open compaction file");
@@ -165,22 +206,45 @@ Result<size_t> LogKvStore::Compact() {
   std::fclose(tmp);
   std::fclose(log_);
   log_ = nullptr;
+  // Closing the old handle flushed it, so every record appended so far is
+  // on disk in whichever file survives below.
+  flushed_seq_ = append_seq_;
   if (std::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    // The old log is intact at path_; reopen it so appends keep working.
+    std::remove(tmp_path.c_str());
+    log_ = std::fopen(path_.c_str(), "ab");
     return Unavailable("compaction rename failed");
   }
-  log_ = std::fopen(path_.c_str(), "ab");
-  if (log_ == nullptr) return Unavailable("cannot reopen log");
   size_t reclaimed = dead_bytes_;
   dead_bytes_ = 0;
+  ++compactions_;
+  compact_backoff_dead_bytes_ = 0;  // a successful rewrite clears the backoff
+  log_ = std::fopen(path_.c_str(), "ab");
+  if (log_ == nullptr) return Unavailable("cannot reopen log");
   return reclaimed;
 }
 
 Status LogKvStore::Sync() {
   std::lock_guard lock(mu_);
-  if (log_ != nullptr && std::fflush(log_) != 0) {
+  if (log_ == nullptr) return Status::Ok();
+  // Group commit: if a concurrent caller's flush already covered every
+  // record appended before this Sync, skip the (expensive) flush entirely.
+  if (flushed_seq_ >= append_seq_) return Status::Ok();
+  if (std::fflush(log_) != 0) {
     return Unavailable("fflush failed");
   }
+  flushed_seq_ = append_seq_;
   return Status::Ok();
+}
+
+size_t LogKvStore::DeadBytes() const {
+  std::lock_guard lock(mu_);
+  return dead_bytes_;
+}
+
+uint64_t LogKvStore::CompactionCount() const {
+  std::lock_guard lock(mu_);
+  return compactions_;
 }
 
 }  // namespace tc::store

@@ -14,14 +14,27 @@
 
 namespace tc::store {
 
+struct LogKvOptions {
+  /// Auto-compact when dead value bytes exceed this fraction of the total
+  /// (live + dead) value bytes. 0 disables auto-compaction (the default:
+  /// explicit Compact() only). Checked after every Put/Delete, so a
+  /// long-running shard's log stays bounded without an external trigger.
+  double compact_dead_fraction = 0.0;
+  /// Never auto-compact below this many dead bytes — rewriting a tiny log
+  /// on every overwrite would trade one wasted byte for a full rewrite.
+  size_t compact_min_dead_bytes = 1 << 20;
+};
+
 /// Log-structured store. Writes append `keylen key vallen value` records to
 /// a single log file; Get serves from an in-memory map populated at open.
 /// Deletes append a tombstone. Compact() rewrites the log dropping dead
-/// records.
+/// records; with LogKvOptions::compact_dead_fraction set it also triggers
+/// automatically once dead bytes dominate.
 class LogKvStore final : public KvStore {
  public:
   /// Opens (or creates) the log at `path` and replays it.
-  static Result<std::unique_ptr<LogKvStore>> Open(const std::string& path);
+  static Result<std::unique_ptr<LogKvStore>> Open(const std::string& path,
+                                                  LogKvOptions options = {});
 
   ~LogKvStore() override;
 
@@ -35,24 +48,47 @@ class LogKvStore final : public KvStore {
   /// Rewrite the log keeping only live records. Returns bytes reclaimed.
   Result<size_t> Compact();
 
-  /// Flush buffered writes to the OS.
-  Status Sync();
+  /// Flush buffered writes to the OS. Group-committed: appends carry a
+  /// sequence number, and a Sync whose appends were already covered by a
+  /// concurrent caller's flush returns without touching the file — N
+  /// ingest threads share one flush per batch window.
+  Status Sync() override;
+
+  /// Dead (overwritten/tombstoned) value bytes awaiting compaction.
+  size_t DeadBytes() const;
+  /// Number of compactions run (explicit + automatic) — observability for
+  /// the auto-compaction trigger.
+  uint64_t CompactionCount() const;
 
  private:
-  explicit LogKvStore(std::string path);
+  LogKvStore(std::string path, LogKvOptions options);
 
   Status Replay();
   /// Drop a torn tail discovered during replay (crash-recovery path).
   Status TruncateTo(size_t size);
   Status AppendRecord(const std::string& key, BytesView value,
                       bool tombstone);
+  /// Compact() body; requires mu_ held.
+  Result<size_t> CompactLocked();
+  /// Run CompactLocked() if the dead-byte threshold is crossed.
+  void MaybeAutoCompactLocked();
 
   std::string path_;
+  LogKvOptions options_;
   mutable std::mutex mu_;
   std::FILE* log_ = nullptr;
   std::unordered_map<std::string, Bytes> map_;
   size_t value_bytes_ = 0;
   size_t dead_bytes_ = 0;
+  uint64_t compactions_ = 0;
+  // After a failed auto-compaction, don't retry until dead bytes reach
+  // this level (0 = no backoff; reset by any successful compaction).
+  size_t compact_backoff_dead_bytes_ = 0;
+  // Group-commit bookkeeping: records appended vs records covered by the
+  // last flush. Sync() is a no-op when another caller already flushed past
+  // our appends.
+  uint64_t append_seq_ = 0;
+  uint64_t flushed_seq_ = 0;
 };
 
 }  // namespace tc::store

@@ -1,0 +1,31 @@
+#include "store/prefix_kv.hpp"
+
+namespace tc::store {
+
+PrefixKvStore::PrefixKvStore(std::shared_ptr<KvStore> backend,
+                             std::string prefix)
+    : backend_(std::move(backend)), prefix_(std::move(prefix)) {}
+
+Status PrefixKvStore::Put(const std::string& key, BytesView value) {
+  return backend_->Put(Namespaced(key), value);
+}
+
+Result<Bytes> PrefixKvStore::Get(const std::string& key) const {
+  return backend_->Get(Namespaced(key));
+}
+
+Status PrefixKvStore::Delete(const std::string& key) {
+  return backend_->Delete(Namespaced(key));
+}
+
+bool PrefixKvStore::Contains(const std::string& key) const {
+  return backend_->Contains(Namespaced(key));
+}
+
+size_t PrefixKvStore::Size() const { return backend_->Size(); }
+
+size_t PrefixKvStore::ValueBytes() const { return backend_->ValueBytes(); }
+
+Status PrefixKvStore::Sync() { return backend_->Sync(); }
+
+}  // namespace tc::store

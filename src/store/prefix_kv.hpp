@@ -1,0 +1,43 @@
+// Prefix-namespaced view over a shared KvStore: every key is transparently
+// prefixed, so N views over one backend behave like N disjoint stores. This
+// is how engine shards split a single shared backend (the paper's one
+// Cassandra cluster serving many stateless TimeCrypt nodes, §3.2) without
+// any cross-shard key collisions.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "store/kv_store.hpp"
+
+namespace tc::store {
+
+/// View store. Thread-safety and durability are whatever the backend
+/// provides; the view itself adds no locking.
+class PrefixKvStore final : public KvStore {
+ public:
+  PrefixKvStore(std::shared_ptr<KvStore> backend, std::string prefix);
+
+  Status Put(const std::string& key, BytesView value) override;
+  Result<Bytes> Get(const std::string& key) const override;
+  Status Delete(const std::string& key) override;
+  bool Contains(const std::string& key) const override;
+  /// Size/ValueBytes delegate to the backend: they report the whole shared
+  /// store, not this view's slice (per-view accounting would cost a lookup
+  /// per Put; shard introspection uses the engine's index stats instead).
+  size_t Size() const override;
+  size_t ValueBytes() const override;
+  Status Sync() override;
+
+  const std::string& prefix() const { return prefix_; }
+
+ private:
+  std::string Namespaced(const std::string& key) const {
+    return prefix_ + key;
+  }
+
+  std::shared_ptr<KvStore> backend_;
+  std::string prefix_;
+};
+
+}  // namespace tc::store

@@ -1,0 +1,550 @@
+// Sharded cluster layer tests: stream-partitioned routing must be
+// transparent — every client workflow (ingest, queries, grants, rollup,
+// batched upload) behaves over an N-shard router exactly as it does over a
+// single engine, while cluster-wide operations scatter-gather correctly.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+#include <set>
+
+#include "client/consumer.hpp"
+#include "client/owner.hpp"
+#include "cluster/shard_router.hpp"
+#include "server/server_engine.hpp"
+#include "store/mem_kv.hpp"
+#include "store/prefix_kv.hpp"
+
+namespace tc {
+namespace {
+
+using client::ConsumerClient;
+using client::OwnerClient;
+using client::Principal;
+using cluster::ShardRouter;
+
+constexpr DurationMs kDelta = 10 * kSecond;
+
+/// An N-shard in-process cluster over prefix views of one shared memory
+/// backend (the shared-backend deployment shape).
+struct Cluster {
+  std::shared_ptr<store::MemKvStore> backend;
+  std::vector<std::shared_ptr<server::ServerEngine>> engines;
+  std::shared_ptr<ShardRouter> router;
+  std::shared_ptr<net::InProcTransport> transport;
+};
+
+Cluster MakeCluster(size_t shards) {
+  Cluster c;
+  c.backend = std::make_shared<store::MemKvStore>();
+  for (size_t i = 0; i < shards; ++i) {
+    std::shared_ptr<store::KvStore> kv = std::make_shared<store::PrefixKvStore>(
+        c.backend, "s" + std::to_string(i) + "/");
+    server::ServerOptions options;
+    options.shard_id = static_cast<uint32_t>(i);
+    c.engines.push_back(
+        std::make_shared<server::ServerEngine>(std::move(kv), options));
+  }
+  c.router = std::make_shared<ShardRouter>(c.engines);
+  c.transport = std::make_shared<net::InProcTransport>(c.router);
+  return c;
+}
+
+net::StreamConfig HeacConfig(const std::string& name) {
+  net::StreamConfig c;
+  c.name = name;
+  c.t0 = 0;
+  c.delta_ms = kDelta;
+  c.schema.with_sum = true;
+  c.schema.with_count = true;
+  c.cipher = net::CipherKind::kHeac;
+  c.fanout = 4;
+  return c;
+}
+
+net::StreamConfig PlainConfig(const std::string& name) {
+  auto c = HeacConfig(name);
+  c.cipher = net::CipherKind::kPlain;
+  return c;
+}
+
+Status IngestChunks(OwnerClient& owner, uint64_t uuid, uint64_t first,
+                    uint64_t count) {
+  for (uint64_t c = first; c < first + count; ++c) {
+    for (int i = 0; i < 5; ++i) {
+      TC_RETURN_IF_ERROR(owner.InsertRecord(
+          uuid, {static_cast<Timestamp>(c * kDelta + i * 1000),
+                 static_cast<int64_t>(c + 1)}));
+    }
+  }
+  return owner.Flush(uuid);
+}
+
+int64_t OracleSum(uint64_t first, uint64_t last) {
+  int64_t sum = 0;
+  for (uint64_t c = first; c < last; ++c) sum += 5 * (c + 1);
+  return sum;
+}
+
+/// Find a uuid that the router places on `shard` (deterministic probe).
+uint64_t UuidOnShard(const ShardRouter& router, size_t shard,
+                     uint64_t salt = 1) {
+  for (uint64_t u = salt;; ++u) {
+    if (router.ShardOf(u) == shard) return u;
+  }
+}
+
+/// Wire-level plaintext stream: create + insert `chunks` digests where
+/// chunk c carries sum = value(c), count = 1.
+void MakePlainStream(net::Transport& t, uint64_t uuid, uint64_t chunks,
+                     std::function<uint64_t(uint64_t)> value) {
+  net::CreateStreamRequest create{uuid, PlainConfig("plain")};
+  ASSERT_TRUE(t.Call(net::MessageType::kCreateStream, create.Encode()).ok());
+  auto cipher = index::MakePlainCipher(2);
+  for (uint64_t c = 0; c < chunks; ++c) {
+    std::vector<uint64_t> fields{value(c), 1};
+    Bytes blob = *cipher->Encrypt(fields, c);
+    net::InsertChunkRequest req{uuid, c, std::move(blob), {}};
+    ASSERT_TRUE(t.Call(net::MessageType::kInsertChunk, req.Encode()).ok())
+        << "chunk " << c;
+  }
+}
+
+/// Decode a plaintext-cipher StatRangeResponse blob into its u64 fields.
+std::vector<uint64_t> PlainFields(BytesView blob) {
+  std::vector<uint64_t> fields(blob.size() / 8);
+  std::memcpy(fields.data(), blob.data(), fields.size() * 8);
+  return fields;
+}
+
+TEST(ShardRouter, PlacementIsDeterministicAndCoversAllShards) {
+  auto a = MakeCluster(4);
+  auto b = MakeCluster(4);
+  std::set<size_t> hit;
+  for (uint64_t uuid = 1; uuid <= 1000; ++uuid) {
+    size_t shard = a.router->ShardOf(uuid);
+    EXPECT_EQ(shard, b.router->ShardOf(uuid)) << uuid;
+    ASSERT_LT(shard, 4u);
+    hit.insert(shard);
+  }
+  // SplitMix64 dispersion: 1000 sequential uuids must reach every shard.
+  EXPECT_EQ(hit.size(), 4u);
+}
+
+TEST(ShardRouter, OwnerWorkflowIsTransparentAcrossShards) {
+  auto c = MakeCluster(4);
+  OwnerClient owner(c.transport);
+
+  std::vector<uint64_t> uuids;
+  for (int s = 0; s < 6; ++s) {
+    auto created = owner.CreateStream(HeacConfig("st" + std::to_string(s)));
+    ASSERT_TRUE(created.ok());
+    uuids.push_back(*created);
+    ASSERT_TRUE(IngestChunks(owner, *created, 0, 8).ok());
+  }
+  EXPECT_EQ(c.router->NumStreams(), 6u);
+  EXPECT_GT(c.router->TotalIndexBytes(), 0u);
+
+  for (uint64_t uuid : uuids) {
+    auto stats = owner.GetStatRange(uuid, {0, 8 * kDelta});
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->stats.Sum().value(), OracleSum(0, 8));
+    auto points = owner.GetRange(uuid, {0, 2 * kDelta});
+    ASSERT_TRUE(points.ok());
+    EXPECT_EQ(points->size(), 10u);
+  }
+
+  // Each stream's state lives only on its owning shard.
+  for (uint64_t uuid : uuids) {
+    size_t shard = c.router->ShardOf(uuid);
+    for (size_t i = 0; i < c.engines.size(); ++i) {
+      EXPECT_EQ(c.engines[i]->GetIndexForTesting(uuid).ok(), i == shard);
+    }
+  }
+}
+
+TEST(ShardRouter, BatchedIngestMatchesUnbatched) {
+  auto c = MakeCluster(3);
+  client::OwnerOptions batched;
+  batched.upload_batch_chunks = 8;
+  OwnerClient owner_single(c.transport);
+  OwnerClient owner_batched(c.transport, batched);
+
+  auto a = owner_single.CreateStream(HeacConfig("single"));
+  auto b = owner_batched.CreateStream(HeacConfig("batched"));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(IngestChunks(owner_single, *a, 0, 21).ok());
+  ASSERT_TRUE(IngestChunks(owner_batched, *b, 0, 21).ok());
+
+  auto sa = owner_single.GetStatRange(*a, {0, 21 * kDelta});
+  auto sb = owner_batched.GetStatRange(*b, {0, 21 * kDelta});
+  ASSERT_TRUE(sa.ok());
+  ASSERT_TRUE(sb.ok()) << sb.status().ToString();
+  EXPECT_EQ(sa->stats.Sum().value(), sb->stats.Sum().value());
+  EXPECT_EQ(sb->stats.Sum().value(), OracleSum(0, 21));
+  // Raw reads decrypt across batch boundaries too.
+  auto points = owner_batched.GetRange(*b, {0, 21 * kDelta});
+  ASSERT_TRUE(points.ok());
+  EXPECT_EQ(points->size(), 21u * 5u);
+}
+
+/// Transport that fails the next InsertChunkBatch when armed (transient
+/// network error injection for the batched-upload retry path).
+class FlakyTransport final : public net::Transport {
+ public:
+  explicit FlakyTransport(std::shared_ptr<net::Transport> inner)
+      : inner_(std::move(inner)) {}
+
+  Result<Bytes> Call(net::MessageType type, BytesView body) override {
+    if (fail_next_batch && type == net::MessageType::kInsertChunkBatch) {
+      fail_next_batch = false;
+      return Unavailable("injected transport failure");
+    }
+    return inner_->Call(type, body);
+  }
+
+  bool fail_next_batch = false;
+
+ private:
+  std::shared_ptr<net::Transport> inner_;
+};
+
+TEST(ShardRouter, BatchedUploadSurvivesTransientTransportFailure) {
+  auto c = MakeCluster(2);
+  auto flaky = std::make_shared<FlakyTransport>(c.transport);
+  client::OwnerOptions options;
+  options.upload_batch_chunks = 8;
+  OwnerClient owner(flaky, options);
+  auto uuid = owner.CreateStream(HeacConfig("flaky"));
+  ASSERT_TRUE(uuid.ok());
+
+  // Five chunks sealed into the client-side buffer (batch never fills).
+  for (uint64_t ch = 0; ch < 5; ++ch) {
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(owner
+                      .InsertRecord(*uuid,
+                                    {static_cast<Timestamp>(ch * kDelta +
+                                                            i * 1000),
+                                     static_cast<int64_t>(ch + 1)})
+                      .ok());
+    }
+  }
+
+  // The batch send fails; the sealed chunks must survive client-side so a
+  // retry can deliver them without gapping the append-only stream.
+  flaky->fail_next_batch = true;
+  EXPECT_FALSE(owner.Flush(*uuid).ok());
+  ASSERT_TRUE(owner.Flush(*uuid).ok());
+
+  auto stats = owner.GetStatRange(*uuid, {0, 5 * kDelta});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->stats.Sum().value(), OracleSum(0, 5));
+  EXPECT_EQ(stats->stats.Count().value(), 25u);
+}
+
+TEST(ShardRouter, BatchedChunksInvisibleUntilFlush) {
+  auto c = MakeCluster(2);
+  client::OwnerOptions options;
+  options.upload_batch_chunks = 16;
+  OwnerClient owner(c.transport, options);
+  auto uuid = owner.CreateStream(HeacConfig("buffered"));
+  ASSERT_TRUE(uuid.ok());
+
+  // Three sealed chunks stay client-side: the batch has not filled.
+  for (uint64_t ch = 0; ch < 4; ++ch) {
+    ASSERT_TRUE(
+        owner.InsertRecord(*uuid, {static_cast<Timestamp>(ch * kDelta), 1})
+            .ok());
+  }
+  net::DeleteStreamRequest info_req{*uuid};
+  auto info_blob = c.transport->Call(net::MessageType::kGetStreamInfo,
+                                     info_req.Encode());
+  ASSERT_TRUE(info_blob.ok());
+  EXPECT_EQ(net::StreamInfoResponse::Decode(*info_blob)->num_chunks, 0u);
+
+  ASSERT_TRUE(owner.Flush(*uuid).ok());
+  info_blob = c.transport->Call(net::MessageType::kGetStreamInfo,
+                                info_req.Encode());
+  ASSERT_TRUE(info_blob.ok());
+  EXPECT_EQ(net::StreamInfoResponse::Decode(*info_blob)->num_chunks, 4u);
+}
+
+TEST(ShardRouter, InsertChunkBatchValidation) {
+  auto c = MakeCluster(2);
+  uint64_t uuid = UuidOnShard(*c.router, 0);
+  MakePlainStream(*c.transport, uuid, 2, [](uint64_t) { return 1; });
+  auto cipher = index::MakePlainCipher(2);
+  std::vector<uint64_t> fields{1, 1};
+  Bytes blob = *cipher->Encrypt(fields, 0);
+
+  // Empty batch.
+  net::InsertChunkBatchRequest empty{uuid, {}};
+  EXPECT_EQ(c.transport->Call(net::MessageType::kInsertChunkBatch,
+                              empty.Encode())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  // A gap: the append-only index rejects chunk 5 when 2 is next.
+  net::InsertChunkBatchRequest gap{uuid, {{5, blob, {}}}};
+  EXPECT_EQ(c.transport->Call(net::MessageType::kInsertChunkBatch,
+                              gap.Encode())
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+
+  // Mid-batch failure applies the valid prefix (same observable state as
+  // the equivalent InsertChunk sequence failing at that point).
+  net::InsertChunkBatchRequest partial{uuid,
+                                       {{2, blob, {}}, {3, blob, {}},
+                                        {7, blob, {}}}};
+  EXPECT_FALSE(c.transport
+                   ->Call(net::MessageType::kInsertChunkBatch, partial.Encode())
+                   .ok());
+  net::StatRangeRequest stat{uuid, {0, 10 * kDelta}};
+  auto resp = c.transport->Call(net::MessageType::kGetStatRange, stat.Encode());
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(net::StatRangeResponse::Decode(*resp)->last_chunk, 4u);
+
+  // Unknown stream.
+  net::InsertChunkBatchRequest orphan{uuid + 1, {{0, blob, {}}}};
+  // Route resolves some shard; whichever it is, the stream is unknown.
+  EXPECT_EQ(c.transport
+                ->Call(net::MessageType::kInsertChunkBatch, orphan.Encode())
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ShardRouter, MultiStatRangeGathersAcrossShards) {
+  auto c = MakeCluster(4);
+  // Three plaintext streams pinned to three distinct shards.
+  std::vector<uint64_t> uuids = {UuidOnShard(*c.router, 0),
+                                 UuidOnShard(*c.router, 1),
+                                 UuidOnShard(*c.router, 2)};
+  for (size_t s = 0; s < uuids.size(); ++s) {
+    MakePlainStream(*c.transport, uuids[s], 6,
+                    [s](uint64_t chunk) { return (s + 1) * 100 + chunk; });
+  }
+
+  net::MultiStatRangeRequest req{uuids, {0, 6 * kDelta}};
+  auto resp_blob =
+      c.transport->Call(net::MessageType::kMultiStatRange, req.Encode());
+  ASSERT_TRUE(resp_blob.ok()) << resp_blob.status().ToString();
+  auto resp = net::StatRangeResponse::Decode(*resp_blob);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->first_chunk, 0u);
+  EXPECT_EQ(resp->last_chunk, 6u);
+
+  uint64_t expected_sum = 0;
+  for (size_t s = 0; s < uuids.size(); ++s) {
+    for (uint64_t chunk = 0; chunk < 6; ++chunk) {
+      expected_sum += (s + 1) * 100 + chunk;
+    }
+  }
+  auto fields = PlainFields(resp->aggregate_blob);
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], expected_sum);
+  EXPECT_EQ(fields[1], 3u * 6u);  // count: one point per chunk per stream
+
+  // Equivalence: the same streams on a single-shard cluster produce the
+  // identical aggregate.
+  auto single = MakeCluster(1);
+  for (size_t s = 0; s < uuids.size(); ++s) {
+    MakePlainStream(*single.transport, uuids[s], 6,
+                    [s](uint64_t chunk) { return (s + 1) * 100 + chunk; });
+  }
+  auto single_blob =
+      single.transport->Call(net::MessageType::kMultiStatRange, req.Encode());
+  ASSERT_TRUE(single_blob.ok());
+  EXPECT_EQ(*single_blob, *resp_blob);
+}
+
+TEST(ShardRouter, FetchGrantsScatterGathersAndConsumersDecrypt) {
+  auto c = MakeCluster(4);
+  Principal alice{"alice", crypto::GenerateBoxKeyPair()};
+  OwnerClient owner(c.transport);
+
+  std::vector<uint64_t> uuids;
+  for (int s = 0; s < 3; ++s) {
+    auto created = owner.CreateStream(HeacConfig("grant" + std::to_string(s)));
+    ASSERT_TRUE(created.ok());
+    uuids.push_back(*created);
+    ASSERT_TRUE(IngestChunks(owner, *created, 0, 8).ok());
+    ASSERT_TRUE(owner
+                    .GrantAccess(*created, alice.id, alice.keys.public_key,
+                                 {0, 8 * kDelta}, 1)
+                    .ok());
+  }
+
+  ConsumerClient consumer(c.transport, alice);
+  auto n = consumer.FetchGrants();
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 3);
+  for (uint64_t uuid : uuids) {
+    auto stats = consumer.GetStatRange(uuid, {0, 8 * kDelta});
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->stats.Sum().value(), OracleSum(0, 8));
+  }
+
+  // Revocation reaches the owning shard; the survivors still resolve.
+  ASSERT_TRUE(owner.RevokeAccess(uuids[1], alice.id, 0).ok());
+  ConsumerClient fresh(c.transport, alice);
+  auto after = fresh.FetchGrants();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after, 2);
+}
+
+TEST(ShardRouter, RollupAcrossShardsMatchesEngineNative) {
+  auto c = MakeCluster(4);
+  size_t source_shard = 1;
+  uint64_t source = UuidOnShard(*c.router, source_shard);
+  MakePlainStream(*c.transport, source, 8,
+                  [](uint64_t chunk) { return 10 + chunk; });
+
+  // One target on the source's shard (engine-native path), one on a
+  // different shard (decomposed path).
+  uint64_t same_target = UuidOnShard(*c.router, source_shard, source + 1);
+  uint64_t cross_target =
+      UuidOnShard(*c.router, (source_shard + 1) % 4, source + 1);
+
+  for (uint64_t target : {same_target, cross_target}) {
+    net::RollupStreamRequest req{source, target, 4, {0, 0}};
+    auto resp =
+        c.transport->Call(net::MessageType::kRollupStream, req.Encode());
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    BinaryReader r(*resp);
+    EXPECT_EQ(r.GetU64().value(), 0u);
+    EXPECT_EQ(r.GetU64().value(), 8u);
+  }
+
+  // Both derived streams answer from the shard their uuid hashes to, with
+  // byte-identical aggregates (plain add is deterministic).
+  Bytes blobs[2];
+  uint64_t targets[2] = {same_target, cross_target};
+  for (int i = 0; i < 2; ++i) {
+    net::StatRangeRequest stat{targets[i], {0, 8 * kDelta}};
+    auto resp =
+        c.transport->Call(net::MessageType::kGetStatRange, stat.Encode());
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    auto decoded = net::StatRangeResponse::Decode(*resp);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->last_chunk, 2u);
+    blobs[i] = decoded->aggregate_blob;
+  }
+  EXPECT_EQ(blobs[0], blobs[1]);
+  auto fields = PlainFields(blobs[1]);
+  ASSERT_EQ(fields.size(), 2u);
+  uint64_t expected = 0;
+  for (uint64_t chunk = 0; chunk < 8; ++chunk) expected += 10 + chunk;
+  EXPECT_EQ(fields[0], expected);
+}
+
+TEST(ShardRouter, RollupDropsIntegrityFlagOnBothPaths) {
+  // Derived streams carry no witness tree (their digests are server-
+  // computed aggregates) — and that must not depend on whether source and
+  // target hashed to the same shard.
+  auto c = MakeCluster(4);
+  size_t source_shard = 2;
+  uint64_t source = UuidOnShard(*c.router, source_shard);
+  auto config = PlainConfig("integrity-src");
+  config.integrity = true;
+  net::CreateStreamRequest create{source, config};
+  ASSERT_TRUE(
+      c.transport->Call(net::MessageType::kCreateStream, create.Encode()).ok());
+  auto cipher = index::MakePlainCipher(2);
+  for (uint64_t ch = 0; ch < 4; ++ch) {
+    std::vector<uint64_t> fields{ch, 1};
+    net::InsertChunkRequest req{source, ch, *cipher->Encrypt(fields, ch), {}};
+    ASSERT_TRUE(
+        c.transport->Call(net::MessageType::kInsertChunk, req.Encode()).ok());
+  }
+
+  uint64_t targets[2] = {
+      UuidOnShard(*c.router, source_shard, source + 1),
+      UuidOnShard(*c.router, (source_shard + 1) % 4, source + 1)};
+  for (uint64_t target : targets) {
+    net::RollupStreamRequest req{source, target, 2, {0, 0}};
+    ASSERT_TRUE(
+        c.transport->Call(net::MessageType::kRollupStream, req.Encode()).ok());
+    net::DeleteStreamRequest info_req{target};
+    auto info_blob = c.transport->Call(net::MessageType::kGetStreamInfo,
+                                       info_req.Encode());
+    ASSERT_TRUE(info_blob.ok());
+    auto info = net::StreamInfoResponse::Decode(*info_blob);
+    ASSERT_TRUE(info.ok());
+    EXPECT_FALSE(info->config.integrity);
+    EXPECT_EQ(info->num_chunks, 2u);
+  }
+}
+
+TEST(ShardRouter, OwnerRollupDecryptsThroughRouter) {
+  auto c = MakeCluster(4);
+  OwnerClient owner(c.transport);
+  auto source = owner.CreateStream(HeacConfig("rollup-src"));
+  ASSERT_TRUE(source.ok());
+  ASSERT_TRUE(IngestChunks(owner, *source, 0, 12).ok());
+
+  auto derived = owner.RollupStream(*source, 4);
+  ASSERT_TRUE(derived.ok()) << derived.status().ToString();
+  auto stats = owner.GetStatRange(*derived, {0, 12 * kDelta});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->stats.Sum().value(), OracleSum(0, 12));
+}
+
+TEST(ShardRouter, ClusterInfoReportsPerShardPlacement) {
+  auto c = MakeCluster(3);
+  OwnerClient owner(c.transport);
+  std::vector<uint64_t> uuids;
+  for (int s = 0; s < 5; ++s) {
+    auto created = owner.CreateStream(HeacConfig("ci" + std::to_string(s)));
+    ASSERT_TRUE(created.ok());
+    uuids.push_back(*created);
+    ASSERT_TRUE(IngestChunks(owner, *created, 0, 3).ok());
+  }
+
+  auto blob = c.transport->Call(net::MessageType::kClusterInfo, {});
+  ASSERT_TRUE(blob.ok());
+  auto info = net::ClusterInfoResponse::Decode(*blob);
+  ASSERT_TRUE(info.ok());
+  ASSERT_EQ(info->shards.size(), 3u);
+  uint64_t total_streams = 0, total_bytes = 0;
+  for (const auto& s : info->shards) {
+    EXPECT_EQ(s.num_streams, c.engines[s.shard]->NumStreams());
+    total_streams += s.num_streams;
+    total_bytes += s.index_bytes;
+  }
+  EXPECT_EQ(total_streams, 5u);
+  EXPECT_EQ(total_bytes, c.router->TotalIndexBytes());
+
+  // A standalone engine answers the same message with one entry.
+  auto solo = MakeCluster(1);
+  auto solo_blob =
+      solo.engines[0]->Handle(net::MessageType::kClusterInfo, {});
+  ASSERT_TRUE(solo_blob.ok());
+  EXPECT_EQ(net::ClusterInfoResponse::Decode(*solo_blob)->shards.size(), 1u);
+}
+
+TEST(ShardRouter, PingBroadcastsToEveryShard) {
+  auto c = MakeCluster(4);
+  EXPECT_TRUE(c.transport->Call(net::MessageType::kPing, {}).ok());
+}
+
+TEST(ShardRouter, PrefixViewsIsolateShardNamespaces) {
+  auto backend = std::make_shared<store::MemKvStore>();
+  store::PrefixKvStore a(backend, "a/");
+  store::PrefixKvStore b(backend, "b/");
+  ASSERT_TRUE(a.Put("k", ToBytes("va")).ok());
+  ASSERT_TRUE(b.Put("k", ToBytes("vb")).ok());
+  EXPECT_EQ(ToString(*a.Get("k")), "va");
+  EXPECT_EQ(ToString(*b.Get("k")), "vb");
+  ASSERT_TRUE(a.Delete("k").ok());
+  EXPECT_FALSE(a.Contains("k"));
+  EXPECT_TRUE(b.Contains("k"));
+  EXPECT_EQ(backend->Size(), 1u);
+  EXPECT_TRUE(a.Sync().ok());
+}
+
+}  // namespace
+}  // namespace tc

@@ -120,6 +120,103 @@ TEST_F(LogKvTest, CompactShrinksLog) {
   EXPECT_EQ((*kv)->Get("hot")->size(), 100u);
 }
 
+TEST_F(LogKvTest, AutoCompactionTriggersAtDeadFraction) {
+  LogKvOptions options;
+  options.compact_dead_fraction = 0.5;
+  options.compact_min_dead_bytes = 4096;  // well below the default 1 MiB
+  auto kv = LogKvStore::Open(path_.string(), options);
+  ASSERT_TRUE(kv.ok());
+
+  // Live data plus repeated overwrites of one key: dead bytes accumulate
+  // until they exceed half the total, then the store compacts itself.
+  ASSERT_TRUE((*kv)->Put("live", Bytes(2048, 0x11)).ok());
+  EXPECT_EQ((*kv)->CompactionCount(), 0u);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE((*kv)->Put("churn", Bytes(2048, uint8_t(i))).ok());
+  }
+  EXPECT_GE((*kv)->CompactionCount(), 1u);
+  // Post-compaction the log holds only live records.
+  EXPECT_LT((*kv)->DeadBytes(), options.compact_min_dead_bytes);
+  ASSERT_TRUE((*kv)->Sync().ok());
+  // Far below the ~18 KiB the 9 appended records total (the live pair plus
+  // at most a couple of post-compaction appends remain).
+  EXPECT_LT(std::filesystem::file_size(path_), 4u * 2048u);
+
+  // Everything survives the rewrite, in memory and on disk.
+  EXPECT_EQ((*kv)->Get("live")->size(), 2048u);
+  EXPECT_EQ((*(*kv)->Get("churn"))[0], uint8_t(7));
+  kv->reset();
+  auto reopened = LogKvStore::Open(path_.string(), options);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->Size(), 2u);
+  EXPECT_EQ((*(*reopened)->Get("churn"))[0], uint8_t(7));
+}
+
+TEST_F(LogKvTest, AutoCompactionDisabledByDefault) {
+  auto kv = LogKvStore::Open(path_.string());
+  ASSERT_TRUE(kv.ok());
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE((*kv)->Put("churn", Bytes(64 * 1024, uint8_t(i))).ok());
+  }
+  // Dead bytes pile up far past any threshold; no compaction runs.
+  EXPECT_EQ((*kv)->CompactionCount(), 0u);
+  EXPECT_GT((*kv)->DeadBytes(), 60u * 64u * 1024u);
+}
+
+TEST_F(LogKvTest, TombstonesCountTowardAutoCompaction) {
+  LogKvOptions options;
+  options.compact_dead_fraction = 0.25;
+  options.compact_min_dead_bytes = 1024;
+  auto kv = LogKvStore::Open(path_.string(), options);
+  ASSERT_TRUE(kv.ok());
+  ASSERT_TRUE((*kv)->Put("live", Bytes(512, 0x22)).ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE((*kv)->Put("dead" + std::to_string(i), Bytes(512, 0x33)).ok());
+  }
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE((*kv)->Delete("dead" + std::to_string(i)).ok());
+  }
+  EXPECT_GE((*kv)->CompactionCount(), 1u);
+  EXPECT_TRUE((*kv)->Contains("live"));
+  EXPECT_EQ((*kv)->Size(), 1u);
+}
+
+TEST_F(LogKvTest, GroupCommitSyncSkipsCoveredFlushes) {
+  auto kv = LogKvStore::Open(path_.string());
+  ASSERT_TRUE(kv.ok());
+  // Sync with nothing appended (and re-sync with nothing new) is a no-op;
+  // appends re-arm it. Observable contract: Sync always leaves the file
+  // complete, regardless of how many callers coalesced.
+  ASSERT_TRUE((*kv)->Sync().ok());
+  ASSERT_TRUE((*kv)->Put("a", ToBytes("1")).ok());
+  ASSERT_TRUE((*kv)->Sync().ok());
+  auto after_first = std::filesystem::file_size(path_);
+  ASSERT_TRUE((*kv)->Sync().ok());  // covered: nothing new to flush
+  EXPECT_EQ(std::filesystem::file_size(path_), after_first);
+  ASSERT_TRUE((*kv)->Put("b", ToBytes("2")).ok());
+  ASSERT_TRUE((*kv)->Sync().ok());
+  EXPECT_GT(std::filesystem::file_size(path_), after_first);
+
+  // Concurrent writers + syncers: every record a thread synced after
+  // writing must be on disk at the end.
+  constexpr int kThreads = 4, kPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&kv, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        std::string key = "g" + std::to_string(t) + "-" + std::to_string(i);
+        ASSERT_TRUE((*kv)->Put(key, ToBytes(key)).ok());
+        ASSERT_TRUE((*kv)->Sync().ok());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  kv->reset();
+  auto reopened = LogKvStore::Open(path_.string());
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->Size(), 2u + kThreads * kPerThread);
+}
+
 TEST_F(LogKvTest, ToleratesTornTailWrite) {
   {
     auto kv = LogKvStore::Open(path_.string());

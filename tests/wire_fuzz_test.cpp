@@ -80,6 +80,10 @@ std::vector<NamedDecoder> AllDecoders() {
        [](BytesView in) {
          return GetChunkWitnessedResponse::Decode(in).ok();
        }},
+      {"InsertChunkBatch",
+       [](BytesView in) { return InsertChunkBatchRequest::Decode(in).ok(); }},
+      {"ClusterInfoResponse",
+       [](BytesView in) { return ClusterInfoResponse::Decode(in).ok(); }},
   };
 }
 
@@ -135,6 +139,16 @@ std::vector<Bytes> ValidEncodings() {
   wr.entries.push_back({3, ToBytes("digest"), ToBytes("payload"),
                         ToBytes("proof")});
   out.push_back(wr.Encode());
+  InsertChunkBatchRequest batch;
+  batch.uuid = 7;
+  batch.entries.push_back({0, ToBytes("digest-0"), ToBytes("payload-0")});
+  batch.entries.push_back({1, ToBytes("digest-1"), {}});
+  batch.entries.push_back({5, ToBytes("digest-5"), ToBytes("payload-5")});
+  out.push_back(batch.Encode());
+  ClusterInfoResponse cluster;
+  cluster.shards.push_back({0, 3, 4096});
+  cluster.shards.push_back({1, 2, 2048});
+  out.push_back(cluster.Encode());
   client::AccessGrant grant;
   grant.stream_uuid = 7;
   grant.kind = client::GrantKind::kFullResolution;
@@ -213,6 +227,65 @@ TEST(WireFuzz, LengthPrefixedVectorsRejectAbsurdCounts) {
   EXPECT_FALSE(StatSeriesResponse::Decode(hostile_at(24)).ok());
   // AccessGrant: count follows uuid+kind+range+height (29 bytes).
   EXPECT_FALSE(client::AccessGrant::Decode(hostile_at(29)).ok());
+  // InsertChunkBatch: count follows the uuid (8 bytes).
+  EXPECT_FALSE(InsertChunkBatchRequest::Decode(hostile_at(8)).ok());
+  // ClusterInfoResponse: count is the first field.
+  EXPECT_FALSE(ClusterInfoResponse::Decode(hostile_at(0)).ok());
+}
+
+TEST(WireFuzz, InsertChunkBatchRejectsMalformedFrames) {
+  auto entry = [](uint64_t index) {
+    InsertChunkBatchRequest::Entry e;
+    e.chunk_index = index;
+    e.digest_blob = ToBytes("digest");
+    e.payload = ToBytes("payload");
+    return e;
+  };
+
+  // Well-formed baseline round-trips.
+  InsertChunkBatchRequest good;
+  good.uuid = 7;
+  good.entries = {entry(3), entry(4), entry(9)};
+  auto decoded = InsertChunkBatchRequest::Decode(good.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->uuid, 7u);
+  ASSERT_EQ(decoded->entries.size(), 3u);
+  EXPECT_EQ(decoded->entries[2].chunk_index, 9u);
+  EXPECT_EQ(decoded->entries[0].payload, ToBytes("payload"));
+
+  // Overlapping chunk indices: duplicates and regressions are malformed
+  // frames, rejected at decode before any server state is touched.
+  InsertChunkBatchRequest duplicate;
+  duplicate.uuid = 7;
+  duplicate.entries = {entry(3), entry(3)};
+  EXPECT_EQ(InsertChunkBatchRequest::Decode(duplicate.Encode()).status().code(),
+            StatusCode::kInvalidArgument);
+  InsertChunkBatchRequest regressing;
+  regressing.uuid = 7;
+  regressing.entries = {entry(5), entry(4)};
+  EXPECT_EQ(
+      InsertChunkBatchRequest::Decode(regressing.Encode()).status().code(),
+      StatusCode::kInvalidArgument);
+
+  // Truncated counts: a frame claiming more entries than its bytes can
+  // hold fails cleanly at every cut point.
+  Bytes encoded = good.Encode();
+  for (size_t cut = 0; cut < encoded.size(); ++cut) {
+    EXPECT_FALSE(
+        InsertChunkBatchRequest::Decode(BytesView(encoded.data(), cut)).ok())
+        << "cut at " << cut;
+  }
+
+  // A count larger than the actual entry list (claims 4, carries 2).
+  BinaryWriter w;
+  w.PutU64(7);
+  w.PutVar(4);
+  for (uint64_t i = 0; i < 2; ++i) {
+    w.PutU64(i);
+    w.PutBytes(ToBytes("digest"));
+    w.PutBytes(ToBytes("payload"));
+  }
+  EXPECT_FALSE(InsertChunkBatchRequest::Decode(w.data()).ok());
 }
 
 TEST(WireFuzz, ResponseBodyRoundTripsStatusCodes) {

@@ -36,12 +36,16 @@ void Usage() {
       "  create   --name S --delta-ms N [--sumsq] [--trend UNIT_MS]\n"
       "           [--hist BINS:MIN:WIDTH] [--fanout K] [--integrity]\n"
       "           create a stream; prints its uuid, saves the key state\n"
-      "  insert   --uuid U [--file F]   read 'timestamp_ms,value' lines\n"
-      "           (default stdin), chunk + encrypt + upload\n"
+      "  insert   --uuid U [--file F] [--batch N]\n"
+      "           read 'timestamp_ms,value' lines (default stdin), chunk +\n"
+      "           encrypt + upload; --batch N groups N sealed chunks per\n"
+      "           InsertChunkBatch frame\n"
       "  stats    --uuid U --start MS --end MS [--granularity CHUNKS]\n"
       "           statistical range query (owner keys)\n"
       "  range    --uuid U --start MS --end MS    raw decrypted points\n"
       "  info     --uuid U               server-side stream info\n"
+      "  cluster-info                    per-shard stream counts and index "
+      "bytes\n"
       "  attest   --uuid U               sign + publish the stream head\n"
       "  verify   --uuid U --start MS --end MS    verified stat query\n"
       "  keygen                          consumer identity; prints public "
@@ -130,6 +134,9 @@ int CmdInsert(const Flags& flags, const std::string& state_dir) {
   if (!transport.ok()) Die(transport.status());
   auto owner_opts = OwnerOpts(state_dir);
   if (!owner_opts.ok()) Die(owner_opts.status());
+  int64_t batch = flags.GetInt("batch", 1);
+  if (batch < 1) Die(InvalidArgument("--batch must be >= 1"));
+  owner_opts->upload_batch_chunks = static_cast<uint64_t>(batch);
   client::OwnerClient owner(*transport, *owner_opts);
   auto uuid = Attach(owner, flags, state_dir);
   if (!uuid.ok()) Die(uuid.status());
@@ -260,6 +267,26 @@ int CmdInfo(const Flags& flags) {
   return 0;
 }
 
+int CmdClusterInfo(const Flags& flags) {
+  auto transport = Connect(flags);
+  if (!transport.ok()) Die(transport.status());
+  auto payload = (*transport)->Call(net::MessageType::kClusterInfo, {});
+  if (!payload.ok()) Die(payload.status());
+  auto info = net::ClusterInfoResponse::Decode(*payload);
+  if (!info.ok()) Die(info.status());
+  uint64_t total_streams = 0, total_bytes = 0;
+  std::puts("shard   streams   index-bytes");
+  for (const auto& s : info->shards) {
+    std::printf("%5u %9" PRIu64 " %13" PRIu64 "\n", s.shard, s.num_streams,
+                s.index_bytes);
+    total_streams += s.num_streams;
+    total_bytes += s.index_bytes;
+  }
+  std::printf("total %9" PRIu64 " %13" PRIu64 "  (%zu shard(s))\n",
+              total_streams, total_bytes, info->shards.size());
+  return 0;
+}
+
 int CmdAttest(const Flags& flags, const std::string& state_dir) {
   auto transport = Connect(flags);
   if (!transport.ok()) Die(transport.status());
@@ -382,6 +409,7 @@ int Run(int argc, char** argv) {
   if (cmd == "stats") return CmdStats(flags, state_dir);
   if (cmd == "range") return CmdRange(flags, state_dir);
   if (cmd == "info") return CmdInfo(flags);
+  if (cmd == "cluster-info") return CmdClusterInfo(flags);
   if (cmd == "attest") return CmdAttest(flags, state_dir);
   if (cmd == "verify") return CmdVerify(flags, state_dir);
   if (cmd == "keygen") return CmdKeygen(flags, state_dir);

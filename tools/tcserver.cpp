@@ -5,15 +5,25 @@
 // durable: streams, indices, grants, and witness trees are recovered from
 // the log on startup.
 //
+// With --shards N the daemon runs N independent engine shards behind a
+// ShardRouter: streams are partitioned by uuid hash, single-stream
+// requests route lock-free to their shard, and cluster-wide requests
+// scatter-gather (§3.2 horizontal scaling, in one process). Shard
+// placement is a pure hash of (uuid, N): restart with the same N and each
+// shard recovers exactly the streams it owned.
+//
 //   tcserver --port 4433 --store log --path /var/lib/timecrypt.log
+//   tcserver --shards 4 --store log --path /var/lib/timecrypt.log --sync
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 
+#include "cluster/shard_router.hpp"
 #include "net/tcp.hpp"
 #include "server/server_engine.hpp"
 #include "store/log_kv.hpp"
 #include "store/mem_kv.hpp"
+#include "store/prefix_kv.hpp"
 #include "tools/cli_common.hpp"
 
 namespace {
@@ -29,7 +39,14 @@ void Usage() {
       "flags:\n"
       "  --port N        TCP port to listen on (default 4433; 0 = ephemeral)\n"
       "  --store KIND    mem | log (default mem)\n"
-      "  --path FILE     log-store path (default ./timecrypt.log)\n"
+      "  --path FILE     log-store path (default ./timecrypt.log); with\n"
+      "                  --shards N > 1, shard i logs to FILE.shard<i>\n"
+      "  --shards N      engine shards, streams partitioned by uuid hash\n"
+      "                  (default 1; keep N stable across restarts)\n"
+      "  --sync          flush the log store after every ingest message\n"
+      "                  (batches group-commit into one flush)\n"
+      "  --compact-pct P auto-compact a shard's log when dead bytes exceed\n"
+      "                  P%% of it (default 50; 0 disables)\n"
       "  --cache-mb N    index cache budget per stream in MiB (default 256)\n");
 }
 
@@ -37,39 +54,79 @@ void Usage() {
 
 int main(int argc, char** argv) {
   using namespace tc;
-  tools::Flags flags(argc, argv, {"help"});
+  tools::Flags flags(argc, argv, {"help", "sync"});
   if (flags.Has("help")) {
     Usage();
     return 0;
   }
 
-  std::shared_ptr<store::KvStore> kv;
-  std::string store_kind = flags.Get("store", "mem");
-  if (store_kind == "mem") {
-    kv = std::make_shared<store::MemKvStore>();
-  } else if (store_kind == "log") {
-    auto log = store::LogKvStore::Open(flags.Get("path", "timecrypt.log"));
-    if (!log.ok()) tools::Die(log.status());
-    kv = std::move(*log);
-  } else {
-    std::fprintf(stderr, "unknown --store kind: %s\n", store_kind.c_str());
+  int64_t shards = flags.GetInt("shards", 1);
+  if (shards < 1 || shards > 1024) {
+    std::fprintf(stderr, "--shards must be in [1, 1024]\n");
     return 1;
   }
+  std::string store_kind = flags.Get("store", "mem");
+  store::LogKvOptions log_options;
+  log_options.compact_dead_fraction =
+      static_cast<double>(flags.GetInt("compact-pct", 50)) / 100.0;
 
   server::ServerOptions options;
   options.index_cache_bytes =
       static_cast<size_t>(flags.GetInt("cache-mb", 256)) << 20;
-  auto engine = std::make_shared<server::ServerEngine>(kv, options);
-  if (engine->NumStreams() > 0) {
-    std::printf("recovered %zu stream(s) from %s store\n",
-                engine->NumStreams(), store_kind.c_str());
+  options.sync_each_insert = flags.Has("sync");
+
+  // One KV namespace per shard: prefix views over a shared memory store,
+  // or one log file per shard for durable mode (independent append paths —
+  // the cluster's ingest scaling lever).
+  std::vector<std::shared_ptr<server::ServerEngine>> engines;
+  std::shared_ptr<store::MemKvStore> mem_backend;
+  for (int64_t i = 0; i < shards; ++i) {
+    std::shared_ptr<store::KvStore> kv;
+    if (store_kind == "mem") {
+      if (shards == 1) {
+        kv = std::make_shared<store::MemKvStore>();
+      } else {
+        if (!mem_backend) mem_backend = std::make_shared<store::MemKvStore>();
+        kv = std::make_shared<store::PrefixKvStore>(
+            mem_backend, "s" + std::to_string(i) + "/");
+      }
+    } else if (store_kind == "log") {
+      std::string path = flags.Get("path", "timecrypt.log");
+      if (shards > 1) path += ".shard" + std::to_string(i);
+      auto log = store::LogKvStore::Open(path, log_options);
+      if (!log.ok()) tools::Die(log.status());
+      kv = std::move(*log);
+    } else {
+      std::fprintf(stderr, "unknown --store kind: %s\n", store_kind.c_str());
+      return 1;
+    }
+    server::ServerOptions shard_options = options;
+    shard_options.shard_id = static_cast<uint32_t>(i);
+    engines.push_back(
+        std::make_shared<server::ServerEngine>(std::move(kv), shard_options));
   }
 
-  net::TcpServer server(engine,
+  size_t recovered = 0;
+  for (const auto& engine : engines) recovered += engine->NumStreams();
+  if (recovered > 0) {
+    std::printf("recovered %zu stream(s) from %s store across %lld shard(s)\n",
+                recovered, store_kind.c_str(),
+                static_cast<long long>(shards));
+  }
+
+  std::shared_ptr<net::RequestHandler> handler;
+  if (shards == 1) {
+    handler = engines[0];
+  } else {
+    handler = std::make_shared<cluster::ShardRouter>(engines);
+  }
+
+  net::TcpServer server(handler,
                         static_cast<uint16_t>(flags.GetInt("port", 4433)));
   if (auto started = server.Start(); !started.ok()) tools::Die(started);
-  std::printf("tcserver listening on 127.0.0.1:%u (store: %s)\n",
-              server.port(), store_kind.c_str());
+  std::printf("tcserver listening on 127.0.0.1:%u (store: %s, shards: %lld)\n",
+              server.port(), store_kind.c_str(),
+              static_cast<long long>(shards));
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);
