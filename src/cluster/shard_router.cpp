@@ -28,13 +28,56 @@ size_t PoolThreads(size_t num_shards, const RouterOptions& options) {
   return std::min(num_shards, hw == 0 ? size_t{1} : hw);
 }
 
+std::vector<std::shared_ptr<replica::ReplicaSet>> WrapEngines(
+    std::vector<std::shared_ptr<server::ServerEngine>> engines) {
+  std::vector<std::shared_ptr<replica::ReplicaSet>> sets;
+  sets.reserve(engines.size());
+  for (auto& engine : engines) {
+    sets.push_back(replica::ReplicaSet::Single(std::move(engine)));
+  }
+  return sets;
+}
+
+constexpr const char kShardMetaKey[] = "meta/cluster/shard";
+
 }  // namespace
+
+Status BindShardMeta(store::KvStore& kv, uint32_t shard_id,
+                     uint32_t num_shards) {
+  auto existing = kv.Get(kShardMetaKey);
+  if (!existing.ok()) {
+    if (existing.status().code() != StatusCode::kNotFound) {
+      return existing.status();
+    }
+    BinaryWriter w;
+    w.PutU32(shard_id);
+    w.PutU32(num_shards);
+    return kv.Put(kShardMetaKey, w.data());
+  }
+  BinaryReader r(*existing);
+  TC_ASSIGN_OR_RETURN(uint32_t stored_id, r.GetU32());
+  TC_ASSIGN_OR_RETURN(uint32_t stored_n, r.GetU32());
+  if (stored_id != shard_id || stored_n != num_shards) {
+    return FailedPrecondition(
+        "store was laid out as shard " + std::to_string(stored_id) + "/" +
+        std::to_string(stored_n) + " but is being opened as shard " +
+        std::to_string(shard_id) + "/" + std::to_string(num_shards) +
+        "; changing the shard count re-homes streams away from their "
+        "on-disk state — restart with the original --shards value");
+  }
+  return Status::Ok();
+}
 
 ShardRouter::ShardRouter(
     std::vector<std::shared_ptr<server::ServerEngine>> shards,
     RouterOptions options)
-    : shards_(std::move(shards)), pool_(PoolThreads(shards_.size(), options)) {
-  if (shards_.empty()) {
+    : ShardRouter(WrapEngines(std::move(shards)), options) {}
+
+ShardRouter::ShardRouter(
+    std::vector<std::shared_ptr<replica::ReplicaSet>> shards,
+    RouterOptions options)
+    : sets_(std::move(shards)), pool_(PoolThreads(sets_.size(), options)) {
+  if (sets_.empty()) {
     // A router needs at least one shard; constructing without any is a
     // programming error, fail loudly rather than segfault on first use.
     std::abort();
@@ -42,42 +85,45 @@ ShardRouter::ShardRouter(
 }
 
 size_t ShardRouter::ShardOf(uint64_t uuid) const {
-  return static_cast<size_t>(Mix64(uuid) % shards_.size());
+  return static_cast<size_t>(Mix64(uuid) % sets_.size());
 }
 
 size_t ShardRouter::NumStreams() const {
   size_t total = 0;
-  for (const auto& shard : shards_) total += shard->NumStreams();
+  for (const auto& set : sets_) total += set->NumStreams();
   return total;
 }
 
 uint64_t ShardRouter::TotalIndexBytes() const {
   uint64_t total = 0;
-  for (const auto& shard : shards_) total += shard->TotalIndexBytes();
+  for (const auto& set : sets_) total += set->TotalIndexBytes();
   return total;
 }
 
 Result<Bytes> ShardRouter::Handle(MessageType type, BytesView body) {
   switch (type) {
-    // Single-stream messages: the body starts with the owning stream's
-    // uuid; route to its shard and stay out of the data path.
+    // Single-stream mutations (and key-store state): the body starts with
+    // the owning stream's uuid; route to its shard's primary.
     case MessageType::kCreateStream:
     case MessageType::kDeleteStream:
     case MessageType::kInsertChunk:
     case MessageType::kInsertChunkBatch:
-    case MessageType::kGetRange:
-    case MessageType::kGetStatRange:
-    case MessageType::kGetStatSeries:
     case MessageType::kDeleteRange:
-    case MessageType::kGetStreamInfo:
     case MessageType::kPutGrant:
     case MessageType::kRevokeGrant:
     case MessageType::kPutEnvelopes:
     case MessageType::kGetEnvelopes:
     case MessageType::kPutAttestation:
     case MessageType::kGetAttestation:
+      return RouteByUuid(type, body, /*read_only=*/false);
+    // Single-stream read-only queries: serveable by a caught-up replica of
+    // the owning shard (primary fallback inside the set).
+    case MessageType::kGetRange:
+    case MessageType::kGetStatRange:
+    case MessageType::kGetStatSeries:
+    case MessageType::kGetStreamInfo:
     case MessageType::kGetChunkWitnessed:
-      return RouteByUuid(type, body);
+      return RouteByUuid(type, body, /*read_only=*/true);
     // Cluster-wide operations: scatter-gather.
     case MessageType::kFetchGrants: return FetchGrants(body);
     case MessageType::kMultiStatRange: return MultiStatRange(body);
@@ -85,14 +131,19 @@ Result<Bytes> ShardRouter::Handle(MessageType type, BytesView body) {
     case MessageType::kPing: return Broadcast(type, body);
     case MessageType::kRollupStream: return RollupStream(body);
     case MessageType::kResponse: break;
+    // Replication frames address a follower endpoint, not the cluster.
+    case MessageType::kReplicaOps: break;
+    case MessageType::kReplicaSnapshot: break;
   }
   return InvalidArgument("unknown message type");
 }
 
-Result<Bytes> ShardRouter::RouteByUuid(MessageType type, BytesView body) {
+Result<Bytes> ShardRouter::RouteByUuid(MessageType type, BytesView body,
+                                       bool read_only) {
   BinaryReader r(body);
   TC_ASSIGN_OR_RETURN(uint64_t uuid, r.GetU64());
-  return shards_[ShardOf(uuid)]->Handle(type, body);
+  auto& set = sets_[ShardOf(uuid)];
+  return read_only ? set->HandleRead(type, body) : set->Handle(type, body);
 }
 
 std::vector<Result<Bytes>> ShardRouter::Scatter(
@@ -108,8 +159,8 @@ std::vector<Result<Bytes>> ShardRouter::Scatter(
 }
 
 Result<Bytes> ShardRouter::Broadcast(MessageType type, BytesView body) {
-  auto results = Scatter(shards_.size(), [&](size_t i) {
-    return shards_[i]->Handle(type, body);
+  auto results = Scatter(sets_.size(), [&](size_t i) {
+    return sets_[i]->Handle(type, body);
   });
   for (auto& result : results) {
     TC_RETURN_IF_ERROR(result.status());
@@ -119,9 +170,10 @@ Result<Bytes> ShardRouter::Broadcast(MessageType type, BytesView body) {
 
 Result<Bytes> ShardRouter::FetchGrants(BytesView body) {
   // Grants are keyed by principal, and a principal's streams can live on
-  // any shard — the one cluster-wide read on the consumer path.
-  auto results = Scatter(shards_.size(), [&](size_t i) {
-    return shards_[i]->Handle(MessageType::kFetchGrants, body);
+  // any shard — the one cluster-wide read on the consumer path. Served by
+  // primaries: replica engines do not refresh key-store state.
+  auto results = Scatter(sets_.size(), [&](size_t i) {
+    return sets_[i]->Handle(MessageType::kFetchGrants, body);
   });
 
   net::FetchGrantsResponse merged;
@@ -135,10 +187,18 @@ Result<Bytes> ShardRouter::FetchGrants(BytesView body) {
 
 Result<Bytes> ShardRouter::ClusterInfo() {
   net::ClusterInfoResponse resp;
-  resp.shards.reserve(shards_.size());
-  for (size_t i = 0; i < shards_.size(); ++i) {
-    resp.shards.push_back({static_cast<uint32_t>(i), shards_[i]->NumStreams(),
-                           shards_[i]->TotalIndexBytes()});
+  resp.shards.reserve(sets_.size());
+  for (size_t i = 0; i < sets_.size(); ++i) {
+    net::ClusterInfoResponse::ShardInfo info;
+    info.shard = static_cast<uint32_t>(i);
+    info.num_streams = sets_[i]->NumStreams();
+    info.index_bytes = sets_[i]->TotalIndexBytes();
+    info.replicas = static_cast<uint32_t>(sets_[i]->num_replicas());
+    info.ack_mode = sets_[i]->ack_mode() == replica::AckMode::kQuorum
+                        ? net::ClusterInfoResponse::kAckQuorum
+                        : net::ClusterInfoResponse::kAckAsync;
+    info.max_lag_ops = sets_[i]->MaxLagOps();
+    resp.shards.push_back(info);
   }
   return resp.Encode();
 }
@@ -152,7 +212,7 @@ Result<Bytes> ShardRouter::MultiStatRange(BytesView body) {
   // in the single-engine handler).
   std::vector<std::vector<uint64_t>> groups;
   std::vector<size_t> group_shard;
-  std::vector<size_t> shard_to_group(shards_.size(), SIZE_MAX);
+  std::vector<size_t> shard_to_group(sets_.size(), SIZE_MAX);
   for (uint64_t uuid : req.uuids) {
     size_t shard = ShardOf(uuid);
     if (shard_to_group[shard] == SIZE_MAX) {
@@ -164,14 +224,15 @@ Result<Bytes> ShardRouter::MultiStatRange(BytesView body) {
   }
   if (groups.size() == 1) {
     // All streams on one shard: its engine does the whole aggregation.
-    return shards_[group_shard[0]]->Handle(MessageType::kMultiStatRange, body);
+    return sets_[group_shard[0]]->HandleRead(MessageType::kMultiStatRange,
+                                             body);
   }
 
   // The merge needs the homomorphic Add; build it from the first stream's
   // public config, exactly as each shard does server-side.
   net::DeleteStreamRequest info_req{req.uuids[0]};
   TC_ASSIGN_OR_RETURN(Bytes info_blob,
-                      shards_[ShardOf(req.uuids[0])]->Handle(
+                      sets_[ShardOf(req.uuids[0])]->HandleRead(
                           MessageType::kGetStreamInfo, info_req.Encode()));
   TC_ASSIGN_OR_RETURN(auto info, net::StreamInfoResponse::Decode(info_blob));
   TC_ASSIGN_OR_RETURN(auto cipher,
@@ -179,8 +240,8 @@ Result<Bytes> ShardRouter::MultiStatRange(BytesView body) {
 
   auto results = Scatter(groups.size(), [&](size_t g) {
     net::MultiStatRangeRequest sub{groups[g], req.range};
-    return shards_[group_shard[g]]->Handle(MessageType::kMultiStatRange,
-                                           sub.Encode());
+    return sets_[group_shard[g]]->HandleRead(MessageType::kMultiStatRange,
+                                             sub.Encode());
   });
 
   net::StatRangeResponse merged;
@@ -213,7 +274,7 @@ Result<Bytes> ShardRouter::RollupStream(BytesView body) {
   if (source_shard == target_shard) {
     // Same shard: the engine's native rollup (one lock scope, no wire
     // re-encoding of window aggregates).
-    return shards_[source_shard]->Handle(MessageType::kRollupStream, body);
+    return sets_[source_shard]->Handle(MessageType::kRollupStream, body);
   }
   if (req.granularity_chunks == 0) {
     return InvalidArgument("rollup granularity must be positive");
@@ -222,10 +283,12 @@ Result<Bytes> ShardRouter::RollupStream(BytesView body) {
   // Cross-shard: decompose into the wire operations rollup is made of.
   // Window aggregates are plain encrypted digests, so the derived stream
   // built from a StatSeries is byte-identical to the engine-native path.
+  // All legs run against primaries: a rollup is a write, and deriving it
+  // from a lagging replica would silently truncate the derived stream.
   net::DeleteStreamRequest info_req{req.source_uuid};
   TC_ASSIGN_OR_RETURN(Bytes info_blob,
-                      shards_[source_shard]->Handle(MessageType::kGetStreamInfo,
-                                                    info_req.Encode()));
+                      sets_[source_shard]->Handle(MessageType::kGetStreamInfo,
+                                                  info_req.Encode()));
   TC_ASSIGN_OR_RETURN(auto info, net::StreamInfoResponse::Decode(info_blob));
   ChunkClock clock(info.config.t0, info.config.delta_ms);
 
@@ -249,7 +312,7 @@ Result<Bytes> ShardRouter::RollupStream(BytesView body) {
                      static_cast<int64_t>(req.granularity_chunks);
   derived.t0 = clock.RangeOfChunk(first).start;
   net::CreateStreamRequest create{req.target_uuid, derived};
-  TC_RETURN_IF_ERROR(shards_[target_shard]
+  TC_RETURN_IF_ERROR(sets_[target_shard]
                          ->Handle(MessageType::kCreateStream, create.Encode())
                          .status());
 
@@ -258,8 +321,8 @@ Result<Bytes> ShardRouter::RollupStream(BytesView body) {
       {clock.RangeOfChunk(first).start, clock.RangeOfChunk(last - 1).end},
       req.granularity_chunks};
   TC_ASSIGN_OR_RETURN(Bytes series_blob,
-                      shards_[source_shard]->Handle(MessageType::kGetStatSeries,
-                                                    series.Encode()));
+                      sets_[source_shard]->Handle(MessageType::kGetStatSeries,
+                                                  series.Encode()));
   TC_ASSIGN_OR_RETURN(auto windows, net::StatSeriesResponse::Decode(series_blob));
 
   net::InsertChunkBatchRequest batch;
@@ -268,7 +331,7 @@ Result<Bytes> ShardRouter::RollupStream(BytesView body) {
   for (size_t j = 0; j < windows.aggregates.size(); ++j) {
     batch.entries.push_back({j, std::move(windows.aggregates[j]), Bytes{}});
   }
-  TC_RETURN_IF_ERROR(shards_[target_shard]
+  TC_RETURN_IF_ERROR(sets_[target_shard]
                          ->Handle(MessageType::kInsertChunkBatch, batch.Encode())
                          .status());
 

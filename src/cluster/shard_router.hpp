@@ -14,6 +14,13 @@
 // so derived streams always live on the shard their uuid hashes to and
 // later requests find them without a placement directory.
 //
+// Each shard is a replica::ReplicaSet. With followers configured, the
+// shard's mutations ship to replica stores, read-only messages (stat/range
+// queries, stream info, witnessed reads, and MultiStatRange sub-queries)
+// round-robin across caught-up replicas with primary fallback, and a dead
+// primary can be failed over to a promoted follower without losing the
+// stream history. A replica-less shard behaves exactly as before.
+//
 // The router implements net::RequestHandler, so it drops in anywhere a
 // single engine did: behind InProcTransport, behind the TCP server, under
 // the same clients. Restart durability composes: shard placement is a pure
@@ -26,6 +33,7 @@
 
 #include "cluster/worker_pool.hpp"
 #include "net/wire.hpp"
+#include "replica/replica_set.hpp"
 #include "server/server_engine.hpp"
 
 namespace tc::cluster {
@@ -36,16 +44,30 @@ struct RouterOptions {
   size_t scatter_threads = 0;
 };
 
+/// Persist-or-verify the cluster layout in a shard's store. On a fresh
+/// store the (shard_id, num_shards) pair is written under a meta key; on a
+/// reused store a mismatch fails fast — stream placement is a pure hash of
+/// (uuid, N), so restarting with a different N would silently re-home
+/// streams away from their on-disk state instead of serving it.
+Status BindShardMeta(store::KvStore& kv, uint32_t shard_id,
+                     uint32_t num_shards);
+
 class ShardRouter final : public net::RequestHandler {
  public:
+  /// Replica-less router: wraps each engine in a single-member set.
   explicit ShardRouter(
       std::vector<std::shared_ptr<server::ServerEngine>> shards,
+      RouterOptions options = {});
+
+  /// Replicated router: one replica set per shard.
+  explicit ShardRouter(
+      std::vector<std::shared_ptr<replica::ReplicaSet>> shards,
       RouterOptions options = {});
 
   // net::RequestHandler
   Result<Bytes> Handle(net::MessageType type, BytesView body) override;
 
-  size_t num_shards() const { return shards_.size(); }
+  size_t num_shards() const { return sets_.size(); }
 
   /// The shard owning `uuid` — a pure stateless hash, identical across
   /// restarts and across every node running the same shard count.
@@ -55,14 +77,22 @@ class ShardRouter final : public net::RequestHandler {
   size_t NumStreams() const;
   uint64_t TotalIndexBytes() const;
 
-  /// Direct handle to one shard (tests and tools peek at placement).
-  const std::shared_ptr<server::ServerEngine>& shard(size_t i) const {
-    return shards_[i];
+  /// Direct handle to one shard's primary engine (tests and tools peek at
+  /// placement). Null while that shard's primary is down.
+  std::shared_ptr<server::ServerEngine> shard(size_t i) const {
+    return sets_[i]->primary();
+  }
+
+  /// One shard's replica set (failover drills drive promotion through it).
+  const std::shared_ptr<replica::ReplicaSet>& replica_set(size_t i) const {
+    return sets_[i];
   }
 
  private:
   /// Route a message whose body starts with the owning stream's uuid.
-  Result<Bytes> RouteByUuid(net::MessageType type, BytesView body);
+  /// `read_only` selects the replica-serving path.
+  Result<Bytes> RouteByUuid(net::MessageType type, BytesView body,
+                            bool read_only);
 
   /// Run `fn(0..n)` on the worker pool and gather the per-slot results.
   std::vector<Result<Bytes>> Scatter(
@@ -77,7 +107,7 @@ class ShardRouter final : public net::RequestHandler {
   /// Cross-shard rollup: decomposed into wire ops against both shards.
   Result<Bytes> RollupStream(BytesView body);
 
-  std::vector<std::shared_ptr<server::ServerEngine>> shards_;
+  std::vector<std::shared_ptr<replica::ReplicaSet>> sets_;
   mutable WorkerPool pool_;
 };
 

@@ -212,6 +212,18 @@ Status AggTree::Recover() {
   return Status::Ok();
 }
 
+Status AggTree::Refresh() {
+  cache_.Clear();
+  uint64_t before = next_index_;
+  next_index_ = 0;
+  Status s = Recover();
+  if (!s.ok()) {
+    // Keep serving the position we had; the cache drop alone is harmless.
+    next_index_ = before;
+  }
+  return s;
+}
+
 Result<Bytes> AggTree::LeafDigest(uint64_t index) const {
   if (index >= next_index_) return OutOfRange("chunk not ingested");
   const uint32_t k = options_.fanout;

@@ -50,6 +50,12 @@ class AggTree {
   /// plus one node read; no scan API needed.
   Status Recover();
 
+  /// Re-sync with a store that advanced underneath this handle (a replica
+  /// store receiving shipped mutations): drop every cached node — appends
+  /// rewrite rightmost-spine nodes in place, so any of them may be stale —
+  /// and re-run the Recover probe for the new append position.
+  Status Refresh();
+
   /// Aggregate over chunk range [first, last). Returns the encrypted
   /// aggregate blob; the caller decrypts with the outer keys.
   Result<Bytes> Query(uint64_t first, uint64_t last) const;

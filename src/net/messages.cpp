@@ -160,6 +160,9 @@ Bytes ClusterInfoResponse::Encode() const {
     w.PutU32(s.shard);
     w.PutU64(s.num_streams);
     w.PutU64(s.index_bytes);
+    w.PutU32(s.replicas);
+    w.PutU8(s.ack_mode);
+    w.PutU64(s.max_lag_ops);
   }
   return std::move(w).Take();
 }
@@ -175,6 +178,12 @@ Result<ClusterInfoResponse> ClusterInfoResponse::Decode(BytesView in) {
     TC_ASSIGN_OR_RETURN(s.shard, r.GetU32());
     TC_ASSIGN_OR_RETURN(s.num_streams, r.GetU64());
     TC_ASSIGN_OR_RETURN(s.index_bytes, r.GetU64());
+    TC_ASSIGN_OR_RETURN(s.replicas, r.GetU32());
+    TC_ASSIGN_OR_RETURN(s.ack_mode, r.GetU8());
+    if (s.ack_mode > kAckQuorum) {
+      return InvalidArgument("unknown replica ack mode");
+    }
+    TC_ASSIGN_OR_RETURN(s.max_lag_ops, r.GetU64());
     resp.shards.push_back(s);
   }
   return resp;
@@ -584,6 +593,88 @@ Result<GetChunkWitnessedResponse> GetChunkWitnessedResponse::Decode(
     TC_ASSIGN_OR_RETURN(e.proof, r.GetBytes());
     resp.entries.push_back(std::move(e));
   }
+  return resp;
+}
+
+Bytes ReplicaOpsRequest::Encode() const {
+  size_t bytes = 16;
+  for (const auto& op : ops) bytes += op.key.size() + op.value.size() + 16;
+  BinaryWriter w(bytes);
+  w.PutU64(first_seq);
+  w.PutVar(ops.size());
+  for (const auto& op : ops) {
+    w.PutU8(op.kind);
+    w.PutString(op.key);
+    w.PutBytes(op.value);
+  }
+  return std::move(w).Take();
+}
+
+Result<ReplicaOpsRequest> ReplicaOpsRequest::Decode(BytesView in) {
+  BinaryReader r(in);
+  ReplicaOpsRequest req;
+  TC_ASSIGN_OR_RETURN(req.first_seq, r.GetU64());
+  TC_ASSIGN_OR_RETURN(uint64_t claimed, r.GetVar());
+  TC_ASSIGN_OR_RETURN(size_t count, CheckedCount(claimed, r));
+  req.ops.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Op op;
+    TC_ASSIGN_OR_RETURN(op.kind, r.GetU8());
+    if (op.kind != kReplicaOpPut && op.kind != kReplicaOpDelete) {
+      return InvalidArgument("unknown replica op kind");
+    }
+    TC_ASSIGN_OR_RETURN(op.key, r.GetString());
+    TC_ASSIGN_OR_RETURN(op.value, r.GetBytes());
+    if (op.kind == kReplicaOpDelete && !op.value.empty()) {
+      return InvalidArgument("replica delete carries a value");
+    }
+    req.ops.push_back(std::move(op));
+  }
+  return req;
+}
+
+Bytes ReplicaSnapshotRequest::Encode(
+    uint64_t seq, std::span<const std::pair<std::string, Bytes>> entries) {
+  size_t bytes = 16;
+  for (const auto& [key, value] : entries) {
+    bytes += key.size() + value.size() + 16;
+  }
+  BinaryWriter w(bytes);
+  w.PutU64(seq);
+  w.PutVar(entries.size());
+  for (const auto& [key, value] : entries) {
+    w.PutString(key);
+    w.PutBytes(value);
+  }
+  return std::move(w).Take();
+}
+
+Result<ReplicaSnapshotRequest> ReplicaSnapshotRequest::Decode(BytesView in) {
+  BinaryReader r(in);
+  ReplicaSnapshotRequest req;
+  TC_ASSIGN_OR_RETURN(req.seq, r.GetU64());
+  TC_ASSIGN_OR_RETURN(uint64_t claimed, r.GetVar());
+  TC_ASSIGN_OR_RETURN(size_t count, CheckedCount(claimed, r));
+  req.entries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    std::string key;
+    TC_ASSIGN_OR_RETURN(key, r.GetString());
+    TC_ASSIGN_OR_RETURN(Bytes value, r.GetBytes());
+    req.entries.emplace_back(std::move(key), std::move(value));
+  }
+  return req;
+}
+
+Bytes ReplicaAckResponse::Encode() const {
+  BinaryWriter w;
+  w.PutU64(applied_seq);
+  return std::move(w).Take();
+}
+
+Result<ReplicaAckResponse> ReplicaAckResponse::Decode(BytesView in) {
+  BinaryReader r(in);
+  ReplicaAckResponse resp;
+  TC_ASSIGN_OR_RETURN(resp.applied_seq, r.GetU64());
   return resp;
 }
 

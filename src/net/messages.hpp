@@ -3,6 +3,7 @@
 // tests can round-trip them.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -89,14 +90,24 @@ struct InsertChunkBatchRequest {
   static Result<InsertChunkBatchRequest> Decode(BytesView in);
 };
 
-/// Per-shard stream counts and index sizes (cluster introspection). A
-/// standalone engine answers with one entry; the shard router scatter-
-/// gathers one entry per shard.
+/// Per-shard stream counts, index sizes, and replication health (cluster
+/// introspection). A standalone engine answers with one entry and zeroed
+/// replication fields; the shard router scatter-gathers one entry per shard.
 struct ClusterInfoResponse {
+  /// ShardInfo::ack_mode values (mirrors replica::AckMode; the wire layer
+  /// carries the raw byte so tc_net does not depend on tc_replica).
+  static constexpr uint8_t kAckAsync = 0;
+  static constexpr uint8_t kAckQuorum = 1;
+
   struct ShardInfo {
     uint32_t shard = 0;
     uint64_t num_streams = 0;
     uint64_t index_bytes = 0;
+    // Replication health: follower count, ack discipline, and the widest
+    // follower lag in ops (0 when replicas == 0 or all caught up).
+    uint32_t replicas = 0;
+    uint8_t ack_mode = kAckAsync;
+    uint64_t max_lag_ops = 0;
   };
   std::vector<ShardInfo> shards;
 
@@ -316,6 +327,58 @@ struct GetChunkWitnessedResponse {
 
   Bytes Encode() const;
   static Result<GetChunkWitnessedResponse> Decode(BytesView in);
+};
+
+// ---------------------------------------------------- replication extension
+// Primary→follower log shipping (src/replica). Replicated state is all
+// ciphertext and encrypted digests — the server is untrusted end-to-end, so
+// copying it to more untrusted nodes changes nothing about confidentiality.
+
+/// Mutation kinds carried by ReplicaOpsRequest entries.
+inline constexpr uint8_t kReplicaOpPut = 1;
+inline constexpr uint8_t kReplicaOpDelete = 2;
+
+/// A contiguous run of sequence-numbered mutations: entry i carries
+/// sequence number first_seq + i. Followers apply strictly in order, so a
+/// follower's store is always a prefix of the primary's mutation history.
+struct ReplicaOpsRequest {
+  struct Op {
+    uint8_t kind = kReplicaOpPut;
+    std::string key;
+    Bytes value;  // empty for deletes
+
+    friend bool operator==(const Op&, const Op&) = default;
+  };
+  uint64_t first_seq = 0;
+  std::vector<Op> ops;
+
+  Bytes Encode() const;
+  static Result<ReplicaOpsRequest> Decode(BytesView in);
+};
+
+/// Full-state catch-up for an empty, stale, or lagging follower: the
+/// complete (key, value) set of the primary as of sequence number `seq`.
+/// Applying a snapshot also deletes follower keys absent from it, so a
+/// diverged store (e.g. a demoted ex-peer after failover) reconverges.
+struct ReplicaSnapshotRequest {
+  uint64_t seq = 0;
+  std::vector<std::pair<std::string, Bytes>> entries;
+
+  Bytes Encode() const { return Encode(seq, entries); }
+  /// Encode without owning the entries — snapshots are a full copy of a
+  /// store, and the shipper already holds one; don't make another.
+  static Bytes Encode(
+      uint64_t seq,
+      std::span<const std::pair<std::string, Bytes>> entries);
+  static Result<ReplicaSnapshotRequest> Decode(BytesView in);
+};
+
+/// Follower's reply to either replication message.
+struct ReplicaAckResponse {
+  uint64_t applied_seq = 0;
+
+  Bytes Encode() const;
+  static Result<ReplicaAckResponse> Decode(BytesView in);
 };
 
 }  // namespace tc::net

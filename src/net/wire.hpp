@@ -43,6 +43,11 @@ enum class MessageType : uint8_t {
   // per-shard introspection.
   kInsertChunkBatch = 20,
   kClusterInfo = 21,
+  // Replication extension (src/replica): primary→follower log shipping.
+  // These target a follower's ReplicaApplier endpoint, never the cluster
+  // router or a serving engine.
+  kReplicaOps = 22,
+  kReplicaSnapshot = 23,
 };
 
 /// Server-side dispatch: handle one decoded request, produce a response

@@ -1,0 +1,218 @@
+#include "replica/replica_set.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace tc::replica {
+
+std::shared_ptr<ReplicaSet> ReplicaSet::Single(
+    std::shared_ptr<server::ServerEngine> engine) {
+  auto set = std::shared_ptr<ReplicaSet>(new ReplicaSet());
+  set->primary_ = std::move(engine);
+  return set;
+}
+
+std::shared_ptr<ReplicaSet> ReplicaSet::Make(
+    std::shared_ptr<store::KvStore> primary_kv,
+    std::vector<std::shared_ptr<store::KvStore>> follower_kvs,
+    server::ServerOptions engine_options, ReplicaSetOptions options) {
+  auto set = std::shared_ptr<ReplicaSet>(new ReplicaSet());
+  set->engine_options_ = engine_options;
+  set->options_ = options;
+  set->rkv_ = std::make_shared<ReplicatedKvStore>(std::move(primary_kv),
+                                                  options.kv);
+  for (auto& kv : follower_kvs) {
+    auto replica = std::make_unique<Replica>();
+    replica->kv = kv;
+    // The read engine recovers whatever the follower store holds right
+    // now; the initial snapshot lands asynchronously and the first read
+    // past it triggers a Refresh.
+    replica->engine =
+        std::make_shared<server::ServerEngine>(kv, engine_options);
+    set->replicas_.push_back(std::move(replica));
+    set->rkv_->AddFollower(std::make_shared<LocalFollower>(std::move(kv)));
+  }
+  // The primary engine recovers through the replicated store (reads pass
+  // straight to the primary KV).
+  set->primary_ =
+      std::make_shared<server::ServerEngine>(set->rkv_, engine_options);
+  return set;
+}
+
+Result<Bytes> ReplicaSet::Handle(net::MessageType type, BytesView body) {
+  std::shared_lock lock(state_mu_);
+  if (!primary_) {
+    return Unavailable("shard primary is down (awaiting promotion)");
+  }
+  return primary_->Handle(type, body);
+}
+
+Result<Bytes> ReplicaSet::HandleRead(net::MessageType type, BytesView body) {
+  std::shared_lock lock(state_mu_);
+  if (!replicas_.empty() && (rkv_ || dropped_)) {
+    uint64_t head = rkv_ ? rkv_->head_seq() : 0;
+    size_t n = replicas_.size();
+    size_t start = static_cast<size_t>(rr_.fetch_add(1) % n);
+    for (size_t k = 0; k < n; ++k) {
+      size_t i = (start + k) % n;
+      Replica& replica = *replicas_[i];
+      uint64_t applied;
+      if (rkv_) {
+        applied = rkv_->follower_seq(i);
+        uint64_t lag = head - std::min(head, applied);
+        if (lag > options_.max_read_lag_ops) continue;
+      } else {
+        // Primary down, promotion pending: follower stores are frozen at
+        // the seqs captured when it died. The lag bound still applies,
+        // measured against the most-caught-up survivor — in quorum mode
+        // that survivor holds every acknowledged write, so an uneven
+        // follower must not serve reads missing acked data.
+        applied = final_seqs_[i];
+        uint64_t lag = final_head_ - std::min(final_head_, applied);
+        if (lag > options_.max_read_lag_ops) continue;
+      }
+      if (!EnsureFresh(replica, applied).ok()) continue;
+      auto result = replica.engine->Handle(type, body);
+      if (result.ok()) {
+        replica_reads_.fetch_add(1, std::memory_order_relaxed);
+        return result;
+      }
+      // A replica-side failure is never the answer: the refresh may have
+      // landed on a mid-mutation prefix (e.g. a leaf shipped before its
+      // parent node). The primary — or a further-along replica — has it.
+      read_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (!primary_) {
+    return Unavailable("shard primary is down and no replica is serveable");
+  }
+  primary_reads_.fetch_add(1, std::memory_order_relaxed);
+  return primary_->Handle(type, body);
+}
+
+Status ReplicaSet::EnsureFresh(Replica& replica, uint64_t applied_seq) {
+  if (applied_seq <= replica.refreshed_seq.load(std::memory_order_acquire)) {
+    return Status::Ok();
+  }
+  std::lock_guard lock(replica.refresh_mu);
+  if (applied_seq <= replica.refreshed_seq.load(std::memory_order_relaxed)) {
+    return Status::Ok();
+  }
+  // `applied_seq` was read before the refresh started, so recording it
+  // afterwards can only under-state freshness — the safe direction.
+  TC_RETURN_IF_ERROR(replica.engine->Refresh());
+  replica.refreshed_seq.store(applied_seq, std::memory_order_release);
+  return Status::Ok();
+}
+
+Status ReplicaSet::DropPrimary() {
+  std::unique_lock lock(state_mu_);
+  if (!rkv_) return FailedPrecondition("shard has no replication");
+  if (dropped_) return FailedPrecondition("primary already dropped");
+  final_seqs_.clear();
+  final_head_ = 0;
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    final_seqs_.push_back(rkv_->follower_seq(i));
+    final_head_ = std::max(final_head_, final_seqs_.back());
+  }
+  // Severing both references tears down the shipping pipeline with the
+  // engine; ops not yet shipped (async mode) are lost, exactly as they
+  // would be with the machine.
+  rkv_.reset();
+  primary_.reset();
+  dropped_ = true;
+  return Status::Ok();
+}
+
+Status ReplicaSet::Promote() {
+  std::unique_lock lock(state_mu_);
+  if (!dropped_) {
+    return FailedPrecondition("primary is alive; DropPrimary first");
+  }
+  if (replicas_.empty()) {
+    return FailedPrecondition("no follower left to promote");
+  }
+  // Most-caught-up follower wins. In quorum mode this follower provably
+  // holds every acknowledged write: a majority acked it, and followers
+  // apply strictly in order, so the max applied seq covers them all.
+  size_t best = static_cast<size_t>(
+      std::max_element(final_seqs_.begin(), final_seqs_.end()) -
+      final_seqs_.begin());
+  auto promoted = std::move(replicas_[best]);
+  replicas_.erase(replicas_.begin() + best);
+  final_seqs_.clear();
+
+  auto rkv = std::make_shared<ReplicatedKvStore>(promoted->kv, options_.kv);
+  for (auto& replica : replicas_) {
+    // Sequence numbers restart under the new primary; the registration
+    // snapshot reconciles whatever the survivor holds (it may trail the
+    // promoted store, or even diverge if the dead primary shipped unevenly).
+    rkv->AddFollower(std::make_shared<LocalFollower>(replica->kv));
+  }
+  // Full recovery over the promoted store: streams, grants, witness trees
+  // — the complete history the old primary had shipped.
+  auto engine = std::make_shared<server::ServerEngine>(rkv, engine_options_);
+  // Settle the survivors before reads resume (we hold state_mu_ exclusive,
+  // so nothing serves mid-promotion): wait out the snapshots, then refresh
+  // the read engines to the reconciled stores.
+  if (Status s = rkv->WaitCaughtUp(options_.kv.quorum_timeout_ms); !s.ok()) {
+    TC_LOG_WARN << "promotion: survivors still catching up: " << s.ToString();
+  }
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    if (Status s = replicas_[i]->engine->Refresh(); !s.ok()) {
+      TC_LOG_WARN << "promotion: replica refresh failed: " << s.ToString();
+    }
+    replicas_[i]->refreshed_seq.store(rkv->follower_seq(i));
+  }
+  primary_ = std::move(engine);
+  rkv_ = std::move(rkv);
+  dropped_ = false;
+  ++promotions_;
+  return Status::Ok();
+}
+
+std::shared_ptr<server::ServerEngine> ReplicaSet::primary() const {
+  std::shared_lock lock(state_mu_);
+  return primary_;
+}
+
+std::shared_ptr<server::ServerEngine> ReplicaSet::replica_engine(
+    size_t i) const {
+  std::shared_lock lock(state_mu_);
+  if (i >= replicas_.size()) return nullptr;
+  return replicas_[i]->engine;
+}
+
+size_t ReplicaSet::num_replicas() const {
+  std::shared_lock lock(state_mu_);
+  return replicas_.size();
+}
+
+uint64_t ReplicaSet::MaxLagOps() const {
+  std::shared_lock lock(state_mu_);
+  return rkv_ ? rkv_->MaxLagOps() : 0;
+}
+
+size_t ReplicaSet::NumStreams() const {
+  std::shared_lock lock(state_mu_);
+  return primary_ ? primary_->NumStreams() : 0;
+}
+
+uint64_t ReplicaSet::TotalIndexBytes() const {
+  std::shared_lock lock(state_mu_);
+  return primary_ ? primary_->TotalIndexBytes() : 0;
+}
+
+size_t ReplicaSet::promotions() const {
+  std::shared_lock lock(state_mu_);
+  return promotions_;
+}
+
+Status ReplicaSet::WaitCaughtUp(int64_t timeout_ms) {
+  std::shared_lock lock(state_mu_);
+  if (!rkv_) return Status::Ok();
+  return rkv_->WaitCaughtUp(timeout_ms);
+}
+
+}  // namespace tc::replica

@@ -1,0 +1,126 @@
+// One shard's replica group: a primary ServerEngine over a
+// ReplicatedKvStore, plus read-serving engines over the follower stores.
+//
+// Write-path messages go to the primary; its KV mutations ship to the
+// followers underneath. Read-only messages can be served by a follower:
+// each follower store backs its own ServerEngine whose in-memory state
+// (stream registry, index append positions, witness trees, node caches) is
+// refreshed on demand when the follower has applied ops the engine has not
+// seen yet. A replica serves a read only while its lag is within the
+// configured bound; any replica-side failure (e.g. a mid-mutation prefix
+// the refresh landed on) falls back to the next replica and finally the
+// primary, so replica reads are an optimization, never a correctness risk.
+//
+// Failover: DropPrimary() severs the primary (the process-kill stand-in);
+// Promote() elects the most-caught-up follower, rebuilds a full engine over
+// its store (streams, grants, witness trees all recover from the replicated
+// state), and re-homes the remaining followers under the new primary via
+// snapshot catch-up. In quorum mode every acknowledged write survives this
+// by construction; in async mode the shipping pipeline must be drained
+// (WaitCaughtUp) before the drop, or the unshipped tail is lost with the
+// primary — exactly the async-replication contract.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+#include "replica/replicated_kv.hpp"
+#include "server/server_engine.hpp"
+
+namespace tc::replica {
+
+struct ReplicaSetOptions {
+  /// Replication transport knobs; `kv.ack` selects async vs quorum ingest.
+  ReplicatedKvOptions kv;
+  /// A replica may serve reads while (primary head - follower applied)
+  /// stays within this many ops. 0 = only fully caught-up replicas.
+  uint64_t max_read_lag_ops = 0;
+};
+
+class ReplicaSet {
+ public:
+  /// Replication-less shard: wraps an existing engine; reads and writes
+  /// both hit it, and failover APIs report FailedPrecondition.
+  static std::shared_ptr<ReplicaSet> Single(
+      std::shared_ptr<server::ServerEngine> engine);
+
+  /// Replicated shard: the primary engine is built over `primary_kv`
+  /// wrapped in a ReplicatedKvStore shipping to one LocalFollower per
+  /// follower store; each follower store also gets a read engine.
+  static std::shared_ptr<ReplicaSet> Make(
+      std::shared_ptr<store::KvStore> primary_kv,
+      std::vector<std::shared_ptr<store::KvStore>> follower_kvs,
+      server::ServerOptions engine_options, ReplicaSetOptions options);
+
+  /// Write path (and anything stateful): the primary engine.
+  Result<Bytes> Handle(net::MessageType type, BytesView body);
+
+  /// Read path: round-robin over in-bound replicas with primary fallback.
+  Result<Bytes> HandleRead(net::MessageType type, BytesView body);
+
+  // ----------------------------------------------------------- failover
+  /// Sever the primary (engine + replication pipeline) without killing the
+  /// process — the testable stand-in for primary loss. Unshipped async ops
+  /// are lost, as they would be with the real machine.
+  Status DropPrimary();
+  /// Elect the most-caught-up follower as the new primary. Blocks reads
+  /// for the duration; on return the shard serves the promoted history.
+  Status Promote();
+
+  // ------------------------------------------------------ introspection
+  std::shared_ptr<server::ServerEngine> primary() const;
+  /// Test hook: follower `i`'s read engine.
+  std::shared_ptr<server::ServerEngine> replica_engine(size_t i) const;
+  size_t num_replicas() const;
+  AckMode ack_mode() const { return options_.kv.ack; }
+  uint64_t MaxLagOps() const;
+  size_t NumStreams() const;
+  uint64_t TotalIndexBytes() const;
+  size_t promotions() const;
+  uint64_t replica_reads() const { return replica_reads_.load(); }
+  uint64_t primary_reads() const { return primary_reads_.load(); }
+  uint64_t read_fallbacks() const { return read_fallbacks_.load(); }
+
+  /// Drain the shipping pipeline (no-op without replicas).
+  Status WaitCaughtUp(int64_t timeout_ms = 30'000);
+
+ private:
+  ReplicaSet() = default;
+
+  struct Replica {
+    std::shared_ptr<store::KvStore> kv;
+    std::shared_ptr<server::ServerEngine> engine;
+    /// Follower seq the engine's in-memory state reflects. Reads past it
+    /// trigger an engine Refresh (serialized by refresh_mu; concurrent
+    /// readers on the fast path never take the mutex).
+    std::atomic<uint64_t> refreshed_seq{0};
+    std::mutex refresh_mu;
+  };
+
+  Status EnsureFresh(Replica& replica, uint64_t applied_seq);
+
+  // Guards the topology (primary_/rkv_/replicas_). Request handling holds
+  // it shared; DropPrimary/Promote hold it exclusive, so no read or write
+  // runs mid-failover.
+  mutable std::shared_mutex state_mu_;
+  std::shared_ptr<server::ServerEngine> primary_;
+  std::shared_ptr<ReplicatedKvStore> rkv_;  // null for Single()
+  std::vector<std::unique_ptr<Replica>> replicas_;  // index == rkv follower
+  bool dropped_ = false;
+  std::vector<uint64_t> final_seqs_;  // follower seqs captured at drop
+  uint64_t final_head_ = 0;           // max of final_seqs_: all acked writes
+  size_t promotions_ = 0;
+
+  server::ServerOptions engine_options_;
+  ReplicaSetOptions options_;
+
+  std::atomic<uint64_t> rr_{0};
+  std::atomic<uint64_t> replica_reads_{0};
+  std::atomic<uint64_t> primary_reads_{0};
+  std::atomic<uint64_t> read_fallbacks_{0};
+};
+
+}  // namespace tc::replica

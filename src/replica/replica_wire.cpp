@@ -1,0 +1,72 @@
+#include "replica/replica_wire.hpp"
+
+namespace tc::replica {
+
+Status RemoteFollower::ApplyOps(std::span<const LoggedOp> ops) {
+  if (ops.empty()) return Status::Ok();
+  net::ReplicaOpsRequest req;
+  req.first_seq = ops.front().seq;
+  req.ops.reserve(ops.size());
+  for (const auto& op : ops) {
+    req.ops.push_back({op.kind, op.key, op.value});
+  }
+  TC_ASSIGN_OR_RETURN(Bytes resp, transport_->Call(net::MessageType::kReplicaOps,
+                                                   req.Encode()));
+  TC_ASSIGN_OR_RETURN(auto ack, net::ReplicaAckResponse::Decode(resp));
+  if (ack.applied_seq < ops.back().seq) {
+    return Internal("follower acked seq " + std::to_string(ack.applied_seq) +
+                    " short of shipped " + std::to_string(ops.back().seq));
+  }
+  return Status::Ok();
+}
+
+Status RemoteFollower::ApplySnapshot(
+    uint64_t seq, const std::vector<std::pair<std::string, Bytes>>& entries) {
+  // Encode straight from the shipper's buffer — a snapshot is a full store
+  // copy, and one of those in memory is already the budget.
+  Bytes frame = net::ReplicaSnapshotRequest::Encode(seq, entries);
+  TC_ASSIGN_OR_RETURN(
+      Bytes resp,
+      transport_->Call(net::MessageType::kReplicaSnapshot, frame));
+  return net::ReplicaAckResponse::Decode(resp).status();
+}
+
+Result<Bytes> ReplicaApplier::Handle(net::MessageType type, BytesView body) {
+  switch (type) {
+    case net::MessageType::kReplicaOps: {
+      TC_ASSIGN_OR_RETURN(auto req, net::ReplicaOpsRequest::Decode(body));
+      std::lock_guard lock(mu_);
+      for (size_t i = 0; i < req.ops.size(); ++i) {
+        const auto& op = req.ops[i];
+        uint64_t seq = req.first_seq + i;
+        if (seq <= applied_seq_) continue;  // re-delivered prefix
+        if (op.kind == net::kReplicaOpPut) {
+          TC_RETURN_IF_ERROR(kv_->Put(op.key, op.value));
+        } else {
+          Status s = kv_->Delete(op.key);
+          if (!s.ok() && s.code() != StatusCode::kNotFound) return s;
+        }
+        applied_seq_ = seq;
+      }
+      return net::ReplicaAckResponse{applied_seq_}.Encode();
+    }
+    case net::MessageType::kReplicaSnapshot: {
+      TC_ASSIGN_OR_RETURN(auto req, net::ReplicaSnapshotRequest::Decode(body));
+      std::lock_guard lock(mu_);
+      TC_RETURN_IF_ERROR(ApplySnapshotToStore(*kv_, req.entries));
+      applied_seq_ = std::max(applied_seq_, req.seq);
+      return net::ReplicaAckResponse{applied_seq_}.Encode();
+    }
+    case net::MessageType::kPing:
+      return Bytes{};
+    default:
+      return InvalidArgument("follower endpoint only accepts replication");
+  }
+}
+
+uint64_t ReplicaApplier::applied_seq() const {
+  std::lock_guard lock(mu_);
+  return applied_seq_;
+}
+
+}  // namespace tc::replica

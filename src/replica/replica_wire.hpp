@@ -1,0 +1,54 @@
+// Replication over the wire: the follower side of log shipping when the
+// follower lives behind a transport instead of in-process. A RemoteFollower
+// encodes shipped ops/snapshots into kReplicaOps / kReplicaSnapshot frames;
+// a ReplicaApplier is the request handler a follower node runs to apply
+// them to its local store. Together they make `tcserver`-shaped follower
+// processes possible without the primary knowing the difference — the
+// ReplicatedKvStore only ever sees the Follower interface.
+#pragma once
+
+#include <memory>
+#include <mutex>
+
+#include "net/messages.hpp"
+#include "net/wire.hpp"
+#include "replica/replicated_kv.hpp"
+
+namespace tc::replica {
+
+/// Follower adapter over a client transport (in-proc or TCP).
+class RemoteFollower final : public Follower {
+ public:
+  explicit RemoteFollower(std::shared_ptr<net::Transport> transport)
+      : transport_(std::move(transport)) {}
+
+  Status ApplyOps(std::span<const LoggedOp> ops) override;
+  Status ApplySnapshot(
+      uint64_t seq,
+      const std::vector<std::pair<std::string, Bytes>>& entries) override;
+
+ private:
+  std::shared_ptr<net::Transport> transport_;
+};
+
+/// Server-side handler a follower node runs: applies replication frames to
+/// its local store, in arrival order. Answers kPing for liveness probes and
+/// rejects every non-replication message — a follower endpoint is not a
+/// serving engine.
+class ReplicaApplier final : public net::RequestHandler {
+ public:
+  explicit ReplicaApplier(std::shared_ptr<store::KvStore> kv)
+      : kv_(std::move(kv)) {}
+
+  Result<Bytes> Handle(net::MessageType type, BytesView body) override;
+
+  /// Highest sequence number applied (0 before any frame).
+  uint64_t applied_seq() const;
+
+ private:
+  std::shared_ptr<store::KvStore> kv_;
+  mutable std::mutex mu_;
+  uint64_t applied_seq_ = 0;
+};
+
+}  // namespace tc::replica

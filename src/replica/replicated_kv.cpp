@@ -1,0 +1,303 @@
+#include "replica/replicated_kv.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_set>
+
+#include "common/logging.hpp"
+#include "net/messages.hpp"
+
+namespace tc::replica {
+
+std::string_view AckModeName(AckMode mode) {
+  switch (mode) {
+    case AckMode::kAsync: return "async";
+    case AckMode::kQuorum: return "quorum";
+  }
+  return "?";
+}
+
+Status ApplySnapshotToStore(
+    store::KvStore& kv,
+    const std::vector<std::pair<std::string, Bytes>>& entries) {
+  std::unordered_set<std::string> live;
+  live.reserve(entries.size());
+  for (const auto& [key, value] : entries) live.insert(key);
+
+  // Collect stale keys first, mutate after: Scan callbacks must not call
+  // back into the store (the iteration holds its internal locks).
+  std::vector<std::string> stale;
+  TC_RETURN_IF_ERROR(kv.Scan([&](const std::string& key, BytesView) {
+    if (!live.contains(key)) stale.push_back(key);
+  }));
+  for (const auto& key : stale) {
+    Status s = kv.Delete(key);
+    if (!s.ok() && s.code() != StatusCode::kNotFound) return s;
+  }
+  for (const auto& [key, value] : entries) {
+    // Skip byte-identical values: re-seeding a durable follower (restart
+    // with a reused log file) must not rewrite its entire log as dead bytes.
+    auto existing = kv.Get(key);
+    if (existing.ok() && *existing == value) continue;
+    TC_RETURN_IF_ERROR(kv.Put(key, value));
+  }
+  return Status::Ok();
+}
+
+Status LocalFollower::ApplyOps(std::span<const LoggedOp> ops) {
+  for (const auto& op : ops) {
+    if (op.kind == net::kReplicaOpPut) {
+      TC_RETURN_IF_ERROR(kv_->Put(op.key, op.value));
+    } else {
+      // Re-delivery after a mid-batch failure (or a delete folded into an
+      // earlier snapshot) makes missing keys expected, not errors.
+      Status s = kv_->Delete(op.key);
+      if (!s.ok() && s.code() != StatusCode::kNotFound) return s;
+    }
+  }
+  return Status::Ok();
+}
+
+Status LocalFollower::ApplySnapshot(
+    uint64_t /*seq*/,
+    const std::vector<std::pair<std::string, Bytes>>& entries) {
+  return ApplySnapshotToStore(*kv_, entries);
+}
+
+ReplicatedKvStore::ReplicatedKvStore(std::shared_ptr<store::KvStore> primary,
+                                     ReplicatedKvOptions options)
+    : primary_(std::move(primary)), options_(options) {
+  if (options_.ship_batch_ops == 0) options_.ship_batch_ops = 1;
+  if (options_.max_log_ops == 0) options_.max_log_ops = 1;
+}
+
+ReplicatedKvStore::~ReplicatedKvStore() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+    work_cv_.notify_all();
+    ack_cv_.notify_all();
+  }
+  for (auto& state : followers_) {
+    if (state->thread.joinable()) state->thread.join();
+  }
+}
+
+size_t ReplicatedKvStore::AddFollower(std::shared_ptr<Follower> follower) {
+  std::lock_guard lock(mu_);
+  auto state = std::make_unique<FollowerState>();
+  state->follower = std::move(follower);
+  FollowerState* raw = state.get();
+  followers_.push_back(std::move(state));
+  raw->thread = std::thread([this, raw] { ShipperLoop(raw); });
+  work_cv_.notify_all();
+  return followers_.size() - 1;
+}
+
+Status ReplicatedKvStore::Put(const std::string& key, BytesView value) {
+  return Replicate(net::kReplicaOpPut, key, value);
+}
+
+Status ReplicatedKvStore::Delete(const std::string& key) {
+  return Replicate(net::kReplicaOpDelete, key, {});
+}
+
+Status ReplicatedKvStore::Replicate(uint8_t kind, const std::string& key,
+                                    BytesView value) {
+  uint64_t seq;
+  {
+    // The primary mutation and its log position must be assigned under one
+    // lock: if two writers raced the same key with apply order and log
+    // order disagreeing, followers would converge to the wrong value.
+    std::unique_lock lock(mu_);
+    if (kind == net::kReplicaOpPut) {
+      TC_RETURN_IF_ERROR(primary_->Put(key, value));
+    } else {
+      // A failed primary delete (e.g. NotFound) is not replicated.
+      TC_RETURN_IF_ERROR(primary_->Delete(key));
+    }
+    seq = head_seq_.load(std::memory_order_relaxed) + 1;
+    log_.push_back({seq, kind, key, Bytes(value.begin(), value.end())});
+    head_seq_.store(seq, std::memory_order_release);
+    while (log_.size() > options_.max_log_ops) {
+      log_.pop_front();
+      ++log_first_seq_;
+    }
+    work_cv_.notify_all();
+  }
+  if (options_.ack == AckMode::kAsync) return Status::Ok();
+
+  std::unique_lock lock(mu_);
+  size_t needed = QuorumFollowerAcks();
+  if (needed == 0) return Status::Ok();
+  bool reached = ack_cv_.wait_for(
+      lock, std::chrono::milliseconds(options_.quorum_timeout_ms),
+      [&] { return stop_ || AckCountLocked(seq) >= needed; });
+  if (!reached || AckCountLocked(seq) < needed) {
+    // The primary holds the write; the caller must treat it as failed
+    // (standard semi-sync degradation under follower loss).
+    return Unavailable("quorum ack not reached for seq " +
+                       std::to_string(seq));
+  }
+  return Status::Ok();
+}
+
+Result<Bytes> ReplicatedKvStore::Get(const std::string& key) const {
+  return primary_->Get(key);
+}
+
+bool ReplicatedKvStore::Contains(const std::string& key) const {
+  return primary_->Contains(key);
+}
+
+size_t ReplicatedKvStore::Size() const { return primary_->Size(); }
+
+size_t ReplicatedKvStore::ValueBytes() const { return primary_->ValueBytes(); }
+
+Status ReplicatedKvStore::Sync() { return primary_->Sync(); }
+
+Status ReplicatedKvStore::Scan(
+    const std::function<void(const std::string&, BytesView)>& fn) const {
+  return primary_->Scan(fn);
+}
+
+size_t ReplicatedKvStore::num_followers() const {
+  std::lock_guard lock(mu_);
+  return followers_.size();
+}
+
+uint64_t ReplicatedKvStore::follower_seq(size_t i) const {
+  std::lock_guard lock(mu_);
+  if (i >= followers_.size()) return 0;
+  return followers_[i]->applied_seq.load(std::memory_order_acquire);
+}
+
+Status ReplicatedKvStore::follower_error(size_t i) const {
+  std::lock_guard lock(mu_);
+  if (i >= followers_.size()) return Status::Ok();
+  return followers_[i]->last_error;
+}
+
+uint64_t ReplicatedKvStore::MaxLagOps() const {
+  std::lock_guard lock(mu_);
+  uint64_t head = head_seq_.load(std::memory_order_acquire);
+  uint64_t lag = 0;
+  for (const auto& state : followers_) {
+    uint64_t applied = state->applied_seq.load(std::memory_order_acquire);
+    lag = std::max(lag, head - std::min(head, applied));
+  }
+  return lag;
+}
+
+Status ReplicatedKvStore::WaitCaughtUp(int64_t timeout_ms) {
+  std::unique_lock lock(mu_);
+  uint64_t target = head_seq_.load(std::memory_order_acquire);
+  bool done = ack_cv_.wait_for(
+      lock, std::chrono::milliseconds(timeout_ms), [&] {
+        if (stop_) return true;
+        return std::all_of(followers_.begin(), followers_.end(),
+                           [&](const auto& s) {
+                             return !s->needs_snapshot &&
+                                    s->applied_seq.load() >= target;
+                           });
+      });
+  if (!done) return Unavailable("followers did not catch up in time");
+  return Status::Ok();
+}
+
+size_t ReplicatedKvStore::AckCountLocked(uint64_t seq) const {
+  size_t n = 0;
+  for (const auto& state : followers_) {
+    if (state->applied_seq.load(std::memory_order_acquire) >= seq) ++n;
+  }
+  return n;
+}
+
+size_t ReplicatedKvStore::QuorumFollowerAcks() const {
+  // Majority of the replica group (primary + N followers), minus the
+  // primary's own copy: ceil((N+1+1)/2) - 1 == (N+1)/2 follower acks.
+  return (followers_.size() + 1) / 2;
+}
+
+void ReplicatedKvStore::BackoffAfterFailureLocked(
+    std::unique_lock<std::mutex>& lock, FollowerState* state, const char* what,
+    Status error) {
+  state->last_error = error;
+  ++state->consecutive_failures;
+  if (state->consecutive_failures == 1 ||
+      state->consecutive_failures % 64 == 0) {
+    TC_LOG_WARN << "replica " << what << " failed ("
+                << state->consecutive_failures
+                << " consecutive): " << error.ToString();
+  }
+  // Exponential backoff, 10ms doubling to a 5s cap: a dead follower costs
+  // one retry (and on the snapshot path one full store scan) every few
+  // seconds, not a hundred per second.
+  uint64_t shift = std::min<uint64_t>(state->consecutive_failures - 1, 9);
+  auto backoff = std::chrono::milliseconds(
+      std::min<int64_t>(10 << shift, 5000));
+  work_cv_.wait_for(lock, backoff, [&] { return stop_; });
+}
+
+void ReplicatedKvStore::ShipperLoop(FollowerState* state) {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return stop_ || state->needs_snapshot ||
+             state->applied_seq.load(std::memory_order_relaxed) <
+                 head_seq_.load(std::memory_order_relaxed);
+    });
+    if (stop_) return;
+
+    uint64_t applied = state->applied_seq.load(std::memory_order_relaxed);
+    if (state->needs_snapshot || applied + 1 < log_first_seq_) {
+      // Behind the retained window (or fresh): full snapshot catch-up.
+      // Pinning snap_seq under mu_ guarantees every op <= snap_seq is
+      // visible to the Scan below; ops that race in during the scan are
+      // harmlessly re-applied afterwards (in-order replay converges).
+      uint64_t snap_seq = head_seq_.load(std::memory_order_relaxed);
+      lock.unlock();
+      std::vector<std::pair<std::string, Bytes>> entries;
+      Status s = primary_->Scan([&](const std::string& key, BytesView value) {
+        entries.emplace_back(key, Bytes(value.begin(), value.end()));
+      });
+      if (s.ok()) s = state->follower->ApplySnapshot(snap_seq, entries);
+      lock.lock();
+      if (!s.ok()) {
+        BackoffAfterFailureLocked(lock, state, "snapshot", s);
+        continue;
+      }
+      state->last_error = Status::Ok();
+      state->consecutive_failures = 0;
+      state->needs_snapshot = false;
+      if (state->applied_seq.load(std::memory_order_relaxed) < snap_seq) {
+        state->applied_seq.store(snap_seq, std::memory_order_release);
+      }
+      snapshots_.fetch_add(1, std::memory_order_relaxed);
+      ack_cv_.notify_all();
+      continue;
+    }
+
+    // Stream the next batch from the retained window.
+    size_t offset = static_cast<size_t>(applied + 1 - log_first_seq_);
+    size_t count = std::min(options_.ship_batch_ops, log_.size() - offset);
+    std::vector<LoggedOp> batch(log_.begin() + offset,
+                                log_.begin() + offset + count);
+    lock.unlock();
+    Status s = state->follower->ApplyOps(batch);
+    lock.lock();
+    if (!s.ok()) {
+      BackoffAfterFailureLocked(lock, state, "op shipment", s);
+      continue;
+    }
+    state->last_error = Status::Ok();
+    state->consecutive_failures = 0;
+    uint64_t last = batch.back().seq;
+    if (state->applied_seq.load(std::memory_order_relaxed) < last) {
+      state->applied_seq.store(last, std::memory_order_release);
+    }
+    ack_cv_.notify_all();
+  }
+}
+
+}  // namespace tc::replica

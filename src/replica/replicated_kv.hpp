@@ -1,0 +1,191 @@
+// Per-shard KV replication: log shipping with snapshot catch-up.
+//
+// The paper's deployment inherits fault tolerance and read scaling from
+// Cassandra's replication underneath stateless TimeCrypt nodes (§4.6); our
+// self-built KV layer has neither, so this module adds them at the same
+// seam. Everything a TimeCrypt server stores is ciphertext and encrypted
+// digests — the server is untrusted end-to-end — so replicating its state
+// to more untrusted nodes is pure systems work with no security surface.
+//
+// Model: a ReplicatedKvStore wraps one primary KvStore and ships every
+// Put/Delete, stamped with a monotonically increasing sequence number, to N
+// followers. Followers apply strictly in order, so a follower's store is
+// always a consistent prefix of the primary's mutation history. A bounded
+// in-memory op log retains the recent window for streaming; a follower that
+// is empty, stale, or has fallen behind the window is caught up with a full
+// snapshot (Scan of the primary) before streaming resumes.
+//
+// Ack modes:
+//   kAsync  — Put/Delete return once the primary applied; followers drain
+//             in the background (lowest latency, newest writes at risk if
+//             the primary dies before shipping).
+//   kQuorum — Put/Delete block until a majority of the replica group
+//             (primary + N followers) holds the mutation, i.e. until
+//             ceil((N+1)/2) - 1 followers acked. Semi-sync: a write that
+//             times out waiting is reported Unavailable even though the
+//             primary applied it (the classic semi-sync degradation).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "store/kv_store.hpp"
+
+namespace tc::replica {
+
+enum class AckMode : uint8_t { kAsync = 0, kQuorum = 1 };
+
+std::string_view AckModeName(AckMode mode);
+
+/// One sequence-numbered mutation in the shipping log.
+struct LoggedOp {
+  uint64_t seq = 0;
+  uint8_t kind = 0;  // net::kReplicaOpPut / kReplicaOpDelete
+  std::string key;
+  Bytes value;  // empty for deletes
+};
+
+/// Where shipped mutations land. Implementations: LocalFollower (a KvStore
+/// in this process), RemoteFollower (a transport to a ReplicaApplier).
+/// Calls arrive from one shipper thread at a time, strictly in order.
+class Follower {
+ public:
+  virtual ~Follower() = default;
+
+  /// Apply a contiguous, ordered run of ops. Re-delivery after a failure
+  /// must be tolerated (puts overwrite; deleting a missing key is OK).
+  virtual Status ApplyOps(std::span<const LoggedOp> ops) = 0;
+
+  /// Replace state with the full snapshot as of `seq`: apply every entry
+  /// and delete local keys absent from it (reconverges diverged stores).
+  virtual Status ApplySnapshot(
+      uint64_t seq,
+      const std::vector<std::pair<std::string, Bytes>>& entries) = 0;
+};
+
+/// Snapshot-apply shared by local followers and the wire-side applier:
+/// deletes stale keys, then writes entries — skipping byte-identical values
+/// so re-seeding a durable follower does not rewrite its whole log.
+Status ApplySnapshotToStore(
+    store::KvStore& kv,
+    const std::vector<std::pair<std::string, Bytes>>& entries);
+
+/// In-process follower over any KvStore.
+class LocalFollower final : public Follower {
+ public:
+  explicit LocalFollower(std::shared_ptr<store::KvStore> kv)
+      : kv_(std::move(kv)) {}
+
+  Status ApplyOps(std::span<const LoggedOp> ops) override;
+  Status ApplySnapshot(
+      uint64_t seq,
+      const std::vector<std::pair<std::string, Bytes>>& entries) override;
+
+ private:
+  std::shared_ptr<store::KvStore> kv_;
+};
+
+struct ReplicatedKvOptions {
+  AckMode ack = AckMode::kAsync;
+  /// Max ops per ApplyOps shipment (one wire frame for remote followers).
+  size_t ship_batch_ops = 256;
+  /// Retained op-log window. A follower lagging past it is snapshot-fed.
+  size_t max_log_ops = 8192;
+  /// Quorum mode: how long a writer waits for follower acks before giving
+  /// up with Unavailable.
+  int64_t quorum_timeout_ms = 10'000;
+};
+
+/// KvStore decorator: applies to the primary, ships to followers. Reads
+/// (Get/Contains/Scan/Size/ValueBytes/Sync) pass straight to the primary —
+/// replica reads are routed above this layer (ReplicaSet), where engine
+/// state can be refreshed to match the follower store.
+class ReplicatedKvStore final : public store::KvStore {
+ public:
+  explicit ReplicatedKvStore(std::shared_ptr<store::KvStore> primary,
+                             ReplicatedKvOptions options = {});
+  ~ReplicatedKvStore() override;
+
+  /// Register a follower and start shipping to it. The follower is first
+  /// caught up with a full snapshot (it may hold anything: nothing, a stale
+  /// copy from a previous run, or a diverged ex-peer after failover).
+  /// Returns its index for follower_seq().
+  size_t AddFollower(std::shared_ptr<Follower> follower);
+
+  // KvStore
+  Status Put(const std::string& key, BytesView value) override;
+  Result<Bytes> Get(const std::string& key) const override;
+  Status Delete(const std::string& key) override;
+  bool Contains(const std::string& key) const override;
+  size_t Size() const override;
+  size_t ValueBytes() const override;
+  Status Sync() override;
+  Status Scan(const std::function<void(const std::string&, BytesView)>& fn)
+      const override;
+
+  // Replication introspection. Sequence numbers start at 1; follower_seq is
+  // the highest op a follower has durably applied (snapshots jump it).
+  uint64_t head_seq() const { return head_seq_.load(std::memory_order_acquire); }
+  size_t num_followers() const;
+  uint64_t follower_seq(size_t i) const;
+  /// Widest lag across followers, in ops (0 with no followers).
+  uint64_t MaxLagOps() const;
+  /// Snapshots shipped so far (tests assert the catch-up path actually ran).
+  uint64_t snapshots_shipped() const { return snapshots_.load(); }
+  /// Follower i's most recent shipping failure; OK while healthy (and again
+  /// once a retry succeeds). The "why is this follower lagging" signal.
+  Status follower_error(size_t i) const;
+  AckMode ack_mode() const { return options_.ack; }
+
+  /// Block until every follower has applied every op issued before the
+  /// call (or `timeout_ms` passes → Unavailable). Promotion and tests use
+  /// this to drain the async pipeline.
+  Status WaitCaughtUp(int64_t timeout_ms = 30'000);
+
+  const std::shared_ptr<store::KvStore>& primary() const { return primary_; }
+
+ private:
+  struct FollowerState {
+    std::shared_ptr<Follower> follower;
+    std::thread thread;
+    std::atomic<uint64_t> applied_seq{0};
+    bool needs_snapshot = true;       // guarded by mu_
+    Status last_error;                // guarded by mu_
+    uint64_t consecutive_failures = 0;  // guarded by mu_; drives backoff
+  };
+
+  Status Replicate(uint8_t kind, const std::string& key, BytesView value);
+  void ShipperLoop(FollowerState* state);
+  /// Record a shipping failure and sleep out its backoff (mu_ held on
+  /// entry and exit). Logs the first failure, then every 64th — a dead
+  /// follower must not flood the log at retry frequency.
+  void BackoffAfterFailureLocked(std::unique_lock<std::mutex>& lock,
+                                 FollowerState* state, const char* what,
+                                 Status error);
+  /// Followers with applied_seq >= seq (quorum accounting).
+  size_t AckCountLocked(uint64_t seq) const;
+  size_t QuorumFollowerAcks() const;
+
+  std::shared_ptr<store::KvStore> primary_;
+  ReplicatedKvOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // shipper wakeup: new ops or stop
+  std::condition_variable ack_cv_;   // writer wakeup: follower progress
+  std::deque<LoggedOp> log_;         // window [log_first_seq_, head_seq_]
+  uint64_t log_first_seq_ = 1;
+  std::atomic<uint64_t> head_seq_{0};
+  std::atomic<uint64_t> snapshots_{0};
+  bool stop_ = false;
+  // Shipper threads self-register here; vector only grows (AddFollower),
+  // entries are stable (unique_ptr) so atomics can be read without mu_.
+  std::vector<std::unique_ptr<FollowerState>> followers_;
+};
+
+}  // namespace tc::replica

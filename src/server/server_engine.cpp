@@ -1,6 +1,7 @@
 #include "server/server_engine.hpp"
 
 #include <algorithm>
+#include <set>
 
 #include "common/logging.hpp"
 #include "integrity/attestation.hpp"
@@ -118,6 +119,74 @@ void ServerEngine::RecoverGrantDirectory() {
   }
 }
 
+Status ServerEngine::Refresh() {
+  // Decode the store's current stream directory. Only NotFound means "no
+  // streams"; a transient store error must fail the refresh, not be
+  // mistaken for an empty directory and tear down every serving stream.
+  std::set<uint64_t> live;
+  auto dir = kv_->Get(kDirectoryKey);
+  if (!dir.ok() && dir.status().code() != StatusCode::kNotFound) {
+    return dir.status();
+  }
+  if (dir.ok()) {
+    BinaryReader r(*dir);
+    TC_ASSIGN_OR_RETURN(uint64_t count, r.GetVar());
+    for (uint64_t i = 0; i < count; ++i) {
+      TC_ASSIGN_OR_RETURN(uint64_t uuid, r.GetU64());
+      live.insert(uuid);
+    }
+  }
+
+  // Diff it against the in-memory registry.
+  std::vector<std::pair<uint64_t, std::shared_ptr<Stream>>> existing;
+  {
+    std::unique_lock lock(streams_mu_);
+    for (auto it = streams_.begin(); it != streams_.end();) {
+      if (live.contains(it->first)) {
+        existing.emplace_back(it->first, it->second);
+        ++it;
+      } else {
+        it = streams_.erase(it);  // deleted on the primary
+      }
+    }
+    for (uint64_t uuid : live) {
+      if (streams_.contains(uuid)) continue;
+      auto cfg_blob = kv_->Get(ConfigKey(uuid));
+      if (!cfg_blob.ok()) continue;  // directory shipped before the config
+      BinaryReader cfg_reader(*cfg_blob);
+      auto config = net::StreamConfig::Decode(cfg_reader);
+      if (!config.ok()) continue;
+      auto stream = OpenStream(uuid, *config, /*recover=*/true);
+      if (!stream.ok()) {
+        TC_LOG_WARN << "refresh: skipping stream " << uuid << ": "
+                    << stream.status().ToString();
+        continue;
+      }
+      streams_.emplace(uuid, std::move(*stream));
+    }
+  }
+
+  // Re-sync streams that already had handles: new appends moved their
+  // index position and (for integrity streams) grew the witness history.
+  for (auto& [uuid, stream] : existing) {
+    std::unique_lock stream_lock(stream->mu);
+    TC_RETURN_IF_ERROR(stream->tree->Refresh());
+    if (stream->witnesses) {
+      uint64_t n = stream->tree->num_chunks();
+      for (uint64_t i = stream->witnesses->size(); i < n; ++i) {
+        TC_ASSIGN_OR_RETURN(Bytes digest, stream->tree->LeafDigest(i));
+        Bytes payload;
+        if (auto stored = kv_->Get(ChunkKey(uuid, i)); stored.ok()) {
+          payload = std::move(*stored);
+        }
+        stream->witnesses->Append(
+            integrity::ChunkWitness(uuid, i, digest, payload));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
 Result<Bytes> ServerEngine::Handle(MessageType type, BytesView body) {
   switch (type) {
     case MessageType::kCreateStream: return CreateStream(body);
@@ -142,6 +211,10 @@ Result<Bytes> ServerEngine::Handle(MessageType type, BytesView body) {
     case MessageType::kGetChunkWitnessed: return GetChunkWitnessed(body);
     case MessageType::kPing: return Bytes{};
     case MessageType::kResponse: break;
+    // Replication frames target a follower's ReplicaApplier endpoint; a
+    // serving engine is never the right recipient.
+    case MessageType::kReplicaOps: break;
+    case MessageType::kReplicaSnapshot: break;
   }
   return InvalidArgument("unknown message type");
 }
@@ -288,11 +361,25 @@ Result<Bytes> ServerEngine::InsertChunk(BytesView body) {
   TC_ASSIGN_OR_RETURN(auto stream, FindStream(req.uuid));
 
   std::lock_guard lock(stream->mu);
-  TC_RETURN_IF_ERROR(stream->tree->Append(req.chunk_index, req.digest_blob));
+  // The append-only position check runs before any store write: a rejected
+  // insert (duplicate or gapped index) must not clobber a committed
+  // chunk's stored ciphertext.
+  if (req.chunk_index != stream->tree->num_chunks()) {
+    return FailedPrecondition(
+        "append-only index: expected chunk " +
+        std::to_string(stream->tree->num_chunks()) + ", got " +
+        std::to_string(req.chunk_index));
+  }
+  // Payload before index append: any store state where the index shows
+  // chunk n also holds n's payload. Replicas and crash recovery see
+  // mutation prefixes, and the reverse order would let them serve an index
+  // position whose payload never arrived. (A payload orphaned by an append
+  // failure is overwritten on retry.)
   if (!req.payload.empty()) {
     TC_RETURN_IF_ERROR(
         kv_->Put(ChunkKey(req.uuid, req.chunk_index), req.payload));
   }
+  TC_RETURN_IF_ERROR(stream->tree->Append(req.chunk_index, req.digest_blob));
   if (stream->witnesses) {
     // Mirror the producer's witness so audit paths can be served. The
     // producer computes the same hash over the same ciphertext bytes; any
@@ -315,11 +402,19 @@ Result<Bytes> ServerEngine::InsertChunkBatch(BytesView body) {
   // observable state as the equivalent InsertChunk sequence failing there).
   std::lock_guard lock(stream->mu);
   for (const auto& e : req.entries) {
-    TC_RETURN_IF_ERROR(stream->tree->Append(e.chunk_index, e.digest_blob));
+    // Position check before the payload write — see InsertChunk.
+    if (e.chunk_index != stream->tree->num_chunks()) {
+      return FailedPrecondition(
+          "append-only index: expected chunk " +
+          std::to_string(stream->tree->num_chunks()) + ", got " +
+          std::to_string(e.chunk_index));
+    }
+    // Payload before index append — see InsertChunk.
     if (!e.payload.empty()) {
       TC_RETURN_IF_ERROR(
           kv_->Put(ChunkKey(req.uuid, e.chunk_index), e.payload));
     }
+    TC_RETURN_IF_ERROR(stream->tree->Append(e.chunk_index, e.digest_blob));
     if (stream->witnesses) {
       stream->witnesses->Append(integrity::ChunkWitness(
           req.uuid, e.chunk_index, e.digest_blob, e.payload));

@@ -47,6 +47,17 @@ class ServerEngine final : public net::RequestHandler {
   // net::RequestHandler
   Result<Bytes> Handle(net::MessageType type, BytesView body) override;
 
+  /// Re-sync the in-memory serving state with a backing store that advanced
+  /// underneath this engine — the replica read path (src/replica): follower
+  /// stores receive shipped KV mutations, and the engine over them must
+  /// pick up new streams, new appends, and new witnesses before serving.
+  /// Diffs the stream directory (opening/closing streams), re-recovers each
+  /// index's append position with its node cache dropped, and extends
+  /// witness trees to the new chunk count. Key-store state (grants) is NOT
+  /// refreshed: replicas serve data reads only; grants are read on the
+  /// primary, and failover promotion rebuilds a full engine instead.
+  Status Refresh();
+
   /// Number of live streams.
   size_t NumStreams() const;
 

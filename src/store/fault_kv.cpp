@@ -53,6 +53,12 @@ bool FaultKvStore::Contains(const std::string& key) const {
   return inner_->Contains(key);
 }
 
+Status FaultKvStore::Scan(
+    const std::function<void(const std::string&, BytesView)>& fn) const {
+  if (options_.fail_all) return Fault();
+  return inner_->Scan(fn);
+}
+
 size_t FaultKvStore::Size() const { return inner_->Size(); }
 
 size_t FaultKvStore::ValueBytes() const { return inner_->ValueBytes(); }

@@ -39,6 +39,10 @@ class FaultKvStore final : public KvStore {
   bool Contains(const std::string& key) const override;
   size_t Size() const override;
   size_t ValueBytes() const override;
+  /// Scans fail only under the hard outage (no per-nth schedule: one scan
+  /// is one logical operation, not a countable stream of faults).
+  Status Scan(const std::function<void(const std::string&, BytesView)>& fn)
+      const override;
 
   /// Flip the hard-outage switch (all operations fail until cleared).
   void SetFailAll(bool fail_all) { options_.fail_all = fail_all; }

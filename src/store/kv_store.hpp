@@ -35,6 +35,20 @@ class KvStore {
   /// stores; durable stores (LogKvStore) override with a group-committing
   /// flush so many callers share one flush of the same appends.
   virtual Status Sync() { return Status::Ok(); }
+
+  /// Visit every (key, value) pair in unspecified order. The callback MUST
+  /// NOT call back into this store (implementations iterate under their
+  /// internal locks). Normal data paths never need this — identifiers are
+  /// computed, not discovered — it exists for whole-store operations:
+  /// replication snapshots ship a follower the complete state, and tests
+  /// compare stores byte-for-byte. Decorators without a natural iteration
+  /// inherit the Unimplemented default.
+  virtual Status Scan(
+      const std::function<void(const std::string& key, BytesView value)>& fn)
+      const {
+    (void)fn;
+    return Unimplemented("store does not support Scan");
+  }
 };
 
 }  // namespace tc::store

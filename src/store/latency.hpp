@@ -36,6 +36,11 @@ class LatencyKvStore final : public KvStore {
   }
   size_t Size() const override { return inner_->Size(); }
   size_t ValueBytes() const override { return inner_->ValueBytes(); }
+  Status Scan(const std::function<void(const std::string&, BytesView)>& fn)
+      const override {
+    Delay();  // one round trip: a remote scan streams, it does not chat
+    return inner_->Scan(fn);
+  }
 
   uint64_t ops() const { return ops_.load(); }
 

@@ -182,6 +182,15 @@ size_t LogKvStore::ValueBytes() const {
   return value_bytes_;
 }
 
+Status LogKvStore::Scan(
+    const std::function<void(const std::string&, BytesView)>& fn) const {
+  // mu_ is held for the whole walk, so a scan is an atomic snapshot and a
+  // concurrent Compact() cannot interleave (it rewrites under this mutex).
+  std::lock_guard lock(mu_);
+  for (const auto& [key, value] : map_) fn(key, value);
+  return Status::Ok();
+}
+
 Result<size_t> LogKvStore::Compact() {
   std::lock_guard lock(mu_);
   return CompactLocked();

@@ -44,6 +44,8 @@ class LogKvStore final : public KvStore {
   bool Contains(const std::string& key) const override;
   size_t Size() const override;
   size_t ValueBytes() const override;
+  Status Scan(const std::function<void(const std::string&, BytesView)>& fn)
+      const override;
 
   /// Rewrite the log keeping only live records. Returns bytes reclaimed.
   Result<size_t> Compact();

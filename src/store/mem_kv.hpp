@@ -23,6 +23,8 @@ class MemKvStore final : public KvStore {
   bool Contains(const std::string& key) const override;
   size_t Size() const override;
   size_t ValueBytes() const override;
+  Status Scan(const std::function<void(const std::string&, BytesView)>& fn)
+      const override;
 
  private:
   struct Shard {

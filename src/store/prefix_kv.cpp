@@ -28,4 +28,13 @@ size_t PrefixKvStore::ValueBytes() const { return backend_->ValueBytes(); }
 
 Status PrefixKvStore::Sync() { return backend_->Sync(); }
 
+Status PrefixKvStore::Scan(
+    const std::function<void(const std::string&, BytesView)>& fn) const {
+  return backend_->Scan([&](const std::string& key, BytesView value) {
+    if (key.size() < prefix_.size()) return;
+    if (key.compare(0, prefix_.size(), prefix_) != 0) return;
+    fn(key.substr(prefix_.size()), value);
+  });
+}
+
 }  // namespace tc::store

@@ -28,6 +28,11 @@ class PrefixKvStore final : public KvStore {
   size_t Size() const override;
   size_t ValueBytes() const override;
   Status Sync() override;
+  /// Visits only this view's slice: backend keys carrying the prefix, with
+  /// the prefix stripped — so a scan of a view round-trips through Put
+  /// unchanged, and sibling views' keys never leak in.
+  Status Scan(const std::function<void(const std::string&, BytesView)>& fn)
+      const override;
 
   const std::string& prefix() const { return prefix_; }
 

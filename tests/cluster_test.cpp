@@ -514,6 +514,9 @@ TEST(ShardRouter, ClusterInfoReportsPerShardPlacement) {
     EXPECT_EQ(s.num_streams, c.engines[s.shard]->NumStreams());
     total_streams += s.num_streams;
     total_bytes += s.index_bytes;
+    // Replica-less shards report empty replication health.
+    EXPECT_EQ(s.replicas, 0u);
+    EXPECT_EQ(s.max_lag_ops, 0u);
   }
   EXPECT_EQ(total_streams, 5u);
   EXPECT_EQ(total_bytes, c.router->TotalIndexBytes());

@@ -1,0 +1,589 @@
+// Replication layer tests: log shipping must converge followers onto the
+// primary's exact state, quorum acks must mean what they claim, snapshot
+// catch-up must reconverge empty/stale/diverged followers, replica read
+// routing must be invisible to clients, and failover promotion must serve
+// the complete pre-failure stream history in both ack modes.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <thread>
+
+#include "client/consumer.hpp"
+#include "client/owner.hpp"
+#include "cluster/shard_router.hpp"
+#include "replica/replica_set.hpp"
+#include "replica/replica_wire.hpp"
+#include "replica/replicated_kv.hpp"
+#include "server/server_engine.hpp"
+#include "store/fault_kv.hpp"
+#include "store/mem_kv.hpp"
+#include "store/prefix_kv.hpp"
+
+namespace tc {
+namespace {
+
+using client::ConsumerClient;
+using client::OwnerClient;
+using client::Principal;
+using cluster::ShardRouter;
+using replica::AckMode;
+using replica::LocalFollower;
+using replica::ReplicatedKvOptions;
+using replica::ReplicatedKvStore;
+using replica::ReplicaSet;
+using replica::ReplicaSetOptions;
+
+constexpr DurationMs kDelta = 10 * kSecond;
+
+std::map<std::string, Bytes> Contents(const store::KvStore& kv) {
+  std::map<std::string, Bytes> out;
+  EXPECT_TRUE(kv.Scan([&](const std::string& key, BytesView value) {
+                out.emplace(key, Bytes(value.begin(), value.end()));
+              }).ok());
+  return out;
+}
+
+net::StreamConfig HeacConfig(const std::string& name) {
+  net::StreamConfig c;
+  c.name = name;
+  c.t0 = 0;
+  c.delta_ms = kDelta;
+  c.schema.with_sum = true;
+  c.schema.with_count = true;
+  c.cipher = net::CipherKind::kHeac;
+  c.fanout = 4;
+  return c;
+}
+
+net::StreamConfig PlainConfig(const std::string& name) {
+  auto c = HeacConfig(name);
+  c.cipher = net::CipherKind::kPlain;
+  return c;
+}
+
+Status IngestChunks(OwnerClient& owner, uint64_t uuid, uint64_t first,
+                    uint64_t count) {
+  for (uint64_t c = first; c < first + count; ++c) {
+    for (int i = 0; i < 5; ++i) {
+      TC_RETURN_IF_ERROR(owner.InsertRecord(
+          uuid, {static_cast<Timestamp>(c * kDelta + i * 1000),
+                 static_cast<int64_t>(c + 1)}));
+    }
+  }
+  return owner.Flush(uuid);
+}
+
+int64_t OracleSum(uint64_t first, uint64_t last) {
+  int64_t sum = 0;
+  for (uint64_t c = first; c < last; ++c) sum += 5 * (c + 1);
+  return sum;
+}
+
+// --------------------------------------------------------- ReplicatedKvStore
+
+TEST(ReplicatedKv, ShipsPutsAndDeletesToFollowers) {
+  auto rkv = std::make_shared<ReplicatedKvStore>(
+      std::make_shared<store::MemKvStore>());
+  auto f0 = std::make_shared<store::MemKvStore>();
+  auto f1 = std::make_shared<store::MemKvStore>();
+  rkv->AddFollower(std::make_shared<LocalFollower>(f0));
+  rkv->AddFollower(std::make_shared<LocalFollower>(f1));
+
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        rkv->Put("k" + std::to_string(i), ToBytes("v" + std::to_string(i)))
+            .ok());
+  }
+  for (int i = 0; i < 50; i += 3) {
+    ASSERT_TRUE(rkv->Delete("k" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(rkv->WaitCaughtUp().ok());
+
+  auto expected = Contents(*rkv);
+  EXPECT_FALSE(expected.contains("k0"));
+  EXPECT_TRUE(expected.contains("k1"));
+  EXPECT_EQ(Contents(*f0), expected);
+  EXPECT_EQ(Contents(*f1), expected);
+  EXPECT_EQ(rkv->MaxLagOps(), 0u);
+  EXPECT_EQ(rkv->follower_seq(0), rkv->head_seq());
+}
+
+TEST(ReplicatedKv, SnapshotSeedsEmptyAndReconvergesDivergedFollowers) {
+  auto rkv = std::make_shared<ReplicatedKvStore>(
+      std::make_shared<store::MemKvStore>());
+  ASSERT_TRUE(rkv->Put("a", ToBytes("1")).ok());
+  ASSERT_TRUE(rkv->Put("b", ToBytes("2")).ok());
+
+  // One empty follower, one holding stale garbage (a diverged ex-peer):
+  // registration snapshots both — extra keys go, missing keys arrive.
+  auto empty = std::make_shared<store::MemKvStore>();
+  auto stale = std::make_shared<store::MemKvStore>();
+  ASSERT_TRUE(stale->Put("zombie", ToBytes("boo")).ok());
+  ASSERT_TRUE(stale->Put("a", ToBytes("wrong")).ok());
+  rkv->AddFollower(std::make_shared<LocalFollower>(empty));
+  rkv->AddFollower(std::make_shared<LocalFollower>(stale));
+  ASSERT_TRUE(rkv->WaitCaughtUp().ok());
+
+  EXPECT_EQ(Contents(*empty), Contents(*rkv));
+  EXPECT_EQ(Contents(*stale), Contents(*rkv));
+  EXPECT_FALSE(stale->Contains("zombie"));
+  EXPECT_GE(rkv->snapshots_shipped(), 2u);
+}
+
+/// Follower whose application can be held shut (quorum/lag tests).
+class GatedFollower final : public replica::Follower {
+ public:
+  explicit GatedFollower(std::shared_ptr<store::KvStore> kv)
+      : inner_(std::move(kv)) {}
+
+  Status ApplyOps(std::span<const replica::LoggedOp> ops) override {
+    if (!open_.load()) return Unavailable("gate closed");
+    return inner_.ApplyOps(ops);
+  }
+  Status ApplySnapshot(
+      uint64_t seq,
+      const std::vector<std::pair<std::string, Bytes>>& entries) override {
+    if (!open_.load()) return Unavailable("gate closed");
+    return inner_.ApplySnapshot(seq, entries);
+  }
+
+  void Open() { open_.store(true); }
+  void Close() { open_.store(false); }
+
+ private:
+  LocalFollower inner_;
+  std::atomic<bool> open_{true};
+};
+
+TEST(ReplicatedKv, QuorumPutReturnsOnlyAfterFollowerHoldsIt) {
+  ReplicatedKvOptions options;
+  options.ack = AckMode::kQuorum;
+  auto rkv = std::make_shared<ReplicatedKvStore>(
+      std::make_shared<store::MemKvStore>(), options);
+  auto fkv = std::make_shared<store::MemKvStore>();
+  auto gate = std::make_shared<GatedFollower>(fkv);
+  rkv->AddFollower(gate);
+
+  // Gate open: the quorum (primary + 1 of 1 follower) means the follower
+  // must hold every acknowledged write by the time Put returns.
+  for (int i = 0; i < 10; ++i) {
+    std::string key = "q" + std::to_string(i);
+    ASSERT_TRUE(rkv->Put(key, ToBytes("v")).ok());
+    EXPECT_TRUE(fkv->Contains(key)) << key;
+  }
+}
+
+TEST(ReplicatedKv, QuorumBlocksWhileFollowerIsStuckAndTimesOut) {
+  ReplicatedKvOptions options;
+  options.ack = AckMode::kQuorum;
+  options.quorum_timeout_ms = 300;
+  auto rkv = std::make_shared<ReplicatedKvStore>(
+      std::make_shared<store::MemKvStore>(), options);
+  auto fkv = std::make_shared<store::MemKvStore>();
+  auto gate = std::make_shared<GatedFollower>(fkv);
+  gate->Close();
+  rkv->AddFollower(gate);
+
+  // The write lands on the primary but the ack never comes: semi-sync
+  // reports the write failed after the timeout, and the follower's health
+  // surfaces why it is lagging.
+  Status s = rkv->Put("k", ToBytes("v"));
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(rkv->Contains("k"));
+  EXPECT_FALSE(fkv->Contains("k"));
+  EXPECT_EQ(rkv->follower_error(0).code(), StatusCode::kUnavailable);
+
+  // Re-open the gate: the pipeline drains and quorum writes succeed again.
+  gate->Open();
+  ASSERT_TRUE(rkv->Put("k2", ToBytes("v2")).ok());
+  EXPECT_TRUE(fkv->Contains("k2"));
+  EXPECT_TRUE(fkv->Contains("k"));  // the stalled op shipped too
+  EXPECT_TRUE(rkv->follower_error(0).ok());  // health cleared on recovery
+}
+
+TEST(ReplicatedKv, FollowerBehindTheLogWindowIsSnapshotFed) {
+  ReplicatedKvOptions options;
+  options.max_log_ops = 8;  // tiny retained window
+  auto rkv = std::make_shared<ReplicatedKvStore>(
+      std::make_shared<store::MemKvStore>(), options);
+  auto fkv = std::make_shared<store::MemKvStore>();
+  auto gate = std::make_shared<GatedFollower>(fkv);
+  rkv->AddFollower(gate);
+  ASSERT_TRUE(rkv->WaitCaughtUp().ok());
+  uint64_t seeded = rkv->snapshots_shipped();
+
+  // Stall the follower and write far past the window, overwriting the same
+  // keys so streaming the ops and applying the snapshot differ in work but
+  // not in outcome.
+  gate->Close();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        rkv->Put("k" + std::to_string(i % 10), ToBytes(std::to_string(i)))
+            .ok());
+  }
+  gate->Open();
+  ASSERT_TRUE(rkv->WaitCaughtUp().ok());
+  EXPECT_GT(rkv->snapshots_shipped(), seeded);
+  EXPECT_EQ(Contents(*fkv), Contents(*rkv));
+}
+
+// ------------------------------------------------------------ wire follower
+
+TEST(ReplicaWire, RemoteFollowerConvergesThroughApplier) {
+  // Follower node: an applier over its local store, reachable through a
+  // transport — the multi-process deployment shape, in-proc here.
+  auto follower_kv = std::make_shared<store::MemKvStore>();
+  ASSERT_TRUE(follower_kv->Put("stale", ToBytes("x")).ok());
+  auto applier = std::make_shared<replica::ReplicaApplier>(follower_kv);
+  auto transport = std::make_shared<net::InProcTransport>(applier);
+
+  auto rkv = std::make_shared<ReplicatedKvStore>(
+      std::make_shared<store::MemKvStore>());
+  ASSERT_TRUE(rkv->Put("pre", ToBytes("1")).ok());
+  rkv->AddFollower(std::make_shared<replica::RemoteFollower>(transport));
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(rkv->Put("k" + std::to_string(i), ToBytes("v")).ok());
+  }
+  ASSERT_TRUE(rkv->Delete("k7").ok());
+  ASSERT_TRUE(rkv->WaitCaughtUp().ok());
+
+  EXPECT_EQ(Contents(*follower_kv), Contents(*rkv));
+  EXPECT_FALSE(follower_kv->Contains("stale"));
+  EXPECT_EQ(applier->applied_seq(), rkv->head_seq());
+
+  // Re-delivered prefixes are idempotent at the applier.
+  net::ReplicaOpsRequest replay;
+  replay.first_seq = 1;
+  replay.ops.push_back({net::kReplicaOpPut, "pre", ToBytes("1")});
+  auto ack = applier->Handle(net::MessageType::kReplicaOps, replay.Encode());
+  ASSERT_TRUE(ack.ok());
+  EXPECT_EQ(net::ReplicaAckResponse::Decode(*ack)->applied_seq,
+            rkv->head_seq());
+
+  // A follower endpoint is not a serving engine.
+  EXPECT_FALSE(applier->Handle(net::MessageType::kGetStatRange, {}).ok());
+}
+
+// --------------------------------------------------------------- ReplicaSet
+
+struct ReplicatedCluster {
+  std::shared_ptr<store::MemKvStore> backend;
+  std::vector<std::shared_ptr<ReplicaSet>> sets;
+  std::shared_ptr<ShardRouter> router;
+  std::shared_ptr<net::InProcTransport> transport;
+
+  Status WaitCaughtUp() {
+    for (auto& set : sets) TC_RETURN_IF_ERROR(set->WaitCaughtUp());
+    return Status::Ok();
+  }
+};
+
+ReplicatedCluster MakeReplicatedCluster(size_t shards, size_t replicas,
+                                        AckMode ack,
+                                        uint64_t max_read_lag_ops = 0) {
+  ReplicatedCluster c;
+  c.backend = std::make_shared<store::MemKvStore>();
+  for (size_t i = 0; i < shards; ++i) {
+    auto primary = std::make_shared<store::PrefixKvStore>(
+        c.backend, "s" + std::to_string(i) + "/");
+    std::vector<std::shared_ptr<store::KvStore>> followers;
+    for (size_t j = 0; j < replicas; ++j) {
+      followers.push_back(std::make_shared<store::PrefixKvStore>(
+          c.backend, "s" + std::to_string(i) + "r" + std::to_string(j) + "/"));
+    }
+    server::ServerOptions engine_options;
+    engine_options.shard_id = static_cast<uint32_t>(i);
+    ReplicaSetOptions options;
+    options.kv.ack = ack;
+    options.max_read_lag_ops = max_read_lag_ops;
+    c.sets.push_back(ReplicaSet::Make(std::move(primary), std::move(followers),
+                                      engine_options, options));
+  }
+  c.router = std::make_shared<ShardRouter>(c.sets);
+  c.transport = std::make_shared<net::InProcTransport>(c.router);
+  return c;
+}
+
+TEST(ReplicaSet, ReadsAreServedByReplicasAndMatchThePrimary) {
+  auto c = MakeReplicatedCluster(2, 2, AckMode::kAsync);
+  OwnerClient owner(c.transport);
+  auto uuid = owner.CreateStream(HeacConfig("replicated"));
+  ASSERT_TRUE(uuid.ok());
+  ASSERT_TRUE(IngestChunks(owner, *uuid, 0, 12).ok());
+  ASSERT_TRUE(c.WaitCaughtUp().ok());
+
+  for (int round = 0; round < 6; ++round) {
+    auto stats = owner.GetStatRange(*uuid, {0, 12 * kDelta});
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->stats.Sum().value(), OracleSum(0, 12));
+    auto points = owner.GetRange(*uuid, {0, 3 * kDelta});
+    ASSERT_TRUE(points.ok()) << points.status().ToString();
+    EXPECT_EQ(points->size(), 15u);
+  }
+  auto& set = c.sets[c.router->ShardOf(*uuid)];
+  EXPECT_GT(set->replica_reads(), 0u);
+  // Caught-up replicas answer everything; the primary is never consulted.
+  EXPECT_EQ(set->primary_reads(), 0u);
+
+  // Streams created after the replicas attached appear on them too (the
+  // refresh picks up directory changes, not just appends).
+  auto fresh = owner.CreateStream(HeacConfig("late"));
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_TRUE(IngestChunks(owner, *fresh, 0, 4).ok());
+  ASSERT_TRUE(c.WaitCaughtUp().ok());
+  auto stats = owner.GetStatRange(*fresh, {0, 4 * kDelta});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->stats.Sum().value(), OracleSum(0, 4));
+}
+
+TEST(ReplicaSet, LaggingReplicaIsSkippedUntilCaughtUp) {
+  // Followers over hard-failing stores cannot apply anything: every read
+  // must fall back to the primary rather than serve a stale replica.
+  auto backend = std::make_shared<store::MemKvStore>();
+  auto primary = std::make_shared<store::PrefixKvStore>(backend, "p/");
+  store::FaultOptions fault;
+  fault.fail_all = true;
+  auto fault_kv = std::make_shared<store::FaultKvStore>(
+      std::make_shared<store::PrefixKvStore>(backend, "r0/"), fault);
+  auto set = ReplicaSet::Make(primary, {fault_kv}, {}, {});
+
+  net::CreateStreamRequest create{42, PlainConfig("lagging")};
+  ASSERT_TRUE(
+      set->Handle(net::MessageType::kCreateStream, create.Encode()).ok());
+  auto cipher = index::MakePlainCipher(2);
+  for (uint64_t ch = 0; ch < 4; ++ch) {
+    std::vector<uint64_t> fields{ch + 1, 1};
+    net::InsertChunkRequest req{42, ch, *cipher->Encrypt(fields, ch), {}};
+    ASSERT_TRUE(
+        set->Handle(net::MessageType::kInsertChunk, req.Encode()).ok());
+  }
+  net::StatRangeRequest stat{42, {0, 4 * kDelta}};
+  auto resp = set->HandleRead(net::MessageType::kGetStatRange, stat.Encode());
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(set->replica_reads(), 0u);
+  EXPECT_GT(set->primary_reads(), 0u);
+
+  // Heal the follower: once caught up, it serves.
+  fault_kv->SetFailAll(false);
+  ASSERT_TRUE(set->WaitCaughtUp().ok());
+  resp = set->HandleRead(net::MessageType::kGetStatRange, stat.Encode());
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_GT(set->replica_reads(), 0u);
+}
+
+TEST(ReplicaSet, WitnessedReadsServeFromReplicas) {
+  auto c = MakeReplicatedCluster(1, 1, AckMode::kAsync);
+  auto config = PlainConfig("witnessed");
+  config.integrity = true;
+  net::CreateStreamRequest create{7, config};
+  ASSERT_TRUE(
+      c.transport->Call(net::MessageType::kCreateStream, create.Encode()).ok());
+  auto cipher = index::MakePlainCipher(2);
+  for (uint64_t ch = 0; ch < 6; ++ch) {
+    std::vector<uint64_t> fields{ch, 1};
+    net::InsertChunkRequest req{7, ch, *cipher->Encrypt(fields, ch),
+                                ToBytes("sealed" + std::to_string(ch))};
+    ASSERT_TRUE(
+        c.transport->Call(net::MessageType::kInsertChunk, req.Encode()).ok());
+  }
+  ASSERT_TRUE(c.WaitCaughtUp().ok());
+
+  // Proof-less bulk witnessed read (at_size = 0) must come back identical
+  // from the replica path and the primary engine directly.
+  net::GetChunkWitnessedRequest req{7, 0, 6, 0};
+  auto via_router =
+      c.transport->Call(net::MessageType::kGetChunkWitnessed, req.Encode());
+  ASSERT_TRUE(via_router.ok()) << via_router.status().ToString();
+  auto via_primary =
+      c.sets[0]->primary()->Handle(net::MessageType::kGetChunkWitnessed,
+                                   req.Encode());
+  ASSERT_TRUE(via_primary.ok());
+  EXPECT_EQ(*via_router, *via_primary);
+  EXPECT_GT(c.sets[0]->replica_reads(), 0u);
+}
+
+TEST(ReplicaSet, RejectedDuplicateInsertDoesNotClobberStoredPayload) {
+  // The payload-before-append ordering must not let a rejected duplicate
+  // insert overwrite a committed chunk's ciphertext: the position check
+  // runs before any store write.
+  auto engine = std::make_shared<server::ServerEngine>(
+      std::make_shared<store::MemKvStore>());
+  net::CreateStreamRequest create{9, PlainConfig("dup")};
+  ASSERT_TRUE(
+      engine->Handle(net::MessageType::kCreateStream, create.Encode()).ok());
+  auto cipher = index::MakePlainCipher(2);
+  std::vector<uint64_t> fields{1, 1};
+  net::InsertChunkRequest first{9, 0, *cipher->Encrypt(fields, 0),
+                                ToBytes("committed")};
+  ASSERT_TRUE(
+      engine->Handle(net::MessageType::kInsertChunk, first.Encode()).ok());
+
+  net::InsertChunkRequest dup{9, 0, *cipher->Encrypt(fields, 0),
+                              ToBytes("clobber")};
+  EXPECT_EQ(engine->Handle(net::MessageType::kInsertChunk, dup.Encode())
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+  net::InsertChunkBatchRequest dup_batch{9, {{0, *cipher->Encrypt(fields, 0),
+                                              ToBytes("clobber")}}};
+  EXPECT_EQ(engine
+                ->Handle(net::MessageType::kInsertChunkBatch,
+                         dup_batch.Encode())
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+
+  net::GetRangeRequest range{9, {0, kDelta}};
+  auto resp = engine->Handle(net::MessageType::kGetRange, range.Encode());
+  ASSERT_TRUE(resp.ok());
+  auto chunks = net::GetRangeResponse::Decode(*resp);
+  ASSERT_TRUE(chunks.ok());
+  ASSERT_EQ(chunks->chunks.size(), 1u);
+  EXPECT_EQ(ToString(chunks->chunks[0].payload), "committed");
+}
+
+// ----------------------------------------------------------------- failover
+
+void RunFailoverDrill(AckMode ack) {
+  auto c = MakeReplicatedCluster(2, 2, ack);
+  OwnerClient owner(c.transport);
+  Principal alice{"alice", crypto::GenerateBoxKeyPair()};
+
+  std::vector<uint64_t> uuids;
+  std::vector<int64_t> sums;
+  std::vector<size_t> point_counts;
+  for (int s = 0; s < 4; ++s) {
+    auto created = owner.CreateStream(HeacConfig("fo" + std::to_string(s)));
+    ASSERT_TRUE(created.ok());
+    uuids.push_back(*created);
+    ASSERT_TRUE(IngestChunks(owner, *created, 0, 10).ok());
+    ASSERT_TRUE(owner
+                    .GrantAccess(*created, alice.id, alice.keys.public_key,
+                                 {0, 10 * kDelta}, 1)
+                    .ok());
+    auto stats = owner.GetStatRange(*created, {0, 10 * kDelta});
+    ASSERT_TRUE(stats.ok());
+    sums.push_back(stats->stats.Sum().value());
+    auto points = owner.GetRange(*created, {0, 10 * kDelta});
+    ASSERT_TRUE(points.ok());
+    point_counts.push_back(points->size());
+  }
+  // Async mode only guarantees what has shipped; drain before the "crash"
+  // (quorum mode guarantees acked writes survive by construction, but the
+  // drill drops BOTH shards' primaries, so drain regardless).
+  ASSERT_TRUE(c.WaitCaughtUp().ok());
+
+  // Drop every shard's primary. Writes must fail; replica reads survive.
+  // (The failed write is probed at the wire so the owner's client-side
+  // retry buffer stays empty for the post-promotion ingest below.)
+  for (auto& set : c.sets) ASSERT_TRUE(set->DropPrimary().ok());
+  net::InsertChunkRequest probe{uuids[0], 10, ToBytes("digest"), {}};
+  EXPECT_EQ(c.transport->Call(net::MessageType::kInsertChunk, probe.Encode())
+                .status()
+                .code(),
+            StatusCode::kUnavailable);
+  {
+    auto stats = owner.GetStatRange(uuids[0], {0, 10 * kDelta});
+    ASSERT_TRUE(stats.ok()) << "replica reads during failover: "
+                            << stats.status().ToString();
+    EXPECT_EQ(stats->stats.Sum().value(), sums[0]);
+  }
+
+  // Promote. The complete pre-failure history must be served: chunk
+  // counts, raw range reads, and decrypted statistical sums identical.
+  for (auto& set : c.sets) {
+    ASSERT_TRUE(set->Promote().ok());
+    EXPECT_EQ(set->promotions(), 1u);
+    EXPECT_EQ(set->num_replicas(), 1u);  // one follower became primary
+  }
+  for (size_t s = 0; s < uuids.size(); ++s) {
+    net::DeleteStreamRequest info_req{uuids[s]};
+    auto info_blob = c.transport->Call(net::MessageType::kGetStreamInfo,
+                                       info_req.Encode());
+    ASSERT_TRUE(info_blob.ok()) << info_blob.status().ToString();
+    EXPECT_EQ(net::StreamInfoResponse::Decode(*info_blob)->num_chunks, 10u);
+
+    auto stats = owner.GetStatRange(uuids[s], {0, 10 * kDelta});
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->stats.Sum().value(), sums[s]);
+    auto points = owner.GetRange(uuids[s], {0, 10 * kDelta});
+    ASSERT_TRUE(points.ok());
+    EXPECT_EQ(points->size(), point_counts[s]);
+  }
+
+  // Grants survived too (the promoted engine recovered key-store state):
+  // the consumer fetches and decrypts through the new primaries.
+  ConsumerClient consumer(c.transport, alice);
+  auto n = consumer.FetchGrants();
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 4);
+  auto consumed = consumer.GetStatRange(uuids[1], {0, 10 * kDelta});
+  ASSERT_TRUE(consumed.ok()) << consumed.status().ToString();
+  EXPECT_EQ(consumed->stats.Sum().value(), sums[1]);
+
+  // The promoted primaries accept new writes, replicated to the survivor.
+  ASSERT_TRUE(IngestChunks(owner, uuids[0], 10, 2).ok());
+  ASSERT_TRUE(c.WaitCaughtUp().ok());
+  auto extended = owner.GetStatRange(uuids[0], {0, 12 * kDelta});
+  ASSERT_TRUE(extended.ok());
+  EXPECT_EQ(extended->stats.Sum().value(), OracleSum(0, 12));
+}
+
+TEST(Failover, PromotedFollowerServesFullHistoryAsync) {
+  RunFailoverDrill(AckMode::kAsync);
+}
+
+TEST(Failover, PromotedFollowerServesFullHistoryQuorum) {
+  RunFailoverDrill(AckMode::kQuorum);
+}
+
+TEST(Failover, DropAndPromoteGuardrails) {
+  auto single = ReplicaSet::Single(std::make_shared<server::ServerEngine>(
+      std::make_shared<store::MemKvStore>()));
+  EXPECT_EQ(single->DropPrimary().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(single->Promote().code(), StatusCode::kFailedPrecondition);
+
+  auto set = ReplicaSet::Make(std::make_shared<store::MemKvStore>(),
+                              {std::make_shared<store::MemKvStore>()}, {}, {});
+  EXPECT_EQ(set->Promote().code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(set->DropPrimary().ok());
+  EXPECT_EQ(set->DropPrimary().code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(set->Promote().ok());
+  // The group is down to its last copy: a second failover has nothing to
+  // promote onto.
+  ASSERT_TRUE(set->DropPrimary().ok());
+  EXPECT_EQ(set->Promote().code(), StatusCode::kFailedPrecondition);
+}
+
+// --------------------------------------------------------------- shard meta
+
+TEST(ShardMeta, BindPersistsAndRejectsLayoutChanges) {
+  store::MemKvStore kv;
+  ASSERT_TRUE(cluster::BindShardMeta(kv, 2, 4).ok());
+  // Same layout re-binds cleanly (restart with the same --shards).
+  EXPECT_TRUE(cluster::BindShardMeta(kv, 2, 4).ok());
+  // A different shard count (or id) fails fast instead of silently
+  // re-homing streams away from their on-disk state.
+  EXPECT_EQ(cluster::BindShardMeta(kv, 2, 8).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(cluster::BindShardMeta(kv, 1, 4).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ShardMeta, MetaKeyReplicatesWithTheShard) {
+  // Binding through the replicated store ships the layout to followers, so
+  // a promoted follower refuses a wrong --shards just like the original.
+  auto rkv = std::make_shared<ReplicatedKvStore>(
+      std::make_shared<store::MemKvStore>());
+  auto fkv = std::make_shared<store::MemKvStore>();
+  rkv->AddFollower(std::make_shared<LocalFollower>(fkv));
+  ASSERT_TRUE(cluster::BindShardMeta(*rkv, 0, 2).ok());
+  ASSERT_TRUE(rkv->WaitCaughtUp().ok());
+  EXPECT_TRUE(cluster::BindShardMeta(*fkv, 0, 2).ok());
+  EXPECT_EQ(cluster::BindShardMeta(*fkv, 0, 3).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace tc

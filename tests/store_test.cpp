@@ -1,15 +1,19 @@
 // Storage substrate tests: sharded in-memory KV, file-backed log KV with
-// restart/compaction, byte-budget LRU cache, latency decorator.
+// restart/compaction, prefix views, byte-budget LRU cache, latency
+// decorator, and Scan interactions with replication catch-up.
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <filesystem>
+#include <map>
 #include <thread>
 
+#include "replica/replicated_kv.hpp"
 #include "store/latency.hpp"
 #include "store/log_kv.hpp"
 #include "store/lru_cache.hpp"
 #include "store/mem_kv.hpp"
+#include "store/prefix_kv.hpp"
 
 namespace tc::store {
 namespace {
@@ -286,6 +290,128 @@ TEST(LruCacheTest, EraseAndClear) {
   cache.Clear();
   EXPECT_EQ(cache.entry_count(), 0u);
   EXPECT_EQ(cache.size_bytes(), 0u);
+}
+
+std::map<std::string, std::string> ScanAll(const KvStore& kv) {
+  std::map<std::string, std::string> out;
+  EXPECT_TRUE(kv.Scan([&](const std::string& key, BytesView value) {
+                out.emplace(key, ToString(value));
+              }).ok());
+  return out;
+}
+
+TEST(ScanTest, MemAndLogStoresVisitEveryPair) {
+  MemKvStore mem(4);
+  ASSERT_TRUE(mem.Put("a", ToBytes("1")).ok());
+  ASSERT_TRUE(mem.Put("b", ToBytes("2")).ok());
+  ASSERT_TRUE(mem.Delete("a").ok());
+  EXPECT_EQ(ScanAll(mem),
+            (std::map<std::string, std::string>{{"b", "2"}}));
+
+  auto path = std::filesystem::temp_directory_path() /
+              ("tc_scan_test_" + std::to_string(::getpid()));
+  std::filesystem::remove(path);
+  {
+    auto log = LogKvStore::Open(path.string());
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE((*log)->Put("x", ToBytes("9")).ok());
+    ASSERT_TRUE((*log)->Put("y", ToBytes("8")).ok());
+    EXPECT_EQ(ScanAll(**log), (std::map<std::string, std::string>{
+                                  {"x", "9"}, {"y", "8"}}));
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(PrefixKvTest, EmptyPrefixIsATransparentView) {
+  auto backend = std::make_shared<MemKvStore>();
+  PrefixKvStore view(backend, "");
+  ASSERT_TRUE(view.Put("k", ToBytes("v")).ok());
+  EXPECT_EQ(ToString(*backend->Get("k")), "v");
+  EXPECT_EQ(ScanAll(view), ScanAll(*backend));
+  ASSERT_TRUE(view.Delete("k").ok());
+  EXPECT_EQ(backend->Size(), 0u);
+}
+
+TEST(PrefixKvTest, NestedViewsComposePrefixes) {
+  auto backend = std::make_shared<MemKvStore>();
+  auto outer = std::make_shared<PrefixKvStore>(backend, "a/");
+  PrefixKvStore inner(outer, "b/");
+  ASSERT_TRUE(inner.Put("k", ToBytes("v")).ok());
+  EXPECT_TRUE(backend->Contains("a/b/k"));
+  EXPECT_EQ(ToString(*inner.Get("k")), "v");
+  // Each layer's Scan strips its own prefix: the inner view round-trips
+  // bare keys, the outer view sees the inner namespace.
+  EXPECT_EQ(ScanAll(inner),
+            (std::map<std::string, std::string>{{"k", "v"}}));
+  EXPECT_EQ(ScanAll(*outer),
+            (std::map<std::string, std::string>{{"b/k", "v"}}));
+  ASSERT_TRUE(inner.Delete("k").ok());
+  EXPECT_EQ(backend->Size(), 0u);
+}
+
+TEST(PrefixKvTest, ScanExcludesLexicalNeighborsOfThePrefix) {
+  // "s1/" must not capture "s10/..." or the bare "s1" key, and a key that
+  // merely starts with the prefix's first bytes ("s1" alone, "s1.") stays
+  // out — the boundary is an exact prefix match, not a range guess.
+  auto backend = std::make_shared<MemKvStore>();
+  ASSERT_TRUE(backend->Put("s1/inside", ToBytes("yes")).ok());
+  ASSERT_TRUE(backend->Put("s1/", ToBytes("empty-key")).ok());
+  ASSERT_TRUE(backend->Put("s10/outside", ToBytes("no")).ok());
+  ASSERT_TRUE(backend->Put("s1", ToBytes("no")).ok());
+  ASSERT_TRUE(backend->Put("s1.z", ToBytes("no")).ok());
+  ASSERT_TRUE(backend->Put("s2/other", ToBytes("no")).ok());
+  PrefixKvStore view(backend, "s1/");
+  EXPECT_EQ(ScanAll(view), (std::map<std::string, std::string>{
+                               {"", "empty-key"}, {"inside", "yes"}}));
+}
+
+TEST_F(LogKvTest, CompactionDuringFollowerCatchUpKeepsStoresIdentical) {
+  // A primary log full of dead bytes compacts while a follower is being
+  // seeded and streamed to: the snapshot Scan and Compact serialize on the
+  // store's mutex, so the follower must converge to the exact live set no
+  // matter how the two interleave — and survive its own reopen.
+  auto follower_path = path_.string() + ".follower";
+  std::filesystem::remove(follower_path);
+  {
+    auto primary = LogKvStore::Open(path_.string());
+    ASSERT_TRUE(primary.ok());
+    LogKvStore* primary_raw = primary->get();
+    auto rkv = std::make_shared<replica::ReplicatedKvStore>(
+        std::shared_ptr<KvStore>(std::move(*primary)));
+    // Churn: overwrites and deletes accumulate dead bytes pre-attach.
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(rkv->Put("k" + std::to_string(i % 20),
+                           Bytes(256, static_cast<uint8_t>(i)))
+                      .ok());
+    }
+    ASSERT_TRUE(rkv->Delete("k0").ok());
+    EXPECT_GT(primary_raw->DeadBytes(), 0u);
+
+    auto follower = LogKvStore::Open(follower_path);
+    ASSERT_TRUE(follower.ok());
+    std::shared_ptr<KvStore> follower_kv = std::move(*follower);
+    rkv->AddFollower(std::make_shared<replica::LocalFollower>(follower_kv));
+    // Compact mid-catch-up, then keep churning so streaming continues past
+    // the snapshot.
+    ASSERT_TRUE(primary_raw->Compact().ok());
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(rkv->Put("post" + std::to_string(i % 5),
+                           Bytes(64, static_cast<uint8_t>(i)))
+                      .ok());
+    }
+    ASSERT_TRUE(primary_raw->Compact().ok());
+    ASSERT_TRUE(rkv->WaitCaughtUp().ok());
+    EXPECT_EQ(ScanAll(*follower_kv), ScanAll(*rkv));
+  }
+  // The follower's own log replays to the same state.
+  {
+    auto reopened = LogKvStore::Open(follower_path);
+    ASSERT_TRUE(reopened.ok());
+    auto primary = LogKvStore::Open(path_.string());
+    ASSERT_TRUE(primary.ok());
+    EXPECT_EQ(ScanAll(**reopened), ScanAll(**primary));
+  }
+  std::filesystem::remove(follower_path);
 }
 
 TEST(LatencyKvTest, DelegatesAndCounts) {

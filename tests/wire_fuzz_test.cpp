@@ -84,6 +84,12 @@ std::vector<NamedDecoder> AllDecoders() {
        [](BytesView in) { return InsertChunkBatchRequest::Decode(in).ok(); }},
       {"ClusterInfoResponse",
        [](BytesView in) { return ClusterInfoResponse::Decode(in).ok(); }},
+      {"ReplicaOps",
+       [](BytesView in) { return ReplicaOpsRequest::Decode(in).ok(); }},
+      {"ReplicaSnapshot",
+       [](BytesView in) { return ReplicaSnapshotRequest::Decode(in).ok(); }},
+      {"ReplicaAck",
+       [](BytesView in) { return ReplicaAckResponse::Decode(in).ok(); }},
   };
 }
 
@@ -146,9 +152,20 @@ std::vector<Bytes> ValidEncodings() {
   batch.entries.push_back({5, ToBytes("digest-5"), ToBytes("payload-5")});
   out.push_back(batch.Encode());
   ClusterInfoResponse cluster;
-  cluster.shards.push_back({0, 3, 4096});
+  cluster.shards.push_back({0, 3, 4096, 2, ClusterInfoResponse::kAckQuorum, 5});
   cluster.shards.push_back({1, 2, 2048});
   out.push_back(cluster.Encode());
+  ReplicaOpsRequest rops;
+  rops.first_seq = 12;
+  rops.ops.push_back({kReplicaOpPut, "chunk/7/0", ToBytes("sealed")});
+  rops.ops.push_back({kReplicaOpDelete, "chunk/7/1", {}});
+  out.push_back(rops.Encode());
+  ReplicaSnapshotRequest snap;
+  snap.seq = 13;
+  snap.entries.emplace_back("meta/streams", ToBytes("dir"));
+  snap.entries.emplace_back("chunk/7/0", ToBytes("sealed"));
+  out.push_back(snap.Encode());
+  out.push_back(ReplicaAckResponse{13}.Encode());
   client::AccessGrant grant;
   grant.stream_uuid = 7;
   grant.kind = client::GrantKind::kFullResolution;
@@ -231,6 +248,41 @@ TEST(WireFuzz, LengthPrefixedVectorsRejectAbsurdCounts) {
   EXPECT_FALSE(InsertChunkBatchRequest::Decode(hostile_at(8)).ok());
   // ClusterInfoResponse: count is the first field.
   EXPECT_FALSE(ClusterInfoResponse::Decode(hostile_at(0)).ok());
+  // Replica messages: count follows an 8-byte sequence number.
+  EXPECT_FALSE(ReplicaOpsRequest::Decode(hostile_at(8)).ok());
+  EXPECT_FALSE(ReplicaSnapshotRequest::Decode(hostile_at(8)).ok());
+}
+
+TEST(WireFuzz, ReplicaOpsRejectsMalformedOps) {
+  // Valid baseline round-trips.
+  ReplicaOpsRequest good;
+  good.first_seq = 5;
+  good.ops = {{kReplicaOpPut, "k", ToBytes("v")}, {kReplicaOpDelete, "k", {}}};
+  auto decoded = ReplicaOpsRequest::Decode(good.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->first_seq, 5u);
+  ASSERT_EQ(decoded->ops.size(), 2u);
+  EXPECT_EQ(decoded->ops[0], good.ops[0]);
+
+  // Unknown op kind: rejected at decode, not trusted into the store.
+  BinaryWriter bad_kind;
+  bad_kind.PutU64(5);
+  bad_kind.PutVar(1);
+  bad_kind.PutU8(9);
+  bad_kind.PutString("k");
+  bad_kind.PutBytes(ToBytes("v"));
+  EXPECT_EQ(ReplicaOpsRequest::Decode(bad_kind.data()).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // A delete smuggling a value is a malformed frame.
+  BinaryWriter del_val;
+  del_val.PutU64(5);
+  del_val.PutVar(1);
+  del_val.PutU8(kReplicaOpDelete);
+  del_val.PutString("k");
+  del_val.PutBytes(ToBytes("v"));
+  EXPECT_EQ(ReplicaOpsRequest::Decode(del_val.data()).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(WireFuzz, InsertChunkBatchRejectsMalformedFrames) {

@@ -44,8 +44,12 @@ void Usage() {
       "           statistical range query (owner keys)\n"
       "  range    --uuid U --start MS --end MS    raw decrypted points\n"
       "  info     --uuid U               server-side stream info\n"
-      "  cluster-info                    per-shard stream counts and index "
-      "bytes\n"
+      "  cluster-info                    per-shard stream counts, index "
+      "bytes,\n"
+      "                                  and replication health\n"
+      "  replica-info                    per-shard replica count, ack mode, "
+      "and\n"
+      "                                  max replica lag\n"
       "  attest   --uuid U               sign + publish the stream head\n"
       "  verify   --uuid U --start MS --end MS    verified stat query\n"
       "  keygen                          consumer identity; prints public "
@@ -267,6 +271,11 @@ int CmdInfo(const Flags& flags) {
   return 0;
 }
 
+const char* AckName(uint8_t ack_mode, uint32_t replicas) {
+  if (replicas == 0) return "-";
+  return ack_mode == net::ClusterInfoResponse::kAckQuorum ? "quorum" : "async";
+}
+
 int CmdClusterInfo(const Flags& flags) {
   auto transport = Connect(flags);
   if (!transport.ok()) Die(transport.status());
@@ -275,15 +284,37 @@ int CmdClusterInfo(const Flags& flags) {
   auto info = net::ClusterInfoResponse::Decode(*payload);
   if (!info.ok()) Die(info.status());
   uint64_t total_streams = 0, total_bytes = 0;
-  std::puts("shard   streams   index-bytes");
+  std::puts("shard   streams   index-bytes  replicas  ack     max-lag");
   for (const auto& s : info->shards) {
-    std::printf("%5u %9" PRIu64 " %13" PRIu64 "\n", s.shard, s.num_streams,
-                s.index_bytes);
+    std::printf("%5u %9" PRIu64 " %13" PRIu64 " %9u  %-6s %8" PRIu64 "\n",
+                s.shard, s.num_streams, s.index_bytes, s.replicas,
+                AckName(s.ack_mode, s.replicas), s.max_lag_ops);
     total_streams += s.num_streams;
     total_bytes += s.index_bytes;
   }
   std::printf("total %9" PRIu64 " %13" PRIu64 "  (%zu shard(s))\n",
               total_streams, total_bytes, info->shards.size());
+  return 0;
+}
+
+int CmdReplicaInfo(const Flags& flags) {
+  auto transport = Connect(flags);
+  if (!transport.ok()) Die(transport.status());
+  auto payload = (*transport)->Call(net::MessageType::kClusterInfo, {});
+  if (!payload.ok()) Die(payload.status());
+  auto info = net::ClusterInfoResponse::Decode(*payload);
+  if (!info.ok()) Die(info.status());
+  uint32_t replicated_shards = 0;
+  uint64_t worst_lag = 0;
+  std::puts("shard  replicas  ack     max-lag-ops");
+  for (const auto& s : info->shards) {
+    std::printf("%5u %9u  %-6s %12" PRIu64 "\n", s.shard, s.replicas,
+                AckName(s.ack_mode, s.replicas), s.max_lag_ops);
+    if (s.replicas > 0) ++replicated_shards;
+    if (s.max_lag_ops > worst_lag) worst_lag = s.max_lag_ops;
+  }
+  std::printf("%u of %zu shard(s) replicated, worst lag %" PRIu64 " op(s)\n",
+              replicated_shards, info->shards.size(), worst_lag);
   return 0;
 }
 
@@ -410,6 +441,7 @@ int Run(int argc, char** argv) {
   if (cmd == "range") return CmdRange(flags, state_dir);
   if (cmd == "info") return CmdInfo(flags);
   if (cmd == "cluster-info") return CmdClusterInfo(flags);
+  if (cmd == "replica-info") return CmdReplicaInfo(flags);
   if (cmd == "attest") return CmdAttest(flags, state_dir);
   if (cmd == "verify") return CmdVerify(flags, state_dir);
   if (cmd == "keygen") return CmdKeygen(flags, state_dir);

@@ -8,18 +8,27 @@
 // With --shards N the daemon runs N independent engine shards behind a
 // ShardRouter: streams are partitioned by uuid hash, single-stream
 // requests route lock-free to their shard, and cluster-wide requests
-// scatter-gather (§3.2 horizontal scaling, in one process). Shard
-// placement is a pure hash of (uuid, N): restart with the same N and each
-// shard recovers exactly the streams it owned.
+// scatter-gather (§3.2 horizontal scaling, in one process). The shard
+// count is persisted per store and verified on reopen — placement is a
+// pure hash of (uuid, N), so restarting with a different N would orphan
+// the on-disk streams, and the daemon refuses to.
+//
+// With --replicas R every shard ships its mutations to R follower stores
+// (src/replica): read-only queries round-robin across caught-up replicas,
+// and a lost primary can be failed over to a promoted follower. --ack
+// picks the ingest ack discipline (async fire-and-forget vs semi-sync
+// quorum).
 //
 //   tcserver --port 4433 --store log --path /var/lib/timecrypt.log
 //   tcserver --shards 4 --store log --path /var/lib/timecrypt.log --sync
+//   tcserver --shards 4 --replicas 2 --ack quorum
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 
 #include "cluster/shard_router.hpp"
 #include "net/tcp.hpp"
+#include "replica/replica_set.hpp"
 #include "server/server_engine.hpp"
 #include "store/log_kv.hpp"
 #include "store/mem_kv.hpp"
@@ -40,9 +49,19 @@ void Usage() {
       "  --port N        TCP port to listen on (default 4433; 0 = ephemeral)\n"
       "  --store KIND    mem | log (default mem)\n"
       "  --path FILE     log-store path (default ./timecrypt.log); with\n"
-      "                  --shards N > 1, shard i logs to FILE.shard<i>\n"
+      "                  --shards N > 1, shard i logs to FILE.shard<i>;\n"
+      "                  replica j of shard i logs to FILE.shard<i>.r<j>\n"
       "  --shards N      engine shards, streams partitioned by uuid hash\n"
-      "                  (default 1; keep N stable across restarts)\n"
+      "                  (default 1; persisted per store and verified on\n"
+      "                  reopen — a mismatch refuses to start)\n"
+      "  --replicas R    follower stores per shard (default 0): mutations\n"
+      "                  ship to them, read-only queries scatter across\n"
+      "                  them, failover promotes one\n"
+      "  --ack MODE      async | quorum (default async): return from a\n"
+      "                  write when the primary applied it, or only after\n"
+      "                  a majority of the replica group holds it\n"
+      "  --read-lag N    serve a read from a replica lagging at most N ops\n"
+      "                  behind the primary (default 0 = fully caught up)\n"
       "  --sync          flush the log store after every ingest message\n"
       "                  (batches group-commit into one flush)\n"
       "  --compact-pct P auto-compact a shard's log when dead bytes exceed\n"
@@ -65,6 +84,26 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--shards must be in [1, 1024]\n");
     return 1;
   }
+  int64_t replicas = flags.GetInt("replicas", 0);
+  if (replicas < 0 || replicas > 8) {
+    std::fprintf(stderr, "--replicas must be in [0, 8]\n");
+    return 1;
+  }
+  int64_t read_lag = flags.GetInt("read-lag", 0);
+  if (read_lag < 0) {
+    std::fprintf(stderr, "--read-lag must be >= 0\n");
+    return 1;
+  }
+  std::string ack_name = flags.Get("ack", "async");
+  replica::AckMode ack;
+  if (ack_name == "async") {
+    ack = replica::AckMode::kAsync;
+  } else if (ack_name == "quorum") {
+    ack = replica::AckMode::kQuorum;
+  } else {
+    std::fprintf(stderr, "--ack must be async or quorum\n");
+    return 1;
+  }
   std::string store_kind = flags.Get("store", "mem");
   store::LogKvOptions log_options;
   log_options.compact_dead_fraction =
@@ -77,37 +116,64 @@ int main(int argc, char** argv) {
 
   // One KV namespace per shard: prefix views over a shared memory store,
   // or one log file per shard for durable mode (independent append paths —
-  // the cluster's ingest scaling lever).
-  std::vector<std::shared_ptr<server::ServerEngine>> engines;
+  // the cluster's ingest scaling lever). Follower stores get their own
+  // namespaces/files next to their shard's.
   std::shared_ptr<store::MemKvStore> mem_backend;
-  for (int64_t i = 0; i < shards; ++i) {
-    std::shared_ptr<store::KvStore> kv;
+  auto make_store = [&](const std::string& ns,
+                        const std::string& file_suffix)
+      -> std::shared_ptr<store::KvStore> {
     if (store_kind == "mem") {
-      if (shards == 1) {
-        kv = std::make_shared<store::MemKvStore>();
-      } else {
-        if (!mem_backend) mem_backend = std::make_shared<store::MemKvStore>();
-        kv = std::make_shared<store::PrefixKvStore>(
-            mem_backend, "s" + std::to_string(i) + "/");
+      if (shards == 1 && replicas == 0) {
+        return std::make_shared<store::MemKvStore>();
       }
-    } else if (store_kind == "log") {
-      std::string path = flags.Get("path", "timecrypt.log");
-      if (shards > 1) path += ".shard" + std::to_string(i);
-      auto log = store::LogKvStore::Open(path, log_options);
-      if (!log.ok()) tools::Die(log.status());
-      kv = std::move(*log);
-    } else {
-      std::fprintf(stderr, "unknown --store kind: %s\n", store_kind.c_str());
-      return 1;
+      if (!mem_backend) mem_backend = std::make_shared<store::MemKvStore>();
+      return std::make_shared<store::PrefixKvStore>(mem_backend, ns);
     }
+    std::string path = flags.Get("path", "timecrypt.log") + file_suffix;
+    auto log = store::LogKvStore::Open(path, log_options);
+    if (!log.ok()) tools::Die(log.status());
+    return std::move(*log);
+  };
+
+  std::vector<std::shared_ptr<replica::ReplicaSet>> sets;
+  for (int64_t i = 0; i < shards; ++i) {
+    std::string shard_suffix =
+        shards > 1 ? ".shard" + std::to_string(i) : std::string{};
+    auto primary_kv =
+        make_store("s" + std::to_string(i) + "/", shard_suffix);
+    // Fail fast on a reused store laid out for a different shard count —
+    // silent re-homing would serve none of the recovered streams.
+    if (auto bound = cluster::BindShardMeta(*primary_kv,
+                                            static_cast<uint32_t>(i),
+                                            static_cast<uint32_t>(shards));
+        !bound.ok()) {
+      tools::Die(bound);
+    }
+
     server::ServerOptions shard_options = options;
     shard_options.shard_id = static_cast<uint32_t>(i);
-    engines.push_back(
-        std::make_shared<server::ServerEngine>(std::move(kv), shard_options));
+    if (replicas == 0) {
+      sets.push_back(replica::ReplicaSet::Single(
+          std::make_shared<server::ServerEngine>(std::move(primary_kv),
+                                                 shard_options)));
+      continue;
+    }
+    std::vector<std::shared_ptr<store::KvStore>> follower_kvs;
+    for (int64_t j = 0; j < replicas; ++j) {
+      follower_kvs.push_back(
+          make_store("s" + std::to_string(i) + "r" + std::to_string(j) + "/",
+                     shard_suffix + ".r" + std::to_string(j)));
+    }
+    replica::ReplicaSetOptions set_options;
+    set_options.kv.ack = ack;
+    set_options.max_read_lag_ops = static_cast<uint64_t>(read_lag);
+    sets.push_back(replica::ReplicaSet::Make(std::move(primary_kv),
+                                             std::move(follower_kvs),
+                                             shard_options, set_options));
   }
 
   size_t recovered = 0;
-  for (const auto& engine : engines) recovered += engine->NumStreams();
+  for (const auto& set : sets) recovered += set->NumStreams();
   if (recovered > 0) {
     std::printf("recovered %zu stream(s) from %s store across %lld shard(s)\n",
                 recovered, store_kind.c_str(),
@@ -115,18 +181,21 @@ int main(int argc, char** argv) {
   }
 
   std::shared_ptr<net::RequestHandler> handler;
-  if (shards == 1) {
-    handler = engines[0];
+  if (shards == 1 && replicas == 0) {
+    handler = sets[0]->primary();
   } else {
-    handler = std::make_shared<cluster::ShardRouter>(engines);
+    handler = std::make_shared<cluster::ShardRouter>(sets);
   }
 
   net::TcpServer server(handler,
                         static_cast<uint16_t>(flags.GetInt("port", 4433)));
   if (auto started = server.Start(); !started.ok()) tools::Die(started);
-  std::printf("tcserver listening on 127.0.0.1:%u (store: %s, shards: %lld)\n",
-              server.port(), store_kind.c_str(),
-              static_cast<long long>(shards));
+  std::string ack_note = replicas > 0 ? ", ack: " + ack_name : std::string{};
+  std::printf(
+      "tcserver listening on 127.0.0.1:%u (store: %s, shards: %lld, "
+      "replicas: %lld%s)\n",
+      server.port(), store_kind.c_str(), static_cast<long long>(shards),
+      static_cast<long long>(replicas), ack_note.c_str());
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);
