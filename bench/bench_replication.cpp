@@ -1,5 +1,5 @@
-// Replication benchmark: what do read replicas buy, and what does quorum
-// ack cost?
+// Replication benchmark: what do read replicas buy, what does quorum ack
+// cost, and what does streaming snapshot catch-up save?
 //
 //  1. Read scatter: a fixed reader-thread pool fires GetStatRange at a
 //     sharded router, replica-less vs 2 replicas per shard. Every replica
@@ -12,13 +12,19 @@
 //     quorum ack with 2 followers per shard. Quorum pays one shipper
 //     round trip per mutation — the price of "a majority holds it" — and
 //     the run reports the throughput ratio.
+//  3. Snapshot catch-up: seeding an empty follower from a populated store,
+//     monolithic (one unbounded chunk — PR 3's full-copy behavior) vs
+//     streaming (bounded chunks). Reports wall time and the peak-RSS
+//     delta of the catch-up, the number chunking exists to bound.
 //
 // `--quick` shrinks sizes for the CI smoke run. Results depend on
 // available cores; like bench_cluster, the speedup column needs real
 // parallelism to land on.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <functional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -27,6 +33,7 @@
 #include "index/digest_cipher.hpp"
 #include "net/messages.hpp"
 #include "replica/replica_set.hpp"
+#include "replica/replica_wire.hpp"
 #include "server/server_engine.hpp"
 #include "store/mem_kv.hpp"
 #include "store/prefix_kv.hpp"
@@ -226,6 +233,89 @@ void BenchAckOverhead(size_t shards, size_t streams, uint64_t chunks) {
   std::printf("\n");
 }
 
+// ----------------------------------------------------- snapshot catch-up
+
+/// Peak RSS (VmHWM) in KiB from /proc/self/status; 0 if unreadable.
+uint64_t PeakRssKb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return std::strtoull(line.c_str() + 6, nullptr, 10);
+    }
+  }
+  return 0;
+}
+
+/// Reset the peak-RSS watermark to the current RSS (Linux: writing "5" to
+/// /proc/self/clear_refs). Returns false where unsupported — the peak
+/// column is then cumulative, not per-phase.
+bool ResetPeakRss() {
+  std::ofstream clear_refs("/proc/self/clear_refs");
+  if (!clear_refs) return false;
+  clear_refs << "5";
+  return static_cast<bool>(clear_refs);
+}
+
+void BenchSnapshotCatchup(size_t entries, size_t value_bytes) {
+  std::printf(
+      "== snapshot catch-up: seed an empty follower from %zu x %zu-byte "
+      "entries ==\n",
+      entries, value_bytes);
+  const bool rss_resettable = ResetPeakRss();
+  if (!rss_resettable) {
+    std::printf("(peak-RSS reset unsupported; peak column is cumulative)\n");
+  }
+  std::printf("%11s %9s %9s %11s %10s\n", "mode", "chunks", "wall",
+              "entries/s", "peak-delta");
+
+  struct Mode {
+    const char* name;
+    size_t chunk_bytes;
+    size_t chunk_entries;
+  };
+  // Monolithic first: its unbounded frame sets the high-water mark the
+  // streaming run must stay under, so ordering is the conservative choice
+  // even where the watermark cannot be reset.
+  for (const Mode& mode : {Mode{"monolithic", SIZE_MAX, SIZE_MAX},
+                           Mode{"streaming", 256 << 10, 1024}}) {
+    replica::ReplicatedKvOptions options;
+    options.snapshot_chunk_bytes = mode.chunk_bytes;
+    options.snapshot_chunk_entries = mode.chunk_entries;
+    options.max_log_ops = 16;  // keep the op-log window out of the RSS story
+    auto rkv = std::make_shared<replica::ReplicatedKvStore>(
+        std::make_shared<store::MemKvStore>(), options);
+    Bytes value(value_bytes, 0xab);
+    for (size_t i = 0; i < entries; ++i) {
+      // Distinct suffixes so values are not trivially shareable.
+      std::string key = "chunk/" + std::to_string(i);
+      value[i % value_bytes] = static_cast<uint8_t>(i);
+      if (!rkv->Put(key, value).ok()) std::abort();
+    }
+
+    // Follower across the wire shape (encode + decode per frame), applying
+    // into its own store — the realistic memory profile of catch-up.
+    auto follower_kv = std::make_shared<store::MemKvStore>();
+    auto applier = std::make_shared<replica::ReplicaApplier>(follower_kv);
+    (void)ResetPeakRss();
+    uint64_t peak_before = PeakRssKb();
+    WallTimer timer;
+    rkv->AddFollower(std::make_shared<replica::RemoteFollower>(
+        std::make_shared<net::InProcTransport>(applier)));
+    if (!rkv->WaitCaughtUp(120'000).ok()) std::abort();
+    double wall = timer.Seconds();
+    uint64_t peak_after = PeakRssKb();
+    if (follower_kv->Size() < entries) std::abort();
+
+    double rate = static_cast<double>(entries) / wall;
+    std::printf("%11s %9llu %9s %10.1fk %9.1fM\n", mode.name,
+                static_cast<unsigned long long>(rkv->snapshot_chunks_shipped()),
+                FmtMicros(wall * 1e6).c_str(), rate / 1000.0,
+                static_cast<double>(peak_after - peak_before) / 1024.0);
+  }
+  std::printf("\n");
+}
+
 }  // namespace
 }  // namespace tc::bench
 
@@ -249,5 +339,6 @@ int main(int argc, char** argv) {
   uint64_t queries = quick ? 500 : 10'000;
   BenchReadScatter(shards, streams, chunks, threads, queries);
   BenchAckOverhead(shards, streams, quick ? 128 : 1024);
+  BenchSnapshotCatchup(quick ? 4000 : 30'000, quick ? 1024 : 2048);
   return 0;
 }

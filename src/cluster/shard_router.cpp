@@ -84,8 +84,12 @@ ShardRouter::ShardRouter(
   }
 }
 
+size_t PlaceShard(uint64_t uuid, size_t num_shards) {
+  return num_shards <= 1 ? 0 : static_cast<size_t>(Mix64(uuid) % num_shards);
+}
+
 size_t ShardRouter::ShardOf(uint64_t uuid) const {
-  return static_cast<size_t>(Mix64(uuid) % sets_.size());
+  return PlaceShard(uuid, sets_.size());
 }
 
 size_t ShardRouter::NumStreams() const {
@@ -131,9 +135,14 @@ Result<Bytes> ShardRouter::Handle(MessageType type, BytesView body) {
     case MessageType::kPing: return Broadcast(type, body);
     case MessageType::kRollupStream: return RollupStream(body);
     case MessageType::kResponse: break;
-    // Replication frames address a follower endpoint, not the cluster.
+    // Replication frames address a follower endpoint (and kReplicaHello a
+    // PrimaryCoordinator wrapping this router), not the cluster itself.
     case MessageType::kReplicaOps: break;
-    case MessageType::kReplicaSnapshot: break;
+    case MessageType::kReplicaHello: break;
+    case MessageType::kReplicaSnapshotBegin: break;
+    case MessageType::kReplicaSnapshotChunk: break;
+    case MessageType::kReplicaSnapshotEnd: break;
+    case MessageType::kReplicaHeartbeat: break;
   }
   return InvalidArgument("unknown message type");
 }
@@ -198,6 +207,11 @@ Result<Bytes> ShardRouter::ClusterInfo() {
                         ? net::ClusterInfoResponse::kAckQuorum
                         : net::ClusterInfoResponse::kAckAsync;
     info.max_lag_ops = sets_[i]->MaxLagOps();
+    info.remote_followers =
+        static_cast<uint32_t>(sets_[i]->num_remote_followers());
+    info.auto_failover = sets_[i]->auto_failover() ? 1 : 0;
+    info.promotions = static_cast<uint32_t>(sets_[i]->promotions());
+    info.snapshot_chunks = sets_[i]->snapshot_chunks_shipped();
     resp.shards.push_back(info);
   }
   return resp.Encode();

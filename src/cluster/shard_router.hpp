@@ -44,6 +44,12 @@ struct RouterOptions {
   size_t scatter_threads = 0;
 };
 
+/// Stream placement: the shard owning `uuid` among `num_shards` — a pure
+/// stateless hash, identical across restarts and across every node running
+/// the same shard count (follower daemons use it to route reads without a
+/// router instance).
+size_t PlaceShard(uint64_t uuid, size_t num_shards);
+
 /// Persist-or-verify the cluster layout in a shard's store. On a fresh
 /// store the (shard_id, num_shards) pair is written under a meta key; on a
 /// reused store a mismatch fails fast — stream placement is a pure hash of

@@ -163,6 +163,10 @@ Bytes ClusterInfoResponse::Encode() const {
     w.PutU32(s.replicas);
     w.PutU8(s.ack_mode);
     w.PutU64(s.max_lag_ops);
+    w.PutU32(s.remote_followers);
+    w.PutU8(s.auto_failover);
+    w.PutU32(s.promotions);
+    w.PutU64(s.snapshot_chunks);
   }
   return std::move(w).Take();
 }
@@ -184,6 +188,13 @@ Result<ClusterInfoResponse> ClusterInfoResponse::Decode(BytesView in) {
       return InvalidArgument("unknown replica ack mode");
     }
     TC_ASSIGN_OR_RETURN(s.max_lag_ops, r.GetU64());
+    TC_ASSIGN_OR_RETURN(s.remote_followers, r.GetU32());
+    TC_ASSIGN_OR_RETURN(s.auto_failover, r.GetU8());
+    if (s.auto_failover > 1) {
+      return InvalidArgument("auto_failover is a boolean flag");
+    }
+    TC_ASSIGN_OR_RETURN(s.promotions, r.GetU32());
+    TC_ASSIGN_OR_RETURN(s.snapshot_chunks, r.GetU64());
     resp.shards.push_back(s);
   }
   return resp;
@@ -597,9 +608,10 @@ Result<GetChunkWitnessedResponse> GetChunkWitnessedResponse::Decode(
 }
 
 Bytes ReplicaOpsRequest::Encode() const {
-  size_t bytes = 16;
+  size_t bytes = 24;
   for (const auto& op : ops) bytes += op.key.size() + op.value.size() + 16;
   BinaryWriter w(bytes);
+  w.PutU32(shard);
   w.PutU64(first_seq);
   w.PutVar(ops.size());
   for (const auto& op : ops) {
@@ -613,6 +625,7 @@ Bytes ReplicaOpsRequest::Encode() const {
 Result<ReplicaOpsRequest> ReplicaOpsRequest::Decode(BytesView in) {
   BinaryReader r(in);
   ReplicaOpsRequest req;
+  TC_ASSIGN_OR_RETURN(req.shard, r.GetU32());
   TC_ASSIGN_OR_RETURN(req.first_seq, r.GetU64());
   TC_ASSIGN_OR_RETURN(uint64_t claimed, r.GetVar());
   TC_ASSIGN_OR_RETURN(size_t count, CheckedCount(claimed, r));
@@ -633,14 +646,33 @@ Result<ReplicaOpsRequest> ReplicaOpsRequest::Decode(BytesView in) {
   return req;
 }
 
-Bytes ReplicaSnapshotRequest::Encode(
-    uint64_t seq, std::span<const std::pair<std::string, Bytes>> entries) {
-  size_t bytes = 16;
+Bytes ReplicaSnapshotBeginRequest::Encode() const {
+  BinaryWriter w;
+  w.PutU32(shard);
+  w.PutU64(origin);
+  w.PutU64(seq);
+  return std::move(w).Take();
+}
+
+Result<ReplicaSnapshotBeginRequest> ReplicaSnapshotBeginRequest::Decode(
+    BytesView in) {
+  BinaryReader r(in);
+  ReplicaSnapshotBeginRequest req;
+  TC_ASSIGN_OR_RETURN(req.shard, r.GetU32());
+  TC_ASSIGN_OR_RETURN(req.origin, r.GetU64());
+  TC_ASSIGN_OR_RETURN(req.seq, r.GetU64());
+  return req;
+}
+
+Bytes ReplicaSnapshotChunkRequest::Encode() const {
+  size_t bytes = 32;
   for (const auto& [key, value] : entries) {
     bytes += key.size() + value.size() + 16;
   }
   BinaryWriter w(bytes);
+  w.PutU32(shard);
   w.PutU64(seq);
+  w.PutU64(first_index);
   w.PutVar(entries.size());
   for (const auto& [key, value] : entries) {
     w.PutString(key);
@@ -649,10 +681,13 @@ Bytes ReplicaSnapshotRequest::Encode(
   return std::move(w).Take();
 }
 
-Result<ReplicaSnapshotRequest> ReplicaSnapshotRequest::Decode(BytesView in) {
+Result<ReplicaSnapshotChunkRequest> ReplicaSnapshotChunkRequest::Decode(
+    BytesView in) {
   BinaryReader r(in);
-  ReplicaSnapshotRequest req;
+  ReplicaSnapshotChunkRequest req;
+  TC_ASSIGN_OR_RETURN(req.shard, r.GetU32());
   TC_ASSIGN_OR_RETURN(req.seq, r.GetU64());
+  TC_ASSIGN_OR_RETURN(req.first_index, r.GetU64());
   TC_ASSIGN_OR_RETURN(uint64_t claimed, r.GetVar());
   TC_ASSIGN_OR_RETURN(size_t count, CheckedCount(claimed, r));
   req.entries.reserve(count);
@@ -663,6 +698,38 @@ Result<ReplicaSnapshotRequest> ReplicaSnapshotRequest::Decode(BytesView in) {
     req.entries.emplace_back(std::move(key), std::move(value));
   }
   return req;
+}
+
+Bytes ReplicaSnapshotEndRequest::Encode() const {
+  BinaryWriter w;
+  w.PutU32(shard);
+  w.PutU64(seq);
+  w.PutU64(total_entries);
+  return std::move(w).Take();
+}
+
+Result<ReplicaSnapshotEndRequest> ReplicaSnapshotEndRequest::Decode(
+    BytesView in) {
+  BinaryReader r(in);
+  ReplicaSnapshotEndRequest req;
+  TC_ASSIGN_OR_RETURN(req.shard, r.GetU32());
+  TC_ASSIGN_OR_RETURN(req.seq, r.GetU64());
+  TC_ASSIGN_OR_RETURN(req.total_entries, r.GetU64());
+  return req;
+}
+
+Bytes ReplicaSnapshotAckResponse::Encode() const {
+  BinaryWriter w;
+  w.PutU64(entries);
+  return std::move(w).Take();
+}
+
+Result<ReplicaSnapshotAckResponse> ReplicaSnapshotAckResponse::Decode(
+    BytesView in) {
+  BinaryReader r(in);
+  ReplicaSnapshotAckResponse resp;
+  TC_ASSIGN_OR_RETURN(resp.entries, r.GetU64());
+  return resp;
 }
 
 Bytes ReplicaAckResponse::Encode() const {
@@ -676,6 +743,81 @@ Result<ReplicaAckResponse> ReplicaAckResponse::Decode(BytesView in) {
   ReplicaAckResponse resp;
   TC_ASSIGN_OR_RETURN(resp.applied_seq, r.GetU64());
   return resp;
+}
+
+Bytes ReplicaHelloRequest::Encode() const {
+  BinaryWriter w;
+  w.PutU32(shard);
+  w.PutU32(num_shards);
+  w.PutU64(applied_seq);
+  w.PutU64(store_fingerprint);
+  w.PutString(host);
+  w.PutU32(port);
+  return std::move(w).Take();
+}
+
+Result<ReplicaHelloRequest> ReplicaHelloRequest::Decode(BytesView in) {
+  BinaryReader r(in);
+  ReplicaHelloRequest req;
+  TC_ASSIGN_OR_RETURN(req.shard, r.GetU32());
+  TC_ASSIGN_OR_RETURN(req.num_shards, r.GetU32());
+  if (req.num_shards == 0 || req.shard >= req.num_shards) {
+    return InvalidArgument("replica hello shard id outside its shard count");
+  }
+  TC_ASSIGN_OR_RETURN(req.applied_seq, r.GetU64());
+  TC_ASSIGN_OR_RETURN(req.store_fingerprint, r.GetU64());
+  TC_ASSIGN_OR_RETURN(req.host, r.GetString());
+  TC_ASSIGN_OR_RETURN(req.port, r.GetU32());
+  if (req.port == 0 || req.port > 65535) {
+    return InvalidArgument("replica hello carries an invalid port");
+  }
+  return req;
+}
+
+Bytes ReplicaHelloResponse::Encode() const {
+  BinaryWriter w;
+  w.PutU64(head_seq);
+  w.PutU32(heartbeat_ms);
+  return std::move(w).Take();
+}
+
+Result<ReplicaHelloResponse> ReplicaHelloResponse::Decode(BytesView in) {
+  BinaryReader r(in);
+  ReplicaHelloResponse resp;
+  TC_ASSIGN_OR_RETURN(resp.head_seq, r.GetU64());
+  TC_ASSIGN_OR_RETURN(resp.heartbeat_ms, r.GetU32());
+  return resp;
+}
+
+Bytes ReplicaHeartbeatRequest::Encode() const {
+  BinaryWriter w;
+  w.PutU32(shard);
+  w.PutU64(head_seq);
+  w.PutVar(peers.size());
+  for (const auto& peer : peers) {
+    w.PutString(peer.host);
+    w.PutU32(peer.port);
+    w.PutU64(peer.applied_seq);
+  }
+  return std::move(w).Take();
+}
+
+Result<ReplicaHeartbeatRequest> ReplicaHeartbeatRequest::Decode(BytesView in) {
+  BinaryReader r(in);
+  ReplicaHeartbeatRequest req;
+  TC_ASSIGN_OR_RETURN(req.shard, r.GetU32());
+  TC_ASSIGN_OR_RETURN(req.head_seq, r.GetU64());
+  TC_ASSIGN_OR_RETURN(uint64_t claimed, r.GetVar());
+  TC_ASSIGN_OR_RETURN(size_t count, CheckedCount(claimed, r));
+  req.peers.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Peer peer;
+    TC_ASSIGN_OR_RETURN(peer.host, r.GetString());
+    TC_ASSIGN_OR_RETURN(peer.port, r.GetU32());
+    TC_ASSIGN_OR_RETURN(peer.applied_seq, r.GetU64());
+    req.peers.push_back(std::move(peer));
+  }
+  return req;
 }
 
 }  // namespace tc::net

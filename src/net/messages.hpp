@@ -108,6 +108,14 @@ struct ClusterInfoResponse {
     uint32_t replicas = 0;
     uint8_t ack_mode = kAckAsync;
     uint64_t max_lag_ops = 0;
+    // Daemon topology + failover health: socket-registered follower
+    // processes, whether heartbeat-driven failover is armed, how many
+    // promotions this shard has survived, and how many bounded snapshot
+    // chunks catch-up has shipped (the streaming-catch-up witness).
+    uint32_t remote_followers = 0;
+    uint8_t auto_failover = 0;
+    uint32_t promotions = 0;
+    uint64_t snapshot_chunks = 0;
   };
   std::vector<ShardInfo> shards;
 
@@ -341,6 +349,8 @@ inline constexpr uint8_t kReplicaOpDelete = 2;
 /// A contiguous run of sequence-numbered mutations: entry i carries
 /// sequence number first_seq + i. Followers apply strictly in order, so a
 /// follower's store is always a prefix of the primary's mutation history.
+/// `shard` routes the frame inside a follower daemon replicating several
+/// shards over one endpoint.
 struct ReplicaOpsRequest {
   struct Op {
     uint8_t kind = kReplicaOpPut;
@@ -349,6 +359,7 @@ struct ReplicaOpsRequest {
 
     friend bool operator==(const Op&, const Op&) = default;
   };
+  uint32_t shard = 0;
   uint64_t first_seq = 0;
   std::vector<Op> ops;
 
@@ -356,29 +367,116 @@ struct ReplicaOpsRequest {
   static Result<ReplicaOpsRequest> Decode(BytesView in);
 };
 
-/// Full-state catch-up for an empty, stale, or lagging follower: the
-/// complete (key, value) set of the primary as of sequence number `seq`.
-/// Applying a snapshot also deletes follower keys absent from it, so a
-/// diverged store (e.g. a demoted ex-peer after failover) reconverges.
-struct ReplicaSnapshotRequest {
-  uint64_t seq = 0;
-  std::vector<std::pair<std::string, Bytes>> entries;
+// Chunked snapshot catch-up: Begin pins the snapshot's sequence number,
+// Chunk frames carry bounded (key, value) batches, End reconciles (deletes
+// follower keys the stream never named, so diverged stores reconverge).
+// Neither side ever materializes the full store: the shipper walks the key
+// list batch by batch, the applier writes each chunk straight into its
+// store and only retains the key set for the End reconciliation. A Begin
+// that repeats the in-progress seq resumes after the last received chunk
+// (reconnect after a dropped transport), because an unchanged seq means an
+// unchanged store and therefore an unchanged, deterministic key order.
 
-  Bytes Encode() const { return Encode(seq, entries); }
-  /// Encode without owning the entries — snapshots are a full copy of a
-  /// store, and the shipper already holds one; don't make another.
-  static Bytes Encode(
-      uint64_t seq,
-      std::span<const std::pair<std::string, Bytes>> entries);
-  static Result<ReplicaSnapshotRequest> Decode(BytesView in);
+struct ReplicaSnapshotBeginRequest {
+  uint32_t shard = 0;
+  /// Shipping-pipeline identity (random per primary incarnation): a stream
+  /// may only resume under the pipeline that started it — after failover
+  /// the new primary restarts sequence numbering, so seq alone could
+  /// collide with a half-received stream from the dead primary.
+  uint64_t origin = 0;
+  uint64_t seq = 0;
+
+  Bytes Encode() const;
+  static Result<ReplicaSnapshotBeginRequest> Decode(BytesView in);
 };
 
-/// Follower's reply to either replication message.
+struct ReplicaSnapshotChunkRequest {
+  uint32_t shard = 0;
+  uint64_t seq = 0;
+  /// Position of entries.front() in the overall snapshot stream.
+  uint64_t first_index = 0;
+  std::vector<std::pair<std::string, Bytes>> entries;
+
+  Bytes Encode() const;
+  static Result<ReplicaSnapshotChunkRequest> Decode(BytesView in);
+};
+
+struct ReplicaSnapshotEndRequest {
+  uint32_t shard = 0;
+  uint64_t seq = 0;
+  /// Total entries shipped; the applier cross-checks its received count.
+  uint64_t total_entries = 0;
+
+  Bytes Encode() const;
+  static Result<ReplicaSnapshotEndRequest> Decode(BytesView in);
+};
+
+/// Reply to SnapshotBegin (entries = resume point: how many stream entries
+/// the follower already holds for this seq) and SnapshotChunk (entries =
+/// cumulative entries received, which the shipper verifies).
+struct ReplicaSnapshotAckResponse {
+  uint64_t entries = 0;
+
+  Bytes Encode() const;
+  static Result<ReplicaSnapshotAckResponse> Decode(BytesView in);
+};
+
+/// Follower's reply to kReplicaOps / kReplicaSnapshotEnd / kReplicaHeartbeat.
 struct ReplicaAckResponse {
   uint64_t applied_seq = 0;
 
   Bytes Encode() const;
   static Result<ReplicaAckResponse> Decode(BytesView in);
+};
+
+/// Follower-daemon registration, sent by the follower to the primary's
+/// serving port. Carries where the primary should dial back (host/port of
+/// the follower's replication endpoint), which shard it replicates, how far
+/// it has applied, and a fingerprint of its persisted shard layout so a
+/// store formatted for a different cluster shape is rejected instead of
+/// silently reconciled (0 = empty store, always accepted).
+struct ReplicaHelloRequest {
+  uint32_t shard = 0;
+  /// The follower's total shard count. Placement is a pure hash of
+  /// (uuid, N): a follower laid out for a different N would replicate and
+  /// serve the wrong subset, so the primary rejects a mismatch outright —
+  /// the fingerprint gate only covers non-empty stores.
+  uint32_t num_shards = 1;
+  uint64_t applied_seq = 0;
+  uint64_t store_fingerprint = 0;
+  std::string host;
+  uint32_t port = 0;
+
+  Bytes Encode() const;
+  static Result<ReplicaHelloRequest> Decode(BytesView in);
+};
+
+struct ReplicaHelloResponse {
+  uint64_t head_seq = 0;       // primary's current head for the shard
+  uint32_t heartbeat_ms = 0;   // primary's heartbeat cadence
+
+  Bytes Encode() const;
+  static Result<ReplicaHelloResponse> Decode(BytesView in);
+};
+
+/// Primary → follower liveness beacon carrying the shard's group view:
+/// every registered follower endpoint and its applied seq. Followers use
+/// the last view to elect the most-caught-up survivor when the beacons
+/// stop (primary loss → automatic promotion).
+struct ReplicaHeartbeatRequest {
+  struct Peer {
+    std::string host;
+    uint32_t port = 0;
+    uint64_t applied_seq = 0;
+
+    friend bool operator==(const Peer&, const Peer&) = default;
+  };
+  uint32_t shard = 0;
+  uint64_t head_seq = 0;
+  std::vector<Peer> peers;
+
+  Bytes Encode() const;
+  static Result<ReplicaHeartbeatRequest> Decode(BytesView in);
 };
 
 }  // namespace tc::net

@@ -1,8 +1,10 @@
 #include "net/tcp.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -54,7 +56,11 @@ Status ReadExact(int fd, MutableBytesView out) {
 Status WriteAll(int fd, BytesView data) {
   size_t done = 0;
   while (done < data.size()) {
-    ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    // MSG_NOSIGNAL: writing into a peer-closed socket must surface as EPIPE,
+    // not kill the process with SIGPIPE — replication shippers write to
+    // follower daemons that can die at any moment.
+    ssize_t n = ::send(fd, data.data() + done, data.size() - done,
+                       MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return Unavailable(std::string("write failed: ") + std::strerror(errno));
@@ -64,8 +70,9 @@ Status WriteAll(int fd, BytesView data) {
   return Status::Ok();
 }
 
-TcpServer::TcpServer(std::shared_ptr<RequestHandler> handler, uint16_t port)
-    : handler_(std::move(handler)), port_(port) {}
+TcpServer::TcpServer(std::shared_ptr<RequestHandler> handler, uint16_t port,
+                     bool bind_any)
+    : handler_(std::move(handler)), port_(port), bind_any_(bind_any) {}
 
 TcpServer::~TcpServer() { Stop(); }
 
@@ -77,7 +84,7 @@ Status TcpServer::Start() {
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_addr.s_addr = htonl(bind_any_ ? INADDR_ANY : INADDR_LOOPBACK);
   addr.sin_port = htons(port_);
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
       0) {
@@ -158,8 +165,8 @@ void TcpServer::ServeConnection(int fd) {
   ::close(fd);
 }
 
-Result<std::unique_ptr<TcpClient>> TcpClient::Connect(const std::string& host,
-                                                      uint16_t port) {
+Result<std::unique_ptr<TcpClient>> TcpClient::Connect(
+    const std::string& host, uint16_t port, int64_t connect_timeout_ms) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Unavailable("socket() failed");
 
@@ -170,13 +177,54 @@ Result<std::unique_ptr<TcpClient>> TcpClient::Connect(const std::string& host,
     ::close(fd);
     return InvalidArgument("bad host address: " + host);
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  if (connect_timeout_ms > 0) {
+    // Bounded dial: a blackholed peer must fail the Connect, not park the
+    // caller in the kernel's minutes-long SYN retry schedule.
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc != 0 && errno == EINPROGRESS) {
+      pollfd pending{fd, POLLOUT, 0};
+      rc = ::poll(&pending, 1, static_cast<int>(connect_timeout_ms));
+      if (rc <= 0) {
+        ::close(fd);
+        return Unavailable(rc == 0 ? "connect timed out"
+                                   : std::string("connect poll failed: ") +
+                                         std::strerror(errno));
+      }
+      int err = 0;
+      socklen_t len = sizeof(err);
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+      if (err != 0) {
+        ::close(fd);
+        return Unavailable(std::string("connect failed: ") +
+                           std::strerror(err));
+      }
+    } else if (rc != 0) {
+      ::close(fd);
+      return Unavailable(std::string("connect failed: ") +
+                         std::strerror(errno));
+    }
+    ::fcntl(fd, F_SETFL, flags);
+  } else if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof(addr)) != 0) {
     ::close(fd);
     return Unavailable(std::string("connect failed: ") + std::strerror(errno));
   }
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return std::unique_ptr<TcpClient>(new TcpClient(fd));
+}
+
+Status TcpClient::SetOpTimeout(int64_t timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0 ||
+      ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    return Unavailable("setting socket timeouts failed");
+  }
+  return Status::Ok();
 }
 
 TcpClient::~TcpClient() {

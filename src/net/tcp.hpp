@@ -15,10 +15,14 @@
 namespace tc::net {
 
 /// TCP server owning an accept loop. Start() binds and spawns the acceptor;
-/// Stop() closes the listener and joins all threads.
+/// Stop() closes the listener and joins all threads. Binds loopback by
+/// default; `bind_any` opens all interfaces — the replication topology
+/// needs it when peers dial back across machines (a daemon advertising a
+/// LAN address, a primary accepting remote followers).
 class TcpServer {
  public:
-  TcpServer(std::shared_ptr<RequestHandler> handler, uint16_t port);
+  TcpServer(std::shared_ptr<RequestHandler> handler, uint16_t port,
+            bool bind_any = false);
   ~TcpServer();
 
   TcpServer(const TcpServer&) = delete;
@@ -36,6 +40,7 @@ class TcpServer {
 
   std::shared_ptr<RequestHandler> handler_;
   uint16_t port_;
+  bool bind_any_;
   int listen_fd_ = -1;
   std::atomic<bool> running_{false};
   std::thread acceptor_;
@@ -48,12 +53,19 @@ class TcpServer {
 /// (Call serializes internally); open several clients for parallelism.
 class TcpClient final : public Transport {
  public:
-  static Result<std::unique_ptr<TcpClient>> Connect(const std::string& host,
-                                                    uint16_t port);
+  /// `connect_timeout_ms > 0` bounds the dial (non-blocking connect +
+  /// poll); 0 keeps the OS default (blocking).
+  static Result<std::unique_ptr<TcpClient>> Connect(
+      const std::string& host, uint16_t port, int64_t connect_timeout_ms = 0);
   ~TcpClient() override;
 
   TcpClient(const TcpClient&) = delete;
   TcpClient& operator=(const TcpClient&) = delete;
+
+  /// Bound every subsequent socket read/write. A peer that accepts the
+  /// connection and then wedges must fail the Call, not hang the caller —
+  /// heartbeat fan-out and takeover probes depend on this.
+  Status SetOpTimeout(int64_t timeout_ms);
 
   Result<Bytes> Call(MessageType type, BytesView body) override;
 

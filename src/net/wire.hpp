@@ -45,9 +45,21 @@ enum class MessageType : uint8_t {
   kClusterInfo = 21,
   // Replication extension (src/replica): primary→follower log shipping.
   // These target a follower's ReplicaApplier endpoint, never the cluster
-  // router or a serving engine.
-  kReplicaOps = 22,
-  kReplicaSnapshot = 23,
+  // router or a serving engine. Values 22 and 23 carried the retired
+  // PR 3-era frames (kReplicaOps before it grew a shard field, and the
+  // monolithic kReplicaSnapshot superseded by the chunked Begin/Chunk/End
+  // stream); both stay reserved so old captures cannot be misparsed as
+  // the new layouts.
+  // Follower-daemon topology (src/replica): a follower process registers
+  // with the primary (kReplicaHello, sent to the primary's serving port),
+  // the primary dials back and catches it up with a bounded-memory chunk
+  // stream, then keeps it alive with group-status heartbeats.
+  kReplicaHello = 24,
+  kReplicaSnapshotBegin = 25,
+  kReplicaSnapshotChunk = 26,
+  kReplicaSnapshotEnd = 27,
+  kReplicaHeartbeat = 28,
+  kReplicaOps = 29,
 };
 
 /// Server-side dispatch: handle one decoded request, produce a response

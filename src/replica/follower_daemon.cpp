@@ -1,0 +1,461 @@
+#include "replica/follower_daemon.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "cluster/shard_router.hpp"
+#include "common/io.hpp"
+#include "common/logging.hpp"
+
+namespace tc::replica {
+
+namespace {
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// TcpServer keeps a shared_ptr to its handler; the daemon owns the server,
+/// so hand the server a thin forwarder instead of a self-reference cycle.
+class Forwarder final : public net::RequestHandler {
+ public:
+  explicit Forwarder(FollowerDaemon* daemon) : daemon_(daemon) {}
+  Result<Bytes> Handle(net::MessageType type, BytesView body) override {
+    return daemon_->Handle(type, body);
+  }
+
+ private:
+  FollowerDaemon* daemon_;
+};
+
+}  // namespace
+
+FollowerDaemon::FollowerDaemon(
+    std::vector<std::shared_ptr<store::KvStore>> shard_stores,
+    FollowerDaemonOptions options)
+    : options_(std::move(options)),
+      takeover_ms_(options_.takeover_timeout_ms) {
+  if (options_.tick_ms < 10) options_.tick_ms = 10;
+  for (size_t i = 0; i < shard_stores.size(); ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->kv = shard_stores[i];
+    shard->applier = std::make_shared<ReplicaApplier>(shard_stores[i]);
+    server::ServerOptions engine_options = options_.engine_options;
+    engine_options.shard_id = static_cast<uint32_t>(i);
+    shard->engine = std::make_shared<server::ServerEngine>(shard_stores[i],
+                                                           engine_options);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+FollowerDaemon::~FollowerDaemon() { Stop(); }
+
+Status FollowerDaemon::Start(uint16_t port) {
+  if (shards_.empty()) return InvalidArgument("follower daemon needs stores");
+  // Advertising a non-loopback address promises the primary a dial-back
+  // across the network, so the endpoint must listen beyond loopback.
+  bool bind_any = options_.advertise_host != "127.0.0.1" &&
+                  options_.advertise_host != "localhost";
+  server_ = std::make_unique<net::TcpServer>(std::make_shared<Forwarder>(this),
+                                             port, bind_any);
+  TC_RETURN_IF_ERROR(server_->Start());
+  {
+    std::lock_guard lock(view_mu_);
+    primary_host_ = options_.primary_host;
+    primary_port_ = options_.primary_port;
+  }
+  ticker_ = std::thread([this] { TickLoop(); });
+  return Status::Ok();
+}
+
+void FollowerDaemon::Stop() {
+  {
+    std::lock_guard lock(tick_mu_);
+    if (stop_) return;
+    stop_ = true;
+    tick_cv_.notify_all();
+  }
+  if (ticker_.joinable()) ticker_.join();
+  if (server_) server_->Stop();
+}
+
+uint64_t FollowerDaemon::applied_seq(uint32_t shard) const {
+  if (shard >= shards_.size()) return 0;
+  return shards_[shard]->applier->applied_seq();
+}
+
+uint64_t FollowerDaemon::snapshot_chunks_received(uint32_t shard) const {
+  if (shard >= shards_.size()) return 0;
+  return shards_[shard]->applier->snapshot_chunks_received();
+}
+
+bool FollowerDaemon::snapshot_in_progress(uint32_t shard) const {
+  if (shard >= shards_.size()) return false;
+  return shards_[shard]->applier->snapshot_in_progress();
+}
+
+size_t FollowerDaemon::num_remote_followers() const {
+  std::shared_lock lock(mode_mu_);
+  size_t n = 0;
+  for (const auto& set : promoted_sets_) n += set->num_remote_followers();
+  return n;
+}
+
+size_t FollowerDaemon::NumStreams() const {
+  {
+    std::shared_lock lock(mode_mu_);
+    if (!promoted_sets_.empty()) {
+      size_t n = 0;
+      for (const auto& set : promoted_sets_) n += set->NumStreams();
+      return n;
+    }
+  }
+  size_t n = 0;
+  for (const auto& shard : shards_) n += shard->engine->NumStreams();
+  return n;
+}
+
+void FollowerDaemon::Touch() { last_contact_ms_.store(NowMs()); }
+
+int64_t FollowerDaemon::MillisSinceContact() const {
+  int64_t last = last_contact_ms_.load();
+  if (last == 0) return 0;  // never contacted: the registrar's problem
+  return NowMs() - last;
+}
+
+Result<Bytes> FollowerDaemon::Handle(net::MessageType type, BytesView body) {
+  // The shared lock is held across the whole frame: PromoteSelf()'s brief
+  // exclusive acquisitions therefore act as barriers — once sealing is
+  // observed, no replication frame can mutate the stores the new primary
+  // stack is being recovered from, and a late frame from a still-alive old
+  // primary can never slip a mutation in outside the new era's log.
+  std::shared_lock lock(mode_mu_);
+  if (serving_) return serving_->Handle(type, body);
+  if (sealed_) {
+    switch (type) {
+      case net::MessageType::kReplicaOps:
+      case net::MessageType::kReplicaSnapshotBegin:
+      case net::MessageType::kReplicaSnapshotChunk:
+      case net::MessageType::kReplicaSnapshotEnd:
+      case net::MessageType::kReplicaHeartbeat:
+        return Unavailable("follower is promoting; no longer replicating");
+      default:
+        break;  // reads keep serving through the promotion
+    }
+  }
+  return HandleFollowing(type, body);
+}
+
+Result<Bytes> FollowerDaemon::HandleFollowing(net::MessageType type,
+                                              BytesView body) {
+  using net::MessageType;
+  switch (type) {
+    case MessageType::kReplicaOps: {
+      TC_ASSIGN_OR_RETURN(auto req, net::ReplicaOpsRequest::Decode(body));
+      if (req.shard >= shards_.size()) {
+        return InvalidArgument("replica frame for unknown shard");
+      }
+      Touch();
+      return shards_[req.shard]->applier->ApplyOps(req);
+    }
+    case MessageType::kReplicaSnapshotBegin: {
+      TC_ASSIGN_OR_RETURN(auto req,
+                          net::ReplicaSnapshotBeginRequest::Decode(body));
+      if (req.shard >= shards_.size()) {
+        return InvalidArgument("replica frame for unknown shard");
+      }
+      Touch();
+      return shards_[req.shard]->applier->SnapshotBegin(req);
+    }
+    case MessageType::kReplicaSnapshotChunk: {
+      TC_ASSIGN_OR_RETURN(auto req,
+                          net::ReplicaSnapshotChunkRequest::Decode(body));
+      if (req.shard >= shards_.size()) {
+        return InvalidArgument("replica frame for unknown shard");
+      }
+      Touch();
+      return shards_[req.shard]->applier->SnapshotChunk(req);
+    }
+    case MessageType::kReplicaSnapshotEnd: {
+      TC_ASSIGN_OR_RETURN(auto req,
+                          net::ReplicaSnapshotEndRequest::Decode(body));
+      if (req.shard >= shards_.size()) {
+        return InvalidArgument("replica frame for unknown shard");
+      }
+      Touch();
+      return shards_[req.shard]->applier->SnapshotEnd(req);
+    }
+    case MessageType::kReplicaHeartbeat: {
+      TC_ASSIGN_OR_RETURN(auto req,
+                          net::ReplicaHeartbeatRequest::Decode(body));
+      Touch();
+      if (req.shard == 0) {
+        // Elections key on shard 0's view (all shards ship from the same
+        // primary process, so liveness and progress move together).
+        std::lock_guard lock(view_mu_);
+        view_ = req.peers;
+      }
+      return net::ReplicaAckResponse{applied_seq(req.shard)}.Encode();
+    }
+    case MessageType::kReplicaHello:
+      return FailedPrecondition("not a primary: this node is a follower");
+    case MessageType::kPing:
+      return Bytes{};
+    case MessageType::kClusterInfo:
+      return FollowerClusterInfo();
+    // Read-only single-stream queries: served locally from the refreshed
+    // follower engine — replica reads without a second network hop.
+    case MessageType::kGetRange:
+    case MessageType::kGetStatRange:
+    case MessageType::kGetStatSeries:
+    case MessageType::kGetStreamInfo:
+    case MessageType::kGetChunkWitnessed:
+      return ServeRead(type, body);
+    case MessageType::kMultiStatRange:
+      if (shards_.size() == 1) {
+        TC_RETURN_IF_ERROR(EnsureFresh(*shards_[0]));
+        return shards_[0]->engine->Handle(type, body);
+      }
+      return Unavailable("multi-stream reads need the primary");
+    default:
+      return Unavailable(
+          "follower daemon: this operation needs the primary (writes and "
+          "key-store state are not served here)");
+  }
+}
+
+Result<Bytes> FollowerDaemon::ServeRead(net::MessageType type, BytesView body) {
+  BinaryReader r(body);
+  TC_ASSIGN_OR_RETURN(uint64_t uuid, r.GetU64());
+  Shard& shard = *shards_[cluster::PlaceShard(uuid, shards_.size())];
+  TC_RETURN_IF_ERROR(EnsureFresh(shard));
+  return shard.engine->Handle(type, body);
+}
+
+Status FollowerDaemon::EnsureFresh(Shard& shard) {
+  // Equality, not <=: a re-homed follower adopts the new primary's
+  // restarted sequence numbering through its re-seed snapshot, so applied
+  // can jump BACKWARD — that store is from another era, not "older than
+  // the engine", and must be refreshed like any advance.
+  uint64_t applied = shard.applier->applied_seq();
+  if (applied == shard.refreshed_seq.load(std::memory_order_acquire)) {
+    return Status::Ok();
+  }
+  std::lock_guard lock(shard.refresh_mu);
+  if (applied == shard.refreshed_seq.load(std::memory_order_relaxed)) {
+    return Status::Ok();
+  }
+  TC_RETURN_IF_ERROR(shard.engine->Refresh());
+  shard.refreshed_seq.store(applied, std::memory_order_release);
+  return Status::Ok();
+}
+
+Result<Bytes> FollowerDaemon::FollowerClusterInfo() const {
+  net::ClusterInfoResponse resp;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    net::ClusterInfoResponse::ShardInfo info;
+    info.shard = static_cast<uint32_t>(i);
+    info.num_streams = shards_[i]->engine->NumStreams();
+    info.index_bytes = shards_[i]->engine->TotalIndexBytes();
+    info.snapshot_chunks = shards_[i]->applier->snapshot_chunks_received();
+    resp.shards.push_back(info);
+  }
+  return resp.Encode();
+}
+
+void FollowerDaemon::TickLoop() {
+  for (;;) {
+    {
+      std::unique_lock lock(tick_mu_);
+      if (tick_cv_.wait_for(lock, std::chrono::milliseconds(options_.tick_ms),
+                            [&] { return stop_; })) {
+        return;
+      }
+    }
+    if (promoted_.load()) return;  // the serving stack runs itself now
+
+    if (!registered_.load()) {
+      std::string host;
+      uint16_t port;
+      {
+        std::lock_guard lock(view_mu_);
+        host = primary_host_;
+        port = primary_port_;
+      }
+      if (Status s = RegisterTo(host, port); s.ok()) {
+        registered_.store(true);
+        Touch();
+        std::lock_guard lock(view_mu_);
+        suspected_dead_.clear();
+        not_ready_counts_.clear();
+      }
+      continue;
+    }
+    if (MillisSinceContact() >= takeover_ms_.load(std::memory_order_relaxed)) {
+      HandleSilence();
+    }
+  }
+}
+
+Status FollowerDaemon::RegisterTo(const std::string& host, uint16_t port) {
+  // Bounded: registration runs on the tick thread, which is also the
+  // failure detector — a wedged candidate must cost one bounded probe,
+  // not freeze the takeover state machine.
+  int64_t timeout_ms = std::max<int64_t>(options_.tick_ms * 4, 500);
+  auto client = net::TcpClient::Connect(host, port, timeout_ms);
+  TC_RETURN_IF_ERROR(client.status());
+  (void)(*client)->SetOpTimeout(timeout_ms);
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    net::ReplicaHelloRequest hello;
+    hello.shard = static_cast<uint32_t>(i);
+    hello.num_shards = static_cast<uint32_t>(shards_.size());
+    hello.applied_seq = shards_[i]->applier->applied_seq();
+    hello.store_fingerprint = StoreFingerprint(*shards_[i]->kv);
+    hello.host = options_.advertise_host;
+    hello.port = this->port();
+    TC_ASSIGN_OR_RETURN(
+        Bytes reply,
+        (*client)->Call(net::MessageType::kReplicaHello, hello.Encode()));
+    if (auto response = net::ReplicaHelloResponse::Decode(reply);
+        response.ok() && response->heartbeat_ms > 0) {
+      // Size the silence window to the primary's actual beacon cadence: a
+      // primary beating slower than the configured takeover window would
+      // otherwise be declared dead between two healthy beacons.
+      takeover_ms_.store(
+          std::max<int64_t>(options_.takeover_timeout_ms,
+                            static_cast<int64_t>(response->heartbeat_ms) * 4),
+          std::memory_order_relaxed);
+    }
+  }
+  std::lock_guard lock(view_mu_);
+  primary_host_ = host;
+  primary_port_ = port;
+  return Status::Ok();
+}
+
+void FollowerDaemon::HandleSilence() {
+  if (!options_.auto_promote) {
+    // Passive replica: keep the window from re-firing every tick, and let
+    // the registrar re-announce in case the primary comes back.
+    Touch();
+    registered_.store(false);
+    return;
+  }
+  struct Candidate {
+    uint64_t applied;
+    std::string host;
+    uint32_t port;
+  };
+  std::string self_host = options_.advertise_host;
+  uint32_t self_port = port();
+  std::vector<Candidate> candidates;
+  bool self_in_view = false;
+  {
+    std::lock_guard lock(view_mu_);
+    for (const auto& peer : view_) {
+      candidates.push_back({peer.applied_seq, peer.host, peer.port});
+      if (peer.host == self_host && peer.port == self_port) {
+        self_in_view = true;
+      }
+    }
+  }
+  // Every elector must rank from the SAME numbers — the broadcast view,
+  // our own entry included. Substituting our live applied seq here would
+  // let two daemons each see themselves ahead (ops shipped to one of them
+  // after the final beacon) and both promote on a healthy network. The
+  // price is that a tail shipped after the last beacon may lose the
+  // election to a view-tied peer and be reconciled away on re-homing —
+  // the async-replication contract; see the header's election caveats.
+  if (!self_in_view) {
+    candidates.push_back({applied_seq(0), self_host, self_port});
+  }
+  std::sort(candidates.begin(), candidates.end(), [](const Candidate& a,
+                                                     const Candidate& b) {
+    if (a.applied != b.applied) return a.applied > b.applied;
+    if (a.host != b.host) return a.host < b.host;
+    return a.port < b.port;
+  });
+  for (const auto& candidate : candidates) {
+    std::string endpoint =
+        candidate.host + ":" + std::to_string(candidate.port);
+    {
+      std::lock_guard lock(view_mu_);
+      if (suspected_dead_.contains(endpoint)) continue;
+    }
+    if (candidate.host == self_host && candidate.port == self_port) {
+      PromoteSelf();
+      return;
+    }
+    Status s = RegisterTo(candidate.host,
+                          static_cast<uint16_t>(candidate.port));
+    if (s.ok()) {
+      TC_LOG_INFO << "follower " << this->endpoint() << " re-homed under "
+                  << endpoint;
+      registered_.store(true);
+      Touch();
+      std::lock_guard lock(view_mu_);
+      suspected_dead_.clear();
+      not_ready_counts_.clear();
+      return;
+    }
+    if (s.code() == StatusCode::kFailedPrecondition) {
+      // Alive but still a follower — it is likely about to win the same
+      // election (large-store engine recovery can take a while). Give it
+      // several takeover windows, but not forever: a peer that never
+      // promotes (e.g. started with --no-auto-promote, or wedged after
+      // winning) must not hold the whole group headless.
+      std::lock_guard lock(view_mu_);
+      if (++not_ready_counts_[endpoint] >= 5) {
+        TC_LOG_WARN << "candidate " << endpoint
+                    << " stayed a follower through 5 takeover windows; "
+                       "skipping it in future elections";
+        suspected_dead_.insert(endpoint);
+        continue;
+      }
+      Touch();
+      return;
+    }
+    std::lock_guard lock(view_mu_);
+    suspected_dead_.insert(endpoint);
+  }
+  // Unreachable: we are always our own candidate and never suspected dead.
+}
+
+void FollowerDaemon::PromoteSelf() {
+  TC_LOG_WARN << "follower " << endpoint() << " saw the primary silent for "
+              << MillisSinceContact() << "ms; promoting itself";
+  // Seal replication first: after this barrier no frame from a
+  // believed-dead-but-actually-alive old primary can mutate the stores
+  // while (or after) the new primary stack recovers from them.
+  {
+    std::unique_lock lock(mode_mu_);
+    sealed_ = true;
+  }
+  // Full recovery over the replicated stores: streams, grants, witness
+  // trees — everything the dead primary had shipped. The new stack is a
+  // first-class primary: replication-capable, coordinator attached, so the
+  // surviving followers re-home here and ingest resumes.
+  std::vector<std::shared_ptr<ReplicaSet>> sets;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    server::ServerOptions engine_options = options_.engine_options;
+    engine_options.shard_id = static_cast<uint32_t>(i);
+    sets.push_back(ReplicaSet::Make(shards_[i]->kv, {}, engine_options,
+                                    options_.set_options));
+  }
+  auto router = std::make_shared<cluster::ShardRouter>(sets);
+  auto coordinator = std::make_shared<PrimaryCoordinator>(
+      router, sets, options_.coordinator);
+  {
+    std::unique_lock lock(mode_mu_);
+    promoted_sets_ = std::move(sets);
+    promoted_coordinator_ = coordinator;
+    serving_ = coordinator;
+  }
+  promoted_.store(true);
+  TC_LOG_INFO << "promotion complete: " << NumStreams()
+              << " stream(s) serving at " << endpoint();
+}
+
+}  // namespace tc::replica

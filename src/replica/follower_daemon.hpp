@@ -1,0 +1,165 @@
+// A follower daemon: the process `tcserver --follower-of host:port` runs.
+//
+// It serves a ReplicaApplier per shard behind the ordinary TcpServer, and
+// a background thread drives a small state machine:
+//
+//   register  — send kReplicaHello to the primary (shard id, applied seq,
+//               store fingerprint, and this daemon's dial-back endpoint);
+//               retried until the primary answers. The primary then dials
+//               back and catches the store up with the chunked snapshot
+//               stream before switching to op shipping.
+//   follow    — apply replication frames; serve read-only queries from a
+//               local engine refreshed on demand (replica reads without a
+//               second process hop); answer heartbeats and remember the
+//               group view they carry.
+//   take over — when the primary's beacons and shipments go silent past
+//               the takeover timeout, elect from the last group view: the
+//               most-caught-up follower (ties break toward the smallest
+//               endpoint) promotes itself — a full ServerEngine recovery
+//               over the replicated store (streams, grants, witness trees)
+//               wrapped in a fresh ReplicaSet + PrimaryCoordinator, so the
+//               survivors re-home under it and ingest resumes. Losers
+//               re-send kReplicaHello to the winner and keep following.
+//
+// Election is view-based, not consensus: every elector ranks the same
+// broadcast view (its own entry included), so an ordinary crash yields one
+// deterministic winner — but a tail shipped after the final beacon may
+// lose the election and be reconciled away on re-homing (the async
+// contract), and with the primary partitioned (rather than dead) both
+// sides could serve. These are the documented trade-offs of this
+// reproduction — the paper's deployment delegates the same problem to
+// Cassandra's coordinator.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/tcp.hpp"
+#include "replica/coordinator.hpp"
+#include "replica/replica_set.hpp"
+#include "replica/replica_wire.hpp"
+#include "server/server_engine.hpp"
+
+namespace tc::replica {
+
+struct FollowerDaemonOptions {
+  std::string primary_host = "127.0.0.1";
+  uint16_t primary_port = 0;
+  /// Endpoint the primary dials back (and peers re-home to): must be
+  /// reachable from the other nodes.
+  std::string advertise_host = "127.0.0.1";
+  /// Registrar/monitor cadence.
+  int64_t tick_ms = 100;
+  /// Silence window (no heartbeat, no shipment) before takeover logic
+  /// runs. Keep it a few multiples of the primary's heartbeat interval.
+  int64_t takeover_timeout_ms = 3000;
+  /// Allow self-promotion. Off = the daemon only ever follows (and keeps
+  /// retrying registration), for drills that want a passive replica.
+  bool auto_promote = true;
+  server::ServerOptions engine_options;
+  /// Serving stack after promotion (ack mode, read lag, failover knobs
+  /// carry over to the daemon's second life as a primary).
+  ReplicaSetOptions set_options;
+  CoordinatorOptions coordinator;
+};
+
+class FollowerDaemon {
+ public:
+  /// One store per shard, laid out exactly like the primary's (same
+  /// --shards; the snapshot stream ships the layout key and the hello
+  /// fingerprint enforces agreement).
+  FollowerDaemon(std::vector<std::shared_ptr<store::KvStore>> shard_stores,
+                 FollowerDaemonOptions options);
+  ~FollowerDaemon();
+
+  /// Bind the replication endpoint (0 = ephemeral) and start the state
+  /// machine.
+  Status Start(uint16_t port);
+  void Stop();
+
+  uint16_t port() const { return server_ ? server_->port() : 0; }
+  std::string endpoint() const {
+    return options_.advertise_host + ":" + std::to_string(port());
+  }
+
+  bool registered() const { return registered_.load(); }
+  bool promoted() const { return promoted_.load(); }
+  uint64_t applied_seq(uint32_t shard) const;
+  uint64_t snapshot_chunks_received(uint32_t shard) const;
+  bool snapshot_in_progress(uint32_t shard) const;
+  /// Post-promotion: how many surviving daemons re-homed under this one.
+  size_t num_remote_followers() const;
+  size_t NumStreams() const;
+
+  Result<Bytes> Handle(net::MessageType type, BytesView body);
+
+ private:
+  struct Shard {
+    std::shared_ptr<store::KvStore> kv;
+    std::shared_ptr<ReplicaApplier> applier;
+    std::shared_ptr<server::ServerEngine> engine;  // read serving
+    std::atomic<uint64_t> refreshed_seq{0};
+    std::mutex refresh_mu;
+  };
+
+  Result<Bytes> HandleFollowing(net::MessageType type, BytesView body);
+  Result<Bytes> ServeRead(net::MessageType type, BytesView body);
+  Result<Bytes> FollowerClusterInfo() const;
+  Status EnsureFresh(Shard& shard);
+  void Touch();
+  int64_t MillisSinceContact() const;
+
+  void TickLoop();
+  /// Send kReplicaHello for every shard to `host:port`. All-or-nothing.
+  Status RegisterTo(const std::string& host, uint16_t port);
+  /// The silence-window election described above.
+  void HandleSilence();
+  void PromoteSelf();
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  FollowerDaemonOptions options_;
+
+  std::unique_ptr<net::TcpServer> server_;
+
+  // Mode gate: following (serving_ null) vs promoted (serving_ set).
+  // Request handling holds it shared for the whole frame; promotion takes
+  // it exclusive to seal replication, then again to install the stack.
+  mutable std::shared_mutex mode_mu_;
+  bool sealed_ = false;  // promotion started: replication frames refused
+  std::shared_ptr<net::RequestHandler> serving_;
+  std::vector<std::shared_ptr<ReplicaSet>> promoted_sets_;
+  std::shared_ptr<PrimaryCoordinator> promoted_coordinator_;
+
+  std::atomic<bool> registered_{false};
+  std::atomic<bool> promoted_{false};
+  std::atomic<int64_t> last_contact_ms_{0};  // steady-clock ms; 0 = never
+  /// Effective silence window: the configured takeover timeout, widened to
+  /// ≥ 4 heartbeat intervals once the hello response reveals the primary's
+  /// actual beacon cadence.
+  std::atomic<int64_t> takeover_ms_;
+
+  mutable std::mutex view_mu_;
+  std::vector<net::ReplicaHeartbeatRequest::Peer> view_;  // latest group view
+  std::string primary_host_;  // current registration target (guarded by
+  uint16_t primary_port_ = 0;  // view_mu_; the tick thread retargets it)
+  std::set<std::string> suspected_dead_;
+  /// Consecutive "alive but not a primary" probe results per candidate;
+  /// three strikes demotes it to suspected_dead_ so an election can never
+  /// livelock on a peer that refuses to promote.
+  std::map<std::string, uint32_t> not_ready_counts_;
+
+  std::mutex tick_mu_;
+  std::condition_variable tick_cv_;
+  bool stop_ = false;
+  std::thread ticker_;
+};
+
+}  // namespace tc::replica

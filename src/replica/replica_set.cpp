@@ -1,6 +1,7 @@
 #include "replica/replica_set.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.hpp"
 
@@ -30,14 +31,35 @@ std::shared_ptr<ReplicaSet> ReplicaSet::Make(
     // past it triggers a Refresh.
     replica->engine =
         std::make_shared<server::ServerEngine>(kv, engine_options);
+    replica->rkv_index =
+        set->rkv_->AddFollower(std::make_shared<LocalFollower>(std::move(kv)));
     set->replicas_.push_back(std::move(replica));
-    set->rkv_->AddFollower(std::make_shared<LocalFollower>(std::move(kv)));
   }
+  set->ResetRotationLocked();
   // The primary engine recovers through the replicated store (reads pass
   // straight to the primary KV).
   set->primary_ =
       std::make_shared<server::ServerEngine>(set->rkv_, engine_options);
+  if (options.failover.auto_failover) {
+    set->monitor_ = std::thread([raw = set.get()] { raw->MonitorLoop(); });
+  }
   return set;
+}
+
+ReplicaSet::~ReplicaSet() {
+  {
+    std::lock_guard lock(monitor_mu_);
+    monitor_stop_ = true;
+    monitor_cv_.notify_all();
+  }
+  if (monitor_.joinable()) monitor_.join();
+}
+
+void ReplicaSet::ResetRotationLocked() {
+  // Restart the cursor with the membership: a stale cursor over a changed
+  // list would skew the rotation toward whatever slot the old modulus
+  // happened to land on.
+  rr_.store(0, std::memory_order_relaxed);
 }
 
 Result<Bytes> ReplicaSet::Handle(net::MessageType type, BytesView body) {
@@ -55,11 +77,10 @@ Result<Bytes> ReplicaSet::HandleRead(net::MessageType type, BytesView body) {
     size_t n = replicas_.size();
     size_t start = static_cast<size_t>(rr_.fetch_add(1) % n);
     for (size_t k = 0; k < n; ++k) {
-      size_t i = (start + k) % n;
-      Replica& replica = *replicas_[i];
+      Replica& replica = *replicas_[(start + k) % n];
       uint64_t applied;
       if (rkv_) {
-        applied = rkv_->follower_seq(i);
+        applied = rkv_->follower_seq(replica.rkv_index);
         uint64_t lag = head - std::min(head, applied);
         if (lag > options_.max_read_lag_ops) continue;
       } else {
@@ -68,7 +89,7 @@ Result<Bytes> ReplicaSet::HandleRead(net::MessageType type, BytesView body) {
         // measured against the most-caught-up survivor — in quorum mode
         // that survivor holds every acknowledged write, so an uneven
         // follower must not serve reads missing acked data.
-        applied = final_seqs_[i];
+        applied = replica.final_seq;
         uint64_t lag = final_head_ - std::min(final_head_, applied);
         if (lag > options_.max_read_lag_ops) continue;
       }
@@ -106,22 +127,57 @@ Status ReplicaSet::EnsureFresh(Replica& replica, uint64_t applied_seq) {
   return Status::Ok();
 }
 
+Status ReplicaSet::AddRemoteFollower(std::shared_ptr<Follower> follower,
+                                     std::string label) {
+  std::unique_lock lock(state_mu_);
+  if (!rkv_) {
+    if (dropped_) return Unavailable("shard primary is down");
+    return FailedPrecondition("shard has no replication pipeline");
+  }
+  for (const auto& remote : remotes_) {
+    if (remote.label == label) {
+      // Same endpoint re-registering (daemon restart): its shipper is
+      // already attached, redials on its own, and re-seeds on the first
+      // sequence-gap rejection. A second pipeline would double-ship.
+      return AlreadyExists("follower " + label + " already registered");
+    }
+  }
+  size_t idx = rkv_->AddFollower(follower);
+  remotes_.push_back({std::move(follower), std::move(label), idx});
+  return Status::Ok();
+}
+
+void ReplicaSet::ReconcileRemoteFollower(const std::string& label,
+                                         uint64_t applied_seq) {
+  std::shared_lock lock(state_mu_);
+  if (!rkv_) return;
+  for (const auto& remote : remotes_) {
+    if (remote.label != label) continue;
+    if (applied_seq < rkv_->follower_seq(remote.rkv_index)) {
+      TC_LOG_WARN << "remote follower " << label << " re-registered at seq "
+                  << applied_seq << " behind its recorded progress; re-seeding";
+      rkv_->MarkNeedsSnapshot(remote.rkv_index);
+    }
+    return;
+  }
+}
+
 Status ReplicaSet::DropPrimary() {
   std::unique_lock lock(state_mu_);
   if (!rkv_) return FailedPrecondition("shard has no replication");
   if (dropped_) return FailedPrecondition("primary already dropped");
-  final_seqs_.clear();
   final_head_ = 0;
-  for (size_t i = 0; i < replicas_.size(); ++i) {
-    final_seqs_.push_back(rkv_->follower_seq(i));
-    final_head_ = std::max(final_head_, final_seqs_.back());
+  for (auto& replica : replicas_) {
+    replica->final_seq = rkv_->follower_seq(replica->rkv_index);
+    final_head_ = std::max(final_head_, replica->final_seq);
   }
   // Severing both references tears down the shipping pipeline with the
   // engine; ops not yet shipped (async mode) are lost, exactly as they
-  // would be with the machine.
+  // would be with the real machine.
   rkv_.reset();
   primary_.reset();
   dropped_ = true;
+  ResetRotationLocked();
   return Status::Ok();
 }
 
@@ -133,22 +189,31 @@ Status ReplicaSet::Promote() {
   if (replicas_.empty()) {
     return FailedPrecondition("no follower left to promote");
   }
-  // Most-caught-up follower wins. In quorum mode this follower provably
-  // holds every acknowledged write: a majority acked it, and followers
-  // apply strictly in order, so the max applied seq covers them all.
-  size_t best = static_cast<size_t>(
-      std::max_element(final_seqs_.begin(), final_seqs_.end()) -
-      final_seqs_.begin());
+  // Most-caught-up local follower wins. In quorum mode this follower
+  // provably holds every acknowledged write: a majority acked it, and
+  // followers apply strictly in order, so the max applied seq covers them
+  // all. (Remote followers promote in their own process — see
+  // FollowerDaemon — and re-home below either way.)
+  size_t best = 0;
+  for (size_t i = 1; i < replicas_.size(); ++i) {
+    if (replicas_[i]->final_seq > replicas_[best]->final_seq) best = i;
+  }
   auto promoted = std::move(replicas_[best]);
   replicas_.erase(replicas_.begin() + best);
-  final_seqs_.clear();
 
   auto rkv = std::make_shared<ReplicatedKvStore>(promoted->kv, options_.kv);
   for (auto& replica : replicas_) {
     // Sequence numbers restart under the new primary; the registration
     // snapshot reconciles whatever the survivor holds (it may trail the
     // promoted store, or even diverge if the dead primary shipped unevenly).
-    rkv->AddFollower(std::make_shared<LocalFollower>(replica->kv));
+    replica->rkv_index =
+        rkv->AddFollower(std::make_shared<LocalFollower>(replica->kv));
+  }
+  // Remote daemons keep following across the failover: attach their
+  // shippers to the new pipeline. Their appliers adopt the restarted
+  // sequence numbering through the registration snapshot.
+  for (auto& remote : remotes_) {
+    remote.rkv_index = rkv->AddFollower(remote.follower);
   }
   // Full recovery over the promoted store: streams, grants, witness trees
   // — the complete history the old primary had shipped.
@@ -159,22 +224,74 @@ Status ReplicaSet::Promote() {
   if (Status s = rkv->WaitCaughtUp(options_.kv.quorum_timeout_ms); !s.ok()) {
     TC_LOG_WARN << "promotion: survivors still catching up: " << s.ToString();
   }
-  for (size_t i = 0; i < replicas_.size(); ++i) {
-    if (Status s = replicas_[i]->engine->Refresh(); !s.ok()) {
+  for (auto& replica : replicas_) {
+    if (Status s = replica->engine->Refresh(); !s.ok()) {
       TC_LOG_WARN << "promotion: replica refresh failed: " << s.ToString();
     }
-    replicas_[i]->refreshed_seq.store(rkv->follower_seq(i));
+    replica->refreshed_seq.store(rkv->follower_seq(replica->rkv_index));
   }
   primary_ = std::move(engine);
   rkv_ = std::move(rkv);
   dropped_ = false;
   ++promotions_;
+  ResetRotationLocked();
   return Status::Ok();
+}
+
+void ReplicaSet::MonitorLoop() {
+  uint32_t misses = 0;
+  auto interval =
+      std::chrono::milliseconds(options_.failover.heartbeat_interval_ms);
+  for (;;) {
+    {
+      std::unique_lock lock(monitor_mu_);
+      if (monitor_cv_.wait_for(lock, interval, [&] { return monitor_stop_; })) {
+        return;
+      }
+    }
+    std::shared_ptr<store::KvStore> primary_kv;
+    {
+      std::shared_lock lock(state_mu_);
+      // A manually dropped shard is someone else's drill; only probe a
+      // live pipeline.
+      if (!rkv_ || dropped_) continue;
+      primary_kv = rkv_->primary();
+    }
+    // The probe is a store read: NotFound is a healthy store answering
+    // honestly; only transport/IO-level failures count as misses.
+    auto probe = primary_kv->Get("meta/cluster/shard");
+    if (probe.ok() || probe.status().code() == StatusCode::kNotFound) {
+      misses = 0;
+      continue;
+    }
+    if (++misses < options_.failover.miss_threshold) continue;
+    misses = 0;
+    TC_LOG_WARN << "auto-failover: primary store failed "
+                << options_.failover.miss_threshold
+                << " consecutive probes (" << probe.status().ToString()
+                << "); dropping and promoting";
+    if (Status s = DropPrimary(); !s.ok()) {
+      TC_LOG_WARN << "auto-failover: drop failed: " << s.ToString();
+      continue;
+    }
+    if (Status s = Promote(); s.ok()) {
+      auto_failovers_.fetch_add(1, std::memory_order_relaxed);
+      TC_LOG_INFO << "auto-failover: promoted a follower; shard serving again";
+    } else {
+      TC_LOG_ERROR << "auto-failover: promotion failed, shard is headless: "
+                   << s.ToString();
+    }
+  }
 }
 
 std::shared_ptr<server::ServerEngine> ReplicaSet::primary() const {
   std::shared_lock lock(state_mu_);
   return primary_;
+}
+
+std::shared_ptr<store::KvStore> ReplicaSet::primary_kv() const {
+  std::shared_lock lock(state_mu_);
+  return rkv_ ? rkv_->primary() : nullptr;
 }
 
 std::shared_ptr<server::ServerEngine> ReplicaSet::replica_engine(
@@ -189,9 +306,41 @@ size_t ReplicaSet::num_replicas() const {
   return replicas_.size();
 }
 
+size_t ReplicaSet::num_remote_followers() const {
+  std::shared_lock lock(state_mu_);
+  return remotes_.size();
+}
+
+std::vector<std::pair<std::string, uint64_t>> ReplicaSet::RemoteFollowerSeqs()
+    const {
+  std::shared_lock lock(state_mu_);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(remotes_.size());
+  for (const auto& remote : remotes_) {
+    out.emplace_back(remote.label,
+                     rkv_ ? rkv_->follower_seq(remote.rkv_index) : 0);
+  }
+  return out;
+}
+
+uint64_t ReplicaSet::head_seq() const {
+  std::shared_lock lock(state_mu_);
+  return rkv_ ? rkv_->head_seq() : 0;
+}
+
 uint64_t ReplicaSet::MaxLagOps() const {
   std::shared_lock lock(state_mu_);
   return rkv_ ? rkv_->MaxLagOps() : 0;
+}
+
+uint64_t ReplicaSet::snapshots_shipped() const {
+  std::shared_lock lock(state_mu_);
+  return rkv_ ? rkv_->snapshots_shipped() : 0;
+}
+
+uint64_t ReplicaSet::snapshot_chunks_shipped() const {
+  std::shared_lock lock(state_mu_);
+  return rkv_ ? rkv_->snapshot_chunks_shipped() : 0;
 }
 
 size_t ReplicaSet::NumStreams() const {

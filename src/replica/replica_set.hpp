@@ -11,20 +11,33 @@
 // the refresh landed on) falls back to the next replica and finally the
 // primary, so replica reads are an optimization, never a correctness risk.
 //
+// Followers come in two kinds: local (a KvStore in this process, serving
+// reads as above) and remote (a follower daemon behind a socket, reached
+// through a RemoteFollower; it serves its own reads in its own process).
+// Remote registrations survive failover: Promote() re-homes them under the
+// new primary alongside the surviving local replicas.
+//
 // Failover: DropPrimary() severs the primary (the process-kill stand-in);
-// Promote() elects the most-caught-up follower, rebuilds a full engine over
-// its store (streams, grants, witness trees all recover from the replicated
-// state), and re-homes the remaining followers under the new primary via
-// snapshot catch-up. In quorum mode every acknowledged write survives this
-// by construction; in async mode the shipping pipeline must be drained
-// (WaitCaughtUp) before the drop, or the unshipped tail is lost with the
-// primary — exactly the async-replication contract.
+// Promote() elects the most-caught-up local follower, rebuilds a full
+// engine over its store (streams, grants, witness trees all recover from
+// the replicated state), and re-homes the remaining followers under the
+// new primary via snapshot catch-up. With failover.auto_failover set, a
+// monitor thread probes the primary store every heartbeat interval and
+// runs the drop+promote sequence itself once the miss threshold is hit —
+// PR 3's manual drill become automatic recovery. In quorum mode every
+// acknowledged write survives this by construction; in async mode the
+// shipping pipeline must be drained (WaitCaughtUp) before the drop, or the
+// unshipped tail is lost with the primary — exactly the async-replication
+// contract.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "replica/replicated_kv.hpp"
@@ -32,12 +45,23 @@
 
 namespace tc::replica {
 
+/// Heartbeat-driven failure detection. The probe is a read against the
+/// primary's backing store — the thing whose loss replication exists to
+/// survive. miss_threshold consecutive probe failures trigger automatic
+/// DropPrimary + Promote.
+struct FailoverOptions {
+  bool auto_failover = false;
+  int64_t heartbeat_interval_ms = 500;
+  uint32_t miss_threshold = 3;
+};
+
 struct ReplicaSetOptions {
   /// Replication transport knobs; `kv.ack` selects async vs quorum ingest.
   ReplicatedKvOptions kv;
   /// A replica may serve reads while (primary head - follower applied)
   /// stays within this many ops. 0 = only fully caught-up replicas.
   uint64_t max_read_lag_ops = 0;
+  FailoverOptions failover;
 };
 
 class ReplicaSet {
@@ -49,11 +73,15 @@ class ReplicaSet {
 
   /// Replicated shard: the primary engine is built over `primary_kv`
   /// wrapped in a ReplicatedKvStore shipping to one LocalFollower per
-  /// follower store; each follower store also gets a read engine.
+  /// follower store; each follower store also gets a read engine. An empty
+  /// follower list is valid — the shard is then replication-capable but
+  /// follower-less until remote daemons register.
   static std::shared_ptr<ReplicaSet> Make(
       std::shared_ptr<store::KvStore> primary_kv,
       std::vector<std::shared_ptr<store::KvStore>> follower_kvs,
       server::ServerOptions engine_options, ReplicaSetOptions options);
+
+  ~ReplicaSet();
 
   /// Write path (and anything stateful): the primary engine.
   Result<Bytes> Handle(net::MessageType type, BytesView body);
@@ -61,25 +89,52 @@ class ReplicaSet {
   /// Read path: round-robin over in-bound replicas with primary fallback.
   Result<Bytes> HandleRead(net::MessageType type, BytesView body);
 
+  /// Register a socket-backed follower (a daemon's RemoteFollower) under
+  /// `label` (its "host:port" endpoint). Labels are unique: re-registration
+  /// of a known label returns AlreadyExists — the existing shipper redials
+  /// and re-seeds on its own. Fails on a replication-less shard.
+  Status AddRemoteFollower(std::shared_ptr<Follower> follower,
+                           std::string label);
+
+  /// A known remote follower re-announced itself claiming `applied_seq`.
+  /// If that is less than the pipeline's bookkeeping (the daemon restarted
+  /// with less history than we recorded), force it back through snapshot
+  /// catch-up — on a quiescent shard no op shipment would ever expose the
+  /// gap. Unknown labels are ignored.
+  void ReconcileRemoteFollower(const std::string& label, uint64_t applied_seq);
+
   // ----------------------------------------------------------- failover
   /// Sever the primary (engine + replication pipeline) without killing the
   /// process — the testable stand-in for primary loss. Unshipped async ops
   /// are lost, as they would be with the real machine.
   Status DropPrimary();
-  /// Elect the most-caught-up follower as the new primary. Blocks reads
-  /// for the duration; on return the shard serves the promoted history.
+  /// Elect the most-caught-up local follower as the new primary. Blocks
+  /// reads for the duration; on return the shard serves the promoted
+  /// history and remote followers are re-homed under it.
   Status Promote();
 
   // ------------------------------------------------------ introspection
   std::shared_ptr<server::ServerEngine> primary() const;
+  /// The primary's backing store (null for Single() or while dropped) —
+  /// the hello handshake fingerprints it.
+  std::shared_ptr<store::KvStore> primary_kv() const;
   /// Test hook: follower `i`'s read engine.
   std::shared_ptr<server::ServerEngine> replica_engine(size_t i) const;
   size_t num_replicas() const;
+  size_t num_remote_followers() const;
+  /// (label, applied seq) of every remote follower — the heartbeat group
+  /// view the coordinator broadcasts.
+  std::vector<std::pair<std::string, uint64_t>> RemoteFollowerSeqs() const;
   AckMode ack_mode() const { return options_.kv.ack; }
+  bool auto_failover() const { return options_.failover.auto_failover; }
+  uint64_t head_seq() const;
   uint64_t MaxLagOps() const;
+  uint64_t snapshots_shipped() const;
+  uint64_t snapshot_chunks_shipped() const;
   size_t NumStreams() const;
   uint64_t TotalIndexBytes() const;
   size_t promotions() const;
+  size_t auto_failovers() const { return auto_failovers_.load(); }
   uint64_t replica_reads() const { return replica_reads_.load(); }
   uint64_t primary_reads() const { return primary_reads_.load(); }
   uint64_t read_fallbacks() const { return read_fallbacks_.load(); }
@@ -93,6 +148,13 @@ class ReplicaSet {
   struct Replica {
     std::shared_ptr<store::KvStore> kv;
     std::shared_ptr<server::ServerEngine> engine;
+    /// This replica's follower index inside the current rkv_. Re-assigned
+    /// whenever the shipping pipeline is rebuilt (promotion) — never assume
+    /// it equals the replica's position in replicas_.
+    size_t rkv_index = 0;
+    /// Frozen applied seq captured at DropPrimary (serves the headless
+    /// window); meaningless while rkv_ is live.
+    uint64_t final_seq = 0;
     /// Follower seq the engine's in-memory state reflects. Reads past it
     /// trigger an engine Refresh (serialized by refresh_mu; concurrent
     /// readers on the fast path never take the mutex).
@@ -100,22 +162,42 @@ class ReplicaSet {
     std::mutex refresh_mu;
   };
 
-  Status EnsureFresh(Replica& replica, uint64_t applied_seq);
+  struct RemoteEntry {
+    std::shared_ptr<Follower> follower;
+    std::string label;
+    size_t rkv_index = 0;
+  };
 
-  // Guards the topology (primary_/rkv_/replicas_). Request handling holds
-  // it shared; DropPrimary/Promote hold it exclusive, so no read or write
-  // runs mid-failover.
+  Status EnsureFresh(Replica& replica, uint64_t applied_seq);
+  /// Reset the read rotation for the current membership (the round-robin
+  /// cursor restarts at slot 0). Must run under state_mu_ exclusive —
+  /// every membership change (construction, drop, promotion) goes through
+  /// here together with the replicas_/rkv_index updates, so no reader
+  /// ever rotates over a departed or promoted node.
+  void ResetRotationLocked();
+  void MonitorLoop();
+
+  // Guards the topology (primary_/rkv_/replicas_/remotes_). Request
+  // handling holds it shared; DropPrimary/Promote hold it exclusive, so
+  // no read or write runs mid-failover.
   mutable std::shared_mutex state_mu_;
   std::shared_ptr<server::ServerEngine> primary_;
   std::shared_ptr<ReplicatedKvStore> rkv_;  // null for Single()
-  std::vector<std::unique_ptr<Replica>> replicas_;  // index == rkv follower
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  std::vector<RemoteEntry> remotes_;
   bool dropped_ = false;
-  std::vector<uint64_t> final_seqs_;  // follower seqs captured at drop
-  uint64_t final_head_ = 0;           // max of final_seqs_: all acked writes
+  uint64_t final_head_ = 0;  // max frozen seq at drop: all acked writes
   size_t promotions_ = 0;
 
   server::ServerOptions engine_options_;
   ReplicaSetOptions options_;
+
+  // Auto-failover monitor.
+  std::thread monitor_;
+  std::mutex monitor_mu_;
+  std::condition_variable monitor_cv_;
+  bool monitor_stop_ = false;
+  std::atomic<size_t> auto_failovers_{0};
 
   std::atomic<uint64_t> rr_{0};
   std::atomic<uint64_t> replica_reads_{0};

@@ -1,17 +1,59 @@
 #include "replica/replica_wire.hpp"
 
+#include "common/io.hpp"
+#include "net/tcp.hpp"
+
 namespace tc::replica {
+
+namespace {
+/// Where the applier persists its applied seq (follower-local bookkeeping,
+/// exempt from snapshot shipping and reconciliation).
+const std::string kAppliedSeqKey =
+    std::string(kReplicaMetaPrefix) + "applied";
+}  // namespace
+
+Result<Bytes> RemoteFollower::Call(net::MessageType type, BytesView body) {
+  std::unique_lock lock(mu_);
+  if (!transport_) {
+    if (host_.empty()) return Unavailable("replica transport closed");
+    // Bounded dial + bounded I/O: a blackholed follower must fail the
+    // shipment (backoff + retry handles it), never park the shipper in
+    // the kernel's minutes-long retry schedule — DropPrimary joins this
+    // thread under the shard's exclusive lock, so an unbounded wait here
+    // would freeze every read and write on the shard. The op timeout is
+    // generous: it must cover a follower fsyncing a large snapshot chunk.
+    auto client = net::TcpClient::Connect(host_, port_, /*connect_timeout_ms=*/
+                                          5000);
+    if (!client.ok()) return client.status();
+    (void)(*client)->SetOpTimeout(30'000);
+    transport_ = std::shared_ptr<net::Transport>(std::move(*client));
+  }
+  auto transport = transport_;
+  lock.unlock();
+  auto result = transport->Call(type, body);
+  if (!result.ok() && !host_.empty() &&
+      (result.status().code() == StatusCode::kUnavailable ||
+       result.status().code() == StatusCode::kDataLoss)) {
+    // Transport-level failure (peer died, stream corrupt): drop the
+    // connection so the next attempt redials. Handler-level errors keep
+    // the connection — it answered, it is alive.
+    std::lock_guard relock(mu_);
+    if (transport_ == transport) transport_.reset();
+  }
+  return result;
+}
 
 Status RemoteFollower::ApplyOps(std::span<const LoggedOp> ops) {
   if (ops.empty()) return Status::Ok();
   net::ReplicaOpsRequest req;
+  req.shard = shard_;
   req.first_seq = ops.front().seq;
   req.ops.reserve(ops.size());
   for (const auto& op : ops) {
     req.ops.push_back({op.kind, op.key, op.value});
   }
-  TC_ASSIGN_OR_RETURN(Bytes resp, transport_->Call(net::MessageType::kReplicaOps,
-                                                   req.Encode()));
+  TC_ASSIGN_OR_RETURN(Bytes resp, Call(net::MessageType::kReplicaOps,
+                                       req.Encode()));
   TC_ASSIGN_OR_RETURN(auto ack, net::ReplicaAckResponse::Decode(resp));
   if (ack.applied_seq < ops.back().seq) {
     return Internal("follower acked seq " + std::to_string(ack.applied_seq) +
@@ -20,42 +62,145 @@ Status RemoteFollower::ApplyOps(std::span<const LoggedOp> ops) {
   return Status::Ok();
 }
 
-Status RemoteFollower::ApplySnapshot(
-    uint64_t seq, const std::vector<std::pair<std::string, Bytes>>& entries) {
-  // Encode straight from the shipper's buffer — a snapshot is a full store
-  // copy, and one of those in memory is already the budget.
-  Bytes frame = net::ReplicaSnapshotRequest::Encode(seq, entries);
-  TC_ASSIGN_OR_RETURN(
-      Bytes resp,
-      transport_->Call(net::MessageType::kReplicaSnapshot, frame));
-  return net::ReplicaAckResponse::Decode(resp).status();
+Result<uint64_t> RemoteFollower::BeginSnapshot(uint64_t origin, uint64_t seq) {
+  net::ReplicaSnapshotBeginRequest req{shard_, origin, seq};
+  TC_ASSIGN_OR_RETURN(Bytes resp, Call(net::MessageType::kReplicaSnapshotBegin,
+                                       req.Encode()));
+  TC_ASSIGN_OR_RETURN(auto ack, net::ReplicaSnapshotAckResponse::Decode(resp));
+  return ack.entries;
+}
+
+Status RemoteFollower::ApplySnapshotChunk(
+    uint64_t seq, uint64_t first_index,
+    std::span<const SnapshotEntry> entries) {
+  net::ReplicaSnapshotChunkRequest req;
+  req.shard = shard_;
+  req.seq = seq;
+  req.first_index = first_index;
+  req.entries.assign(entries.begin(), entries.end());
+  TC_ASSIGN_OR_RETURN(Bytes resp, Call(net::MessageType::kReplicaSnapshotChunk,
+                                       req.Encode()));
+  TC_ASSIGN_OR_RETURN(auto ack, net::ReplicaSnapshotAckResponse::Decode(resp));
+  uint64_t expected = first_index + entries.size();
+  if (ack.entries != expected) {
+    return Internal("follower holds " + std::to_string(ack.entries) +
+                    " snapshot entries, expected " + std::to_string(expected));
+  }
+  return Status::Ok();
+}
+
+Status RemoteFollower::EndSnapshot(uint64_t seq, uint64_t total_entries) {
+  net::ReplicaSnapshotEndRequest req{shard_, seq, total_entries};
+  TC_ASSIGN_OR_RETURN(Bytes resp, Call(net::MessageType::kReplicaSnapshotEnd,
+                                       req.Encode()));
+  TC_ASSIGN_OR_RETURN(auto ack, net::ReplicaAckResponse::Decode(resp));
+  // Like ApplyOps, trust nothing: a follower that acked the end but did not
+  // actually land on the snapshot's seq applied a stale stream and must not
+  // be treated as caught up.
+  if (ack.applied_seq < seq) {
+    return Internal("follower acked snapshot at seq " +
+                    std::to_string(ack.applied_seq) + " short of " +
+                    std::to_string(seq));
+  }
+  return Status::Ok();
+}
+
+ReplicaApplier::ReplicaApplier(std::shared_ptr<store::KvStore> kv)
+    : kv_(kv), session_(kv) {
+  // A durable follower restarting over its previous store resumes from its
+  // persisted position instead of claiming an empty history.
+  if (auto persisted = kv_->Get(kAppliedSeqKey); persisted.ok()) {
+    BinaryReader r(*persisted);
+    if (auto seq = r.GetU64(); seq.ok()) applied_seq_ = *seq;
+  }
+}
+
+Status ReplicaApplier::PersistAppliedLocked() {
+  BinaryWriter w;
+  w.PutU64(applied_seq_);
+  TC_RETURN_IF_ERROR(kv_->Put(kAppliedSeqKey, w.data()));
+  // Flush the applied marker together with the data it describes: on a
+  // buffered durable store (LogKvStore) a SIGKILL would otherwise drop
+  // the whole shipped batch and force a full re-seed on restart. The
+  // marker is appended after the batch, so replay can never see it ahead
+  // of the data; a stale-low marker just re-ships an idempotent suffix.
+  return kv_->Sync();
+}
+
+Result<Bytes> ReplicaApplier::ApplyOps(const net::ReplicaOpsRequest& req) {
+  std::lock_guard lock(mu_);
+  if (req.first_seq > applied_seq_ + 1) {
+    // A gap means this store is missing history (daemon restart over a
+    // volatile store, or a diverged ex-peer). Applying a suffix would
+    // silently corrupt it; the shipper re-seeds on this error.
+    return FailedPrecondition(
+        "sequence gap: follower applied " + std::to_string(applied_seq_) +
+        ", shipment starts at " + std::to_string(req.first_seq));
+  }
+  for (size_t i = 0; i < req.ops.size(); ++i) {
+    const auto& op = req.ops[i];
+    uint64_t seq = req.first_seq + i;
+    if (seq <= applied_seq_) continue;  // re-delivered prefix
+    if (op.kind == net::kReplicaOpPut) {
+      TC_RETURN_IF_ERROR(kv_->Put(op.key, op.value));
+    } else {
+      Status s = kv_->Delete(op.key);
+      if (!s.ok() && s.code() != StatusCode::kNotFound) return s;
+    }
+    applied_seq_ = seq;
+  }
+  TC_RETURN_IF_ERROR(PersistAppliedLocked());
+  return net::ReplicaAckResponse{applied_seq_}.Encode();
+}
+
+Result<Bytes> ReplicaApplier::SnapshotBegin(
+    const net::ReplicaSnapshotBeginRequest& req) {
+  std::lock_guard lock(mu_);
+  return net::ReplicaSnapshotAckResponse{session_.Begin(req.origin, req.seq)}
+      .Encode();
+}
+
+Result<Bytes> ReplicaApplier::SnapshotChunk(
+    const net::ReplicaSnapshotChunkRequest& req) {
+  std::lock_guard lock(mu_);
+  TC_RETURN_IF_ERROR(session_.Chunk(req.seq, req.first_index, req.entries));
+  ++snapshot_chunks_;
+  return net::ReplicaSnapshotAckResponse{session_.received()}.Encode();
+}
+
+Result<Bytes> ReplicaApplier::SnapshotEnd(
+    const net::ReplicaSnapshotEndRequest& req) {
+  std::lock_guard lock(mu_);
+  TC_RETURN_IF_ERROR(session_.End(req.seq, req.total_entries));
+  // A snapshot is the authoritative full state as of its seq — SET, not
+  // max: after failover the new primary restarts sequence numbering, and a
+  // re-homed survivor must adopt the new numbering or it would skip every
+  // subsequent shipment as "already applied".
+  applied_seq_ = req.seq;
+  TC_RETURN_IF_ERROR(PersistAppliedLocked());
+  return net::ReplicaAckResponse{applied_seq_}.Encode();
 }
 
 Result<Bytes> ReplicaApplier::Handle(net::MessageType type, BytesView body) {
   switch (type) {
     case net::MessageType::kReplicaOps: {
       TC_ASSIGN_OR_RETURN(auto req, net::ReplicaOpsRequest::Decode(body));
-      std::lock_guard lock(mu_);
-      for (size_t i = 0; i < req.ops.size(); ++i) {
-        const auto& op = req.ops[i];
-        uint64_t seq = req.first_seq + i;
-        if (seq <= applied_seq_) continue;  // re-delivered prefix
-        if (op.kind == net::kReplicaOpPut) {
-          TC_RETURN_IF_ERROR(kv_->Put(op.key, op.value));
-        } else {
-          Status s = kv_->Delete(op.key);
-          if (!s.ok() && s.code() != StatusCode::kNotFound) return s;
-        }
-        applied_seq_ = seq;
-      }
-      return net::ReplicaAckResponse{applied_seq_}.Encode();
+      return ApplyOps(req);
     }
-    case net::MessageType::kReplicaSnapshot: {
-      TC_ASSIGN_OR_RETURN(auto req, net::ReplicaSnapshotRequest::Decode(body));
-      std::lock_guard lock(mu_);
-      TC_RETURN_IF_ERROR(ApplySnapshotToStore(*kv_, req.entries));
-      applied_seq_ = std::max(applied_seq_, req.seq);
-      return net::ReplicaAckResponse{applied_seq_}.Encode();
+    case net::MessageType::kReplicaSnapshotBegin: {
+      TC_ASSIGN_OR_RETURN(auto req,
+                          net::ReplicaSnapshotBeginRequest::Decode(body));
+      return SnapshotBegin(req);
+    }
+    case net::MessageType::kReplicaSnapshotChunk: {
+      TC_ASSIGN_OR_RETURN(auto req,
+                          net::ReplicaSnapshotChunkRequest::Decode(body));
+      return SnapshotChunk(req);
+    }
+    case net::MessageType::kReplicaSnapshotEnd: {
+      TC_ASSIGN_OR_RETURN(auto req,
+                          net::ReplicaSnapshotEndRequest::Decode(body));
+      return SnapshotEnd(req);
     }
     case net::MessageType::kPing:
       return Bytes{};
@@ -67,6 +212,16 @@ Result<Bytes> ReplicaApplier::Handle(net::MessageType type, BytesView body) {
 uint64_t ReplicaApplier::applied_seq() const {
   std::lock_guard lock(mu_);
   return applied_seq_;
+}
+
+uint64_t ReplicaApplier::snapshot_chunks_received() const {
+  std::lock_guard lock(mu_);
+  return snapshot_chunks_;
+}
+
+bool ReplicaApplier::snapshot_in_progress() const {
+  std::lock_guard lock(mu_);
+  return session_.active();
 }
 
 }  // namespace tc::replica

@@ -1,14 +1,16 @@
 // Replication over the wire: the follower side of log shipping when the
 // follower lives behind a transport instead of in-process. A RemoteFollower
-// encodes shipped ops/snapshots into kReplicaOps / kReplicaSnapshot frames;
-// a ReplicaApplier is the request handler a follower node runs to apply
-// them to its local store. Together they make `tcserver`-shaped follower
-// processes possible without the primary knowing the difference — the
-// ReplicatedKvStore only ever sees the Follower interface.
+// encodes shipped ops into kReplicaOps frames and snapshot streams into
+// kReplicaSnapshotBegin/Chunk/End frames; a ReplicaApplier is the request
+// handler a follower node runs to apply them to its local store. Together
+// they make `tcserver --follower-of` follower processes possible without
+// the primary knowing the difference — the ReplicatedKvStore only ever
+// sees the Follower interface.
 #pragma once
 
 #include <memory>
 #include <mutex>
+#include <string>
 
 #include "net/messages.hpp"
 #include "net/wire.hpp"
@@ -16,39 +18,72 @@
 
 namespace tc::replica {
 
-/// Follower adapter over a client transport (in-proc or TCP).
+/// Follower adapter over a client transport. Constructed either over a
+/// fixed transport (in-proc tests) or over a (host, port) endpoint, in
+/// which case it dials lazily and redials after transport failures — the
+/// primary's shipper retries with backoff, so a follower daemon restart
+/// heals without operator action.
 class RemoteFollower final : public Follower {
  public:
-  explicit RemoteFollower(std::shared_ptr<net::Transport> transport)
-      : transport_(std::move(transport)) {}
+  explicit RemoteFollower(std::shared_ptr<net::Transport> transport,
+                          uint32_t shard = 0)
+      : transport_(std::move(transport)), shard_(shard) {}
+  RemoteFollower(std::string host, uint16_t port, uint32_t shard)
+      : shard_(shard), host_(std::move(host)), port_(port) {}
 
   Status ApplyOps(std::span<const LoggedOp> ops) override;
-  Status ApplySnapshot(
-      uint64_t seq,
-      const std::vector<std::pair<std::string, Bytes>>& entries) override;
+  Result<uint64_t> BeginSnapshot(uint64_t origin, uint64_t seq) override;
+  Status ApplySnapshotChunk(uint64_t seq, uint64_t first_index,
+                            std::span<const SnapshotEntry> entries) override;
+  Status EndSnapshot(uint64_t seq, uint64_t total_entries) override;
+
+  uint32_t shard() const { return shard_; }
 
  private:
-  std::shared_ptr<net::Transport> transport_;
+  /// One request over the (possibly redialed) transport.
+  Result<Bytes> Call(net::MessageType type, BytesView body);
+
+  std::mutex mu_;
+  std::shared_ptr<net::Transport> transport_;  // guarded by mu_ when dialing
+  uint32_t shard_ = 0;
+  std::string host_;  // empty = fixed transport, never redial
+  uint16_t port_ = 0;
 };
 
 /// Server-side handler a follower node runs: applies replication frames to
 /// its local store, in arrival order. Answers kPing for liveness probes and
 /// rejects every non-replication message — a follower endpoint is not a
-/// serving engine.
+/// serving engine. The applied sequence number is persisted in the store
+/// (under kReplicaMetaPrefix) so a daemon restart over a durable store
+/// resumes from where it left off instead of claiming an empty history.
 class ReplicaApplier final : public net::RequestHandler {
  public:
-  explicit ReplicaApplier(std::shared_ptr<store::KvStore> kv)
-      : kv_(std::move(kv)) {}
+  explicit ReplicaApplier(std::shared_ptr<store::KvStore> kv);
 
   Result<Bytes> Handle(net::MessageType type, BytesView body) override;
 
+  // Typed entry points (the follower daemon demuxes decoded frames by
+  // shard and calls these directly). Each returns the encoded response.
+  Result<Bytes> ApplyOps(const net::ReplicaOpsRequest& req);
+  Result<Bytes> SnapshotBegin(const net::ReplicaSnapshotBeginRequest& req);
+  Result<Bytes> SnapshotChunk(const net::ReplicaSnapshotChunkRequest& req);
+  Result<Bytes> SnapshotEnd(const net::ReplicaSnapshotEndRequest& req);
+
   /// Highest sequence number applied (0 before any frame).
   uint64_t applied_seq() const;
+  /// Snapshot chunks applied so far (catch-up drills assert streaming).
+  uint64_t snapshot_chunks_received() const;
+  /// True while a snapshot stream is open (kill-mid-snapshot drills).
+  bool snapshot_in_progress() const;
 
  private:
+  Status PersistAppliedLocked();
+
   std::shared_ptr<store::KvStore> kv_;
   mutable std::mutex mu_;
   uint64_t applied_seq_ = 0;
+  uint64_t snapshot_chunks_ = 0;
+  SnapshotSession session_;
 };
 
 }  // namespace tc::replica

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
-#include <unordered_set>
 
 #include "common/logging.hpp"
+#include "crypto/rand.hpp"
 #include "net/messages.hpp"
 
 namespace tc::replica {
@@ -17,30 +17,84 @@ std::string_view AckModeName(AckMode mode) {
   return "?";
 }
 
-Status ApplySnapshotToStore(
-    store::KvStore& kv,
-    const std::vector<std::pair<std::string, Bytes>>& entries) {
-  std::unordered_set<std::string> live;
-  live.reserve(entries.size());
-  for (const auto& [key, value] : entries) live.insert(key);
-
-  // Collect stale keys first, mutate after: Scan callbacks must not call
-  // back into the store (the iteration holds its internal locks).
-  std::vector<std::string> stale;
-  TC_RETURN_IF_ERROR(kv.Scan([&](const std::string& key, BytesView) {
-    if (!live.contains(key)) stale.push_back(key);
-  }));
-  for (const auto& key : stale) {
-    Status s = kv.Delete(key);
-    if (!s.ok() && s.code() != StatusCode::kNotFound) return s;
+uint64_t StoreFingerprint(const store::KvStore& kv) {
+  // Same key cluster::BindShardMeta persists the layout under; replica
+  // only needs the bytes, not the decoded (shard, count) pair.
+  auto meta = kv.Get("meta/cluster/shard");
+  if (!meta.ok()) return 0;
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (uint8_t b : *meta) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
   }
-  for (const auto& [key, value] : entries) {
+  return h == 0 ? 1 : h;  // 0 is reserved for "no layout bound"
+}
+
+uint64_t SnapshotSession::Begin(uint64_t origin, uint64_t seq) {
+  if (active_ && origin_ == origin && seq_ == seq) {
+    return received_;  // same pipeline retrying the same stream: resume
+  }
+  active_ = true;
+  origin_ = origin;
+  seq_ = seq;
+  received_ = 0;
+  keys_.clear();
+  return 0;
+}
+
+Status SnapshotSession::Chunk(uint64_t seq, uint64_t first_index,
+                              std::span<const SnapshotEntry> entries) {
+  if (!active_ || seq_ != seq) {
+    return FailedPrecondition("no snapshot stream open for seq " +
+                              std::to_string(seq));
+  }
+  if (first_index > received_) {
+    return FailedPrecondition("snapshot chunk gap: stream at " +
+                              std::to_string(received_) + ", chunk starts at " +
+                              std::to_string(first_index));
+  }
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (first_index + i < received_) continue;  // re-delivered overlap
+    const auto& [key, value] = entries[i];
+    keys_.insert(key);
     // Skip byte-identical values: re-seeding a durable follower (restart
     // with a reused log file) must not rewrite its entire log as dead bytes.
-    auto existing = kv.Get(key);
-    if (existing.ok() && *existing == value) continue;
-    TC_RETURN_IF_ERROR(kv.Put(key, value));
+    auto existing = kv_->Get(key);
+    if (!existing.ok() || *existing != value) {
+      TC_RETURN_IF_ERROR(kv_->Put(key, value));
+    }
+    received_ = first_index + i + 1;
   }
+  return Status::Ok();
+}
+
+Status SnapshotSession::End(uint64_t seq, uint64_t total_entries) {
+  if (!active_ || seq_ != seq || received_ != total_entries) {
+    // Reset so the shipper's restart begins a clean stream.
+    Status error = FailedPrecondition(
+        "snapshot end mismatch: stream " + std::to_string(seq_) + "/" +
+        std::to_string(received_) + " entries vs end " + std::to_string(seq) +
+        "/" + std::to_string(total_entries));
+    active_ = false;
+    keys_.clear();
+    return error;
+  }
+  // Collect stale keys first, mutate after: Scan callbacks must not call
+  // back into the store (the iteration holds its internal locks). Keys
+  // under the replica-meta prefix are follower-local bookkeeping, never
+  // part of the shipped state.
+  std::vector<std::string> stale;
+  TC_RETURN_IF_ERROR(kv_->Scan([&](const std::string& key, BytesView) {
+    if (!keys_.contains(key) && !key.starts_with(kReplicaMetaPrefix)) {
+      stale.push_back(key);
+    }
+  }));
+  for (const auto& key : stale) {
+    Status s = kv_->Delete(key);
+    if (!s.ok() && s.code() != StatusCode::kNotFound) return s;
+  }
+  active_ = false;
+  keys_.clear();
   return Status::Ok();
 }
 
@@ -58,17 +112,29 @@ Status LocalFollower::ApplyOps(std::span<const LoggedOp> ops) {
   return Status::Ok();
 }
 
-Status LocalFollower::ApplySnapshot(
-    uint64_t /*seq*/,
-    const std::vector<std::pair<std::string, Bytes>>& entries) {
-  return ApplySnapshotToStore(*kv_, entries);
+Result<uint64_t> LocalFollower::BeginSnapshot(uint64_t origin, uint64_t seq) {
+  return session_.Begin(origin, seq);
+}
+
+Status LocalFollower::ApplySnapshotChunk(
+    uint64_t seq, uint64_t first_index,
+    std::span<const SnapshotEntry> entries) {
+  return session_.Chunk(seq, first_index, entries);
+}
+
+Status LocalFollower::EndSnapshot(uint64_t seq, uint64_t total_entries) {
+  return session_.End(seq, total_entries);
 }
 
 ReplicatedKvStore::ReplicatedKvStore(std::shared_ptr<store::KvStore> primary,
                                      ReplicatedKvOptions options)
-    : primary_(std::move(primary)), options_(options) {
+    : primary_(std::move(primary)),
+      options_(options),
+      origin_(crypto::RandomU64() | 1) {
   if (options_.ship_batch_ops == 0) options_.ship_batch_ops = 1;
   if (options_.max_log_ops == 0) options_.max_log_ops = 1;
+  if (options_.snapshot_chunk_entries == 0) options_.snapshot_chunk_entries = 1;
+  if (options_.snapshot_chunk_bytes == 0) options_.snapshot_chunk_bytes = 1;
 }
 
 ReplicatedKvStore::~ReplicatedKvStore() {
@@ -178,6 +244,14 @@ Status ReplicatedKvStore::follower_error(size_t i) const {
   return followers_[i]->last_error;
 }
 
+void ReplicatedKvStore::MarkNeedsSnapshot(size_t i) {
+  std::lock_guard lock(mu_);
+  if (i >= followers_.size()) return;
+  followers_[i]->needs_snapshot = true;
+  followers_[i]->applied_seq.store(0, std::memory_order_release);
+  work_cv_.notify_all();
+}
+
 uint64_t ReplicatedKvStore::MaxLagOps() const {
   std::lock_guard lock(mu_);
   uint64_t head = head_seq_.load(std::memory_order_acquire);
@@ -231,12 +305,65 @@ void ReplicatedKvStore::BackoffAfterFailureLocked(
                 << " consecutive): " << error.ToString();
   }
   // Exponential backoff, 10ms doubling to a 5s cap: a dead follower costs
-  // one retry (and on the snapshot path one full store scan) every few
-  // seconds, not a hundred per second.
+  // one retry (and on the snapshot path one key scan) every few seconds,
+  // not a hundred per second.
   uint64_t shift = std::min<uint64_t>(state->consecutive_failures - 1, 9);
   auto backoff = std::chrono::milliseconds(
       std::min<int64_t>(10 << shift, 5000));
   work_cv_.wait_for(lock, backoff, [&] { return stop_; });
+}
+
+Status ReplicatedKvStore::StreamSnapshot(FollowerState* state,
+                                         uint64_t snap_seq) {
+  // Key list first, values fetched per chunk: peak shipper memory is the
+  // key list plus one bounded chunk, never the whole store. The sorted
+  // order is deterministic for a fixed key set, which is what lets an
+  // interrupted stream resume: the same snap_seq implies no mutations since
+  // it was pinned, hence the same keys in the same order.
+  std::vector<std::string> keys;
+  TC_RETURN_IF_ERROR(primary_->Scan([&](const std::string& key, BytesView) {
+    if (!std::string_view(key).starts_with(kReplicaMetaPrefix)) {
+      keys.push_back(key);
+    }
+  }));
+  std::sort(keys.begin(), keys.end());
+
+  TC_ASSIGN_OR_RETURN(uint64_t resume,
+                      state->follower->BeginSnapshot(origin_, snap_seq));
+
+  std::vector<SnapshotEntry> chunk;
+  size_t chunk_bytes = 0;
+  uint64_t chunk_first = resume;
+  auto flush = [&]() -> Status {
+    if (chunk.empty()) return Status::Ok();
+    TC_RETURN_IF_ERROR(
+        state->follower->ApplySnapshotChunk(snap_seq, chunk_first, chunk));
+    snapshot_chunks_.fetch_add(1, std::memory_order_relaxed);
+    chunk_first += chunk.size();
+    chunk.clear();
+    chunk_bytes = 0;
+    return Status::Ok();
+  };
+
+  uint64_t stream_index = 0;  // position among entries that resolved
+  for (const auto& key : keys) {
+    auto value = primary_->Get(key);
+    if (!value.ok()) {
+      // Deleted while we walked the list: the op log replays the delete
+      // after the snapshot lands, and End reconciles diverged holders.
+      if (value.status().code() == StatusCode::kNotFound) continue;
+      return value.status();
+    }
+    if (stream_index++ < resume) continue;  // follower already holds it
+    chunk_bytes += key.size() + value->size();
+    chunk.emplace_back(key, std::move(*value));
+    if (chunk.size() >= options_.snapshot_chunk_entries ||
+        chunk_bytes >= options_.snapshot_chunk_bytes) {
+      TC_RETURN_IF_ERROR(flush());
+    }
+  }
+  TC_RETURN_IF_ERROR(flush());
+  return state->follower->EndSnapshot(snap_seq, stream_index);
 }
 
 void ReplicatedKvStore::ShipperLoop(FollowerState* state) {
@@ -251,17 +378,13 @@ void ReplicatedKvStore::ShipperLoop(FollowerState* state) {
 
     uint64_t applied = state->applied_seq.load(std::memory_order_relaxed);
     if (state->needs_snapshot || applied + 1 < log_first_seq_) {
-      // Behind the retained window (or fresh): full snapshot catch-up.
-      // Pinning snap_seq under mu_ guarantees every op <= snap_seq is
-      // visible to the Scan below; ops that race in during the scan are
-      // harmlessly re-applied afterwards (in-order replay converges).
+      // Behind the retained window (or fresh): snapshot catch-up. Pinning
+      // snap_seq under mu_ guarantees every op <= snap_seq is visible to
+      // the key scan; ops that race in during the stream are harmlessly
+      // re-applied afterwards (in-order replay converges).
       uint64_t snap_seq = head_seq_.load(std::memory_order_relaxed);
       lock.unlock();
-      std::vector<std::pair<std::string, Bytes>> entries;
-      Status s = primary_->Scan([&](const std::string& key, BytesView value) {
-        entries.emplace_back(key, Bytes(value.begin(), value.end()));
-      });
-      if (s.ok()) s = state->follower->ApplySnapshot(snap_seq, entries);
+      Status s = StreamSnapshot(state, snap_seq);
       lock.lock();
       if (!s.ok()) {
         BackoffAfterFailureLocked(lock, state, "snapshot", s);
@@ -287,6 +410,18 @@ void ReplicatedKvStore::ShipperLoop(FollowerState* state) {
     Status s = state->follower->ApplyOps(batch);
     lock.lock();
     if (!s.ok()) {
+      if (s.code() == StatusCode::kFailedPrecondition) {
+        // The follower cannot take this run at all — it restarted or lost
+        // state since we last saw it (a sequence gap, not a transient
+        // fault). Re-seed it instead of retrying the same frame forever.
+        TC_LOG_WARN << "replica op shipment rejected, re-seeding follower: "
+                    << s.ToString();
+        state->last_error = s;
+        state->needs_snapshot = true;
+        // Our view of its progress is wrong too; restart from the stream.
+        state->applied_seq.store(0, std::memory_order_release);
+        continue;
+      }
       BackoffAfterFailureLocked(lock, state, "op shipment", s);
       continue;
     }

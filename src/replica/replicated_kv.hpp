@@ -1,4 +1,4 @@
-// Per-shard KV replication: log shipping with snapshot catch-up.
+// Per-shard KV replication: log shipping with streaming snapshot catch-up.
 //
 // The paper's deployment inherits fault tolerance and read scaling from
 // Cassandra's replication underneath stateless TimeCrypt nodes (§4.6); our
@@ -12,8 +12,13 @@
 // followers. Followers apply strictly in order, so a follower's store is
 // always a consistent prefix of the primary's mutation history. A bounded
 // in-memory op log retains the recent window for streaming; a follower that
-// is empty, stale, or has fallen behind the window is caught up with a full
-// snapshot (Scan of the primary) before streaming resumes.
+// is empty, stale, or has fallen behind the window is caught up with a
+// snapshot before streaming resumes. Snapshots stream in bounded chunks
+// (Begin → Chunk* → End): the shipper walks the primary's key list and
+// fetches values one batch at a time, the receiver writes each chunk
+// straight into its store — neither side ever holds a full copy of the
+// store in memory, which is what makes catch-up of a large LogKvStore
+// feasible.
 //
 // Ack modes:
 //   kAsync  — Put/Delete return once the primary applied; followers drain
@@ -32,7 +37,9 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string_view>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "store/kv_store.hpp"
@@ -43,6 +50,18 @@ enum class AckMode : uint8_t { kAsync = 0, kQuorum = 1 };
 
 std::string_view AckModeName(AckMode mode);
 
+/// Follower-local bookkeeping keys (e.g. the applier's persisted applied
+/// seq) live under this prefix: snapshot shipping skips them and snapshot
+/// reconciliation never deletes them, so they survive re-seeding without
+/// ever being confused with replicated state.
+inline constexpr std::string_view kReplicaMetaPrefix = "meta/replica/";
+
+/// Fingerprint of a store's persisted shard layout (meta/cluster/shard):
+/// 0 for a store that has never been bound. The hello handshake compares
+/// fingerprints so a follower formatted for a different cluster shape is
+/// rejected instead of silently reconciled into the wrong shard.
+uint64_t StoreFingerprint(const store::KvStore& kv);
+
 /// One sequence-numbered mutation in the shipping log.
 struct LoggedOp {
   uint64_t seq = 0;
@@ -50,6 +69,9 @@ struct LoggedOp {
   std::string key;
   Bytes value;  // empty for deletes
 };
+
+/// One snapshot-stream entry.
+using SnapshotEntry = std::pair<std::string, Bytes>;
 
 /// Where shipped mutations land. Implementations: LocalFollower (a KvStore
 /// in this process), RemoteFollower (a transport to a ReplicaApplier).
@@ -59,36 +81,77 @@ class Follower {
   virtual ~Follower() = default;
 
   /// Apply a contiguous, ordered run of ops. Re-delivery after a failure
-  /// must be tolerated (puts overwrite; deleting a missing key is OK).
+  /// must be tolerated (puts overwrite; deleting a missing key is OK). A
+  /// kFailedPrecondition return means the follower cannot accept this run
+  /// at all (a sequence gap: it restarted or diverged) and needs a fresh
+  /// snapshot, not a retry.
   virtual Status ApplyOps(std::span<const LoggedOp> ops) = 0;
 
-  /// Replace state with the full snapshot as of `seq`: apply every entry
-  /// and delete local keys absent from it (reconverges diverged stores).
-  virtual Status ApplySnapshot(
-      uint64_t seq,
-      const std::vector<std::pair<std::string, Bytes>>& entries) = 0;
+  /// Open a snapshot stream as of `seq`. `origin` identifies the shipping
+  /// pipeline (random per ReplicatedKvStore): a stream is only resumable
+  /// by the pipeline that started it — after failover the new primary's
+  /// numbering restarts, and a coincidentally equal seq must not graft its
+  /// stream onto a half-received one from the dead primary. Returns the
+  /// resume point: how many stream entries the follower already holds for
+  /// this exact (origin, seq), 0 otherwise.
+  virtual Result<uint64_t> BeginSnapshot(uint64_t origin, uint64_t seq) = 0;
+
+  /// One bounded batch of the stream; `first_index` positions it.
+  virtual Status ApplySnapshotChunk(uint64_t seq, uint64_t first_index,
+                                    std::span<const SnapshotEntry> entries) = 0;
+
+  /// Close the stream: the follower deletes local keys the stream never
+  /// named (reconverging diverged stores) and jumps its applied seq to
+  /// `seq`. `total_entries` cross-checks that nothing was lost in transit.
+  virtual Status EndSnapshot(uint64_t seq, uint64_t total_entries) = 0;
 };
 
-/// Snapshot-apply shared by local followers and the wire-side applier:
-/// deletes stale keys, then writes entries — skipping byte-identical values
-/// so re-seeding a durable follower does not rewrite its whole log.
-Status ApplySnapshotToStore(
-    store::KvStore& kv,
-    const std::vector<std::pair<std::string, Bytes>>& entries);
+/// Receiver-side state machine of the chunked snapshot stream, shared by
+/// LocalFollower and the wire-side ReplicaApplier. Applies each chunk
+/// straight into the store (skipping byte-identical values so re-seeding a
+/// durable follower does not rewrite its whole log) and retains only the
+/// key set for the End reconciliation. Not thread-safe; callers serialize.
+class SnapshotSession {
+ public:
+  explicit SnapshotSession(std::shared_ptr<store::KvStore> kv)
+      : kv_(std::move(kv)) {}
+
+  /// Returns the resume point (received entry count) when (origin, seq)
+  /// matches an in-progress stream, else resets and returns 0.
+  uint64_t Begin(uint64_t origin, uint64_t seq);
+  Status Chunk(uint64_t seq, uint64_t first_index,
+               std::span<const SnapshotEntry> entries);
+  /// Reconcile deletes and close. Fails (kFailedPrecondition) on a seq or
+  /// count mismatch — the shipper restarts the stream.
+  Status End(uint64_t seq, uint64_t total_entries);
+
+  bool active() const { return active_; }
+  uint64_t received() const { return received_; }
+
+ private:
+  std::shared_ptr<store::KvStore> kv_;
+  bool active_ = false;
+  uint64_t origin_ = 0;
+  uint64_t seq_ = 0;
+  uint64_t received_ = 0;
+  std::unordered_set<std::string> keys_;  // named by the stream so far
+};
 
 /// In-process follower over any KvStore.
 class LocalFollower final : public Follower {
  public:
   explicit LocalFollower(std::shared_ptr<store::KvStore> kv)
-      : kv_(std::move(kv)) {}
+      : kv_(kv), session_(std::move(kv)) {}
 
   Status ApplyOps(std::span<const LoggedOp> ops) override;
-  Status ApplySnapshot(
-      uint64_t seq,
-      const std::vector<std::pair<std::string, Bytes>>& entries) override;
+  Result<uint64_t> BeginSnapshot(uint64_t origin, uint64_t seq) override;
+  Status ApplySnapshotChunk(uint64_t seq, uint64_t first_index,
+                            std::span<const SnapshotEntry> entries) override;
+  Status EndSnapshot(uint64_t seq, uint64_t total_entries) override;
 
  private:
   std::shared_ptr<store::KvStore> kv_;
+  SnapshotSession session_;
 };
 
 struct ReplicatedKvOptions {
@@ -97,6 +160,10 @@ struct ReplicatedKvOptions {
   size_t ship_batch_ops = 256;
   /// Retained op-log window. A follower lagging past it is snapshot-fed.
   size_t max_log_ops = 8192;
+  /// Snapshot chunk bounds: a chunk closes at whichever limit hits first.
+  /// These cap both sides' catch-up memory (and the wire frame size).
+  size_t snapshot_chunk_bytes = 1 << 20;
+  size_t snapshot_chunk_entries = 1024;
   /// Quorum mode: how long a writer waits for follower acks before giving
   /// up with Unavailable.
   int64_t quorum_timeout_ms = 10'000;
@@ -113,8 +180,8 @@ class ReplicatedKvStore final : public store::KvStore {
   ~ReplicatedKvStore() override;
 
   /// Register a follower and start shipping to it. The follower is first
-  /// caught up with a full snapshot (it may hold anything: nothing, a stale
-  /// copy from a previous run, or a diverged ex-peer after failover).
+  /// caught up with a snapshot stream (it may hold anything: nothing, a
+  /// stale copy from a previous run, or a diverged ex-peer after failover).
   /// Returns its index for follower_seq().
   size_t AddFollower(std::shared_ptr<Follower> follower);
 
@@ -136,11 +203,19 @@ class ReplicatedKvStore final : public store::KvStore {
   uint64_t follower_seq(size_t i) const;
   /// Widest lag across followers, in ops (0 with no followers).
   uint64_t MaxLagOps() const;
-  /// Snapshots shipped so far (tests assert the catch-up path actually ran).
+  /// Snapshots completed so far (tests assert the catch-up path ran).
   uint64_t snapshots_shipped() const { return snapshots_.load(); }
+  /// Bounded chunks shipped across all snapshots — the witness that
+  /// catch-up streamed instead of materializing one full-store frame.
+  uint64_t snapshot_chunks_shipped() const { return snapshot_chunks_.load(); }
   /// Follower i's most recent shipping failure; OK while healthy (and again
   /// once a retry succeeds). The "why is this follower lagging" signal.
   Status follower_error(size_t i) const;
+  /// Force follower i back through snapshot catch-up. Used when external
+  /// evidence says our applied-seq bookkeeping overstates the follower
+  /// (a daemon re-registered claiming less history than we recorded) — on
+  /// a write-quiescent shard the gap detector would otherwise never fire.
+  void MarkNeedsSnapshot(size_t i);
   AckMode ack_mode() const { return options_.ack; }
 
   /// Block until every follower has applied every op issued before the
@@ -162,6 +237,9 @@ class ReplicatedKvStore final : public store::KvStore {
 
   Status Replicate(uint8_t kind, const std::string& key, BytesView value);
   void ShipperLoop(FollowerState* state);
+  /// One full snapshot stream attempt to `state` as of `snap_seq`. Runs
+  /// with mu_ released; returns the stream's entry total on success.
+  Status StreamSnapshot(FollowerState* state, uint64_t snap_seq);
   /// Record a shipping failure and sleep out its backoff (mu_ held on
   /// entry and exit). Logs the first failure, then every 64th — a dead
   /// follower must not flood the log at retry frequency.
@@ -179,9 +257,11 @@ class ReplicatedKvStore final : public store::KvStore {
   std::condition_variable work_cv_;  // shipper wakeup: new ops or stop
   std::condition_variable ack_cv_;   // writer wakeup: follower progress
   std::deque<LoggedOp> log_;         // window [log_first_seq_, head_seq_]
+  const uint64_t origin_;            // this pipeline's snapshot identity
   uint64_t log_first_seq_ = 1;
   std::atomic<uint64_t> head_seq_{0};
   std::atomic<uint64_t> snapshots_{0};
+  std::atomic<uint64_t> snapshot_chunks_{0};
   bool stop_ = false;
   // Shipper threads self-register here; vector only grows (AddFollower),
   // entries are stable (unique_ptr) so atomics can be read without mu_.

@@ -211,10 +211,15 @@ Result<Bytes> ServerEngine::Handle(MessageType type, BytesView body) {
     case MessageType::kGetChunkWitnessed: return GetChunkWitnessed(body);
     case MessageType::kPing: return Bytes{};
     case MessageType::kResponse: break;
-    // Replication frames target a follower's ReplicaApplier endpoint; a
-    // serving engine is never the right recipient.
+    // Replication frames target a follower's ReplicaApplier endpoint (and
+    // kReplicaHello a PrimaryCoordinator); a serving engine is never the
+    // right recipient.
     case MessageType::kReplicaOps: break;
-    case MessageType::kReplicaSnapshot: break;
+    case MessageType::kReplicaHello: break;
+    case MessageType::kReplicaSnapshotBegin: break;
+    case MessageType::kReplicaSnapshotChunk: break;
+    case MessageType::kReplicaSnapshotEnd: break;
+    case MessageType::kReplicaHeartbeat: break;
   }
   return InvalidArgument("unknown message type");
 }

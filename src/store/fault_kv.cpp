@@ -11,14 +11,14 @@ bool ShouldFire(std::atomic<uint64_t>& counter, uint64_t every_nth) {
 
 FaultKvStore::FaultKvStore(std::shared_ptr<KvStore> inner,
                            FaultOptions options)
-    : inner_(std::move(inner)), options_(options) {}
+    : inner_(std::move(inner)), options_(options), fail_all_(options.fail_all) {}
 
 Status FaultKvStore::Fault() const {
   return {options_.failure_code, "injected fault"};
 }
 
 Status FaultKvStore::Put(const std::string& key, BytesView value) {
-  if (options_.fail_all || ShouldFire(put_ops_, options_.fail_every_nth_put)) {
+  if (FailAll() || ShouldFire(put_ops_, options_.fail_every_nth_put)) {
     ++puts_failed_;
     return Fault();
   }
@@ -26,7 +26,7 @@ Status FaultKvStore::Put(const std::string& key, BytesView value) {
 }
 
 Result<Bytes> FaultKvStore::Get(const std::string& key) const {
-  if (options_.fail_all || ShouldFire(get_ops_, options_.fail_every_nth_get)) {
+  if (FailAll() || ShouldFire(get_ops_, options_.fail_every_nth_get)) {
     ++gets_failed_;
     return Fault();
   }
@@ -40,7 +40,7 @@ Result<Bytes> FaultKvStore::Get(const std::string& key) const {
 }
 
 Status FaultKvStore::Delete(const std::string& key) {
-  if (options_.fail_all ||
+  if (FailAll() ||
       ShouldFire(delete_ops_, options_.fail_every_nth_delete)) {
     ++deletes_failed_;
     return Fault();
@@ -49,13 +49,13 @@ Status FaultKvStore::Delete(const std::string& key) {
 }
 
 bool FaultKvStore::Contains(const std::string& key) const {
-  if (options_.fail_all) return false;
+  if (FailAll()) return false;
   return inner_->Contains(key);
 }
 
 Status FaultKvStore::Scan(
     const std::function<void(const std::string&, BytesView)>& fn) const {
-  if (options_.fail_all) return Fault();
+  if (FailAll()) return Fault();
   return inner_->Scan(fn);
 }
 

@@ -45,7 +45,11 @@ class FaultKvStore final : public KvStore {
       const override;
 
   /// Flip the hard-outage switch (all operations fail until cleared).
-  void SetFailAll(bool fail_all) { options_.fail_all = fail_all; }
+  /// Atomic: tests flip it from their own thread while shipper / failover
+  /// monitor threads are mid-operation.
+  void SetFailAll(bool fail_all) {
+    fail_all_.store(fail_all, std::memory_order_release);
+  }
 
   /// Injected-failure counters (tests assert faults actually fired).
   uint64_t puts_failed() const { return puts_failed_; }
@@ -55,9 +59,11 @@ class FaultKvStore final : public KvStore {
 
  private:
   Status Fault() const;
+  bool FailAll() const { return fail_all_.load(std::memory_order_acquire); }
 
   std::shared_ptr<KvStore> inner_;
   FaultOptions options_;
+  std::atomic<bool> fail_all_;  // seeded from options_, runtime-flippable
   mutable std::atomic<uint64_t> put_ops_{0};
   mutable std::atomic<uint64_t> get_ops_{0};
   mutable std::atomic<uint64_t> delete_ops_{0};

@@ -1,0 +1,406 @@
+// Follower-daemon topology tests: a primary process plus follower daemons
+// over loopback TCP. Registration must stream snapshot catch-up in bounded
+// chunks (never one full-store frame), op shipping must keep daemons
+// converged, killing a daemon mid-snapshot must heal by re-seeding, and
+// killing the primary must trigger the view-based takeover election: the
+// most-caught-up daemon promotes itself with streams, grants, and witness
+// state intact, and the survivors re-home under it.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "client/consumer.hpp"
+#include "client/owner.hpp"
+#include "cluster/shard_router.hpp"
+#include "replica/coordinator.hpp"
+#include "replica/follower_daemon.hpp"
+#include "replica/replica_set.hpp"
+#include "net/tcp.hpp"
+#include "store/latency.hpp"
+#include "store/mem_kv.hpp"
+
+namespace tc {
+namespace {
+
+using client::ConsumerClient;
+using client::OwnerClient;
+using client::Principal;
+using replica::FollowerDaemon;
+using replica::FollowerDaemonOptions;
+using replica::PrimaryCoordinator;
+using replica::ReplicaSet;
+
+constexpr DurationMs kDelta = 10 * kSecond;
+
+net::StreamConfig HeacConfig(const std::string& name, bool integrity) {
+  net::StreamConfig c;
+  c.name = name;
+  c.t0 = 0;
+  c.delta_ms = kDelta;
+  c.schema.with_sum = true;
+  c.schema.with_count = true;
+  c.cipher = net::CipherKind::kHeac;
+  c.fanout = 4;
+  c.integrity = integrity;
+  return c;
+}
+
+Status IngestChunks(OwnerClient& owner, uint64_t uuid, uint64_t first,
+                    uint64_t count) {
+  for (uint64_t c = first; c < first + count; ++c) {
+    for (int i = 0; i < 5; ++i) {
+      TC_RETURN_IF_ERROR(owner.InsertRecord(
+          uuid, {static_cast<Timestamp>(c * kDelta + i * 1000),
+                 static_cast<int64_t>(c + 1)}));
+    }
+  }
+  return owner.Flush(uuid);
+}
+
+int64_t OracleSum(uint64_t first, uint64_t last) {
+  int64_t sum = 0;
+  for (uint64_t c = first; c < last; ++c) sum += 5 * (c + 1);
+  return sum;
+}
+
+Result<std::shared_ptr<net::Transport>> Dial(uint16_t port) {
+  auto client = net::TcpClient::Connect("127.0.0.1", port);
+  TC_RETURN_IF_ERROR(client.status());
+  return std::shared_ptr<net::Transport>(std::move(*client));
+}
+
+bool PollUntil(const std::function<bool()>& done, int64_t timeout_ms) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (done()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  return done();
+}
+
+FollowerDaemonOptions DaemonOptions(uint16_t primary_port) {
+  FollowerDaemonOptions options;
+  options.primary_host = "127.0.0.1";
+  options.primary_port = primary_port;
+  options.tick_ms = 25;
+  options.takeover_timeout_ms = 1500;  // ~10 primary heartbeats
+  options.coordinator.heartbeat_ms = 150;
+  return options;
+}
+
+// The acceptance drill: primary + two follower daemons over loopback TCP,
+// chunked snapshot catch-up, primary killed, automatic promotion, reads
+// (streams, grants, witnesses) intact, survivors re-homed.
+TEST(FollowerDaemonE2E, AutoPromotionServesFullStateAfterPrimaryDeath) {
+  // Primary: one replication-capable shard, snapshot chunks forced small so
+  // catch-up must stream many frames.
+  replica::ReplicaSetOptions set_options;
+  set_options.kv.snapshot_chunk_bytes = 2048;
+  auto set = ReplicaSet::Make(std::make_shared<store::MemKvStore>(), {}, {},
+                              set_options);
+  std::vector<std::shared_ptr<ReplicaSet>> sets = {set};
+  auto router = std::make_shared<cluster::ShardRouter>(sets);
+  replica::CoordinatorOptions coordinator_options;
+  coordinator_options.heartbeat_ms = 150;
+  auto coordinator = std::make_shared<PrimaryCoordinator>(router, sets,
+                                                          coordinator_options);
+  auto server = std::make_unique<net::TcpServer>(coordinator, 0);
+  ASSERT_TRUE(server->Start().ok());
+
+  // Pre-failure state: two streams (one witnessed), a grant, real payloads.
+  auto primary_transport = Dial(server->port());
+  ASSERT_TRUE(primary_transport.ok());
+  OwnerClient owner(*primary_transport);
+  Principal alice{"alice", crypto::GenerateBoxKeyPair()};
+  auto plain = owner.CreateStream(HeacConfig("daemon-plain", false));
+  ASSERT_TRUE(plain.ok());
+  auto witnessed = owner.CreateStream(HeacConfig("daemon-witnessed", true));
+  ASSERT_TRUE(witnessed.ok());
+  ASSERT_TRUE(IngestChunks(owner, *plain, 0, 12).ok());
+  ASSERT_TRUE(IngestChunks(owner, *witnessed, 0, 12).ok());
+  ASSERT_TRUE(owner
+                  .GrantAccess(*plain, alice.id, alice.keys.public_key,
+                               {0, 12 * kDelta}, 1)
+                  .ok());
+  crypto::Key128 plain_seed = (*owner.KeysFor(*plain))->master_seed();
+  crypto::Key128 witnessed_seed = (*owner.KeysFor(*witnessed))->master_seed();
+
+  // Two follower daemons register over TCP and get streamed the snapshot.
+  FollowerDaemon f1({std::make_shared<store::MemKvStore>()},
+                    DaemonOptions(server->port()));
+  FollowerDaemon f2({std::make_shared<store::MemKvStore>()},
+                    DaemonOptions(server->port()));
+  ASSERT_TRUE(f1.Start(0).ok());
+  ASSERT_TRUE(f2.Start(0).ok());
+  ASSERT_TRUE(PollUntil(
+      [&] {
+        return set->num_remote_followers() == 2 && set->MaxLagOps() == 0 &&
+               set->snapshots_shipped() >= 2;
+      },
+      30'000))
+      << "daemons did not register and catch up";
+
+  // Catch-up was chunked: strictly more chunk frames than snapshots, and
+  // the daemons saw multiple chunks each — never one full-store frame.
+  EXPECT_GT(set->snapshot_chunks_shipped(), set->snapshots_shipped());
+  EXPECT_GT(f1.snapshot_chunks_received(0), 1u);
+  EXPECT_GT(f2.snapshot_chunks_received(0), 1u);
+
+  // Live op shipping after the snapshot.
+  ASSERT_TRUE(IngestChunks(owner, *plain, 12, 2).ok());
+  ASSERT_TRUE(set->WaitCaughtUp().ok());
+  int64_t plain_sum = OracleSum(0, 14);
+  int64_t witnessed_sum = OracleSum(0, 12);
+
+  // Follower daemons serve reads locally while following; writes are
+  // refused. (Chunk counters over the wire too: cluster-info on a daemon
+  // reports the streamed chunks.)
+  {
+    auto follower_transport = Dial(f1.port());
+    ASSERT_TRUE(follower_transport.ok());
+    OwnerClient follower_reader(*follower_transport);
+    ASSERT_TRUE(follower_reader.AttachStream(*plain, plain_seed).ok());
+    auto stats = follower_reader.GetStatRange(*plain, {0, 14 * kDelta});
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->stats.Sum().value(), plain_sum);
+    net::InsertChunkRequest probe{*plain, 99, ToBytes("digest"), {}};
+    EXPECT_EQ((*follower_transport)
+                  ->Call(net::MessageType::kInsertChunk, probe.Encode())
+                  .status()
+                  .code(),
+              StatusCode::kUnavailable);
+    auto info_blob =
+        (*follower_transport)->Call(net::MessageType::kClusterInfo, {});
+    ASSERT_TRUE(info_blob.ok());
+    auto info = net::ClusterInfoResponse::Decode(*info_blob);
+    ASSERT_TRUE(info.ok());
+    ASSERT_EQ(info->shards.size(), 1u);
+    EXPECT_GT(info->shards[0].snapshot_chunks, 1u);
+  }
+
+  // Capture a witnessed read for byte-identical comparison after failover.
+  net::GetChunkWitnessedRequest witness_req{*witnessed, 0, 12, 0};
+  auto witness_before = (*primary_transport)
+                            ->Call(net::MessageType::kGetChunkWitnessed,
+                                   witness_req.Encode());
+  ASSERT_TRUE(witness_before.ok());
+
+  // Let a couple of heartbeats broadcast the settled group view, so both
+  // daemons elect from identical (applied, endpoint) tuples.
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+
+  // Kill the primary process: heartbeats, shippers, and the serving socket
+  // all go silent at once.
+  coordinator.reset();
+  server.reset();
+  router.reset();
+  sets.clear();
+  set.reset();
+
+  // The takeover election: both daemons are equally caught up, so the
+  // smaller endpoint (same host, lower port) must win.
+  FollowerDaemon& winner = f1.port() < f2.port() ? f1 : f2;
+  FollowerDaemon& loser = f1.port() < f2.port() ? f2 : f1;
+  ASSERT_TRUE(PollUntil([&] { return winner.promoted(); }, 30'000))
+      << "no daemon promoted after primary death";
+
+  // The survivor re-homes under the promoted daemon instead of promoting.
+  ASSERT_TRUE(PollUntil([&] { return winner.num_remote_followers() == 1; },
+                        30'000));
+  EXPECT_FALSE(loser.promoted());
+
+  // Reads continue against the promoted daemon with full state: decrypted
+  // sums, raw ranges, sealed grants, and the witness tree.
+  auto promoted_transport = Dial(winner.port());
+  ASSERT_TRUE(promoted_transport.ok());
+  OwnerClient promoted_owner(*promoted_transport);
+  ASSERT_TRUE(promoted_owner.AttachStream(*plain, plain_seed).ok());
+  ASSERT_TRUE(promoted_owner.AttachStream(*witnessed, witnessed_seed).ok());
+  auto stats = promoted_owner.GetStatRange(*plain, {0, 14 * kDelta});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->stats.Sum().value(), plain_sum);
+  auto wstats = promoted_owner.GetStatRange(*witnessed, {0, 12 * kDelta});
+  ASSERT_TRUE(wstats.ok());
+  EXPECT_EQ(wstats->stats.Sum().value(), witnessed_sum);
+  auto points = promoted_owner.GetRange(*plain, {0, 3 * kDelta});
+  ASSERT_TRUE(points.ok());
+  EXPECT_EQ(points->size(), 15u);
+
+  ConsumerClient consumer(*promoted_transport, alice);
+  auto grants = consumer.FetchGrants();
+  ASSERT_TRUE(grants.ok()) << grants.status().ToString();
+  EXPECT_EQ(*grants, 1);
+  auto consumed = consumer.GetStatRange(*plain, {0, 12 * kDelta});
+  ASSERT_TRUE(consumed.ok());
+  EXPECT_EQ(consumed->stats.Sum().value(), OracleSum(0, 12));
+
+  auto witness_after = (*promoted_transport)
+                           ->Call(net::MessageType::kGetChunkWitnessed,
+                                  witness_req.Encode());
+  ASSERT_TRUE(witness_after.ok());
+  EXPECT_EQ(*witness_after, *witness_before);
+
+  // The promoted daemon is a real primary: it accepts writes and ships
+  // them to the re-homed survivor, whose local reads converge.
+  ASSERT_TRUE(IngestChunks(promoted_owner, *plain, 14, 2).ok());
+  int64_t extended_sum = OracleSum(0, 16);
+  auto extended = promoted_owner.GetStatRange(*plain, {0, 16 * kDelta});
+  ASSERT_TRUE(extended.ok());
+  EXPECT_EQ(extended->stats.Sum().value(), extended_sum);
+  ASSERT_TRUE(PollUntil(
+      [&] {
+        auto survivor_transport = Dial(loser.port());
+        if (!survivor_transport.ok()) return false;
+        OwnerClient survivor_reader(*survivor_transport);
+        if (!survivor_reader.AttachStream(*plain, plain_seed).ok()) {
+          return false;
+        }
+        auto s = survivor_reader.GetStatRange(*plain, {0, 16 * kDelta});
+        return s.ok() && s->stats.Sum().value() == extended_sum;
+      },
+      30'000))
+      << "survivor never converged on the post-failover writes";
+
+  f1.Stop();
+  f2.Stop();
+}
+
+// The satellite drill: kill a follower daemon mid-snapshot, restart it on
+// the same endpoint over the surviving store, and verify catch-up heals.
+TEST(FollowerDaemonE2E, DaemonKilledMidSnapshotHealsOnRestart) {
+  replica::ReplicaSetOptions set_options;
+  set_options.kv.snapshot_chunk_entries = 1;  // one entry per chunk frame
+  auto set = ReplicaSet::Make(std::make_shared<store::MemKvStore>(), {}, {},
+                              set_options);
+  std::vector<std::shared_ptr<ReplicaSet>> sets = {set};
+  auto router = std::make_shared<cluster::ShardRouter>(sets);
+  auto coordinator = std::make_shared<PrimaryCoordinator>(router, sets,
+                                                          replica::CoordinatorOptions{});
+  net::TcpServer server(coordinator, 0);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto transport = Dial(server.port());
+  ASSERT_TRUE(transport.ok());
+  OwnerClient owner(*transport);
+  auto uuid = owner.CreateStream(HeacConfig("mid-snapshot", false));
+  ASSERT_TRUE(uuid.ok());
+  ASSERT_TRUE(IngestChunks(owner, *uuid, 0, 30).ok());
+
+  // The daemon's store applies each write slowly, so the one-entry chunk
+  // stream is reliably in flight when we pull the plug.
+  auto follower_store = std::make_shared<store::LatencyKvStore>(
+      std::make_shared<store::MemKvStore>(), std::chrono::microseconds(800));
+  auto options = DaemonOptions(server.port());
+  options.auto_promote = false;  // a passive replica: never takes over
+  auto daemon = std::make_unique<FollowerDaemon>(
+      std::vector<std::shared_ptr<store::KvStore>>{follower_store}, options);
+  ASSERT_TRUE(daemon->Start(0).ok());
+  uint16_t daemon_port = daemon->port();
+  ASSERT_TRUE(PollUntil(
+      [&] { return daemon->snapshot_chunks_received(0) >= 3; }, 30'000))
+      << "snapshot stream never started";
+  ASSERT_TRUE(daemon->snapshot_in_progress(0) ||
+              daemon->applied_seq(0) < set->head_seq());
+
+  // Kill it mid-stream. The shipper's in-flight chunk fails; it backs off
+  // and retries against the same endpoint.
+  daemon->Stop();
+  daemon.reset();
+
+  // Restart on the same endpoint over the surviving store. The fresh
+  // applier has no open session, so the re-seed streams from entry 0 and
+  // must converge (the persisted applied seq is still pre-snapshot).
+  auto restarted = std::make_unique<FollowerDaemon>(
+      std::vector<std::shared_ptr<store::KvStore>>{follower_store}, options);
+  ASSERT_TRUE(restarted->Start(daemon_port).ok());
+  ASSERT_TRUE(PollUntil(
+      [&] {
+        return set->MaxLagOps() == 0 && set->num_remote_followers() == 1 &&
+               restarted->applied_seq(0) == set->head_seq() &&
+               set->head_seq() > 0;
+      },
+      30'000))
+      << "restarted daemon never caught up";
+
+  // Converged for real: the daemon serves the same decrypted aggregate.
+  auto daemon_transport = Dial(restarted->port());
+  ASSERT_TRUE(daemon_transport.ok());
+  OwnerClient reader(*daemon_transport);
+  crypto::Key128 seed = (*owner.KeysFor(*uuid))->master_seed();
+  ASSERT_TRUE(reader.AttachStream(*uuid, seed).ok());
+  auto stats = reader.GetStatRange(*uuid, {0, 30 * kDelta});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->stats.Sum().value(), OracleSum(0, 30));
+
+  restarted->Stop();
+  server.Stop();
+}
+
+TEST(FollowerDaemonE2E, HelloHandshakeValidation) {
+  // A replication-less shard refuses followers with a pointed message.
+  auto single = ReplicaSet::Single(std::make_shared<server::ServerEngine>(
+      std::make_shared<store::MemKvStore>()));
+  std::vector<std::shared_ptr<ReplicaSet>> sets = {single};
+  auto router = std::make_shared<cluster::ShardRouter>(sets);
+  PrimaryCoordinator coordinator(router, sets, {});
+
+  net::ReplicaHelloRequest hello;
+  hello.shard = 0;
+  hello.host = "127.0.0.1";
+  hello.port = 4434;
+  EXPECT_EQ(coordinator.Handle(net::MessageType::kReplicaHello, hello.Encode())
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+
+  // Out-of-range shard ids are rejected outright.
+  auto replicated = ReplicaSet::Make(std::make_shared<store::MemKvStore>(),
+                                     {}, {}, {});
+  std::vector<std::shared_ptr<ReplicaSet>> rsets = {replicated};
+  auto rrouter = std::make_shared<cluster::ShardRouter>(rsets);
+  PrimaryCoordinator rcoordinator(rrouter, rsets, {});
+  hello.shard = 7;
+  EXPECT_EQ(rcoordinator
+                .Handle(net::MessageType::kReplicaHello, hello.Encode())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  // Shard-count gate: an empty follower (fingerprint 0) started with the
+  // wrong --shards would replicate and serve the wrong stream subset.
+  hello.shard = 0;
+  hello.num_shards = 2;
+  EXPECT_EQ(rcoordinator
+                .Handle(net::MessageType::kReplicaHello, hello.Encode())
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+  hello.num_shards = 1;
+
+  // Fingerprint gate: a follower whose store is laid out for a different
+  // cluster shape is refused; an empty store (fingerprint 0) is welcome.
+  ASSERT_TRUE(
+      cluster::BindShardMeta(*replicated->primary_kv(), 0, 1).ok());
+  store::MemKvStore foreign;
+  ASSERT_TRUE(cluster::BindShardMeta(foreign, 0, 4).ok());
+  hello.shard = 0;
+  hello.store_fingerprint = replica::StoreFingerprint(foreign);
+  EXPECT_EQ(rcoordinator
+                .Handle(net::MessageType::kReplicaHello, hello.Encode())
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+  hello.store_fingerprint = 0;
+  auto accepted =
+      rcoordinator.Handle(net::MessageType::kReplicaHello, hello.Encode());
+  ASSERT_TRUE(accepted.ok()) << accepted.status().ToString();
+  auto response = net::ReplicaHelloResponse::Decode(*accepted);
+  ASSERT_TRUE(response.ok());
+  EXPECT_GT(response->heartbeat_ms, 0u);
+  EXPECT_EQ(replicated->num_remote_followers(), 1u);
+}
+
+}  // namespace
+}  // namespace tc

@@ -142,6 +142,100 @@ TEST(Messages, RollupAndDeleteRoundTrip) {
   EXPECT_EQ(dback->range, (TimeRange{5, 10}));
 }
 
+TEST(Messages, ReplicaHandshakeRoundTrip) {
+  ReplicaHelloRequest hello;
+  hello.shard = 3;
+  hello.num_shards = 4;
+  hello.applied_seq = 512;
+  hello.store_fingerprint = 0xabcdef;
+  hello.host = "10.0.0.7";
+  hello.port = 4434;
+  auto hback = ReplicaHelloRequest::Decode(hello.Encode());
+  ASSERT_TRUE(hback.ok());
+  EXPECT_EQ(hback->shard, 3u);
+  EXPECT_EQ(hback->num_shards, 4u);
+
+  // A shard id outside its own shard count is malformed on its face.
+  hello.num_shards = 2;
+  EXPECT_EQ(ReplicaHelloRequest::Decode(hello.Encode()).status().code(),
+            StatusCode::kInvalidArgument);
+  hello.num_shards = 4;
+  EXPECT_EQ(hback->applied_seq, 512u);
+  EXPECT_EQ(hback->store_fingerprint, 0xabcdefu);
+  EXPECT_EQ(hback->host, "10.0.0.7");
+  EXPECT_EQ(hback->port, 4434u);
+
+  ReplicaHelloResponse resp{99, 500};
+  auto rback = ReplicaHelloResponse::Decode(resp.Encode());
+  ASSERT_TRUE(rback.ok());
+  EXPECT_EQ(rback->head_seq, 99u);
+  EXPECT_EQ(rback->heartbeat_ms, 500u);
+
+  ReplicaHeartbeatRequest beat;
+  beat.shard = 1;
+  beat.head_seq = 77;
+  beat.peers = {{"10.0.0.7", 4434, 70}, {"10.0.0.8", 4435, 77}};
+  auto bback = ReplicaHeartbeatRequest::Decode(beat.Encode());
+  ASSERT_TRUE(bback.ok());
+  EXPECT_EQ(bback->head_seq, 77u);
+  ASSERT_EQ(bback->peers.size(), 2u);
+  EXPECT_EQ(bback->peers[1], beat.peers[1]);
+}
+
+TEST(Messages, ReplicaSnapshotStreamRoundTrip) {
+  ReplicaSnapshotBeginRequest begin{2, 0x1d0cULL, 41};
+  auto bback = ReplicaSnapshotBeginRequest::Decode(begin.Encode());
+  ASSERT_TRUE(bback.ok());
+  EXPECT_EQ(bback->shard, 2u);
+  EXPECT_EQ(bback->origin, 0x1d0cULL);
+  EXPECT_EQ(bback->seq, 41u);
+
+  ReplicaSnapshotChunkRequest chunk;
+  chunk.shard = 2;
+  chunk.seq = 41;
+  chunk.first_index = 16;
+  chunk.entries = {{"chunk/7/0", Bytes{1, 2, 3}}, {"meta/streams", Bytes{9}}};
+  auto cback = ReplicaSnapshotChunkRequest::Decode(chunk.Encode());
+  ASSERT_TRUE(cback.ok());
+  EXPECT_EQ(cback->first_index, 16u);
+  ASSERT_EQ(cback->entries.size(), 2u);
+  EXPECT_EQ(cback->entries[0].first, "chunk/7/0");
+  EXPECT_EQ(cback->entries[0].second, (Bytes{1, 2, 3}));
+
+  ReplicaSnapshotEndRequest end{2, 41, 18};
+  auto eback = ReplicaSnapshotEndRequest::Decode(end.Encode());
+  ASSERT_TRUE(eback.ok());
+  EXPECT_EQ(eback->total_entries, 18u);
+
+  ReplicaSnapshotAckResponse ack{18};
+  auto aback = ReplicaSnapshotAckResponse::Decode(ack.Encode());
+  ASSERT_TRUE(aback.ok());
+  EXPECT_EQ(aback->entries, 18u);
+}
+
+TEST(Messages, ClusterInfoCarriesFailoverHealth) {
+  ClusterInfoResponse resp;
+  ClusterInfoResponse::ShardInfo shard;
+  shard.shard = 4;
+  shard.num_streams = 10;
+  shard.index_bytes = 4096;
+  shard.replicas = 2;
+  shard.ack_mode = ClusterInfoResponse::kAckQuorum;
+  shard.max_lag_ops = 3;
+  shard.remote_followers = 2;
+  shard.auto_failover = 1;
+  shard.promotions = 1;
+  shard.snapshot_chunks = 640;
+  resp.shards.push_back(shard);
+  auto back = ClusterInfoResponse::Decode(resp.Encode());
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->shards.size(), 1u);
+  EXPECT_EQ(back->shards[0].remote_followers, 2u);
+  EXPECT_EQ(back->shards[0].auto_failover, 1u);
+  EXPECT_EQ(back->shards[0].promotions, 1u);
+  EXPECT_EQ(back->shards[0].snapshot_chunks, 640u);
+}
+
 TEST(Messages, TruncatedDecodesFail) {
   CreateStreamRequest req{99, SampleConfig()};
   Bytes enc = req.Encode();

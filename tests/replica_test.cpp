@@ -5,6 +5,7 @@
 // the complete pre-failure stream history in both ack modes.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
 #include <map>
 #include <thread>
@@ -39,6 +40,12 @@ constexpr DurationMs kDelta = 10 * kSecond;
 std::map<std::string, Bytes> Contents(const store::KvStore& kv) {
   std::map<std::string, Bytes> out;
   EXPECT_TRUE(kv.Scan([&](const std::string& key, BytesView value) {
+                // Follower-local bookkeeping (persisted applied seq) is not
+                // replicated state; convergence compares everything else.
+                if (std::string_view(key).starts_with(
+                        replica::kReplicaMetaPrefix)) {
+                  return;
+                }
                 out.emplace(key, Bytes(value.begin(), value.end()));
               }).ok());
   return out;
@@ -141,11 +148,19 @@ class GatedFollower final : public replica::Follower {
     if (!open_.load()) return Unavailable("gate closed");
     return inner_.ApplyOps(ops);
   }
-  Status ApplySnapshot(
-      uint64_t seq,
-      const std::vector<std::pair<std::string, Bytes>>& entries) override {
+  Result<uint64_t> BeginSnapshot(uint64_t origin, uint64_t seq) override {
     if (!open_.load()) return Unavailable("gate closed");
-    return inner_.ApplySnapshot(seq, entries);
+    return inner_.BeginSnapshot(origin, seq);
+  }
+  Status ApplySnapshotChunk(
+      uint64_t seq, uint64_t first_index,
+      std::span<const replica::SnapshotEntry> entries) override {
+    if (!open_.load()) return Unavailable("gate closed");
+    return inner_.ApplySnapshotChunk(seq, first_index, entries);
+  }
+  Status EndSnapshot(uint64_t seq, uint64_t total_entries) override {
+    if (!open_.load()) return Unavailable("gate closed");
+    return inner_.EndSnapshot(seq, total_entries);
   }
 
   void Open() { open_.store(true); }
@@ -228,6 +243,69 @@ TEST(ReplicatedKv, FollowerBehindTheLogWindowIsSnapshotFed) {
   EXPECT_EQ(Contents(*fkv), Contents(*rkv));
 }
 
+TEST(ReplicatedKv, SnapshotStreamsInBoundedChunks) {
+  ReplicatedKvOptions options;
+  options.snapshot_chunk_entries = 8;  // force many small chunks
+  auto rkv = std::make_shared<ReplicatedKvStore>(
+      std::make_shared<store::MemKvStore>(), options);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(rkv->Put("k" + std::to_string(i),
+                         ToBytes("value-" + std::to_string(i)))
+                    .ok());
+  }
+  auto fkv = std::make_shared<store::MemKvStore>();
+  rkv->AddFollower(std::make_shared<LocalFollower>(fkv));
+  ASSERT_TRUE(rkv->WaitCaughtUp().ok());
+
+  // 100 entries at ≤8 per chunk: the stream must have been split, never a
+  // single full-store shipment.
+  EXPECT_GE(rkv->snapshot_chunks_shipped(), 100u / 8u);
+  EXPECT_GE(rkv->snapshots_shipped(), 1u);
+  EXPECT_EQ(Contents(*fkv), Contents(*rkv));
+}
+
+TEST(SnapshotSession, ResumesReconvergesAndRejectsGaps) {
+  auto kv = std::make_shared<store::MemKvStore>();
+  ASSERT_TRUE(kv->Put("zombie", ToBytes("stale")).ok());
+  replica::SnapshotSession session(kv);
+
+  EXPECT_EQ(session.Begin(/*origin=*/1, 7), 0u);
+  std::vector<replica::SnapshotEntry> first = {{"a", ToBytes("1")},
+                                               {"b", ToBytes("2")}};
+  ASSERT_TRUE(session.Chunk(7, 0, first).ok());
+
+  // Reconnect mid-stream: a Begin with the same (origin, seq) resumes
+  // where the stream left off instead of restarting.
+  EXPECT_EQ(session.Begin(1, 7), 2u);
+  // A different origin with the same seq (a new primary whose restarted
+  // numbering happens to collide) must NOT resume the stale stream.
+  EXPECT_EQ(session.Begin(2, 7), 0u);
+  EXPECT_EQ(session.Begin(1, 7), 0u);  // ...and the stale session is gone
+  ASSERT_TRUE(session.Chunk(7, 0, first).ok());
+  std::vector<replica::SnapshotEntry> second = {{"c", ToBytes("3")}};
+  ASSERT_TRUE(session.Chunk(7, 2, second).ok());
+
+  // Re-delivered overlap is idempotent; a gap is rejected.
+  std::vector<replica::SnapshotEntry> overlap = {{"b", ToBytes("2")},
+                                                 {"c", ToBytes("3")}};
+  ASSERT_TRUE(session.Chunk(7, 1, overlap).ok());
+  EXPECT_EQ(session.received(), 3u);
+  EXPECT_EQ(session.Chunk(7, 5, second).code(),
+            StatusCode::kFailedPrecondition);
+
+  // End reconciles: keys the stream never named are deleted.
+  ASSERT_TRUE(session.End(7, 3).ok());
+  EXPECT_FALSE(kv->Contains("zombie"));
+  EXPECT_TRUE(kv->Contains("a"));
+  EXPECT_TRUE(kv->Contains("c"));
+
+  // A different seq is a different stream: no resume.
+  EXPECT_EQ(session.Begin(1, 9), 0u);
+  // And a count mismatch at End fails instead of passing a short stream.
+  ASSERT_TRUE(session.Chunk(9, 0, first).ok());
+  EXPECT_EQ(session.End(9, 5).code(), StatusCode::kFailedPrecondition);
+}
+
 // ------------------------------------------------------------ wire follower
 
 TEST(ReplicaWire, RemoteFollowerConvergesThroughApplier) {
@@ -263,6 +341,61 @@ TEST(ReplicaWire, RemoteFollowerConvergesThroughApplier) {
 
   // A follower endpoint is not a serving engine.
   EXPECT_FALSE(applier->Handle(net::MessageType::kGetStatRange, {}).ok());
+}
+
+/// Transport handler whose target can be swapped — the in-proc stand-in
+/// for a follower daemon dying and coming back empty on the same endpoint.
+class SwappableHandler final : public net::RequestHandler {
+ public:
+  explicit SwappableHandler(std::shared_ptr<net::RequestHandler> inner)
+      : inner_(std::move(inner)) {}
+
+  Result<Bytes> Handle(net::MessageType type, BytesView body) override {
+    std::shared_ptr<net::RequestHandler> inner;
+    {
+      std::lock_guard lock(mu_);
+      inner = inner_;
+    }
+    return inner->Handle(type, body);
+  }
+
+  void Swap(std::shared_ptr<net::RequestHandler> inner) {
+    std::lock_guard lock(mu_);
+    inner_ = std::move(inner);
+  }
+
+ private:
+  std::mutex mu_;
+  std::shared_ptr<net::RequestHandler> inner_;
+};
+
+TEST(ReplicaWire, FollowerRestartGapTriggersReseed) {
+  auto kv1 = std::make_shared<store::MemKvStore>();
+  auto applier1 = std::make_shared<replica::ReplicaApplier>(kv1);
+  auto swap = std::make_shared<SwappableHandler>(applier1);
+
+  auto rkv = std::make_shared<ReplicatedKvStore>(
+      std::make_shared<store::MemKvStore>());
+  rkv->AddFollower(std::make_shared<replica::RemoteFollower>(
+      std::make_shared<net::InProcTransport>(swap)));
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(rkv->Put("k" + std::to_string(i), ToBytes("v")).ok());
+  }
+  ASSERT_TRUE(rkv->WaitCaughtUp().ok());
+  EXPECT_EQ(Contents(*kv1), Contents(*rkv));
+  uint64_t seeded = rkv->snapshots_shipped();
+
+  // The follower process "restarts" with an empty store: shipping the next
+  // op run would silently graft a suffix onto missing history. The applier
+  // must reject the gap and the shipper must re-seed with a snapshot.
+  auto kv2 = std::make_shared<store::MemKvStore>();
+  swap->Swap(std::make_shared<replica::ReplicaApplier>(kv2));
+  for (int i = 10; i < 20; ++i) {
+    ASSERT_TRUE(rkv->Put("k" + std::to_string(i), ToBytes("v")).ok());
+  }
+  ASSERT_TRUE(rkv->WaitCaughtUp().ok());
+  EXPECT_GT(rkv->snapshots_shipped(), seeded);
+  EXPECT_EQ(Contents(*kv2), Contents(*rkv));
 }
 
 // --------------------------------------------------------------- ReplicaSet
@@ -536,6 +669,146 @@ TEST(Failover, PromotedFollowerServesFullHistoryAsync) {
 
 TEST(Failover, PromotedFollowerServesFullHistoryQuorum) {
   RunFailoverDrill(AckMode::kQuorum);
+}
+
+TEST(Failover, AutoFailoverPromotesWhenPrimaryStoreDies) {
+  // Heartbeat probes against a primary store that starts failing must trip
+  // the miss threshold and run the drop+promote sequence without any
+  // operator call — PR 3's manual drill, automated.
+  auto backend = std::make_shared<store::MemKvStore>();
+  store::FaultOptions fault;
+  auto fault_kv = std::make_shared<store::FaultKvStore>(
+      std::make_shared<store::PrefixKvStore>(backend, "p/"), fault);
+  std::vector<std::shared_ptr<store::KvStore>> followers = {
+      std::make_shared<store::PrefixKvStore>(backend, "r0/"),
+      std::make_shared<store::PrefixKvStore>(backend, "r1/")};
+  ReplicaSetOptions options;
+  options.failover.auto_failover = true;
+  options.failover.heartbeat_interval_ms = 20;
+  options.failover.miss_threshold = 2;
+  auto set = ReplicaSet::Make(fault_kv, followers, {}, options);
+
+  net::CreateStreamRequest create{42, PlainConfig("auto")};
+  ASSERT_TRUE(
+      set->Handle(net::MessageType::kCreateStream, create.Encode()).ok());
+  auto cipher = index::MakePlainCipher(2);
+  for (uint64_t ch = 0; ch < 6; ++ch) {
+    std::vector<uint64_t> fields{ch + 1, 1};
+    net::InsertChunkRequest req{42, ch, *cipher->Encrypt(fields, ch), {}};
+    ASSERT_TRUE(
+        set->Handle(net::MessageType::kInsertChunk, req.Encode()).ok());
+  }
+  ASSERT_TRUE(set->WaitCaughtUp().ok());
+  EXPECT_EQ(set->promotions(), 0u);
+  EXPECT_TRUE(set->auto_failover());
+
+  // Kill the primary's store. The monitor must notice and promote. Poll
+  // the auto_failovers counter — it is the last thing the monitor bumps,
+  // so promotions() is settled once it reads 1.
+  fault_kv->SetFailAll(true);
+  for (int i = 0; i < 200 && set->auto_failovers() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_EQ(set->auto_failovers(), 1u) << "auto-failover did not fire";
+  EXPECT_EQ(set->promotions(), 1u);
+  EXPECT_EQ(set->num_replicas(), 1u);
+
+  // The shard serves the full history again — reads and new writes.
+  net::StatRangeRequest stat{42, {0, 6 * kDelta}};
+  auto resp = set->HandleRead(net::MessageType::kGetStatRange, stat.Encode());
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  std::vector<uint64_t> next{7, 1};
+  net::InsertChunkRequest more{42, 6, *cipher->Encrypt(next, 6), {}};
+  ASSERT_TRUE(set->Handle(net::MessageType::kInsertChunk, more.Encode()).ok());
+  ASSERT_TRUE(set->WaitCaughtUp().ok());
+}
+
+TEST(Failover, RemoteFollowersAreReHomedByPromotion) {
+  auto backend = std::make_shared<store::MemKvStore>();
+  auto primary = std::make_shared<store::PrefixKvStore>(backend, "p/");
+  auto local = std::make_shared<store::PrefixKvStore>(backend, "l/");
+  auto set = ReplicaSet::Make(primary, {local}, {}, {});
+
+  // A socket follower, in-proc: applier behind a transport.
+  auto remote_kv = std::make_shared<store::MemKvStore>();
+  auto applier = std::make_shared<replica::ReplicaApplier>(remote_kv);
+  ASSERT_TRUE(set->AddRemoteFollower(
+                     std::make_shared<replica::RemoteFollower>(
+                         std::make_shared<net::InProcTransport>(applier)),
+                     "127.0.0.1:7001")
+                  .ok());
+  // Duplicate registration (daemon restart) must not double-ship.
+  EXPECT_EQ(set->AddRemoteFollower(
+                   std::make_shared<replica::RemoteFollower>(
+                       std::make_shared<net::InProcTransport>(applier)),
+                   "127.0.0.1:7001")
+                .code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(set->num_remote_followers(), 1u);
+
+  net::CreateStreamRequest create{42, PlainConfig("rehome")};
+  ASSERT_TRUE(
+      set->Handle(net::MessageType::kCreateStream, create.Encode()).ok());
+  auto cipher = index::MakePlainCipher(2);
+  for (uint64_t ch = 0; ch < 4; ++ch) {
+    std::vector<uint64_t> fields{ch + 1, 1};
+    net::InsertChunkRequest req{42, ch, *cipher->Encrypt(fields, ch), {}};
+    ASSERT_TRUE(
+        set->Handle(net::MessageType::kInsertChunk, req.Encode()).ok());
+  }
+  ASSERT_TRUE(set->WaitCaughtUp().ok());
+  EXPECT_GT(applier->applied_seq(), 0u);
+
+  // Failover: the remote follower must keep following the promoted
+  // primary (fresh sequence numbering adopted through the re-seed).
+  ASSERT_TRUE(set->DropPrimary().ok());
+  ASSERT_TRUE(set->Promote().ok());
+  EXPECT_EQ(set->num_remote_followers(), 1u);
+  for (uint64_t ch = 4; ch < 8; ++ch) {
+    std::vector<uint64_t> fields{ch + 1, 1};
+    net::InsertChunkRequest req{42, ch, *cipher->Encrypt(fields, ch), {}};
+    ASSERT_TRUE(
+        set->Handle(net::MessageType::kInsertChunk, req.Encode()).ok());
+  }
+  ASSERT_TRUE(set->WaitCaughtUp().ok());
+  EXPECT_EQ(Contents(*remote_kv), Contents(*local));
+}
+
+TEST(Failover, QuiescentReHelloForcesReseed) {
+  // A wiped follower re-registering on a shard with no write traffic: the
+  // gap detector never fires (nothing ships), so the reconcile path must
+  // force the snapshot itself or the primary would count an empty store
+  // as fully caught up forever.
+  auto set = ReplicaSet::Make(std::make_shared<store::MemKvStore>(), {}, {},
+                              {});
+  auto kv1 = std::make_shared<store::MemKvStore>();
+  auto applier1 = std::make_shared<replica::ReplicaApplier>(kv1);
+  auto swap = std::make_shared<SwappableHandler>(applier1);
+  ASSERT_TRUE(set->AddRemoteFollower(
+                     std::make_shared<replica::RemoteFollower>(
+                         std::make_shared<net::InProcTransport>(swap)),
+                     "127.0.0.1:7002")
+                  .ok());
+  net::CreateStreamRequest create{42, PlainConfig("quiescent")};
+  ASSERT_TRUE(
+      set->Handle(net::MessageType::kCreateStream, create.Encode()).ok());
+  ASSERT_TRUE(set->WaitCaughtUp().ok());
+  EXPECT_GT(kv1->Size(), 0u);
+  uint64_t seeded = set->snapshots_shipped();
+
+  // "Restart" the follower with an empty store; it re-hellos claiming
+  // applied_seq 0. No writes follow — reconciliation alone must re-seed.
+  auto kv2 = std::make_shared<store::MemKvStore>();
+  swap->Swap(std::make_shared<replica::ReplicaApplier>(kv2));
+  set->ReconcileRemoteFollower("127.0.0.1:7002", 0);
+  ASSERT_TRUE(set->WaitCaughtUp().ok());
+  EXPECT_GT(set->snapshots_shipped(), seeded);
+  EXPECT_EQ(Contents(*kv2), Contents(*kv1));
+  // An honest claim (already at the recorded seq) must NOT churn.
+  uint64_t settled = set->snapshots_shipped();
+  set->ReconcileRemoteFollower("127.0.0.1:7002", set->head_seq());
+  ASSERT_TRUE(set->WaitCaughtUp().ok());
+  EXPECT_EQ(set->snapshots_shipped(), settled);
 }
 
 TEST(Failover, DropAndPromoteGuardrails) {

@@ -86,10 +86,28 @@ std::vector<NamedDecoder> AllDecoders() {
        [](BytesView in) { return ClusterInfoResponse::Decode(in).ok(); }},
       {"ReplicaOps",
        [](BytesView in) { return ReplicaOpsRequest::Decode(in).ok(); }},
-      {"ReplicaSnapshot",
-       [](BytesView in) { return ReplicaSnapshotRequest::Decode(in).ok(); }},
+      {"ReplicaSnapshotBegin",
+       [](BytesView in) {
+         return ReplicaSnapshotBeginRequest::Decode(in).ok();
+       }},
+      {"ReplicaSnapshotChunk",
+       [](BytesView in) {
+         return ReplicaSnapshotChunkRequest::Decode(in).ok();
+       }},
+      {"ReplicaSnapshotEnd",
+       [](BytesView in) { return ReplicaSnapshotEndRequest::Decode(in).ok(); }},
+      {"ReplicaSnapshotAck",
+       [](BytesView in) {
+         return ReplicaSnapshotAckResponse::Decode(in).ok();
+       }},
       {"ReplicaAck",
        [](BytesView in) { return ReplicaAckResponse::Decode(in).ok(); }},
+      {"ReplicaHello",
+       [](BytesView in) { return ReplicaHelloRequest::Decode(in).ok(); }},
+      {"ReplicaHelloResponse",
+       [](BytesView in) { return ReplicaHelloResponse::Decode(in).ok(); }},
+      {"ReplicaHeartbeat",
+       [](BytesView in) { return ReplicaHeartbeatRequest::Decode(in).ok(); }},
   };
 }
 
@@ -156,16 +174,37 @@ std::vector<Bytes> ValidEncodings() {
   cluster.shards.push_back({1, 2, 2048});
   out.push_back(cluster.Encode());
   ReplicaOpsRequest rops;
+  rops.shard = 2;
   rops.first_seq = 12;
   rops.ops.push_back({kReplicaOpPut, "chunk/7/0", ToBytes("sealed")});
   rops.ops.push_back({kReplicaOpDelete, "chunk/7/1", {}});
   out.push_back(rops.Encode());
-  ReplicaSnapshotRequest snap;
-  snap.seq = 13;
-  snap.entries.emplace_back("meta/streams", ToBytes("dir"));
-  snap.entries.emplace_back("chunk/7/0", ToBytes("sealed"));
-  out.push_back(snap.Encode());
+  out.push_back(ReplicaSnapshotBeginRequest{2, 0x0effULL, 13}.Encode());
+  ReplicaSnapshotChunkRequest chunk;
+  chunk.shard = 2;
+  chunk.seq = 13;
+  chunk.first_index = 5;
+  chunk.entries.emplace_back("meta/streams", ToBytes("dir"));
+  chunk.entries.emplace_back("chunk/7/0", ToBytes("sealed"));
+  out.push_back(chunk.Encode());
+  out.push_back(ReplicaSnapshotEndRequest{2, 13, 7}.Encode());
+  out.push_back(ReplicaSnapshotAckResponse{7}.Encode());
   out.push_back(ReplicaAckResponse{13}.Encode());
+  ReplicaHelloRequest hello;
+  hello.shard = 2;
+  hello.num_shards = 4;
+  hello.applied_seq = 13;
+  hello.store_fingerprint = 0xfeedULL;
+  hello.host = "127.0.0.1";
+  hello.port = 4434;
+  out.push_back(hello.Encode());
+  out.push_back(ReplicaHelloResponse{21, 500}.Encode());
+  ReplicaHeartbeatRequest beat;
+  beat.shard = 2;
+  beat.head_seq = 21;
+  beat.peers.push_back({"127.0.0.1", 4434, 13});
+  beat.peers.push_back({"127.0.0.1", 4435, 21});
+  out.push_back(beat.Encode());
   client::AccessGrant grant;
   grant.stream_uuid = 7;
   grant.kind = client::GrantKind::kFullResolution;
@@ -248,24 +287,30 @@ TEST(WireFuzz, LengthPrefixedVectorsRejectAbsurdCounts) {
   EXPECT_FALSE(InsertChunkBatchRequest::Decode(hostile_at(8)).ok());
   // ClusterInfoResponse: count is the first field.
   EXPECT_FALSE(ClusterInfoResponse::Decode(hostile_at(0)).ok());
-  // Replica messages: count follows an 8-byte sequence number.
-  EXPECT_FALSE(ReplicaOpsRequest::Decode(hostile_at(8)).ok());
-  EXPECT_FALSE(ReplicaSnapshotRequest::Decode(hostile_at(8)).ok());
+  // Replica ops: count follows a 4-byte shard + 8-byte sequence number.
+  EXPECT_FALSE(ReplicaOpsRequest::Decode(hostile_at(12)).ok());
+  // Snapshot chunk: count follows shard + seq + first_index (20 bytes).
+  EXPECT_FALSE(ReplicaSnapshotChunkRequest::Decode(hostile_at(20)).ok());
+  // Heartbeat: peer count follows shard + head_seq (12 bytes).
+  EXPECT_FALSE(ReplicaHeartbeatRequest::Decode(hostile_at(12)).ok());
 }
 
 TEST(WireFuzz, ReplicaOpsRejectsMalformedOps) {
   // Valid baseline round-trips.
   ReplicaOpsRequest good;
+  good.shard = 3;
   good.first_seq = 5;
   good.ops = {{kReplicaOpPut, "k", ToBytes("v")}, {kReplicaOpDelete, "k", {}}};
   auto decoded = ReplicaOpsRequest::Decode(good.Encode());
   ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->shard, 3u);
   EXPECT_EQ(decoded->first_seq, 5u);
   ASSERT_EQ(decoded->ops.size(), 2u);
   EXPECT_EQ(decoded->ops[0], good.ops[0]);
 
   // Unknown op kind: rejected at decode, not trusted into the store.
   BinaryWriter bad_kind;
+  bad_kind.PutU32(3);
   bad_kind.PutU64(5);
   bad_kind.PutVar(1);
   bad_kind.PutU8(9);
@@ -276,6 +321,7 @@ TEST(WireFuzz, ReplicaOpsRejectsMalformedOps) {
 
   // A delete smuggling a value is a malformed frame.
   BinaryWriter del_val;
+  del_val.PutU32(3);
   del_val.PutU64(5);
   del_val.PutVar(1);
   del_val.PutU8(kReplicaOpDelete);
@@ -283,6 +329,56 @@ TEST(WireFuzz, ReplicaOpsRejectsMalformedOps) {
   del_val.PutBytes(ToBytes("v"));
   EXPECT_EQ(ReplicaOpsRequest::Decode(del_val.data()).status().code(),
             StatusCode::kInvalidArgument);
+}
+
+TEST(WireFuzz, ReplicaHandshakeFramesRejectHostileFields) {
+  // Hello with port 0 (or out of range): the primary would dial nothing.
+  ReplicaHelloRequest hello;
+  hello.shard = 0;
+  hello.host = "127.0.0.1";
+  hello.port = 0;
+  EXPECT_EQ(ReplicaHelloRequest::Decode(hello.Encode()).status().code(),
+            StatusCode::kInvalidArgument);
+  BinaryWriter big_port;
+  big_port.PutU32(0);
+  big_port.PutU32(1);
+  big_port.PutU64(0);
+  big_port.PutU64(0);
+  big_port.PutString("127.0.0.1");
+  big_port.PutU32(70'000);
+  EXPECT_EQ(ReplicaHelloRequest::Decode(big_port.data()).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Every new frame fails cleanly when truncated at any byte: all fields
+  // are mandatory, so no strict prefix parses (targeted sweep on top of
+  // the global cross-decoder one, with non-trivial field values).
+  ReplicaSnapshotChunkRequest chunk;
+  chunk.shard = 1;
+  chunk.seq = 9;
+  chunk.first_index = 4;
+  chunk.entries.emplace_back("key", ToBytes("value"));
+  Bytes chunk_frame = chunk.Encode();
+  for (size_t cut = 0; cut < chunk_frame.size(); ++cut) {
+    EXPECT_FALSE(
+        ReplicaSnapshotChunkRequest::Decode(BytesView(chunk_frame.data(), cut))
+            .ok())
+        << "chunk cut at " << cut;
+  }
+  hello.port = 4444;
+  Bytes hello_frame = hello.Encode();
+  for (size_t cut = 0; cut < hello_frame.size(); ++cut) {
+    EXPECT_FALSE(
+        ReplicaHelloRequest::Decode(BytesView(hello_frame.data(), cut)).ok())
+        << "hello cut at " << cut;
+  }
+  Bytes beat_frame =
+      ReplicaHeartbeatRequest{1, 9, {{"h", 4444, 3}}}.Encode();
+  for (size_t cut = 0; cut < beat_frame.size(); ++cut) {
+    EXPECT_FALSE(
+        ReplicaHeartbeatRequest::Decode(BytesView(beat_frame.data(), cut))
+            .ok())
+        << "heartbeat cut at " << cut;
+  }
 }
 
 TEST(WireFuzz, InsertChunkBatchRejectsMalformedFrames) {

@@ -3,6 +3,7 @@
 // so a usable CLI must persist it between invocations).
 #pragma once
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -65,10 +66,38 @@ class Flags {
 
   const std::vector<std::string>& positional() const { return positional_; }
 
+  /// Every --flag the user actually passed (for unknown-flag validation:
+  /// a typo like --replcias must be a usage error, not a silent default).
+  std::vector<std::string> Names() const {
+    std::vector<std::string> names;
+    names.reserve(values_.size());
+    for (const auto& [name, value] : values_) names.push_back(name);
+    return names;
+  }
+
  private:
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;
 };
+
+/// Strict integer flag: absent → default; present but non-numeric (or out
+/// of range) → usage error. `Flags::GetInt` silently maps garbage to 0,
+/// which is exactly how "--replicas two" used to mean "no replication".
+inline int64_t RequireInt(const Flags& flags, const std::string& name,
+                          int64_t def) {
+  if (!flags.Has(name)) return def;
+  std::string value = flags.Get(name);
+  errno = 0;
+  char* end = nullptr;
+  long long parsed = std::strtoll(value.c_str(), &end, 10);
+  if (value.empty() || end == value.c_str() || *end != '\0' ||
+      errno == ERANGE) {
+    std::fprintf(stderr, "error: --%s expects an integer, got '%s'\n",
+                 name.c_str(), value.c_str());
+    std::exit(1);
+  }
+  return parsed;
+}
 
 /// On-disk producer state for one stream: uuid + master seed + config.
 struct StreamState {

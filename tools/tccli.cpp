@@ -303,15 +303,36 @@ int CmdReplicaInfo(const Flags& flags) {
   auto payload = (*transport)->Call(net::MessageType::kClusterInfo, {});
   if (!payload.ok()) Die(payload.status());
   auto info = net::ClusterInfoResponse::Decode(*payload);
-  if (!info.ok()) Die(info.status());
+  if (!info.ok()) {
+    // A raw decode error here means a protocol mismatch, not a user
+    // mistake — say so instead of dumping "truncated input".
+    std::fprintf(stderr,
+                 "error: the server answered cluster-info with a frame this "
+                 "tccli cannot decode — tcserver and tccli versions likely "
+                 "differ (%s)\n",
+                 info.status().ToString().c_str());
+    return 1;
+  }
   uint32_t replicated_shards = 0;
   uint64_t worst_lag = 0;
-  std::puts("shard  replicas  ack     max-lag-ops");
+  std::puts(
+      "shard  replicas  remote  ack     max-lag-ops  promotions  "
+      "auto-failover");
   for (const auto& s : info->shards) {
-    std::printf("%5u %9u  %-6s %12" PRIu64 "\n", s.shard, s.replicas,
-                AckName(s.ack_mode, s.replicas), s.max_lag_ops);
-    if (s.replicas > 0) ++replicated_shards;
+    uint32_t followers = s.replicas + s.remote_followers;
+    std::printf("%5u %9u %7u  %-6s %12" PRIu64 " %11u  %13s\n", s.shard,
+                s.replicas, s.remote_followers,
+                AckName(s.ack_mode, followers), s.max_lag_ops, s.promotions,
+                s.auto_failover ? "on" : "off");
+    if (followers > 0) ++replicated_shards;
     if (s.max_lag_ops > worst_lag) worst_lag = s.max_lag_ops;
+  }
+  if (replicated_shards == 0) {
+    std::puts(
+        "this server runs without replication — no local replicas and no "
+        "registered follower daemons\n(start tcserver with --replicas N, or "
+        "with --accept-followers plus `tcserver --follower-of` peers)");
+    return 0;
   }
   std::printf("%u of %zu shard(s) replicated, worst lag %" PRIu64 " op(s)\n",
               replicated_shards, info->shards.size(), worst_lag);

@@ -15,19 +15,30 @@
 //
 // With --replicas R every shard ships its mutations to R follower stores
 // (src/replica): read-only queries round-robin across caught-up replicas,
-// and a lost primary can be failed over to a promoted follower. --ack
-// picks the ingest ack discipline (async fire-and-forget vs semi-sync
-// quorum).
+// and a lost primary fails over to a promoted follower — automatically
+// with --auto-failover. --ack picks the ingest ack discipline (async
+// fire-and-forget vs semi-sync quorum).
+//
+// Two daemons make a replicated pair across processes: a primary started
+// with --accept-followers, and follower daemons started with
+// --follower-of HOST:PORT. A follower registers over the wire, the
+// primary streams it a bounded-chunk snapshot and then ships the op log,
+// and when the primary's heartbeats go silent the most-caught-up follower
+// promotes itself and the survivors re-home under it.
 //
 //   tcserver --port 4433 --store log --path /var/lib/timecrypt.log
 //   tcserver --shards 4 --store log --path /var/lib/timecrypt.log --sync
-//   tcserver --shards 4 --replicas 2 --ack quorum
+//   tcserver --shards 4 --replicas 2 --ack quorum --auto-failover
+//   tcserver --port 4433 --accept-followers
+//   tcserver --port 4434 --follower-of 127.0.0.1:4433 --path follower.log
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 
 #include "cluster/shard_router.hpp"
 #include "net/tcp.hpp"
+#include "replica/coordinator.hpp"
+#include "replica/follower_daemon.hpp"
 #include "replica/replica_set.hpp"
 #include "server/server_engine.hpp"
 #include "store/log_kv.hpp"
@@ -61,35 +72,82 @@ void Usage() {
       "                  write when the primary applied it, or only after\n"
       "                  a majority of the replica group holds it\n"
       "  --read-lag N    serve a read from a replica lagging at most N ops\n"
-      "                  behind the primary (default 0 = fully caught up)\n"
+      "                  behind the primary (default 0 = fully caught up;\n"
+      "                  requires --replicas)\n"
       "  --sync          flush the log store after every ingest message\n"
       "                  (batches group-commit into one flush)\n"
       "  --compact-pct P auto-compact a shard's log when dead bytes exceed\n"
       "                  P%% of it (default 50; 0 disables)\n"
-      "  --cache-mb N    index cache budget per stream in MiB (default 256)\n");
+      "  --cache-mb N    index cache budget per stream in MiB (default 256)\n"
+      "\n"
+      "daemon replication topology:\n"
+      "  --accept-followers   accept kReplicaHello registrations: follower\n"
+      "                       daemons attach over TCP, get streamed a\n"
+      "                       bounded-chunk snapshot, then follow the op log\n"
+      "  --follower-of H:P    run as a follower daemon of the primary at\n"
+      "                       host H port P (same --shards and --store\n"
+      "                       family; --path must not collide with the\n"
+      "                       primary's). Serves read-only queries locally;\n"
+      "                       promotes itself if the primary goes silent\n"
+      "  --advertise HOST     address the primary dials back (default\n"
+      "                       127.0.0.1)\n"
+      "  --auto-failover      primary mode: probe the primary store every\n"
+      "                       heartbeat and auto-promote a local replica\n"
+      "                       after --miss-threshold failed probes\n"
+      "  --heartbeat-ms N     heartbeat / probe cadence (default 500)\n"
+      "  --miss-threshold N   probes missed before auto-failover (default 3)\n"
+      "  --takeover-ms N      follower mode: silence window before the\n"
+      "                       takeover election (default 3000)\n"
+      "  --snapshot-chunk-kb N  snapshot stream chunk bound (default 1024)\n"
+      "  --no-auto-promote    follower mode: never self-promote (passive\n"
+      "                       replica)\n");
+}
+
+bool FlagKnown(const std::string& name) {
+  static const char* kKnown[] = {
+      "help",          "port",         "store",          "path",
+      "shards",        "replicas",     "ack",            "read-lag",
+      "sync",          "compact-pct",  "cache-mb",       "accept-followers",
+      "follower-of",   "advertise",    "auto-failover",  "heartbeat-ms",
+      "miss-threshold", "takeover-ms", "snapshot-chunk-kb",
+      "no-auto-promote"};
+  for (const char* known : kKnown) {
+    if (name == known) return true;
+  }
+  return false;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace tc;
-  tools::Flags flags(argc, argv, {"help", "sync"});
+  tools::Flags flags(argc, argv,
+                     {"help", "sync", "accept-followers", "auto-failover",
+                      "no-auto-promote"});
   if (flags.Has("help")) {
     Usage();
     return 0;
   }
+  for (const auto& name : flags.Names()) {
+    if (!FlagKnown(name)) {
+      std::fprintf(stderr,
+                   "unknown flag --%s (see tcserver --help)\n", name.c_str());
+      return 1;
+    }
+  }
 
-  int64_t shards = flags.GetInt("shards", 1);
+  const bool follower_mode = flags.Has("follower-of");
+  int64_t shards = tools::RequireInt(flags, "shards", 1);
   if (shards < 1 || shards > 1024) {
     std::fprintf(stderr, "--shards must be in [1, 1024]\n");
     return 1;
   }
-  int64_t replicas = flags.GetInt("replicas", 0);
+  int64_t replicas = tools::RequireInt(flags, "replicas", 0);
   if (replicas < 0 || replicas > 8) {
     std::fprintf(stderr, "--replicas must be in [0, 8]\n");
     return 1;
   }
-  int64_t read_lag = flags.GetInt("read-lag", 0);
+  int64_t read_lag = tools::RequireInt(flags, "read-lag", 0);
   if (read_lag < 0) {
     std::fprintf(stderr, "--read-lag must be >= 0\n");
     return 1;
@@ -101,18 +159,110 @@ int main(int argc, char** argv) {
   } else if (ack_name == "quorum") {
     ack = replica::AckMode::kQuorum;
   } else {
-    std::fprintf(stderr, "--ack must be async or quorum\n");
+    std::fprintf(stderr, "--ack must be async or quorum (got '%s')\n",
+                 ack_name.c_str());
     return 1;
   }
+  const bool accept_followers = flags.Has("accept-followers");
+  if (!follower_mode) {
+    // Replication knobs that silently do nothing are operator traps:
+    // refuse them instead of defaulting. (In follower mode --ack and
+    // --read-lag configure the daemon's post-promotion serving stack.)
+    if (flags.Has("read-lag") && replicas == 0) {
+      std::fprintf(stderr,
+                   "--read-lag without --replicas does nothing: reads have "
+                   "no replica to lag behind\n");
+      return 1;
+    }
+    if (flags.Has("ack") && replicas == 0 && !accept_followers) {
+      std::fprintf(stderr,
+                   "--ack without --replicas or --accept-followers does "
+                   "nothing: there is no follower to ack\n");
+      return 1;
+    }
+    if (flags.Has("takeover-ms") || flags.Has("no-auto-promote")) {
+      std::fprintf(stderr,
+                   "--takeover-ms/--no-auto-promote are follower-daemon "
+                   "flags (--follower-of)\n");
+      return 1;
+    }
+  } else {
+    if (replicas != 0 || accept_followers || flags.Has("auto-failover")) {
+      std::fprintf(stderr,
+                   "--follower-of is exclusive with --replicas/"
+                   "--accept-followers/--auto-failover: a follower daemon "
+                   "replicates, it is not replicated\n");
+      return 1;
+    }
+  }
   std::string store_kind = flags.Get("store", "mem");
+  if (store_kind != "mem" && store_kind != "log") {
+    std::fprintf(stderr, "--store must be mem or log (got '%s')\n",
+                 store_kind.c_str());
+    return 1;
+  }
   store::LogKvOptions log_options;
   log_options.compact_dead_fraction =
-      static_cast<double>(flags.GetInt("compact-pct", 50)) / 100.0;
+      static_cast<double>(tools::RequireInt(flags, "compact-pct", 50)) / 100.0;
 
   server::ServerOptions options;
   options.index_cache_bytes =
-      static_cast<size_t>(flags.GetInt("cache-mb", 256)) << 20;
+      static_cast<size_t>(tools::RequireInt(flags, "cache-mb", 256)) << 20;
   options.sync_each_insert = flags.Has("sync");
+
+  int64_t heartbeat_ms = tools::RequireInt(flags, "heartbeat-ms", 500);
+  int64_t miss_threshold = tools::RequireInt(flags, "miss-threshold", 3);
+  int64_t takeover_ms = tools::RequireInt(flags, "takeover-ms", 3000);
+  int64_t chunk_kb = tools::RequireInt(flags, "snapshot-chunk-kb", 1024);
+  if (heartbeat_ms < 1 || miss_threshold < 1 || takeover_ms < 1 ||
+      chunk_kb < 1) {
+    std::fprintf(stderr,
+                 "--heartbeat-ms/--miss-threshold/--takeover-ms/"
+                 "--snapshot-chunk-kb must be positive\n");
+    return 1;
+  }
+  if (!follower_mode && flags.Has("auto-failover") && replicas == 0) {
+    // Auto-failover promotes a LOCAL replica; with none configured the
+    // monitor would have nothing to promote onto — refuse instead of
+    // letting the operator believe failure detection is armed.
+    std::fprintf(stderr,
+                 "--auto-failover needs --replicas >= 1: automatic "
+                 "promotion elects a local replica (follower daemons run "
+                 "their own takeover election)\n");
+    return 1;
+  }
+  if (flags.Has("miss-threshold") && !flags.Has("auto-failover")) {
+    std::fprintf(stderr,
+                 "--miss-threshold without --auto-failover does nothing\n");
+    return 1;
+  }
+  if (flags.Has("heartbeat-ms") && !flags.Has("auto-failover") &&
+      !accept_followers && !follower_mode) {
+    std::fprintf(stderr,
+                 "--heartbeat-ms without --auto-failover, "
+                 "--accept-followers, or --follower-of does nothing\n");
+    return 1;
+  }
+  if (flags.Has("snapshot-chunk-kb") && replicas == 0 && !accept_followers &&
+      !follower_mode) {
+    std::fprintf(stderr,
+                 "--snapshot-chunk-kb without --replicas, "
+                 "--accept-followers, or --follower-of does nothing: no "
+                 "snapshot ever streams\n");
+    return 1;
+  }
+  if (flags.Has("advertise") && !follower_mode) {
+    std::fprintf(stderr,
+                 "--advertise is a follower-daemon flag (--follower-of): it "
+                 "names the endpoint the primary dials back\n");
+    return 1;
+  }
+  int64_t port_value = tools::RequireInt(flags, "port", 4433);
+  if (port_value < 0 || port_value > 65535) {
+    std::fprintf(stderr, "--port must be in [0, 65535]\n");
+    return 1;
+  }
+  uint16_t port = static_cast<uint16_t>(port_value);
 
   // One KV namespace per shard: prefix views over a shared memory store,
   // or one log file per shard for durable mode (independent append paths —
@@ -123,7 +273,8 @@ int main(int argc, char** argv) {
                         const std::string& file_suffix)
       -> std::shared_ptr<store::KvStore> {
     if (store_kind == "mem") {
-      if (shards == 1 && replicas == 0) {
+      if (shards == 1 && replicas == 0 && !accept_followers &&
+          !follower_mode) {
         return std::make_shared<store::MemKvStore>();
       }
       if (!mem_backend) mem_backend = std::make_shared<store::MemKvStore>();
@@ -134,6 +285,80 @@ int main(int argc, char** argv) {
     if (!log.ok()) tools::Die(log.status());
     return std::move(*log);
   };
+
+  replica::ReplicaSetOptions set_options;
+  set_options.kv.ack = ack;
+  set_options.kv.snapshot_chunk_bytes = static_cast<size_t>(chunk_kb) << 10;
+  set_options.max_read_lag_ops = static_cast<uint64_t>(read_lag);
+  set_options.failover.auto_failover = flags.Has("auto-failover");
+  set_options.failover.heartbeat_interval_ms = heartbeat_ms;
+  set_options.failover.miss_threshold = static_cast<uint32_t>(miss_threshold);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  if (follower_mode) {
+    std::string target = flags.Get("follower-of");
+    auto colon = target.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= target.size()) {
+      std::fprintf(stderr, "--follower-of expects HOST:PORT, got '%s'\n",
+                   target.c_str());
+      return 1;
+    }
+    replica::FollowerDaemonOptions daemon_options;
+    daemon_options.primary_host = target.substr(0, colon);
+    errno = 0;
+    char* end = nullptr;
+    unsigned long primary_port =
+        std::strtoul(target.c_str() + colon + 1, &end, 10);
+    if (errno == ERANGE || *end != '\0' || primary_port == 0 ||
+        primary_port > 65535) {
+      std::fprintf(stderr,
+                   "--follower-of port must be an integer in [1, 65535]\n");
+      return 1;
+    }
+    daemon_options.primary_port = static_cast<uint16_t>(primary_port);
+    daemon_options.advertise_host = flags.Get("advertise", "127.0.0.1");
+    daemon_options.takeover_timeout_ms = takeover_ms;
+    daemon_options.auto_promote = !flags.Has("no-auto-promote");
+    daemon_options.engine_options = options;
+    daemon_options.set_options = set_options;
+    daemon_options.coordinator.heartbeat_ms =
+        static_cast<uint32_t>(heartbeat_ms);
+
+    std::vector<std::shared_ptr<store::KvStore>> stores;
+    for (int64_t i = 0; i < shards; ++i) {
+      stores.push_back(make_store(
+          "s" + std::to_string(i) + "/",
+          shards > 1 ? ".shard" + std::to_string(i) : std::string{}));
+    }
+    replica::FollowerDaemon daemon(std::move(stores), daemon_options);
+    if (auto started = daemon.Start(port); !started.ok()) {
+      tools::Die(started);
+    }
+    std::printf(
+        "tcserver follower daemon on %s:%u following %s (store: %s, "
+        "shards: %lld, %zu stream(s) recovered)\n",
+        daemon_options.advertise_host.c_str(), daemon.port(), target.c_str(),
+        store_kind.c_str(), static_cast<long long>(shards),
+        daemon.NumStreams());
+    std::fflush(stdout);
+    bool was_promoted = false;
+    while (!g_stop) {
+      timespec ts{0, 100'000'000};
+      nanosleep(&ts, nullptr);
+      if (!was_promoted && daemon.promoted()) {
+        was_promoted = true;
+        std::printf("promoted: now serving as primary (%zu stream(s))\n",
+                    daemon.NumStreams());
+        std::fflush(stdout);
+      }
+    }
+    std::puts("shutting down");
+    daemon.Stop();
+    return 0;
+  }
 
   std::vector<std::shared_ptr<replica::ReplicaSet>> sets;
   for (int64_t i = 0; i < shards; ++i) {
@@ -152,7 +377,7 @@ int main(int argc, char** argv) {
 
     server::ServerOptions shard_options = options;
     shard_options.shard_id = static_cast<uint32_t>(i);
-    if (replicas == 0) {
+    if (replicas == 0 && !accept_followers) {
       sets.push_back(replica::ReplicaSet::Single(
           std::make_shared<server::ServerEngine>(std::move(primary_kv),
                                                  shard_options)));
@@ -164,9 +389,6 @@ int main(int argc, char** argv) {
           make_store("s" + std::to_string(i) + "r" + std::to_string(j) + "/",
                      shard_suffix + ".r" + std::to_string(j)));
     }
-    replica::ReplicaSetOptions set_options;
-    set_options.kv.ack = ack;
-    set_options.max_read_lag_ops = static_cast<uint64_t>(read_lag);
     sets.push_back(replica::ReplicaSet::Make(std::move(primary_kv),
                                              std::move(follower_kvs),
                                              shard_options, set_options));
@@ -181,25 +403,36 @@ int main(int argc, char** argv) {
   }
 
   std::shared_ptr<net::RequestHandler> handler;
-  if (shards == 1 && replicas == 0) {
+  if (shards == 1 && replicas == 0 && !accept_followers) {
     handler = sets[0]->primary();
   } else {
     handler = std::make_shared<cluster::ShardRouter>(sets);
   }
+  std::shared_ptr<replica::PrimaryCoordinator> coordinator;
+  if (accept_followers) {
+    replica::CoordinatorOptions coordinator_options;
+    coordinator_options.heartbeat_ms = static_cast<uint32_t>(heartbeat_ms);
+    coordinator = std::make_shared<replica::PrimaryCoordinator>(
+        handler, sets, coordinator_options);
+    handler = coordinator;
+  }
 
-  net::TcpServer server(handler,
-                        static_cast<uint16_t>(flags.GetInt("port", 4433)));
+  // Accepting remote follower daemons implies peers on other machines may
+  // need to reach this server; otherwise stay loopback-only as always.
+  net::TcpServer server(handler, port, /*bind_any=*/accept_followers);
   if (auto started = server.Start(); !started.ok()) tools::Die(started);
-  std::string ack_note = replicas > 0 ? ", ack: " + ack_name : std::string{};
+  std::string notes;
+  if (replicas > 0 || accept_followers) notes += ", ack: " + ack_name;
+  if (accept_followers) notes += ", accepting followers";
+  if (set_options.failover.auto_failover) notes += ", auto-failover";
   std::printf(
-      "tcserver listening on 127.0.0.1:%u (store: %s, shards: %lld, "
+      "tcserver listening on %s:%u (store: %s, shards: %lld, "
       "replicas: %lld%s)\n",
-      server.port(), store_kind.c_str(), static_cast<long long>(shards),
-      static_cast<long long>(replicas), ack_note.c_str());
+      accept_followers ? "0.0.0.0" : "127.0.0.1", server.port(),
+      store_kind.c_str(), static_cast<long long>(shards),
+      static_cast<long long>(replicas), notes.c_str());
   std::fflush(stdout);
 
-  std::signal(SIGINT, HandleSignal);
-  std::signal(SIGTERM, HandleSignal);
   while (!g_stop) {
     // The accept loop runs on its own thread; just wait for a signal.
     timespec ts{0, 100'000'000};
