@@ -13,16 +13,26 @@
 //  3. Batched ingest on loopback TCP: one InsertChunkBatch frame of K
 //     chunks vs K InsertChunk round trips against a tcserver-shaped
 //     stack (TcpServer + TcpClient) — the batching win is K-1 saved
-//     round trips plus one group-committed log sync per batch.
+//     round trips plus one group-committed log sync per batch — now also
+//     with the multiplexed transport keeping several batches in flight
+//     (blocking send-and-wait vs pipelined AsyncCall).
+//  4. Pipelined queries on one socket: Q GetStatRange round trips with an
+//     in-flight window of W AsyncCalls (W=1 is the old one-call-per-
+//     connection transport).
+//  5. Scatter-gather latency per shard count: MultiStatRange across
+//     latency-injected shards, serial scatter (scatter_threads=1) vs the
+//     pipelined shard channels.
 //
 // `--quick` shrinks sizes for the CI smoke run; TC_BENCH_LARGE=1 unlocks
 // an 8-shard sweep. Results depend on available cores: a 1-core host
 // shows flat shard scaling (expected — there is nothing to scale onto)
-// while the batching win persists, since it saves round trips, not CPU.
+// while the batching/pipelining wins persist, since they save round
+// trips, not CPU.
 #include <unistd.h>
 
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <filesystem>
 #include <functional>
 #include <thread>
@@ -34,6 +44,7 @@
 #include "net/messages.hpp"
 #include "net/tcp.hpp"
 #include "server/server_engine.hpp"
+#include "store/latency.hpp"
 #include "store/log_kv.hpp"
 #include "store/mem_kv.hpp"
 
@@ -207,7 +218,15 @@ void BenchShardScaling(const std::vector<size_t>& shard_counts,
   std::printf("\n");
 }
 
-void BenchBatchedTcpIngest(uint64_t chunks, const std::vector<size_t>& batches,
+/// One (batch size, in-flight window) ingest configuration. window == 1 is
+/// the blocking send-and-wait path; window > 1 pipelines that many
+/// InsertChunkBatch frames on the socket before blocking on the oldest.
+struct IngestMode {
+  size_t batch;
+  size_t window;
+};
+
+void BenchBatchedTcpIngest(uint64_t chunks, const std::vector<IngestMode>& modes,
                            bool durable) {
   // One engine behind a real TCP loopback server — the client pays a full
   // round trip per Call, which is exactly what batching amortizes.
@@ -239,50 +258,201 @@ void BenchBatchedTcpIngest(uint64_t chunks, const std::vector<size_t>& batches,
       "== batched ingest over loopback TCP (%s store%s), %llu chunks ==\n",
       durable ? "log" : "mem", durable ? ", sync per message" : "",
       static_cast<unsigned long long>(chunks));
-  std::printf("%9s %9s %11s %8s\n", "batch", "wall", "chunks/s", "speedup");
+  std::printf("%9s %9s %9s %11s %8s\n", "batch", "inflight", "wall",
+              "chunks/s", "speedup");
   double base_rate = 0;
   uint64_t uuid = 0x2000;
-  for (size_t batch : batches) {
+  for (const IngestMode& mode : modes) {
     net::CreateStreamRequest create{++uuid, PlainConfig("tcp")};
     if (!(*client)->Call(net::MessageType::kCreateStream, create.Encode())
              .ok()) {
       std::abort();
     }
+    // Pipeline of in-flight frames; window 1 degenerates to send-and-wait.
+    std::deque<net::PendingCall> inflight;
+    auto pump = [&](size_t limit) {
+      while (inflight.size() > limit) {
+        if (!inflight.front().Wait().ok()) std::abort();
+        inflight.pop_front();
+      }
+    };
     WallTimer timer;
-    if (batch <= 1) {
+    if (mode.batch <= 1) {
       for (uint64_t c = 0; c < chunks; ++c) {
         std::vector<uint64_t> fields{c, 1};
         net::InsertChunkRequest req{uuid, c, *cipher->Encrypt(fields, c),
                                     payload};
-        if (!(*client)->Call(net::MessageType::kInsertChunk, req.Encode())
-                 .ok()) {
-          std::abort();
-        }
+        inflight.push_back(
+            (*client)->AsyncCall(net::MessageType::kInsertChunk,
+                                 req.Encode()));
+        pump(mode.window - 1);
       }
     } else {
       for (uint64_t c = 0; c < chunks;) {
         net::InsertChunkBatchRequest req;
         req.uuid = uuid;
-        for (size_t b = 0; b < batch && c < chunks; ++b, ++c) {
+        for (size_t b = 0; b < mode.batch && c < chunks; ++b, ++c) {
           std::vector<uint64_t> fields{c, 1};
           req.entries.push_back({c, *cipher->Encrypt(fields, c), payload});
         }
-        if (!(*client)
-                 ->Call(net::MessageType::kInsertChunkBatch, req.Encode())
-                 .ok()) {
-          std::abort();
-        }
+        inflight.push_back(
+            (*client)->AsyncCall(net::MessageType::kInsertChunkBatch,
+                                 req.Encode()));
+        pump(mode.window - 1);
       }
     }
+    pump(0);
     double wall = timer.Seconds();
     double rate = static_cast<double>(chunks) / wall;
     if (base_rate == 0) base_rate = rate;
-    std::printf("%9zu %9s %10.1fk %7.2fx\n", batch,
+    std::printf("%9zu %9zu %9s %10.1fk %7.2fx\n", mode.batch, mode.window,
                 FmtMicros(wall * 1e6).c_str(), rate / 1000.0,
                 rate / base_rate);
   }
   server.Stop();
   if (durable) std::remove(path.c_str());
+  std::printf("\n");
+}
+
+void BenchPipelinedTcpQueries(uint64_t chunks, uint64_t queries,
+                              const std::vector<size_t>& windows) {
+  // One engine behind loopback TCP; every query pays a full round trip.
+  // The window is how many AsyncCalls ride the socket at once — window 1
+  // reproduces the old blocking transport (one in-flight call per
+  // connection), larger windows overlap the round trips.
+  auto engine = std::make_shared<server::ServerEngine>(
+      std::make_shared<store::MemKvStore>());
+  net::TcpServer server(engine, 0);
+  if (!server.Start().ok()) std::abort();
+  auto client = net::TcpClient::Connect("127.0.0.1", server.port());
+  if (!client.ok()) std::abort();
+
+  uint64_t uuid = 0x3000;
+  net::CreateStreamRequest create{uuid, PlainConfig("q")};
+  if (!(*client)->Call(net::MessageType::kCreateStream, create.Encode()).ok())
+    std::abort();
+  auto cipher = index::MakePlainCipher(2);
+  for (uint64_t c = 0; c < chunks; ++c) {
+    std::vector<uint64_t> fields{c + 1, 1};
+    net::InsertChunkRequest req{uuid, c, *cipher->Encrypt(fields, c), {}};
+    if (!(*client)->Call(net::MessageType::kInsertChunk, req.Encode()).ok())
+      std::abort();
+  }
+
+  std::printf(
+      "== pipelined queries over loopback TCP: %llu GetStatRange round "
+      "trips on one socket ==\n",
+      static_cast<unsigned long long>(queries));
+  std::printf("%9s %9s %11s %8s\n", "inflight", "wall", "queries/s",
+              "speedup");
+  double base_rate = 0;
+  for (size_t window : windows) {
+    std::deque<net::PendingCall> inflight;
+    auto pump = [&](size_t limit) {
+      while (inflight.size() > limit) {
+        if (!inflight.front().Wait().ok()) std::abort();
+        inflight.pop_front();
+      }
+    };
+    uint64_t x = 0x2545f4914f6cdd1dULL;
+    WallTimer timer;
+    for (uint64_t q = 0; q < queries; ++q) {
+      x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+      uint64_t first = (x >> 33) % (chunks - 1);
+      uint64_t last = first + 1 + (x >> 17) % (chunks - first - 1 + 1);
+      net::StatRangeRequest req{
+          uuid,
+          {static_cast<Timestamp>(first * kDelta),
+           static_cast<Timestamp>(last * kDelta)}};
+      inflight.push_back((*client)->AsyncCall(net::MessageType::kGetStatRange,
+                                              req.Encode()));
+      pump(window - 1);
+    }
+    pump(0);
+    double wall = timer.Seconds();
+    double rate = static_cast<double>(queries) / wall;
+    if (base_rate == 0) base_rate = rate;
+    std::printf("%9zu %9s %10.1fk %7.2fx\n", window,
+                FmtMicros(wall * 1e6).c_str(), rate / 1000.0,
+                rate / base_rate);
+  }
+  server.Stop();
+  std::printf("\n");
+}
+
+void BenchScatterGatherLatency(const std::vector<size_t>& shard_counts,
+                               uint64_t chunks, uint64_t queries) {
+  // Each shard's store pays an emulated remote-store hop (the paper's
+  // client<->Cassandra RTT) and the engine cache is starved so queries
+  // actually hit it; a MultiStatRange spanning all shards then takes
+  // N x per-shard-latency when the scatter is serial and ~1 x when the
+  // shard channels pipeline. scatter_threads=1 reproduces the serial
+  // scatter of a blocking per-shard transport.
+  std::printf(
+      "== scatter-gather latency: MultiStatRange across latency-injected "
+      "shards (0.5 ms/store-op) ==\n");
+  std::printf("%6s %12s %12s %8s\n", "shards", "serial", "pipelined",
+              "speedup");
+  for (size_t shards : shard_counts) {
+    double wall[2] = {0, 0};
+    for (int mode = 0; mode < 2; ++mode) {
+      std::vector<std::shared_ptr<server::ServerEngine>> engines;
+      for (size_t i = 0; i < shards; ++i) {
+        auto slow = std::make_shared<store::LatencyKvStore>(
+            std::make_shared<store::MemKvStore>(),
+            std::chrono::microseconds(500));
+        server::ServerOptions options;
+        options.shard_id = static_cast<uint32_t>(i);
+        options.index_cache_bytes = 1;  // starve the cache: queries hit kv
+        engines.push_back(
+            std::make_shared<server::ServerEngine>(std::move(slow), options));
+      }
+      cluster::RouterOptions router_options;
+      // Serial mode models the old blocking per-shard scatter; pipelined
+      // mode sizes the channel executor one-thread-per-shard (what the
+      // default resolves to on a host with >= shards cores) so the
+      // store-latency waits overlap even on a small CI box.
+      router_options.scatter_threads = mode == 0 ? 1 : shards;
+      cluster::ShardRouter router(engines, router_options);
+
+      // One stream per shard, covering every shard in the scatter.
+      std::vector<uint64_t> uuids;
+      auto cipher = index::MakePlainCipher(2);
+      for (size_t s = 0; s < shards; ++s) {
+        uint64_t uuid = 0x4000 + s;
+        while (router.ShardOf(uuid) != s) ++uuid;
+        uuids.push_back(uuid);
+        net::CreateStreamRequest create{uuid, PlainConfig("sc")};
+        if (!router.Handle(net::MessageType::kCreateStream, create.Encode())
+                 .ok()) {
+          std::abort();
+        }
+        for (uint64_t c = 0; c < chunks; ++c) {
+          std::vector<uint64_t> fields{c + 1, 1};
+          net::InsertChunkRequest req{uuid, c, *cipher->Encrypt(fields, c),
+                                      {}};
+          if (!router.Handle(net::MessageType::kInsertChunk, req.Encode())
+                   .ok()) {
+            std::abort();
+          }
+        }
+      }
+      net::MultiStatRangeRequest req{
+          uuids, {0, static_cast<Timestamp>(chunks * kDelta)}};
+      Bytes body = req.Encode();
+      WallTimer timer;
+      for (uint64_t q = 0; q < queries; ++q) {
+        if (!router.Handle(net::MessageType::kMultiStatRange, body).ok()) {
+          std::abort();
+        }
+      }
+      wall[mode] = timer.Seconds();
+    }
+    std::printf("%6zu %11.2fms %11.2fms %7.2fx\n", shards,
+                wall[0] * 1e3 / static_cast<double>(queries),
+                wall[1] * 1e3 / static_cast<double>(queries),
+                wall[0] / wall[1]);
+  }
   std::printf("\n");
 }
 
@@ -309,7 +479,13 @@ int main(int argc, char** argv) {
               hw);
 
   BenchShardScaling(shard_counts, streams, chunks, threads);
-  BenchBatchedTcpIngest(quick ? 512 : 4096, {1, 16, 64}, /*durable=*/false);
-  BenchBatchedTcpIngest(quick ? 512 : 4096, {1, 16, 64}, /*durable=*/true);
+  // Blocking (window 1) vs pipelined (window 4) batched ingest.
+  std::vector<IngestMode> modes = {{1, 1}, {1, 8}, {16, 1},
+                                   {64, 1}, {16, 4}, {64, 4}};
+  BenchBatchedTcpIngest(quick ? 512 : 4096, modes, /*durable=*/false);
+  BenchBatchedTcpIngest(quick ? 512 : 4096, modes, /*durable=*/true);
+  BenchPipelinedTcpQueries(quick ? 128 : 512, quick ? 500 : 4000,
+                           {1, 8, 32});
+  BenchScatterGatherLatency(shard_counts, quick ? 32 : 64, quick ? 5 : 20);
   return 0;
 }

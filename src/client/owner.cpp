@@ -69,7 +69,7 @@ Result<uint64_t> OwnerClient::CreateStream(const net::StreamConfig& config) {
 
   StreamState s{config, ChunkClock(config.t0, config.delta_ms),
                 nullptr, nullptr, nullptr, nullptr,
-                0,       1,       0,       {},      false};
+                0,       1,       0,       {},      {},      false};
   s.keys = std::make_unique<StreamKeys>(crypto::RandomKey128(), options_.keys);
   if (config.cipher == net::CipherKind::kHeac) {
     s.heac = index::MakeHeacCipher(config.schema.num_fields(),
@@ -109,6 +109,7 @@ Status OwnerClient::AttachStream(uint64_t uuid,
                 info.num_chunks,
                 1,
                 0,
+                {},
                 {},
                 false};
   s.keys = std::make_unique<StreamKeys>(master_seed, options_.keys);
@@ -225,7 +226,9 @@ Status OwnerClient::SealAndUpload(uint64_t uuid, StreamState& s) {
     s.pending.push_back(
         {chunk_index, std::move(digest_blob), std::move(payload)});
     if (s.pending.size() >= options_.upload_batch_chunks) {
-      TC_RETURN_IF_ERROR(FlushPending(uuid, s));
+      // Pipelined: issue the full batch asynchronously and return to
+      // sealing; up to upload_inflight_batches round trips overlap.
+      TC_RETURN_IF_ERROR(PumpPending(uuid, s, /*drain=*/false));
     }
   } else {
     net::InsertChunkRequest req{uuid, chunk_index, std::move(digest_blob),
@@ -244,6 +247,47 @@ Status OwnerClient::SealAndUpload(uint64_t uuid, StreamState& s) {
 }
 
 Status OwnerClient::FlushPending(uint64_t uuid, StreamState& s) {
+  return PumpPending(uuid, s, /*drain=*/true);
+}
+
+Status OwnerClient::ReapInflight(StreamState& s, Reap mode) {
+  bool waited = false;
+  while (!s.inflight.empty()) {
+    Result<Bytes> result{Bytes{}};
+    bool wait = mode == Reap::kWaitAll || (mode == Reap::kWaitOne && !waited);
+    if (wait) {
+      result = s.inflight.front().call.Wait();
+      waited = true;
+    } else {
+      auto probe = s.inflight.front().call.TryGet();
+      if (!probe) return Status::Ok();  // oldest still in flight
+      result = std::move(*probe);
+    }
+    if (result.ok()) {
+      s.inflight.pop_front();
+      continue;
+    }
+    // Keep every unacknowledged chunk so a later Flush() can retry once
+    // the transport recovers — dropping them would gap the append-only
+    // stream (and, on integrity streams, orphan their already-witnessed
+    // hashes). Later in-flight batches cannot have been applied over the
+    // gap (same-connection mutations apply in send order and the index is
+    // append-only), so re-queue them all, oldest first.
+    Status status = result.status();
+    for (auto it = s.inflight.rbegin(); it != s.inflight.rend(); ++it) {
+      s.pending.insert(s.pending.begin(),
+                       std::make_move_iterator(it->entries.begin()),
+                       std::make_move_iterator(it->entries.end()));
+    }
+    s.inflight.clear();
+    s.pending_retry = true;
+    return status;
+  }
+  return Status::Ok();
+}
+
+Status OwnerClient::PumpPending(uint64_t uuid, StreamState& s, bool drain) {
+  TC_RETURN_IF_ERROR(ReapInflight(s, drain ? Reap::kWaitAll : Reap::kPoll));
   if (s.pending.empty()) return Status::Ok();
   if (s.pending_retry) {
     // The failed attempt may have been applied partially (mid-batch store
@@ -260,20 +304,28 @@ Status OwnerClient::FlushPending(uint64_t uuid, StreamState& s) {
     s.pending_retry = false;
     if (s.pending.empty()) return Status::Ok();
   }
-  net::InsertChunkBatchRequest req;
-  req.uuid = uuid;
-  req.entries = std::move(s.pending);
-  Status status =
-      CallVoid(*transport_, MessageType::kInsertChunkBatch, req.Encode());
-  if (!status.ok()) {
-    // Keep the sealed chunks so a later Flush() can retry once the
-    // transport recovers — dropping them would gap the append-only stream
-    // (and, on integrity streams, orphan their already-witnessed hashes).
-    s.pending = std::move(req.entries);
-    s.pending_retry = true;
-    return status;
+
+  const size_t batch = std::max<uint64_t>(1, options_.upload_batch_chunks);
+  const size_t window =
+      std::max<uint64_t>(1, options_.upload_inflight_batches);
+  while (s.pending.size() >= batch || (drain && !s.pending.empty())) {
+    if (s.inflight.size() >= window) {
+      // Pipeline full: block on the oldest batch, then re-check — an error
+      // re-queues everything into `pending` and propagates here.
+      TC_RETURN_IF_ERROR(ReapInflight(s, Reap::kWaitOne));
+      continue;
+    }
+    size_t take = std::min(s.pending.size(), batch);
+    net::InsertChunkBatchRequest req;
+    req.uuid = uuid;
+    req.entries.assign(std::make_move_iterator(s.pending.begin()),
+                       std::make_move_iterator(s.pending.begin() + take));
+    s.pending.erase(s.pending.begin(), s.pending.begin() + take);
+    net::PendingCall call =
+        transport_->AsyncCall(MessageType::kInsertChunkBatch, req.Encode());
+    s.inflight.push_back({std::move(call), std::move(req.entries)});
   }
-  s.pending.clear();  // moved-from: restore a defined empty state
+  if (drain) return ReapInflight(s, Reap::kWaitAll);
   return Status::Ok();
 }
 

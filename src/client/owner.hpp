@@ -5,6 +5,7 @@
 // revocation.
 #pragma once
 
+#include <deque>
 #include <map>
 #include <memory>
 
@@ -37,6 +38,13 @@ struct OwnerOptions {
   /// a batch fills (or Flush() is called) the buffered chunks are not yet
   /// visible to server-side queries.
   uint64_t upload_batch_chunks = 1;
+  /// Pipeline depth for batched uploads: up to this many InsertChunkBatch
+  /// frames stay in flight (net::AsyncCall) before ingest blocks on the
+  /// oldest — round trips overlap instead of stalling per batch. 1 restores
+  /// the send-and-wait behavior. Transport errors surface on a later
+  /// insert or at Flush(); the unacknowledged chunks are kept and re-sent
+  /// (after a position resync) exactly as with a synchronous failure.
+  uint64_t upload_inflight_batches = 4;
   /// Signing identity for stream attestations (integrity extension). A
   /// fresh keypair is generated when left empty and an integrity stream is
   /// created; pass long-term keys for identities that outlive the process.
@@ -156,6 +164,14 @@ class OwnerClient {
     uint64_t leaf_offset = 0;
     // Sealed chunks awaiting a batched upload (upload_batch_chunks > 1).
     std::vector<net::InsertChunkBatchRequest::Entry> pending;
+    // Pipelined batches already on the wire, oldest first. Entries are
+    // retained until their response lands: a failure re-queues every
+    // unacknowledged chunk into `pending` for a resynced retry.
+    struct InflightBatch {
+      net::PendingCall call;
+      std::vector<net::InsertChunkBatchRequest::Entry> entries;
+    };
+    std::deque<InflightBatch> inflight;
     // A previous batch send failed; the server may have applied a prefix
     // (the batch is not atomic), so the retry must re-sync first.
     bool pending_retry = false;
@@ -187,8 +203,17 @@ class OwnerClient {
 
   Result<StreamState*> FindStream(uint64_t uuid);
   Status SealAndUpload(uint64_t uuid, StreamState& s);
-  /// Send the buffered batch (no-op when empty).
+  /// Drain the upload pipeline: send everything buffered and wait for every
+  /// in-flight batch (no-op when empty).
   Status FlushPending(uint64_t uuid, StreamState& s);
+  /// Advance the pipelined upload: reap completed batches, resync after a
+  /// failure, and issue full batches up to the in-flight window. With
+  /// `drain` it also sends a short final batch and waits everything out.
+  Status PumpPending(uint64_t uuid, StreamState& s, bool drain);
+  enum class Reap { kPoll, kWaitOne, kWaitAll };
+  /// Retire in-flight batches from the front; on the first error, re-queue
+  /// every unacknowledged entry into `pending` and arm the resync.
+  Status ReapInflight(StreamState& s, Reap mode);
   Status GrantChunkRange(StreamState& s, uint64_t uuid,
                          const std::string& principal_id,
                          BytesView principal_public, uint64_t first_chunk,

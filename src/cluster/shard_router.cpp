@@ -1,6 +1,7 @@
 #include "cluster/shard_router.hpp"
 
 #include <algorithm>
+#include <thread>
 
 #include "common/time.hpp"
 #include "net/messages.hpp"
@@ -21,7 +22,7 @@ uint64_t Mix64(uint64_t x) {
   return x ^ (x >> 31);
 }
 
-size_t PoolThreads(size_t num_shards, const RouterOptions& options) {
+size_t ExecThreads(size_t num_shards, const RouterOptions& options) {
   if (options.scatter_threads > 0) return options.scatter_threads;
   if (num_shards <= 1) return 0;
   size_t hw = std::thread::hardware_concurrency();
@@ -37,6 +38,51 @@ std::vector<std::shared_ptr<replica::ReplicaSet>> WrapEngines(
   }
   return sets;
 }
+
+/// True when a shard may serve `type` from a caught-up replica instead of
+/// its primary. Mirrors the read-only routing in ShardRouter::Handle —
+/// grants/envelopes/attestations stay on primaries (replica engines do not
+/// refresh key-store state), and Ping/FetchGrants probe primaries.
+bool ReplicaServable(MessageType type) {
+  switch (type) {
+    case MessageType::kGetRange:
+    case MessageType::kGetStatRange:
+    case MessageType::kGetStatSeries:
+    case MessageType::kGetStreamInfo:
+    case MessageType::kGetChunkWitnessed:
+    case MessageType::kMultiStatRange:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// In-process shard channel: net::Transport over one shard's ReplicaSet,
+/// with calls executed on the router's shared executor so a scatter across
+/// N shards genuinely overlaps. The same scatter code would drive a
+/// TcpClient channel to a remote shard unchanged.
+class LocalShardChannel final : public net::Transport {
+ public:
+  LocalShardChannel(std::shared_ptr<replica::ReplicaSet> set,
+                    net::Executor* exec)
+      : set_(std::move(set)), exec_(exec) {}
+
+  net::PendingCall AsyncCall(MessageType type, BytesView body,
+                             net::CallCallback on_done = nullptr) override {
+    net::CallCompleter completer(std::move(on_done));
+    // Copy up front: the caller's view need not outlive AsyncCall.
+    Bytes copy(body.begin(), body.end());
+    exec_->Submit([set = set_, completer, type, copy = std::move(copy)] {
+      completer.Complete(ReplicaServable(type) ? set->HandleRead(type, copy)
+                                               : set->Handle(type, copy));
+    });
+    return completer.pending();
+  }
+
+ private:
+  std::shared_ptr<replica::ReplicaSet> set_;
+  net::Executor* exec_;
+};
 
 constexpr const char kShardMetaKey[] = "meta/cluster/shard";
 
@@ -76,13 +122,21 @@ ShardRouter::ShardRouter(
 ShardRouter::ShardRouter(
     std::vector<std::shared_ptr<replica::ReplicaSet>> shards,
     RouterOptions options)
-    : sets_(std::move(shards)), pool_(PoolThreads(sets_.size(), options)) {
+    : sets_(std::move(shards)),
+      exec_(std::make_unique<net::Executor>(ExecThreads(sets_.size(),
+                                                        options))) {
   if (sets_.empty()) {
     // A router needs at least one shard; constructing without any is a
     // programming error, fail loudly rather than segfault on first use.
     std::abort();
   }
+  channels_.reserve(sets_.size());
+  for (auto& set : sets_) {
+    channels_.push_back(std::make_shared<LocalShardChannel>(set, exec_.get()));
+  }
 }
+
+ShardRouter::~ShardRouter() = default;
 
 size_t PlaceShard(uint64_t uuid, size_t num_shards) {
   return num_shards <= 1 ? 0 : static_cast<size_t>(Mix64(uuid) % num_shards);
@@ -128,7 +182,7 @@ Result<Bytes> ShardRouter::Handle(MessageType type, BytesView body) {
     case MessageType::kGetStreamInfo:
     case MessageType::kGetChunkWitnessed:
       return RouteByUuid(type, body, /*read_only=*/true);
-    // Cluster-wide operations: scatter-gather.
+    // Cluster-wide operations: scatter-gather through the shard channels.
     case MessageType::kFetchGrants: return FetchGrants(body);
     case MessageType::kMultiStatRange: return MultiStatRange(body);
     case MessageType::kClusterInfo: return ClusterInfo();
@@ -155,23 +209,23 @@ Result<Bytes> ShardRouter::RouteByUuid(MessageType type, BytesView body,
   return read_only ? set->HandleRead(type, body) : set->Handle(type, body);
 }
 
-std::vector<Result<Bytes>> ShardRouter::Scatter(
-    size_t n, const std::function<Result<Bytes>(size_t)>& fn) const {
-  std::vector<Result<Bytes>> results(n, Result<Bytes>(Bytes{}));
-  std::vector<std::function<void()>> tasks;
-  tasks.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    tasks.push_back([i, &fn, &results] { results[i] = fn(i); });
-  }
-  pool_.RunAll(std::move(tasks));
+std::vector<Result<Bytes>> ShardRouter::Gather(
+    std::vector<net::PendingCall> calls) {
+  // Wait the whole set before returning: callers merge the results and
+  // must never observe a scattered sub-call still running.
+  std::vector<Result<Bytes>> results;
+  results.reserve(calls.size());
+  for (auto& call : calls) results.push_back(call.Wait());
   return results;
 }
 
 Result<Bytes> ShardRouter::Broadcast(MessageType type, BytesView body) {
-  auto results = Scatter(sets_.size(), [&](size_t i) {
-    return sets_[i]->Handle(type, body);
-  });
-  for (auto& result : results) {
+  std::vector<net::PendingCall> calls;
+  calls.reserve(channels_.size());
+  for (auto& channel : channels_) {
+    calls.push_back(channel->AsyncCall(type, body));
+  }
+  for (auto& result : Gather(std::move(calls))) {
     TC_RETURN_IF_ERROR(result.status());
   }
   return Bytes{};
@@ -181,12 +235,14 @@ Result<Bytes> ShardRouter::FetchGrants(BytesView body) {
   // Grants are keyed by principal, and a principal's streams can live on
   // any shard — the one cluster-wide read on the consumer path. Served by
   // primaries: replica engines do not refresh key-store state.
-  auto results = Scatter(sets_.size(), [&](size_t i) {
-    return sets_[i]->Handle(MessageType::kFetchGrants, body);
-  });
+  std::vector<net::PendingCall> calls;
+  calls.reserve(channels_.size());
+  for (auto& channel : channels_) {
+    calls.push_back(channel->AsyncCall(MessageType::kFetchGrants, body));
+  }
 
   net::FetchGrantsResponse merged;
-  for (auto& result : results) {
+  for (auto& result : Gather(std::move(calls))) {
     TC_RETURN_IF_ERROR(result.status());
     TC_ASSIGN_OR_RETURN(auto partial, net::FetchGrantsResponse::Decode(*result));
     for (auto& entry : partial.grants) merged.grants.push_back(std::move(entry));
@@ -212,6 +268,9 @@ Result<Bytes> ShardRouter::ClusterInfo() {
     info.auto_failover = sets_[i]->auto_failover() ? 1 : 0;
     info.promotions = static_cast<uint32_t>(sets_[i]->promotions());
     info.snapshot_chunks = sets_[i]->snapshot_chunks_shipped();
+    auto compaction = sets_[i]->StoreCompaction();
+    info.store_dead_bytes = compaction.dead_bytes;
+    info.store_compactions = static_cast<uint32_t>(compaction.compactions);
     resp.shards.push_back(info);
   }
   return resp.Encode();
@@ -252,11 +311,16 @@ Result<Bytes> ShardRouter::MultiStatRange(BytesView body) {
   TC_ASSIGN_OR_RETURN(auto cipher,
                       server::ServerEngine::MakeAddCipher(info.config));
 
-  auto results = Scatter(groups.size(), [&](size_t g) {
+  // One pipelined sub-query per involved shard; the cross-shard merge
+  // (homomorphic adds) runs on this thread once all partials land.
+  std::vector<net::PendingCall> calls;
+  calls.reserve(groups.size());
+  for (size_t g = 0; g < groups.size(); ++g) {
     net::MultiStatRangeRequest sub{groups[g], req.range};
-    return sets_[group_shard[g]]->HandleRead(MessageType::kMultiStatRange,
-                                             sub.Encode());
-  });
+    calls.push_back(channels_[group_shard[g]]->AsyncCall(
+        MessageType::kMultiStatRange, sub.Encode()));
+  }
+  auto results = Gather(std::move(calls));
 
   net::StatRangeResponse merged;
   Bytes acc;
@@ -295,6 +359,8 @@ Result<Bytes> ShardRouter::RollupStream(BytesView body) {
   }
 
   // Cross-shard: decompose into the wire operations rollup is made of.
+  // The legs are data-dependent (each needs the previous one's result), so
+  // they run sequentially on this thread against the shard sets directly.
   // Window aggregates are plain encrypted digests, so the derived stream
   // built from a StatSeries is byte-identical to the engine-native path.
   // All legs run against primaries: a rollup is a write, and deriving it

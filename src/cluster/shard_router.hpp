@@ -5,10 +5,15 @@
 // namespace, with streams partitioned by uuid hash.
 //
 // Single-stream messages (the hot path: ingest, range/stat queries, grants
-// on a stream) route to the owning shard with no cross-shard coordination.
-// Cluster-wide operations — FetchGrants (keyed by principal, not stream),
-// MultiStatRange over streams on different shards, Ping, ClusterInfo —
-// scatter-gather across shards on a small worker pool. RollupStream whose
+// on a stream) route to the owning shard inline with no cross-shard
+// coordination. Cluster-wide operations — FetchGrants (keyed by principal,
+// not stream), MultiStatRange over streams on different shards, Ping,
+// ClusterInfo — scatter one net::AsyncCall per involved shard through that
+// shard's channel and gather the PendingCall set. Local shards are reached
+// through an in-process channel whose calls run on a small executor (the
+// CPU-bound remnant of the old scatter worker pool); the same scatter code
+// drives remote shards through any net::Transport — socket-backed shard
+// channels are a constructor away, not a redesign. RollupStream whose
 // source and target hash to different shards is decomposed into the wire
 // operations it is made of (create + windowed stat series + batch insert),
 // so derived streams always live on the shard their uuid hashes to and
@@ -31,7 +36,7 @@
 #include <memory>
 #include <vector>
 
-#include "cluster/worker_pool.hpp"
+#include "net/executor.hpp"
 #include "net/wire.hpp"
 #include "replica/replica_set.hpp"
 #include "server/server_engine.hpp"
@@ -39,8 +44,9 @@
 namespace tc::cluster {
 
 struct RouterOptions {
-  /// Scatter-gather pool width. 0 = one thread per shard, capped at the
-  /// hardware concurrency (a 1-shard or 1-core router runs inline).
+  /// Width of the executor backing the local shard channels (scatter-gather
+  /// fan-out). 0 = one thread per shard, capped at the hardware concurrency
+  /// (a 1-shard or 1-core router runs scattered calls inline).
   size_t scatter_threads = 0;
 };
 
@@ -70,6 +76,8 @@ class ShardRouter final : public net::RequestHandler {
       std::vector<std::shared_ptr<replica::ReplicaSet>> shards,
       RouterOptions options = {});
 
+  ~ShardRouter();
+
   // net::RequestHandler
   Result<Bytes> Handle(net::MessageType type, BytesView body) override;
 
@@ -82,6 +90,12 @@ class ShardRouter final : public net::RequestHandler {
   /// Cluster-wide stream count / index bytes (sums over shards).
   size_t NumStreams() const;
   uint64_t TotalIndexBytes() const;
+
+  /// One shard's asynchronous channel (tests issue scattered calls through
+  /// it directly).
+  const std::shared_ptr<net::Transport>& channel(size_t i) const {
+    return channels_[i];
+  }
 
   /// Direct handle to one shard's primary engine (tests and tools peek at
   /// placement). Null while that shard's primary is down.
@@ -100,9 +114,9 @@ class ShardRouter final : public net::RequestHandler {
   Result<Bytes> RouteByUuid(net::MessageType type, BytesView body,
                             bool read_only);
 
-  /// Run `fn(0..n)` on the worker pool and gather the per-slot results.
-  std::vector<Result<Bytes>> Scatter(
-      size_t n, const std::function<Result<Bytes>(size_t)>& fn) const;
+  /// Wait on a scattered call set, in order.
+  static std::vector<Result<Bytes>> Gather(
+      std::vector<net::PendingCall> calls);
 
   // Scatter-gather handlers.
   Result<Bytes> FetchGrants(BytesView body);
@@ -114,7 +128,10 @@ class ShardRouter final : public net::RequestHandler {
   Result<Bytes> RollupStream(BytesView body);
 
   std::vector<std::shared_ptr<replica::ReplicaSet>> sets_;
-  mutable WorkerPool pool_;
+  /// Executor behind the local channels; must outlive them.
+  std::unique_ptr<net::Executor> exec_;
+  /// Per-shard async channels (in-process adapters over sets_).
+  std::vector<std::shared_ptr<net::Transport>> channels_;
 };
 
 }  // namespace tc::cluster

@@ -1,0 +1,47 @@
+// Fire-and-forget task executor: a fixed set of worker threads draining a
+// FIFO queue. Backs the TCP server's per-connection concurrent dispatch and
+// the shard router's local scatter channels — anywhere a completion is
+// produced asynchronously for a PendingCall. Deliberately minimal: no
+// priorities, no stealing; submitters provide their own backpressure.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tc::net {
+
+class Executor {
+ public:
+  /// Spawns `num_threads` workers. 0 is allowed: Submit then runs the task
+  /// inline on the calling thread (the single-shard / single-core case).
+  explicit Executor(size_t num_threads);
+
+  /// Drains every queued task (running, not dropping, them — completions
+  /// must fire) and joins the workers.
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Enqueue one task. Never blocks (beyond the queue lock); tasks run in
+  /// submission order across the worker set.
+  void Submit(std::function<void()> task);
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace tc::net

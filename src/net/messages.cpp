@@ -167,6 +167,8 @@ Bytes ClusterInfoResponse::Encode() const {
     w.PutU8(s.auto_failover);
     w.PutU32(s.promotions);
     w.PutU64(s.snapshot_chunks);
+    w.PutU64(s.store_dead_bytes);
+    w.PutU32(s.store_compactions);
   }
   return std::move(w).Take();
 }
@@ -195,6 +197,8 @@ Result<ClusterInfoResponse> ClusterInfoResponse::Decode(BytesView in) {
     }
     TC_ASSIGN_OR_RETURN(s.promotions, r.GetU32());
     TC_ASSIGN_OR_RETURN(s.snapshot_chunks, r.GetU64());
+    TC_ASSIGN_OR_RETURN(s.store_dead_bytes, r.GetU64());
+    TC_ASSIGN_OR_RETURN(s.store_compactions, r.GetU32());
     resp.shards.push_back(s);
   }
   return resp;

@@ -116,6 +116,11 @@ struct ClusterInfoResponse {
     uint8_t auto_failover = 0;
     uint32_t promotions = 0;
     uint64_t snapshot_chunks = 0;
+    // Backing-store compaction pressure (LogKvStore shards): dead value
+    // bytes awaiting compaction and compaction passes run so far. Zeros
+    // for volatile stores.
+    uint64_t store_dead_bytes = 0;
+    uint32_t store_compactions = 0;
   };
   std::vector<ShardInfo> shards;
 

@@ -8,7 +8,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "common/io.hpp"
@@ -17,26 +19,27 @@
 namespace tc::net {
 
 namespace {
-constexpr size_t kMaxFrameBody = 512u << 20;  // sanity bound
 
-struct FrameHeader {
-  uint32_t body_len;
-  MessageType type;
-  uint64_t request_id;
-};
-
-Result<FrameHeader> ReadFrameHeader(int fd) {
-  Bytes header(13);
-  TC_RETURN_IF_ERROR(ReadExact(fd, header));
-  BinaryReader r(header);
-  FrameHeader h{};
-  TC_ASSIGN_OR_RETURN(h.body_len, r.GetU32());
-  TC_ASSIGN_OR_RETURN(uint8_t type, r.GetU8());
-  TC_ASSIGN_OR_RETURN(h.request_id, r.GetU64());
-  h.type = static_cast<MessageType>(type);
-  if (h.body_len > kMaxFrameBody) return DataLoss("oversized frame");
-  return h;
+int64_t SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
+
+/// Read + decode one frame header. `max_body` bounds the claimed body size;
+/// pass UINT32_MAX to defer the bound to the caller (the server does, so it
+/// can answer the offending request id with a clean status).
+Result<FrameHeader> ReadFrameHeader(int fd, size_t max_body) {
+  Bytes header(kFrameHeaderBytes);
+  TC_RETURN_IF_ERROR(ReadExact(fd, header));
+  return DecodeFrameHeader(header, max_body);
+}
+
+void SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
 }  // namespace
 
 Status ReadExact(int fd, MutableBytesView out) {
@@ -70,9 +73,53 @@ Status WriteAll(int fd, BytesView data) {
   return Status::Ok();
 }
 
+// ---------------------------------------------------------------- server
+
+struct TcpServer::Conn {
+  explicit Conn(int fd_in) : fd(fd_in) {}
+  ~Conn() { ::close(fd); }
+
+  const int fd;
+  std::atomic<bool> alive{true};
+
+  // Serializes response frames: concurrent handlers interleave whole
+  // frames, never bytes (the per-connection "write queue" at frame
+  // granularity).
+  std::mutex write_mu;
+
+  // Mutation FIFO: same-connection mutations run one at a time, in arrival
+  // order, on a single chained dispatch task.
+  std::mutex q_mu;
+  std::deque<std::pair<FrameHeader, Bytes>> mutations;
+  bool mutation_task_running = false;
+
+  // Requests queued or executing for this connection; the reader blocks at
+  // the cap so a fast pipeliner cannot queue unbounded work.
+  std::mutex inflight_mu;
+  std::condition_variable inflight_cv;
+  size_t inflight = 0;
+
+  void WriteResponse(uint64_t request_id, const Result<Bytes>& result) {
+    Bytes body = result.ok() ? EncodeResponseBody(Status::Ok(), *result)
+                             : EncodeResponseBody(result.status(), {});
+    Bytes frame = EncodeFrame(MessageType::kResponse, request_id, body);
+    std::lock_guard lock(write_mu);
+    if (!WriteAll(fd, frame).ok()) {
+      // Peer is gone or wedged shut: stop the reader too.
+      alive = false;
+      ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+};
+
+TcpServer::TcpServer(std::shared_ptr<RequestHandler> handler, uint16_t port,
+                     TcpServerOptions options)
+    : handler_(std::move(handler)), port_(port), options_(options) {}
+
 TcpServer::TcpServer(std::shared_ptr<RequestHandler> handler, uint16_t port,
                      bool bind_any)
-    : handler_(std::move(handler)), port_(port), bind_any_(bind_any) {}
+    : TcpServer(std::move(handler), port,
+                TcpServerOptions{.bind_any = bind_any}) {}
 
 TcpServer::~TcpServer() { Stop(); }
 
@@ -84,10 +131,15 @@ Status TcpServer::Start() {
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(bind_any_ ? INADDR_ANY : INADDR_LOOPBACK);
+  addr.sin_addr.s_addr = htonl(options_.bind_any ? INADDR_ANY
+                                                 : INADDR_LOOPBACK);
   addr.sin_port = htons(port_);
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
       0) {
+    // Close before returning: Stop() never runs for a server that failed
+    // to start, so a leaked listener would outlive every retry.
+    ::close(listen_fd_);
+    listen_fd_ = -1;
     return Unavailable(std::string("bind failed: ") + std::strerror(errno));
   }
   if (port_ == 0) {
@@ -96,8 +148,15 @@ Status TcpServer::Start() {
     port_ = ntohs(addr.sin_port);
   }
   if (::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
     return Unavailable("listen failed");
   }
+  size_t threads = options_.dispatch_threads;
+  if (threads == 0) {
+    threads = std::max<size_t>(2, std::thread::hardware_concurrency());
+  }
+  dispatch_ = std::make_unique<Executor>(threads);
   running_ = true;
   acceptor_ = std::thread([this] { AcceptLoop(); });
   return Status::Ok();
@@ -109,18 +168,30 @@ void TcpServer::Stop() {
   ::close(listen_fd_);
   if (acceptor_.joinable()) acceptor_.join();
 
-  // Connection threads block in read(); shut their sockets down so the
-  // blocked reads return before we join. Each thread closes and deregisters
-  // its own fd on exit, so joining must happen outside the lock.
+  // Connection readers block in read() or on the inflight cap; shut their
+  // sockets down and wake the cap waiters so the blocked readers return
+  // before we join. Each reader deregisters its connection on exit, so
+  // joining must happen outside the lock.
+  std::vector<std::shared_ptr<Conn>> conns;
   std::vector<std::thread> to_join;
   {
     std::lock_guard lock(threads_mu_);
-    for (int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+    conns = connections_;
     to_join.swap(connection_threads_);
+  }
+  for (auto& conn : conns) {
+    conn->alive = false;
+    ::shutdown(conn->fd, SHUT_RDWR);
+    conn->inflight_cv.notify_all();
   }
   for (auto& t : to_join) {
     if (t.joinable()) t.join();
   }
+  // Drain in-flight dispatch tasks; their Conn references drop as they
+  // finish, closing the fds.
+  dispatch_.reset();
+  std::lock_guard lock(threads_mu_);
+  connections_.clear();
 }
 
 void TcpServer::AcceptLoop() {
@@ -132,41 +203,111 @@ void TcpServer::AcceptLoop() {
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Conn>(fd);
     std::lock_guard lock(threads_mu_);
-    connection_fds_.push_back(fd);
-    connection_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+    connections_.push_back(conn);
+    connection_threads_.emplace_back(
+        [this, conn = std::move(conn)] { ServeConnection(conn); });
   }
 }
 
-void TcpServer::ServeConnection(int fd) {
-  while (running_) {
-    auto header = ReadFrameHeader(fd);
-    if (!header.ok()) break;  // peer closed or corrupt stream
-    Bytes body(header->body_len);
-    if (!ReadExact(fd, body).ok()) break;
+void TcpServer::FinishRequest(const std::shared_ptr<Conn>& conn) {
+  std::lock_guard lock(conn->inflight_mu);
+  --conn->inflight;
+  conn->inflight_cv.notify_all();
+}
 
-    Bytes payload;
-    Status status;
-    auto result = handler_->Handle(header->type, body);
-    if (result.ok()) {
-      payload = std::move(*result);
-    } else {
-      status = result.status();
+void TcpServer::HandleRequest(const std::shared_ptr<Conn>& conn,
+                              MessageType type, uint64_t request_id,
+                              const Bytes& body) {
+  conn->WriteResponse(request_id, handler_->Handle(type, body));
+}
+
+void TcpServer::DrainMutations(const std::shared_ptr<Conn>& conn) {
+  // One drain task exists per connection at a time, so mutations apply in
+  // exactly the order the client sent them even though they share the
+  // dispatch executor with everything else.
+  for (;;) {
+    FrameHeader header;
+    Bytes body;
+    {
+      std::lock_guard lock(conn->q_mu);
+      if (conn->mutations.empty()) {
+        conn->mutation_task_running = false;
+        return;
+      }
+      header = conn->mutations.front().first;
+      body = std::move(conn->mutations.front().second);
+      conn->mutations.pop_front();
     }
-    Bytes response = EncodeFrame(MessageType::kResponse, header->request_id,
-                                 EncodeResponseBody(status, payload));
-    if (!WriteAll(fd, response).ok()) break;
+    HandleRequest(conn, header.type, header.request_id, body);
+    FinishRequest(conn);
   }
-  // Deregister before closing so Stop() never shutdown()s a reused fd.
-  {
-    std::lock_guard lock(threads_mu_);
-    std::erase(connection_fds_, fd);
-  }
-  ::close(fd);
 }
+
+void TcpServer::ServeConnection(std::shared_ptr<Conn> conn) {
+  while (running_ && conn->alive) {
+    // Bound enforcement is split so the offending request id is known: an
+    // oversized claim gets a clean error response (no allocation), then the
+    // connection drops — framing past an unread body cannot be trusted.
+    auto header = ReadFrameHeader(conn->fd, UINT32_MAX);
+    if (!header.ok()) break;  // peer closed or corrupt stream
+    if (header->body_len > options_.max_frame_body) {
+      conn->WriteResponse(
+          header->request_id,
+          InvalidArgument("frame body of " + std::to_string(header->body_len) +
+                          " bytes exceeds this server's max of " +
+                          std::to_string(options_.max_frame_body)));
+      break;
+    }
+    Bytes body(header->body_len);
+    if (!ReadExact(conn->fd, body).ok()) break;
+
+    {
+      std::unique_lock lock(conn->inflight_mu);
+      conn->inflight_cv.wait(lock, [&] {
+        return conn->inflight < options_.max_inflight_per_conn ||
+               !running_ || !conn->alive;
+      });
+      if (!running_ || !conn->alive) break;
+      ++conn->inflight;
+    }
+
+    if (IsMutation(header->type)) {
+      bool submit = false;
+      {
+        std::lock_guard lock(conn->q_mu);
+        conn->mutations.emplace_back(*header, std::move(body));
+        if (!conn->mutation_task_running) {
+          conn->mutation_task_running = true;
+          submit = true;
+        }
+      }
+      if (submit) {
+        dispatch_->Submit([this, conn] { DrainMutations(conn); });
+      }
+    } else {
+      dispatch_->Submit([this, conn, type = header->type,
+                         id = header->request_id,
+                         body = std::move(body)] {
+        HandleRequest(conn, type, id, body);
+        FinishRequest(conn);
+      });
+    }
+  }
+  // Stop reading; in-flight dispatch tasks may still write responses. The
+  // fd closes when the last Conn reference (a task or this reader) drops —
+  // never while a handler could write to a reused descriptor.
+  ::shutdown(conn->fd, SHUT_RD);
+  std::lock_guard lock(threads_mu_);
+  std::erase(connections_, conn);
+}
+
+// ---------------------------------------------------------------- client
 
 Result<std::unique_ptr<TcpClient>> TcpClient::Connect(
-    const std::string& host, uint16_t port, int64_t connect_timeout_ms) {
+    const std::string& host, uint16_t port, int64_t connect_timeout_ms,
+    size_t max_frame_body) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Unavailable("socket() failed");
 
@@ -213,10 +354,37 @@ Result<std::unique_ptr<TcpClient>> TcpClient::Connect(
   }
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return std::unique_ptr<TcpClient>(new TcpClient(fd));
+  return std::unique_ptr<TcpClient>(new TcpClient(fd, max_frame_body));
+}
+
+TcpClient::TcpClient(int fd, size_t max_frame_body)
+    : max_frame_body_(max_frame_body), fd_(fd) {
+  // Self-pipe: AsyncCall nudges the reader out of an open-ended poll when
+  // the pending set (and thus the next deadline) changes. On the unlikely
+  // pipe() failure the client still works; op-timeout wakeups just lean on
+  // the poll granularity below.
+  if (::pipe(wake_fds_) == 0) {
+    SetNonBlocking(wake_fds_[0]);
+    SetNonBlocking(wake_fds_[1]);
+  } else {
+    wake_fds_[0] = wake_fds_[1] = -1;
+  }
+  reader_ = std::thread([this] { ReaderLoop(); });
+}
+
+TcpClient::~TcpClient() {
+  FailConnection(Unavailable("client connection destroyed"));
+  if (reader_.joinable()) reader_.join();
+  ::close(fd_);
+  if (wake_fds_[0] >= 0) ::close(wake_fds_[0]);
+  if (wake_fds_[1] >= 0) ::close(wake_fds_[1]);
 }
 
 Status TcpClient::SetOpTimeout(int64_t timeout_ms) {
+  // Send side: a wedged peer must fail a write, not park it forever. The
+  // receive side is enforced by the reader's poll deadline over the oldest
+  // pending call; SO_RCVTIMEO additionally backstops a peer that stalls
+  // mid-frame (poll cannot fire while the reader is inside ReadExact).
   timeval tv{};
   tv.tv_sec = timeout_ms / 1000;
   tv.tv_usec = (timeout_ms % 1000) * 1000;
@@ -224,26 +392,176 @@ Status TcpClient::SetOpTimeout(int64_t timeout_ms) {
       ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
     return Unavailable("setting socket timeouts failed");
   }
+  op_timeout_ms_.store(timeout_ms);
+  {
+    // "Bound every in-flight call" includes calls issued before this was
+    // configured: restart their clocks from now.
+    std::lock_guard lock(mu_);
+    int64_t deadline = timeout_ms > 0 ? SteadyNowMs() + timeout_ms : 0;
+    for (auto& [id, p] : pending_) p.deadline_ms = deadline;
+  }
+  WakeReader();
   return Status::Ok();
 }
 
-TcpClient::~TcpClient() {
-  if (fd_ >= 0) ::close(fd_);
+void TcpClient::WakeReader() {
+  if (wake_fds_[1] < 0) return;
+  char byte = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fds_[1], &byte, 1);
 }
 
-Result<Bytes> TcpClient::Call(MessageType type, BytesView body) {
-  std::lock_guard lock(mu_);
-  uint64_t id = next_request_id_++;
-  TC_RETURN_IF_ERROR(WriteAll(fd_, EncodeFrame(type, id, body)));
-
-  auto header = ReadFrameHeader(fd_);
-  TC_RETURN_IF_ERROR(header.status());
-  if (header->type != MessageType::kResponse || header->request_id != id) {
-    return DataLoss("protocol violation: unexpected frame");
+void TcpClient::FailConnection(const Status& status) {
+  std::vector<CallCompleter> victims;
+  Status final_status;
+  {
+    std::lock_guard lock(mu_);
+    if (!closed_) {
+      closed_ = true;
+      conn_status_ = status.ok() ? Unavailable("connection closed") : status;
+    }
+    final_status = conn_status_;
+    victims.reserve(pending_.size());
+    for (auto& [id, p] : pending_) victims.push_back(p.completer);
+    pending_.clear();
   }
-  Bytes response_body(header->body_len);
-  TC_RETURN_IF_ERROR(ReadExact(fd_, response_body));
-  return DecodeResponseBody(response_body);
+  ::shutdown(fd_, SHUT_RDWR);
+  WakeReader();
+  // Error fan-out: every call still in flight fails with the connection's
+  // terminal status. Completed outside the lock — callbacks may Wait().
+  for (auto& v : victims) v.Complete(final_status);
+}
+
+PendingCall TcpClient::AsyncCall(MessageType type, BytesView body,
+                                 CallCallback on_done) {
+  CallCompleter completer(std::move(on_done));
+  PendingCall handle = completer.pending();
+
+  uint64_t id = 0;
+  Status closed_status;
+  {
+    std::lock_guard lock(mu_);
+    if (closed_) {
+      closed_status = conn_status_;
+    } else {
+      id = next_request_id_++;
+      int64_t t = op_timeout_ms_.load();
+      pending_.emplace(id,
+                       Pending{completer, t > 0 ? SteadyNowMs() + t : 0});
+    }
+  }
+  if (id == 0) {
+    // Dead connection: fail fast, outside the lock (callbacks may Wait()).
+    completer.Complete(std::move(closed_status));
+    return handle;
+  }
+
+  // Register-then-send: the reader may legally see the response before this
+  // thread regains the CPU. Nudge the reader so its poll deadline covers
+  // the new call.
+  WakeReader();
+  Bytes frame = EncodeFrame(type, id, body);
+  Status write_status;
+  {
+    std::lock_guard lock(write_mu_);
+    write_status = WriteAll(fd_, frame);
+  }
+  if (!write_status.ok()) {
+    // A mid-frame write failure poisons the stream for every later frame;
+    // fail the connection (this call is still pending, so it fans out too).
+    FailConnection(write_status);
+  }
+  return handle;
+}
+
+void TcpClient::ReaderLoop() {
+  for (;;) {
+    // Expiry is checked here, at the top of EVERY iteration — not only
+    // when poll times out — so a stuck request still fails on schedule
+    // while other responses keep the socket readable. (A peer trickling
+    // one frame forever is backstopped by SO_RCVTIMEO inside ReadExact.)
+    int timeout = -1;
+    bool expired = false;
+    {
+      std::lock_guard lock(mu_);
+      if (closed_) return;
+      int64_t t = op_timeout_ms_.load();
+      if (t > 0 && !pending_.empty()) {
+        int64_t min_deadline = INT64_MAX;
+        for (const auto& [id, p] : pending_) {
+          if (p.deadline_ms > 0) {
+            min_deadline = std::min(min_deadline, p.deadline_ms);
+          }
+        }
+        if (min_deadline != INT64_MAX) {
+          int64_t remaining = min_deadline - SteadyNowMs();
+          if (remaining <= 0) {
+            expired = true;
+          } else {
+            timeout = static_cast<int>(
+                std::clamp<int64_t>(remaining, 1, 3'600'000));
+          }
+        }
+      }
+    }
+    if (expired) {
+      FailConnection(Unavailable("request timed out after " +
+                                 std::to_string(op_timeout_ms_.load()) +
+                                 " ms"));
+      return;
+    }
+
+    pollfd fds[2] = {{fd_, POLLIN, 0}, {wake_fds_[0], POLLIN, 0}};
+    nfds_t nfds = wake_fds_[0] >= 0 ? 2 : 1;
+    int rc = ::poll(fds, nfds, timeout);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      FailConnection(
+          Unavailable(std::string("poll failed: ") + std::strerror(errno)));
+      return;
+    }
+    if (rc == 0) continue;  // re-enter the deadline pass above
+    if (nfds == 2 && (fds[1].revents & POLLIN)) {
+      char buf[64];
+      while (::read(wake_fds_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+    if (!(fds[0].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+
+    auto header = ReadFrameHeader(fd_, max_frame_body_);
+    if (!header.ok()) {
+      FailConnection(header.status());
+      return;
+    }
+    if (header->type != MessageType::kResponse) {
+      FailConnection(
+          DataLoss("protocol violation: non-response frame from server"));
+      return;
+    }
+    Bytes body(header->body_len);
+    if (Status st = ReadExact(fd_, body); !st.ok()) {
+      FailConnection(st);
+      return;
+    }
+
+    std::optional<CallCompleter> completer;
+    {
+      std::lock_guard lock(mu_);
+      auto it = pending_.find(header->request_id);
+      if (it != pending_.end()) {
+        completer = std::move(it->second.completer);
+        pending_.erase(it);
+      }
+    }
+    if (!completer) {
+      // A response for an id we never sent (or already answered): the
+      // demux invariant is broken, so no later match can be trusted.
+      FailConnection(DataLoss(
+          "protocol violation: response for unknown request id " +
+          std::to_string(header->request_id)));
+      return;
+    }
+    completer->Complete(DecodeResponseBody(body));
+  }
 }
 
 }  // namespace tc::net

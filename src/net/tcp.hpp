@@ -1,26 +1,62 @@
-// Blocking TCP transport: listener with connection-per-thread dispatch on
-// the server, framed request/response client. Loopback-oriented (the E2E
-// benchmarks and examples run client and server on one host, like the
-// paper's mhealth setup).
+// Multiplexed TCP transport.
+//
+// Server: listener with a reader thread per connection and a shared dispatch
+// executor. Requests from one connection are processed concurrently —
+// mutations in strict arrival order (a pipelined ingest stream must apply in
+// send order), non-mutating requests freely interleaved — and responses are
+// written back through a per-connection frame lock, so a slow query never
+// head-of-line-blocks a Ping on the same connection.
+//
+// Client: framed request/response with request-id demultiplexing. One demux
+// reader thread matches responses to in-flight calls, so many AsyncCalls can
+// overlap on one socket and complete out of order; a connection error fans
+// out to every pending call. Loopback-oriented (the E2E benchmarks and
+// examples run client and server on one host, like the paper's mhealth
+// setup).
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "net/executor.hpp"
 #include "net/wire.hpp"
 
 namespace tc::net {
 
+struct TcpServerOptions {
+  /// Bind all interfaces instead of loopback — the replication topology
+  /// needs it when peers dial back across machines (a daemon advertising a
+  /// LAN address, a primary accepting remote followers).
+  bool bind_any = false;
+  /// Reject request frames whose body exceeds this many bytes with a clean
+  /// error response (the header's body_len is attacker-controlled; it must
+  /// never drive an allocation).
+  size_t max_frame_body = kDefaultMaxFrameBody;
+  /// Dispatch executor width, shared by all connections. 0 = one thread
+  /// per hardware core, floored at 2 so same-connection concurrency exists
+  /// even on a single-core host.
+  size_t dispatch_threads = 0;
+  /// Per-connection cap on requests being processed or queued at once; the
+  /// connection's reader stops reading further frames when it is hit (TCP
+  /// backpressure), bounding server memory against a client that pipelines
+  /// faster than handlers drain.
+  size_t max_inflight_per_conn = 32;
+};
+
 /// TCP server owning an accept loop. Start() binds and spawns the acceptor;
-/// Stop() closes the listener and joins all threads. Binds loopback by
-/// default; `bind_any` opens all interfaces — the replication topology
-/// needs it when peers dial back across machines (a daemon advertising a
-/// LAN address, a primary accepting remote followers).
+/// Stop() closes the listener and joins all threads.
 class TcpServer {
  public:
+  TcpServer(std::shared_ptr<RequestHandler> handler, uint16_t port,
+            TcpServerOptions options);
+  /// Compatibility constructor (pre-options call sites).
   TcpServer(std::shared_ptr<RequestHandler> handler, uint16_t port,
             bool bind_any = false);
   ~TcpServer();
@@ -35,46 +71,84 @@ class TcpServer {
   uint16_t port() const { return port_; }
 
  private:
+  /// Shared per-connection state. The fd closes when the last reference
+  /// (reader thread or in-flight dispatch task) drops, never while a
+  /// handler could still write to it.
+  struct Conn;
+
   void AcceptLoop();
-  void ServeConnection(int fd);
+  void ServeConnection(std::shared_ptr<Conn> conn);
+  void HandleRequest(const std::shared_ptr<Conn>& conn, MessageType type,
+                     uint64_t request_id, const Bytes& body);
+  void DrainMutations(const std::shared_ptr<Conn>& conn);
+  static void FinishRequest(const std::shared_ptr<Conn>& conn);
 
   std::shared_ptr<RequestHandler> handler_;
   uint16_t port_;
-  bool bind_any_;
+  TcpServerOptions options_;
   int listen_fd_ = -1;
   std::atomic<bool> running_{false};
   std::thread acceptor_;
+  std::unique_ptr<Executor> dispatch_;
   std::mutex threads_mu_;
   std::vector<std::thread> connection_threads_;
-  std::vector<int> connection_fds_;  // live fds, shut down on Stop()
+  std::vector<std::shared_ptr<Conn>> connections_;  // live, shut down on Stop()
 };
 
-/// Client connection. One in-flight request at a time per connection
-/// (Call serializes internally); open several clients for parallelism.
+/// Client connection with request-id multiplexing: any number of AsyncCalls
+/// may be in flight concurrently (from any threads); responses complete
+/// them in whatever order the server answers.
 class TcpClient final : public Transport {
  public:
   /// `connect_timeout_ms > 0` bounds the dial (non-blocking connect +
-  /// poll); 0 keeps the OS default (blocking).
+  /// poll); 0 keeps the OS default (blocking). `max_frame_body` bounds
+  /// response frames — an oversized one fails the connection cleanly
+  /// instead of driving an allocation.
   static Result<std::unique_ptr<TcpClient>> Connect(
-      const std::string& host, uint16_t port, int64_t connect_timeout_ms = 0);
+      const std::string& host, uint16_t port, int64_t connect_timeout_ms = 0,
+      size_t max_frame_body = kDefaultMaxFrameBody);
   ~TcpClient() override;
 
   TcpClient(const TcpClient&) = delete;
   TcpClient& operator=(const TcpClient&) = delete;
 
-  /// Bound every subsequent socket read/write. A peer that accepts the
-  /// connection and then wedges must fail the Call, not hang the caller —
-  /// heartbeat fan-out and takeover probes depend on this.
+  /// Bound every in-flight call: if the oldest pending request has seen no
+  /// response within `timeout_ms`, the connection is failed and every
+  /// pending call returns Unavailable. A peer that accepts the connection
+  /// and then wedges must fail the calls, not hang the callers — heartbeat
+  /// fan-out and takeover probes depend on this. An idle connection (no
+  /// calls pending) never times out.
   Status SetOpTimeout(int64_t timeout_ms);
 
-  Result<Bytes> Call(MessageType type, BytesView body) override;
+  PendingCall AsyncCall(MessageType type, BytesView body,
+                        CallCallback on_done = nullptr) override;
 
  private:
-  explicit TcpClient(int fd) : fd_(fd) {}
+  TcpClient(int fd, size_t max_frame_body);
 
-  std::mutex mu_;
+  void ReaderLoop();
+  /// Fail every pending call (and all future ones) with `status`.
+  void FailConnection(const Status& status);
+  void WakeReader();
+
+  struct Pending {
+    CallCompleter completer;
+    int64_t deadline_ms = 0;  // steady-clock ms; 0 = no op timeout
+  };
+
+  const size_t max_frame_body_;
   int fd_;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: AsyncCall nudges the reader
+
+  std::mutex mu_;  // guards pending_, next_request_id_, closed_, conn_status_
+  std::unordered_map<uint64_t, Pending> pending_;
   uint64_t next_request_id_ = 1;
+  bool closed_ = false;
+  Status conn_status_;
+
+  std::mutex write_mu_;  // serializes request frames onto the socket
+  std::atomic<int64_t> op_timeout_ms_{0};
+  std::thread reader_;
 };
 
 /// Read exactly n bytes / write all bytes on a socket fd (helpers shared by

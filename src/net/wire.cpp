@@ -1,8 +1,97 @@
 #include "net/wire.hpp"
 
+#include <condition_variable>
+#include <mutex>
+
 #include "common/io.hpp"
 
 namespace tc::net {
+
+bool IsMutation(MessageType type) {
+  switch (type) {
+    case MessageType::kResponse:
+    case MessageType::kGetRange:
+    case MessageType::kGetStatRange:
+    case MessageType::kGetStatSeries:
+    case MessageType::kGetStreamInfo:
+    case MessageType::kFetchGrants:
+    case MessageType::kGetEnvelopes:
+    case MessageType::kMultiStatRange:
+    case MessageType::kPing:
+    case MessageType::kGetAttestation:
+    case MessageType::kGetChunkWitnessed:
+    case MessageType::kClusterInfo:
+      return false;
+    // Everything else mutates (ingest, grants, rollups, deletes, replica
+    // shipments) or is unknown — serialize it.
+    default:
+      return true;
+  }
+}
+
+namespace detail {
+struct CallState {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Result<Bytes> result{Bytes{}};
+  CallCallback callback;
+};
+}  // namespace detail
+
+Result<Bytes> PendingCall::Wait() const {
+  if (!state_) return Internal("waiting on an empty PendingCall");
+  std::unique_lock lock(state_->mu);
+  state_->cv.wait(lock, [this] { return state_->done; });
+  return state_->result;
+}
+
+std::optional<Result<Bytes>> PendingCall::TryGet() const {
+  if (!state_) return Result<Bytes>(Internal("empty PendingCall"));
+  std::lock_guard lock(state_->mu);
+  if (!state_->done) return std::nullopt;
+  return state_->result;
+}
+
+bool PendingCall::done() const {
+  if (!state_) return false;
+  std::lock_guard lock(state_->mu);
+  return state_->done;
+}
+
+CallCompleter::CallCompleter(CallCallback callback)
+    : state_(std::make_shared<detail::CallState>()) {
+  state_->callback = std::move(callback);
+}
+
+void CallCompleter::Complete(Result<Bytes> result) const {
+  CallCallback callback;
+  {
+    std::lock_guard lock(state_->mu);
+    if (state_->done) return;  // first completion wins
+    state_->result = std::move(result);
+    state_->done = true;
+    callback = std::move(state_->callback);
+  }
+  state_->cv.notify_all();
+  // Outside the lock: the callback may Wait()/TryGet() the handle.
+  if (callback) callback(state_->result);
+}
+
+Result<FrameHeader> DecodeFrameHeader(BytesView header, size_t max_body) {
+  BinaryReader r(header);
+  FrameHeader h{};
+  TC_ASSIGN_OR_RETURN(h.body_len, r.GetU32());
+  TC_ASSIGN_OR_RETURN(uint8_t type, r.GetU8());
+  TC_ASSIGN_OR_RETURN(h.request_id, r.GetU64());
+  h.type = static_cast<MessageType>(type);
+  if (h.body_len > max_body) {
+    return InvalidArgument(
+        "frame body of " + std::to_string(h.body_len) +
+        " bytes exceeds the transport's max of " + std::to_string(max_body));
+  }
+  return h;
+}
 
 Bytes EncodeFrame(MessageType type, uint64_t request_id, BytesView body) {
   BinaryWriter w(body.size() + 16);

@@ -5,11 +5,19 @@
 // Frame layout:  u32 body_len | u8 msg_type | u64 request_id | body
 // Responses use the same frame with msg_type = kResponse and a body of
 // status_code | status_msg | payload.
+//
+// The transport API is asynchronous and request-id multiplexed: AsyncCall
+// returns a PendingCall immediately, many calls can be in flight on one
+// connection, and responses match back to their calls by request id in any
+// order (the pipelining the paper's Netty stack gets for free, §5).
+// Call() is a thin blocking wrapper over AsyncCall for call sites that
+// want one round trip.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 
 #include "common/bytes.hpp"
 #include "common/status.hpp"
@@ -62,38 +70,133 @@ enum class MessageType : uint8_t {
   kReplicaOps = 29,
 };
 
+/// True for message types that mutate server state. The TCP server keeps
+/// same-connection mutations in arrival order (a pipelined ingest stream
+/// must apply batch N before batch N+1; replica op shipments must apply in
+/// sequence) while non-mutating requests dispatch concurrently — a slow
+/// query cannot head-of-line-block a Ping on the same connection.
+/// Unrecognised types are conservatively treated as mutations.
+bool IsMutation(MessageType type);
+
 /// Server-side dispatch: handle one decoded request, produce a response
-/// payload. Implementations must be thread-safe (TCP server is
-/// connection-per-thread).
+/// payload. Implementations must be thread-safe — the TCP server dispatches
+/// requests from many connections (and non-mutating requests from the same
+/// connection) concurrently.
 class RequestHandler {
  public:
   virtual ~RequestHandler() = default;
   virtual Result<Bytes> Handle(MessageType type, BytesView body) = 0;
 };
 
-/// Client-side transport: send one request, await the response payload.
-/// Call() is thread-safe in all implementations.
+namespace detail {
+struct CallState;
+}
+
+/// Completion handle for one asynchronous transport call. Cheap to copy
+/// (shared state); safe to Wait from any thread, and safe to keep after the
+/// transport that issued it is destroyed (the transport fails its pending
+/// calls before going away).
+class PendingCall {
+ public:
+  /// Default-constructed handles are empty; Wait() on one reports Internal.
+  PendingCall() = default;
+
+  /// Block until the response (or the transport error that replaced it)
+  /// arrives. Idempotent — repeated waits return the same result.
+  Result<Bytes> Wait() const;
+
+  /// Non-blocking probe: the result if the call has completed, nullopt
+  /// while still in flight.
+  std::optional<Result<Bytes>> TryGet() const;
+
+  /// True once the call has a result.
+  bool done() const;
+
+ private:
+  friend class CallCompleter;
+  explicit PendingCall(std::shared_ptr<detail::CallState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::CallState> state_;
+};
+
+/// Completion callback, invoked exactly once when the call completes — on
+/// the transport's reader thread (TcpClient), an executor thread (shard
+/// channels), or inline inside AsyncCall (InProcTransport, transport
+/// errors). Must not block and must not call back into the transport.
+using CallCallback = std::function<void(const Result<Bytes>&)>;
+
+/// Producer side of a PendingCall: transports make one per request and
+/// complete it when the response (or a connection error) arrives. Copyable;
+/// the first Complete wins, later ones are ignored.
+class CallCompleter {
+ public:
+  explicit CallCompleter(CallCallback callback = nullptr);
+
+  PendingCall pending() const { return PendingCall(state_); }
+  void Complete(Result<Bytes> result) const;
+
+ private:
+  std::shared_ptr<detail::CallState> state_;
+};
+
+/// Client-side transport. AsyncCall sends one request and returns a handle
+/// immediately; implementations support many concurrent in-flight calls
+/// (the request body is consumed before AsyncCall returns — the view need
+/// not outlive the call). Both entry points are thread-safe in all
+/// implementations.
 class Transport {
  public:
   virtual ~Transport() = default;
-  virtual Result<Bytes> Call(MessageType type, BytesView body) = 0;
+
+  virtual PendingCall AsyncCall(MessageType type, BytesView body,
+                                CallCallback on_done = nullptr) = 0;
+
+  /// Blocking convenience wrapper: one request, await its response.
+  Result<Bytes> Call(MessageType type, BytesView body) {
+    return AsyncCall(type, body).Wait();
+  }
 };
 
-/// Zero-copy in-process transport: directly invokes the handler. Used by
-/// microbenchmarks (the paper's microbenchmarks exclude network delay) and
-/// by tests that don't need sockets.
+/// Zero-copy in-process transport: directly invokes the handler; the call
+/// completes before AsyncCall returns. Used by microbenchmarks (the paper's
+/// microbenchmarks exclude network delay) and by tests that don't need
+/// sockets.
 class InProcTransport final : public Transport {
  public:
   explicit InProcTransport(std::shared_ptr<RequestHandler> handler)
       : handler_(std::move(handler)) {}
 
-  Result<Bytes> Call(MessageType type, BytesView body) override {
-    return handler_->Handle(type, body);
+  PendingCall AsyncCall(MessageType type, BytesView body,
+                        CallCallback on_done = nullptr) override {
+    CallCompleter completer(std::move(on_done));
+    completer.Complete(handler_->Handle(type, body));
+    return completer.pending();
   }
 
  private:
   std::shared_ptr<RequestHandler> handler_;
 };
+
+/// Fixed frame header as it appears on the wire (exposed for tests and the
+/// frame fuzzers).
+struct FrameHeader {
+  uint32_t body_len = 0;
+  MessageType type = MessageType::kResponse;
+  uint64_t request_id = 0;
+};
+
+inline constexpr size_t kFrameHeaderBytes = 13;
+
+/// Default per-frame body cap. The header's body_len is attacker-controlled
+/// u32; every decoder bounds it before allocating (both transport ends take
+/// a configurable max).
+inline constexpr size_t kDefaultMaxFrameBody = 512u << 20;
+
+/// Decode the fixed 13-byte header, rejecting bodies larger than `max_body`
+/// with a clean status (never an allocation).
+Result<FrameHeader> DecodeFrameHeader(BytesView header,
+                                      size_t max_body = kDefaultMaxFrameBody);
 
 /// Encode a frame (request or response) into bytes ready for the socket.
 Bytes EncodeFrame(MessageType type, uint64_t request_id, BytesView body);

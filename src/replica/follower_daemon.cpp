@@ -260,6 +260,9 @@ Result<Bytes> FollowerDaemon::FollowerClusterInfo() const {
     info.num_streams = shards_[i]->engine->NumStreams();
     info.index_bytes = shards_[i]->engine->TotalIndexBytes();
     info.snapshot_chunks = shards_[i]->applier->snapshot_chunks_received();
+    auto compaction = shards_[i]->engine->StoreCompaction();
+    info.store_dead_bytes = compaction.dead_bytes;
+    info.store_compactions = static_cast<uint32_t>(compaction.compactions);
     resp.shards.push_back(info);
   }
   return resp.Encode();

@@ -343,6 +343,12 @@ uint64_t ReplicaSet::snapshot_chunks_shipped() const {
   return rkv_ ? rkv_->snapshot_chunks_shipped() : 0;
 }
 
+store::KvStore::CompactionStats ReplicaSet::StoreCompaction() const {
+  std::shared_lock lock(state_mu_);
+  return primary_ ? primary_->StoreCompaction()
+                  : store::KvStore::CompactionStats{};
+}
+
 size_t ReplicaSet::NumStreams() const {
   std::shared_lock lock(state_mu_);
   return primary_ ? primary_->NumStreams() : 0;

@@ -131,6 +131,9 @@ class ReplicaSet {
   uint64_t MaxLagOps() const;
   uint64_t snapshots_shipped() const;
   uint64_t snapshot_chunks_shipped() const;
+  /// Compaction pressure of the primary's backing store (zeros while the
+  /// primary is dropped or the store is not log-structured).
+  store::KvStore::CompactionStats StoreCompaction() const;
   size_t NumStreams() const;
   uint64_t TotalIndexBytes() const;
   size_t promotions() const;

@@ -195,6 +195,9 @@ class ReplicatedKvStore final : public store::KvStore {
   Status Sync() override;
   Status Scan(const std::function<void(const std::string&, BytesView)>& fn)
       const override;
+  CompactionStats Compaction() const override {
+    return primary_->Compaction();
+  }
 
   // Replication introspection. Sequence numbers start at 1; follower_seq is
   // the highest op a follower has durably applied (snapshots jump it).

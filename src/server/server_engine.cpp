@@ -431,7 +431,14 @@ Result<Bytes> ServerEngine::InsertChunkBatch(BytesView body) {
 
 Result<Bytes> ServerEngine::ClusterInfo() const {
   net::ClusterInfoResponse resp;
-  resp.shards.push_back({options_.shard_id, NumStreams(), TotalIndexBytes()});
+  net::ClusterInfoResponse::ShardInfo info;
+  info.shard = options_.shard_id;
+  info.num_streams = NumStreams();
+  info.index_bytes = TotalIndexBytes();
+  auto compaction = StoreCompaction();
+  info.store_dead_bytes = compaction.dead_bytes;
+  info.store_compactions = static_cast<uint32_t>(compaction.compactions);
+  resp.shards.push_back(info);
   return resp.Encode();
 }
 

@@ -64,6 +64,12 @@ class ServerEngine final : public net::RequestHandler {
   /// Index bytes across all streams (Table 2 size column).
   uint64_t TotalIndexBytes() const;
 
+  /// Compaction pressure of the backing store (zeros unless it is
+  /// log-structured) — surfaced through kClusterInfo.
+  store::KvStore::CompactionStats StoreCompaction() const {
+    return kv_->Compaction();
+  }
+
   /// Direct handle to a stream's index (benchmarks peek at cache stats).
   Result<const index::AggTree*> GetIndexForTesting(uint64_t uuid) const;
 

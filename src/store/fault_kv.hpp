@@ -43,6 +43,7 @@ class FaultKvStore final : public KvStore {
   /// is one logical operation, not a countable stream of faults).
   Status Scan(const std::function<void(const std::string&, BytesView)>& fn)
       const override;
+  CompactionStats Compaction() const override { return inner_->Compaction(); }
 
   /// Flip the hard-outage switch (all operations fail until cleared).
   /// Atomic: tests flip it from their own thread while shipper / failover

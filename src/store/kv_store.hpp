@@ -18,6 +18,16 @@ namespace tc::store {
 /// Minimal KV contract. Implementations must be thread-safe.
 class KvStore {
  public:
+  /// Compaction pressure of a log-structured store (cluster-info
+  /// observability). Stores without a compaction cycle report zeros;
+  /// decorators forward to the store they wrap — a prefix view over a
+  /// shared log reports the whole log's pressure, which is what an
+  /// operator watching disk usage wants.
+  struct CompactionStats {
+    uint64_t compactions = 0;  // compaction passes run (explicit + auto)
+    uint64_t dead_bytes = 0;   // dead value bytes awaiting compaction
+  };
+
   virtual ~KvStore() = default;
 
   virtual Status Put(const std::string& key, BytesView value) = 0;
@@ -49,6 +59,9 @@ class KvStore {
     (void)fn;
     return Unimplemented("store does not support Scan");
   }
+
+  /// Compaction pressure; zeros unless the backing store is log-structured.
+  virtual CompactionStats Compaction() const { return {}; }
 };
 
 }  // namespace tc::store

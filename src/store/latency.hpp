@@ -41,6 +41,7 @@ class LatencyKvStore final : public KvStore {
     Delay();  // one round trip: a remote scan streams, it does not chat
     return inner_->Scan(fn);
   }
+  CompactionStats Compaction() const override { return inner_->Compaction(); }
 
   uint64_t ops() const { return ops_.load(); }
 

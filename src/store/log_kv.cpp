@@ -256,4 +256,9 @@ uint64_t LogKvStore::CompactionCount() const {
   return compactions_;
 }
 
+store::KvStore::CompactionStats LogKvStore::Compaction() const {
+  std::lock_guard lock(mu_);
+  return {compactions_, dead_bytes_};
+}
+
 }  // namespace tc::store

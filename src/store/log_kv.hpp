@@ -61,6 +61,8 @@ class LogKvStore final : public KvStore {
   /// Number of compactions run (explicit + automatic) — observability for
   /// the auto-compaction trigger.
   uint64_t CompactionCount() const;
+  /// Both of the above in one locked read (kClusterInfo reporting).
+  CompactionStats Compaction() const override;
 
  private:
   LogKvStore(std::string path, LogKvOptions options);

@@ -33,6 +33,10 @@ class PrefixKvStore final : public KvStore {
   /// unchanged, and sibling views' keys never leak in.
   Status Scan(const std::function<void(const std::string&, BytesView)>& fn)
       const override;
+  /// Whole-backend compaction pressure, like Size/ValueBytes.
+  CompactionStats Compaction() const override {
+    return backend_->Compaction();
+  }
 
   const std::string& prefix() const { return prefix_; }
 

@@ -3,15 +3,19 @@
 // batched upload) behaves over an N-shard router exactly as it does over a
 // single engine, while cluster-wide operations scatter-gather correctly.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstring>
+#include <filesystem>
 #include <functional>
 #include <set>
 
 #include "client/consumer.hpp"
 #include "client/owner.hpp"
 #include "cluster/shard_router.hpp"
+#include "net/tcp.hpp"
 #include "server/server_engine.hpp"
+#include "store/log_kv.hpp"
 #include "store/mem_kv.hpp"
 #include "store/prefix_kv.hpp"
 
@@ -196,12 +200,15 @@ class FlakyTransport final : public net::Transport {
   explicit FlakyTransport(std::shared_ptr<net::Transport> inner)
       : inner_(std::move(inner)) {}
 
-  Result<Bytes> Call(net::MessageType type, BytesView body) override {
+  net::PendingCall AsyncCall(net::MessageType type, BytesView body,
+                             net::CallCallback on_done = nullptr) override {
     if (fail_next_batch && type == net::MessageType::kInsertChunkBatch) {
       fail_next_batch = false;
-      return Unavailable("injected transport failure");
+      net::CallCompleter completer(std::move(on_done));
+      completer.Complete(Unavailable("injected transport failure"));
+      return completer.pending();
     }
-    return inner_->Call(type, body);
+    return inner_->AsyncCall(type, body, std::move(on_done));
   }
 
   bool fail_next_batch = false;
@@ -532,6 +539,99 @@ TEST(ShardRouter, ClusterInfoReportsPerShardPlacement) {
 TEST(ShardRouter, PingBroadcastsToEveryShard) {
   auto c = MakeCluster(4);
   EXPECT_TRUE(c.transport->Call(net::MessageType::kPing, {}).ok());
+}
+
+TEST(ShardRouter, ClusterInfoReportsCompactionStats) {
+  // One log-backed shard: engine mutations overwrite directory keys, so
+  // dead bytes accrue; an explicit Compact must show up in kClusterInfo.
+  std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("cluster_compact_" + std::to_string(::getpid()) + ".log"))
+          .string();
+  std::remove(path.c_str());
+  auto log = store::LogKvStore::Open(path);
+  ASSERT_TRUE(log.ok());
+  std::shared_ptr<store::LogKvStore> kv = std::move(*log);
+  auto engine = std::make_shared<server::ServerEngine>(kv);
+  auto router = std::make_shared<ShardRouter>(
+      std::vector<std::shared_ptr<server::ServerEngine>>{engine});
+
+  OwnerClient owner(std::make_shared<net::InProcTransport>(router));
+  for (int s = 0; s < 3; ++s) {
+    auto created = owner.CreateStream(HeacConfig("lc" + std::to_string(s)));
+    ASSERT_TRUE(created.ok());
+    ASSERT_TRUE(IngestChunks(owner, *created, 0, 2).ok());
+  }
+
+  auto decode_info = [&] {
+    auto blob = router->Handle(net::MessageType::kClusterInfo, {});
+    EXPECT_TRUE(blob.ok());
+    auto info = net::ClusterInfoResponse::Decode(*blob);
+    EXPECT_TRUE(info.ok());
+    return *info;
+  };
+  auto before = decode_info();
+  ASSERT_EQ(before.shards.size(), 1u);
+  EXPECT_GT(before.shards[0].store_dead_bytes, 0u);  // overwritten dir keys
+  EXPECT_EQ(before.shards[0].store_compactions, 0u);
+
+  ASSERT_TRUE(kv->Compact().ok());
+  auto after = decode_info();
+  EXPECT_EQ(after.shards[0].store_dead_bytes, 0u);
+  EXPECT_EQ(after.shards[0].store_compactions, 1u);
+
+  // The standalone engine reports the same stats without a router.
+  auto solo_blob = engine->Handle(net::MessageType::kClusterInfo, {});
+  ASSERT_TRUE(solo_blob.ok());
+  auto solo = net::ClusterInfoResponse::Decode(*solo_blob);
+  ASSERT_TRUE(solo.ok());
+  EXPECT_EQ(solo->shards[0].store_compactions, 1u);
+
+  engine.reset();
+  router.reset();
+  kv.reset();
+  std::remove(path.c_str());
+}
+
+TEST(ShardRouter, ShardChannelsServeAsyncCalls) {
+  auto c = MakeCluster(3);
+  // Scatter a Ping by hand through every shard channel — the same
+  // AsyncCall path the router's cluster-wide handlers use.
+  std::vector<net::PendingCall> calls;
+  for (size_t i = 0; i < c.router->num_shards(); ++i) {
+    calls.push_back(c.router->channel(i)->AsyncCall(net::MessageType::kPing,
+                                                    BytesView{}));
+  }
+  for (auto& call : calls) {
+    auto result = call.Wait();
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+  }
+}
+
+TEST(ShardRouter, PipelinedBatchedIngestOverTcpMatchesOracle) {
+  // End to end across the whole new transport stack: OwnerClient pipelines
+  // InsertChunkBatch frames (several in flight) through a real TcpClient
+  // into a TcpServer-hosted router; mutation ordering on the server keeps
+  // the append-only streams contiguous.
+  auto c = MakeCluster(2);
+  net::TcpServer server(c.router, 0);
+  ASSERT_TRUE(server.Start().ok());
+  auto tcp = net::TcpClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(tcp.ok());
+
+  client::OwnerOptions options;
+  options.upload_batch_chunks = 4;
+  options.upload_inflight_batches = 3;
+  OwnerClient owner(std::shared_ptr<net::Transport>(std::move(*tcp)),
+                    options);
+  auto uuid = owner.CreateStream(HeacConfig("pipelined"));
+  ASSERT_TRUE(uuid.ok());
+  ASSERT_TRUE(IngestChunks(owner, *uuid, 0, 30).ok());
+
+  auto stats = owner.GetStatRange(*uuid, {0, 30 * kDelta});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->stats.Sum().value(), OracleSum(0, 30));
+  server.Stop();
 }
 
 TEST(ShardRouter, PrefixViewsIsolateShardNamespaces) {

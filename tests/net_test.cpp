@@ -1,6 +1,19 @@
 // Wire protocol tests: frame/response encoding, message codec round trips
-// for every request type, and a real TCP loopback exchange.
+// for every request type, real TCP loopback exchanges, and the multiplexed
+// transport (many in-flight AsyncCalls on one socket, out-of-order
+// completion, mutation ordering, error fan-out, hostile framing).
 #include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <thread>
 
 #include "net/messages.hpp"
 #include "net/tcp.hpp"
@@ -226,6 +239,8 @@ TEST(Messages, ClusterInfoCarriesFailoverHealth) {
   shard.auto_failover = 1;
   shard.promotions = 1;
   shard.snapshot_chunks = 640;
+  shard.store_dead_bytes = 123456;
+  shard.store_compactions = 7;
   resp.shards.push_back(shard);
   auto back = ClusterInfoResponse::Decode(resp.Encode());
   ASSERT_TRUE(back.ok());
@@ -234,6 +249,8 @@ TEST(Messages, ClusterInfoCarriesFailoverHealth) {
   EXPECT_EQ(back->shards[0].auto_failover, 1u);
   EXPECT_EQ(back->shards[0].promotions, 1u);
   EXPECT_EQ(back->shards[0].snapshot_chunks, 640u);
+  EXPECT_EQ(back->shards[0].store_dead_bytes, 123456u);
+  EXPECT_EQ(back->shards[0].store_compactions, 7u);
 }
 
 TEST(Messages, TruncatedDecodesFail) {
@@ -302,6 +319,480 @@ TEST(Tcp, MultipleClients) {
 TEST(Tcp, ConnectToClosedPortFails) {
   auto client = TcpClient::Connect("127.0.0.1", 1);  // reserved port
   EXPECT_FALSE(client.ok());
+}
+
+// ------------------------------------------------ multiplexed transport
+
+TEST(Async, InProcCompletesBeforeReturning) {
+  InProcTransport t(std::make_shared<EchoHandler>());
+  std::atomic<bool> callback_ran{false};
+  auto call = t.AsyncCall(MessageType::kPing, ToBytes("now"),
+                          [&](const Result<Bytes>& r) {
+                            callback_ran = r.ok() && ToString(*r) == "now";
+                          });
+  EXPECT_TRUE(call.done());
+  EXPECT_TRUE(callback_ran.load());
+  auto probe = call.TryGet();
+  ASSERT_TRUE(probe.has_value());
+  ASSERT_TRUE(probe->ok());
+  EXPECT_EQ(ToString(**probe), "now");
+  EXPECT_EQ(ToString(*call.Wait()), "now");  // Wait is idempotent
+}
+
+TEST(Async, EmptyPendingCallReportsInternal) {
+  PendingCall empty;
+  EXPECT_FALSE(empty.done());
+  EXPECT_EQ(empty.Wait().status().code(), StatusCode::kInternal);
+}
+
+/// Handler that parks requests on per-tag gates: kGetStatRange with a
+/// 1-byte body blocks until that tag is released (deterministic slowness —
+/// no sleeps), kPing echoes immediately, kInsertChunk records its body's
+/// first byte in arrival order.
+class GateHandler : public RequestHandler {
+ public:
+  Result<Bytes> Handle(MessageType type, BytesView body) override {
+    if (type == MessageType::kPing) return Bytes(body.begin(), body.end());
+    if (type == MessageType::kInsertChunk) {
+      std::lock_guard lock(mu_);
+      mutation_order_.push_back(body.empty() ? 0xff : body[0]);
+      return Bytes{};
+    }
+    if (type != MessageType::kGetStatRange) {
+      return InvalidArgument("gate handler: unsupported type");
+    }
+    uint8_t tag = body.empty() ? 0 : body[0];
+    std::unique_lock lock(mu_);
+    ++entered_;
+    max_concurrent_ = std::max(max_concurrent_, entered_);
+    entered_cv_.notify_all();
+    release_cv_.wait(lock, [&] { return released_.count(tag) > 0; });
+    --entered_;
+    return Bytes{tag};
+  }
+
+  void Release(uint8_t tag) {
+    std::lock_guard lock(mu_);
+    released_.insert(tag);
+    release_cv_.notify_all();
+  }
+
+  void ReleaseAll() {
+    std::lock_guard lock(mu_);
+    for (int t = 0; t < 256; ++t) released_.insert(static_cast<uint8_t>(t));
+    release_cv_.notify_all();
+  }
+
+  /// Block until `n` gated requests are inside the handler concurrently.
+  void WaitEntered(size_t n) {
+    std::unique_lock lock(mu_);
+    entered_cv_.wait(lock, [&] { return entered_ >= n; });
+  }
+
+  size_t max_concurrent() {
+    std::lock_guard lock(mu_);
+    return max_concurrent_;
+  }
+
+  std::vector<uint8_t> mutation_order() {
+    std::lock_guard lock(mu_);
+    return mutation_order_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable entered_cv_, release_cv_;
+  std::set<uint8_t> released_;
+  size_t entered_ = 0;
+  size_t max_concurrent_ = 0;
+  std::vector<uint8_t> mutation_order_;
+};
+
+TEST(Tcp, EightInFlightCallsCompleteOutOfOrder) {
+  auto gate = std::make_shared<GateHandler>();
+  TcpServerOptions options;
+  options.dispatch_threads = 8;  // all eight must run concurrently
+  TcpServer server(gate, 0, options);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = TcpClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  // Eight pipelined requests on ONE socket, all parked inside the handler
+  // at once — the multiplexing acceptance bar.
+  std::vector<PendingCall> calls;
+  for (uint8_t tag = 0; tag < 8; ++tag) {
+    calls.push_back(
+        (*client)->AsyncCall(MessageType::kGetStatRange, Bytes{tag}));
+  }
+  gate->WaitEntered(8);
+  EXPECT_GE(gate->max_concurrent(), 8u);
+  for (const auto& call : calls) EXPECT_FALSE(call.done());
+
+  // Release in reverse order: each response matches its own call by
+  // request id even though it arrives before every earlier request's.
+  for (int tag = 7; tag >= 0; --tag) {
+    gate->Release(static_cast<uint8_t>(tag));
+    auto result = calls[tag].Wait();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_EQ(result->size(), 1u);
+    EXPECT_EQ((*result)[0], tag);
+    if (tag > 0) EXPECT_FALSE(calls[tag - 1].done());
+  }
+  server.Stop();
+}
+
+TEST(Tcp, SlowQueryDoesNotHeadOfLineBlockPing) {
+  auto gate = std::make_shared<GateHandler>();
+  TcpServerOptions options;
+  options.dispatch_threads = 4;
+  TcpServer server(gate, 0, options);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = TcpClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  // A deliberately slow query, parked server-side...
+  auto slow = (*client)->AsyncCall(MessageType::kGetStatRange, Bytes{9});
+  gate->WaitEntered(1);
+
+  // ...must not delay a Ping on the SAME connection: this blocking Call
+  // completes while the query is still parked (no timing involved — the
+  // query cannot finish until we release it below).
+  auto ping = (*client)->Call(MessageType::kPing, ToBytes("urgent"));
+  ASSERT_TRUE(ping.ok()) << ping.status().ToString();
+  EXPECT_EQ(ToString(*ping), "urgent");
+  EXPECT_FALSE(slow.done());
+
+  gate->Release(9);
+  auto result = slow.Wait();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)[0], 9);
+  server.Stop();
+}
+
+TEST(Tcp, PipelinedMutationsApplyInSendOrder) {
+  auto gate = std::make_shared<GateHandler>();
+  TcpServerOptions options;
+  options.dispatch_threads = 4;
+  TcpServer server(gate, 0, options);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = TcpClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  // Ten pipelined mutations; the concurrent dispatcher must still apply
+  // them in exactly the order they were sent (batch N+1 may not overtake
+  // batch N), even with reads interleaved.
+  std::vector<PendingCall> calls;
+  for (uint8_t i = 0; i < 10; ++i) {
+    calls.push_back((*client)->AsyncCall(MessageType::kInsertChunk, Bytes{i}));
+    if (i % 3 == 0) {
+      ASSERT_TRUE((*client)->Call(MessageType::kPing, {}).ok());
+    }
+  }
+  for (auto& call : calls) ASSERT_TRUE(call.Wait().ok());
+  EXPECT_EQ(gate->mutation_order(),
+            (std::vector<uint8_t>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+  server.Stop();
+}
+
+TEST(Tcp, CompletionCallbackFires) {
+  TcpServer server(std::make_shared<EchoHandler>(), 0);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = TcpClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool fired = false;
+  Bytes payload;
+  (*client)->AsyncCall(MessageType::kPing, ToBytes("cb"),
+                       [&](const Result<Bytes>& r) {
+                         std::lock_guard lock(mu);
+                         fired = true;
+                         if (r.ok()) payload = *r;
+                         cv.notify_all();
+                       });
+  std::unique_lock lock(mu);
+  cv.wait(lock, [&] { return fired; });
+  EXPECT_EQ(ToString(payload), "cb");
+  server.Stop();
+}
+
+/// Scripted raw peer: accepts one connection and lets the test read
+/// request frames / write arbitrary response bytes — for protocol
+/// violations a real TcpServer would never produce.
+class RawServer {
+ public:
+  RawServer() {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 4) != 0) {
+      std::abort();
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+  }
+
+  ~RawServer() {
+    CloseConn();
+    ::close(listen_fd_);
+  }
+
+  uint16_t port() const { return port_; }
+
+  void Accept() { conn_fd_ = ::accept(listen_fd_, nullptr, nullptr); }
+
+  /// Read one request frame; returns its header (abort on malformed
+  /// input, which no test intends to send).
+  FrameHeader ReadRequest() {
+    auto header = TryReadRequest();
+    if (!header) std::abort();
+    return *header;
+  }
+
+  /// Like ReadRequest, but a closed/failed connection returns nullopt
+  /// (tests that race the client's error paths use this).
+  std::optional<FrameHeader> TryReadRequest() {
+    Bytes header(kFrameHeaderBytes);
+    if (!ReadExact(conn_fd_, header).ok()) return std::nullopt;
+    auto decoded = DecodeFrameHeader(header);
+    if (!decoded.ok()) return std::nullopt;
+    Bytes body(decoded->body_len);
+    if (!ReadExact(conn_fd_, body).ok()) return std::nullopt;
+    return *decoded;
+  }
+
+  // Write failures are ignored: tests racing the client's teardown paths
+  // may legitimately write into a just-shutdown socket.
+  void WriteResponse(uint64_t request_id, BytesView payload) {
+    Bytes frame = EncodeFrame(MessageType::kResponse, request_id,
+                              EncodeResponseBody(Status::Ok(), payload));
+    (void)WriteAll(conn_fd_, frame);
+  }
+
+  void WriteRaw(BytesView raw) { (void)WriteAll(conn_fd_, raw); }
+
+  void CloseConn() {
+    if (conn_fd_ >= 0) ::close(conn_fd_);
+    conn_fd_ = -1;
+  }
+
+ private:
+  int listen_fd_ = -1;
+  int conn_fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+TEST(Tcp, DisconnectFansErrorOutToAllPendingCalls) {
+  RawServer raw;
+  auto client = TcpClient::Connect("127.0.0.1", raw.port());
+  ASSERT_TRUE(client.ok());
+  raw.Accept();
+
+  std::vector<PendingCall> calls;
+  for (int i = 0; i < 5; ++i) {
+    calls.push_back((*client)->AsyncCall(MessageType::kPing, ToBytes("x")));
+  }
+  for (int i = 0; i < 5; ++i) raw.ReadRequest();
+  raw.CloseConn();  // mid-stream disconnect with five calls pending
+
+  for (auto& call : calls) {
+    auto result = call.Wait();
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  }
+  // The connection is terminally failed: later calls fail immediately.
+  EXPECT_FALSE((*client)->Call(MessageType::kPing, {}).ok());
+}
+
+TEST(Tcp, ResponseForUnknownRequestIdFailsConnection) {
+  RawServer raw;
+  auto client = TcpClient::Connect("127.0.0.1", raw.port());
+  ASSERT_TRUE(client.ok());
+  raw.Accept();
+
+  auto call = (*client)->AsyncCall(MessageType::kPing, {});
+  auto header = raw.ReadRequest();
+  raw.WriteResponse(header.request_id + 1000, ToBytes("for nobody"));
+
+  auto result = call.Wait();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(Tcp, DuplicateResponseIdFailsLaterCalls) {
+  RawServer raw;
+  auto client = TcpClient::Connect("127.0.0.1", raw.port());
+  ASSERT_TRUE(client.ok());
+  raw.Accept();
+
+  auto first = (*client)->AsyncCall(MessageType::kPing, {});
+  auto second = (*client)->AsyncCall(MessageType::kPing, {});
+  auto h1 = raw.ReadRequest();
+  raw.ReadRequest();
+  raw.WriteResponse(h1.request_id, ToBytes("once"));
+  auto r1 = first.Wait();
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(ToString(*r1), "once");
+
+  // The duplicate id no longer matches anything: a protocol violation that
+  // fails the remaining call rather than mis-delivering a response.
+  raw.WriteResponse(h1.request_id, ToBytes("again"));
+  auto r2 = second.Wait();
+  EXPECT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(Tcp, NonResponseFrameFromServerFailsConnection) {
+  RawServer raw;
+  auto client = TcpClient::Connect("127.0.0.1", raw.port());
+  ASSERT_TRUE(client.ok());
+  raw.Accept();
+
+  auto call = (*client)->AsyncCall(MessageType::kPing, {});
+  auto header = raw.ReadRequest();
+  raw.WriteRaw(EncodeFrame(MessageType::kPing, header.request_id, {}));
+  EXPECT_EQ(call.Wait().status().code(), StatusCode::kDataLoss);
+}
+
+TEST(Tcp, OversizedResponseFrameRejectedByClient) {
+  RawServer raw;
+  auto client = TcpClient::Connect("127.0.0.1", raw.port(),
+                                   /*connect_timeout_ms=*/0,
+                                   /*max_frame_body=*/1 << 20);
+  ASSERT_TRUE(client.ok());
+  raw.Accept();
+
+  auto call = (*client)->AsyncCall(MessageType::kPing, {});
+  auto header = raw.ReadRequest();
+  // Claim a 256 MiB body without sending it: the client must reject the
+  // claim itself, not allocate and wait.
+  Bytes huge_header = EncodeFrame(MessageType::kResponse, header.request_id,
+                                  {});
+  huge_header[0] = 0x00;
+  huge_header[1] = 0x00;
+  huge_header[2] = 0x00;
+  huge_header[3] = 0x10;  // body_len = 256 MiB little-endian
+  raw.WriteRaw(BytesView(huge_header.data(), kFrameHeaderBytes));
+  EXPECT_EQ(call.Wait().status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Tcp, OversizedRequestFrameRejectedByServer) {
+  TcpServerOptions options;
+  options.max_frame_body = 1024;
+  TcpServer server(std::make_shared<EchoHandler>(), 0, options);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = TcpClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  // Within bounds: served normally.
+  ASSERT_TRUE((*client)->Call(MessageType::kPing, Bytes(512, 0x01)).ok());
+  // Beyond bounds: a clean InvalidArgument response, not an abort or a
+  // 4 GiB allocation, then the connection drops.
+  auto result = (*client)->Call(MessageType::kPing, Bytes(4096, 0x01));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  server.Stop();
+}
+
+TEST(Tcp, OpTimeoutFailsPendingCallsButSparesIdleConnections) {
+  {
+    // A peer that accepts and then never answers must fail the call.
+    RawServer raw;
+    auto client = TcpClient::Connect("127.0.0.1", raw.port());
+    ASSERT_TRUE(client.ok());
+    raw.Accept();
+    ASSERT_TRUE((*client)->SetOpTimeout(150).ok());
+    auto call = (*client)->AsyncCall(MessageType::kPing, {});
+    raw.ReadRequest();
+    auto result = call.Wait();
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  }
+  {
+    // An idle connection (nothing pending) must NOT time out: heartbeat
+    // clients sit quiet between beats far longer than the op timeout.
+    TcpServer server(std::make_shared<EchoHandler>(), 0);
+    ASSERT_TRUE(server.Start().ok());
+    auto client = TcpClient::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE((*client)->SetOpTimeout(100).ok());
+    ASSERT_TRUE((*client)->Call(MessageType::kPing, ToBytes("a")).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    auto again = (*client)->Call(MessageType::kPing, ToBytes("b"));
+    EXPECT_TRUE(again.ok()) << again.status().ToString();
+    server.Stop();
+  }
+}
+
+TEST(Tcp, OpTimeoutAppliesToCallsAlreadyInFlight) {
+  RawServer raw;
+  auto client = TcpClient::Connect("127.0.0.1", raw.port());
+  ASSERT_TRUE(client.ok());
+  raw.Accept();
+
+  // The call is issued BEFORE the timeout is configured; SetOpTimeout
+  // must restart the clock on in-flight calls, not only future ones.
+  auto call = (*client)->AsyncCall(MessageType::kPing, {});
+  raw.ReadRequest();
+  ASSERT_TRUE((*client)->SetOpTimeout(150).ok());
+  EXPECT_EQ(call.Wait().status().code(), StatusCode::kUnavailable);
+}
+
+TEST(Tcp, StuckCallTimesOutWhileOtherResponsesFlow) {
+  RawServer raw;
+  auto client = TcpClient::Connect("127.0.0.1", raw.port());
+  ASSERT_TRUE(client.ok());
+  raw.Accept();
+  ASSERT_TRUE((*client)->SetOpTimeout(200).ok());
+
+  // One request the peer never answers...
+  auto stuck = (*client)->AsyncCall(MessageType::kGetStatRange, {});
+  raw.ReadRequest();
+  // ...while a stream of answered pings keeps the socket readable the
+  // whole time. The stuck call's deadline must still fire.
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::seconds(5);
+  while (!stuck.done() && std::chrono::steady_clock::now() < deadline) {
+    auto ping = (*client)->AsyncCall(MessageType::kPing, {});
+    auto header = raw.TryReadRequest();
+    if (!header) break;  // client tore the connection down: timeout fired
+    raw.WriteResponse(header->request_id, ToBytes("pong"));
+    if (!ping.Wait().ok()) break;  // connection failed: the timeout fired
+  }
+  auto result = stuck.Wait();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(Tcp, ConcurrentCallersShareOneSocket) {
+  TcpServer server(std::make_shared<EchoHandler>(), 0);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = TcpClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  // Many threads hammer ONE TcpClient with blocking Calls; the demux must
+  // route every response to its caller (the old transport needed a client
+  // per thread for this).
+  std::vector<std::thread> threads;
+  std::atomic<int> ok_count{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 50; ++i) {
+        std::string msg = "t" + std::to_string(t) + "-" + std::to_string(i);
+        auto reply = (*client)->Call(MessageType::kPing, ToBytes(msg));
+        if (reply.ok() && ToString(*reply) == msg) ++ok_count;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(ok_count.load(), 200);
+  server.Stop();
 }
 
 }  // namespace

@@ -436,6 +436,49 @@ TEST(WireFuzz, InsertChunkBatchRejectsMalformedFrames) {
   EXPECT_FALSE(InsertChunkBatchRequest::Decode(w.data()).ok());
 }
 
+TEST(WireFuzz, FrameHeaderBoundsBodyLength) {
+  Bytes frame = EncodeFrame(MessageType::kPing, 42, Bytes(32, 0xab));
+  BytesView header(frame.data(), kFrameHeaderBytes);
+
+  auto decoded = DecodeFrameHeader(header);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->body_len, 32u);
+  EXPECT_EQ(decoded->type, MessageType::kPing);
+  EXPECT_EQ(decoded->request_id, 42u);
+
+  // The bound is inclusive; one byte under it is a clean rejection (the
+  // attacker-controlled u32 must never drive an allocation).
+  EXPECT_TRUE(DecodeFrameHeader(header, 32).ok());
+  auto rejected = DecodeFrameHeader(header, 31);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+
+  // A hostile header claiming a 4 GiB body fails the default bound.
+  BinaryWriter hostile;
+  hostile.PutU32(0xffffffffu);
+  hostile.PutU8(static_cast<uint8_t>(MessageType::kPing));
+  hostile.PutU64(1);
+  EXPECT_FALSE(DecodeFrameHeader(hostile.data()).ok());
+
+  // Truncation at every byte boundary fails cleanly.
+  for (size_t cut = 0; cut < kFrameHeaderBytes; ++cut) {
+    EXPECT_FALSE(DecodeFrameHeader(BytesView(frame.data(), cut)).ok())
+        << "header cut at " << cut;
+  }
+}
+
+TEST(WireFuzz, FrameHeaderSurvivesRandomBytes) {
+  crypto::DeterministicRng rng(0x17a3);
+  for (int round = 0; round < 500; ++round) {
+    Bytes garbage(kFrameHeaderBytes);
+    rng.Fill(garbage);
+    auto decoded = DecodeFrameHeader(garbage, 1 << 20);
+    if (decoded.ok()) {
+      EXPECT_LE(decoded->body_len, 1u << 20);  // the bound always holds
+    }
+  }
+}
+
 TEST(WireFuzz, ResponseBodyRoundTripsStatusCodes) {
   for (auto code :
        {StatusCode::kOk, StatusCode::kNotFound, StatusCode::kPermissionDenied,

@@ -283,17 +283,26 @@ int CmdClusterInfo(const Flags& flags) {
   if (!payload.ok()) Die(payload.status());
   auto info = net::ClusterInfoResponse::Decode(*payload);
   if (!info.ok()) Die(info.status());
-  uint64_t total_streams = 0, total_bytes = 0;
-  std::puts("shard   streams   index-bytes  replicas  ack     max-lag");
+  uint64_t total_streams = 0, total_bytes = 0, total_dead = 0;
+  uint64_t total_compactions = 0;
+  std::puts(
+      "shard   streams   index-bytes  replicas  ack     max-lag   "
+      "dead-bytes  compactions");
   for (const auto& s : info->shards) {
-    std::printf("%5u %9" PRIu64 " %13" PRIu64 " %9u  %-6s %8" PRIu64 "\n",
+    std::printf("%5u %9" PRIu64 " %13" PRIu64 " %9u  %-6s %8" PRIu64
+                " %12" PRIu64 " %12u\n",
                 s.shard, s.num_streams, s.index_bytes, s.replicas,
-                AckName(s.ack_mode, s.replicas), s.max_lag_ops);
+                AckName(s.ack_mode, s.replicas), s.max_lag_ops,
+                s.store_dead_bytes, s.store_compactions);
     total_streams += s.num_streams;
     total_bytes += s.index_bytes;
+    total_dead += s.store_dead_bytes;
+    total_compactions += s.store_compactions;
   }
-  std::printf("total %9" PRIu64 " %13" PRIu64 "  (%zu shard(s))\n",
-              total_streams, total_bytes, info->shards.size());
+  std::printf("total %9" PRIu64 " %13" PRIu64 " %26" PRIu64 " %12" PRIu64
+              "  (%zu shard(s))\n",
+              total_streams, total_bytes, total_dead, total_compactions,
+              info->shards.size());
   return 0;
 }
 

@@ -79,6 +79,10 @@ void Usage() {
       "  --compact-pct P auto-compact a shard's log when dead bytes exceed\n"
       "                  P%% of it (default 50; 0 disables)\n"
       "  --cache-mb N    index cache budget per stream in MiB (default 256)\n"
+      "  --max-frame-mb N  reject request frames whose body exceeds N MiB\n"
+      "                  with a clean error (default 512; the frame length\n"
+      "                  is attacker-controlled and must not drive "
+      "allocation)\n"
       "\n"
       "daemon replication topology:\n"
       "  --accept-followers   accept kReplicaHello registrations: follower\n"
@@ -107,7 +111,8 @@ bool FlagKnown(const std::string& name) {
   static const char* kKnown[] = {
       "help",          "port",         "store",          "path",
       "shards",        "replicas",     "ack",            "read-lag",
-      "sync",          "compact-pct",  "cache-mb",       "accept-followers",
+      "sync",          "compact-pct",  "cache-mb",       "max-frame-mb",
+      "accept-followers",
       "follower-of",   "advertise",    "auto-failover",  "heartbeat-ms",
       "miss-threshold", "takeover-ms", "snapshot-chunk-kb",
       "no-auto-promote"};
@@ -255,6 +260,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "--advertise is a follower-daemon flag (--follower-of): it "
                  "names the endpoint the primary dials back\n");
+    return 1;
+  }
+  int64_t max_frame_mb = tools::RequireInt(flags, "max-frame-mb", 512);
+  if (max_frame_mb < 1 || max_frame_mb > 4095) {
+    // 4095 MiB is the u32 body_len ceiling; bigger values could never be
+    // framed anyway.
+    std::fprintf(stderr, "--max-frame-mb must be in [1, 4095]\n");
     return 1;
   }
   int64_t port_value = tools::RequireInt(flags, "port", 4433);
@@ -419,7 +431,10 @@ int main(int argc, char** argv) {
 
   // Accepting remote follower daemons implies peers on other machines may
   // need to reach this server; otherwise stay loopback-only as always.
-  net::TcpServer server(handler, port, /*bind_any=*/accept_followers);
+  net::TcpServerOptions server_options;
+  server_options.bind_any = accept_followers;
+  server_options.max_frame_body = static_cast<size_t>(max_frame_mb) << 20;
+  net::TcpServer server(handler, port, server_options);
   if (auto started = server.Start(); !started.ok()) tools::Die(started);
   std::string notes;
   if (replicas > 0 || accept_followers) notes += ", ack: " + ack_name;
