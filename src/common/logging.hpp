@@ -2,7 +2,6 @@
 // tests can raise verbosity via TC_LOG_LEVEL env or SetLogLevel().
 #pragma once
 
-#include <mutex>
 #include <sstream>
 #include <string_view>
 

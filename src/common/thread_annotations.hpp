@@ -1,0 +1,213 @@
+// Compile-time lock-discipline enforcement: Clang Thread Safety Analysis
+// attributes plus capability-annotated wrappers over the std primitives.
+//
+// Every mutex in src/ is a tc::Mutex or tc::SharedMutex (tc_lint enforces
+// this), every piece of guarded state carries GUARDED_BY, and every
+// requires-lock-held helper carries REQUIRES. Under clang with
+// -Wthread-safety (the TC_THREAD_SAFETY=ON CMake build, run in CI) an
+// unlocked read of guarded state, a lock held across a forbidden boundary,
+// or a missing REQUIRES is a hard compile error. Under GCC every attribute
+// expands to nothing and the wrappers are zero-cost forwarding shims, so
+// the default local build is unaffected.
+//
+// Annotation conventions for new code (see README "Static analysis"):
+//  - Name the guarded state:       Bytes buf_ GUARDED_BY(mu_);
+//  - Name the contract, not the    void CompactLocked() REQUIRES(mu_);
+//    call site.
+//  - Scoped locking via MutexLock / ReaderMutexLock / WriterMutexLock;
+//    explicit mu_.lock()/mu_.unlock() only for hand-over-hand patterns the
+//    scoped forms cannot express (the analysis checks both).
+//  - Condition-variable waits use tc::CondVar with an explicit while-loop
+//    around the predicate. Never cv.wait(lock, lambda): the analysis is
+//    intraprocedural, so a predicate lambda reading guarded state is its
+//    own unanalyzable function.
+//  - TS_NO_ANALYSIS is reserved for the documented condvar/callback idioms
+//    below; a new escape needs a comment explaining why the analysis
+//    cannot see the invariant.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+// ---------------------------------------------------------------------------
+// Attribute macros (clang's official thread-safety vocabulary, gated so GCC
+// and pre-attribute clang compile them away).
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__) && defined(__has_attribute)
+#define TC_TSA_HAS(x) __has_attribute(x)
+#else
+#define TC_TSA_HAS(x) 0
+#endif
+
+#if TC_TSA_HAS(guarded_by)
+#define TC_TSA(x) __attribute__((x))
+#else
+#define TC_TSA(x)  // no-op outside clang
+#endif
+
+#define CAPABILITY(x) TC_TSA(capability(x))
+#define SCOPED_CAPABILITY TC_TSA(scoped_lockable)
+#define GUARDED_BY(x) TC_TSA(guarded_by(x))
+#define PT_GUARDED_BY(x) TC_TSA(pt_guarded_by(x))
+#define REQUIRES(...) TC_TSA(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) TC_TSA(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) TC_TSA(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) TC_TSA(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) TC_TSA(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) TC_TSA(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) TC_TSA(release_generic_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) TC_TSA(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  TC_TSA(try_acquire_shared_capability(__VA_ARGS__))
+#define EXCLUDES(...) TC_TSA(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) TC_TSA(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) TC_TSA(assert_shared_capability(x))
+#define RETURN_CAPABILITY(x) TC_TSA(lock_returned(x))
+#define TS_NO_ANALYSIS TC_TSA(no_thread_safety_analysis)
+
+namespace tc {
+
+// ---------------------------------------------------------------------------
+// Capability-annotated mutexes. BasicLockable, so std::condition_variable_any
+// can wait on them directly; std::lock_guard et al. must NOT be used on them
+// (libstdc++'s RAII types carry no annotations — the analysis would see the
+// acquire but never the release). Use the scoped lockers below.
+// ---------------------------------------------------------------------------
+
+/// Exclusive mutex (annotated std::mutex).
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Tell the analysis the lock is held without acquiring it — for code
+  /// reached only while a caller outside the analysis horizon (e.g. a std::
+  /// callback signature that cannot carry REQUIRES) holds the lock.
+  void AssertHeld() const ASSERT_CAPABILITY(this) {}
+
+ private:
+  std::mutex mu_;
+};
+
+/// Reader/writer mutex (annotated std::shared_mutex).
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void lock_shared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool try_lock_shared() TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+  void AssertHeld() const ASSERT_CAPABILITY(this) {}
+  void AssertReaderHeld() const ASSERT_SHARED_CAPABILITY(this) {}
+
+ private:
+  std::shared_mutex mu_;
+};
+
+// ---------------------------------------------------------------------------
+// Scoped lockers (annotated lock_guard equivalents).
+// ---------------------------------------------------------------------------
+
+/// RAII exclusive lock on a Mutex.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII exclusive (writer) lock on a SharedMutex.
+class SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~WriterMutexLock() RELEASE() { mu_.unlock(); }
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared (reader) lock on a SharedMutex.
+class SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~ReaderMutexLock() RELEASE_GENERIC() { mu_.unlock_shared(); }
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+// ---------------------------------------------------------------------------
+// Condition variable over tc::Mutex.
+// ---------------------------------------------------------------------------
+
+/// Condition variable whose waits are lock-discipline-checked: Wait/WaitFor
+/// REQUIRES the mutex, and the analysis sees the lock as continuously held
+/// across the wait (the internal release/reacquire happens inside
+/// std::condition_variable_any, beyond the intraprocedural horizon — this
+/// is the documented condvar idiom; callers keep their guarded accesses in
+/// an explicit `while (!predicate()) cv.Wait(mu);` loop).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+  /// Atomically release `mu`, wait, reacquire. Spurious wakeups possible —
+  /// always wrap in a predicate while-loop.
+  void Wait(Mutex& mu) REQUIRES(mu) { cv_.wait(mu); }
+
+  /// Timed wait; returns std::cv_status::timeout when the duration elapsed
+  /// without a notification.
+  template <class Rep, class Period>
+  std::cv_status WaitFor(Mutex& mu,
+                         const std::chrono::duration<Rep, Period>& dur)
+      REQUIRES(mu) {
+    return cv_.wait_for(mu, dur);
+  }
+
+  /// Deadline wait, for predicate loops that must not extend their total
+  /// timeout on spurious wakeups.
+  template <class Clock, class Duration>
+  std::cv_status WaitUntil(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      REQUIRES(mu) {
+    return cv_.wait_until(mu, deadline);
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace tc

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "crypto/constant_time.hpp"
 #include "crypto/prg.hpp"
 
 namespace tc::crypto {
@@ -23,8 +24,11 @@ struct AccessToken {
   Key128 node_key{};
 
   friend bool operator==(const AccessToken& a, const AccessToken& b) {
+    // node_key is secret material: compare it in constant time so token
+    // equality can never leak key bytes through timing. The position
+    // fields are public and may short-circuit.
     return a.depth == b.depth && a.index == b.index &&
-           a.node_key == b.node_key;
+           ConstantTimeEqual(a.node_key, b.node_key);
   }
 };
 

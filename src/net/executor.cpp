@@ -11,22 +11,29 @@ Executor::Executor(size_t num_threads) {
 
 Executor::~Executor() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& t : threads_) t.join();
   // With zero workers nothing drains the queue on stop; there is also
   // nothing that could still be enqueueing, so run the leftovers here.
-  for (auto& task : queue_) task();
+  // Swapped out under the lock, run unlocked: foreign task code must never
+  // execute under the queue lock.
+  std::deque<std::function<void()>> leftovers;
+  {
+    MutexLock lock(mu_);
+    leftovers.swap(queue_);
+  }
+  for (auto& task : leftovers) task();
 }
 
 void Executor::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) return;  // stop_ set and fully drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -41,10 +48,10 @@ void Executor::Submit(std::function<void()> task) {
     return;
   }
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 }  // namespace tc::net

@@ -85,25 +85,25 @@ struct TcpServer::Conn {
   // Serializes response frames: concurrent handlers interleave whole
   // frames, never bytes (the per-connection "write queue" at frame
   // granularity).
-  std::mutex write_mu;
+  Mutex write_mu;
 
   // Mutation FIFO: same-connection mutations run one at a time, in arrival
   // order, on a single chained dispatch task.
-  std::mutex q_mu;
-  std::deque<std::pair<FrameHeader, Bytes>> mutations;
-  bool mutation_task_running = false;
+  Mutex q_mu;
+  std::deque<std::pair<FrameHeader, Bytes>> mutations GUARDED_BY(q_mu);
+  bool mutation_task_running GUARDED_BY(q_mu) = false;
 
   // Requests queued or executing for this connection; the reader blocks at
   // the cap so a fast pipeliner cannot queue unbounded work.
-  std::mutex inflight_mu;
-  std::condition_variable inflight_cv;
-  size_t inflight = 0;
+  Mutex inflight_mu;
+  CondVar inflight_cv;
+  size_t inflight GUARDED_BY(inflight_mu) = 0;
 
   void WriteResponse(uint64_t request_id, const Result<Bytes>& result) {
     Bytes body = result.ok() ? EncodeResponseBody(Status::Ok(), *result)
                              : EncodeResponseBody(result.status(), {});
     Bytes frame = EncodeFrame(MessageType::kResponse, request_id, body);
-    std::lock_guard lock(write_mu);
+    MutexLock lock(write_mu);
     if (!WriteAll(fd, frame).ok()) {
       // Peer is gone or wedged shut: stop the reader too.
       alive = false;
@@ -175,14 +175,14 @@ void TcpServer::Stop() {
   std::vector<std::shared_ptr<Conn>> conns;
   std::vector<std::thread> to_join;
   {
-    std::lock_guard lock(threads_mu_);
+    MutexLock lock(threads_mu_);
     conns = connections_;
     to_join.swap(connection_threads_);
   }
   for (auto& conn : conns) {
     conn->alive = false;
     ::shutdown(conn->fd, SHUT_RDWR);
-    conn->inflight_cv.notify_all();
+    conn->inflight_cv.NotifyAll();
   }
   for (auto& t : to_join) {
     if (t.joinable()) t.join();
@@ -190,7 +190,7 @@ void TcpServer::Stop() {
   // Drain in-flight dispatch tasks; their Conn references drop as they
   // finish, closing the fds.
   dispatch_.reset();
-  std::lock_guard lock(threads_mu_);
+  MutexLock lock(threads_mu_);
   connections_.clear();
 }
 
@@ -204,7 +204,7 @@ void TcpServer::AcceptLoop() {
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     auto conn = std::make_shared<Conn>(fd);
-    std::lock_guard lock(threads_mu_);
+    MutexLock lock(threads_mu_);
     connections_.push_back(conn);
     connection_threads_.emplace_back(
         [this, conn = std::move(conn)] { ServeConnection(conn); });
@@ -212,9 +212,9 @@ void TcpServer::AcceptLoop() {
 }
 
 void TcpServer::FinishRequest(const std::shared_ptr<Conn>& conn) {
-  std::lock_guard lock(conn->inflight_mu);
+  MutexLock lock(conn->inflight_mu);
   --conn->inflight;
-  conn->inflight_cv.notify_all();
+  conn->inflight_cv.NotifyAll();
 }
 
 void TcpServer::HandleRequest(const std::shared_ptr<Conn>& conn,
@@ -231,7 +231,7 @@ void TcpServer::DrainMutations(const std::shared_ptr<Conn>& conn) {
     FrameHeader header;
     Bytes body;
     {
-      std::lock_guard lock(conn->q_mu);
+      MutexLock lock(conn->q_mu);
       if (conn->mutations.empty()) {
         conn->mutation_task_running = false;
         return;
@@ -264,11 +264,11 @@ void TcpServer::ServeConnection(std::shared_ptr<Conn> conn) {
     if (!ReadExact(conn->fd, body).ok()) break;
 
     {
-      std::unique_lock lock(conn->inflight_mu);
-      conn->inflight_cv.wait(lock, [&] {
-        return conn->inflight < options_.max_inflight_per_conn ||
-               !running_ || !conn->alive;
-      });
+      MutexLock lock(conn->inflight_mu);
+      while (conn->inflight >= options_.max_inflight_per_conn && running_ &&
+             conn->alive) {
+        conn->inflight_cv.Wait(conn->inflight_mu);
+      }
       if (!running_ || !conn->alive) break;
       ++conn->inflight;
     }
@@ -276,7 +276,7 @@ void TcpServer::ServeConnection(std::shared_ptr<Conn> conn) {
     if (IsMutation(header->type)) {
       bool submit = false;
       {
-        std::lock_guard lock(conn->q_mu);
+        MutexLock lock(conn->q_mu);
         conn->mutations.emplace_back(*header, std::move(body));
         if (!conn->mutation_task_running) {
           conn->mutation_task_running = true;
@@ -299,7 +299,7 @@ void TcpServer::ServeConnection(std::shared_ptr<Conn> conn) {
   // fd closes when the last Conn reference (a task or this reader) drops —
   // never while a handler could write to a reused descriptor.
   ::shutdown(conn->fd, SHUT_RD);
-  std::lock_guard lock(threads_mu_);
+  MutexLock lock(threads_mu_);
   std::erase(connections_, conn);
 }
 
@@ -396,7 +396,7 @@ Status TcpClient::SetOpTimeout(int64_t timeout_ms) {
   {
     // "Bound every in-flight call" includes calls issued before this was
     // configured: restart their clocks from now.
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     int64_t deadline = timeout_ms > 0 ? SteadyNowMs() + timeout_ms : 0;
     for (auto& [id, p] : pending_) p.deadline_ms = deadline;
   }
@@ -414,7 +414,7 @@ void TcpClient::FailConnection(const Status& status) {
   std::vector<CallCompleter> victims;
   Status final_status;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (!closed_) {
       closed_ = true;
       conn_status_ = status.ok() ? Unavailable("connection closed") : status;
@@ -439,7 +439,7 @@ PendingCall TcpClient::AsyncCall(MessageType type, BytesView body,
   uint64_t id = 0;
   Status closed_status;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (closed_) {
       closed_status = conn_status_;
     } else {
@@ -462,7 +462,7 @@ PendingCall TcpClient::AsyncCall(MessageType type, BytesView body,
   Bytes frame = EncodeFrame(type, id, body);
   Status write_status;
   {
-    std::lock_guard lock(write_mu_);
+    MutexLock lock(write_mu_);
     write_status = WriteAll(fd_, frame);
   }
   if (!write_status.ok()) {
@@ -482,7 +482,7 @@ void TcpClient::ReaderLoop() {
     int timeout = -1;
     bool expired = false;
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       if (closed_) return;
       int64_t t = op_timeout_ms_.load();
       if (t > 0 && !pending_.empty()) {
@@ -545,7 +545,7 @@ void TcpClient::ReaderLoop() {
 
     std::optional<CallCompleter> completer;
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       auto it = pending_.find(header->request_id);
       if (it != pending_.end()) {
         completer = std::move(it->second.completer);

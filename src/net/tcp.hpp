@@ -16,15 +16,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "net/executor.hpp"
 #include "net/wire.hpp"
 
@@ -90,9 +89,10 @@ class TcpServer {
   std::atomic<bool> running_{false};
   std::thread acceptor_;
   std::unique_ptr<Executor> dispatch_;
-  std::mutex threads_mu_;
-  std::vector<std::thread> connection_threads_;
-  std::vector<std::shared_ptr<Conn>> connections_;  // live, shut down on Stop()
+  Mutex threads_mu_;
+  std::vector<std::thread> connection_threads_ GUARDED_BY(threads_mu_);
+  // Live connections, shut down on Stop().
+  std::vector<std::shared_ptr<Conn>> connections_ GUARDED_BY(threads_mu_);
 };
 
 /// Client connection with request-id multiplexing: any number of AsyncCalls
@@ -140,13 +140,13 @@ class TcpClient final : public Transport {
   int fd_;
   int wake_fds_[2] = {-1, -1};  // self-pipe: AsyncCall nudges the reader
 
-  std::mutex mu_;  // guards pending_, next_request_id_, closed_, conn_status_
-  std::unordered_map<uint64_t, Pending> pending_;
-  uint64_t next_request_id_ = 1;
-  bool closed_ = false;
-  Status conn_status_;
+  Mutex mu_;
+  std::unordered_map<uint64_t, Pending> pending_ GUARDED_BY(mu_);
+  uint64_t next_request_id_ GUARDED_BY(mu_) = 1;
+  bool closed_ GUARDED_BY(mu_) = false;
+  Status conn_status_ GUARDED_BY(mu_);
 
-  std::mutex write_mu_;  // serializes request frames onto the socket
+  Mutex write_mu_;  // serializes request frames onto the socket
   std::atomic<int64_t> op_timeout_ms_{0};
   std::thread reader_;
 };

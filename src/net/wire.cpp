@@ -1,13 +1,15 @@
 #include "net/wire.hpp"
 
-#include <condition_variable>
-#include <mutex>
-
 #include "common/io.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace tc::net {
 
 bool IsMutation(MessageType type) {
+  // Exhaustive by construction: every enumerator appears exactly once, no
+  // default. Adding a MessageType without classifying it here is a compile
+  // warning (-Wswitch) and a tc_lint failure — an unclassified frame would
+  // silently pick an ordering discipline.
   switch (type) {
     case MessageType::kResponse:
     case MessageType::kGetRange:
@@ -22,60 +24,87 @@ bool IsMutation(MessageType type) {
     case MessageType::kGetChunkWitnessed:
     case MessageType::kClusterInfo:
       return false;
-    // Everything else mutates (ingest, grants, rollups, deletes, replica
-    // shipments) or is unknown — serialize it.
-    default:
+    // Ingest, grants, rollups, deletes, attestations, and replica shipments
+    // mutate server state — same-connection arrival order is preserved.
+    case MessageType::kCreateStream:
+    case MessageType::kDeleteStream:
+    case MessageType::kInsertChunk:
+    case MessageType::kRollupStream:
+    case MessageType::kDeleteRange:
+    case MessageType::kPutGrant:
+    case MessageType::kRevokeGrant:
+    case MessageType::kPutEnvelopes:
+    case MessageType::kPutAttestation:
+    case MessageType::kInsertChunkBatch:
+    case MessageType::kReplicaHello:
+    case MessageType::kReplicaSnapshotBegin:
+    case MessageType::kReplicaSnapshotChunk:
+    case MessageType::kReplicaSnapshotEnd:
+    case MessageType::kReplicaHeartbeat:
+    case MessageType::kReplicaOps:
       return true;
   }
+  // A raw wire byte outside the enum (hostile or future peer) is
+  // conservatively a mutation: serialized, never interleaved.
+  return true;
 }
 
 namespace detail {
 struct CallState {
-  std::mutex mu;
-  std::condition_variable cv;
-  bool done = false;
-  Result<Bytes> result{Bytes{}};
-  CallCallback callback;
+  Mutex mu;
+  CondVar cv;
+  bool done GUARDED_BY(mu) = false;
+  Result<Bytes> result GUARDED_BY(mu){Bytes{}};
+  CallCallback callback GUARDED_BY(mu);
+
+  /// Post-publication read of `result`, for the completion callback that
+  /// runs after `done` was set under `mu`: the value is written exactly
+  /// once and immutable afterwards, an invariant beyond the analysis
+  /// horizon (documented callback idiom).
+  const Result<Bytes>& PublishedResult() const TS_NO_ANALYSIS {
+    return result;
+  }
 };
 }  // namespace detail
 
 Result<Bytes> PendingCall::Wait() const {
   if (!state_) return Internal("waiting on an empty PendingCall");
-  std::unique_lock lock(state_->mu);
-  state_->cv.wait(lock, [this] { return state_->done; });
+  MutexLock lock(state_->mu);
+  while (!state_->done) state_->cv.Wait(state_->mu);
   return state_->result;
 }
 
 std::optional<Result<Bytes>> PendingCall::TryGet() const {
   if (!state_) return Result<Bytes>(Internal("empty PendingCall"));
-  std::lock_guard lock(state_->mu);
+  MutexLock lock(state_->mu);
   if (!state_->done) return std::nullopt;
   return state_->result;
 }
 
 bool PendingCall::done() const {
   if (!state_) return false;
-  std::lock_guard lock(state_->mu);
+  MutexLock lock(state_->mu);
   return state_->done;
 }
 
 CallCompleter::CallCompleter(CallCallback callback)
     : state_(std::make_shared<detail::CallState>()) {
+  MutexLock lock(state_->mu);
   state_->callback = std::move(callback);
 }
 
 void CallCompleter::Complete(Result<Bytes> result) const {
   CallCallback callback;
   {
-    std::lock_guard lock(state_->mu);
+    MutexLock lock(state_->mu);
     if (state_->done) return;  // first completion wins
     state_->result = std::move(result);
     state_->done = true;
     callback = std::move(state_->callback);
   }
-  state_->cv.notify_all();
+  state_->cv.NotifyAll();
   // Outside the lock: the callback may Wait()/TryGet() the handle.
-  if (callback) callback(state_->result);
+  if (callback) callback(state_->PublishedResult());
 }
 
 Result<FrameHeader> DecodeFrameHeader(BytesView header, size_t max_body) {

@@ -23,9 +23,9 @@ PrimaryCoordinator::PrimaryCoordinator(
 
 PrimaryCoordinator::~PrimaryCoordinator() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
   if (beater_.joinable()) beater_.join();
 }
@@ -37,7 +37,7 @@ Result<Bytes> PrimaryCoordinator::Handle(net::MessageType type,
 }
 
 size_t PrimaryCoordinator::num_remote_followers() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return endpoints_.size();
 }
 
@@ -87,7 +87,7 @@ Result<Bytes> PrimaryCoordinator::Hello(BytesView body) {
   if (added.ok()) {
     TC_LOG_INFO << "replica follower " << label << " registered for shard "
                 << req.shard << " (applied " << req.applied_seq << ")";
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     endpoints_.push_back(
         {req.shard, req.host, static_cast<uint16_t>(req.port)});
   } else if (added.code() != StatusCode::kAlreadyExists) {
@@ -114,18 +114,21 @@ void PrimaryCoordinator::HeartbeatLoop() {
   std::map<std::string, uint32_t> failures;
   for (;;) {
     {
-      std::unique_lock lock(mu_);
-      if (cv_.wait_for(lock, std::chrono::milliseconds(options_.heartbeat_ms),
-                       [&] { return stop_; })) {
-        return;
+      // One beacon cadence per iteration; stop cuts the sleep short.
+      MutexLock lock(mu_);
+      auto deadline = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(options_.heartbeat_ms);
+      while (!stop_) {
+        if (cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) break;
       }
+      if (stop_) return;
     }
     for (auto& [key, rounds] : skip_rounds) {
       if (rounds > 0) --rounds;
     }
     std::vector<Endpoint> endpoints;
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       endpoints = endpoints_;
     }
     // Group views per shard from the typed registry; applied seqs come

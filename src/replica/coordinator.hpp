@@ -11,13 +11,12 @@
 // most-caught-up survivor when the beacons stop — see FollowerDaemon.
 #pragma once
 
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "net/wire.hpp"
 #include "replica/replica_set.hpp"
 
@@ -48,17 +47,17 @@ class PrimaryCoordinator final : public net::RequestHandler {
     uint16_t port = 0;
   };
 
-  Result<Bytes> Hello(BytesView body);
-  void HeartbeatLoop();
+  Result<Bytes> Hello(BytesView body) EXCLUDES(mu_);
+  void HeartbeatLoop() EXCLUDES(mu_);
 
   std::shared_ptr<net::RequestHandler> inner_;
   std::vector<std::shared_ptr<ReplicaSet>> sets_;
   CoordinatorOptions options_;
 
-  mutable std::mutex mu_;
-  std::vector<Endpoint> endpoints_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  mutable Mutex mu_;
+  std::vector<Endpoint> endpoints_ GUARDED_BY(mu_);
+  CondVar cv_;
+  bool stop_ GUARDED_BY(mu_) = false;
   std::thread beater_;
 };
 

@@ -62,7 +62,7 @@ Status FollowerDaemon::Start(uint16_t port) {
                                              port, bind_any);
   TC_RETURN_IF_ERROR(server_->Start());
   {
-    std::lock_guard lock(view_mu_);
+    MutexLock lock(view_mu_);
     primary_host_ = options_.primary_host;
     primary_port_ = options_.primary_port;
   }
@@ -72,10 +72,10 @@ Status FollowerDaemon::Start(uint16_t port) {
 
 void FollowerDaemon::Stop() {
   {
-    std::lock_guard lock(tick_mu_);
+    MutexLock lock(tick_mu_);
     if (stop_) return;
     stop_ = true;
-    tick_cv_.notify_all();
+    tick_cv_.NotifyAll();
   }
   if (ticker_.joinable()) ticker_.join();
   if (server_) server_->Stop();
@@ -97,7 +97,7 @@ bool FollowerDaemon::snapshot_in_progress(uint32_t shard) const {
 }
 
 size_t FollowerDaemon::num_remote_followers() const {
-  std::shared_lock lock(mode_mu_);
+  ReaderMutexLock lock(mode_mu_);
   size_t n = 0;
   for (const auto& set : promoted_sets_) n += set->num_remote_followers();
   return n;
@@ -105,7 +105,7 @@ size_t FollowerDaemon::num_remote_followers() const {
 
 size_t FollowerDaemon::NumStreams() const {
   {
-    std::shared_lock lock(mode_mu_);
+    ReaderMutexLock lock(mode_mu_);
     if (!promoted_sets_.empty()) {
       size_t n = 0;
       for (const auto& set : promoted_sets_) n += set->NumStreams();
@@ -131,7 +131,7 @@ Result<Bytes> FollowerDaemon::Handle(net::MessageType type, BytesView body) {
   // observed, no replication frame can mutate the stores the new primary
   // stack is being recovered from, and a late frame from a still-alive old
   // primary can never slip a mutation in outside the new era's log.
-  std::shared_lock lock(mode_mu_);
+  ReaderMutexLock lock(mode_mu_);
   if (serving_) return serving_->Handle(type, body);
   if (sealed_) {
     switch (type) {
@@ -194,7 +194,7 @@ Result<Bytes> FollowerDaemon::HandleFollowing(net::MessageType type,
       if (req.shard == 0) {
         // Elections key on shard 0's view (all shards ship from the same
         // primary process, so liveness and progress move together).
-        std::lock_guard lock(view_mu_);
+        MutexLock lock(view_mu_);
         view_ = req.peers;
       }
       return net::ReplicaAckResponse{applied_seq(req.shard)}.Encode();
@@ -243,7 +243,7 @@ Status FollowerDaemon::EnsureFresh(Shard& shard) {
   if (applied == shard.refreshed_seq.load(std::memory_order_acquire)) {
     return Status::Ok();
   }
-  std::lock_guard lock(shard.refresh_mu);
+  MutexLock lock(shard.refresh_mu);
   if (applied == shard.refreshed_seq.load(std::memory_order_relaxed)) {
     return Status::Ok();
   }
@@ -271,11 +271,17 @@ Result<Bytes> FollowerDaemon::FollowerClusterInfo() const {
 void FollowerDaemon::TickLoop() {
   for (;;) {
     {
-      std::unique_lock lock(tick_mu_);
-      if (tick_cv_.wait_for(lock, std::chrono::milliseconds(options_.tick_ms),
-                            [&] { return stop_; })) {
-        return;
+      // One tick cadence per iteration; stop cuts the sleep short.
+      MutexLock lock(tick_mu_);
+      auto deadline = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(options_.tick_ms);
+      while (!stop_) {
+        if (tick_cv_.WaitUntil(tick_mu_, deadline) ==
+            std::cv_status::timeout) {
+          break;
+        }
       }
+      if (stop_) return;
     }
     if (promoted_.load()) return;  // the serving stack runs itself now
 
@@ -283,14 +289,14 @@ void FollowerDaemon::TickLoop() {
       std::string host;
       uint16_t port;
       {
-        std::lock_guard lock(view_mu_);
+        MutexLock lock(view_mu_);
         host = primary_host_;
         port = primary_port_;
       }
       if (Status s = RegisterTo(host, port); s.ok()) {
         registered_.store(true);
         Touch();
-        std::lock_guard lock(view_mu_);
+        MutexLock lock(view_mu_);
         suspected_dead_.clear();
         not_ready_counts_.clear();
       }
@@ -332,7 +338,7 @@ Status FollowerDaemon::RegisterTo(const std::string& host, uint16_t port) {
           std::memory_order_relaxed);
     }
   }
-  std::lock_guard lock(view_mu_);
+  MutexLock lock(view_mu_);
   primary_host_ = host;
   primary_port_ = port;
   return Status::Ok();
@@ -356,7 +362,7 @@ void FollowerDaemon::HandleSilence() {
   std::vector<Candidate> candidates;
   bool self_in_view = false;
   {
-    std::lock_guard lock(view_mu_);
+    MutexLock lock(view_mu_);
     for (const auto& peer : view_) {
       candidates.push_back({peer.applied_seq, peer.host, peer.port});
       if (peer.host == self_host && peer.port == self_port) {
@@ -384,7 +390,7 @@ void FollowerDaemon::HandleSilence() {
     std::string endpoint =
         candidate.host + ":" + std::to_string(candidate.port);
     {
-      std::lock_guard lock(view_mu_);
+      MutexLock lock(view_mu_);
       if (suspected_dead_.contains(endpoint)) continue;
     }
     if (candidate.host == self_host && candidate.port == self_port) {
@@ -398,7 +404,7 @@ void FollowerDaemon::HandleSilence() {
                   << endpoint;
       registered_.store(true);
       Touch();
-      std::lock_guard lock(view_mu_);
+      MutexLock lock(view_mu_);
       suspected_dead_.clear();
       not_ready_counts_.clear();
       return;
@@ -409,7 +415,7 @@ void FollowerDaemon::HandleSilence() {
       // several takeover windows, but not forever: a peer that never
       // promotes (e.g. started with --no-auto-promote, or wedged after
       // winning) must not hold the whole group headless.
-      std::lock_guard lock(view_mu_);
+      MutexLock lock(view_mu_);
       if (++not_ready_counts_[endpoint] >= 5) {
         TC_LOG_WARN << "candidate " << endpoint
                     << " stayed a follower through 5 takeover windows; "
@@ -420,7 +426,7 @@ void FollowerDaemon::HandleSilence() {
       Touch();
       return;
     }
-    std::lock_guard lock(view_mu_);
+    MutexLock lock(view_mu_);
     suspected_dead_.insert(endpoint);
   }
   // Unreachable: we are always our own candidate and never suspected dead.
@@ -433,7 +439,7 @@ void FollowerDaemon::PromoteSelf() {
   // believed-dead-but-actually-alive old primary can mutate the stores
   // while (or after) the new primary stack recovers from them.
   {
-    std::unique_lock lock(mode_mu_);
+    WriterMutexLock lock(mode_mu_);
     sealed_ = true;
   }
   // Full recovery over the replicated stores: streams, grants, witness
@@ -451,7 +457,7 @@ void FollowerDaemon::PromoteSelf() {
   auto coordinator = std::make_shared<PrimaryCoordinator>(
       router, sets, options_.coordinator);
   {
-    std::unique_lock lock(mode_mu_);
+    WriterMutexLock lock(mode_mu_);
     promoted_sets_ = std::move(sets);
     promoted_coordinator_ = coordinator;
     serving_ = coordinator;

@@ -32,16 +32,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "net/tcp.hpp"
 #include "replica/coordinator.hpp"
 #include "replica/replica_set.hpp"
@@ -107,22 +105,24 @@ class FollowerDaemon {
     std::shared_ptr<ReplicaApplier> applier;
     std::shared_ptr<server::ServerEngine> engine;  // read serving
     std::atomic<uint64_t> refreshed_seq{0};
-    std::mutex refresh_mu;
+    Mutex refresh_mu;
   };
 
-  Result<Bytes> HandleFollowing(net::MessageType type, BytesView body);
+  Result<Bytes> HandleFollowing(net::MessageType type, BytesView body)
+      EXCLUDES(view_mu_);
   Result<Bytes> ServeRead(net::MessageType type, BytesView body);
   Result<Bytes> FollowerClusterInfo() const;
   Status EnsureFresh(Shard& shard);
   void Touch();
   int64_t MillisSinceContact() const;
 
-  void TickLoop();
+  void TickLoop() EXCLUDES(tick_mu_, view_mu_);
   /// Send kReplicaHello for every shard to `host:port`. All-or-nothing.
-  Status RegisterTo(const std::string& host, uint16_t port);
+  Status RegisterTo(const std::string& host, uint16_t port)
+      EXCLUDES(view_mu_);
   /// The silence-window election described above.
-  void HandleSilence();
-  void PromoteSelf();
+  void HandleSilence() EXCLUDES(view_mu_, mode_mu_);
+  void PromoteSelf() EXCLUDES(mode_mu_);
 
   std::vector<std::unique_ptr<Shard>> shards_;
   FollowerDaemonOptions options_;
@@ -132,11 +132,14 @@ class FollowerDaemon {
   // Mode gate: following (serving_ null) vs promoted (serving_ set).
   // Request handling holds it shared for the whole frame; promotion takes
   // it exclusive to seal replication, then again to install the stack.
-  mutable std::shared_mutex mode_mu_;
-  bool sealed_ = false;  // promotion started: replication frames refused
-  std::shared_ptr<net::RequestHandler> serving_;
-  std::vector<std::shared_ptr<ReplicaSet>> promoted_sets_;
-  std::shared_ptr<PrimaryCoordinator> promoted_coordinator_;
+  mutable SharedMutex mode_mu_;
+  // promotion started: replication frames refused
+  bool sealed_ GUARDED_BY(mode_mu_) = false;
+  std::shared_ptr<net::RequestHandler> serving_ GUARDED_BY(mode_mu_);
+  std::vector<std::shared_ptr<ReplicaSet>> promoted_sets_
+      GUARDED_BY(mode_mu_);
+  std::shared_ptr<PrimaryCoordinator> promoted_coordinator_
+      GUARDED_BY(mode_mu_);
 
   std::atomic<bool> registered_{false};
   std::atomic<bool> promoted_{false};
@@ -146,19 +149,21 @@ class FollowerDaemon {
   /// actual beacon cadence.
   std::atomic<int64_t> takeover_ms_;
 
-  mutable std::mutex view_mu_;
-  std::vector<net::ReplicaHeartbeatRequest::Peer> view_;  // latest group view
-  std::string primary_host_;  // current registration target (guarded by
-  uint16_t primary_port_ = 0;  // view_mu_; the tick thread retargets it)
-  std::set<std::string> suspected_dead_;
+  mutable Mutex view_mu_;
+  /// Latest group view.
+  std::vector<net::ReplicaHeartbeatRequest::Peer> view_ GUARDED_BY(view_mu_);
+  /// Current registration target; the tick thread retargets it.
+  std::string primary_host_ GUARDED_BY(view_mu_);
+  uint16_t primary_port_ GUARDED_BY(view_mu_) = 0;
+  std::set<std::string> suspected_dead_ GUARDED_BY(view_mu_);
   /// Consecutive "alive but not a primary" probe results per candidate;
   /// three strikes demotes it to suspected_dead_ so an election can never
   /// livelock on a peer that refuses to promote.
-  std::map<std::string, uint32_t> not_ready_counts_;
+  std::map<std::string, uint32_t> not_ready_counts_ GUARDED_BY(view_mu_);
 
-  std::mutex tick_mu_;
-  std::condition_variable tick_cv_;
-  bool stop_ = false;
+  Mutex tick_mu_;
+  CondVar tick_cv_;
+  bool stop_ GUARDED_BY(tick_mu_) = false;
   std::thread ticker_;
 };
 

@@ -10,6 +10,9 @@ namespace tc::replica {
 std::shared_ptr<ReplicaSet> ReplicaSet::Single(
     std::shared_ptr<server::ServerEngine> engine) {
   auto set = std::shared_ptr<ReplicaSet>(new ReplicaSet());
+  // The set has not escaped yet; the lock is uncontended but keeps the
+  // topology writes under the same capability as every other access.
+  WriterMutexLock lock(set->state_mu_);
   set->primary_ = std::move(engine);
   return set;
 }
@@ -21,25 +24,30 @@ std::shared_ptr<ReplicaSet> ReplicaSet::Make(
   auto set = std::shared_ptr<ReplicaSet>(new ReplicaSet());
   set->engine_options_ = engine_options;
   set->options_ = options;
-  set->rkv_ = std::make_shared<ReplicatedKvStore>(std::move(primary_kv),
-                                                  options.kv);
-  for (auto& kv : follower_kvs) {
-    auto replica = std::make_unique<Replica>();
-    replica->kv = kv;
-    // The read engine recovers whatever the follower store holds right
-    // now; the initial snapshot lands asynchronously and the first read
-    // past it triggers a Refresh.
-    replica->engine =
-        std::make_shared<server::ServerEngine>(kv, engine_options);
-    replica->rkv_index =
-        set->rkv_->AddFollower(std::make_shared<LocalFollower>(std::move(kv)));
-    set->replicas_.push_back(std::move(replica));
+  {
+    // The set has not escaped yet; the lock is uncontended but keeps the
+    // topology writes under the same capability as every other access.
+    WriterMutexLock lock(set->state_mu_);
+    set->rkv_ = std::make_shared<ReplicatedKvStore>(std::move(primary_kv),
+                                                    options.kv);
+    for (auto& kv : follower_kvs) {
+      auto replica = std::make_unique<Replica>();
+      replica->kv = kv;
+      // The read engine recovers whatever the follower store holds right
+      // now; the initial snapshot lands asynchronously and the first read
+      // past it triggers a Refresh.
+      replica->engine =
+          std::make_shared<server::ServerEngine>(kv, engine_options);
+      replica->rkv_index = set->rkv_->AddFollower(
+          std::make_shared<LocalFollower>(std::move(kv)));
+      set->replicas_.push_back(std::move(replica));
+    }
+    set->ResetRotationLocked();
+    // The primary engine recovers through the replicated store (reads pass
+    // straight to the primary KV).
+    set->primary_ =
+        std::make_shared<server::ServerEngine>(set->rkv_, engine_options);
   }
-  set->ResetRotationLocked();
-  // The primary engine recovers through the replicated store (reads pass
-  // straight to the primary KV).
-  set->primary_ =
-      std::make_shared<server::ServerEngine>(set->rkv_, engine_options);
   if (options.failover.auto_failover) {
     set->monitor_ = std::thread([raw = set.get()] { raw->MonitorLoop(); });
   }
@@ -48,9 +56,9 @@ std::shared_ptr<ReplicaSet> ReplicaSet::Make(
 
 ReplicaSet::~ReplicaSet() {
   {
-    std::lock_guard lock(monitor_mu_);
+    MutexLock lock(monitor_mu_);
     monitor_stop_ = true;
-    monitor_cv_.notify_all();
+    monitor_cv_.NotifyAll();
   }
   if (monitor_.joinable()) monitor_.join();
 }
@@ -63,7 +71,7 @@ void ReplicaSet::ResetRotationLocked() {
 }
 
 Result<Bytes> ReplicaSet::Handle(net::MessageType type, BytesView body) {
-  std::shared_lock lock(state_mu_);
+  ReaderMutexLock lock(state_mu_);
   if (!primary_) {
     return Unavailable("shard primary is down (awaiting promotion)");
   }
@@ -71,7 +79,7 @@ Result<Bytes> ReplicaSet::Handle(net::MessageType type, BytesView body) {
 }
 
 Result<Bytes> ReplicaSet::HandleRead(net::MessageType type, BytesView body) {
-  std::shared_lock lock(state_mu_);
+  ReaderMutexLock lock(state_mu_);
   if (!replicas_.empty() && (rkv_ || dropped_)) {
     uint64_t head = rkv_ ? rkv_->head_seq() : 0;
     size_t n = replicas_.size();
@@ -116,7 +124,7 @@ Status ReplicaSet::EnsureFresh(Replica& replica, uint64_t applied_seq) {
   if (applied_seq <= replica.refreshed_seq.load(std::memory_order_acquire)) {
     return Status::Ok();
   }
-  std::lock_guard lock(replica.refresh_mu);
+  MutexLock lock(replica.refresh_mu);
   if (applied_seq <= replica.refreshed_seq.load(std::memory_order_relaxed)) {
     return Status::Ok();
   }
@@ -129,7 +137,7 @@ Status ReplicaSet::EnsureFresh(Replica& replica, uint64_t applied_seq) {
 
 Status ReplicaSet::AddRemoteFollower(std::shared_ptr<Follower> follower,
                                      std::string label) {
-  std::unique_lock lock(state_mu_);
+  WriterMutexLock lock(state_mu_);
   if (!rkv_) {
     if (dropped_) return Unavailable("shard primary is down");
     return FailedPrecondition("shard has no replication pipeline");
@@ -149,7 +157,7 @@ Status ReplicaSet::AddRemoteFollower(std::shared_ptr<Follower> follower,
 
 void ReplicaSet::ReconcileRemoteFollower(const std::string& label,
                                          uint64_t applied_seq) {
-  std::shared_lock lock(state_mu_);
+  ReaderMutexLock lock(state_mu_);
   if (!rkv_) return;
   for (const auto& remote : remotes_) {
     if (remote.label != label) continue;
@@ -163,7 +171,7 @@ void ReplicaSet::ReconcileRemoteFollower(const std::string& label,
 }
 
 Status ReplicaSet::DropPrimary() {
-  std::unique_lock lock(state_mu_);
+  WriterMutexLock lock(state_mu_);
   if (!rkv_) return FailedPrecondition("shard has no replication");
   if (dropped_) return FailedPrecondition("primary already dropped");
   final_head_ = 0;
@@ -182,7 +190,7 @@ Status ReplicaSet::DropPrimary() {
 }
 
 Status ReplicaSet::Promote() {
-  std::unique_lock lock(state_mu_);
+  WriterMutexLock lock(state_mu_);
   if (!dropped_) {
     return FailedPrecondition("primary is alive; DropPrimary first");
   }
@@ -244,14 +252,20 @@ void ReplicaSet::MonitorLoop() {
       std::chrono::milliseconds(options_.failover.heartbeat_interval_ms);
   for (;;) {
     {
-      std::unique_lock lock(monitor_mu_);
-      if (monitor_cv_.wait_for(lock, interval, [&] { return monitor_stop_; })) {
-        return;
+      // One probe cadence per iteration; stop cuts the sleep short.
+      MutexLock lock(monitor_mu_);
+      auto deadline = std::chrono::steady_clock::now() + interval;
+      while (!monitor_stop_) {
+        if (monitor_cv_.WaitUntil(monitor_mu_, deadline) ==
+            std::cv_status::timeout) {
+          break;
+        }
       }
+      if (monitor_stop_) return;
     }
     std::shared_ptr<store::KvStore> primary_kv;
     {
-      std::shared_lock lock(state_mu_);
+      ReaderMutexLock lock(state_mu_);
       // A manually dropped shard is someone else's drill; only probe a
       // live pipeline.
       if (!rkv_ || dropped_) continue;
@@ -285,35 +299,35 @@ void ReplicaSet::MonitorLoop() {
 }
 
 std::shared_ptr<server::ServerEngine> ReplicaSet::primary() const {
-  std::shared_lock lock(state_mu_);
+  ReaderMutexLock lock(state_mu_);
   return primary_;
 }
 
 std::shared_ptr<store::KvStore> ReplicaSet::primary_kv() const {
-  std::shared_lock lock(state_mu_);
+  ReaderMutexLock lock(state_mu_);
   return rkv_ ? rkv_->primary() : nullptr;
 }
 
 std::shared_ptr<server::ServerEngine> ReplicaSet::replica_engine(
     size_t i) const {
-  std::shared_lock lock(state_mu_);
+  ReaderMutexLock lock(state_mu_);
   if (i >= replicas_.size()) return nullptr;
   return replicas_[i]->engine;
 }
 
 size_t ReplicaSet::num_replicas() const {
-  std::shared_lock lock(state_mu_);
+  ReaderMutexLock lock(state_mu_);
   return replicas_.size();
 }
 
 size_t ReplicaSet::num_remote_followers() const {
-  std::shared_lock lock(state_mu_);
+  ReaderMutexLock lock(state_mu_);
   return remotes_.size();
 }
 
 std::vector<std::pair<std::string, uint64_t>> ReplicaSet::RemoteFollowerSeqs()
     const {
-  std::shared_lock lock(state_mu_);
+  ReaderMutexLock lock(state_mu_);
   std::vector<std::pair<std::string, uint64_t>> out;
   out.reserve(remotes_.size());
   for (const auto& remote : remotes_) {
@@ -324,48 +338,48 @@ std::vector<std::pair<std::string, uint64_t>> ReplicaSet::RemoteFollowerSeqs()
 }
 
 uint64_t ReplicaSet::head_seq() const {
-  std::shared_lock lock(state_mu_);
+  ReaderMutexLock lock(state_mu_);
   return rkv_ ? rkv_->head_seq() : 0;
 }
 
 uint64_t ReplicaSet::MaxLagOps() const {
-  std::shared_lock lock(state_mu_);
+  ReaderMutexLock lock(state_mu_);
   return rkv_ ? rkv_->MaxLagOps() : 0;
 }
 
 uint64_t ReplicaSet::snapshots_shipped() const {
-  std::shared_lock lock(state_mu_);
+  ReaderMutexLock lock(state_mu_);
   return rkv_ ? rkv_->snapshots_shipped() : 0;
 }
 
 uint64_t ReplicaSet::snapshot_chunks_shipped() const {
-  std::shared_lock lock(state_mu_);
+  ReaderMutexLock lock(state_mu_);
   return rkv_ ? rkv_->snapshot_chunks_shipped() : 0;
 }
 
 store::KvStore::CompactionStats ReplicaSet::StoreCompaction() const {
-  std::shared_lock lock(state_mu_);
+  ReaderMutexLock lock(state_mu_);
   return primary_ ? primary_->StoreCompaction()
                   : store::KvStore::CompactionStats{};
 }
 
 size_t ReplicaSet::NumStreams() const {
-  std::shared_lock lock(state_mu_);
+  ReaderMutexLock lock(state_mu_);
   return primary_ ? primary_->NumStreams() : 0;
 }
 
 uint64_t ReplicaSet::TotalIndexBytes() const {
-  std::shared_lock lock(state_mu_);
+  ReaderMutexLock lock(state_mu_);
   return primary_ ? primary_->TotalIndexBytes() : 0;
 }
 
 size_t ReplicaSet::promotions() const {
-  std::shared_lock lock(state_mu_);
+  ReaderMutexLock lock(state_mu_);
   return promotions_;
 }
 
 Status ReplicaSet::WaitCaughtUp(int64_t timeout_ms) {
-  std::shared_lock lock(state_mu_);
+  ReaderMutexLock lock(state_mu_);
   if (!rkv_) return Status::Ok();
   return rkv_->WaitCaughtUp(timeout_ms);
 }

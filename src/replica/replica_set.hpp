@@ -32,14 +32,12 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "replica/replicated_kv.hpp"
 #include "server/server_engine.hpp"
 
@@ -84,10 +82,12 @@ class ReplicaSet {
   ~ReplicaSet();
 
   /// Write path (and anything stateful): the primary engine.
-  Result<Bytes> Handle(net::MessageType type, BytesView body);
+  Result<Bytes> Handle(net::MessageType type, BytesView body)
+      EXCLUDES(state_mu_);
 
   /// Read path: round-robin over in-bound replicas with primary fallback.
-  Result<Bytes> HandleRead(net::MessageType type, BytesView body);
+  Result<Bytes> HandleRead(net::MessageType type, BytesView body)
+      EXCLUDES(state_mu_);
 
   /// Register a socket-backed follower (a daemon's RemoteFollower) under
   /// `label` (its "host:port" endpoint). Labels are unique: re-registration
@@ -107,11 +107,11 @@ class ReplicaSet {
   /// Sever the primary (engine + replication pipeline) without killing the
   /// process — the testable stand-in for primary loss. Unshipped async ops
   /// are lost, as they would be with the real machine.
-  Status DropPrimary();
+  Status DropPrimary() EXCLUDES(state_mu_);
   /// Elect the most-caught-up local follower as the new primary. Blocks
   /// reads for the duration; on return the shard serves the promoted
   /// history and remote followers are re-homed under it.
-  Status Promote();
+  Status Promote() EXCLUDES(state_mu_);
 
   // ------------------------------------------------------ introspection
   std::shared_ptr<server::ServerEngine> primary() const;
@@ -162,7 +162,7 @@ class ReplicaSet {
     /// trigger an engine Refresh (serialized by refresh_mu; concurrent
     /// readers on the fast path never take the mutex).
     std::atomic<uint64_t> refreshed_seq{0};
-    std::mutex refresh_mu;
+    Mutex refresh_mu;
   };
 
   struct RemoteEntry {
@@ -171,35 +171,37 @@ class ReplicaSet {
     size_t rkv_index = 0;
   };
 
-  Status EnsureFresh(Replica& replica, uint64_t applied_seq);
+  Status EnsureFresh(Replica& replica, uint64_t applied_seq)
+      REQUIRES_SHARED(state_mu_);
   /// Reset the read rotation for the current membership (the round-robin
   /// cursor restarts at slot 0). Must run under state_mu_ exclusive —
   /// every membership change (construction, drop, promotion) goes through
   /// here together with the replicas_/rkv_index updates, so no reader
   /// ever rotates over a departed or promoted node.
-  void ResetRotationLocked();
-  void MonitorLoop();
+  void ResetRotationLocked() REQUIRES(state_mu_);
+  void MonitorLoop() EXCLUDES(state_mu_, monitor_mu_);
 
   // Guards the topology (primary_/rkv_/replicas_/remotes_). Request
   // handling holds it shared; DropPrimary/Promote hold it exclusive, so
   // no read or write runs mid-failover.
-  mutable std::shared_mutex state_mu_;
-  std::shared_ptr<server::ServerEngine> primary_;
-  std::shared_ptr<ReplicatedKvStore> rkv_;  // null for Single()
-  std::vector<std::unique_ptr<Replica>> replicas_;
-  std::vector<RemoteEntry> remotes_;
-  bool dropped_ = false;
-  uint64_t final_head_ = 0;  // max frozen seq at drop: all acked writes
-  size_t promotions_ = 0;
+  mutable SharedMutex state_mu_;
+  std::shared_ptr<server::ServerEngine> primary_ GUARDED_BY(state_mu_);
+  std::shared_ptr<ReplicatedKvStore> rkv_ GUARDED_BY(state_mu_);  // null for Single()
+  std::vector<std::unique_ptr<Replica>> replicas_ GUARDED_BY(state_mu_);
+  std::vector<RemoteEntry> remotes_ GUARDED_BY(state_mu_);
+  bool dropped_ GUARDED_BY(state_mu_) = false;
+  // max frozen seq at drop: all acked writes
+  uint64_t final_head_ GUARDED_BY(state_mu_) = 0;
+  size_t promotions_ GUARDED_BY(state_mu_) = 0;
 
   server::ServerOptions engine_options_;
   ReplicaSetOptions options_;
 
   // Auto-failover monitor.
   std::thread monitor_;
-  std::mutex monitor_mu_;
-  std::condition_variable monitor_cv_;
-  bool monitor_stop_ = false;
+  Mutex monitor_mu_;
+  CondVar monitor_cv_;
+  bool monitor_stop_ GUARDED_BY(monitor_mu_) = false;
   std::atomic<size_t> auto_failovers_{0};
 
   std::atomic<uint64_t> rr_{0};

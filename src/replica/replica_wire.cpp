@@ -13,23 +13,28 @@ const std::string kAppliedSeqKey =
 }  // namespace
 
 Result<Bytes> RemoteFollower::Call(net::MessageType type, BytesView body) {
-  std::unique_lock lock(mu_);
-  if (!transport_) {
-    if (host_.empty()) return Unavailable("replica transport closed");
-    // Bounded dial + bounded I/O: a blackholed follower must fail the
-    // shipment (backoff + retry handles it), never park the shipper in
-    // the kernel's minutes-long retry schedule — DropPrimary joins this
-    // thread under the shard's exclusive lock, so an unbounded wait here
-    // would freeze every read and write on the shard. The op timeout is
-    // generous: it must cover a follower fsyncing a large snapshot chunk.
-    auto client = net::TcpClient::Connect(host_, port_, /*connect_timeout_ms=*/
-                                          5000);
-    if (!client.ok()) return client.status();
-    (void)(*client)->SetOpTimeout(30'000);
-    transport_ = std::shared_ptr<net::Transport>(std::move(*client));
+  // The lock covers only the dial and the reference grab — never the
+  // request itself: the round trip runs on a local shared_ptr copy, so a
+  // slow follower stalls one shipment, not every caller behind the lock.
+  std::shared_ptr<net::Transport> transport;
+  {
+    MutexLock lock(mu_);
+    if (!transport_) {
+      if (host_.empty()) return Unavailable("replica transport closed");
+      // Bounded dial + bounded I/O: a blackholed follower must fail the
+      // shipment (backoff + retry handles it), never park the shipper in
+      // the kernel's minutes-long retry schedule — DropPrimary joins this
+      // thread under the shard's exclusive lock, so an unbounded wait here
+      // would freeze every read and write on the shard. The op timeout is
+      // generous: it must cover a follower fsyncing a large snapshot chunk.
+      auto client = net::TcpClient::Connect(host_, port_,
+                                            /*connect_timeout_ms=*/5000);
+      if (!client.ok()) return client.status();
+      (void)(*client)->SetOpTimeout(30'000);
+      transport_ = std::shared_ptr<net::Transport>(std::move(*client));
+    }
+    transport = transport_;
   }
-  auto transport = transport_;
-  lock.unlock();
   auto result = transport->Call(type, body);
   if (!result.ok() && !host_.empty() &&
       (result.status().code() == StatusCode::kUnavailable ||
@@ -37,7 +42,7 @@ Result<Bytes> RemoteFollower::Call(net::MessageType type, BytesView body) {
     // Transport-level failure (peer died, stream corrupt): drop the
     // connection so the next attempt redials. Handler-level errors keep
     // the connection — it answered, it is alive.
-    std::lock_guard relock(mu_);
+    MutexLock relock(mu_);
     if (transport_ == transport) transport_.reset();
   }
   return result;
@@ -107,6 +112,9 @@ Status RemoteFollower::EndSnapshot(uint64_t seq, uint64_t total_entries) {
 
 ReplicaApplier::ReplicaApplier(std::shared_ptr<store::KvStore> kv)
     : kv_(kv), session_(kv) {
+  // The applier has not escaped the constructor yet; the lock is
+  // uncontended but keeps applied_seq_ under its capability.
+  MutexLock lock(mu_);
   // A durable follower restarting over its previous store resumes from its
   // persisted position instead of claiming an empty history.
   if (auto persisted = kv_->Get(kAppliedSeqKey); persisted.ok()) {
@@ -128,7 +136,7 @@ Status ReplicaApplier::PersistAppliedLocked() {
 }
 
 Result<Bytes> ReplicaApplier::ApplyOps(const net::ReplicaOpsRequest& req) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (req.first_seq > applied_seq_ + 1) {
     // A gap means this store is missing history (daemon restart over a
     // volatile store, or a diverged ex-peer). Applying a suffix would
@@ -155,14 +163,14 @@ Result<Bytes> ReplicaApplier::ApplyOps(const net::ReplicaOpsRequest& req) {
 
 Result<Bytes> ReplicaApplier::SnapshotBegin(
     const net::ReplicaSnapshotBeginRequest& req) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return net::ReplicaSnapshotAckResponse{session_.Begin(req.origin, req.seq)}
       .Encode();
 }
 
 Result<Bytes> ReplicaApplier::SnapshotChunk(
     const net::ReplicaSnapshotChunkRequest& req) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   TC_RETURN_IF_ERROR(session_.Chunk(req.seq, req.first_index, req.entries));
   ++snapshot_chunks_;
   return net::ReplicaSnapshotAckResponse{session_.received()}.Encode();
@@ -170,7 +178,7 @@ Result<Bytes> ReplicaApplier::SnapshotChunk(
 
 Result<Bytes> ReplicaApplier::SnapshotEnd(
     const net::ReplicaSnapshotEndRequest& req) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   TC_RETURN_IF_ERROR(session_.End(req.seq, req.total_entries));
   // A snapshot is the authoritative full state as of its seq — SET, not
   // max: after failover the new primary restarts sequence numbering, and a
@@ -210,17 +218,17 @@ Result<Bytes> ReplicaApplier::Handle(net::MessageType type, BytesView body) {
 }
 
 uint64_t ReplicaApplier::applied_seq() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return applied_seq_;
 }
 
 uint64_t ReplicaApplier::snapshot_chunks_received() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return snapshot_chunks_;
 }
 
 bool ReplicaApplier::snapshot_in_progress() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return session_.active();
 }
 

@@ -9,9 +9,9 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/thread_annotations.hpp"
 #include "net/messages.hpp"
 #include "net/wire.hpp"
 #include "replica/replicated_kv.hpp"
@@ -41,10 +41,13 @@ class RemoteFollower final : public Follower {
 
  private:
   /// One request over the (possibly redialed) transport.
-  Result<Bytes> Call(net::MessageType type, BytesView body);
+  Result<Bytes> Call(net::MessageType type, BytesView body) EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::shared_ptr<net::Transport> transport_;  // guarded by mu_ when dialing
+  Mutex mu_;
+  /// The shared_ptr itself is guarded; the transport it points at is
+  /// thread-safe and Call() holds its own reference across the I/O so a
+  /// concurrent redial can never destroy it mid-request.
+  std::shared_ptr<net::Transport> transport_ GUARDED_BY(mu_);
   uint32_t shard_ = 0;
   std::string host_;  // empty = fixed transport, never redial
   uint16_t port_ = 0;
@@ -77,13 +80,13 @@ class ReplicaApplier final : public net::RequestHandler {
   bool snapshot_in_progress() const;
 
  private:
-  Status PersistAppliedLocked();
+  Status PersistAppliedLocked() REQUIRES(mu_);
 
   std::shared_ptr<store::KvStore> kv_;
-  mutable std::mutex mu_;
-  uint64_t applied_seq_ = 0;
-  uint64_t snapshot_chunks_ = 0;
-  SnapshotSession session_;
+  mutable Mutex mu_;
+  uint64_t applied_seq_ GUARDED_BY(mu_) = 0;
+  uint64_t snapshot_chunks_ GUARDED_BY(mu_) = 0;
+  SnapshotSession session_ GUARDED_BY(mu_);
 };
 
 }  // namespace tc::replica

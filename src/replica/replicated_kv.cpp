@@ -138,25 +138,30 @@ ReplicatedKvStore::ReplicatedKvStore(std::shared_ptr<store::KvStore> primary,
 }
 
 ReplicatedKvStore::~ReplicatedKvStore() {
+  // Joining must happen with mu_ released (shippers take it to exit), so
+  // move the handles out under the lock first.
+  std::vector<std::thread> to_join;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
-    work_cv_.notify_all();
-    ack_cv_.notify_all();
+    work_cv_.NotifyAll();
+    ack_cv_.NotifyAll();
+    to_join.reserve(followers_.size());
+    for (auto& state : followers_) to_join.push_back(std::move(state->thread));
   }
-  for (auto& state : followers_) {
-    if (state->thread.joinable()) state->thread.join();
+  for (auto& t : to_join) {
+    if (t.joinable()) t.join();
   }
 }
 
 size_t ReplicatedKvStore::AddFollower(std::shared_ptr<Follower> follower) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto state = std::make_unique<FollowerState>();
   state->follower = std::move(follower);
   FollowerState* raw = state.get();
   followers_.push_back(std::move(state));
   raw->thread = std::thread([this, raw] { ShipperLoop(raw); });
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   return followers_.size() - 1;
 }
 
@@ -175,7 +180,7 @@ Status ReplicatedKvStore::Replicate(uint8_t kind, const std::string& key,
     // The primary mutation and its log position must be assigned under one
     // lock: if two writers raced the same key with apply order and log
     // order disagreeing, followers would converge to the wrong value.
-    std::unique_lock lock(mu_);
+    MutexLock lock(mu_);
     if (kind == net::kReplicaOpPut) {
       TC_RETURN_IF_ERROR(primary_->Put(key, value));
     } else {
@@ -189,17 +194,19 @@ Status ReplicatedKvStore::Replicate(uint8_t kind, const std::string& key,
       log_.pop_front();
       ++log_first_seq_;
     }
-    work_cv_.notify_all();
+    work_cv_.NotifyAll();
   }
   if (options_.ack == AckMode::kAsync) return Status::Ok();
 
-  std::unique_lock lock(mu_);
-  size_t needed = QuorumFollowerAcks();
+  MutexLock lock(mu_);
+  size_t needed = QuorumFollowerAcksLocked();
   if (needed == 0) return Status::Ok();
-  bool reached = ack_cv_.wait_for(
-      lock, std::chrono::milliseconds(options_.quorum_timeout_ms),
-      [&] { return stop_ || AckCountLocked(seq) >= needed; });
-  if (!reached || AckCountLocked(seq) < needed) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(options_.quorum_timeout_ms);
+  while (!stop_ && AckCountLocked(seq) < needed) {
+    if (ack_cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) break;
+  }
+  if (AckCountLocked(seq) < needed) {
     // The primary holds the write; the caller must treat it as failed
     // (standard semi-sync degradation under follower loss).
     return Unavailable("quorum ack not reached for seq " +
@@ -228,32 +235,32 @@ Status ReplicatedKvStore::Scan(
 }
 
 size_t ReplicatedKvStore::num_followers() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return followers_.size();
 }
 
 uint64_t ReplicatedKvStore::follower_seq(size_t i) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (i >= followers_.size()) return 0;
   return followers_[i]->applied_seq.load(std::memory_order_acquire);
 }
 
 Status ReplicatedKvStore::follower_error(size_t i) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (i >= followers_.size()) return Status::Ok();
   return followers_[i]->last_error;
 }
 
 void ReplicatedKvStore::MarkNeedsSnapshot(size_t i) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (i >= followers_.size()) return;
   followers_[i]->needs_snapshot = true;
   followers_[i]->applied_seq.store(0, std::memory_order_release);
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
 }
 
 uint64_t ReplicatedKvStore::MaxLagOps() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   uint64_t head = head_seq_.load(std::memory_order_acquire);
   uint64_t lag = 0;
   for (const auto& state : followers_) {
@@ -263,19 +270,25 @@ uint64_t ReplicatedKvStore::MaxLagOps() const {
   return lag;
 }
 
+bool ReplicatedKvStore::AllCaughtUpLocked(uint64_t target) const {
+  return std::all_of(followers_.begin(), followers_.end(),
+                     [&](const auto& s) {
+                       return !s->needs_snapshot &&
+                              s->applied_seq.load() >= target;
+                     });
+}
+
 Status ReplicatedKvStore::WaitCaughtUp(int64_t timeout_ms) {
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   uint64_t target = head_seq_.load(std::memory_order_acquire);
-  bool done = ack_cv_.wait_for(
-      lock, std::chrono::milliseconds(timeout_ms), [&] {
-        if (stop_) return true;
-        return std::all_of(followers_.begin(), followers_.end(),
-                           [&](const auto& s) {
-                             return !s->needs_snapshot &&
-                                    s->applied_seq.load() >= target;
-                           });
-      });
-  if (!done) return Unavailable("followers did not catch up in time");
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms);
+  while (!stop_ && !AllCaughtUpLocked(target)) {
+    if (ack_cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) break;
+  }
+  if (!stop_ && !AllCaughtUpLocked(target)) {
+    return Unavailable("followers did not catch up in time");
+  }
   return Status::Ok();
 }
 
@@ -287,15 +300,14 @@ size_t ReplicatedKvStore::AckCountLocked(uint64_t seq) const {
   return n;
 }
 
-size_t ReplicatedKvStore::QuorumFollowerAcks() const {
+size_t ReplicatedKvStore::QuorumFollowerAcksLocked() const {
   // Majority of the replica group (primary + N followers), minus the
   // primary's own copy: ceil((N+1+1)/2) - 1 == (N+1)/2 follower acks.
   return (followers_.size() + 1) / 2;
 }
 
-void ReplicatedKvStore::BackoffAfterFailureLocked(
-    std::unique_lock<std::mutex>& lock, FollowerState* state, const char* what,
-    Status error) {
+void ReplicatedKvStore::BackoffAfterFailure(FollowerState* state,
+                                            const char* what, Status error) {
   state->last_error = error;
   ++state->consecutive_failures;
   if (state->consecutive_failures == 1 ||
@@ -308,9 +320,14 @@ void ReplicatedKvStore::BackoffAfterFailureLocked(
   // one retry (and on the snapshot path one key scan) every few seconds,
   // not a hundred per second.
   uint64_t shift = std::min<uint64_t>(state->consecutive_failures - 1, 9);
-  auto backoff = std::chrono::milliseconds(
-      std::min<int64_t>(10 << shift, 5000));
-  work_cv_.wait_for(lock, backoff, [&] { return stop_; });
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(
+                      std::min<int64_t>(10 << shift, 5000));
+  // Sleep out the backoff under mu_ (the wait releases it), bailing early
+  // only on stop.
+  while (!stop_) {
+    if (work_cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) break;
+  }
 }
 
 Status ReplicatedKvStore::StreamSnapshot(FollowerState* state,
@@ -367,14 +384,22 @@ Status ReplicatedKvStore::StreamSnapshot(FollowerState* state,
 }
 
 void ReplicatedKvStore::ShipperLoop(FollowerState* state) {
-  std::unique_lock lock(mu_);
+  // Hand-over-hand locking: the loop holds mu_ except across the blocking
+  // follower calls (StreamSnapshot/ApplyOps), so it uses explicit
+  // lock()/unlock() on the annotated mutex — the one pattern the scoped
+  // lockers cannot express. Every back edge re-enters the loop with mu_
+  // held; every return releases it.
+  mu_.lock();
   for (;;) {
-    work_cv_.wait(lock, [&] {
-      return stop_ || state->needs_snapshot ||
-             state->applied_seq.load(std::memory_order_relaxed) <
-                 head_seq_.load(std::memory_order_relaxed);
-    });
-    if (stop_) return;
+    while (!stop_ && !state->needs_snapshot &&
+           state->applied_seq.load(std::memory_order_relaxed) >=
+               head_seq_.load(std::memory_order_relaxed)) {
+      work_cv_.Wait(mu_);
+    }
+    if (stop_) {
+      mu_.unlock();
+      return;
+    }
 
     uint64_t applied = state->applied_seq.load(std::memory_order_relaxed);
     if (state->needs_snapshot || applied + 1 < log_first_seq_) {
@@ -383,11 +408,11 @@ void ReplicatedKvStore::ShipperLoop(FollowerState* state) {
       // the key scan; ops that race in during the stream are harmlessly
       // re-applied afterwards (in-order replay converges).
       uint64_t snap_seq = head_seq_.load(std::memory_order_relaxed);
-      lock.unlock();
+      mu_.unlock();
       Status s = StreamSnapshot(state, snap_seq);
-      lock.lock();
+      mu_.lock();
       if (!s.ok()) {
-        BackoffAfterFailureLocked(lock, state, "snapshot", s);
+        BackoffAfterFailure(state, "snapshot", s);
         continue;
       }
       state->last_error = Status::Ok();
@@ -397,7 +422,7 @@ void ReplicatedKvStore::ShipperLoop(FollowerState* state) {
         state->applied_seq.store(snap_seq, std::memory_order_release);
       }
       snapshots_.fetch_add(1, std::memory_order_relaxed);
-      ack_cv_.notify_all();
+      ack_cv_.NotifyAll();
       continue;
     }
 
@@ -406,9 +431,9 @@ void ReplicatedKvStore::ShipperLoop(FollowerState* state) {
     size_t count = std::min(options_.ship_batch_ops, log_.size() - offset);
     std::vector<LoggedOp> batch(log_.begin() + offset,
                                 log_.begin() + offset + count);
-    lock.unlock();
+    mu_.unlock();
     Status s = state->follower->ApplyOps(batch);
-    lock.lock();
+    mu_.lock();
     if (!s.ok()) {
       if (s.code() == StatusCode::kFailedPrecondition) {
         // The follower cannot take this run at all — it restarted or lost
@@ -422,7 +447,7 @@ void ReplicatedKvStore::ShipperLoop(FollowerState* state) {
         state->applied_seq.store(0, std::memory_order_release);
         continue;
       }
-      BackoffAfterFailureLocked(lock, state, "op shipment", s);
+      BackoffAfterFailure(state, "op shipment", s);
       continue;
     }
     state->last_error = Status::Ok();
@@ -431,7 +456,7 @@ void ReplicatedKvStore::ShipperLoop(FollowerState* state) {
     if (state->applied_seq.load(std::memory_order_relaxed) < last) {
       state->applied_seq.store(last, std::memory_order_release);
     }
-    ack_cv_.notify_all();
+    ack_cv_.NotifyAll();
   }
 }
 

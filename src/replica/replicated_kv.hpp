@@ -32,16 +32,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string_view>
 #include <thread>
 #include <unordered_set>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "store/kv_store.hpp"
 
 namespace tc::replica {
@@ -229,46 +228,54 @@ class ReplicatedKvStore final : public store::KvStore {
   const std::shared_ptr<store::KvStore>& primary() const { return primary_; }
 
  private:
+  // The non-atomic fields are guarded by the outer mu_ — an attribute
+  // cannot say so across the nesting boundary, so every function touching
+  // them carries REQUIRES(mu_) instead (the annotation convention for
+  // nested state).
   struct FollowerState {
-    std::shared_ptr<Follower> follower;
+    std::shared_ptr<Follower> follower;  // set before the thread starts
     std::thread thread;
     std::atomic<uint64_t> applied_seq{0};
-    bool needs_snapshot = true;       // guarded by mu_
-    Status last_error;                // guarded by mu_
+    bool needs_snapshot = true;         // guarded by mu_
+    Status last_error;                  // guarded by mu_
     uint64_t consecutive_failures = 0;  // guarded by mu_; drives backoff
   };
 
-  Status Replicate(uint8_t kind, const std::string& key, BytesView value);
-  void ShipperLoop(FollowerState* state);
+  Status Replicate(uint8_t kind, const std::string& key, BytesView value)
+      EXCLUDES(mu_);
+  void ShipperLoop(FollowerState* state) EXCLUDES(mu_);
   /// One full snapshot stream attempt to `state` as of `snap_seq`. Runs
   /// with mu_ released; returns the stream's entry total on success.
-  Status StreamSnapshot(FollowerState* state, uint64_t snap_seq);
-  /// Record a shipping failure and sleep out its backoff (mu_ held on
-  /// entry and exit). Logs the first failure, then every 64th — a dead
+  Status StreamSnapshot(FollowerState* state, uint64_t snap_seq)
+      EXCLUDES(mu_);
+  /// Record a shipping failure and sleep out its backoff (under mu_, which
+  /// the wait releases). Logs the first failure, then every 64th — a dead
   /// follower must not flood the log at retry frequency.
-  void BackoffAfterFailureLocked(std::unique_lock<std::mutex>& lock,
-                                 FollowerState* state, const char* what,
-                                 Status error);
+  void BackoffAfterFailure(FollowerState* state, const char* what,
+                           Status error) REQUIRES(mu_);
   /// Followers with applied_seq >= seq (quorum accounting).
-  size_t AckCountLocked(uint64_t seq) const;
-  size_t QuorumFollowerAcks() const;
+  size_t AckCountLocked(uint64_t seq) const REQUIRES(mu_);
+  size_t QuorumFollowerAcksLocked() const REQUIRES(mu_);
+  /// True when every follower is past snapshot catch-up and at `target`.
+  bool AllCaughtUpLocked(uint64_t target) const REQUIRES(mu_);
 
   std::shared_ptr<store::KvStore> primary_;
   ReplicatedKvOptions options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;  // shipper wakeup: new ops or stop
-  std::condition_variable ack_cv_;   // writer wakeup: follower progress
-  std::deque<LoggedOp> log_;         // window [log_first_seq_, head_seq_]
-  const uint64_t origin_;            // this pipeline's snapshot identity
-  uint64_t log_first_seq_ = 1;
+  mutable Mutex mu_;
+  CondVar work_cv_;  // shipper wakeup: new ops or stop
+  CondVar ack_cv_;   // writer wakeup: follower progress
+  // Window [log_first_seq_, head_seq_].
+  std::deque<LoggedOp> log_ GUARDED_BY(mu_);
+  const uint64_t origin_;  // this pipeline's snapshot identity
+  uint64_t log_first_seq_ GUARDED_BY(mu_) = 1;
   std::atomic<uint64_t> head_seq_{0};
   std::atomic<uint64_t> snapshots_{0};
   std::atomic<uint64_t> snapshot_chunks_{0};
-  bool stop_ = false;
+  bool stop_ GUARDED_BY(mu_) = false;
   // Shipper threads self-register here; vector only grows (AddFollower),
   // entries are stable (unique_ptr) so atomics can be read without mu_.
-  std::vector<std::unique_ptr<FollowerState>> followers_;
+  std::vector<std::unique_ptr<FollowerState>> followers_ GUARDED_BY(mu_);
 };
 
 }  // namespace tc::replica

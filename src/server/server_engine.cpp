@@ -22,8 +22,17 @@ std::string ConfigKey(uint64_t uuid) {
 ServerEngine::ServerEngine(std::shared_ptr<store::KvStore> kv,
                            ServerOptions options)
     : kv_(std::move(kv)), options_(options) {
-  RecoverStreams();
-  RecoverGrantDirectory();
+  // The engine has not escaped the constructor yet; the locks are
+  // uncontended but keep recovery under the same capabilities as every
+  // other registry access.
+  {
+    WriterMutexLock lock(streams_mu_);
+    RecoverStreams();
+  }
+  {
+    MutexLock lock(keystore_mu_);
+    RecoverGrantDirectory();
+  }
 }
 
 void ServerEngine::RecoverStreams() {
@@ -65,6 +74,9 @@ Result<std::shared_ptr<ServerEngine::Stream>> ServerEngine::OpenStream(
   if (recover && stream->witnesses) {
     // Rebuild the witness tree from the stored ciphertexts — the witnesses
     // hash exactly what the store holds, so this is a pure recomputation.
+    // The stream has not escaped this function yet, so its lock is
+    // uncontended; taking it keeps the rebuild under mu's capability.
+    WriterMutexLock stream_lock(stream->mu);
     uint64_t n = stream->tree->num_chunks();
     for (uint64_t i = 0; i < n; ++i) {
       TC_ASSIGN_OR_RETURN(Bytes digest, stream->tree->LeafDigest(i));
@@ -140,7 +152,7 @@ Status ServerEngine::Refresh() {
   // Diff it against the in-memory registry.
   std::vector<std::pair<uint64_t, std::shared_ptr<Stream>>> existing;
   {
-    std::unique_lock lock(streams_mu_);
+    WriterMutexLock lock(streams_mu_);
     for (auto it = streams_.begin(); it != streams_.end();) {
       if (live.contains(it->first)) {
         existing.emplace_back(it->first, it->second);
@@ -169,7 +181,7 @@ Status ServerEngine::Refresh() {
   // Re-sync streams that already had handles: new appends moved their
   // index position and (for integrity streams) grew the witness history.
   for (auto& [uuid, stream] : existing) {
-    std::unique_lock stream_lock(stream->mu);
+    WriterMutexLock stream_lock(stream->mu);
     TC_RETURN_IF_ERROR(stream->tree->Refresh());
     if (stream->witnesses) {
       uint64_t n = stream->tree->num_chunks();
@@ -225,15 +237,15 @@ Result<Bytes> ServerEngine::Handle(MessageType type, BytesView body) {
 }
 
 size_t ServerEngine::NumStreams() const {
-  std::shared_lock lock(streams_mu_);
+  ReaderMutexLock lock(streams_mu_);
   return streams_.size();
 }
 
 uint64_t ServerEngine::TotalIndexBytes() const {
-  std::shared_lock lock(streams_mu_);
+  ReaderMutexLock lock(streams_mu_);
   uint64_t total = 0;
   for (const auto& [uuid, stream] : streams_) {
-    std::shared_lock stream_lock(stream->mu);
+    ReaderMutexLock stream_lock(stream->mu);
     total += stream->tree->IndexBytes();
   }
   return total;
@@ -278,7 +290,7 @@ Result<std::shared_ptr<const index::DigestCipher>> ServerEngine::MakeAddCipher(
 
 Result<std::shared_ptr<ServerEngine::Stream>> ServerEngine::FindStream(
     uint64_t uuid) const {
-  std::shared_lock lock(streams_mu_);
+  ReaderMutexLock lock(streams_mu_);
   auto it = streams_.find(uuid);
   if (it == streams_.end()) {
     return NotFound("stream " + std::to_string(uuid) + " does not exist");
@@ -318,7 +330,7 @@ Result<Bytes> ServerEngine::CreateStream(BytesView body) {
     return InvalidArgument("chunk interval must be positive");
   }
 
-  std::unique_lock lock(streams_mu_);
+  WriterMutexLock lock(streams_mu_);
   if (streams_.contains(req.uuid)) {
     return AlreadyExists("stream " + std::to_string(req.uuid));
   }
@@ -337,23 +349,25 @@ Result<Bytes> ServerEngine::CreateStream(BytesView body) {
 
 Result<Bytes> ServerEngine::DeleteStream(BytesView body) {
   TC_ASSIGN_OR_RETURN(auto req, net::DeleteStreamRequest::Decode(body));
-  std::unique_lock lock(streams_mu_);
-  auto it = streams_.find(req.uuid);
-  if (it == streams_.end()) return NotFound("stream does not exist");
   // Unpublish the stream first, then release streams_mu_ before waiting on
   // per-stream state: blocking on stream->mu (or running the chunk delete
   // loop) under the global lock would stall every request on the server
   // behind one slow stream operation.
-  std::shared_ptr<Stream> stream = it->second;
-  streams_.erase(it);
-  (void)kv_->Delete(ConfigKey(req.uuid));
-  TC_RETURN_IF_ERROR(StoreDirectoryLocked());
-  lock.unlock();
+  std::shared_ptr<Stream> stream;
+  {
+    WriterMutexLock lock(streams_mu_);
+    auto it = streams_.find(req.uuid);
+    if (it == streams_.end()) return NotFound("stream does not exist");
+    stream = it->second;
+    streams_.erase(it);
+    (void)kv_->Delete(ConfigKey(req.uuid));
+    TC_RETURN_IF_ERROR(StoreDirectoryLocked());
+  }
 
   // Wait out any in-flight ingest on this stream, then drop chunk payloads;
   // index nodes stay orphaned in the KV (a real deployment would GC them;
   // compaction handles it for the log store).
-  std::unique_lock stream_lock(stream->mu);
+  WriterMutexLock stream_lock(stream->mu);
   uint64_t n = stream->tree->num_chunks();
   for (uint64_t i = 0; i < n; ++i) {
     (void)kv_->Delete(ChunkKey(req.uuid, i));
@@ -365,7 +379,7 @@ Result<Bytes> ServerEngine::InsertChunk(BytesView body) {
   TC_ASSIGN_OR_RETURN(auto req, net::InsertChunkRequest::Decode(body));
   TC_ASSIGN_OR_RETURN(auto stream, FindStream(req.uuid));
 
-  std::lock_guard lock(stream->mu);
+  WriterMutexLock lock(stream->mu);
   // The append-only position check runs before any store write: a rejected
   // insert (duplicate or gapped index) must not clobber a committed
   // chunk's stored ciphertext.
@@ -405,7 +419,7 @@ Result<Bytes> ServerEngine::InsertChunkBatch(BytesView body) {
   // batch — the amortization InsertChunkBatch exists for. The batch is not
   // atomic: on a mid-batch error the already-appended prefix stays (same
   // observable state as the equivalent InsertChunk sequence failing there).
-  std::lock_guard lock(stream->mu);
+  WriterMutexLock lock(stream->mu);
   for (const auto& e : req.entries) {
     // Position check before the payload write — see InsertChunk.
     if (e.chunk_index != stream->tree->num_chunks()) {
@@ -445,7 +459,7 @@ Result<Bytes> ServerEngine::ClusterInfo() const {
 Result<Bytes> ServerEngine::GetRange(BytesView body) const {
   TC_ASSIGN_OR_RETURN(auto req, net::GetRangeRequest::Decode(body));
   TC_ASSIGN_OR_RETURN(auto stream, FindStream(req.uuid));
-  std::shared_lock stream_lock(stream->mu);
+  ReaderMutexLock stream_lock(stream->mu);
   TC_ASSIGN_OR_RETURN(auto range, ResolveRange(*stream, req.range));
 
   net::GetRangeResponse resp;
@@ -460,7 +474,7 @@ Result<Bytes> ServerEngine::GetRange(BytesView body) const {
 Result<Bytes> ServerEngine::GetStatRange(BytesView body) const {
   TC_ASSIGN_OR_RETURN(auto req, net::StatRangeRequest::Decode(body));
   TC_ASSIGN_OR_RETURN(auto stream, FindStream(req.uuid));
-  std::shared_lock stream_lock(stream->mu);
+  ReaderMutexLock stream_lock(stream->mu);
   TC_ASSIGN_OR_RETURN(auto range, ResolveRange(*stream, req.range));
 
   TC_ASSIGN_OR_RETURN(Bytes blob,
@@ -478,7 +492,7 @@ Result<Bytes> ServerEngine::GetStatSeries(BytesView body) const {
     return InvalidArgument("granularity must be positive");
   }
   TC_ASSIGN_OR_RETURN(auto stream, FindStream(req.uuid));
-  std::shared_lock stream_lock(stream->mu);
+  ReaderMutexLock stream_lock(stream->mu);
   TC_ASSIGN_OR_RETURN(auto range, ResolveRange(*stream, req.range));
 
   net::StatSeriesResponse resp;
@@ -506,7 +520,7 @@ Result<Bytes> ServerEngine::MultiStatRange(BytesView body) const {
   uint64_t first = 0, last = 0;
   for (size_t s = 0; s < req.uuids.size(); ++s) {
     TC_ASSIGN_OR_RETURN(auto stream, FindStream(req.uuids[s]));
-    std::shared_lock stream_lock(stream->mu);
+    ReaderMutexLock stream_lock(stream->mu);
     TC_ASSIGN_OR_RETURN(auto range, ResolveRange(*stream, req.range));
     TC_ASSIGN_OR_RETURN(Bytes blob,
                         stream->tree->Query(range.first, range.second));
@@ -542,7 +556,7 @@ Result<Bytes> ServerEngine::RollupStream(BytesView body) {
   // across it would invert the streams_mu_ -> stream->mu lock order.
   uint64_t first = 0, last = 0;
   {
-    std::shared_lock source_lock(source->mu);
+    ReaderMutexLock source_lock(source->mu);
     last = source->tree->num_chunks();
     if (!(req.range.start == 0 && req.range.end == 0)) {
       TC_ASSIGN_OR_RETURN(auto range, ResolveRange(*source, req.range));
@@ -571,8 +585,8 @@ Result<Bytes> ServerEngine::RollupStream(BytesView body) {
   // source is read under a shared lock while target is written; the target
   // stream was just created, so no opposite-direction rollup can hold
   // target shared while waiting for source exclusive.
-  std::shared_lock source_lock(source->mu);
-  std::lock_guard lock(target->mu);
+  ReaderMutexLock source_lock(source->mu);
+  WriterMutexLock lock(target->mu);
   uint64_t out_index = 0;
   for (uint64_t w = first; w < last; w += req.granularity_chunks) {
     TC_ASSIGN_OR_RETURN(Bytes blob,
@@ -591,7 +605,7 @@ Result<Bytes> ServerEngine::DeleteRange(BytesView body) {
   TC_ASSIGN_OR_RETURN(auto req, net::DeleteRangeRequest::Decode(body));
   TC_ASSIGN_OR_RETURN(auto stream, FindStream(req.uuid));
 
-  std::lock_guard lock(stream->mu);
+  WriterMutexLock lock(stream->mu);
   TC_ASSIGN_OR_RETURN(auto range, ResolveRange(*stream, req.range));
   // Drop raw payloads; per-chunk digests are retained (Table 1 row 7:
   // "Delete specified segment of the stream, while maintaining per-chunk
@@ -606,7 +620,7 @@ Result<Bytes> ServerEngine::DeleteRange(BytesView body) {
 Result<Bytes> ServerEngine::GetStreamInfo(BytesView body) const {
   TC_ASSIGN_OR_RETURN(auto req, net::DeleteStreamRequest::Decode(body));
   TC_ASSIGN_OR_RETURN(auto stream, FindStream(req.uuid));
-  std::shared_lock stream_lock(stream->mu);
+  ReaderMutexLock stream_lock(stream->mu);
   net::StreamInfoResponse resp;
   resp.config = stream->config;
   resp.num_chunks = stream->tree->num_chunks();
@@ -617,7 +631,7 @@ Result<Bytes> ServerEngine::PutGrant(BytesView body) {
   TC_ASSIGN_OR_RETURN(auto req, net::PutGrantRequest::Decode(body));
   TC_RETURN_IF_ERROR(kv_->Put(
       GrantKey(req.principal_id, req.uuid, req.grant_id), req.sealed_grant));
-  std::lock_guard lock(keystore_mu_);
+  MutexLock lock(keystore_mu_);
   auto& list = principal_grants_[req.principal_id];
   auto entry = std::make_pair(req.uuid, req.grant_id);
   if (std::find(list.begin(), list.end(), entry) == list.end()) {
@@ -630,7 +644,7 @@ Result<Bytes> ServerEngine::PutGrant(BytesView body) {
 Result<Bytes> ServerEngine::FetchGrants(BytesView body) const {
   TC_ASSIGN_OR_RETURN(auto req, net::FetchGrantsRequest::Decode(body));
   net::FetchGrantsResponse resp;
-  std::lock_guard lock(keystore_mu_);
+  MutexLock lock(keystore_mu_);
   auto it = principal_grants_.find(req.principal_id);
   if (it != principal_grants_.end()) {
     for (auto [uuid, grant_id] : it->second) {
@@ -678,7 +692,7 @@ Result<Bytes> ServerEngine::GetChunkWitnessed(BytesView body) const {
   if (with_proofs && req.last_chunk > req.at_size) {
     return OutOfRange("chunk range exceeds attested prefix");
   }
-  std::shared_lock stream_lock(stream->mu);
+  ReaderMutexLock stream_lock(stream->mu);
   if (!with_proofs && req.last_chunk > stream->tree->num_chunks()) {
     return OutOfRange("chunk range exceeds ingested chunks");
   }
@@ -704,7 +718,7 @@ Result<Bytes> ServerEngine::GetChunkWitnessed(BytesView body) const {
 
 Result<Bytes> ServerEngine::RevokeGrant(BytesView body) {
   TC_ASSIGN_OR_RETURN(auto req, net::RevokeGrantRequest::Decode(body));
-  std::lock_guard lock(keystore_mu_);
+  MutexLock lock(keystore_mu_);
   auto it = principal_grants_.find(req.principal_id);
   if (it == principal_grants_.end()) return Bytes{};
   auto& list = it->second;

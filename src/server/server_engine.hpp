@@ -15,9 +15,8 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 
+#include "common/thread_annotations.hpp"
 #include "index/agg_tree.hpp"
 #include "integrity/merkle.hpp"
 #include "net/messages.hpp"
@@ -84,14 +83,17 @@ class ServerEngine final : public net::RequestHandler {
     net::StreamConfig config;
     ChunkClock clock;
     std::shared_ptr<const index::DigestCipher> add_cipher;
-    std::unique_ptr<index::AggTree> tree;
+    // The pointers are set at construction and never reseated, so only the
+    // pointees are guarded (PT_GUARDED_BY): null checks need no lock,
+    // dereferences need mu.
+    std::unique_ptr<index::AggTree> tree PT_GUARDED_BY(mu);
     // Integrity extension: the server-side mirror of the witness tree
     // (config.integrity streams only). Guarded by mu like the agg tree.
-    std::unique_ptr<integrity::MerkleTree> witnesses;
+    std::unique_ptr<integrity::MerkleTree> witnesses PT_GUARDED_BY(mu);
     // Reader/writer lock over tree + witnesses: Append grows internal
     // vectors, so even "append-only prefix" reads can hit a reallocation;
     // ingest takes it exclusive, query paths take it shared.
-    mutable std::shared_mutex mu;
+    mutable SharedMutex mu;
 
     Stream(net::StreamConfig cfg, ChunkClock clk,
            std::shared_ptr<const index::DigestCipher> cipher,
@@ -132,21 +134,22 @@ class ServerEngine final : public net::RequestHandler {
 
   /// Rebuild the in-memory stream registry from the store's metadata
   /// directory (constructor path). Logs and skips unrecoverable streams.
-  void RecoverStreams();
+  void RecoverStreams() REQUIRES(streams_mu_);
   /// Build a Stream (index handle + recovered append position + witness
   /// tree) from a persisted config.
   Result<std::shared_ptr<Stream>> OpenStream(uint64_t uuid,
                                              const net::StreamConfig& config,
                                              bool recover);
   /// Persist / load the uuid directory under the metadata key.
-  Status StoreDirectoryLocked();
+  Status StoreDirectoryLocked() REQUIRES(streams_mu_);
   /// Persist / load the per-principal grant directory (key store state).
-  Status StoreGrantDirectoryLocked();
-  void RecoverGrantDirectory();
+  Status StoreGrantDirectoryLocked() REQUIRES(keystore_mu_);
+  void RecoverGrantDirectory() REQUIRES(keystore_mu_);
 
   /// Resolve a time range to a chunk range, clipped to ingested chunks.
   static Result<std::pair<uint64_t, uint64_t>> ResolveRange(
-      const Stream& stream, const TimeRange& range);
+      const Stream& stream, const TimeRange& range)
+      REQUIRES_SHARED(stream.mu);
 
   std::string ChunkKey(uint64_t uuid, uint64_t chunk_index) const;
   std::string GrantKey(const std::string& principal, uint64_t uuid,
@@ -157,14 +160,16 @@ class ServerEngine final : public net::RequestHandler {
   std::shared_ptr<store::KvStore> kv_;
   ServerOptions options_;
 
-  mutable std::shared_mutex streams_mu_;
-  std::map<uint64_t, std::shared_ptr<Stream>> streams_;
+  mutable SharedMutex streams_mu_;
+  std::map<uint64_t, std::shared_ptr<Stream>> streams_
+      GUARDED_BY(streams_mu_);
 
   // Key store: grants indexed per principal for FetchGrants. Values live in
   // kv_; this is the per-principal directory.
-  mutable std::mutex keystore_mu_;
+  mutable Mutex keystore_mu_;
+  // principal -> [(uuid, grant_id)]
   std::map<std::string, std::vector<std::pair<uint64_t, uint64_t>>>
-      principal_grants_;  // principal -> [(uuid, grant_id)]
+      principal_grants_ GUARDED_BY(keystore_mu_);
 };
 
 }  // namespace tc::server

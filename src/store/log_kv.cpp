@@ -19,12 +19,17 @@ LogKvStore::LogKvStore(std::string path, LogKvOptions options)
     : path_(std::move(path)), options_(options) {}
 
 LogKvStore::~LogKvStore() {
+  MutexLock lock(mu_);
   if (log_ != nullptr) std::fclose(log_);
 }
 
 Result<std::unique_ptr<LogKvStore>> LogKvStore::Open(const std::string& path,
                                                      LogKvOptions options) {
   auto store = std::unique_ptr<LogKvStore>(new LogKvStore(path, options));
+  // The store has not escaped this function yet, so the lock is
+  // uncontended; taking it anyway keeps Replay under the same capability
+  // as every other map_/log_ access.
+  MutexLock lock(store->mu_);
   TC_RETURN_IF_ERROR(store->Replay());
   store->log_ = std::fopen(path.c_str(), "ab");
   if (store->log_ == nullptr) {
@@ -135,7 +140,7 @@ void LogKvStore::MaybeAutoCompactLocked() {
 }
 
 Status LogKvStore::Put(const std::string& key, BytesView value) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   TC_RETURN_IF_ERROR(AppendRecord(key, value, /*tombstone=*/false));
   auto [it, inserted] = map_.try_emplace(key);
   if (!inserted) {
@@ -149,14 +154,14 @@ Status LogKvStore::Put(const std::string& key, BytesView value) {
 }
 
 Result<Bytes> LogKvStore::Get(const std::string& key) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = map_.find(key);
   if (it == map_.end()) return NotFound("key not found: " + key);
   return it->second;
 }
 
 Status LogKvStore::Delete(const std::string& key) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = map_.find(key);
   if (it == map_.end()) return NotFound("key not found: " + key);
   TC_RETURN_IF_ERROR(AppendRecord(key, {}, /*tombstone=*/true));
@@ -168,17 +173,17 @@ Status LogKvStore::Delete(const std::string& key) {
 }
 
 bool LogKvStore::Contains(const std::string& key) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return map_.contains(key);
 }
 
 size_t LogKvStore::Size() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return map_.size();
 }
 
 size_t LogKvStore::ValueBytes() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return value_bytes_;
 }
 
@@ -186,13 +191,13 @@ Status LogKvStore::Scan(
     const std::function<void(const std::string&, BytesView)>& fn) const {
   // mu_ is held for the whole walk, so a scan is an atomic snapshot and a
   // concurrent Compact() cannot interleave (it rewrites under this mutex).
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& [key, value] : map_) fn(key, value);
   return Status::Ok();
 }
 
 Result<size_t> LogKvStore::Compact() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return CompactLocked();
 }
 
@@ -234,7 +239,7 @@ Result<size_t> LogKvStore::CompactLocked() {
 }
 
 Status LogKvStore::Sync() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (log_ == nullptr) return Status::Ok();
   // Group commit: if a concurrent caller's flush already covered every
   // record appended before this Sync, skip the (expensive) flush entirely.
@@ -247,17 +252,17 @@ Status LogKvStore::Sync() {
 }
 
 size_t LogKvStore::DeadBytes() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return dead_bytes_;
 }
 
 uint64_t LogKvStore::CompactionCount() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return compactions_;
 }
 
 store::KvStore::CompactionStats LogKvStore::Compaction() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return {compactions_, dead_bytes_};
 }
 

@@ -6,10 +6,10 @@
 
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/thread_annotations.hpp"
 #include "store/kv_store.hpp"
 
 namespace tc::store {
@@ -67,32 +67,32 @@ class LogKvStore final : public KvStore {
  private:
   LogKvStore(std::string path, LogKvOptions options);
 
-  Status Replay();
+  Status Replay() REQUIRES(mu_);
   /// Drop a torn tail discovered during replay (crash-recovery path).
   Status TruncateTo(size_t size);
   Status AppendRecord(const std::string& key, BytesView value,
-                      bool tombstone);
-  /// Compact() body; requires mu_ held.
-  Result<size_t> CompactLocked();
+                      bool tombstone) REQUIRES(mu_);
+  /// Compact() body.
+  Result<size_t> CompactLocked() REQUIRES(mu_);
   /// Run CompactLocked() if the dead-byte threshold is crossed.
-  void MaybeAutoCompactLocked();
+  void MaybeAutoCompactLocked() REQUIRES(mu_);
 
   std::string path_;
   LogKvOptions options_;
-  mutable std::mutex mu_;
-  std::FILE* log_ = nullptr;
-  std::unordered_map<std::string, Bytes> map_;
-  size_t value_bytes_ = 0;
-  size_t dead_bytes_ = 0;
-  uint64_t compactions_ = 0;
+  mutable Mutex mu_;
+  std::FILE* log_ GUARDED_BY(mu_) = nullptr;
+  std::unordered_map<std::string, Bytes> map_ GUARDED_BY(mu_);
+  size_t value_bytes_ GUARDED_BY(mu_) = 0;
+  size_t dead_bytes_ GUARDED_BY(mu_) = 0;
+  uint64_t compactions_ GUARDED_BY(mu_) = 0;
   // After a failed auto-compaction, don't retry until dead bytes reach
   // this level (0 = no backoff; reset by any successful compaction).
-  size_t compact_backoff_dead_bytes_ = 0;
+  size_t compact_backoff_dead_bytes_ GUARDED_BY(mu_) = 0;
   // Group-commit bookkeeping: records appended vs records covered by the
   // last flush. Sync() is a no-op when another caller already flushed past
   // our appends.
-  uint64_t append_seq_ = 0;
-  uint64_t flushed_seq_ = 0;
+  uint64_t append_seq_ GUARDED_BY(mu_) = 0;
+  uint64_t flushed_seq_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace tc::store

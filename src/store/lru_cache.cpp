@@ -3,7 +3,7 @@
 namespace tc::store {
 
 void LruCache::Put(const std::string& key, BytesView value) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (value.size() > capacity_) return;
   auto it = map_.find(key);
   if (it != map_.end()) {
@@ -20,7 +20,7 @@ void LruCache::Put(const std::string& key, BytesView value) {
 }
 
 std::optional<Bytes> LruCache::Get(const std::string& key) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = map_.find(key);
   if (it == map_.end()) {
     ++misses_;
@@ -32,7 +32,7 @@ std::optional<Bytes> LruCache::Get(const std::string& key) {
 }
 
 void LruCache::Erase(const std::string& key) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = map_.find(key);
   if (it == map_.end()) return;
   bytes_ -= it->second->value.size();
@@ -41,20 +41,34 @@ void LruCache::Erase(const std::string& key) {
 }
 
 void LruCache::Clear() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   lru_.clear();
   map_.clear();
   bytes_ = 0;
 }
 
 size_t LruCache::size_bytes() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return bytes_;
 }
 
 size_t LruCache::entry_count() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return lru_.size();
+}
+
+// The stats were lock-free reads of non-atomic counters mutated under mu_ —
+// a torn-read race the annotation sweep surfaced (GUARDED_BY rejects the
+// old inline accessors). Locked reads also make hits+misses exactly equal
+// the number of completed Gets, which the concurrency drill asserts.
+uint64_t LruCache::hits() const {
+  MutexLock lock(mu_);
+  return hits_;
+}
+
+uint64_t LruCache::misses() const {
+  MutexLock lock(mu_);
+  return misses_;
 }
 
 void LruCache::EvictIfNeededLocked() {

@@ -5,12 +5,12 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 
 #include "common/bytes.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace tc::store {
 
@@ -21,18 +21,18 @@ class LruCache {
   explicit LruCache(size_t capacity_bytes) : capacity_(capacity_bytes) {}
 
   /// Insert or refresh. Values larger than the whole budget are not cached.
-  void Put(const std::string& key, BytesView value);
+  void Put(const std::string& key, BytesView value) EXCLUDES(mu_);
 
   /// Fetch + mark most recently used.
-  std::optional<Bytes> Get(const std::string& key);
+  std::optional<Bytes> Get(const std::string& key) EXCLUDES(mu_);
 
-  void Erase(const std::string& key);
-  void Clear();
+  void Erase(const std::string& key) EXCLUDES(mu_);
+  void Clear() EXCLUDES(mu_);
 
-  size_t size_bytes() const;
-  size_t entry_count() const;
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  size_t size_bytes() const EXCLUDES(mu_);
+  size_t entry_count() const EXCLUDES(mu_);
+  uint64_t hits() const EXCLUDES(mu_);
+  uint64_t misses() const EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -40,15 +40,16 @@ class LruCache {
     Bytes value;
   };
 
-  void EvictIfNeededLocked();
+  void EvictIfNeededLocked() REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  size_t capacity_;
-  size_t bytes_ = 0;
-  std::list<Entry> lru_;  // front = most recent
-  std::unordered_map<std::string, std::list<Entry>::iterator> map_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  mutable Mutex mu_;
+  const size_t capacity_;
+  size_t bytes_ GUARDED_BY(mu_) = 0;
+  std::list<Entry> lru_ GUARDED_BY(mu_);  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> map_
+      GUARDED_BY(mu_);
+  uint64_t hits_ GUARDED_BY(mu_) = 0;
+  uint64_t misses_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace tc::store

@@ -13,7 +13,7 @@ MemKvStore::Shard& MemKvStore::ShardFor(const std::string& key) const {
 
 Status MemKvStore::Put(const std::string& key, BytesView value) {
   Shard& shard = ShardFor(key);
-  std::lock_guard lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto [it, inserted] = shard.map.try_emplace(key);
   if (!inserted) shard.value_bytes -= it->second.size();
   it->second.assign(value.begin(), value.end());
@@ -23,7 +23,7 @@ Status MemKvStore::Put(const std::string& key, BytesView value) {
 
 Result<Bytes> MemKvStore::Get(const std::string& key) const {
   Shard& shard = ShardFor(key);
-  std::lock_guard lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.map.find(key);
   if (it == shard.map.end()) return NotFound("key not found: " + key);
   return it->second;
@@ -31,7 +31,7 @@ Result<Bytes> MemKvStore::Get(const std::string& key) const {
 
 Status MemKvStore::Delete(const std::string& key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.map.find(key);
   if (it == shard.map.end()) return NotFound("key not found: " + key);
   shard.value_bytes -= it->second.size();
@@ -41,14 +41,14 @@ Status MemKvStore::Delete(const std::string& key) {
 
 bool MemKvStore::Contains(const std::string& key) const {
   Shard& shard = ShardFor(key);
-  std::lock_guard lock(shard.mu);
+  MutexLock lock(shard.mu);
   return shard.map.contains(key);
 }
 
 size_t MemKvStore::Size() const {
   size_t total = 0;
   for (size_t i = 0; i < num_shards_; ++i) {
-    std::lock_guard lock(shards_[i].mu);
+    MutexLock lock(shards_[i].mu);
     total += shards_[i].map.size();
   }
   return total;
@@ -59,7 +59,7 @@ Status MemKvStore::Scan(
   // One shard lock at a time: the visit is not an atomic snapshot across
   // shards (same contract as Size under concurrency).
   for (size_t i = 0; i < num_shards_; ++i) {
-    std::lock_guard lock(shards_[i].mu);
+    MutexLock lock(shards_[i].mu);
     for (const auto& [key, value] : shards_[i].map) fn(key, value);
   }
   return Status::Ok();
@@ -68,7 +68,7 @@ Status MemKvStore::Scan(
 size_t MemKvStore::ValueBytes() const {
   size_t total = 0;
   for (size_t i = 0; i < num_shards_; ++i) {
-    std::lock_guard lock(shards_[i].mu);
+    MutexLock lock(shards_[i].mu);
     total += shards_[i].value_bytes;
   }
   return total;

@@ -4,9 +4,9 @@
 
 #include <array>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/thread_annotations.hpp"
 #include "store/kv_store.hpp"
 
 namespace tc::store {
@@ -28,9 +28,9 @@ class MemKvStore final : public KvStore {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<std::string, Bytes> map;
-    size_t value_bytes = 0;
+    mutable Mutex mu;
+    std::unordered_map<std::string, Bytes> map GUARDED_BY(mu);
+    size_t value_bytes GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(const std::string& key) const;

@@ -224,6 +224,38 @@ TEST(Concurrency, LruCacheParallelMixedWorkload) {
   EXPECT_LE(cache.size_bytes(), 64u * 1024);
 }
 
+// Drill for the stats race the thread-safety annotation sweep surfaced:
+// hits()/misses() used to read the non-atomic counters without the cache
+// lock while parallel Gets incremented them — a torn/lost-update race. Now
+// that the reads are locked, hits + misses must equal exactly the number
+// of completed Gets, which lost updates would break.
+TEST(Concurrency, LruCacheStatsCountEveryGet) {
+  store::LruCache cache(64 * 1024);
+  constexpr int kThreads = 8;
+  constexpr int kGetsPerThread = 4000;
+  cache.Put("present", Bytes(16, 0x5a));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kGetsPerThread; ++i) {
+        // Alternate a guaranteed hit with a guaranteed miss, and poll the
+        // stats mid-flight: a reader tearing a counter while another
+        // thread increments it is exactly what the locked accessors fix.
+        (void)cache.Get(i % 2 == 0 ? "present" : "absent/" +
+                                                     std::to_string(t));
+        if (i % 256 == 0) {
+          (void)cache.hits();
+          (void)cache.misses();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(cache.hits() + cache.misses(),
+            static_cast<uint64_t>(kThreads) * kGetsPerThread);
+  EXPECT_EQ(cache.hits(), static_cast<uint64_t>(kThreads) * kGetsPerThread / 2);
+}
+
 TEST(Concurrency, MemKvParallelDisjointAndSharedKeys) {
   store::MemKvStore kv(8);
   constexpr int kThreads = 8;

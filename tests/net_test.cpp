@@ -38,6 +38,43 @@ TEST(Wire, ResponseBodyCarriesError) {
   EXPECT_EQ(decoded.status().message(), "missing");
 }
 
+// The full read/write classification the transport's ordering guarantees
+// rest on. Every frame type is listed: a new MessageType must be added to
+// one of these tables (and to IsMutation's exhaustive switch — the
+// compiler and tools/lint/tc_lint.py both enforce that) or this test
+// fails, which is the point.
+TEST(Wire, IsMutationClassifiesEveryMessageType) {
+  const MessageType mutations[] = {
+      MessageType::kCreateStream,        MessageType::kDeleteStream,
+      MessageType::kInsertChunk,         MessageType::kRollupStream,
+      MessageType::kDeleteRange,         MessageType::kPutGrant,
+      MessageType::kRevokeGrant,         MessageType::kPutEnvelopes,
+      MessageType::kPutAttestation,      MessageType::kInsertChunkBatch,
+      MessageType::kReplicaHello,        MessageType::kReplicaSnapshotBegin,
+      MessageType::kReplicaSnapshotChunk, MessageType::kReplicaSnapshotEnd,
+      MessageType::kReplicaHeartbeat,    MessageType::kReplicaOps,
+  };
+  const MessageType reads[] = {
+      MessageType::kResponse,       MessageType::kGetRange,
+      MessageType::kGetStatRange,   MessageType::kGetStatSeries,
+      MessageType::kGetStreamInfo,  MessageType::kFetchGrants,
+      MessageType::kGetEnvelopes,   MessageType::kMultiStatRange,
+      MessageType::kPing,           MessageType::kGetAttestation,
+      MessageType::kGetChunkWitnessed, MessageType::kClusterInfo,
+  };
+  for (MessageType type : mutations) {
+    EXPECT_TRUE(IsMutation(type))
+        << "type " << static_cast<int>(type) << " must order as a mutation";
+  }
+  for (MessageType type : reads) {
+    EXPECT_FALSE(IsMutation(type))
+        << "type " << static_cast<int>(type) << " must pipeline as a read";
+  }
+  // An out-of-enum byte (a frame from a newer peer) must classify as a
+  // mutation: ordering conservatively is safe, reordering is not.
+  EXPECT_TRUE(IsMutation(static_cast<MessageType>(0xEE)));
+}
+
 TEST(Wire, FrameLayout) {
   Bytes frame = EncodeFrame(MessageType::kPing, 42, ToBytes("xy"));
   ASSERT_EQ(frame.size(), 13u + 2u);

@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Repo-invariant linter (registered as a CTest test).
+
+Checks cross-file invariants the compiler cannot see:
+
+  R1  every net::MessageType enumerator is classified in net::IsMutation
+      (the exhaustive switch in src/net/wire.cpp) — a frame type without a
+      read/write classification would silently lose mutation pipelining
+      ordering on the server.
+  R2  every wire frame type has fuzz coverage: its enumerator (or a known
+      alias) appears in tests/wire_fuzz_test.cpp.
+  R3  every decode path goes through the bounded DecodeFrameHeader: a file
+      that touches kFrameHeaderBytes must also call DecodeFrameHeader —
+      hand-rolled header parsing would bypass the body-length bound.
+  R4  no naked std synchronization primitives in src/ outside
+      common/thread_annotations.hpp: the annotated tc:: wrappers are the
+      only way Clang's thread-safety analysis sees the locking.
+  R5  src/crypto/ never compares secret material with memcmp/std::equal,
+      and secret-suffixed identifiers (key/digest/mac/tag/secret) are
+      compared with ConstantTimeEqual, not ==.
+
+Run from anywhere: paths are resolved relative to the repo root (this
+file's grandparent directory). Exit code 0 = clean, 1 = violations (each
+printed as file:line: message).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent.parent
+SRC = REPO / "src"
+TESTS = REPO / "tests"
+
+failures = []
+
+
+def fail(path, line, message):
+    failures.append(f"{path.relative_to(REPO)}:{line}: {message}")
+
+
+def read(path):
+    return path.read_text(encoding="utf-8")
+
+
+# --------------------------------------------------------------------- R1
+def message_types():
+    """Enumerator names of net::MessageType, from src/net/wire.hpp."""
+    text = read(SRC / "net" / "wire.hpp")
+    match = re.search(r"enum class MessageType[^{]*\{(.*?)\};", text,
+                      re.DOTALL)
+    if not match:
+        fail(SRC / "net" / "wire.hpp", 1, "MessageType enum not found")
+        return []
+    body = re.sub(r"//[^\n]*", "", match.group(1))
+    return re.findall(r"\b(k[A-Za-z0-9]+)\s*=", body)
+
+
+def check_is_mutation(enumerators):
+    path = SRC / "net" / "wire.cpp"
+    text = read(path)
+    match = re.search(r"bool IsMutation\([^)]*\)\s*\{(.*?)\n\}", text,
+                      re.DOTALL)
+    if not match:
+        fail(path, 1, "IsMutation not found")
+        return
+    body = match.group(1)
+    for name in enumerators:
+        if not re.search(rf"MessageType::{name}\b", body):
+            line = text[:match.start()].count("\n") + 1
+            fail(path, line,
+                 f"MessageType::{name} is not classified in IsMutation; "
+                 "add it to the read or mutation arm of the switch")
+
+
+# --------------------------------------------------------------------- R2
+# Frame types whose fuzz coverage runs under a different name than the
+# enumerator (the response decoder is the interesting surface for these).
+FUZZ_ALIASES = {
+    "kResponse": "ResponseBody",
+    "kGetStatRange": "StatRange",
+    "kGetStatSeries": "StatSeries",
+    "kGetStreamInfo": "StreamInfo",
+}
+
+
+def check_fuzz_coverage(enumerators):
+    path = TESTS / "wire_fuzz_test.cpp"
+    text = read(path)
+    for name in enumerators:
+        token = FUZZ_ALIASES.get(name, name[1:])  # strip the 'k'
+        if token not in text:
+            fail(path, 1,
+                 f"wire frame type {name} has no fuzz coverage "
+                 f"(expected '{token}' to appear in this file)")
+
+
+# --------------------------------------------------------------------- R3
+def check_bounded_decode():
+    # The definers of the constant and the decoder are exempt.
+    exempt = {SRC / "net" / "wire.hpp", SRC / "net" / "wire.cpp"}
+    for path in sorted(SRC.rglob("*.[ch]pp")) + sorted(
+            TESTS.rglob("*.[ch]pp")):
+        if path in exempt:
+            continue
+        text = read(path)
+        if "kFrameHeaderBytes" in text and "DecodeFrameHeader(" not in text:
+            line = text[:text.index("kFrameHeaderBytes")].count("\n") + 1
+            fail(path, line,
+                 "reads a frame header without DecodeFrameHeader; "
+                 "hand-rolled parsing bypasses the body-length bound")
+
+
+# --------------------------------------------------------------------- R4
+NAKED_SYNC = re.compile(
+    r"\bstd::(mutex|shared_mutex|timed_mutex|recursive_mutex|"
+    r"condition_variable(?:_any)?|lock_guard|unique_lock|shared_lock|"
+    r"scoped_lock)\b")
+
+
+def check_no_naked_mutexes():
+    allowed = SRC / "common" / "thread_annotations.hpp"
+    for path in sorted(SRC.rglob("*.[ch]pp")):
+        if path == allowed:
+            continue
+        for number, line in enumerate(read(path).splitlines(), 1):
+            code = line.split("//")[0]
+            match = NAKED_SYNC.search(code)
+            if match:
+                fail(path, number,
+                     f"naked std::{match.group(1)}; use the annotated "
+                     "tc:: wrappers from common/thread_annotations.hpp")
+
+
+# --------------------------------------------------------------------- R5
+SECRET_IDENT = re.compile(
+    r"[A-Za-z_][A-Za-z0-9_.\->]*(?:key|digest|mac|tag|secret)_?\b",
+    re.IGNORECASE)
+EQ_COMPARE = re.compile(
+    r"([A-Za-z_][A-Za-z0-9_.]*(?:->[A-Za-z0-9_.]+)*)\s*[!=]=\s*"
+    r"([A-Za-z_][A-Za-z0-9_.]*(?:->[A-Za-z0-9_.]+)*)")
+
+
+def is_secret(expr):
+    leaf = expr.split(".")[-1].split("->")[-1]
+    return bool(re.search(r"(?:^|_)(?:key|digest|mac|tag|secret)_?$",
+                          leaf, re.IGNORECASE))
+
+
+def check_crypto_constant_time():
+    for path in sorted((SRC / "crypto").rglob("*.[ch]pp")):
+        text = read(path)
+        for number, line in enumerate(text.splitlines(), 1):
+            code = line.split("//")[0]
+            if re.search(r"\bmemcmp\s*\(|\bstd::equal\s*\(", code):
+                fail(path, number,
+                     "memcmp/std::equal in crypto code; use "
+                     "ConstantTimeEqual from crypto/constant_time.hpp")
+                continue
+            for match in EQ_COMPARE.finditer(code):
+                lhs, rhs = match.group(1), match.group(2)
+                if (is_secret(lhs) or is_secret(rhs)) and \
+                        "ConstantTimeEqual" not in code:
+                    fail(path, number,
+                         f"secret-material comparison '{lhs} == {rhs}' "
+                         "must use ConstantTimeEqual "
+                         "(crypto/constant_time.hpp)")
+
+
+def main():
+    enumerators = message_types()
+    if not enumerators:
+        print("tc_lint: could not parse MessageType enum", file=sys.stderr)
+        return 1
+    check_is_mutation(enumerators)
+    check_fuzz_coverage(enumerators)
+    check_bounded_decode()
+    check_no_naked_mutexes()
+    check_crypto_constant_time()
+    if failures:
+        for failure in failures:
+            print(failure)
+        print(f"tc_lint: {len(failures)} violation(s)", file=sys.stderr)
+        return 1
+    print(f"tc_lint: clean ({len(enumerators)} frame types, "
+          "5 invariants)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
