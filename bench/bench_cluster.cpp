@@ -456,6 +456,56 @@ void BenchScatterGatherLatency(const std::vector<size_t>& shard_counts,
   std::printf("\n");
 }
 
+// Assert the overhead bound only where it is meaningful: optimized code,
+// no sanitizer instrumentation inflating every atomic op.
+#if defined(NDEBUG)
+#if defined(__has_feature)
+#if !__has_feature(address_sanitizer) && !__has_feature(thread_sanitizer)
+#define TC_BENCH_ASSERT_OVERHEAD 1
+#endif
+#elif !defined(__SANITIZE_ADDRESS__) && !defined(__SANITIZE_THREAD__)
+#define TC_BENCH_ASSERT_OVERHEAD 1
+#endif
+#endif
+
+void BenchMetricsOverhead(bool assert_bound) {
+  // The marginal cost the TC_METRICS=OFF kill switch removes: one
+  // Counter::Inc plus one LatencyHistogram::Record per request (the
+  // per-message-type count + latency pair every instrumented handler pays).
+  // In the OFF build both calls compile to nothing, so this same binary
+  // asserts the switch works: the loop must then cost ~0 ns/op.
+  constexpr uint64_t kOps = 2'000'000;
+  auto& ops = metrics::GetCounter("tc_bench_overhead_total");
+  auto& latency = metrics::GetHistogram("tc_bench_overhead_us");
+  WallTimer timer;
+  for (uint64_t i = 0; i < kOps; ++i) {
+    ops.Inc();
+    latency.Record(i & 0x3FF);
+  }
+  double ns_per_op = timer.Seconds() * 1e9 / static_cast<double>(kOps);
+  std::printf(
+      "== metrics record overhead (%s): %.1f ns per instrumented "
+      "request ==\n\n",
+      metrics::kEnabled ? "registry on" : "TC_METRICS=OFF", ns_per_op);
+  // Anything under this bound is lost in the noise of a ~28 us request
+  // round trip (the pipelined-ingest path above); a regression to a locked
+  // or false-sharing record path would blow through it by an order of
+  // magnitude.
+  constexpr double kBoundNs = 250.0;
+#if defined(TC_BENCH_ASSERT_OVERHEAD)
+  if (assert_bound && ns_per_op > kBoundNs) {
+    std::fprintf(stderr,
+                 "metrics overhead %.1f ns/op exceeds the %.0f ns noise "
+                 "bound — the record path is no longer lock-free?\n",
+                 ns_per_op, kBoundNs);
+    std::abort();
+  }
+#else
+  (void)assert_bound;
+  (void)kBoundNs;
+#endif
+}
+
 }  // namespace
 }  // namespace tc::bench
 
@@ -487,5 +537,7 @@ int main(int argc, char** argv) {
   BenchPipelinedTcpQueries(quick ? 128 : 512, quick ? 500 : 4000,
                            {1, 8, 32});
   BenchScatterGatherLatency(shard_counts, quick ? 32 : 64, quick ? 5 : 20);
+  BenchMetricsOverhead(/*assert_bound=*/quick);
+  PrintStageBreakdown();
   return 0;
 }

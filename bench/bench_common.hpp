@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "crypto/rand.hpp"
 #include "index/agg_tree.hpp"
 #include "store/mem_kv.hpp"
@@ -104,6 +105,40 @@ struct IndexFixture {
 inline bool LargeRuns() {
   const char* env = std::getenv("TC_BENCH_LARGE");
   return env != nullptr && env[0] == '1';
+}
+
+/// Server-side view of where the benchmark's requests spent their time:
+/// renders the tc_server_request_seconds (per message type) and
+/// tc_server_stage_seconds (per pipeline stage) histograms the engines
+/// recorded while the bench drove them. Prints nothing under TC_METRICS=OFF
+/// or when no instrumented path ran.
+inline void PrintStageBreakdown() {
+  if constexpr (!metrics::kEnabled) return;
+  auto samples = metrics::MetricsRegistry::Instance().Collect();
+  bool header = false;
+  for (const auto& sample : samples) {
+    if (sample.kind != metrics::MetricSample::Kind::kHistogram) continue;
+    if (sample.name != "tc_server_request_seconds" &&
+        sample.name != "tc_server_stage_seconds") {
+      continue;
+    }
+    if (sample.hist.count == 0) continue;
+    if (!header) {
+      std::printf(
+          "== server-side breakdown (from the metrics registry) ==\n"
+          "%-44s %10s %10s %10s %10s %10s\n",
+          "histogram", "count", "p50", "p95", "p99", "max");
+      header = true;
+    }
+    std::string row = sample.name + "{" + sample.labels + "}";
+    std::printf("%-44s %10llu %10s %10s %10s %10s\n", row.c_str(),
+                static_cast<unsigned long long>(sample.hist.count),
+                FmtMicros(static_cast<double>(sample.hist.p50)).c_str(),
+                FmtMicros(static_cast<double>(sample.hist.p95)).c_str(),
+                FmtMicros(static_cast<double>(sample.hist.p99)).c_str(),
+                FmtMicros(static_cast<double>(sample.hist.max)).c_str());
+  }
+  if (header) std::printf("\n");
 }
 
 }  // namespace tc::bench

@@ -141,5 +141,6 @@ int main(int argc, char** argv) {
   std::printf("=== Fig 8: one-month views at varying granularity%s ===\n",
               quick ? " (quick: one day)" : "");
   tc::bench::Run(chunks);
+  tc::bench::PrintStageBreakdown();
   return 0;
 }

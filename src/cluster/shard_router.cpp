@@ -123,8 +123,8 @@ ShardRouter::ShardRouter(
     std::vector<std::shared_ptr<replica::ReplicaSet>> shards,
     RouterOptions options)
     : sets_(std::move(shards)),
-      exec_(std::make_unique<net::Executor>(ExecThreads(sets_.size(),
-                                                        options))) {
+      exec_(std::make_unique<net::Executor>(ExecThreads(sets_.size(), options),
+                                            "scatter")) {
   if (sets_.empty()) {
     // A router needs at least one shard; constructing without any is a
     // programming error, fail loudly rather than segfault on first use.
@@ -186,6 +186,7 @@ Result<Bytes> ShardRouter::Handle(MessageType type, BytesView body) {
     case MessageType::kFetchGrants: return FetchGrants(body);
     case MessageType::kMultiStatRange: return MultiStatRange(body);
     case MessageType::kClusterInfo: return ClusterInfo();
+    case MessageType::kMetricsInfo: return MetricsInfo();
     case MessageType::kPing: return Broadcast(type, body);
     case MessageType::kRollupStream: return RollupStream(body);
     case MessageType::kResponse: break;
@@ -254,26 +255,18 @@ Result<Bytes> ShardRouter::ClusterInfo() {
   net::ClusterInfoResponse resp;
   resp.shards.reserve(sets_.size());
   for (size_t i = 0; i < sets_.size(); ++i) {
-    net::ClusterInfoResponse::ShardInfo info;
-    info.shard = static_cast<uint32_t>(i);
-    info.num_streams = sets_[i]->NumStreams();
-    info.index_bytes = sets_[i]->TotalIndexBytes();
-    info.replicas = static_cast<uint32_t>(sets_[i]->num_replicas());
-    info.ack_mode = sets_[i]->ack_mode() == replica::AckMode::kQuorum
-                        ? net::ClusterInfoResponse::kAckQuorum
-                        : net::ClusterInfoResponse::kAckAsync;
-    info.max_lag_ops = sets_[i]->MaxLagOps();
-    info.remote_followers =
-        static_cast<uint32_t>(sets_[i]->num_remote_followers());
-    info.auto_failover = sets_[i]->auto_failover() ? 1 : 0;
-    info.promotions = static_cast<uint32_t>(sets_[i]->promotions());
-    info.snapshot_chunks = sets_[i]->snapshot_chunks_shipped();
-    auto compaction = sets_[i]->StoreCompaction();
-    info.store_dead_bytes = compaction.dead_bytes;
-    info.store_compactions = static_cast<uint32_t>(compaction.compactions);
-    resp.shards.push_back(info);
+    resp.shards.push_back(
+        sets_[i]->ShardInfoSnapshot(static_cast<uint32_t>(i)));
   }
   return resp.Encode();
+}
+
+Result<Bytes> ShardRouter::MetricsInfo() {
+  // Refresh the shard-derived gauges, then serialize the whole registry.
+  for (size_t i = 0; i < sets_.size(); ++i) {
+    sets_[i]->ShardInfoSnapshot(static_cast<uint32_t>(i));
+  }
+  return net::MetricsInfoResponse::FromRegistry().Encode();
 }
 
 Result<Bytes> ShardRouter::MultiStatRange(BytesView body) {

@@ -122,6 +122,7 @@ class ShardRouter final : public net::RequestHandler {
   Result<Bytes> FetchGrants(BytesView body);
   Result<Bytes> MultiStatRange(BytesView body);
   Result<Bytes> ClusterInfo();
+  Result<Bytes> MetricsInfo();
   Result<Bytes> Broadcast(net::MessageType type, BytesView body);
 
   /// Cross-shard rollup: decomposed into wire ops against both shards.

@@ -1,0 +1,271 @@
+#include "common/metrics.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/logging.hpp"
+
+namespace tc::metrics {
+
+namespace {
+
+thread_local uint64_t g_trace_id = 0;
+thread_local TraceSpan* g_current_span = nullptr;
+
+uint64_t ElapsedUs(std::chrono::steady_clock::time_point from,
+                   std::chrono::steady_clock::time_point to) {
+  auto us =
+      std::chrono::duration_cast<std::chrono::microseconds>(to - from).count();
+  return us < 0 ? 0 : static_cast<uint64_t>(us);
+}
+
+/// Quantile from a cumulative bucket walk: upper bound of the first bucket
+/// whose cumulative count reaches rank ceil(q * count), clamped to max.
+uint64_t Quantile(const HistogramSnapshot& s, double q) {
+  if (s.count == 0) return 0;
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(s.count));
+  if (rank < 1) rank = 1;
+  if (rank > s.count) rank = s.count;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < HistogramSnapshot::kNumBuckets; ++i) {
+    cumulative += s.buckets[i];
+    if (cumulative >= rank) {
+      return std::min(LatencyHistogram::BucketUpperBound(i), s.max);
+    }
+  }
+  return s.max;
+}
+
+template <typename Map, typename Metric>
+Metric& GetOrCreate(Map& map, std::string_view name, std::string_view labels) {
+  auto key = std::make_pair(std::string(name), std::string(labels));
+  auto it = map.find(key);
+  if (it == map.end()) {
+    it = map.emplace(std::move(key), std::make_unique<Metric>()).first;
+  }
+  return *it->second;
+}
+
+/// Append one exposition value: integers stay integral, else shortest float.
+void AppendValue(std::string& out, double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64, static_cast<int64_t>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+  }
+  out += buf;
+}
+
+void AppendSample(std::string& out, const std::string& name,
+                  const std::string& labels, double value) {
+  out += name;
+  if (!labels.empty()) {
+    out += '{';
+    out += labels;
+    out += '}';
+  }
+  out += ' ';
+  AppendValue(out, value);
+  out += '\n';
+}
+
+}  // namespace
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot s;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    s.count += s.buckets[i];
+  }
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  s.p50 = Quantile(s, 0.50);
+  s.p95 = Quantile(s, 0.95);
+  s.p99 = Quantile(s, 0.99);
+  return s;
+}
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never torn down
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view labels) {
+  MutexLock lock(mu_);
+  return GetOrCreate<decltype(counters_), Counter>(counters_, name, labels);
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name,
+                                 std::string_view labels) {
+  MutexLock lock(mu_);
+  return GetOrCreate<decltype(gauges_), Gauge>(gauges_, name, labels);
+}
+
+LatencyHistogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                                std::string_view labels) {
+  MutexLock lock(mu_);
+  return GetOrCreate<decltype(histograms_), LatencyHistogram>(histograms_,
+                                                              name, labels);
+}
+
+std::vector<MetricSample> MetricsRegistry::Collect() const {
+  std::vector<MetricSample> samples;
+  MutexLock lock(mu_);
+  samples.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [key, counter] : counters_) {
+    MetricSample s;
+    s.kind = MetricSample::Kind::kCounter;
+    s.name = key.first;
+    s.labels = key.second;
+    s.value = static_cast<int64_t>(counter->value());
+    samples.push_back(std::move(s));
+  }
+  for (const auto& [key, gauge] : gauges_) {
+    MetricSample s;
+    s.kind = MetricSample::Kind::kGauge;
+    s.name = key.first;
+    s.labels = key.second;
+    s.value = gauge->value();
+    samples.push_back(std::move(s));
+  }
+  for (const auto& [key, hist] : histograms_) {
+    MetricSample s;
+    s.kind = MetricSample::Kind::kHistogram;
+    s.name = key.first;
+    s.labels = key.second;
+    s.hist = hist->Snapshot();
+    samples.push_back(std::move(s));
+  }
+  std::sort(samples.begin(), samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return std::tie(a.name, a.labels) < std::tie(b.name, b.labels);
+            });
+  return samples;
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::vector<MetricSample> samples = Collect();
+  std::string out;
+  out.reserve(4096);
+  if constexpr (!kEnabled) {
+    out += "# metrics disabled at compile time (TC_METRICS=OFF)\n";
+    return out;
+  }
+  std::string last_family;
+  for (const MetricSample& s : samples) {
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+      case MetricSample::Kind::kGauge: {
+        if (s.name != last_family) {
+          out += "# TYPE " + s.name + " ";
+          out += s.kind == MetricSample::Kind::kCounter ? "counter" : "gauge";
+          out += '\n';
+          last_family = s.name;
+        }
+        AppendSample(out, s.name, s.labels, static_cast<double>(s.value));
+        break;
+      }
+      case MetricSample::Kind::kHistogram: {
+        // "_seconds" families are recorded in microseconds, exposed in
+        // seconds (Prometheus base-unit convention); others are unit-less.
+        bool seconds = s.name.size() > 8 &&
+                       s.name.compare(s.name.size() - 8, 8, "_seconds") == 0;
+        double scale = seconds ? 1e-6 : 1.0;
+        if (s.name != last_family) {
+          out += "# TYPE " + s.name + " histogram\n";
+          last_family = s.name;
+        }
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < HistogramSnapshot::kNumBuckets; ++i) {
+          cumulative += s.hist.buckets[i];
+          if (s.hist.buckets[i] == 0 && i + 1 < HistogramSnapshot::kNumBuckets)
+            continue;  // keep the exposition small: skip empty interior rows
+          std::string le_labels = s.labels;
+          if (!le_labels.empty()) le_labels += ',';
+          uint64_t bound = LatencyHistogram::BucketUpperBound(i);
+          if (i + 1 == HistogramSnapshot::kNumBuckets || bound == UINT64_MAX) {
+            le_labels += "le=\"+Inf\"";
+          } else {
+            le_labels += "le=\"";
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), "%.9g",
+                          static_cast<double>(bound) * scale);
+            le_labels += buf;
+            le_labels += '"';
+          }
+          AppendSample(out, s.name + "_bucket", le_labels,
+                       static_cast<double>(cumulative));
+        }
+        AppendSample(out, s.name + "_sum", s.labels,
+                     static_cast<double>(s.hist.sum) * scale);
+        AppendSample(out, s.name + "_count", s.labels,
+                     static_cast<double>(s.hist.count));
+        // Quantiles ride along as derived gauges (the acceptance surface:
+        // per-message-type latency quantiles in one scrape).
+        AppendSample(out, s.name + "_p50", s.labels,
+                     static_cast<double>(s.hist.p50) * scale);
+        AppendSample(out, s.name + "_p95", s.labels,
+                     static_cast<double>(s.hist.p95) * scale);
+        AppendSample(out, s.name + "_p99", s.labels,
+                     static_cast<double>(s.hist.p99) * scale);
+        AppendSample(out, s.name + "_max", s.labels,
+                     static_cast<double>(s.hist.max) * scale);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+uint64_t CurrentTraceId() { return g_trace_id; }
+void SetCurrentTraceId(uint64_t id) { g_trace_id = id; }
+
+TraceSpan::TraceSpan(const char* op, LatencyHistogram* total_hist)
+    : op_(op), total_hist_(total_hist) {
+  if constexpr (!kEnabled) return;
+  trace_id_ = g_trace_id;
+  start_ = stage_start_ = std::chrono::steady_clock::now();
+  parent_ = g_current_span;
+  g_current_span = this;
+}
+
+void TraceSpan::Stage(const char* name, LatencyHistogram* hist) {
+  if constexpr (!kEnabled) return;
+  auto now = std::chrono::steady_clock::now();
+  uint64_t us = ElapsedUs(stage_start_, now);
+  stage_start_ = now;
+  if (hist != nullptr) hist->Record(us);
+  if (num_stages_ < kMaxStages) stages_[num_stages_++] = {name, us};
+}
+
+TraceSpan::~TraceSpan() {
+  if constexpr (!kEnabled) return;
+  g_current_span = parent_;
+  uint64_t total_us = ElapsedUs(start_, std::chrono::steady_clock::now());
+  if (total_hist_ != nullptr) total_hist_->Record(total_us);
+  uint64_t threshold = MetricsRegistry::Instance().slow_op_micros();
+  if (threshold == 0 || total_us < threshold) return;
+  static Counter& slow_ops = GetCounter("tc_server_slow_ops_total");
+  slow_ops.Inc();
+  std::string stages;
+  for (size_t i = 0; i < num_stages_; ++i) {
+    if (i > 0) stages += ',';
+    stages += stages_[i].name;
+    stages += ':';
+    stages += std::to_string(stages_[i].us);
+  }
+  char trace[24];
+  std::snprintf(trace, sizeof(trace), "%016" PRIx64, trace_id_);
+  TC_LOG_WARN << "slow-op op=" << op_ << " trace=" << trace
+              << " total_us=" << total_us << " stages=" << stages;
+}
+
+void TraceSpan::StageMark(const char* name, LatencyHistogram* hist) {
+  if constexpr (!kEnabled) return;
+  if (g_current_span != nullptr) g_current_span->Stage(name, hist);
+}
+
+}  // namespace tc::metrics

@@ -1,5 +1,7 @@
 #include "net/messages.hpp"
 
+#include "common/metrics.hpp"
+
 namespace tc::net {
 
 std::string_view CipherKindName(CipherKind kind) {
@@ -200,6 +202,73 @@ Result<ClusterInfoResponse> ClusterInfoResponse::Decode(BytesView in) {
     TC_ASSIGN_OR_RETURN(s.store_dead_bytes, r.GetU64());
     TC_ASSIGN_OR_RETURN(s.store_compactions, r.GetU32());
     resp.shards.push_back(s);
+  }
+  return resp;
+}
+
+MetricsInfoResponse MetricsInfoResponse::FromRegistry() {
+  MetricsInfoResponse resp;
+  for (const metrics::MetricSample& s :
+       metrics::MetricsRegistry::Instance().Collect()) {
+    Entry e;
+    e.kind = static_cast<uint8_t>(s.kind);
+    e.name = s.name;
+    e.labels = s.labels;
+    e.value = s.value;
+    e.count = s.hist.count;
+    e.sum = s.hist.sum;
+    e.max = s.hist.max;
+    e.p50 = s.hist.p50;
+    e.p95 = s.hist.p95;
+    e.p99 = s.hist.p99;
+    resp.entries.push_back(std::move(e));
+  }
+  return resp;
+}
+
+Bytes MetricsInfoResponse::Encode() const {
+  size_t payload_bytes = 16;
+  for (const auto& e : entries) {
+    payload_bytes += e.name.size() + e.labels.size() + 80;
+  }
+  BinaryWriter w(payload_bytes);
+  w.PutVar(entries.size());
+  for (const auto& e : entries) {
+    w.PutU8(e.kind);
+    w.PutString(e.name);
+    w.PutString(e.labels);
+    w.PutU64(static_cast<uint64_t>(e.value));
+    w.PutVar(e.count);
+    w.PutVar(e.sum);
+    w.PutVar(e.max);
+    w.PutVar(e.p50);
+    w.PutVar(e.p95);
+    w.PutVar(e.p99);
+  }
+  return std::move(w).Take();
+}
+
+Result<MetricsInfoResponse> MetricsInfoResponse::Decode(BytesView in) {
+  BinaryReader r(in);
+  MetricsInfoResponse resp;
+  TC_ASSIGN_OR_RETURN(uint64_t claimed, r.GetVar());
+  TC_ASSIGN_OR_RETURN(size_t count, CheckedCount(claimed, r));
+  resp.entries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Entry e;
+    TC_ASSIGN_OR_RETURN(e.kind, r.GetU8());
+    if (e.kind > kHistogram) return InvalidArgument("unknown metric kind");
+    TC_ASSIGN_OR_RETURN(e.name, r.GetString());
+    TC_ASSIGN_OR_RETURN(e.labels, r.GetString());
+    TC_ASSIGN_OR_RETURN(uint64_t value, r.GetU64());
+    e.value = static_cast<int64_t>(value);
+    TC_ASSIGN_OR_RETURN(e.count, r.GetVar());
+    TC_ASSIGN_OR_RETURN(e.sum, r.GetVar());
+    TC_ASSIGN_OR_RETURN(e.max, r.GetVar());
+    TC_ASSIGN_OR_RETURN(e.p50, r.GetVar());
+    TC_ASSIGN_OR_RETURN(e.p95, r.GetVar());
+    TC_ASSIGN_OR_RETURN(e.p99, r.GetVar());
+    resp.entries.push_back(std::move(e));
   }
   return resp;
 }

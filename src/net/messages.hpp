@@ -128,6 +128,34 @@ struct ClusterInfoResponse {
   static Result<ClusterInfoResponse> Decode(BytesView in);
 };
 
+/// Snapshot of the process-wide metrics registry (kMetricsInfo; request body
+/// is empty). Counters and gauges carry `value`; histograms carry the count/
+/// sum/max and precomputed quantiles, all in the histogram's native unit
+/// (microseconds for *_seconds families).
+struct MetricsInfoResponse {
+  static constexpr uint8_t kCounter = 0;
+  static constexpr uint8_t kGauge = 1;
+  static constexpr uint8_t kHistogram = 2;
+
+  struct Entry {
+    uint8_t kind = kCounter;
+    std::string name;    // snake_case family name
+    std::string labels;  // 'k="v",...' without braces; may be empty
+    int64_t value = 0;   // counter/gauge
+    uint64_t count = 0;  // histogram fields
+    uint64_t sum = 0;
+    uint64_t max = 0;
+    uint64_t p50 = 0, p95 = 0, p99 = 0;
+  };
+  std::vector<Entry> entries;
+
+  /// Snapshot every metric the registry holds (empty under TC_METRICS=OFF).
+  static MetricsInfoResponse FromRegistry();
+
+  Bytes Encode() const;
+  static Result<MetricsInfoResponse> Decode(BytesView in);
+};
+
 struct GetRangeRequest {
   uint64_t uuid = 0;
   TimeRange range;

@@ -1,0 +1,122 @@
+#include "net/metrics_http.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "common/logging.hpp"
+#include "common/metrics.hpp"
+
+namespace tc::net {
+
+MetricsHttpServer::MetricsHttpServer(uint16_t port,
+                                     std::function<void()> pre_collect)
+    : port_(port), pre_collect_(std::move(pre_collect)) {}
+
+MetricsHttpServer::~MetricsHttpServer() { Stop(); }
+
+Status MetricsHttpServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Unavailable("metrics: socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port_);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Unavailable(std::string("metrics: bind failed: ") +
+                       std::strerror(errno));
+  }
+  if (port_ == 0) {
+    socklen_t len = sizeof(addr);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Unavailable("metrics: listen failed");
+  }
+  running_ = true;
+  server_ = std::thread([this] { ServeLoop(); });
+  return Status::Ok();
+}
+
+void MetricsHttpServer::Stop() {
+  if (!running_.exchange(false)) return;
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (server_.joinable()) server_.join();
+  listen_fd_ = -1;
+}
+
+void MetricsHttpServer::ServeLoop() {
+  while (running_) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_) break;
+      continue;
+    }
+    // One request per connection, served inline on the accept thread: a
+    // scrape is cheap and rare, and serializing them keeps the listener a
+    // single thread with no shared state.
+    ServeOne(fd);
+    ::close(fd);
+  }
+}
+
+void MetricsHttpServer::ServeOne(int fd) {
+  // Bound the read so a stalled scraper cannot wedge the accept thread.
+  timeval tv{};
+  tv.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+  // Read until the header terminator (or the 4 KiB cap — request bodies
+  // are not a thing on a scrape endpoint).
+  std::string request;
+  char buf[1024];
+  while (request.size() < 4096 &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) return;
+    request.append(buf, static_cast<size_t>(n));
+  }
+
+  std::string body;
+  std::string status_line;
+  if (request.starts_with("GET /metrics ") ||
+      request.starts_with("GET /metrics\r")) {
+    if (pre_collect_) pre_collect_();
+    body = metrics::MetricsRegistry::Instance().RenderPrometheus();
+    status_line = "HTTP/1.0 200 OK\r\n";
+  } else {
+    body = "not found\n";
+    status_line = "HTTP/1.0 404 Not Found\r\n";
+  }
+
+  std::string response = status_line +
+                         "Content-Type: text/plain; version=0.0.4\r\n"
+                         "Content-Length: " +
+                         std::to_string(body.size()) +
+                         "\r\n"
+                         "Connection: close\r\n\r\n" +
+                         body;
+  size_t sent = 0;
+  while (sent < response.size()) {
+    ssize_t n = ::write(fd, response.data() + sent, response.size() - sent);
+    if (n <= 0) return;
+    sent += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace tc::net

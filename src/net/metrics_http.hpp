@@ -1,0 +1,52 @@
+// Minimal HTTP/1.0 listener exposing the metrics registry in Prometheus
+// text exposition format. One endpoint (`GET /metrics`), one thread, one
+// request per connection — deliberately not a web server: the scrape path
+// must never compete with the wire protocol for dispatch resources, and
+// the response is built from a registry snapshot so a slow scraper cannot
+// hold any registry lock.
+//
+// Binds loopback only: the exposition leaks operational detail (stream
+// counts, lag, latency shape) and belongs behind the operator's own
+// scraper, not on the data port.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+#include "common/status.hpp"
+
+namespace tc::net {
+
+class MetricsHttpServer {
+ public:
+  /// `pre_collect` (optional) runs before each scrape renders the registry
+  /// — the hook that refreshes gauges derived from engine state (stream
+  /// counts, follower lag). Port 0 picks an ephemeral port (tests).
+  explicit MetricsHttpServer(uint16_t port,
+                             std::function<void()> pre_collect = nullptr);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Bind + listen + spawn the serving thread.
+  Status Start();
+  void Stop();
+
+  /// Bound port (after Start with port 0 resolves the ephemeral port).
+  uint16_t port() const { return port_; }
+
+ private:
+  void ServeLoop();
+  void ServeOne(int fd);
+
+  uint16_t port_;
+  std::function<void()> pre_collect_;
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::thread server_;
+};
+
+}  // namespace tc::net

@@ -15,10 +15,67 @@
 
 #include "common/io.hpp"
 #include "common/logging.hpp"
+#include "common/metrics.hpp"
 
 namespace tc::net {
 
 namespace {
+
+// Transport metrics, one family per direction with a side label. Function-
+// local statics: registered on first use, then lock-free to record.
+struct WireVolume {
+  metrics::Counter& rx_bytes;
+  metrics::Counter& rx_frames;
+  metrics::Counter& tx_bytes;
+  metrics::Counter& tx_frames;
+};
+
+WireVolume& ServerVolume() {
+  static WireVolume v{
+      metrics::GetCounter("tc_net_rx_bytes_total", "side=\"server\""),
+      metrics::GetCounter("tc_net_rx_frames_total", "side=\"server\""),
+      metrics::GetCounter("tc_net_tx_bytes_total", "side=\"server\""),
+      metrics::GetCounter("tc_net_tx_frames_total", "side=\"server\"")};
+  return v;
+}
+
+WireVolume& ClientVolume() {
+  static WireVolume v{
+      metrics::GetCounter("tc_net_rx_bytes_total", "side=\"client\""),
+      metrics::GetCounter("tc_net_rx_frames_total", "side=\"client\""),
+      metrics::GetCounter("tc_net_tx_bytes_total", "side=\"client\""),
+      metrics::GetCounter("tc_net_tx_frames_total", "side=\"client\"")};
+  return v;
+}
+
+metrics::Gauge& ServerConnsGauge() {
+  static metrics::Gauge& g = metrics::GetGauge("tc_net_server_conns");
+  return g;
+}
+
+metrics::Gauge& ServerInflightGauge() {
+  static metrics::Gauge& g = metrics::GetGauge("tc_net_server_inflight");
+  return g;
+}
+
+/// Demux depth: calls registered with the client reader, awaiting responses.
+metrics::Gauge& ClientPendingGauge() {
+  static metrics::Gauge& g = metrics::GetGauge("tc_net_client_pending");
+  return g;
+}
+
+metrics::Counter& ClientOpTimeouts() {
+  static metrics::Counter& c =
+      metrics::GetCounter("tc_net_client_op_timeouts_total");
+  return c;
+}
+
+/// Connection serials seed the per-request trace ids (serial << 32 |
+/// request_id) so ids from different connections never collide.
+uint64_t NextConnSerial() {
+  static std::atomic<uint64_t> serial{0};
+  return serial.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 int64_t SteadyNowMs() {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -76,10 +133,11 @@ Status WriteAll(int fd, BytesView data) {
 // ---------------------------------------------------------------- server
 
 struct TcpServer::Conn {
-  explicit Conn(int fd_in) : fd(fd_in) {}
+  explicit Conn(int fd_in) : fd(fd_in), serial(NextConnSerial()) {}
   ~Conn() { ::close(fd); }
 
   const int fd;
+  const uint64_t serial;  // trace-id seed for requests on this connection
   std::atomic<bool> alive{true};
 
   // Serializes response frames: concurrent handlers interleave whole
@@ -103,6 +161,10 @@ struct TcpServer::Conn {
     Bytes body = result.ok() ? EncodeResponseBody(Status::Ok(), *result)
                              : EncodeResponseBody(result.status(), {});
     Bytes frame = EncodeFrame(MessageType::kResponse, request_id, body);
+    if constexpr (metrics::kEnabled) {
+      ServerVolume().tx_frames.Inc();
+      ServerVolume().tx_bytes.Inc(frame.size());
+    }
     MutexLock lock(write_mu);
     if (!WriteAll(fd, frame).ok()) {
       // Peer is gone or wedged shut: stop the reader too.
@@ -156,7 +218,7 @@ Status TcpServer::Start() {
   if (threads == 0) {
     threads = std::max<size_t>(2, std::thread::hardware_concurrency());
   }
-  dispatch_ = std::make_unique<Executor>(threads);
+  dispatch_ = std::make_unique<Executor>(threads, "dispatch");
   running_ = true;
   acceptor_ = std::thread([this] { AcceptLoop(); });
   return Status::Ok();
@@ -204,6 +266,7 @@ void TcpServer::AcceptLoop() {
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     auto conn = std::make_shared<Conn>(fd);
+    ServerConnsGauge().Inc();
     MutexLock lock(threads_mu_);
     connections_.push_back(conn);
     connection_threads_.emplace_back(
@@ -212,6 +275,7 @@ void TcpServer::AcceptLoop() {
 }
 
 void TcpServer::FinishRequest(const std::shared_ptr<Conn>& conn) {
+  ServerInflightGauge().Dec();
   MutexLock lock(conn->inflight_mu);
   --conn->inflight;
   conn->inflight_cv.NotifyAll();
@@ -220,7 +284,15 @@ void TcpServer::FinishRequest(const std::shared_ptr<Conn>& conn) {
 void TcpServer::HandleRequest(const std::shared_ptr<Conn>& conn,
                               MessageType type, uint64_t request_id,
                               const Bytes& body) {
+  // Stamp the per-request trace id (connection serial | request id) on the
+  // dispatching thread; TraceSpans opened inside the handler pick it up for
+  // slow-op lines.
+  if constexpr (metrics::kEnabled) {
+    metrics::SetCurrentTraceId((conn->serial << 32) |
+                               (request_id & 0xffffffff));
+  }
   conn->WriteResponse(request_id, handler_->Handle(type, body));
+  if constexpr (metrics::kEnabled) metrics::SetCurrentTraceId(0);
 }
 
 void TcpServer::DrainMutations(const std::shared_ptr<Conn>& conn) {
@@ -262,6 +334,10 @@ void TcpServer::ServeConnection(std::shared_ptr<Conn> conn) {
     }
     Bytes body(header->body_len);
     if (!ReadExact(conn->fd, body).ok()) break;
+    if constexpr (metrics::kEnabled) {
+      ServerVolume().rx_frames.Inc();
+      ServerVolume().rx_bytes.Inc(kFrameHeaderBytes + body.size());
+    }
 
     {
       MutexLock lock(conn->inflight_mu);
@@ -272,6 +348,7 @@ void TcpServer::ServeConnection(std::shared_ptr<Conn> conn) {
       if (!running_ || !conn->alive) break;
       ++conn->inflight;
     }
+    ServerInflightGauge().Inc();
 
     if (IsMutation(header->type)) {
       bool submit = false;
@@ -299,6 +376,7 @@ void TcpServer::ServeConnection(std::shared_ptr<Conn> conn) {
   // fd closes when the last Conn reference (a task or this reader) drops —
   // never while a handler could write to a reused descriptor.
   ::shutdown(conn->fd, SHUT_RD);
+  ServerConnsGauge().Dec();
   MutexLock lock(threads_mu_);
   std::erase(connections_, conn);
 }
@@ -424,6 +502,9 @@ void TcpClient::FailConnection(const Status& status) {
     for (auto& [id, p] : pending_) victims.push_back(p.completer);
     pending_.clear();
   }
+  if (!victims.empty()) {
+    ClientPendingGauge().Dec(static_cast<int64_t>(victims.size()));
+  }
   ::shutdown(fd_, SHUT_RDWR);
   WakeReader();
   // Error fan-out: every call still in flight fails with the connection's
@@ -454,12 +535,17 @@ PendingCall TcpClient::AsyncCall(MessageType type, BytesView body,
     completer.Complete(std::move(closed_status));
     return handle;
   }
+  ClientPendingGauge().Inc();
 
   // Register-then-send: the reader may legally see the response before this
   // thread regains the CPU. Nudge the reader so its poll deadline covers
   // the new call.
   WakeReader();
   Bytes frame = EncodeFrame(type, id, body);
+  if constexpr (metrics::kEnabled) {
+    ClientVolume().tx_frames.Inc();
+    ClientVolume().tx_bytes.Inc(frame.size());
+  }
   Status write_status;
   {
     MutexLock lock(write_mu_);
@@ -504,6 +590,7 @@ void TcpClient::ReaderLoop() {
       }
     }
     if (expired) {
+      ClientOpTimeouts().Inc();
       FailConnection(Unavailable("request timed out after " +
                                  std::to_string(op_timeout_ms_.load()) +
                                  " ms"));
@@ -542,6 +629,10 @@ void TcpClient::ReaderLoop() {
       FailConnection(st);
       return;
     }
+    if constexpr (metrics::kEnabled) {
+      ClientVolume().rx_frames.Inc();
+      ClientVolume().rx_bytes.Inc(kFrameHeaderBytes + body.size());
+    }
 
     std::optional<CallCompleter> completer;
     {
@@ -552,6 +643,7 @@ void TcpClient::ReaderLoop() {
         pending_.erase(it);
       }
     }
+    if (completer) ClientPendingGauge().Dec();
     if (!completer) {
       // A response for an id we never sent (or already answered): the
       // demux invariant is broken, so no later match can be trusted.

@@ -23,6 +23,7 @@ bool IsMutation(MessageType type) {
     case MessageType::kGetAttestation:
     case MessageType::kGetChunkWitnessed:
     case MessageType::kClusterInfo:
+    case MessageType::kMetricsInfo:
       return false;
     // Ingest, grants, rollups, deletes, attestations, and replica shipments
     // mutate server state — same-connection arrival order is preserved.
@@ -47,6 +48,41 @@ bool IsMutation(MessageType type) {
   // A raw wire byte outside the enum (hostile or future peer) is
   // conservatively a mutation: serialized, never interleaved.
   return true;
+}
+
+const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kResponse: return "response";
+    case MessageType::kCreateStream: return "create_stream";
+    case MessageType::kDeleteStream: return "delete_stream";
+    case MessageType::kInsertChunk: return "insert_chunk";
+    case MessageType::kGetRange: return "get_range";
+    case MessageType::kGetStatRange: return "get_stat_range";
+    case MessageType::kGetStatSeries: return "get_stat_series";
+    case MessageType::kRollupStream: return "rollup_stream";
+    case MessageType::kDeleteRange: return "delete_range";
+    case MessageType::kGetStreamInfo: return "get_stream_info";
+    case MessageType::kPutGrant: return "put_grant";
+    case MessageType::kFetchGrants: return "fetch_grants";
+    case MessageType::kRevokeGrant: return "revoke_grant";
+    case MessageType::kPutEnvelopes: return "put_envelopes";
+    case MessageType::kGetEnvelopes: return "get_envelopes";
+    case MessageType::kMultiStatRange: return "multi_stat_range";
+    case MessageType::kPing: return "ping";
+    case MessageType::kPutAttestation: return "put_attestation";
+    case MessageType::kGetAttestation: return "get_attestation";
+    case MessageType::kGetChunkWitnessed: return "get_chunk_witnessed";
+    case MessageType::kInsertChunkBatch: return "insert_chunk_batch";
+    case MessageType::kClusterInfo: return "cluster_info";
+    case MessageType::kReplicaHello: return "replica_hello";
+    case MessageType::kReplicaSnapshotBegin: return "replica_snapshot_begin";
+    case MessageType::kReplicaSnapshotChunk: return "replica_snapshot_chunk";
+    case MessageType::kReplicaSnapshotEnd: return "replica_snapshot_end";
+    case MessageType::kReplicaHeartbeat: return "replica_heartbeat";
+    case MessageType::kReplicaOps: return "replica_ops";
+    case MessageType::kMetricsInfo: return "metrics_info";
+  }
+  return "unknown";
 }
 
 namespace detail {

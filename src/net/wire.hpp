@@ -68,7 +68,15 @@ enum class MessageType : uint8_t {
   kReplicaSnapshotEnd = 27,
   kReplicaHeartbeat = 28,
   kReplicaOps = 29,
+  // Observability extension (src/common/metrics): snapshot of the
+  // process-wide metrics registry (counters, gauges, latency histograms).
+  kMetricsInfo = 30,
 };
+
+/// Stable snake_case name for one message type ("insert_chunk",
+/// "get_stat_range", ...) — the `type` label on per-request metrics and the
+/// op name on slow-op trace lines. Unknown values map to "unknown".
+const char* MessageTypeName(MessageType type);
 
 /// True for message types that mutate server state. The TCP server keeps
 /// same-connection mutations in arrival order (a pipelined ingest stream

@@ -205,6 +205,10 @@ Result<Bytes> FollowerDaemon::HandleFollowing(net::MessageType type,
       return Bytes{};
     case MessageType::kClusterInfo:
       return FollowerClusterInfo();
+    case MessageType::kMetricsInfo:
+      // A follower scrapes its own process registry (net + apply-path
+      // metrics); engine-derived gauges refresh through the serving path.
+      return net::MetricsInfoResponse::FromRegistry().Encode();
     // Read-only single-stream queries: served locally from the refreshed
     // follower engine — replica reads without a second network hop.
     case MessageType::kGetRange:

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 
 #include "common/logging.hpp"
+#include "common/metrics.hpp"
 
 namespace tc::replica {
 
@@ -355,6 +357,45 @@ uint64_t ReplicaSet::snapshots_shipped() const {
 uint64_t ReplicaSet::snapshot_chunks_shipped() const {
   ReaderMutexLock lock(state_mu_);
   return rkv_ ? rkv_->snapshot_chunks_shipped() : 0;
+}
+
+net::ClusterInfoResponse::ShardInfo ReplicaSet::ShardInfoSnapshot(
+    uint32_t shard) const {
+  net::ClusterInfoResponse::ShardInfo info;
+  info.shard = shard;
+  info.num_streams = NumStreams();
+  info.index_bytes = TotalIndexBytes();
+  info.replicas = static_cast<uint32_t>(num_replicas());
+  info.ack_mode = ack_mode() == AckMode::kQuorum
+                      ? net::ClusterInfoResponse::kAckQuorum
+                      : net::ClusterInfoResponse::kAckAsync;
+  info.max_lag_ops = MaxLagOps();
+  info.remote_followers = static_cast<uint32_t>(num_remote_followers());
+  info.auto_failover = auto_failover() ? 1 : 0;
+  info.promotions = static_cast<uint32_t>(promotions());
+  info.snapshot_chunks = snapshot_chunks_shipped();
+  auto compaction = StoreCompaction();
+  info.store_dead_bytes = compaction.dead_bytes;
+  info.store_compactions = static_cast<uint32_t>(compaction.compactions);
+  if constexpr (metrics::kEnabled) {
+    // Same values, shard-labeled, for the Prometheus exposition — one
+    // source for both surfaces.
+    char labels[32];
+    std::snprintf(labels, sizeof(labels), "shard=\"%u\"", shard);
+    metrics::GetGauge("tc_cluster_streams", labels)
+        .Set(static_cast<int64_t>(info.num_streams));
+    metrics::GetGauge("tc_cluster_index_bytes", labels)
+        .Set(static_cast<int64_t>(info.index_bytes));
+    metrics::GetGauge("tc_store_dead_bytes", labels)
+        .Set(static_cast<int64_t>(info.store_dead_bytes));
+    metrics::GetGauge("tc_store_compactions", labels)
+        .Set(static_cast<int64_t>(info.store_compactions));
+    metrics::GetGauge("tc_replica_lag_ops", labels)
+        .Set(static_cast<int64_t>(info.max_lag_ops));
+    metrics::GetGauge("tc_replica_promotions", labels)
+        .Set(static_cast<int64_t>(info.promotions));
+  }
+  return info;
 }
 
 store::KvStore::CompactionStats ReplicaSet::StoreCompaction() const {

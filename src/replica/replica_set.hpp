@@ -129,6 +129,11 @@ class ReplicaSet {
   bool auto_failover() const { return options_.failover.auto_failover; }
   uint64_t head_seq() const;
   uint64_t MaxLagOps() const;
+  /// This set's kClusterInfo row, reported as shard `shard`. Also publishes
+  /// the replication health values as shard-labeled gauges
+  /// (tc_replica_lag_ops, tc_replica_promotions, ...) so the wire response
+  /// and the Prometheus exposition share a single source.
+  net::ClusterInfoResponse::ShardInfo ShardInfoSnapshot(uint32_t shard) const;
   uint64_t snapshots_shipped() const;
   uint64_t snapshot_chunks_shipped() const;
   /// Compaction pressure of the primary's backing store (zeros while the

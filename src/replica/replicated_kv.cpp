@@ -4,10 +4,32 @@
 #include <chrono>
 
 #include "common/logging.hpp"
+#include "common/metrics.hpp"
 #include "crypto/rand.hpp"
 #include "net/messages.hpp"
 
 namespace tc::replica {
+
+namespace {
+/// Shipping-path metrics, shared by every ReplicatedKvStore in the process
+/// (the per-instance atomics keep serving the wire accessors; these feed
+/// the Prometheus exposition).
+struct ShipMetrics {
+  metrics::LatencyHistogram& batch_ops;  // ops per ApplyOps shipment
+  metrics::LatencyHistogram& ack_us;     // ApplyOps round-trip latency
+  metrics::Counter& snapshots;
+  metrics::Counter& snapshot_chunks;
+};
+
+ShipMetrics& Ship() {
+  static ShipMetrics m{
+      metrics::GetHistogram("tc_replica_ship_batch_ops"),
+      metrics::GetHistogram("tc_replica_ack_seconds"),
+      metrics::GetCounter("tc_replica_snapshots_total"),
+      metrics::GetCounter("tc_replica_snapshot_chunks_total")};
+  return m;
+}
+}  // namespace
 
 std::string_view AckModeName(AckMode mode) {
   switch (mode) {
@@ -356,6 +378,7 @@ Status ReplicatedKvStore::StreamSnapshot(FollowerState* state,
     TC_RETURN_IF_ERROR(
         state->follower->ApplySnapshotChunk(snap_seq, chunk_first, chunk));
     snapshot_chunks_.fetch_add(1, std::memory_order_relaxed);
+    if constexpr (metrics::kEnabled) Ship().snapshot_chunks.Inc();
     chunk_first += chunk.size();
     chunk.clear();
     chunk_bytes = 0;
@@ -422,6 +445,7 @@ void ReplicatedKvStore::ShipperLoop(FollowerState* state) {
         state->applied_seq.store(snap_seq, std::memory_order_release);
       }
       snapshots_.fetch_add(1, std::memory_order_relaxed);
+      if constexpr (metrics::kEnabled) Ship().snapshots.Inc();
       ack_cv_.NotifyAll();
       continue;
     }
@@ -432,7 +456,15 @@ void ReplicatedKvStore::ShipperLoop(FollowerState* state) {
     std::vector<LoggedOp> batch(log_.begin() + offset,
                                 log_.begin() + offset + count);
     mu_.unlock();
+    auto ship_start = std::chrono::steady_clock::now();
     Status s = state->follower->ApplyOps(batch);
+    if constexpr (metrics::kEnabled) {
+      Ship().batch_ops.Record(batch.size());
+      Ship().ack_us.Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - ship_start)
+              .count()));
+    }
     mu_.lock();
     if (!s.ok()) {
       if (s.code() == StatusCode::kFailedPrecondition) {

@@ -1,9 +1,12 @@
 #include "server/server_engine.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <set>
+#include <vector>
 
 #include "common/logging.hpp"
+#include "common/metrics.hpp"
 #include "integrity/attestation.hpp"
 
 namespace tc::server {
@@ -16,6 +19,50 @@ constexpr const char kGrantDirectoryKey[] = "meta/grantdir";
 
 std::string ConfigKey(uint64_t uuid) {
   return "meta/cfg/" + std::to_string(uuid);
+}
+
+/// Per-MessageType request count + latency, registered eagerly for every
+/// frame type on first use so one lookup serves the whole process lifetime.
+struct RequestMetrics {
+  metrics::Counter& count;
+  metrics::LatencyHistogram& latency;
+};
+
+RequestMetrics& MetricsFor(MessageType type) {
+  static auto* table = [] {
+    auto* t = new std::vector<RequestMetrics>;
+    auto last = static_cast<size_t>(MessageType::kMetricsInfo);
+    t->reserve(last + 1);
+    for (size_t i = 0; i <= last; ++i) {
+      auto mt = static_cast<MessageType>(i);
+      std::string labels =
+          std::string("type=\"") + net::MessageTypeName(mt) + "\"";
+      t->push_back({metrics::GetCounter("tc_server_requests_total", labels),
+                    metrics::GetHistogram("tc_server_request_seconds",
+                                          labels)});
+    }
+    return t;
+  }();
+  size_t idx = static_cast<size_t>(type);
+  // Out-of-enum wire bytes share the kResponse slot ("response" is never a
+  // request, so the slot is otherwise idle).
+  if (idx >= table->size()) idx = 0;
+  return (*table)[idx];
+}
+
+/// Stage-split histograms for the slow-op breakdown (decode/store/index/
+/// crypto/sync on ingest, decode/index on queries).
+enum class Stage { kDecode, kStore, kIndex, kCrypto, kSync };
+
+metrics::LatencyHistogram& StageHist(Stage stage) {
+  static metrics::LatencyHistogram* hists[] = {
+      &metrics::GetHistogram("tc_server_stage_seconds", "stage=\"decode\""),
+      &metrics::GetHistogram("tc_server_stage_seconds", "stage=\"store\""),
+      &metrics::GetHistogram("tc_server_stage_seconds", "stage=\"index\""),
+      &metrics::GetHistogram("tc_server_stage_seconds", "stage=\"crypto\""),
+      &metrics::GetHistogram("tc_server_stage_seconds", "stage=\"sync\""),
+  };
+  return *hists[static_cast<size_t>(stage)];
 }
 }  // namespace
 
@@ -200,6 +247,12 @@ Status ServerEngine::Refresh() {
 }
 
 Result<Bytes> ServerEngine::Handle(MessageType type, BytesView body) {
+  RequestMetrics& request_metrics = MetricsFor(type);
+  request_metrics.count.Inc();
+  // The span records total latency per type and, when the slow-op threshold
+  // is armed, logs the stage breakdown with the wire layer's trace id.
+  metrics::TraceSpan span(net::MessageTypeName(type),
+                          &request_metrics.latency);
   switch (type) {
     case MessageType::kCreateStream: return CreateStream(body);
     case MessageType::kDeleteStream: return DeleteStream(body);
@@ -221,6 +274,7 @@ Result<Bytes> ServerEngine::Handle(MessageType type, BytesView body) {
     case MessageType::kPutAttestation: return PutAttestation(body);
     case MessageType::kGetAttestation: return GetAttestation(body);
     case MessageType::kGetChunkWitnessed: return GetChunkWitnessed(body);
+    case MessageType::kMetricsInfo: return MetricsInfo();
     case MessageType::kPing: return Bytes{};
     case MessageType::kResponse: break;
     // Replication frames target a follower's ReplicaApplier endpoint (and
@@ -378,6 +432,7 @@ Result<Bytes> ServerEngine::DeleteStream(BytesView body) {
 Result<Bytes> ServerEngine::InsertChunk(BytesView body) {
   TC_ASSIGN_OR_RETURN(auto req, net::InsertChunkRequest::Decode(body));
   TC_ASSIGN_OR_RETURN(auto stream, FindStream(req.uuid));
+  metrics::TraceSpan::StageMark("decode", &StageHist(Stage::kDecode));
 
   WriterMutexLock lock(stream->mu);
   // The append-only position check runs before any store write: a rejected
@@ -398,15 +453,21 @@ Result<Bytes> ServerEngine::InsertChunk(BytesView body) {
     TC_RETURN_IF_ERROR(
         kv_->Put(ChunkKey(req.uuid, req.chunk_index), req.payload));
   }
+  metrics::TraceSpan::StageMark("store", &StageHist(Stage::kStore));
   TC_RETURN_IF_ERROR(stream->tree->Append(req.chunk_index, req.digest_blob));
+  metrics::TraceSpan::StageMark("index", &StageHist(Stage::kIndex));
   if (stream->witnesses) {
     // Mirror the producer's witness so audit paths can be served. The
     // producer computes the same hash over the same ciphertext bytes; any
     // later divergence is exactly what verification catches.
     stream->witnesses->Append(integrity::ChunkWitness(
         req.uuid, req.chunk_index, req.digest_blob, req.payload));
+    metrics::TraceSpan::StageMark("crypto", &StageHist(Stage::kCrypto));
   }
-  if (options_.sync_each_insert) TC_RETURN_IF_ERROR(kv_->Sync());
+  if (options_.sync_each_insert) {
+    TC_RETURN_IF_ERROR(kv_->Sync());
+    metrics::TraceSpan::StageMark("sync", &StageHist(Stage::kSync));
+  }
   return Bytes{};
 }
 
@@ -414,6 +475,7 @@ Result<Bytes> ServerEngine::InsertChunkBatch(BytesView body) {
   TC_ASSIGN_OR_RETURN(auto req, net::InsertChunkBatchRequest::Decode(body));
   if (req.entries.empty()) return InvalidArgument("empty chunk batch");
   TC_ASSIGN_OR_RETURN(auto stream, FindStream(req.uuid));
+  metrics::TraceSpan::StageMark("decode", &StageHist(Stage::kDecode));
 
   // One lock acquisition, one (group-committed) store sync for the whole
   // batch — the amortization InsertChunkBatch exists for. The batch is not
@@ -439,12 +501,19 @@ Result<Bytes> ServerEngine::InsertChunkBatch(BytesView body) {
           req.uuid, e.chunk_index, e.digest_blob, e.payload));
     }
   }
-  if (options_.sync_each_insert) TC_RETURN_IF_ERROR(kv_->Sync());
+  // The batch interleaves store puts and index appends; the loop reports as
+  // one "index" stage (the split is visible on the InsertChunk path).
+  metrics::TraceSpan::StageMark("index", &StageHist(Stage::kIndex));
+  if (options_.sync_each_insert) {
+    TC_RETURN_IF_ERROR(kv_->Sync());
+    metrics::TraceSpan::StageMark("sync", &StageHist(Stage::kSync));
+  }
   return Bytes{};
 }
 
-Result<Bytes> ServerEngine::ClusterInfo() const {
-  net::ClusterInfoResponse resp;
+net::ClusterInfoResponse::ShardInfo ServerEngine::ShardInfoSnapshot() const {
+  // Publish the per-shard gauges and build the wire struct from the same
+  // values: kClusterInfo and the Prometheus exposition can never disagree.
   net::ClusterInfoResponse::ShardInfo info;
   info.shard = options_.shard_id;
   info.num_streams = NumStreams();
@@ -452,13 +521,38 @@ Result<Bytes> ServerEngine::ClusterInfo() const {
   auto compaction = StoreCompaction();
   info.store_dead_bytes = compaction.dead_bytes;
   info.store_compactions = static_cast<uint32_t>(compaction.compactions);
-  resp.shards.push_back(info);
+  if constexpr (metrics::kEnabled) {
+    char labels[32];
+    std::snprintf(labels, sizeof(labels), "shard=\"%u\"", options_.shard_id);
+    metrics::GetGauge("tc_cluster_streams", labels)
+        .Set(static_cast<int64_t>(info.num_streams));
+    metrics::GetGauge("tc_cluster_index_bytes", labels)
+        .Set(static_cast<int64_t>(info.index_bytes));
+    metrics::GetGauge("tc_store_dead_bytes", labels)
+        .Set(static_cast<int64_t>(info.store_dead_bytes));
+    metrics::GetGauge("tc_store_compactions", labels)
+        .Set(static_cast<int64_t>(info.store_compactions));
+  }
+  return info;
+}
+
+Result<Bytes> ServerEngine::ClusterInfo() const {
+  net::ClusterInfoResponse resp;
+  resp.shards.push_back(ShardInfoSnapshot());
   return resp.Encode();
+}
+
+Result<Bytes> ServerEngine::MetricsInfo() const {
+  // Gauges derived from engine state are refreshed on scrape, not on
+  // mutation — the snapshot call doubles as the refresh.
+  ShardInfoSnapshot();
+  return net::MetricsInfoResponse::FromRegistry().Encode();
 }
 
 Result<Bytes> ServerEngine::GetRange(BytesView body) const {
   TC_ASSIGN_OR_RETURN(auto req, net::GetRangeRequest::Decode(body));
   TC_ASSIGN_OR_RETURN(auto stream, FindStream(req.uuid));
+  metrics::TraceSpan::StageMark("decode", &StageHist(Stage::kDecode));
   ReaderMutexLock stream_lock(stream->mu);
   TC_ASSIGN_OR_RETURN(auto range, ResolveRange(*stream, req.range));
 
@@ -468,17 +562,20 @@ Result<Bytes> ServerEngine::GetRange(BytesView body) const {
     if (!payload.ok()) continue;  // decayed or digest-only chunk
     resp.chunks.push_back({i, std::move(*payload)});
   }
+  metrics::TraceSpan::StageMark("store", &StageHist(Stage::kStore));
   return resp.Encode();
 }
 
 Result<Bytes> ServerEngine::GetStatRange(BytesView body) const {
   TC_ASSIGN_OR_RETURN(auto req, net::StatRangeRequest::Decode(body));
   TC_ASSIGN_OR_RETURN(auto stream, FindStream(req.uuid));
+  metrics::TraceSpan::StageMark("decode", &StageHist(Stage::kDecode));
   ReaderMutexLock stream_lock(stream->mu);
   TC_ASSIGN_OR_RETURN(auto range, ResolveRange(*stream, req.range));
 
   TC_ASSIGN_OR_RETURN(Bytes blob,
                       stream->tree->Query(range.first, range.second));
+  metrics::TraceSpan::StageMark("index", &StageHist(Stage::kIndex));
   net::StatRangeResponse resp;
   resp.first_chunk = range.first;
   resp.last_chunk = range.second;

@@ -69,6 +69,12 @@ class ServerEngine final : public net::RequestHandler {
     return kv_->Compaction();
   }
 
+  /// One shard's kClusterInfo row. Also publishes the same values as
+  /// shard-labeled gauges (tc_cluster_streams, tc_cluster_index_bytes,
+  /// tc_store_dead_bytes, tc_store_compactions) so the wire response and
+  /// the Prometheus exposition share a single source.
+  net::ClusterInfoResponse::ShardInfo ShardInfoSnapshot() const;
+
   /// Direct handle to a stream's index (benchmarks peek at cache stats).
   Result<const index::AggTree*> GetIndexForTesting(uint64_t uuid) const;
 
@@ -129,6 +135,7 @@ class ServerEngine final : public net::RequestHandler {
   Result<Bytes> PutAttestation(BytesView body);
   Result<Bytes> GetAttestation(BytesView body) const;
   Result<Bytes> GetChunkWitnessed(BytesView body) const;
+  Result<Bytes> MetricsInfo() const;
 
   Result<std::shared_ptr<Stream>> FindStream(uint64_t uuid) const;
 

@@ -7,12 +7,32 @@
 
 #include "common/io.hpp"
 #include "common/logging.hpp"
+#include "common/metrics.hpp"
 
 namespace tc::store {
 
 namespace {
 constexpr uint8_t kRecordPut = 1;
 constexpr uint8_t kRecordTombstone = 2;
+
+/// Process-wide log-store op counters (all LogKvStore instances sum into
+/// one family; per-shard splits come from the kClusterInfo gauges).
+struct StoreOps {
+  metrics::Counter& puts;
+  metrics::Counter& gets;
+  metrics::Counter& deletes;
+  metrics::Counter& syncs;
+  metrics::Counter& compactions;
+};
+
+StoreOps& Ops() {
+  static StoreOps ops{metrics::GetCounter("tc_store_puts_total"),
+                      metrics::GetCounter("tc_store_gets_total"),
+                      metrics::GetCounter("tc_store_deletes_total"),
+                      metrics::GetCounter("tc_store_syncs_total"),
+                      metrics::GetCounter("tc_store_compactions_total")};
+  return ops;
+}
 }  // namespace
 
 LogKvStore::LogKvStore(std::string path, LogKvOptions options)
@@ -140,6 +160,7 @@ void LogKvStore::MaybeAutoCompactLocked() {
 }
 
 Status LogKvStore::Put(const std::string& key, BytesView value) {
+  if constexpr (metrics::kEnabled) Ops().puts.Inc();
   MutexLock lock(mu_);
   TC_RETURN_IF_ERROR(AppendRecord(key, value, /*tombstone=*/false));
   auto [it, inserted] = map_.try_emplace(key);
@@ -154,6 +175,7 @@ Status LogKvStore::Put(const std::string& key, BytesView value) {
 }
 
 Result<Bytes> LogKvStore::Get(const std::string& key) const {
+  if constexpr (metrics::kEnabled) Ops().gets.Inc();
   MutexLock lock(mu_);
   auto it = map_.find(key);
   if (it == map_.end()) return NotFound("key not found: " + key);
@@ -161,6 +183,7 @@ Result<Bytes> LogKvStore::Get(const std::string& key) const {
 }
 
 Status LogKvStore::Delete(const std::string& key) {
+  if constexpr (metrics::kEnabled) Ops().deletes.Inc();
   MutexLock lock(mu_);
   auto it = map_.find(key);
   if (it == map_.end()) return NotFound("key not found: " + key);
@@ -232,6 +255,7 @@ Result<size_t> LogKvStore::CompactLocked() {
   size_t reclaimed = dead_bytes_;
   dead_bytes_ = 0;
   ++compactions_;
+  if constexpr (metrics::kEnabled) Ops().compactions.Inc();
   compact_backoff_dead_bytes_ = 0;  // a successful rewrite clears the backoff
   log_ = std::fopen(path_.c_str(), "ab");
   if (log_ == nullptr) return Unavailable("cannot reopen log");
@@ -239,6 +263,7 @@ Result<size_t> LogKvStore::CompactLocked() {
 }
 
 Status LogKvStore::Sync() {
+  if constexpr (metrics::kEnabled) Ops().syncs.Inc();
   MutexLock lock(mu_);
   if (log_ == nullptr) return Status::Ok();
   // Group commit: if a concurrent caller's flush already covered every

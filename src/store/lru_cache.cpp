@@ -1,6 +1,23 @@
 #include "store/lru_cache.hpp"
 
+#include "common/metrics.hpp"
+
 namespace tc::store {
+
+namespace {
+/// Process-wide cache counters (every LruCache sums into one family —
+/// the hit-ratio signal for the index node caches).
+metrics::Counter& CacheHits() {
+  static metrics::Counter& c =
+      metrics::GetCounter("tc_index_cache_hits_total");
+  return c;
+}
+metrics::Counter& CacheMisses() {
+  static metrics::Counter& c =
+      metrics::GetCounter("tc_index_cache_misses_total");
+  return c;
+}
+}  // namespace
 
 void LruCache::Put(const std::string& key, BytesView value) {
   MutexLock lock(mu_);
@@ -24,9 +41,11 @@ std::optional<Bytes> LruCache::Get(const std::string& key) {
   auto it = map_.find(key);
   if (it == map_.end()) {
     ++misses_;
+    if constexpr (metrics::kEnabled) CacheMisses().Inc();
     return std::nullopt;
   }
   ++hits_;
+  if constexpr (metrics::kEnabled) CacheHits().Inc();
   lru_.splice(lru_.begin(), lru_, it->second);
   return it->second->value;
 }

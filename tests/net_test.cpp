@@ -11,11 +11,15 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdlib>
 #include <mutex>
 #include <set>
+#include <sstream>
 #include <thread>
 
+#include "common/metrics.hpp"
 #include "net/messages.hpp"
+#include "net/metrics_http.hpp"
 #include "net/tcp.hpp"
 #include "net/wire.hpp"
 
@@ -61,6 +65,7 @@ TEST(Wire, IsMutationClassifiesEveryMessageType) {
       MessageType::kGetEnvelopes,   MessageType::kMultiStatRange,
       MessageType::kPing,           MessageType::kGetAttestation,
       MessageType::kGetChunkWitnessed, MessageType::kClusterInfo,
+      MessageType::kMetricsInfo,
   };
   for (MessageType type : mutations) {
     EXPECT_TRUE(IsMutation(type))
@@ -288,6 +293,60 @@ TEST(Messages, ClusterInfoCarriesFailoverHealth) {
   EXPECT_EQ(back->shards[0].snapshot_chunks, 640u);
   EXPECT_EQ(back->shards[0].store_dead_bytes, 123456u);
   EXPECT_EQ(back->shards[0].store_compactions, 7u);
+}
+
+TEST(Messages, MetricsInfoRoundTrip) {
+  MetricsInfoResponse resp;
+  MetricsInfoResponse::Entry counter;
+  counter.kind = MetricsInfoResponse::kCounter;
+  counter.name = "tc_server_requests_total";
+  counter.labels = "type=\"insert_chunk\"";
+  counter.value = 12345;
+  resp.entries.push_back(counter);
+  MetricsInfoResponse::Entry gauge;
+  gauge.kind = MetricsInfoResponse::kGauge;
+  gauge.name = "tc_replica_lag_ops";
+  gauge.labels = "shard=\"3\"";
+  gauge.value = -7;  // gauges are signed; the codec must not round-trip
+                     // through an unsigned narrowing
+  resp.entries.push_back(gauge);
+  MetricsInfoResponse::Entry hist;
+  hist.kind = MetricsInfoResponse::kHistogram;
+  hist.name = "tc_server_request_seconds";
+  hist.labels = "type=\"get_stat_range\"";
+  hist.count = 100;
+  hist.sum = 123456;
+  hist.max = 9001;
+  hist.p50 = 127;
+  hist.p95 = 2047;
+  hist.p99 = 4095;
+  resp.entries.push_back(hist);
+
+  auto back = MetricsInfoResponse::Decode(resp.Encode());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->entries.size(), 3u);
+  EXPECT_EQ(back->entries[0].kind, MetricsInfoResponse::kCounter);
+  EXPECT_EQ(back->entries[0].name, "tc_server_requests_total");
+  EXPECT_EQ(back->entries[0].labels, "type=\"insert_chunk\"");
+  EXPECT_EQ(back->entries[0].value, 12345);
+  EXPECT_EQ(back->entries[1].value, -7);
+  EXPECT_EQ(back->entries[2].count, 100u);
+  EXPECT_EQ(back->entries[2].max, 9001u);
+  EXPECT_EQ(back->entries[2].p50, 127u);
+  EXPECT_EQ(back->entries[2].p99, 4095u);
+}
+
+TEST(Messages, MetricsInfoRejectsUnknownKind) {
+  MetricsInfoResponse resp;
+  MetricsInfoResponse::Entry e;
+  e.kind = MetricsInfoResponse::kCounter;
+  e.name = "tc_x_total";
+  resp.entries.push_back(e);
+  Bytes enc = resp.Encode();
+  // The kind byte follows the entry-count varint (count 1 encodes as one
+  // byte); corrupt it to an undefined kind.
+  enc[1] = 0x7F;
+  EXPECT_FALSE(MetricsInfoResponse::Decode(enc).ok());
 }
 
 TEST(Messages, TruncatedDecodesFail) {
@@ -830,6 +889,109 @@ TEST(Tcp, ConcurrentCallersShareOneSocket) {
   for (auto& th : threads) th.join();
   EXPECT_EQ(ok_count.load(), 200);
   server.Stop();
+}
+
+/// Raw HTTP/1.0 GET against a loopback port; returns the full response
+/// (headers + body) or empty on any socket failure.
+std::string HttpGet(uint16_t port, const std::string& path) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::write(fd, request.data() + sent, request.size() - sent);
+    if (n <= 0) {
+      ::close(fd);
+      return {};
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(MetricsHttp, ScrapeServesValidPrometheusExposition) {
+  // Generate some wire traffic first so the registry has net counters.
+  TcpServer server(std::make_shared<EchoHandler>(), 0);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = TcpClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE((*client)->Call(MessageType::kPing, ToBytes("x")).ok());
+  }
+
+  bool hook_ran = false;
+  MetricsHttpServer metrics(0, [&hook_ran] { hook_ran = true; });
+  ASSERT_TRUE(metrics.Start().ok());
+
+  std::string response = HttpGet(metrics.port(), "/metrics");
+  ASSERT_FALSE(response.empty());
+  EXPECT_TRUE(response.starts_with("HTTP/1.0 200"));
+  EXPECT_NE(response.find("Content-Type: text/plain"), std::string::npos);
+  EXPECT_TRUE(hook_ran) << "pre-collect hook must run before each render";
+
+  auto body_at = response.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  std::string body = response.substr(body_at + 4);
+  ASSERT_FALSE(body.empty());
+
+  // Every line must be a comment or `name{labels} value` with a numeric
+  // value — the Prometheus text-exposition contract.
+  std::istringstream lines(body);
+  std::string line;
+  size_t samples = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << "malformed line: " << line;
+    std::string name = line.substr(0, space);
+    std::string value = line.substr(space + 1);
+    EXPECT_FALSE(name.empty()) << line;
+    EXPECT_TRUE(name.starts_with("tc_")) << line;
+    char* end = nullptr;
+    std::strtod(value.c_str(), &end);
+    EXPECT_EQ(*end, '\0') << "non-numeric sample value: " << line;
+    ++samples;
+  }
+  if (metrics::kEnabled) {
+    EXPECT_GT(samples, 0u);
+    // The traffic above must be visible: server-side frame counters and
+    // the request histogram family.
+    EXPECT_NE(body.find("tc_net_rx_frames_total{side=\"server\"}"),
+              std::string::npos)
+        << body.substr(0, 512);
+    EXPECT_NE(body.find("tc_net_server_conns"), std::string::npos);
+  }
+
+  // Anything but GET /metrics is a 404, and the listener survives it.
+  std::string missing = HttpGet(metrics.port(), "/other");
+  EXPECT_TRUE(missing.starts_with("HTTP/1.0 404"));
+  std::string again = HttpGet(metrics.port(), "/metrics");
+  EXPECT_TRUE(again.starts_with("HTTP/1.0 200"));
+
+  metrics.Stop();
+  server.Stop();
+}
+
+TEST(MetricsHttp, EphemeralPortIsResolvedAfterStart) {
+  MetricsHttpServer metrics(0);
+  ASSERT_TRUE(metrics.Start().ok());
+  EXPECT_GT(metrics.port(), 0);
+  metrics.Stop();
 }
 
 }  // namespace

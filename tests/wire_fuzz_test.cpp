@@ -108,6 +108,8 @@ std::vector<NamedDecoder> AllDecoders() {
        [](BytesView in) { return ReplicaHelloResponse::Decode(in).ok(); }},
       {"ReplicaHeartbeat",
        [](BytesView in) { return ReplicaHeartbeatRequest::Decode(in).ok(); }},
+      {"MetricsInfoResponse",
+       [](BytesView in) { return MetricsInfoResponse::Decode(in).ok(); }},
   };
 }
 
@@ -205,6 +207,33 @@ std::vector<Bytes> ValidEncodings() {
   beat.peers.push_back({"127.0.0.1", 4434, 13});
   beat.peers.push_back({"127.0.0.1", 4435, 21});
   out.push_back(beat.Encode());
+  // MetricsInfo: the request is bodyless; the response carries all three
+  // sample kinds so truncation probes every per-kind field path.
+  MetricsInfoResponse mi;
+  {
+    MetricsInfoResponse::Entry e;
+    e.kind = MetricsInfoResponse::kCounter;
+    e.name = "tc_server_requests_total";
+    e.labels = "type=\"ping\"";
+    e.value = 42;
+    mi.entries.push_back(e);
+    e.kind = MetricsInfoResponse::kGauge;
+    e.name = "tc_net_server_conns";
+    e.labels.clear();
+    e.value = -1;
+    mi.entries.push_back(e);
+    e.kind = MetricsInfoResponse::kHistogram;
+    e.name = "tc_server_request_seconds";
+    e.labels = "type=\"ping\"";
+    e.count = 42;
+    e.sum = 1000;
+    e.max = 99;
+    e.p50 = 15;
+    e.p95 = 63;
+    e.p99 = 63;
+    mi.entries.push_back(e);
+  }
+  out.push_back(mi.Encode());
   client::AccessGrant grant;
   grant.stream_uuid = 7;
   grant.kind = client::GrantKind::kFullResolution;
@@ -287,6 +316,8 @@ TEST(WireFuzz, LengthPrefixedVectorsRejectAbsurdCounts) {
   EXPECT_FALSE(InsertChunkBatchRequest::Decode(hostile_at(8)).ok());
   // ClusterInfoResponse: count is the first field.
   EXPECT_FALSE(ClusterInfoResponse::Decode(hostile_at(0)).ok());
+  // MetricsInfoResponse: entry count is the first field.
+  EXPECT_FALSE(MetricsInfoResponse::Decode(hostile_at(0)).ok());
   // Replica ops: count follows a 4-byte shard + 8-byte sequence number.
   EXPECT_FALSE(ReplicaOpsRequest::Decode(hostile_at(12)).ok());
   // Snapshot chunk: count follows shard + seq + first_index (20 bytes).

@@ -18,6 +18,14 @@ Checks cross-file invariants the compiler cannot see:
   R5  src/crypto/ never compares secret material with memcmp/std::equal,
       and secret-suffixed identifiers (key/digest/mac/tag/secret) are
       compared with ConstantTimeEqual, not ==.
+  R6  every metric name literal passed to GetCounter/GetGauge/GetHistogram
+      is snake_case starting with tc_ (the Prometheus exposition contract),
+      and no name is registered as two different metric kinds — the
+      registry keys (name, labels) per kind, so a collision would render
+      one family under two TYPE lines.
+  R7  kMetricsInfo is classified as a read in IsMutation: a metrics scrape
+      pipelining behind a slow mutation would defeat its purpose, and
+      nothing about serving a registry snapshot mutates server state.
 
 Run from anywhere: paths are resolved relative to the repo root (this
 file's grandparent directory). Exit code 0 = clean, 1 = violations (each
@@ -167,6 +175,58 @@ def check_crypto_constant_time():
                          "(crypto/constant_time.hpp)")
 
 
+# --------------------------------------------------------------------- R6
+METRIC_CALL = re.compile(
+    r"Get(Counter|Gauge|Histogram)\s*\(\s*\"([^\"]*)\"")
+METRIC_NAME = re.compile(r"^tc_[a-z0-9_]+$")
+
+
+def check_metric_names():
+    # name -> (kind, first path, first line); scans src/ and tests/ so a
+    # test registering a colliding family fails the same gate.
+    seen = {}
+    for path in sorted(SRC.rglob("*.[ch]pp")) + sorted(
+            TESTS.rglob("*.[ch]pp")):
+        text = read(path)
+        for number, line in enumerate(text.splitlines(), 1):
+            code = line.split("//")[0]
+            for match in METRIC_CALL.finditer(code):
+                kind, name = match.group(1), match.group(2)
+                if not METRIC_NAME.match(name):
+                    fail(path, number,
+                         f"metric name '{name}' must be snake_case and "
+                         "start with tc_ (Prometheus exposition contract)")
+                    continue
+                prior = seen.get(name)
+                if prior is None:
+                    seen[name] = (kind, path, number)
+                elif prior[0] != kind:
+                    fail(path, number,
+                         f"metric '{name}' registered as {kind} here but "
+                         f"as {prior[0]} at "
+                         f"{prior[1].relative_to(REPO)}:{prior[2]}; one "
+                         "family must have one kind")
+
+
+# --------------------------------------------------------------------- R7
+def check_metrics_info_is_read():
+    path = SRC / "net" / "wire.cpp"
+    text = read(path)
+    match = re.search(r"bool IsMutation\([^)]*\)\s*\{(.*?)\n\}", text,
+                      re.DOTALL)
+    if not match:
+        return  # R1 already failed on this
+    body = match.group(1)
+    case = re.search(r"MessageType::kMetricsInfo\b", body)
+    first_false = re.search(r"return\s+false\s*;", body)
+    if not case or not first_false or case.start() > first_false.start():
+        line = text[:match.start()].count("\n") + 1
+        fail(path, line,
+             "kMetricsInfo must sit in the read arm of IsMutation (before "
+             "its 'return false'): a scrape must pipeline past slow "
+             "mutations, and it mutates nothing")
+
+
 def main():
     enumerators = message_types()
     if not enumerators:
@@ -177,13 +237,15 @@ def main():
     check_bounded_decode()
     check_no_naked_mutexes()
     check_crypto_constant_time()
+    check_metric_names()
+    check_metrics_info_is_read()
     if failures:
         for failure in failures:
             print(failure)
         print(f"tc_lint: {len(failures)} violation(s)", file=sys.stderr)
         return 1
     print(f"tc_lint: clean ({len(enumerators)} frame types, "
-          "5 invariants)")
+          "7 invariants)")
     return 0
 
 

@@ -14,6 +14,7 @@
 //   tccli consume --uuid 123456 --principal doctor --start 0 --end 3600000
 #include <cinttypes>
 #include <cstdio>
+#include <ctime>
 #include <iostream>
 #include <sstream>
 
@@ -50,6 +51,9 @@ void Usage() {
       "  replica-info                    per-shard replica count, ack mode, "
       "and\n"
       "                                  max replica lag\n"
+      "  metrics  [--watch SEC]          server metrics registry (counters,\n"
+      "                                  gauges, latency quantiles);\n"
+      "                                  --watch re-polls every SEC seconds\n"
       "  attest   --uuid U               sign + publish the stream head\n"
       "  verify   --uuid U --start MS --end MS    verified stat query\n"
       "  keygen                          consumer identity; prints public "
@@ -348,6 +352,71 @@ int CmdReplicaInfo(const Flags& flags) {
   return 0;
 }
 
+void PrintMetrics(const net::MetricsInfoResponse& info) {
+  // Latency histograms are recorded in microseconds; the "_seconds" name
+  // (Prometheus convention) is rescaled at exposition time, so quantiles
+  // here print as µs — the unit an operator reasons about for a request.
+  for (const auto& e : info.entries) {
+    std::string name = e.name;
+    if (!e.labels.empty()) name += "{" + e.labels + "}";
+    if (e.kind == net::MetricsInfoResponse::kHistogram) {
+      std::printf("%-58s count=%" PRIu64 " p50=%" PRIu64 "us p95=%" PRIu64
+                  "us p99=%" PRIu64 "us max=%" PRIu64 "us\n",
+                  name.c_str(), e.count, e.p50, e.p95, e.p99, e.max);
+    } else {
+      std::printf("%-58s %" PRId64 "\n", name.c_str(), e.value);
+    }
+  }
+}
+
+int CmdMetrics(const Flags& flags) {
+  auto transport = Connect(flags);
+  if (!transport.ok()) Die(transport.status());
+  int64_t watch_sec = flags.GetInt("watch", 0);
+  if (watch_sec < 0) {
+    std::fprintf(stderr, "--watch must be >= 0 seconds\n");
+    return 1;
+  }
+  for (;;) {
+    auto payload = (*transport)->Call(net::MessageType::kMetricsInfo, {});
+    if (!payload.ok()) {
+      if (payload.status().code() == StatusCode::kInvalidArgument) {
+        // Old servers answer any unknown frame type this way; say what it
+        // means instead of echoing "unknown message type" at the operator.
+        std::fprintf(stderr,
+                     "error: this server does not answer metrics requests — "
+                     "it predates the kMetricsInfo protocol extension "
+                     "(upgrade tcserver, or scrape --metrics-port if its "
+                     "build has one)\n");
+        return 1;
+      }
+      Die(payload.status());
+    }
+    auto info = net::MetricsInfoResponse::Decode(*payload);
+    if (!info.ok()) {
+      std::fprintf(stderr,
+                   "error: the server answered metrics with a frame this "
+                   "tccli cannot decode — tcserver and tccli versions likely "
+                   "differ (%s)\n",
+                   info.status().ToString().c_str());
+      return 1;
+    }
+    if (info->entries.empty()) {
+      std::puts(
+          "no metrics recorded (server built with TC_METRICS=OFF, or no "
+          "requests served yet)");
+    } else {
+      PrintMetrics(*info);
+    }
+    if (watch_sec == 0) return 0;
+    std::printf("--- (refreshing every %llds; ^C to stop)\n",
+                static_cast<long long>(watch_sec));
+    std::fflush(stdout);
+    timespec ts{static_cast<time_t>(watch_sec), 0};
+    nanosleep(&ts, nullptr);
+  }
+}
+
 int CmdAttest(const Flags& flags, const std::string& state_dir) {
   auto transport = Connect(flags);
   if (!transport.ok()) Die(transport.status());
@@ -472,6 +541,7 @@ int Run(int argc, char** argv) {
   if (cmd == "info") return CmdInfo(flags);
   if (cmd == "cluster-info") return CmdClusterInfo(flags);
   if (cmd == "replica-info") return CmdReplicaInfo(flags);
+  if (cmd == "metrics") return CmdMetrics(flags);
   if (cmd == "attest") return CmdAttest(flags, state_dir);
   if (cmd == "verify") return CmdVerify(flags, state_dir);
   if (cmd == "keygen") return CmdKeygen(flags, state_dir);

@@ -36,6 +36,8 @@
 #include <cstring>
 
 #include "cluster/shard_router.hpp"
+#include "common/metrics.hpp"
+#include "net/metrics_http.hpp"
 #include "net/tcp.hpp"
 #include "replica/coordinator.hpp"
 #include "replica/follower_daemon.hpp"
@@ -83,6 +85,11 @@ void Usage() {
       "                  with a clean error (default 512; the frame length\n"
       "                  is attacker-controlled and must not drive "
       "allocation)\n"
+      "  --metrics-port N  serve GET /metrics (Prometheus text format) on\n"
+      "                  loopback port N (0 = ephemeral; off by default)\n"
+      "  --slow-op-ms N  log a structured slow-op line (trace id + stage\n"
+      "                  breakdown) for any request slower than N ms\n"
+      "                  (default 0 = disabled)\n"
       "\n"
       "daemon replication topology:\n"
       "  --accept-followers   accept kReplicaHello registrations: follower\n"
@@ -115,7 +122,7 @@ bool FlagKnown(const std::string& name) {
       "accept-followers",
       "follower-of",   "advertise",    "auto-failover",  "heartbeat-ms",
       "miss-threshold", "takeover-ms", "snapshot-chunk-kb",
-      "no-auto-promote"};
+      "no-auto-promote", "metrics-port", "slow-op-ms"};
   for (const char* known : kKnown) {
     if (name == known) return true;
   }
@@ -276,6 +283,44 @@ int main(int argc, char** argv) {
   }
   uint16_t port = static_cast<uint16_t>(port_value);
 
+  const bool metrics_enabled = flags.Has("metrics-port");
+  int64_t metrics_port_value = tools::RequireInt(flags, "metrics-port", 0);
+  if (metrics_port_value < 0 || metrics_port_value > 65535) {
+    std::fprintf(stderr, "--metrics-port must be in [0, 65535]\n");
+    return 1;
+  }
+  int64_t slow_op_ms = tools::RequireInt(flags, "slow-op-ms", 0);
+  if (slow_op_ms < 0) {
+    std::fprintf(stderr, "--slow-op-ms must be >= 0\n");
+    return 1;
+  }
+  if (!metrics::kEnabled && (metrics_enabled || flags.Has("slow-op-ms"))) {
+    // The kill-switch build compiles every record site to nothing; a flag
+    // that silently serves an empty exposition is an operator trap.
+    std::fprintf(stderr,
+                 "--metrics-port/--slow-op-ms need a build with TC_METRICS=ON "
+                 "(this binary was compiled with the metrics kill switch)\n");
+    return 1;
+  }
+  metrics::MetricsRegistry::Instance().SetSlowOpMicros(
+      static_cast<uint64_t>(slow_op_ms) * 1000);
+
+  // Started (in either mode) once the serving stack exists, so the scrape
+  // hook can capture it.
+  std::unique_ptr<net::MetricsHttpServer> metrics_http;
+  auto start_metrics = [&](std::function<void()> pre_collect) -> bool {
+    if (!metrics_enabled) return true;
+    metrics_http = std::make_unique<net::MetricsHttpServer>(
+        static_cast<uint16_t>(metrics_port_value), std::move(pre_collect));
+    if (auto started = metrics_http->Start(); !started.ok()) {
+      std::fprintf(stderr, "%s\n", started.ToString().c_str());
+      return false;
+    }
+    std::printf("metrics on http://127.0.0.1:%u/metrics\n",
+                metrics_http->port());
+    return true;
+  };
+
   // One KV namespace per shard: prefix views over a shared memory store,
   // or one log file per shard for durable mode (independent append paths —
   // the cluster's ingest scaling lever). Follower stores get their own
@@ -348,6 +393,12 @@ int main(int argc, char** argv) {
     replica::FollowerDaemon daemon(std::move(stores), daemon_options);
     if (auto started = daemon.Start(port); !started.ok()) {
       tools::Die(started);
+    }
+    // Follower scrapes expose the net/apply-path registry; engine gauges
+    // refresh through the read path, so no pre-collect hook is needed.
+    if (!start_metrics(nullptr)) {
+      daemon.Stop();
+      return 1;
     }
     std::printf(
         "tcserver follower daemon on %s:%u following %s (store: %s, "
@@ -436,6 +487,16 @@ int main(int argc, char** argv) {
   server_options.max_frame_body = static_cast<size_t>(max_frame_mb) << 20;
   net::TcpServer server(handler, port, server_options);
   if (auto started = server.Start(); !started.ok()) tools::Die(started);
+  if (!start_metrics([sets] {
+        // Refresh engine-derived gauges (stream counts, lag, store
+        // pressure) so a scrape never reads stale shard state.
+        for (size_t i = 0; i < sets.size(); ++i) {
+          sets[i]->ShardInfoSnapshot(static_cast<uint32_t>(i));
+        }
+      })) {
+    server.Stop();
+    return 1;
+  }
   std::string notes;
   if (replicas > 0 || accept_followers) notes += ", ack: " + ack_name;
   if (accept_followers) notes += ", accepting followers";
