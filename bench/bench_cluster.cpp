@@ -506,6 +506,38 @@ void BenchMetricsOverhead(bool assert_bound) {
 #endif
 }
 
+void BenchSpanOverhead(bool assert_bound) {
+  // The marginal cost of distributed tracing: one TraceSpan open/close per
+  // request — two clock reads, the sampling hash, and a lock-free ring
+  // push. Under TC_METRICS=OFF the span compiles to nothing, so the same
+  // binary asserts the kill switch covers tracing too.
+  constexpr uint64_t kOps = 1'000'000;
+  WallTimer timer;
+  for (uint64_t i = 0; i < kOps; ++i) {
+    metrics::TraceSpan span("bench_span", nullptr, 0, 0);
+  }
+  double ns_per_op = timer.Seconds() * 1e9 / static_cast<double>(kOps);
+  std::printf(
+      "== span record overhead (%s): %.1f ns per traced request ==\n\n",
+      metrics::kEnabled ? "registry on" : "TC_METRICS=OFF", ns_per_op);
+  // Same noise bound as the counter+histogram pair above: a span is two
+  // steady_clock reads plus a seqlock-slot write, far under the ~28 us
+  // request round trip. A regression to a locked ring blows through it.
+  constexpr double kBoundNs = 250.0;
+#if defined(TC_BENCH_ASSERT_OVERHEAD)
+  if (assert_bound && ns_per_op > kBoundNs) {
+    std::fprintf(stderr,
+                 "span overhead %.1f ns/op exceeds the %.0f ns noise "
+                 "bound — the span ring is no longer lock-free?\n",
+                 ns_per_op, kBoundNs);
+    std::abort();
+  }
+#else
+  (void)assert_bound;
+  (void)kBoundNs;
+#endif
+}
+
 }  // namespace
 }  // namespace tc::bench
 
@@ -538,6 +570,7 @@ int main(int argc, char** argv) {
                            {1, 8, 32});
   BenchScatterGatherLatency(shard_counts, quick ? 32 : 64, quick ? 5 : 20);
   BenchMetricsOverhead(/*assert_bound=*/quick);
+  BenchSpanOverhead(/*assert_bound=*/quick);
   PrintStageBreakdown();
   return 0;
 }

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <thread>
 
+#include "common/metrics.hpp"
 #include "common/time.hpp"
+#include "common/trace.hpp"
 #include "net/messages.hpp"
 
 namespace tc::cluster {
@@ -70,11 +72,18 @@ class LocalShardChannel final : public net::Transport {
   net::PendingCall AsyncCall(MessageType type, BytesView body,
                              net::CallCallback on_done = nullptr) override {
     net::CallCompleter completer(std::move(on_done));
-    // Copy up front: the caller's view need not outlive AsyncCall.
+    // Copy up front: the caller's view need not outlive AsyncCall. The
+    // trace context is captured here and re-stamped on the executor thread
+    // (thread-locals do not follow a Submit), so shard spans stay in the
+    // caller's trace, under the span that scattered the call.
     Bytes copy(body.begin(), body.end());
-    exec_->Submit([set = set_, completer, type, copy = std::move(copy)] {
+    metrics::TraceContext ctx = metrics::OutgoingTraceContext();
+    exec_->Submit([set = set_, completer, type, copy = std::move(copy),
+                   ctx] {
+      metrics::SetCurrentTraceContext(ctx);
       completer.Complete(ReplicaServable(type) ? set->HandleRead(type, copy)
                                                : set->Handle(type, copy));
+      metrics::SetCurrentTraceContext({});
     });
     return completer.pending();
   }
@@ -159,6 +168,14 @@ uint64_t ShardRouter::TotalIndexBytes() const {
 }
 
 Result<Bytes> ShardRouter::Handle(MessageType type, BytesView body) {
+  // The routing span: every shard-engine span produced below (inline or
+  // across the scatter executor) parents under it, so a stitched trace
+  // shows router fan-out time vs per-shard handling time.
+  static metrics::LatencyHistogram& route_hist =
+      metrics::GetHistogram("tc_router_request_seconds");
+  metrics::TraceSpan span("router_dispatch", &route_hist,
+                          metrics::TraceSpan::kNoShard,
+                          static_cast<uint8_t>(type));
   switch (type) {
     // Single-stream mutations (and key-store state): the body starts with
     // the owning stream's uuid; route to its shard's primary.
@@ -187,6 +204,17 @@ Result<Bytes> ShardRouter::Handle(MessageType type, BytesView body) {
     case MessageType::kMultiStatRange: return MultiStatRange(body);
     case MessageType::kClusterInfo: return ClusterInfo();
     case MessageType::kMetricsInfo: return MetricsInfo();
+    // One span ring / event journal per process: the router and its
+    // in-process shard engines share them, so answering here covers every
+    // span and event this process produced — no scatter needed.
+    case MessageType::kTraceInfo: {
+      TC_ASSIGN_OR_RETURN(auto req, net::TraceInfoRequest::Decode(body));
+      return net::TraceInfoResponse::FromRing(req).Encode();
+    }
+    case MessageType::kEventsInfo: {
+      TC_ASSIGN_OR_RETURN(auto req, net::EventsInfoRequest::Decode(body));
+      return net::EventsInfoResponse::FromJournal(req).Encode();
+    }
     case MessageType::kPing: return Broadcast(type, body);
     case MessageType::kRollupStream: return RollupStream(body);
     case MessageType::kResponse: break;

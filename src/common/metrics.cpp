@@ -1,17 +1,44 @@
 #include "common/metrics.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 
 #include "common/logging.hpp"
+#include "common/trace.hpp"
 
 namespace tc::metrics {
 
 namespace {
 
 thread_local uint64_t g_trace_id = 0;
+thread_local uint64_t g_parent_span_id = 0;
 thread_local TraceSpan* g_current_span = nullptr;
+
+/// Process-unique span ids: a counter seeded from clock/pid/ASLR entropy so
+/// two processes in one cluster allocate from disjoint ranges (span ids
+/// must be unique within a trace tree, which crosses processes).
+uint64_t NextSpanId() {
+  static std::atomic<uint64_t> next{[] {
+    uint64_t x = static_cast<uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    x ^= static_cast<uint64_t>(getpid()) << 32;
+    x ^= reinterpret_cast<uintptr_t>(&g_trace_id);
+    // splitmix64 finalizer, then keep ids nonzero.
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x | 1;
+  }()};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+int64_t WallUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
 
 uint64_t ElapsedUs(std::chrono::steady_clock::time_point from,
                    std::chrono::steady_clock::time_point to) {
@@ -87,8 +114,42 @@ HistogramSnapshot LatencyHistogram::Snapshot() const {
   return s;
 }
 
+namespace {
+
+const char* SanitizerName() {
+#if defined(__SANITIZE_ADDRESS__)
+  return "address";
+#elif defined(__SANITIZE_THREAD__)
+  return "thread";
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+  return "address";
+#elif __has_feature(thread_sanitizer)
+  return "thread";
+#else
+  return "none";
+#endif
+#else
+  return "none";
+#endif
+}
+
+}  // namespace
+
 MetricsRegistry& MetricsRegistry::Instance() {
-  static MetricsRegistry* registry = new MetricsRegistry();  // never torn down
+  static MetricsRegistry* registry = [] {
+    auto* r = new MetricsRegistry();  // never torn down
+    if constexpr (kEnabled) {
+      // Value is always 1; the labels carry the build identity so one
+      // scrape answers "what is this binary" (version, metrics build,
+      // sanitizer) without shell access to the host.
+      std::string labels = "version=\"8\",metrics=\"on\",sanitizer=\"";
+      labels += SanitizerName();
+      labels += '"';
+      r->GetGauge("tc_build_info", labels).Set(1);
+    }
+    return r;
+  }();
   return *registry;
 }
 
@@ -223,12 +284,33 @@ std::string MetricsRegistry::RenderPrometheus() const {
 uint64_t CurrentTraceId() { return g_trace_id; }
 void SetCurrentTraceId(uint64_t id) { g_trace_id = id; }
 
-TraceSpan::TraceSpan(const char* op, LatencyHistogram* total_hist)
-    : op_(op), total_hist_(total_hist) {
+TraceContext CurrentTraceContext() {
+  return TraceContext{g_trace_id, g_parent_span_id};
+}
+
+void SetCurrentTraceContext(TraceContext ctx) {
+  g_trace_id = ctx.trace_id;
+  g_parent_span_id = ctx.parent_span_id;
+}
+
+TraceContext OutgoingTraceContext() {
+  if (g_current_span != nullptr) {
+    return TraceContext{g_trace_id, g_current_span->span_id()};
+  }
+  return TraceContext{g_trace_id, g_parent_span_id};
+}
+
+TraceSpan::TraceSpan(const char* op, LatencyHistogram* total_hist,
+                     uint32_t shard, uint8_t msg_type)
+    : op_(op), total_hist_(total_hist), shard_(shard), msg_type_(msg_type) {
   if constexpr (!kEnabled) return;
   trace_id_ = g_trace_id;
-  start_ = stage_start_ = std::chrono::steady_clock::now();
+  span_id_ = NextSpanId();
   parent_ = g_current_span;
+  parent_span_id_ =
+      parent_ != nullptr ? parent_->span_id_ : g_parent_span_id;
+  start_wall_us_ = WallUs();
+  start_ = stage_start_ = std::chrono::steady_clock::now();
   g_current_span = this;
 }
 
@@ -247,7 +329,23 @@ TraceSpan::~TraceSpan() {
   uint64_t total_us = ElapsedUs(start_, std::chrono::steady_clock::now());
   if (total_hist_ != nullptr) total_hist_->Record(total_us);
   uint64_t threshold = MetricsRegistry::Instance().slow_op_micros();
-  if (threshold == 0 || total_us < threshold) return;
+  bool slow = threshold != 0 && total_us >= threshold;
+  // Head-based sampling decides span collection by hashing the trace id, so
+  // every process keeps (or drops) the same traces; slow ops always land.
+  if (slow || trace::Sampled(trace_id_)) {
+    trace::SpanRecord record;
+    record.trace_id = trace_id_;
+    record.span_id = span_id_;
+    record.parent_span_id = parent_span_id_;
+    record.op = op_;
+    record.msg_type = msg_type_;
+    record.shard = shard_;
+    record.start_us = start_wall_us_;
+    record.duration_us = total_us;
+    record.slow = slow;
+    trace::RecordSpan(record);
+  }
+  if (!slow) return;
   static Counter& slow_ops = GetCounter("tc_server_slow_ops_total");
   slow_ops.Inc();
   std::string stages;

@@ -200,6 +200,25 @@ inline LatencyHistogram& GetHistogram(std::string_view name,
 uint64_t CurrentTraceId();
 void SetCurrentTraceId(uint64_t id);
 
+/// Distributed trace context: the origin trace id plus the span the current
+/// work descends from. Carried in every frame header, stamped on the
+/// handling thread by the wire layer, and re-stamped across executor hops
+/// (the thread-locals do not follow a Submit).
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
+};
+
+/// The raw thread-local context (trace id + inherited parent span id).
+TraceContext CurrentTraceContext();
+void SetCurrentTraceContext(TraceContext ctx);
+
+/// Context to stamp on an outgoing frame or executor hop: the current trace
+/// id, with the innermost live span of this thread as the parent (falling
+/// back to the inherited parent when no span is open) — so a downstream
+/// span links under the span that issued the call.
+TraceContext OutgoingTraceContext();
+
 /// Times one scope into a histogram (for sites that need no stage split).
 class ScopedTimer {
  public:
@@ -232,7 +251,12 @@ class ScopedTimer {
 ///   stages=decode:112,store:9441,index:42510
 class TraceSpan {
  public:
-  explicit TraceSpan(const char* op, LatencyHistogram* total_hist = nullptr);
+  /// Shard value for spans recorded outside any shard (mirrors
+  /// trace::kNoShard; metrics.hpp stays below trace.hpp in the layering).
+  static constexpr uint32_t kNoShard = 0xffffffffu;
+
+  explicit TraceSpan(const char* op, LatencyHistogram* total_hist = nullptr,
+                     uint32_t shard = kNoShard, uint8_t msg_type = 0);
   ~TraceSpan();
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
@@ -246,6 +270,7 @@ class TraceSpan {
   static void StageMark(const char* name, LatencyHistogram* hist = nullptr);
 
   uint64_t trace_id() const { return trace_id_; }
+  uint64_t span_id() const { return span_id_; }
 
  private:
   static constexpr size_t kMaxStages = 8;
@@ -257,6 +282,11 @@ class TraceSpan {
   const char* op_;
   LatencyHistogram* total_hist_;
   uint64_t trace_id_ = 0;
+  uint64_t span_id_ = 0;
+  uint64_t parent_span_id_ = 0;
+  uint32_t shard_ = kNoShard;
+  uint8_t msg_type_ = 0;
+  int64_t start_wall_us_ = 0;
   std::chrono::steady_clock::time_point start_;
   std::chrono::steady_clock::time_point stage_start_;
   std::array<StageRec, kMaxStages> stages_{};

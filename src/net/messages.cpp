@@ -1,6 +1,7 @@
 #include "net/messages.hpp"
 
 #include "common/metrics.hpp"
+#include "common/trace.hpp"
 
 namespace tc::net {
 
@@ -270,6 +271,156 @@ Result<MetricsInfoResponse> MetricsInfoResponse::Decode(BytesView in) {
     TC_ASSIGN_OR_RETURN(e.p99, r.GetVar());
     resp.entries.push_back(std::move(e));
   }
+  return resp;
+}
+
+Bytes TraceInfoRequest::Encode() const {
+  BinaryWriter w(16);
+  w.PutU64(trace_id);
+  w.PutU8(slow_only);
+  return std::move(w).Take();
+}
+
+Result<TraceInfoRequest> TraceInfoRequest::Decode(BytesView in) {
+  BinaryReader r(in);
+  TraceInfoRequest req;
+  TC_ASSIGN_OR_RETURN(req.trace_id, r.GetU64());
+  TC_ASSIGN_OR_RETURN(req.slow_only, r.GetU8());
+  if (req.slow_only > 1) {
+    return InvalidArgument("slow_only is a boolean flag");
+  }
+  return req;
+}
+
+TraceInfoResponse TraceInfoResponse::FromRing(const TraceInfoRequest& req) {
+  TraceInfoResponse resp;
+  resp.dropped = trace::Ring().dropped();
+  for (const trace::SpanRecord& r : trace::Ring().Snapshot()) {
+    if (req.trace_id != 0 && r.trace_id != req.trace_id) continue;
+    if (req.slow_only != 0 && !r.slow) continue;
+    Span s;
+    s.trace_id = r.trace_id;
+    s.span_id = r.span_id;
+    s.parent_span_id = r.parent_span_id;
+    s.op = r.op;
+    s.msg_type = r.msg_type;
+    s.shard = r.shard;
+    s.start_us = r.start_us;
+    s.duration_us = r.duration_us;
+    s.slow = r.slow ? 1 : 0;
+    resp.spans.push_back(std::move(s));
+  }
+  return resp;
+}
+
+Bytes TraceInfoResponse::Encode() const {
+  size_t payload_bytes = 16;
+  for (const auto& s : spans) payload_bytes += s.op.size() + 64;
+  BinaryWriter w(payload_bytes);
+  w.PutVar(spans.size());
+  for (const auto& s : spans) {
+    w.PutU64(s.trace_id);
+    w.PutU64(s.span_id);
+    w.PutU64(s.parent_span_id);
+    w.PutString(s.op);
+    w.PutU8(s.msg_type);
+    w.PutU32(s.shard);
+    w.PutI64(s.start_us);
+    w.PutVar(s.duration_us);
+    w.PutU8(s.slow);
+  }
+  w.PutVar(dropped);
+  return std::move(w).Take();
+}
+
+Result<TraceInfoResponse> TraceInfoResponse::Decode(BytesView in) {
+  BinaryReader r(in);
+  TraceInfoResponse resp;
+  TC_ASSIGN_OR_RETURN(uint64_t claimed, r.GetVar());
+  TC_ASSIGN_OR_RETURN(size_t count, CheckedCount(claimed, r));
+  resp.spans.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Span s;
+    TC_ASSIGN_OR_RETURN(s.trace_id, r.GetU64());
+    TC_ASSIGN_OR_RETURN(s.span_id, r.GetU64());
+    TC_ASSIGN_OR_RETURN(s.parent_span_id, r.GetU64());
+    TC_ASSIGN_OR_RETURN(s.op, r.GetString());
+    TC_ASSIGN_OR_RETURN(s.msg_type, r.GetU8());
+    TC_ASSIGN_OR_RETURN(s.shard, r.GetU32());
+    TC_ASSIGN_OR_RETURN(s.start_us, r.GetI64());
+    TC_ASSIGN_OR_RETURN(s.duration_us, r.GetVar());
+    TC_ASSIGN_OR_RETURN(s.slow, r.GetU8());
+    if (s.slow > 1) return InvalidArgument("slow is a boolean flag");
+    resp.spans.push_back(std::move(s));
+  }
+  TC_ASSIGN_OR_RETURN(resp.dropped, r.GetVar());
+  return resp;
+}
+
+Bytes EventsInfoRequest::Encode() const {
+  BinaryWriter w(8);
+  w.PutU64(min_seq);
+  return std::move(w).Take();
+}
+
+Result<EventsInfoRequest> EventsInfoRequest::Decode(BytesView in) {
+  BinaryReader r(in);
+  EventsInfoRequest req;
+  TC_ASSIGN_OR_RETURN(req.min_seq, r.GetU64());
+  return req;
+}
+
+EventsInfoResponse EventsInfoResponse::FromJournal(
+    const EventsInfoRequest& req) {
+  EventsInfoResponse resp;
+  resp.dropped = trace::EventJournal::Instance().dropped();
+  for (trace::Event& e :
+       trace::EventJournal::Instance().Snapshot(req.min_seq)) {
+    Event out;
+    out.seq = e.seq;
+    out.wall_ms = e.wall_ms;
+    out.kind = std::move(e.kind);
+    out.shard = e.shard;
+    out.detail = std::move(e.detail);
+    resp.events.push_back(std::move(out));
+  }
+  return resp;
+}
+
+Bytes EventsInfoResponse::Encode() const {
+  size_t payload_bytes = 16;
+  for (const auto& e : events) {
+    payload_bytes += e.kind.size() + e.detail.size() + 40;
+  }
+  BinaryWriter w(payload_bytes);
+  w.PutVar(events.size());
+  for (const auto& e : events) {
+    w.PutU64(e.seq);
+    w.PutI64(e.wall_ms);
+    w.PutString(e.kind);
+    w.PutU32(e.shard);
+    w.PutString(e.detail);
+  }
+  w.PutVar(dropped);
+  return std::move(w).Take();
+}
+
+Result<EventsInfoResponse> EventsInfoResponse::Decode(BytesView in) {
+  BinaryReader r(in);
+  EventsInfoResponse resp;
+  TC_ASSIGN_OR_RETURN(uint64_t claimed, r.GetVar());
+  TC_ASSIGN_OR_RETURN(size_t count, CheckedCount(claimed, r));
+  resp.events.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Event e;
+    TC_ASSIGN_OR_RETURN(e.seq, r.GetU64());
+    TC_ASSIGN_OR_RETURN(e.wall_ms, r.GetI64());
+    TC_ASSIGN_OR_RETURN(e.kind, r.GetString());
+    TC_ASSIGN_OR_RETURN(e.shard, r.GetU32());
+    TC_ASSIGN_OR_RETURN(e.detail, r.GetString());
+    resp.events.push_back(std::move(e));
+  }
+  TC_ASSIGN_OR_RETURN(resp.dropped, r.GetVar());
   return resp;
 }
 

@@ -156,6 +156,65 @@ struct MetricsInfoResponse {
   static Result<MetricsInfoResponse> Decode(BytesView in);
 };
 
+/// Drain the process-wide span ring (kTraceInfo). `trace_id != 0` filters to
+/// one trace; `slow_only` keeps only spans past the slow-op threshold.
+struct TraceInfoRequest {
+  uint64_t trace_id = 0;
+  uint8_t slow_only = 0;
+
+  Bytes Encode() const;
+  static Result<TraceInfoRequest> Decode(BytesView in);
+};
+
+struct TraceInfoResponse {
+  struct Span {
+    uint64_t trace_id = 0;
+    uint64_t span_id = 0;
+    uint64_t parent_span_id = 0;
+    std::string op;       // snake_case literal (message-type / stage name)
+    uint8_t msg_type = 0; // raw MessageType byte, 0 when not a request span
+    uint32_t shard = 0xffffffffu;  // trace::kNoShard when shardless
+    int64_t start_us = 0;          // wall clock, us since the Unix epoch
+    uint64_t duration_us = 0;
+    uint8_t slow = 0;
+  };
+  std::vector<Span> spans;
+  uint64_t dropped = 0;  // spans evicted by ring wrap since process start
+
+  /// Snapshot the process ring, applying the request's filters.
+  static TraceInfoResponse FromRing(const TraceInfoRequest& req);
+
+  Bytes Encode() const;
+  static Result<TraceInfoResponse> Decode(BytesView in);
+};
+
+/// Structured event journal query (kEventsInfo): lifecycle events with
+/// seq >= min_seq, oldest first.
+struct EventsInfoRequest {
+  uint64_t min_seq = 0;
+
+  Bytes Encode() const;
+  static Result<EventsInfoRequest> Decode(BytesView in);
+};
+
+struct EventsInfoResponse {
+  struct Event {
+    uint64_t seq = 0;
+    int64_t wall_ms = 0;  // wall clock, ms since the Unix epoch
+    std::string kind;     // snake_case event class
+    uint32_t shard = 0;
+    std::string detail;
+  };
+  std::vector<Event> events;
+  uint64_t dropped = 0;  // events evicted by the capacity bound
+
+  /// Snapshot the process journal from min_seq.
+  static EventsInfoResponse FromJournal(const EventsInfoRequest& req);
+
+  Bytes Encode() const;
+  static Result<EventsInfoResponse> Decode(BytesView in);
+};
+
 struct GetRangeRequest {
   uint64_t uuid = 0;
   TimeRange range;

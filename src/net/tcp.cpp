@@ -16,6 +16,7 @@
 #include "common/io.hpp"
 #include "common/logging.hpp"
 #include "common/metrics.hpp"
+#include "common/trace.hpp"
 
 namespace tc::net {
 
@@ -282,17 +283,22 @@ void TcpServer::FinishRequest(const std::shared_ptr<Conn>& conn) {
 }
 
 void TcpServer::HandleRequest(const std::shared_ptr<Conn>& conn,
-                              MessageType type, uint64_t request_id,
-                              const Bytes& body) {
-  // Stamp the per-request trace id (connection serial | request id) on the
-  // dispatching thread; TraceSpans opened inside the handler pick it up for
-  // slow-op lines.
+                              const FrameHeader& header, const Bytes& body) {
+  // Stamp the trace context on the dispatching thread: adopt the wire's
+  // trace id when the caller sent one (a routed/shipped hop inside a larger
+  // request), else derive the origin id (connection serial | request id).
+  // TraceSpans opened inside the handler inherit it and parent under the
+  // caller's span.
   if constexpr (metrics::kEnabled) {
-    metrics::SetCurrentTraceId((conn->serial << 32) |
-                               (request_id & 0xffffffff));
+    uint64_t trace_id =
+        header.trace_id != 0
+            ? header.trace_id
+            : (conn->serial << 32) | (header.request_id & 0xffffffff);
+    metrics::SetCurrentTraceContext({trace_id, header.parent_span_id});
   }
-  conn->WriteResponse(request_id, handler_->Handle(type, body));
-  if constexpr (metrics::kEnabled) metrics::SetCurrentTraceId(0);
+  conn->WriteResponse(header.request_id,
+                      handler_->Handle(header.type, body));
+  if constexpr (metrics::kEnabled) metrics::SetCurrentTraceContext({});
 }
 
 void TcpServer::DrainMutations(const std::shared_ptr<Conn>& conn) {
@@ -312,7 +318,7 @@ void TcpServer::DrainMutations(const std::shared_ptr<Conn>& conn) {
       body = std::move(conn->mutations.front().second);
       conn->mutations.pop_front();
     }
-    HandleRequest(conn, header.type, header.request_id, body);
+    HandleRequest(conn, header, body);
     FinishRequest(conn);
   }
 }
@@ -364,10 +370,9 @@ void TcpServer::ServeConnection(std::shared_ptr<Conn> conn) {
         dispatch_->Submit([this, conn] { DrainMutations(conn); });
       }
     } else {
-      dispatch_->Submit([this, conn, type = header->type,
-                         id = header->request_id,
+      dispatch_->Submit([this, conn, header = *header,
                          body = std::move(body)] {
-        HandleRequest(conn, type, id, body);
+        HandleRequest(conn, header, body);
         FinishRequest(conn);
       });
     }
@@ -541,7 +546,12 @@ PendingCall TcpClient::AsyncCall(MessageType type, BytesView body,
   // thread regains the CPU. Nudge the reader so its poll deadline covers
   // the new call.
   WakeReader();
-  Bytes frame = EncodeFrame(type, id, body);
+  // Stamp the caller's live trace context on the frame so the server's
+  // spans land in the same trace, under the span issuing this call.
+  metrics::TraceContext ctx;
+  if constexpr (metrics::kEnabled) ctx = metrics::OutgoingTraceContext();
+  Bytes frame = EncodeFrame(type, id, body, ctx.trace_id,
+                            ctx.parent_span_id);
   if constexpr (metrics::kEnabled) {
     ClientVolume().tx_frames.Inc();
     ClientVolume().tx_bytes.Inc(frame.size());
@@ -591,6 +601,18 @@ void TcpClient::ReaderLoop() {
     }
     if (expired) {
       ClientOpTimeouts().Inc();
+      size_t stranded = 0;
+      {
+        MutexLock lock(mu_);
+        stranded = pending_.size();
+      }
+      // One expiry strands every pending call on this connection (the
+      // stream cannot be resynced) — journal the storm size, not just the
+      // first victim.
+      trace::RecordEvent("client_op_timeout", trace::kNoShard,
+                         "pending=" + std::to_string(stranded) +
+                             " timeout_ms=" +
+                             std::to_string(op_timeout_ms_.load()));
       FailConnection(Unavailable("request timed out after " +
                                  std::to_string(op_timeout_ms_.load()) +
                                  " ms"));

@@ -77,8 +77,8 @@ class TcpServer {
 
   void AcceptLoop();
   void ServeConnection(std::shared_ptr<Conn> conn);
-  void HandleRequest(const std::shared_ptr<Conn>& conn, MessageType type,
-                     uint64_t request_id, const Bytes& body);
+  void HandleRequest(const std::shared_ptr<Conn>& conn,
+                     const FrameHeader& header, const Bytes& body);
   void DrainMutations(const std::shared_ptr<Conn>& conn);
   static void FinishRequest(const std::shared_ptr<Conn>& conn);
 

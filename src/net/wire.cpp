@@ -24,6 +24,8 @@ bool IsMutation(MessageType type) {
     case MessageType::kGetChunkWitnessed:
     case MessageType::kClusterInfo:
     case MessageType::kMetricsInfo:
+    case MessageType::kTraceInfo:
+    case MessageType::kEventsInfo:
       return false;
     // Ingest, grants, rollups, deletes, attestations, and replica shipments
     // mutate server state — same-connection arrival order is preserved.
@@ -81,6 +83,8 @@ const char* MessageTypeName(MessageType type) {
     case MessageType::kReplicaHeartbeat: return "replica_heartbeat";
     case MessageType::kReplicaOps: return "replica_ops";
     case MessageType::kMetricsInfo: return "metrics_info";
+    case MessageType::kTraceInfo: return "trace_info";
+    case MessageType::kEventsInfo: return "events_info";
   }
   return "unknown";
 }
@@ -149,6 +153,8 @@ Result<FrameHeader> DecodeFrameHeader(BytesView header, size_t max_body) {
   TC_ASSIGN_OR_RETURN(h.body_len, r.GetU32());
   TC_ASSIGN_OR_RETURN(uint8_t type, r.GetU8());
   TC_ASSIGN_OR_RETURN(h.request_id, r.GetU64());
+  TC_ASSIGN_OR_RETURN(h.trace_id, r.GetU64());
+  TC_ASSIGN_OR_RETURN(h.parent_span_id, r.GetU64());
   h.type = static_cast<MessageType>(type);
   if (h.body_len > max_body) {
     return InvalidArgument(
@@ -158,11 +164,14 @@ Result<FrameHeader> DecodeFrameHeader(BytesView header, size_t max_body) {
   return h;
 }
 
-Bytes EncodeFrame(MessageType type, uint64_t request_id, BytesView body) {
-  BinaryWriter w(body.size() + 16);
+Bytes EncodeFrame(MessageType type, uint64_t request_id, BytesView body,
+                  uint64_t trace_id, uint64_t parent_span_id) {
+  BinaryWriter w(body.size() + kFrameHeaderBytes);
   w.PutU32(static_cast<uint32_t>(body.size()));
   w.PutU8(static_cast<uint8_t>(type));
   w.PutU64(request_id);
+  w.PutU64(trace_id);
+  w.PutU64(parent_span_id);
   w.PutRaw(body);
   return std::move(w).Take();
 }

@@ -2,9 +2,17 @@
 // messages (the prototype's Netty+protobuf layer, §5, rebuilt on POSIX
 // sockets with a hand-rolled binary codec).
 //
-// Frame layout:  u32 body_len | u8 msg_type | u64 request_id | body
+// Frame layout:  u32 body_len | u8 msg_type | u64 request_id |
+//                u64 trace_id | u64 parent_span_id | body
 // Responses use the same frame with msg_type = kResponse and a body of
 // status_code | status_msg | payload.
+//
+// trace_id / parent_span_id carry the distributed trace context across
+// every hop (client → router → shard engine → follower): a server adopts a
+// nonzero trace_id as-is (falling back to its origin-derived id otherwise),
+// and spans opened while handling the request parent under parent_span_id,
+// so `tccli trace` can stitch one tree from spans collected on every
+// process that touched the request. Zero means "no context".
 //
 // The transport API is asynchronous and request-id multiplexed: AsyncCall
 // returns a PendingCall immediately, many calls can be in flight on one
@@ -71,6 +79,12 @@ enum class MessageType : uint8_t {
   // Observability extension (src/common/metrics): snapshot of the
   // process-wide metrics registry (counters, gauges, latency histograms).
   kMetricsInfo = 30,
+  // Observability extension (src/common/trace): drain the process-wide
+  // span ring (kTraceInfo, optionally filtered to one trace id) and the
+  // structured event journal (kEventsInfo). Both are reads — `tccli trace`
+  // must never queue behind a pipelined ingest stream.
+  kTraceInfo = 31,
+  kEventsInfo = 32,
 };
 
 /// Stable snake_case name for one message type ("insert_chunk",
@@ -192,22 +206,29 @@ struct FrameHeader {
   uint32_t body_len = 0;
   MessageType type = MessageType::kResponse;
   uint64_t request_id = 0;
+  // Distributed trace context (0 = none): the origin trace id and the span
+  // the request descends from on the sending process.
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
 };
 
-inline constexpr size_t kFrameHeaderBytes = 13;
+inline constexpr size_t kFrameHeaderBytes = 29;
 
 /// Default per-frame body cap. The header's body_len is attacker-controlled
 /// u32; every decoder bounds it before allocating (both transport ends take
 /// a configurable max).
 inline constexpr size_t kDefaultMaxFrameBody = 512u << 20;
 
-/// Decode the fixed 13-byte header, rejecting bodies larger than `max_body`
+/// Decode the fixed 29-byte header, rejecting bodies larger than `max_body`
 /// with a clean status (never an allocation).
 Result<FrameHeader> DecodeFrameHeader(BytesView header,
                                       size_t max_body = kDefaultMaxFrameBody);
 
 /// Encode a frame (request or response) into bytes ready for the socket.
-Bytes EncodeFrame(MessageType type, uint64_t request_id, BytesView body);
+/// trace_id/parent_span_id default to 0 ("no context") — the TCP client
+/// stamps the caller's live trace context on outgoing requests.
+Bytes EncodeFrame(MessageType type, uint64_t request_id, BytesView body,
+                  uint64_t trace_id = 0, uint64_t parent_span_id = 0);
 
 /// Encode the standard response body.
 Bytes EncodeResponseBody(const Status& status, BytesView payload);

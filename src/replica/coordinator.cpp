@@ -7,6 +7,7 @@
 #include <set>
 
 #include "common/logging.hpp"
+#include "common/trace.hpp"
 #include "net/messages.hpp"
 #include "net/tcp.hpp"
 #include "replica/replica_wire.hpp"
@@ -87,6 +88,9 @@ Result<Bytes> PrimaryCoordinator::Hello(BytesView body) {
   if (added.ok()) {
     TC_LOG_INFO << "replica follower " << label << " registered for shard "
                 << req.shard << " (applied " << req.applied_seq << ")";
+    trace::RecordEvent("follower_registered", req.shard,
+                       label + " applied=" +
+                           std::to_string(req.applied_seq));
     MutexLock lock(mu_);
     endpoints_.push_back(
         {req.shard, req.host, static_cast<uint16_t>(req.port)});
@@ -97,6 +101,9 @@ Result<Bytes> PrimaryCoordinator::Hello(BytesView body) {
     // and redials, but on a write-quiescent shard nothing would ever ship
     // and expose a wiped store — reconcile the claimed progress now.
     set->ReconcileRemoteFollower(label, req.applied_seq);
+    trace::RecordEvent("follower_reconciled", req.shard,
+                       label + " applied=" +
+                           std::to_string(req.applied_seq));
   }
   return net::ReplicaHelloResponse{set->head_seq(), options_.heartbeat_ms}
       .Encode();
@@ -162,6 +169,16 @@ void PrimaryCoordinator::HeartbeatLoop() {
     // offenders back off across rounds.
     int64_t timeout_ms = std::max<int64_t>(options_.heartbeat_ms, 250);
     std::set<std::string> undialable_this_round;
+    // First strike only: one journal event when a follower goes dark, not
+    // one per backoff round (the journal records transitions, not state).
+    auto strike = [&failures, &skip_rounds](const std::string& key,
+                                            uint32_t shard) {
+      uint32_t strikes = std::min<uint32_t>(++failures[key], 5);
+      skip_rounds[key] = 1u << strikes;  // 2..32 rounds
+      if (strikes == 1) {
+        trace::RecordEvent("follower_unreachable", shard, key);
+      }
+    };
     for (const auto& endpoint : endpoints) {
       std::string key =
           endpoint.host + ":" + std::to_string(endpoint.port);
@@ -176,8 +193,7 @@ void PrimaryCoordinator::HeartbeatLoop() {
                                               timeout_ms);
         if (!dialed.ok()) {  // follower down; its shipper handles catch-up
           undialable_this_round.insert(key);
-          uint32_t strikes = std::min<uint32_t>(++failures[key], 5);
-          skip_rounds[key] = 1u << strikes;  // 2..32 rounds
+          strike(key, endpoint.shard);
           continue;
         }
         client = std::move(*dialed);
@@ -188,8 +204,7 @@ void PrimaryCoordinator::HeartbeatLoop() {
       if (!sent.ok()) {  // redial next round
         client.reset();
         undialable_this_round.insert(key);
-        uint32_t strikes = std::min<uint32_t>(++failures[key], 5);
-        skip_rounds[key] = 1u << strikes;
+        strike(key, endpoint.shard);
       } else {
         failures.erase(key);
         skip_rounds.erase(key);

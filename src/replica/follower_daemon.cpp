@@ -6,6 +6,7 @@
 #include "cluster/shard_router.hpp"
 #include "common/io.hpp"
 #include "common/logging.hpp"
+#include "common/trace.hpp"
 
 namespace tc::replica {
 
@@ -158,6 +159,11 @@ Result<Bytes> FollowerDaemon::HandleFollowing(net::MessageType type,
         return InvalidArgument("replica frame for unknown shard");
       }
       Touch();
+      // The shipped frame carries the originating client's trace context, so
+      // this span stitches the follower's apply under the same trace as the
+      // primary-side ingest that produced the batch.
+      metrics::TraceSpan span("replica_apply", nullptr, req.shard,
+                              static_cast<uint8_t>(type));
       return shards_[req.shard]->applier->ApplyOps(req);
     }
     case MessageType::kReplicaSnapshotBegin: {
@@ -194,8 +200,27 @@ Result<Bytes> FollowerDaemon::HandleFollowing(net::MessageType type,
       if (req.shard == 0) {
         // Elections key on shard 0's view (all shards ship from the same
         // primary process, so liveness and progress move together).
-        MutexLock lock(view_mu_);
-        view_ = req.peers;
+        bool changed = false;
+        size_t peers = 0;
+        {
+          MutexLock lock(view_mu_);
+          changed = view_.size() != req.peers.size();
+          if (!changed) {
+            for (size_t i = 0; i < view_.size(); ++i) {
+              if (view_[i].host != req.peers[i].host ||
+                  view_[i].port != req.peers[i].port) {
+                changed = true;
+                break;
+              }
+            }
+          }
+          view_ = req.peers;
+          peers = view_.size();
+        }
+        if (changed) {
+          trace::RecordEvent("view_change", 0,
+                             "peers=" + std::to_string(peers));
+        }
       }
       return net::ReplicaAckResponse{applied_seq(req.shard)}.Encode();
     }
@@ -209,6 +234,16 @@ Result<Bytes> FollowerDaemon::HandleFollowing(net::MessageType type,
       // A follower scrapes its own process registry (net + apply-path
       // metrics); engine-derived gauges refresh through the serving path.
       return net::MetricsInfoResponse::FromRegistry().Encode();
+    // A follower drains its own span ring and event journal — `tccli
+    // trace --peers` stitches them with the primary's under one trace id.
+    case MessageType::kTraceInfo: {
+      TC_ASSIGN_OR_RETURN(auto req, net::TraceInfoRequest::Decode(body));
+      return net::TraceInfoResponse::FromRing(req).Encode();
+    }
+    case MessageType::kEventsInfo: {
+      TC_ASSIGN_OR_RETURN(auto req, net::EventsInfoRequest::Decode(body));
+      return net::EventsInfoResponse::FromJournal(req).Encode();
+    }
     // Read-only single-stream queries: served locally from the refreshed
     // follower engine — replica reads without a second network hop.
     case MessageType::kGetRange:
@@ -342,9 +377,13 @@ Status FollowerDaemon::RegisterTo(const std::string& host, uint16_t port) {
           std::memory_order_relaxed);
     }
   }
-  MutexLock lock(view_mu_);
-  primary_host_ = host;
-  primary_port_ = port;
+  {
+    MutexLock lock(view_mu_);
+    primary_host_ = host;
+    primary_port_ = port;
+  }
+  trace::RecordEvent("registered_to_primary", trace::kNoShard,
+                     host + ":" + std::to_string(port));
   return Status::Ok();
 }
 
@@ -374,6 +413,11 @@ void FollowerDaemon::HandleSilence() {
       }
     }
   }
+  trace::RecordEvent("takeover_election", trace::kNoShard,
+                     "silent_ms=" + std::to_string(MillisSinceContact()) +
+                         " candidates=" +
+                         std::to_string(candidates.size() +
+                                        (self_in_view ? 0 : 1)));
   // Every elector must rank from the SAME numbers — the broadcast view,
   // our own entry included. Substituting our live applied seq here would
   // let two daemons each see themselves ahead (ops shipped to one of them
@@ -406,6 +450,7 @@ void FollowerDaemon::HandleSilence() {
     if (s.ok()) {
       TC_LOG_INFO << "follower " << this->endpoint() << " re-homed under "
                   << endpoint;
+      trace::RecordEvent("follower_rehomed", trace::kNoShard, endpoint);
       registered_.store(true);
       Touch();
       MutexLock lock(view_mu_);
@@ -439,6 +484,9 @@ void FollowerDaemon::HandleSilence() {
 void FollowerDaemon::PromoteSelf() {
   TC_LOG_WARN << "follower " << endpoint() << " saw the primary silent for "
               << MillisSinceContact() << "ms; promoting itself";
+  trace::RecordEvent("self_promotion", trace::kNoShard,
+                     endpoint() + " silent_ms=" +
+                         std::to_string(MillisSinceContact()));
   // Seal replication first: after this barrier no frame from a
   // believed-dead-but-actually-alive old primary can mutate the stores
   // while (or after) the new primary stack recovers from them.
@@ -469,6 +517,9 @@ void FollowerDaemon::PromoteSelf() {
   promoted_.store(true);
   TC_LOG_INFO << "promotion complete: " << NumStreams()
               << " stream(s) serving at " << endpoint();
+  trace::RecordEvent("promotion_complete", trace::kNoShard,
+                     endpoint() + " streams=" +
+                         std::to_string(NumStreams()));
 }
 
 }  // namespace tc::replica

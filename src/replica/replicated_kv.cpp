@@ -5,6 +5,7 @@
 
 #include "common/logging.hpp"
 #include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "crypto/rand.hpp"
 #include "net/messages.hpp"
 
@@ -212,6 +213,17 @@ Status ReplicatedKvStore::Replicate(uint8_t kind, const std::string& key,
     seq = head_seq_.load(std::memory_order_relaxed) + 1;
     log_.push_back({seq, kind, key, Bytes(value.begin(), value.end())});
     head_seq_.store(seq, std::memory_order_release);
+    // Remember the writing request's trace context: the shipper thread
+    // re-stamps it when it ships this tail, so follower-side spans join the
+    // trace of the ingest that produced the ops (approximate for a batch
+    // mixing traces — the last writer wins — but exact for the common
+    // one-request burst).
+    if constexpr (metrics::kEnabled) {
+      metrics::TraceContext ctx = metrics::OutgoingTraceContext();
+      ship_trace_id_.store(ctx.trace_id, std::memory_order_relaxed);
+      ship_parent_span_.store(ctx.parent_span_id,
+                              std::memory_order_relaxed);
+    }
     while (log_.size() > options_.max_log_ops) {
       log_.pop_front();
       ++log_first_seq_;
@@ -369,6 +381,10 @@ Status ReplicatedKvStore::StreamSnapshot(FollowerState* state,
 
   TC_ASSIGN_OR_RETURN(uint64_t resume,
                       state->follower->BeginSnapshot(origin_, snap_seq));
+  trace::RecordEvent("snapshot_stream_begin", trace::kNoShard,
+                     "snap_seq=" + std::to_string(snap_seq) +
+                         " resume=" + std::to_string(resume) +
+                         " keys=" + std::to_string(keys.size()));
 
   std::vector<SnapshotEntry> chunk;
   size_t chunk_bytes = 0;
@@ -403,7 +419,11 @@ Status ReplicatedKvStore::StreamSnapshot(FollowerState* state,
     }
   }
   TC_RETURN_IF_ERROR(flush());
-  return state->follower->EndSnapshot(snap_seq, stream_index);
+  TC_RETURN_IF_ERROR(state->follower->EndSnapshot(snap_seq, stream_index));
+  trace::RecordEvent("snapshot_stream_end", trace::kNoShard,
+                     "snap_seq=" + std::to_string(snap_seq) + " entries=" +
+                         std::to_string(stream_index));
+  return Status::Ok();
 }
 
 void ReplicatedKvStore::ShipperLoop(FollowerState* state) {
@@ -456,8 +476,16 @@ void ReplicatedKvStore::ShipperLoop(FollowerState* state) {
     std::vector<LoggedOp> batch(log_.begin() + offset,
                                 log_.begin() + offset + count);
     mu_.unlock();
+    // Ship under the originating request's trace context so the follower's
+    // replica_ops span lands in the same trace as the ingest.
+    if constexpr (metrics::kEnabled) {
+      metrics::SetCurrentTraceContext(
+          {ship_trace_id_.load(std::memory_order_relaxed),
+           ship_parent_span_.load(std::memory_order_relaxed)});
+    }
     auto ship_start = std::chrono::steady_clock::now();
     Status s = state->follower->ApplyOps(batch);
+    if constexpr (metrics::kEnabled) metrics::SetCurrentTraceContext({});
     if constexpr (metrics::kEnabled) {
       Ship().batch_ops.Record(batch.size());
       Ship().ack_us.Record(static_cast<uint64_t>(
@@ -473,6 +501,8 @@ void ReplicatedKvStore::ShipperLoop(FollowerState* state) {
         // fault). Re-seed it instead of retrying the same frame forever.
         TC_LOG_WARN << "replica op shipment rejected, re-seeding follower: "
                     << s.ToString();
+        trace::RecordEvent("follower_reseed", trace::kNoShard,
+                           s.ToString());
         state->last_error = s;
         state->needs_snapshot = true;
         // Our view of its progress is wrong too; restart from the stream.

@@ -272,6 +272,10 @@ class ReplicatedKvStore final : public store::KvStore {
   std::atomic<uint64_t> head_seq_{0};
   std::atomic<uint64_t> snapshots_{0};
   std::atomic<uint64_t> snapshot_chunks_{0};
+  // Trace context of the most recent writer, re-stamped by shippers so
+  // follower spans join the originating ingest's trace.
+  std::atomic<uint64_t> ship_trace_id_{0};
+  std::atomic<uint64_t> ship_parent_span_{0};
   bool stop_ GUARDED_BY(mu_) = false;
   // Shipper threads self-register here; vector only grows (AddFollower),
   // entries are stable (unique_ptr) so atomics can be read without mu_.

@@ -31,7 +31,7 @@ struct RequestMetrics {
 RequestMetrics& MetricsFor(MessageType type) {
   static auto* table = [] {
     auto* t = new std::vector<RequestMetrics>;
-    auto last = static_cast<size_t>(MessageType::kMetricsInfo);
+    auto last = static_cast<size_t>(MessageType::kEventsInfo);
     t->reserve(last + 1);
     for (size_t i = 0; i <= last; ++i) {
       auto mt = static_cast<MessageType>(i);
@@ -249,10 +249,12 @@ Status ServerEngine::Refresh() {
 Result<Bytes> ServerEngine::Handle(MessageType type, BytesView body) {
   RequestMetrics& request_metrics = MetricsFor(type);
   request_metrics.count.Inc();
-  // The span records total latency per type and, when the slow-op threshold
-  // is armed, logs the stage breakdown with the wire layer's trace id.
+  // The span records total latency per type into the ring (for kTraceInfo
+  // stitching) tagged with this engine's shard and, when the slow-op
+  // threshold is armed, logs the stage breakdown with the wire trace id.
   metrics::TraceSpan span(net::MessageTypeName(type),
-                          &request_metrics.latency);
+                          &request_metrics.latency, options_.shard_id,
+                          static_cast<uint8_t>(type));
   switch (type) {
     case MessageType::kCreateStream: return CreateStream(body);
     case MessageType::kDeleteStream: return DeleteStream(body);
@@ -275,6 +277,14 @@ Result<Bytes> ServerEngine::Handle(MessageType type, BytesView body) {
     case MessageType::kGetAttestation: return GetAttestation(body);
     case MessageType::kGetChunkWitnessed: return GetChunkWitnessed(body);
     case MessageType::kMetricsInfo: return MetricsInfo();
+    case MessageType::kTraceInfo: {
+      TC_ASSIGN_OR_RETURN(auto req, net::TraceInfoRequest::Decode(body));
+      return net::TraceInfoResponse::FromRing(req).Encode();
+    }
+    case MessageType::kEventsInfo: {
+      TC_ASSIGN_OR_RETURN(auto req, net::EventsInfoRequest::Decode(body));
+      return net::EventsInfoResponse::FromJournal(req).Encode();
+    }
     case MessageType::kPing: return Bytes{};
     case MessageType::kResponse: break;
     // Replication frames target a follower's ReplicaApplier endpoint (and

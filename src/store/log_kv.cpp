@@ -8,6 +8,7 @@
 #include "common/io.hpp"
 #include "common/logging.hpp"
 #include "common/metrics.hpp"
+#include "common/trace.hpp"
 
 namespace tc::store {
 
@@ -256,6 +257,8 @@ Result<size_t> LogKvStore::CompactLocked() {
   dead_bytes_ = 0;
   ++compactions_;
   if constexpr (metrics::kEnabled) Ops().compactions.Inc();
+  trace::RecordEvent("store_compaction", trace::kNoShard,
+                     path_ + " reclaimed=" + std::to_string(reclaimed));
   compact_backoff_dead_bytes_ = 0;  // a successful rewrite clears the backoff
   log_ = std::fopen(path_.c_str(), "ab");
   if (log_ == nullptr) return Unavailable("cannot reopen log");

@@ -5,14 +5,24 @@
 // killing the primary must trigger the view-based takeover election: the
 // most-caught-up daemon promotes itself with streams, grants, and witness
 // state intact, and the survivors re-home under it.
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <set>
 #include <thread>
 
 #include "client/consumer.hpp"
 #include "client/owner.hpp"
 #include "cluster/shard_router.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
+#include "net/metrics_http.hpp"
 #include "replica/coordinator.hpp"
 #include "replica/follower_daemon.hpp"
 #include "replica/replica_set.hpp"
@@ -78,6 +88,37 @@ bool PollUntil(const std::function<bool()>& done, int64_t timeout_ms) {
     std::this_thread::sleep_for(std::chrono::milliseconds(25));
   }
   return done();
+}
+
+std::string HttpGet(uint16_t port, const std::string& path) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::write(fd, request.data() + sent, request.size() - sent);
+    if (n <= 0) {
+      ::close(fd);
+      return {};
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
 }
 
 FollowerDaemonOptions DaemonOptions(uint16_t primary_port) {
@@ -263,6 +304,41 @@ TEST(FollowerDaemonE2E, AutoPromotionServesFullStateAfterPrimaryDeath) {
       30'000))
       << "survivor never converged on the post-failover writes";
 
+  // The election left an audit trail: the promoted daemon's event journal
+  // (kEventsInfo over the same port clients use) must show the takeover
+  // election, the self-promotion decision, and its completion in that
+  // order. Seqs are assigned at Record() time, so ordering by seq is the
+  // causal order within this process.
+  if (metrics::kEnabled) {
+    auto events_blob = (*promoted_transport)
+                           ->Call(net::MessageType::kEventsInfo,
+                                  net::EventsInfoRequest{0}.Encode());
+    ASSERT_TRUE(events_blob.ok()) << events_blob.status().ToString();
+    auto events = net::EventsInfoResponse::Decode(*events_blob);
+    ASSERT_TRUE(events.ok());
+    // Only the winner records self_promotion; anchor on it, because the
+    // process-global journal also holds the loser's takeover_election
+    // (both daemons see the silence) which may land after the winner's.
+    uint64_t promotion_seq = 0;
+    for (const auto& e : events->events) {
+      if (e.kind == "self_promotion") promotion_seq = e.seq;
+    }
+    ASSERT_GT(promotion_seq, 0u) << "no self_promotion event journaled";
+    bool election_before = false, complete_after = false;
+    for (const auto& e : events->events) {
+      if (e.kind == "takeover_election" && e.seq < promotion_seq) {
+        election_before = true;
+      }
+      if (e.kind == "promotion_complete" && e.seq > promotion_seq) {
+        complete_after = true;
+      }
+    }
+    EXPECT_TRUE(election_before)
+        << "no takeover_election journaled before the self_promotion";
+    EXPECT_TRUE(complete_after)
+        << "no promotion_complete journaled after the self_promotion";
+  }
+
   f1.Stop();
   f2.Stop();
 }
@@ -400,6 +476,207 @@ TEST(FollowerDaemonE2E, HelloHandshakeValidation) {
   ASSERT_TRUE(response.ok());
   EXPECT_GT(response->heartbeat_ms, 0u);
   EXPECT_EQ(replicated->num_remote_followers(), 1u);
+}
+
+// Satellite: the follower-daemon process exposes the same Prometheus
+// endpoint as a primary — scrape it after a real snapshot + op-ship cycle
+// and assert the replica apply-path counters actually moved.
+TEST(FollowerDaemonE2E, MetricsScrapeExposesReplicaCounters) {
+  if (!metrics::kEnabled) {
+    GTEST_SKIP() << "registry is compiled out under TC_METRICS=OFF";
+  }
+  auto set = ReplicaSet::Make(std::make_shared<store::MemKvStore>(), {}, {},
+                              replica::ReplicaSetOptions{});
+  std::vector<std::shared_ptr<ReplicaSet>> sets = {set};
+  auto router = std::make_shared<cluster::ShardRouter>(sets);
+  auto coordinator =
+      std::make_shared<PrimaryCoordinator>(router, sets,
+                                           replica::CoordinatorOptions{});
+  net::TcpServer server(coordinator, 0);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Real data exists before the daemon registers, so registration must
+  // ship an actual snapshot (not just start op shipping from seq 0).
+  auto transport = Dial(server.port());
+  ASSERT_TRUE(transport.ok());
+  OwnerClient owner(*transport);
+  auto uuid = owner.CreateStream(HeacConfig("scrape-me", false));
+  ASSERT_TRUE(uuid.ok());
+  ASSERT_TRUE(IngestChunks(owner, *uuid, 0, 4).ok());
+
+  FollowerDaemon daemon({std::make_shared<store::MemKvStore>()},
+                        DaemonOptions(server.port()));
+  ASSERT_TRUE(daemon.Start(0).ok());
+  ASSERT_TRUE(PollUntil(
+      [&] {
+        return set->num_remote_followers() == 1 && set->MaxLagOps() == 0;
+      },
+      30'000));
+
+  // In-process equivalent of tcserver's --metrics-port: same registry the
+  // daemon's apply path writes into. The pre-collect hook mirrors the
+  // primary-mode wiring that refreshes shard-derived gauges (lag).
+  net::MetricsHttpServer metrics_http(0, [&] { set->ShardInfoSnapshot(0); });
+  ASSERT_TRUE(metrics_http.Start().ok());
+  std::string body = HttpGet(metrics_http.port(), "/metrics");
+  ASSERT_FALSE(body.empty());
+
+  // One row per family the replica path must have touched, plus the build
+  // stamp every process exports.
+  for (const char* row :
+       {"tc_replica_snapshots_total", "tc_replica_ship_batch_ops",
+        "tc_replica_lag_ops", "tc_net_rx_frames_total", "tc_build_info{"}) {
+    EXPECT_NE(body.find(row), std::string::npos) << "missing row: " << row;
+  }
+  EXPECT_NE(body.find("metrics=\"on\""), std::string::npos);
+
+  // The snapshot counter is a real count, not a registered-but-zero row:
+  // the daemon's registration forced at least one snapshot ship. Anchor
+  // to line start so the match is the sample, not its # HELP line.
+  auto pos = body.find("\ntc_replica_snapshots_total ");
+  ASSERT_NE(pos, std::string::npos);
+  double shipped = std::strtod(
+      body.c_str() + pos + std::strlen("\ntc_replica_snapshots_total "),
+      nullptr);
+  EXPECT_GE(shipped, 1.0);
+
+  daemon.Stop();
+}
+
+// The tentpole acceptance drill: one client trace id must stitch the
+// router's dispatch span, engine spans on two different shards, and the
+// follower daemon's apply span into a single tree — the propagation chain
+// crosses the TCP frame header, the router's scatter executor hop, and the
+// async op-shipping hop.
+TEST(FollowerDaemonE2E, TraceStitchesRouterShardsAndFollowerUnderOneId) {
+  if (!metrics::kEnabled) {
+    GTEST_SKIP() << "spans are compiled out under TC_METRICS=OFF";
+  }
+  trace::SetSamplePercent(100);
+
+  // Two replication-capable shards behind one router, one daemon
+  // mirroring both.
+  server::ServerOptions engine0;
+  engine0.shard_id = 0;
+  server::ServerOptions engine1;
+  engine1.shard_id = 1;
+  auto s0 = ReplicaSet::Make(std::make_shared<store::MemKvStore>(), {},
+                             engine0, replica::ReplicaSetOptions{});
+  auto s1 = ReplicaSet::Make(std::make_shared<store::MemKvStore>(), {},
+                             engine1, replica::ReplicaSetOptions{});
+  std::vector<std::shared_ptr<ReplicaSet>> sets = {s0, s1};
+  auto router = std::make_shared<cluster::ShardRouter>(sets);
+  auto coordinator =
+      std::make_shared<PrimaryCoordinator>(router, sets,
+                                           replica::CoordinatorOptions{});
+  net::TcpServer server(coordinator, 0);
+  ASSERT_TRUE(server.Start().ok());
+  FollowerDaemon daemon({std::make_shared<store::MemKvStore>(),
+                         std::make_shared<store::MemKvStore>()},
+                        DaemonOptions(server.port()));
+  ASSERT_TRUE(daemon.Start(0).ok());
+  ASSERT_TRUE(PollUntil(
+      [&] {
+        return s0->num_remote_followers() == 1 &&
+               s1->num_remote_followers() == 1;
+      },
+      30'000));
+
+  auto transport = Dial(server.port());
+  ASSERT_TRUE(transport.ok());
+  OwnerClient owner(*transport);
+
+  // Everything the client does below carries this trace id in the frame
+  // header; high bits far outside the (conn_serial << 32) | request_id
+  // space derived traces live in.
+  constexpr uint64_t kIngestTrace = 0xfeed0001dead0001ull;
+  metrics::SetCurrentTraceContext({kIngestTrace, 0});
+
+  // One stream pinned (by creation retry) to each shard.
+  uint64_t on_shard[2] = {0, 0};
+  for (int attempt = 0; attempt < 64 && (!on_shard[0] || !on_shard[1]);
+       ++attempt) {
+    auto uuid = owner.CreateStream(
+        HeacConfig("pin-" + std::to_string(attempt), false));
+    ASSERT_TRUE(uuid.ok());
+    on_shard[router->ShardOf(*uuid)] = *uuid;
+  }
+  ASSERT_TRUE(on_shard[0] && on_shard[1])
+      << "could not place streams on both shards";
+  ASSERT_TRUE(IngestChunks(owner, on_shard[0], 0, 4).ok());
+  ASSERT_TRUE(IngestChunks(owner, on_shard[1], 0, 4).ok());
+  metrics::SetCurrentTraceContext({});
+  ASSERT_TRUE(s0->WaitCaughtUp().ok());
+  ASSERT_TRUE(s1->WaitCaughtUp().ok());
+
+  // A genuinely scattered read under a second trace id: MultiStatRange
+  // over streams on different shards fans out through the shard channels.
+  constexpr uint64_t kQueryTrace = 0xfeed0002dead0002ull;
+  metrics::SetCurrentTraceContext({kQueryTrace, 0});
+  net::MultiStatRangeRequest multi{{on_shard[0], on_shard[1]},
+                                   {0, 4 * kDelta}};
+  auto scattered =
+      (*transport)->Call(net::MessageType::kMultiStatRange, multi.Encode());
+  metrics::SetCurrentTraceContext({});
+  ASSERT_TRUE(scattered.ok()) << scattered.status().ToString();
+
+  auto fetch = [&](uint64_t trace_id) {
+    net::TraceInfoRequest req{trace_id, 0};
+    auto blob =
+        (*transport)->Call(net::MessageType::kTraceInfo, req.Encode());
+    EXPECT_TRUE(blob.ok()) << blob.status().ToString();
+    auto info = net::TraceInfoResponse::Decode(*blob);
+    EXPECT_TRUE(info.ok());
+    return info->spans;
+  };
+
+  // The scatter trace: exactly one root (the router dispatch the client's
+  // frame header parented at 0), with direct children on both shards.
+  auto query_spans = fetch(kQueryTrace);
+  ASSERT_FALSE(query_spans.empty());
+  std::set<uint64_t> ids;
+  for (const auto& s : query_spans) {
+    EXPECT_EQ(s.trace_id, kQueryTrace);
+    ids.insert(s.span_id);
+  }
+  const net::TraceInfoResponse::Span* root = nullptr;
+  size_t roots = 0;
+  for (const auto& s : query_spans) {
+    if (s.parent_span_id == 0 || !ids.count(s.parent_span_id)) {
+      ++roots;
+      root = &s;
+    }
+  }
+  ASSERT_EQ(roots, 1u) << "scatter trace did not stitch into one tree";
+  EXPECT_EQ(root->op, "router_dispatch");
+  std::set<uint32_t> child_shards;
+  for (const auto& s : query_spans) {
+    if (s.parent_span_id == root->span_id) child_shards.insert(s.shard);
+  }
+  EXPECT_TRUE(child_shards.count(0) && child_shards.count(1))
+      << "router dispatch did not parent spans on both shards";
+
+  // The ingest trace: the daemon's replica_apply spans adopted the shipped
+  // context — same trace id as the client's inserts, parented under a
+  // primary-side span that is itself in the trace.
+  auto ingest_spans = fetch(kIngestTrace);
+  std::set<uint64_t> ingest_ids;
+  for (const auto& s : ingest_spans) ingest_ids.insert(s.span_id);
+  std::set<uint32_t> apply_shards;
+  size_t applies_with_live_parent = 0;
+  for (const auto& s : ingest_spans) {
+    if (s.op != "replica_apply") continue;
+    apply_shards.insert(s.shard);
+    if (s.parent_span_id != 0 && ingest_ids.count(s.parent_span_id)) {
+      ++applies_with_live_parent;
+    }
+  }
+  EXPECT_TRUE(apply_shards.count(0) && apply_shards.count(1))
+      << "op shipping did not carry the trace to both follower shards";
+  EXPECT_GT(applies_with_live_parent, 0u)
+      << "no follower apply stitched under a primary-side span";
+
+  daemon.Stop();
 }
 
 }  // namespace

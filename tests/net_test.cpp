@@ -66,6 +66,10 @@ TEST(Wire, IsMutationClassifiesEveryMessageType) {
       MessageType::kPing,           MessageType::kGetAttestation,
       MessageType::kGetChunkWitnessed, MessageType::kClusterInfo,
       MessageType::kMetricsInfo,
+      // Trace and event queries must pipeline as reads: `tccli trace` of a
+      // slow ingest would otherwise queue behind the very stream it is
+      // diagnosing.
+      MessageType::kTraceInfo,         MessageType::kEventsInfo,
   };
   for (MessageType type : mutations) {
     EXPECT_TRUE(IsMutation(type))
@@ -81,11 +85,16 @@ TEST(Wire, IsMutationClassifiesEveryMessageType) {
 }
 
 TEST(Wire, FrameLayout) {
+  // u32 body_len | u8 type | u64 request_id | u64 trace_id | u64 parent —
+  // 29 header bytes before the body.
   Bytes frame = EncodeFrame(MessageType::kPing, 42, ToBytes("xy"));
-  ASSERT_EQ(frame.size(), 13u + 2u);
+  ASSERT_EQ(kFrameHeaderBytes, 29u);
+  ASSERT_EQ(frame.size(), 29u + 2u);
   // body_len little-endian
   EXPECT_EQ(frame[0], 2);
   EXPECT_EQ(frame[4], static_cast<uint8_t>(MessageType::kPing));
+  // An unstamped frame carries a zero trace context.
+  for (size_t i = 13; i < 29; ++i) EXPECT_EQ(frame[i], 0) << "byte " << i;
 }
 
 StreamConfig SampleConfig() {
@@ -347,6 +356,68 @@ TEST(Messages, MetricsInfoRejectsUnknownKind) {
   // byte); corrupt it to an undefined kind.
   enc[1] = 0x7F;
   EXPECT_FALSE(MetricsInfoResponse::Decode(enc).ok());
+}
+
+TEST(Messages, TraceInfoRoundTrip) {
+  TraceInfoRequest req{0xfeed, 1};
+  auto qback = TraceInfoRequest::Decode(req.Encode());
+  ASSERT_TRUE(qback.ok());
+  EXPECT_EQ(qback->trace_id, 0xfeedu);
+  EXPECT_EQ(qback->slow_only, 1u);
+  // slow_only is a boolean flag: anything above 1 is malformed.
+  BinaryWriter w;
+  w.PutU64(0xfeed);
+  w.PutU8(9);
+  EXPECT_EQ(TraceInfoRequest::Decode(w.data()).status().code(),
+            StatusCode::kInvalidArgument);
+
+  TraceInfoResponse resp;
+  TraceInfoResponse::Span span;
+  span.trace_id = 0xfeed;
+  span.span_id = 21;
+  span.parent_span_id = 9;
+  span.op = "router_dispatch";
+  span.msg_type = 11;
+  span.shard = 0xffffffffu;
+  span.start_us = 1'700'000'000'123'456;
+  span.duration_us = 812;
+  span.slow = 1;
+  resp.spans.push_back(span);
+  resp.dropped = 3;
+  auto back = TraceInfoResponse::Decode(resp.Encode());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->spans.size(), 1u);
+  EXPECT_EQ(back->spans[0].trace_id, 0xfeedu);
+  EXPECT_EQ(back->spans[0].span_id, 21u);
+  EXPECT_EQ(back->spans[0].parent_span_id, 9u);
+  EXPECT_EQ(back->spans[0].op, "router_dispatch");
+  EXPECT_EQ(back->spans[0].msg_type, 11u);
+  EXPECT_EQ(back->spans[0].shard, 0xffffffffu);
+  EXPECT_EQ(back->spans[0].start_us, 1'700'000'000'123'456);
+  EXPECT_EQ(back->spans[0].duration_us, 812u);
+  EXPECT_EQ(back->spans[0].slow, 1u);
+  EXPECT_EQ(back->dropped, 3u);
+}
+
+TEST(Messages, EventsInfoRoundTrip) {
+  EventsInfoRequest req{42};
+  auto qback = EventsInfoRequest::Decode(req.Encode());
+  ASSERT_TRUE(qback.ok());
+  EXPECT_EQ(qback->min_seq, 42u);
+
+  EventsInfoResponse resp;
+  resp.events.push_back({7, 1'700'000'000'000, "takeover_election", 2,
+                         "silent_ms=3000 candidates=2"});
+  resp.dropped = 1;
+  auto back = EventsInfoResponse::Decode(resp.Encode());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->events.size(), 1u);
+  EXPECT_EQ(back->events[0].seq, 7u);
+  EXPECT_EQ(back->events[0].wall_ms, 1'700'000'000'000);
+  EXPECT_EQ(back->events[0].kind, "takeover_election");
+  EXPECT_EQ(back->events[0].shard, 2u);
+  EXPECT_EQ(back->events[0].detail, "silent_ms=3000 candidates=2");
+  EXPECT_EQ(back->dropped, 1u);
 }
 
 TEST(Messages, TruncatedDecodesFail) {
@@ -891,6 +962,56 @@ TEST(Tcp, ConcurrentCallersShareOneSocket) {
   server.Stop();
 }
 
+/// Handler that records the ambient trace context of every request: the
+/// wire layer must stamp it before dispatching into the handler chain.
+class TraceProbeHandler : public RequestHandler {
+ public:
+  Result<Bytes> Handle(MessageType type, BytesView body) override {
+    (void)type;
+    std::lock_guard lock(mu_);
+    seen_.push_back(metrics::CurrentTraceContext());
+    return Bytes(body.begin(), body.end());
+  }
+
+  std::vector<metrics::TraceContext> seen() {
+    std::lock_guard lock(mu_);
+    return seen_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<metrics::TraceContext> seen_;
+};
+
+TEST(Tcp, TraceContextPropagatesAcrossLoopback) {
+  if (!metrics::kEnabled) GTEST_SKIP() << "tracing compiled out";
+  auto probe = std::make_shared<TraceProbeHandler>();
+  TcpServer server(probe, 0);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = TcpClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  // A caller with an ambient trace context: the client stamps it on the
+  // frame, the server adopts it — one logical request, one trace id across
+  // the hop.
+  metrics::SetCurrentTraceContext({0xabc123, 77});
+  ASSERT_TRUE((*client)->Call(MessageType::kPing, ToBytes("traced")).ok());
+  metrics::SetCurrentTraceContext({});
+
+  // No ambient context: the server derives a nonzero origin trace id from
+  // (connection serial, request id) so the request is traceable anyway.
+  ASSERT_TRUE((*client)->Call(MessageType::kPing, ToBytes("origin")).ok());
+
+  auto seen = probe->seen();
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].trace_id, 0xabc123u);
+  EXPECT_EQ(seen[0].parent_span_id, 77u);
+  EXPECT_NE(seen[1].trace_id, 0u);
+  EXPECT_NE(seen[1].trace_id, 0xabc123u);
+  EXPECT_EQ(seen[1].parent_span_id, 0u);
+  server.Stop();
+}
+
 /// Raw HTTP/1.0 GET against a loopback port; returns the full response
 /// (headers + body) or empty on any socket failure.
 std::string HttpGet(uint16_t port, const std::string& path) {
@@ -954,6 +1075,7 @@ TEST(MetricsHttp, ScrapeServesValidPrometheusExposition) {
   std::istringstream lines(body);
   std::string line;
   size_t samples = 0;
+  std::set<std::string> sample_names;
   while (std::getline(lines, line)) {
     if (line.empty() || line[0] == '#') continue;
     auto space = line.rfind(' ');
@@ -965,6 +1087,7 @@ TEST(MetricsHttp, ScrapeServesValidPrometheusExposition) {
     char* end = nullptr;
     std::strtod(value.c_str(), &end);
     EXPECT_EQ(*end, '\0') << "non-numeric sample value: " << line;
+    sample_names.insert(name);
     ++samples;
   }
   if (metrics::kEnabled) {
@@ -975,6 +1098,36 @@ TEST(MetricsHttp, ScrapeServesValidPrometheusExposition) {
               std::string::npos)
         << body.substr(0, 512);
     EXPECT_NE(body.find("tc_net_server_conns"), std::string::npos);
+    // Histogram summary conformance: every `_count` row has a matching
+    // `_sum` row under the same name + labels, and vice versa — Prometheus
+    // clients join the pair to compute rates and averages.
+    metrics::GetHistogram("tc_test_scrape_seconds").Record(1234);
+    std::string again_body = HttpGet(metrics.port(), "/metrics");
+    EXPECT_NE(again_body.find("tc_test_scrape_seconds_count"),
+              std::string::npos);
+    EXPECT_NE(again_body.find("tc_test_scrape_seconds_sum"),
+              std::string::npos);
+    size_t count_rows = 0;
+    for (const auto& name : sample_names) {
+      auto mark = name.find("_count");
+      if (mark == std::string::npos) continue;
+      ++count_rows;
+      std::string sum_name = name;
+      sum_name.replace(mark, 6, "_sum");
+      EXPECT_TRUE(sample_names.contains(sum_name))
+          << name << " has no matching " << sum_name << " row";
+    }
+    for (const auto& name : sample_names) {
+      auto mark = name.find("_sum");
+      if (mark == std::string::npos) continue;
+      std::string count_name = name;
+      count_name.replace(mark, 4, "_count");
+      EXPECT_TRUE(sample_names.contains(count_name))
+          << name << " has no matching " << count_name << " row";
+    }
+    // The build-identity gauge is registered on first registry touch.
+    EXPECT_NE(body.find("tc_build_info{"), std::string::npos);
+    EXPECT_NE(body.find("metrics=\"on\""), std::string::npos);
   }
 
   // Anything but GET /metrics is a 404, and the listener survives it.

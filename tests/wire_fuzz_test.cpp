@@ -110,6 +110,14 @@ std::vector<NamedDecoder> AllDecoders() {
        [](BytesView in) { return ReplicaHeartbeatRequest::Decode(in).ok(); }},
       {"MetricsInfoResponse",
        [](BytesView in) { return MetricsInfoResponse::Decode(in).ok(); }},
+      {"TraceInfo",
+       [](BytesView in) { return TraceInfoRequest::Decode(in).ok(); }},
+      {"TraceInfoResponse",
+       [](BytesView in) { return TraceInfoResponse::Decode(in).ok(); }},
+      {"EventsInfo",
+       [](BytesView in) { return EventsInfoRequest::Decode(in).ok(); }},
+      {"EventsInfoResponse",
+       [](BytesView in) { return EventsInfoResponse::Decode(in).ok(); }},
   };
 }
 
@@ -234,6 +242,37 @@ std::vector<Bytes> ValidEncodings() {
     mi.entries.push_back(e);
   }
   out.push_back(mi.Encode());
+  out.push_back(TraceInfoRequest{0x1234, 1}.Encode());
+  TraceInfoResponse ti;
+  {
+    TraceInfoResponse::Span s;
+    s.trace_id = 0x1234;
+    s.span_id = 3;
+    s.parent_span_id = 1;
+    s.op = "router_dispatch";
+    s.msg_type = 11;
+    s.shard = 0xffffffffu;
+    s.start_us = 1'700'000'000'000'000;
+    s.duration_us = 812;
+    s.slow = 1;
+    ti.spans.push_back(s);
+    s.span_id = 5;
+    s.parent_span_id = 3;
+    s.op = "stat_range";
+    s.shard = 1;
+    s.slow = 0;
+    ti.spans.push_back(s);
+    ti.dropped = 9;
+  }
+  out.push_back(ti.Encode());
+  out.push_back(EventsInfoRequest{17}.Encode());
+  EventsInfoResponse ev;
+  ev.events.push_back({21, 1'700'000'000'000, "self_promotion", 0,
+                       "127.0.0.1:4434 silent_ms=3000"});
+  ev.events.push_back({22, 1'700'000'000'250, "promotion_complete", 0,
+                       "127.0.0.1:4434 streams=3"});
+  ev.dropped = 2;
+  out.push_back(ev.Encode());
   client::AccessGrant grant;
   grant.stream_uuid = 7;
   grant.kind = client::GrantKind::kFullResolution;
@@ -324,6 +363,9 @@ TEST(WireFuzz, LengthPrefixedVectorsRejectAbsurdCounts) {
   EXPECT_FALSE(ReplicaSnapshotChunkRequest::Decode(hostile_at(20)).ok());
   // Heartbeat: peer count follows shard + head_seq (12 bytes).
   EXPECT_FALSE(ReplicaHeartbeatRequest::Decode(hostile_at(12)).ok());
+  // Trace and event journal responses: count is the first field.
+  EXPECT_FALSE(TraceInfoResponse::Decode(hostile_at(0)).ok());
+  EXPECT_FALSE(EventsInfoResponse::Decode(hostile_at(0)).ok());
 }
 
 TEST(WireFuzz, ReplicaOpsRejectsMalformedOps) {
@@ -476,6 +518,17 @@ TEST(WireFuzz, FrameHeaderBoundsBodyLength) {
   EXPECT_EQ(decoded->body_len, 32u);
   EXPECT_EQ(decoded->type, MessageType::kPing);
   EXPECT_EQ(decoded->request_id, 42u);
+  EXPECT_EQ(decoded->trace_id, 0u);  // no context unless the caller stamps one
+  EXPECT_EQ(decoded->parent_span_id, 0u);
+
+  // A stamped trace context round-trips through the header fields.
+  Bytes traced = EncodeFrame(MessageType::kPing, 42, Bytes(4, 0xab),
+                             /*trace_id=*/0xabcdef01, /*parent_span_id=*/77);
+  auto traced_header =
+      DecodeFrameHeader(BytesView(traced.data(), kFrameHeaderBytes));
+  ASSERT_TRUE(traced_header.ok());
+  EXPECT_EQ(traced_header->trace_id, 0xabcdef01u);
+  EXPECT_EQ(traced_header->parent_span_id, 77u);
 
   // The bound is inclusive; one byte under it is a clean rejection (the
   // attacker-controlled u32 must never drive an allocation).
@@ -484,11 +537,16 @@ TEST(WireFuzz, FrameHeaderBoundsBodyLength) {
   ASSERT_FALSE(rejected.ok());
   EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
 
-  // A hostile header claiming a 4 GiB body fails the default bound.
+  // A hostile header claiming a 4 GiB body fails the default bound. The
+  // trailing trace id + parent span id bring the hand-built header to the
+  // full 29 bytes, so it fails the bound, not a truncation check.
   BinaryWriter hostile;
   hostile.PutU32(0xffffffffu);
   hostile.PutU8(static_cast<uint8_t>(MessageType::kPing));
   hostile.PutU64(1);
+  hostile.PutU64(0xdeadbeef);  // trace id
+  hostile.PutU64(0x1);         // parent span id
+  ASSERT_EQ(hostile.size(), kFrameHeaderBytes);
   EXPECT_FALSE(DecodeFrameHeader(hostile.data()).ok());
 
   // Truncation at every byte boundary fails cleanly.

@@ -26,6 +26,12 @@ Checks cross-file invariants the compiler cannot see:
   R7  kMetricsInfo is classified as a read in IsMutation: a metrics scrape
       pipelining behind a slow mutation would defeat its purpose, and
       nothing about serving a registry snapshot mutates server state.
+  R8  span-op and event-kind literals (TraceSpan constructions and
+      RecordEvent calls) form one flat vocabulary: snake_case, globally
+      unique, exactly one call site each — `tccli trace`/`tccli events`
+      output stays grep-able back to its single origin, and a kind never
+      means two different things. (New MessageTypes like kTraceInfo get
+      fuzz coverage through R2 automatically.)
 
 Run from anywhere: paths are resolved relative to the repo root (this
 file's grandparent directory). Exit code 0 = clean, 1 = violations (each
@@ -227,6 +233,42 @@ def check_metrics_info_is_read():
              "mutations, and it mutates nothing")
 
 
+# --------------------------------------------------------------------- R8
+SPAN_OP = re.compile(r"TraceSpan\s+\w+\s*\(\s*\"([^\"]*)\"")
+EVENT_KIND = re.compile(r"RecordEvent\s*\(\s*\"([^\"]*)\"")
+VOCAB_NAME = re.compile(r"^[a-z][a-z0-9_]*$")
+
+
+def check_trace_vocabulary():
+    # literal -> (what, first path, first line); spans and events share one
+    # namespace so a name can never mean two different things in a trace.
+    seen = {}
+    roots = [SRC, REPO / "bench", REPO / "tools"]
+    for root in roots:
+        for path in sorted(root.rglob("*.[ch]pp")):
+            text = read(path)
+            for pattern, what in ((SPAN_OP, "span op"),
+                                  (EVENT_KIND, "event kind")):
+                for match in pattern.finditer(text):
+                    name = match.group(1)
+                    line = text[:match.start()].count("\n") + 1
+                    if not VOCAB_NAME.match(name):
+                        fail(path, line,
+                             f"{what} '{name}' must be snake_case "
+                             "(trace/event output is a grep surface)")
+                        continue
+                    prior = seen.get(name)
+                    if prior is None:
+                        seen[name] = (what, path, line)
+                    else:
+                        fail(path, line,
+                             f"{what} '{name}' already recorded as "
+                             f"{prior[0]} at "
+                             f"{prior[1].relative_to(REPO)}:{prior[2]}; "
+                             "span-op/event-kind literals have exactly one "
+                             "call site so output greps back to one origin")
+
+
 def main():
     enumerators = message_types()
     if not enumerators:
@@ -239,13 +281,14 @@ def main():
     check_crypto_constant_time()
     check_metric_names()
     check_metrics_info_is_read()
+    check_trace_vocabulary()
     if failures:
         for failure in failures:
             print(failure)
         print(f"tc_lint: {len(failures)} violation(s)", file=sys.stderr)
         return 1
     print(f"tc_lint: clean ({len(enumerators)} frame types, "
-          "7 invariants)")
+          "8 invariants)")
     return 0
 
 

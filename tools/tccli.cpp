@@ -12,10 +12,16 @@
 //   tccli grant --uuid 123456 --principal doctor --pub <hex> \
 //         --start 0 --end 3600000 --resolution 6
 //   tccli consume --uuid 123456 --principal doctor --start 0 --end 3600000
+#include <algorithm>
+#include <cerrno>
 #include <cinttypes>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <ctime>
 #include <iostream>
+#include <map>
+#include <set>
 #include <sstream>
 
 #include "client/consumer.hpp"
@@ -54,6 +60,17 @@ void Usage() {
       "  metrics  [--watch SEC]          server metrics registry (counters,\n"
       "                                  gauges, latency quantiles);\n"
       "                                  --watch re-polls every SEC seconds\n"
+      "  trace    ID [--peers H:P,...]   reassemble one request's span tree\n"
+      "                                  (ID as printed by traces, hex); "
+      "--peers\n"
+      "                                  stitches in follower-daemon "
+      "processes\n"
+      "  traces   [--slow] [--peers ...] recent traces, newest first;\n"
+      "                                  --slow lists only slow-op traces\n"
+      "  events   [--min-seq N] [--peers H:P,...]\n"
+      "                                  cluster lifecycle event journal\n"
+      "                                  (elections, snapshots, view "
+      "changes)\n"
       "  attest   --uuid U               sign + publish the stream head\n"
       "  verify   --uuid U --start MS --end MS    verified stat query\n"
       "  keygen                          consumer identity; prints public "
@@ -417,6 +434,308 @@ int CmdMetrics(const Flags& flags) {
   }
 }
 
+/// One dialed trace/event source: the main server plus every --peers
+/// endpoint (follower daemons are separate processes with their own span
+/// ring and journal, so stitching a cluster-wide view means asking each).
+struct TraceSource {
+  std::string label;
+  std::shared_ptr<net::Transport> transport;
+};
+
+Result<std::vector<TraceSource>> ConnectSources(const Flags& flags) {
+  std::vector<TraceSource> sources;
+  TC_ASSIGN_OR_RETURN(auto main_transport, Connect(flags));
+  sources.push_back({flags.Get("host", "127.0.0.1") + ":" +
+                         std::to_string(flags.GetInt("port", 4433)),
+                     std::move(main_transport)});
+  std::istringstream peers(flags.Get("peers", ""));
+  std::string peer;
+  while (std::getline(peers, peer, ',')) {
+    if (peer.empty()) continue;
+    auto colon = peer.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= peer.size()) {
+      return InvalidArgument("--peers expects HOST:PORT[,HOST:PORT...], got '" +
+                             peer + "'");
+    }
+    unsigned long port = std::strtoul(peer.c_str() + colon + 1, nullptr, 10);
+    if (port == 0 || port > 65535) {
+      return InvalidArgument("--peers port out of range in '" + peer + "'");
+    }
+    auto client = net::TcpClient::Connect(peer.substr(0, colon),
+                                          static_cast<uint16_t>(port));
+    TC_RETURN_IF_ERROR(client.status());
+    sources.push_back({peer, std::shared_ptr<net::Transport>(
+                                 std::move(*client))});
+  }
+  return sources;
+}
+
+/// A span plus which process answered it, for the stitched tree.
+struct SourcedSpan {
+  net::TraceInfoResponse::Span span;
+  const std::string* source = nullptr;
+};
+
+int FetchSpans(const std::vector<TraceSource>& sources,
+               const net::TraceInfoRequest& req,
+               std::vector<SourcedSpan>& out, uint64_t& dropped) {
+  for (const auto& source : sources) {
+    auto payload = source.transport->Call(net::MessageType::kTraceInfo,
+                                          req.Encode());
+    if (!payload.ok()) {
+      if (payload.status().code() == StatusCode::kInvalidArgument) {
+        std::fprintf(stderr,
+                     "error: %s does not answer trace requests — it predates "
+                     "the kTraceInfo protocol extension (upgrade tcserver)\n",
+                     source.label.c_str());
+        return 1;
+      }
+      Die(payload.status());
+    }
+    auto info = net::TraceInfoResponse::Decode(*payload);
+    if (!info.ok()) {
+      std::fprintf(stderr,
+                   "error: %s answered trace with a frame this tccli cannot "
+                   "decode — tcserver and tccli versions likely differ (%s)\n",
+                   source.label.c_str(), info.status().ToString().c_str());
+      return 1;
+    }
+    dropped += info->dropped;
+    for (auto& span : info->spans) {
+      out.push_back({std::move(span), &source.label});
+    }
+  }
+  return 0;
+}
+
+void PrintSpanTree(const std::vector<SourcedSpan>& spans, size_t index,
+                   const std::multimap<uint64_t, size_t>& children,
+                   int64_t trace_start_us, int depth) {
+  const auto& s = spans[index].span;
+  char shard_buf[16];
+  if (s.shard == 0xffffffffu) {
+    std::snprintf(shard_buf, sizeof shard_buf, "-");
+  } else {
+    std::snprintf(shard_buf, sizeof shard_buf, "%u", s.shard);
+  }
+  std::printf("  %+9lldus %*s%-24s shard %-3s %8llu us%s  [%s]\n",
+              static_cast<long long>(s.start_us - trace_start_us), depth * 2,
+              "", s.op.c_str(), shard_buf,
+              static_cast<unsigned long long>(s.duration_us),
+              s.slow ? "  SLOW" : "      ", spans[index].source->c_str());
+  auto [begin, end] = children.equal_range(s.span_id);
+  std::vector<size_t> kids;
+  for (auto it = begin; it != end; ++it) kids.push_back(it->second);
+  std::sort(kids.begin(), kids.end(), [&spans](size_t a, size_t b) {
+    return spans[a].span.start_us < spans[b].span.start_us;
+  });
+  for (size_t kid : kids) {
+    PrintSpanTree(spans, kid, children, trace_start_us, depth + 1);
+  }
+}
+
+int CmdTrace(const Flags& flags) {
+  if (flags.positional().size() < 2) {
+    std::fprintf(stderr, "usage: tccli trace ID [--peers H:P,...]\n");
+    return 1;
+  }
+  errno = 0;
+  char* end = nullptr;
+  uint64_t trace_id =
+      std::strtoull(flags.positional()[1].c_str(), &end, 16);
+  if (errno == ERANGE || *end != '\0' || trace_id == 0) {
+    std::fprintf(stderr, "trace ID must be the hex id printed by "
+                         "`tccli traces` or a slow-op log line\n");
+    return 1;
+  }
+  auto sources = ConnectSources(flags);
+  if (!sources.ok()) Die(sources.status());
+  std::vector<SourcedSpan> spans;
+  uint64_t dropped = 0;
+  if (int rc = FetchSpans(*sources, {trace_id, 0}, spans, dropped); rc != 0) {
+    return rc;
+  }
+  if (spans.empty()) {
+    std::printf("no spans recorded for trace %016llx (evicted by ring wrap, "
+                "dropped by sampling, or never traced; %llu span(s) dropped "
+                "process-wide)\n",
+                static_cast<unsigned long long>(trace_id),
+                static_cast<unsigned long long>(dropped));
+    return 1;
+  }
+  // Stitch: children keyed by parent span id; roots are spans whose parent
+  // was not recorded here (the origin, or a parent lost to ring wrap).
+  std::set<uint64_t> ids;
+  int64_t trace_start_us = spans.front().span.start_us;
+  for (const auto& s : spans) {
+    ids.insert(s.span.span_id);
+    trace_start_us = std::min(trace_start_us, s.span.start_us);
+  }
+  std::multimap<uint64_t, size_t> children;
+  std::vector<size_t> roots;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const auto& s = spans[i].span;
+    if (s.parent_span_id != 0 && ids.contains(s.parent_span_id)) {
+      children.emplace(s.parent_span_id, i);
+    } else {
+      roots.push_back(i);
+    }
+  }
+  std::sort(roots.begin(), roots.end(), [&spans](size_t a, size_t b) {
+    return spans[a].span.start_us < spans[b].span.start_us;
+  });
+  std::set<const std::string*> processes;
+  for (const auto& s : spans) processes.insert(s.source);
+  std::printf("trace %016llx: %zu span(s) across %zu process(es)\n",
+              static_cast<unsigned long long>(trace_id), spans.size(),
+              processes.size());
+  for (size_t root : roots) {
+    PrintSpanTree(spans, root, children, trace_start_us, 0);
+  }
+  return 0;
+}
+
+int CmdTraces(const Flags& flags) {
+  auto sources = ConnectSources(flags);
+  if (!sources.ok()) Die(sources.status());
+  std::vector<SourcedSpan> spans;
+  uint64_t dropped = 0;
+  net::TraceInfoRequest req;
+  req.slow_only = flags.Has("slow") ? 1 : 0;
+  if (int rc = FetchSpans(*sources, req, spans, dropped); rc != 0) return rc;
+  // Roll spans up into traces; print newest first.
+  struct TraceLine {
+    int64_t start_us = INT64_MAX;
+    int64_t end_us = 0;
+    size_t count = 0;
+    bool slow = false;
+    const std::string* root_op = nullptr;
+    int64_t root_start_us = INT64_MAX;
+  };
+  std::map<uint64_t, TraceLine> traces;
+  for (const auto& s : spans) {
+    auto& line = traces[s.span.trace_id];
+    line.start_us = std::min(line.start_us, s.span.start_us);
+    line.end_us = std::max(
+        line.end_us, s.span.start_us + static_cast<int64_t>(s.span.duration_us));
+    ++line.count;
+    line.slow = line.slow || s.span.slow != 0;
+    if (s.span.start_us < line.root_start_us) {
+      line.root_start_us = s.span.start_us;
+      line.root_op = &s.span.op;
+    }
+  }
+  if (traces.empty()) {
+    std::puts(flags.Has("slow")
+                  ? "no slow traces recorded (nothing exceeded --slow-op-ms, "
+                    "or the server runs without it)"
+                  : "no traces recorded yet");
+    return 0;
+  }
+  std::vector<std::pair<uint64_t, const TraceLine*>> ordered;
+  for (const auto& [id, line] : traces) ordered.emplace_back(id, &line);
+  std::sort(ordered.begin(), ordered.end(), [](const auto& a, const auto& b) {
+    return a.second->start_us > b.second->start_us;
+  });
+  std::puts("trace             spans  wall-time    root op");
+  for (const auto& [id, line] : ordered) {
+    std::printf("%016llx %6zu %9lldus  %-24s%s\n",
+                static_cast<unsigned long long>(id), line->count,
+                static_cast<long long>(line->end_us - line->start_us),
+                line->root_op->c_str(), line->slow ? "  SLOW" : "");
+  }
+  if (dropped > 0) {
+    std::printf("(%llu span(s) evicted by ring wrap across the queried "
+                "process(es))\n",
+                static_cast<unsigned long long>(dropped));
+  }
+  return 0;
+}
+
+int CmdEvents(const Flags& flags) {
+  int64_t min_seq = flags.GetInt("min-seq", 0);
+  if (min_seq < 0) {
+    std::fprintf(stderr, "--min-seq must be >= 0\n");
+    return 1;
+  }
+  auto sources = ConnectSources(flags);
+  if (!sources.ok()) Die(sources.status());
+  struct SourcedEvent {
+    net::EventsInfoResponse::Event event;
+    const std::string* source = nullptr;
+  };
+  std::vector<SourcedEvent> events;
+  uint64_t dropped = 0;
+  net::EventsInfoRequest req{static_cast<uint64_t>(min_seq)};
+  for (const auto& source : *sources) {
+    auto payload = source.transport->Call(net::MessageType::kEventsInfo,
+                                          req.Encode());
+    if (!payload.ok()) {
+      if (payload.status().code() == StatusCode::kInvalidArgument) {
+        std::fprintf(stderr,
+                     "error: %s does not answer event-journal requests — it "
+                     "predates the kEventsInfo protocol extension (upgrade "
+                     "tcserver)\n",
+                     source.label.c_str());
+        return 1;
+      }
+      Die(payload.status());
+    }
+    auto info = net::EventsInfoResponse::Decode(*payload);
+    if (!info.ok()) {
+      std::fprintf(stderr,
+                   "error: %s answered events with a frame this tccli cannot "
+                   "decode — tcserver and tccli versions likely differ (%s)\n",
+                   source.label.c_str(), info.status().ToString().c_str());
+      return 1;
+    }
+    dropped += info->dropped;
+    for (auto& event : info->events) {
+      events.push_back({std::move(event), &source.label});
+    }
+  }
+  if (events.empty()) {
+    std::puts("no lifecycle events recorded (quiet cluster, or server built "
+              "with TC_METRICS=OFF)");
+    return 0;
+  }
+  // Seqs are per-process; wall clock is the only cluster-wide order. Ties
+  // (same millisecond) fall back to seq so one process's events stay in
+  // journal order.
+  std::sort(events.begin(), events.end(),
+            [](const SourcedEvent& a, const SourcedEvent& b) {
+              if (a.event.wall_ms != b.event.wall_ms) {
+                return a.event.wall_ms < b.event.wall_ms;
+              }
+              return a.event.seq < b.event.seq;
+            });
+  const bool multi = sources->size() > 1;
+  for (const auto& e : events) {
+    char when[32];
+    time_t secs = static_cast<time_t>(e.event.wall_ms / 1000);
+    struct tm tm_buf;
+    localtime_r(&secs, &tm_buf);
+    std::strftime(when, sizeof when, "%H:%M:%S", &tm_buf);
+    char shard_buf[16];
+    if (e.event.shard == 0xffffffffu) {
+      std::snprintf(shard_buf, sizeof shard_buf, "-");
+    } else {
+      std::snprintf(shard_buf, sizeof shard_buf, "%u", e.event.shard);
+    }
+    std::printf("%s.%03lld %6llu  %-22s shard %-3s %s%s%s%s\n", when,
+                static_cast<long long>(e.event.wall_ms % 1000),
+                static_cast<unsigned long long>(e.event.seq),
+                e.event.kind.c_str(), shard_buf, e.event.detail.c_str(),
+                multi ? "  [" : "", multi ? e.source->c_str() : "",
+                multi ? "]" : "");
+  }
+  if (dropped > 0) {
+    std::printf("(%llu event(s) evicted by the journal bound)\n",
+                static_cast<unsigned long long>(dropped));
+  }
+  return 0;
+}
+
 int CmdAttest(const Flags& flags, const std::string& state_dir) {
   auto transport = Connect(flags);
   if (!transport.ok()) Die(transport.status());
@@ -527,7 +846,7 @@ int CmdConsume(const Flags& flags, const std::string& state_dir) {
 
 int Run(int argc, char** argv) {
   Flags flags(argc, argv,
-              {"help", "sumsq", "integrity"});
+              {"help", "sumsq", "integrity", "slow"});
   if (flags.Has("help") || flags.positional().empty()) {
     Usage();
     return flags.Has("help") ? 0 : 1;
@@ -542,6 +861,9 @@ int Run(int argc, char** argv) {
   if (cmd == "cluster-info") return CmdClusterInfo(flags);
   if (cmd == "replica-info") return CmdReplicaInfo(flags);
   if (cmd == "metrics") return CmdMetrics(flags);
+  if (cmd == "trace") return CmdTrace(flags);
+  if (cmd == "traces") return CmdTraces(flags);
+  if (cmd == "events") return CmdEvents(flags);
   if (cmd == "attest") return CmdAttest(flags, state_dir);
   if (cmd == "verify") return CmdVerify(flags, state_dir);
   if (cmd == "keygen") return CmdKeygen(flags, state_dir);

@@ -37,6 +37,7 @@
 
 #include "cluster/shard_router.hpp"
 #include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "net/metrics_http.hpp"
 #include "net/tcp.hpp"
 #include "replica/coordinator.hpp"
@@ -90,6 +91,12 @@ void Usage() {
       "  --slow-op-ms N  log a structured slow-op line (trace id + stage\n"
       "                  breakdown) for any request slower than N ms\n"
       "                  (default 0 = disabled)\n"
+      "  --trace-sample P  head-based span sampling: record spans for P%% of\n"
+      "                  traces (default 100; the hash of the trace id\n"
+      "                  decides, so every process keeps or drops the same\n"
+      "                  traces; slow ops are always retained)\n"
+      "  --event-log FILE  mirror the in-memory cluster event journal to\n"
+      "                  FILE as JSON lines (append mode)\n"
       "\n"
       "daemon replication topology:\n"
       "  --accept-followers   accept kReplicaHello registrations: follower\n"
@@ -122,7 +129,8 @@ bool FlagKnown(const std::string& name) {
       "accept-followers",
       "follower-of",   "advertise",    "auto-failover",  "heartbeat-ms",
       "miss-threshold", "takeover-ms", "snapshot-chunk-kb",
-      "no-auto-promote", "metrics-port", "slow-op-ms"};
+      "no-auto-promote", "metrics-port", "slow-op-ms",
+      "trace-sample",  "event-log"};
   for (const char* known : kKnown) {
     if (name == known) return true;
   }
@@ -294,16 +302,33 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--slow-op-ms must be >= 0\n");
     return 1;
   }
-  if (!metrics::kEnabled && (metrics_enabled || flags.Has("slow-op-ms"))) {
+  int64_t trace_sample = tools::RequireInt(flags, "trace-sample", 100);
+  if (trace_sample < 0 || trace_sample > 100) {
+    std::fprintf(stderr, "--trace-sample must be in [0, 100]\n");
+    return 1;
+  }
+  if (!metrics::kEnabled &&
+      (metrics_enabled || flags.Has("slow-op-ms") ||
+       flags.Has("trace-sample") || flags.Has("event-log"))) {
     // The kill-switch build compiles every record site to nothing; a flag
     // that silently serves an empty exposition is an operator trap.
     std::fprintf(stderr,
-                 "--metrics-port/--slow-op-ms need a build with TC_METRICS=ON "
-                 "(this binary was compiled with the metrics kill switch)\n");
+                 "--metrics-port/--slow-op-ms/--trace-sample/--event-log need "
+                 "a build with TC_METRICS=ON (this binary was compiled with "
+                 "the metrics kill switch)\n");
     return 1;
   }
   metrics::MetricsRegistry::Instance().SetSlowOpMicros(
       static_cast<uint64_t>(slow_op_ms) * 1000);
+  trace::SetSamplePercent(static_cast<uint32_t>(trace_sample));
+  if (flags.Has("event-log")) {
+    if (auto opened =
+            trace::EventJournal::Instance().OpenLogFile(flags.Get("event-log"));
+        !opened.ok()) {
+      std::fprintf(stderr, "%s\n", opened.ToString().c_str());
+      return 1;
+    }
+  }
 
   // Started (in either mode) once the serving stack exists, so the scrape
   // hook can capture it.
