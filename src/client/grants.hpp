@@ -14,6 +14,7 @@
 // server key store (§3.2); the server cannot open them.
 #pragma once
 
+#include "common/secret.hpp"
 #include "common/time.hpp"
 #include "crypto/ggm_tree.hpp"
 #include "crypto/key_regression.hpp"
@@ -34,6 +35,17 @@ enum class GrantKind : uint8_t {
 };
 
 struct AccessGrant {
+  AccessGrant() = default;
+  AccessGrant(const AccessGrant&) = default;
+  AccessGrant& operator=(const AccessGrant&) = default;
+  AccessGrant(AccessGrant&&) noexcept = default;
+  AccessGrant& operator=(AccessGrant&&) noexcept = default;
+  ~AccessGrant() {
+    SecureZero(primary_state);
+    SecureZero(secondary_state);
+    // tokens scrub themselves (AccessToken zeroizes on destruction).
+  }
+
   uint64_t stream_uuid = 0;
   GrantKind kind = GrantKind::kFullResolution;
 
@@ -50,8 +62,8 @@ struct AccessGrant {
   uint64_t resolution_chunks = 0;
   uint64_t window_lower = 0;
   uint64_t window_upper = 0;
-  crypto::Key128 primary_state{};
-  crypto::Key128 secondary_state{};
+  TC_SECRET crypto::Key128 primary_state{};
+  TC_SECRET crypto::Key128 secondary_state{};
 
   Bytes Encode() const;
   static Result<AccessGrant> Decode(BytesView in);

@@ -7,6 +7,7 @@
 #include <memory>
 #include <optional>
 
+#include "common/secret.hpp"
 #include "crypto/aes_gcm.hpp"
 #include "crypto/ggm_tree.hpp"
 #include "crypto/heac.hpp"
@@ -24,6 +25,13 @@ struct StreamKeysConfig {
 class StreamKeys {
  public:
   StreamKeys(crypto::Key128 master_seed, StreamKeysConfig config = {});
+  ~StreamKeys() {
+    SecureZero(master_);
+    SecureZero(ggm_root_);
+    SecureZero(cached_leaf_);
+    // tree_, iter_ and resolutions_ scrub themselves: GgmTree, the
+    // iterator's PathEntry stack and HashChain all zeroize on destruction.
+  }
 
   const crypto::GgmTree& tree() const { return *tree_; }
   std::shared_ptr<const crypto::GgmTree> shared_tree() const { return tree_; }
@@ -51,12 +59,13 @@ class StreamKeys {
   const crypto::Key128& master_seed() const { return master_; }
 
  private:
-  crypto::Key128 master_;
+  TC_SECRET crypto::Key128 master_;
   StreamKeysConfig config_;
-  crypto::Key128 ggm_root_;  // cached subseed: Leaf() re-anchors often
+  // Cached subseed: Leaf() re-anchors often.
+  TC_SECRET crypto::Key128 ggm_root_;
   std::shared_ptr<crypto::GgmTree> tree_;
   std::optional<crypto::SequentialLeafIterator> iter_;
-  crypto::Key128 cached_leaf_{};
+  TC_SECRET crypto::Key128 cached_leaf_{};
   uint64_t cached_index_ = ~uint64_t{0};
   std::map<uint64_t, std::unique_ptr<crypto::DualKeyRegression>> resolutions_;
 };

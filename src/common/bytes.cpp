@@ -48,8 +48,19 @@ bool ConstantTimeEqual(BytesView a, BytesView b) {
 }
 
 void SecureZero(MutableBytesView data) {
+  if (data.empty()) return;
+  // memset + a barrier that declares the memory read: the compiler cannot
+  // prove the stores dead, so it cannot elide them, and the zeroing stays
+  // vectorized — the previous volatile byte loop cost ~1 ns/byte, which
+  // mattered once every AES key schedule (176 bytes) started scrubbing
+  // itself on the PRG hot path.
+  std::memset(data.data(), 0, data.size());
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" : : "r"(data.data()) : "memory");
+#else
   volatile uint8_t* p = data.data();
-  for (size_t i = 0; i < data.size(); ++i) p[i] = 0;
+  p[0] = p[0];
+#endif
 }
 
 }  // namespace tc

@@ -24,8 +24,8 @@ Result<Bytes> FromHex(std::string_view hex);
 /// Constant-time equality for secrets (avoids early-exit timing leaks).
 bool ConstantTimeEqual(BytesView a, BytesView b);
 
-/// Best-effort scrubbing of key material. The volatile pointer prevents the
-/// compiler from eliding the store as a dead write.
+/// Best-effort scrubbing of key material. A compiler barrier after the
+/// memset prevents the stores from being elided as dead writes.
 void SecureZero(MutableBytesView data);
 
 inline Bytes ToBytes(std::string_view s) {

@@ -1,0 +1,169 @@
+// Secret-hygiene primitives: the TC_SECRET annotation consumed by
+// tools/analyze/tc_analyze.py, a zeroize-on-free allocator, and the
+// SecretBuffer RAII type for variable-length key material.
+//
+// TC_SECRET marks a declaration (field, parameter, variable) as key
+// material. Under clang it expands to [[clang::annotate("tc_secret")]],
+// which tc_analyze reads out of the AST to enforce:
+//   A1 secret-leak     — annotated values never flow into TC_LOG streams,
+//                        trace::RecordEvent details, metric names/labels,
+//                        or Status message construction;
+//   A2 zeroize         — a type with an annotated member SecureZeros it in
+//                        its destructor or holds it in a SecretBuffer;
+//   A3 constant-time   — ==/!=/memcmp on annotated operands routes through
+//                        ConstantTimeEqual.
+// Under GCC (and pre-annotate clang) the macro expands to nothing, exactly
+// like the thread-safety macros in thread_annotations.hpp: the default
+// local build is unaffected and the analysis runs in the clang CI job.
+//
+// Fixed-size key material (crypto::Key128, AES round-key schedules) stays
+// in inline arrays scrubbed by their owner's destructor; SecretBuffer is
+// for the variable-length secrets (X25519/Ed25519 raw keys) that would
+// otherwise sit in a heap-backed Bytes the allocator frees without
+// scrubbing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+#if defined(__clang__) && defined(__has_attribute)
+#define TC_SECRET_HAS(x) __has_attribute(x)
+#else
+#define TC_SECRET_HAS(x) 0
+#endif
+
+#if TC_SECRET_HAS(annotate)
+#define TC_SECRET [[clang::annotate("tc_secret")]]
+#else
+#define TC_SECRET  // no-op outside clang
+#endif
+
+namespace tc {
+
+/// Allocator adaptor that SecureZeros every block before handing it back to
+/// the upstream allocator — a container of secrets scrubs its storage on
+/// free *and* on reallocation (vector growth frees the old block through
+/// here too). The Upstream parameter exists for tests: an arena upstream
+/// whose memory outlives deallocate() lets a test legally inspect the
+/// scrubbed pattern.
+template <typename T, typename Upstream = std::allocator<T>>
+class ZeroizingAllocator {
+ public:
+  using value_type = T;
+  using propagate_on_container_copy_assignment = std::true_type;
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+
+  template <typename U>
+  struct rebind {
+    using other = ZeroizingAllocator<
+        U, typename std::allocator_traits<Upstream>::template rebind_alloc<U>>;
+  };
+
+  ZeroizingAllocator() = default;
+  explicit ZeroizingAllocator(Upstream upstream)
+      : upstream_(std::move(upstream)) {}
+
+  template <typename U, typename V>
+  explicit ZeroizingAllocator(const ZeroizingAllocator<U, V>& other)
+      : upstream_(typename std::allocator_traits<
+                  V>::template rebind_alloc<T>(other.upstream())) {}
+
+  T* allocate(size_t n) {
+    return std::allocator_traits<Upstream>::allocate(upstream_, n);
+  }
+
+  void deallocate(T* p, size_t n) {
+    SecureZero(MutableBytesView(reinterpret_cast<uint8_t*>(p), n * sizeof(T)));
+    std::allocator_traits<Upstream>::deallocate(upstream_, p, n);
+  }
+
+  const Upstream& upstream() const { return upstream_; }
+
+  friend bool operator==(const ZeroizingAllocator& a,
+                         const ZeroizingAllocator& b) {
+    return a.upstream_ == b.upstream_;
+  }
+
+ private:
+  Upstream upstream_;
+};
+
+/// Bytes whose backing store is scrubbed whenever it is released.
+using SecretBytes = std::vector<uint8_t, ZeroizingAllocator<uint8_t>>;
+
+/// RAII buffer for variable-length key material. Behaves like a small
+/// Bytes (resize/data/size, implicit BytesView) but its storage is
+/// scrubbed on destruction, on reallocation, and on move-assignment over
+/// an existing value; equality is constant-time; streaming it prints a
+/// redaction, never the contents.
+class SecretBuffer {
+ public:
+  SecretBuffer() = default;
+  explicit SecretBuffer(size_t n) : data_(n, 0) {}
+  explicit SecretBuffer(BytesView v) : data_(v.begin(), v.end()) {}
+
+  /// Adopting a plain Bytes copies into scrubbed storage, then SecureZeros
+  /// the source — the allocators differ, so the heap block cannot simply be
+  /// stolen, and leaving a key copy behind would defeat the point.
+  explicit SecretBuffer(Bytes&& b) { Adopt(std::move(b)); }
+  SecretBuffer& operator=(Bytes&& b) {
+    Adopt(std::move(b));
+    return *this;
+  }
+
+  SecretBuffer(const SecretBuffer&) = default;
+  SecretBuffer& operator=(const SecretBuffer&) = default;
+  SecretBuffer(SecretBuffer&&) noexcept = default;
+  SecretBuffer& operator=(SecretBuffer&&) noexcept = default;
+
+  uint8_t* data() { return data_.data(); }
+  const uint8_t* data() const { return data_.data(); }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  void resize(size_t n) { data_.resize(n, 0); }
+
+  /// Scrub and drop the contents (the allocator re-scrubs on free).
+  void Clear() {
+    SecureZero(MutableBytesView(data_.data(), data_.size()));
+    data_.clear();
+  }
+
+  BytesView view() const { return BytesView(data_.data(), data_.size()); }
+  MutableBytesView mutable_view() {
+    return MutableBytesView(data_.data(), data_.size());
+  }
+  operator BytesView() const { return view(); }  // NOLINT(google-explicit-constructor)
+
+  /// Constant-time equality — comparing key material with an early-exit
+  /// memcmp would leak matching-prefix length through timing.
+  friend bool operator==(const SecretBuffer& a, const SecretBuffer& b) {
+    return ConstantTimeEqual(a.view(), b.view());
+  }
+  friend bool operator!=(const SecretBuffer& a, const SecretBuffer& b) {
+    return !(a == b);
+  }
+
+  /// Redacted: a SecretBuffer reaching a log line, a status message, or a
+  /// test-failure dump prints its length, never its bytes.
+  friend std::ostream& operator<<(std::ostream& os, const SecretBuffer& b) {
+    return os << "<secret " << b.size() << " bytes>";
+  }
+
+ private:
+  void Adopt(Bytes&& b) {
+    data_.assign(b.begin(), b.end());
+    SecureZero(MutableBytesView(b.data(), b.size()));
+    b.clear();
+  }
+
+  TC_SECRET SecretBytes data_;
+};
+
+}  // namespace tc

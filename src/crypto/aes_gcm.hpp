@@ -3,6 +3,7 @@
 // (AES-GCM-128)"). The per-chunk key is H(k_i - k_{i+1}) per §4.3.
 #pragma once
 
+#include "common/secret.hpp"
 #include "common/status.hpp"
 #include "crypto/rand.hpp"
 
@@ -14,10 +15,12 @@ constexpr size_t kGcmTagSize = 16;
 /// Encrypt: output layout is nonce(12) || ciphertext || tag(16). A fresh
 /// random nonce is drawn per call; with per-chunk keys nonce reuse across
 /// chunks is impossible by construction.
-Bytes GcmSeal(const Key128& key, BytesView plaintext, BytesView aad = {});
+Bytes GcmSeal(TC_SECRET const Key128& key, BytesView plaintext,
+              BytesView aad = {});
 
 /// Decrypt + authenticate. DataLoss on any tampering/truncation.
-Result<Bytes> GcmOpen(const Key128& key, BytesView sealed, BytesView aad = {});
+Result<Bytes> GcmOpen(TC_SECRET const Key128& key, BytesView sealed,
+                      BytesView aad = {});
 
 /// The chunk payload key of §4.3: H(k_i - k_{i+1}) where subtraction is the
 /// component-wise uint64 difference of the two 128-bit leaves (mod 2^64 per

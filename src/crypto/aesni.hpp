@@ -16,7 +16,8 @@ bool CpuHasAesNi();
 /// ~10 aesenc instructions (a few ns).
 class AesNiBlock {
  public:
-  explicit AesNiBlock(const Key128& key);
+  explicit AesNiBlock(TC_SECRET const Key128& key);
+  ~AesNiBlock() { SecureZero(round_keys_); }
 
   Block128 EncryptBlock(const Block128& plaintext) const;
 
@@ -27,8 +28,9 @@ class AesNiBlock {
 
  private:
   // Round keys stored as raw bytes; reinterpreted as __m128i internally to
-  // keep SSE types out of this header.
-  alignas(16) std::array<uint8_t, 176> round_keys_{};
+  // keep SSE types out of this header. An expanded form of the key itself,
+  // scrubbed on destruction.
+  TC_SECRET alignas(16) std::array<uint8_t, 176> round_keys_{};
 };
 
 }  // namespace tc::crypto

@@ -51,6 +51,7 @@ Result<std::vector<AccessToken>> GgmTree::CoverRange(uint64_t first,
     uint64_t index = pos >> up;
     TC_ASSIGN_OR_RETURN(Key128 key, DeriveNode(depth, index));
     cover.push_back(AccessToken{depth, index, key});
+    SecureZero(key);
     pos += size;
     if (pos == 0) break;  // wrapped (whole 2^64 space) — cannot happen h<=63
   }
@@ -126,6 +127,7 @@ void SequentialLeafIterator::DescendTo(uint64_t leaf_index) {
     Key128 child = prg_->ExpandOne(path_.back().key, right);
     uint64_t child_index = (path_.back().index << 1) | (right ? 1 : 0);
     path_.push_back({child, child_index});
+    SecureZero(child);
   }
 }
 

@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/secret.hpp"
 #include "common/status.hpp"
 #include "crypto/constant_time.hpp"
 #include "crypto/prg.hpp"
@@ -19,9 +20,18 @@ namespace tc::crypto {
 /// An inner (or leaf) node handed out to principals. Holding a token is
 /// equivalent to holding all leaves in [FirstLeaf(), LastLeaf()].
 struct AccessToken {
+  AccessToken() = default;
+  AccessToken(uint32_t depth, uint64_t index, const Key128& node_key)
+      : depth(depth), index(index), node_key(node_key) {}
+  AccessToken(const AccessToken&) = default;
+  AccessToken& operator=(const AccessToken&) = default;
+  AccessToken(AccessToken&&) noexcept = default;
+  AccessToken& operator=(AccessToken&&) noexcept = default;
+  ~AccessToken() { SecureZero(node_key); }
+
   uint32_t depth = 0;   // 0 = root
   uint64_t index = 0;   // node index within its level, left-to-right
-  Key128 node_key{};
+  TC_SECRET Key128 node_key{};
 
   friend bool operator==(const AccessToken& a, const AccessToken& b) {
     // node_key is secret material: compare it in constant time so token
@@ -39,6 +49,7 @@ class GgmTree {
   /// height in [1, 63]; the keystream has 2^height leaves.
   GgmTree(Key128 root_seed, uint32_t height,
           PrgKind prg_kind = PrgKind::kAesNi);
+  ~GgmTree() { SecureZero(root_); }
 
   uint32_t height() const { return height_; }
   uint64_t num_leaves() const { return uint64_t{1} << height_; }
@@ -55,7 +66,7 @@ class GgmTree {
   Result<Key128> DeriveNode(uint32_t depth, uint64_t index) const;
 
  private:
-  Key128 root_;
+  TC_SECRET Key128 root_;
   uint32_t height_;
   std::unique_ptr<Prg> prg_;
 };
@@ -111,8 +122,18 @@ class SequentialLeafIterator {
 
  private:
   struct PathEntry {
-    Key128 key;
-    uint64_t index;  // node index at this depth (global)
+    PathEntry() = default;
+    PathEntry(const Key128& key, uint64_t index) : key(key), index(index) {}
+    PathEntry(const PathEntry&) = default;
+    PathEntry& operator=(const PathEntry&) = default;
+    PathEntry(PathEntry&&) noexcept = default;
+    PathEntry& operator=(PathEntry&&) noexcept = default;
+    // Popped path suffixes (Next() shrinks the stack every step) scrub
+    // themselves — the re-derivable inner-node keys never linger.
+    ~PathEntry() { SecureZero(key); }
+
+    TC_SECRET Key128 key{};
+    uint64_t index = 0;  // node index at this depth (global)
   };
 
   void DescendTo(uint64_t leaf_index);

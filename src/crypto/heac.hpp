@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/secret.hpp"
 #include "common/status.hpp"
 #include "crypto/aesni.hpp"
 #include "crypto/ggm_tree.hpp"
@@ -43,13 +44,21 @@ inline uint64_t Fold64(const Key128& k) {
 /// fold64(AES_{leaf}(f)) — one AES block op per field.
 class FieldKeys {
  public:
-  FieldKeys(const Key128& leaf, size_t num_fields);
+  FieldKeys(TC_SECRET const Key128& leaf, size_t num_fields);
+  FieldKeys(const FieldKeys&) = default;
+  FieldKeys& operator=(const FieldKeys&) = default;
+  FieldKeys(FieldKeys&&) noexcept = default;
+  FieldKeys& operator=(FieldKeys&&) noexcept = default;
+  ~FieldKeys() {
+    SecureZero(MutableBytesView(reinterpret_cast<uint8_t*>(keys_.data()),
+                                keys_.size() * sizeof(uint64_t)));
+  }
 
   uint64_t key(size_t field) const { return keys_[field]; }
   size_t num_fields() const { return keys_.size(); }
 
  private:
-  std::vector<uint64_t> keys_;
+  TC_SECRET std::vector<uint64_t> keys_;
 };
 
 /// An encrypted digest: one uint64 ciphertext per field, plus the chunk

@@ -41,6 +41,7 @@ HashChain::HashChain(Key128 seed, uint64_t length)
     if (i % stride_ == 0) checkpoints_[i / stride_] = cur;
     if (i > 0) cur = StepDown(cur);
   }
+  SecureZero(cur);
 }
 
 Result<Key128> HashChain::StateAt(uint64_t i) const {
@@ -89,7 +90,11 @@ Result<Key128> DualKeyRegressionView::DeriveKey(uint64_t j) const {
   for (uint64_t i = secondary_.index; i < j; ++i) s2 = HashChain::StepDown(s2);
   Key128 mixed;
   for (size_t b = 0; b < mixed.size(); ++b) mixed[b] = s1[b] ^ s2[b];
-  return HashChain::KeyOf(mixed);
+  Key128 out = HashChain::KeyOf(mixed);
+  SecureZero(s1);
+  SecureZero(s2);
+  SecureZero(mixed);
+  return out;
 }
 
 DualKeyRegression::DualKeyRegression(Key128 primary_seed, Key128 secondary_seed,
@@ -107,7 +112,11 @@ Result<Key128> DualKeyRegression::DeriveKey(uint64_t j) const {
   TC_ASSIGN_OR_RETURN(Key128 s2, secondary_.StateAt(length_ - 1 - j));
   Key128 mixed;
   for (size_t b = 0; b < mixed.size(); ++b) mixed[b] = s1[b] ^ s2[b];
-  return HashChain::KeyOf(mixed);
+  Key128 out = HashChain::KeyOf(mixed);
+  SecureZero(s1);
+  SecureZero(s2);
+  SecureZero(mixed);
+  return out;
 }
 
 Result<DualKeyRegressionView> DualKeyRegression::Share(uint64_t lower,
@@ -116,8 +125,11 @@ Result<DualKeyRegressionView> DualKeyRegression::Share(uint64_t lower,
   if (upper >= length_) return OutOfRange("share range exceeds chain length");
   TC_ASSIGN_OR_RETURN(Key128 s1, primary_.StateAt(upper));
   TC_ASSIGN_OR_RETURN(Key128 s2, secondary_.StateAt(length_ - 1 - lower));
-  return DualKeyRegressionView(KeyRegressionState{s1, upper},
-                               KeyRegressionState{s2, lower});
+  DualKeyRegressionView view(KeyRegressionState{s1, upper},
+                             KeyRegressionState{s2, lower});
+  SecureZero(s1);
+  SecureZero(s2);
+  return view;
 }
 
 }  // namespace tc::crypto

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/secret.hpp"
 #include "common/status.hpp"
 #include "crypto/rand.hpp"
 
@@ -27,7 +28,16 @@ namespace tc::crypto {
 
 /// Forward direction of chain consumption relative to generation.
 struct KeyRegressionState {
-  Key128 state{};
+  KeyRegressionState() = default;
+  KeyRegressionState(const Key128& state, uint64_t index)
+      : state(state), index(index) {}
+  KeyRegressionState(const KeyRegressionState&) = default;
+  KeyRegressionState& operator=(const KeyRegressionState&) = default;
+  KeyRegressionState(KeyRegressionState&&) noexcept = default;
+  KeyRegressionState& operator=(KeyRegressionState&&) noexcept = default;
+  ~KeyRegressionState() { SecureZero(state); }
+
+  TC_SECRET Key128 state{};
   uint64_t index = 0;
 };
 
@@ -39,6 +49,14 @@ class HashChain {
  public:
   /// Builds checkpoints spaced ~sqrt(length) apart; O(length) once.
   HashChain(Key128 seed, uint64_t length);
+  HashChain(const HashChain&) = default;
+  HashChain& operator=(const HashChain&) = default;
+  HashChain(HashChain&&) noexcept = default;
+  HashChain& operator=(HashChain&&) noexcept = default;
+  ~HashChain() {
+    SecureZero(seed_);
+    for (auto& cp : checkpoints_) SecureZero(cp);
+  }
 
   uint64_t length() const { return length_; }
 
@@ -58,9 +76,11 @@ class HashChain {
 
  private:
   uint64_t length_;
-  Key128 seed_;      // state at index length-1 (the top anchor)
+  TC_SECRET Key128 seed_;  // state at index length-1 (the top anchor)
   uint64_t stride_;
-  std::vector<Key128> checkpoints_;  // checkpoints_[j] = state at j*stride_
+  // checkpoints_[j] = state at j*stride_ — every entry is chain state, i.e.
+  // key material; the destructor scrubs the lot.
+  TC_SECRET std::vector<Key128> checkpoints_;
 };
 
 /// A consumer's view of a dual key regression interval: can derive keys

@@ -9,6 +9,7 @@
 #include <memory>
 #include <string_view>
 
+#include "common/secret.hpp"
 #include "crypto/rand.hpp"
 
 namespace tc::crypto {
@@ -23,18 +24,23 @@ std::string_view PrgKindName(PrgKind kind);
 
 /// A length-doubling PRG. Implementations must be stateless and
 /// thread-compatible: Expand may be called concurrently from any thread.
+/// Implementations key a block cipher with `parent` per call; the cipher
+/// types scrub their expanded key schedules on destruction, so no copy of
+/// the parent key outlives the call.
 class Prg {
  public:
   virtual ~Prg() = default;
 
   /// Expand a 128-bit node into its two 128-bit children.
-  virtual void Expand(const Key128& parent, Key128& left,
+  virtual void Expand(TC_SECRET const Key128& parent, Key128& left,
                       Key128& right) const = 0;
 
   /// Derive only one child (some callers walk a single path).
-  virtual Key128 ExpandOne(const Key128& parent, bool right_child) const {
+  virtual Key128 ExpandOne(TC_SECRET const Key128& parent,
+                           bool right_child) const {
     Key128 l, r;
     Expand(parent, l, r);
+    SecureZero(right_child ? l : r);
     return right_child ? r : l;
   }
 };

@@ -67,6 +67,7 @@ Key128 DeriveBoxKey(BytesView shared, BytesView eph_pub, BytesView rcpt_pub) {
   Bytes okm = HkdfSha256(shared, ToBytes("timecrypt-sealed-box-v1"), info, 16);
   Key128 key;
   std::memcpy(key.data(), okm.data(), 16);
+  SecureZero(okm);
   return key;
 }
 
@@ -114,7 +115,8 @@ Result<Bytes> SealToPublicKey(BytesView recipient_public, BytesView plaintext) {
   Bytes out = eph.public_key;
   Bytes sealed = GcmSeal(key, plaintext);
   Append(out, sealed);
-  SecureZero(eph.secret_key);
+  SecureZero(key);
+  // eph.secret_key is a SecretBuffer: scrubbed by its destructor here.
   return out;
 }
 
@@ -132,7 +134,9 @@ Result<Bytes> OpenSealed(const BoxKeyPair& recipient, BytesView sealed) {
   TC_ASSIGN_OR_RETURN(Bytes shared, Ecdh(secret.get(), eph.get()));
   Key128 key = DeriveBoxKey(shared, eph_pub, recipient.public_key);
   SecureZero(shared);
-  return GcmOpen(key, body);
+  Result<Bytes> plain = GcmOpen(key, body);
+  SecureZero(key);
+  return plain;
 }
 
 }  // namespace tc::crypto

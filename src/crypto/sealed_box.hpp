@@ -6,6 +6,7 @@
 // Output: ephemeral_pub(32) || gcm(nonce || ct || tag).
 #pragma once
 
+#include "common/secret.hpp"
 #include "common/status.hpp"
 #include "crypto/rand.hpp"
 
@@ -15,10 +16,11 @@ constexpr size_t kX25519KeySize = 32;
 
 /// A principal's long-term identity keypair. The identity provider of the
 /// threat model (e.g. Keybase, §3.3) maps principal ids to public keys;
-/// here the public half is passed around directly.
+/// here the public half is passed around directly. The secret half lives in
+/// a SecretBuffer: scrubbed on destruction, redacted when streamed.
 struct BoxKeyPair {
-  Bytes public_key;   // 32 bytes
-  Bytes secret_key;   // 32 bytes
+  Bytes public_key;                  // 32 bytes
+  TC_SECRET SecretBuffer secret_key;  // 32 bytes
 };
 
 /// Generate a fresh X25519 keypair.

@@ -4,6 +4,7 @@
 #include <array>
 
 #include "common/bytes.hpp"
+#include "common/secret.hpp"
 
 namespace tc::crypto {
 
@@ -14,9 +15,10 @@ Sha256Digest Sha256(BytesView data);
 /// SHA-256 over the concatenation a || b (avoids a temporary buffer).
 Sha256Digest Sha256Concat(BytesView a, BytesView b);
 
-Sha256Digest HmacSha256(BytesView key, BytesView data);
+Sha256Digest HmacSha256(TC_SECRET BytesView key, BytesView data);
 
 /// HKDF (RFC 5869) extract-then-expand with SHA-256.
-Bytes HkdfSha256(BytesView ikm, BytesView salt, BytesView info, size_t length);
+Bytes HkdfSha256(TC_SECRET BytesView ikm, BytesView salt, BytesView info,
+                 size_t length);
 
 }  // namespace tc::crypto

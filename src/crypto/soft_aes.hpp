@@ -8,6 +8,7 @@
 #include <cstdint>
 
 #include "common/bytes.hpp"
+#include "common/secret.hpp"
 #include "crypto/rand.hpp"
 
 namespace tc::crypto {
@@ -18,7 +19,8 @@ using Block128 = std::array<uint8_t, 16>;
 /// the PRG and CTR-style uses never need the inverse cipher.
 class SoftAes128 {
  public:
-  explicit SoftAes128(const Key128& key) { ExpandKey(key); }
+  explicit SoftAes128(TC_SECRET const Key128& key) { ExpandKey(key); }
+  ~SoftAes128() { SecureZero(round_keys_); }
 
   /// Encrypt one 16-byte block (ECB single block).
   Block128 EncryptBlock(const Block128& plaintext) const;
@@ -26,8 +28,9 @@ class SoftAes128 {
  private:
   void ExpandKey(const Key128& key);
 
-  // 11 round keys x 16 bytes.
-  std::array<uint8_t, 176> round_keys_{};
+  // 11 round keys x 16 bytes — an expanded form of the key itself, scrubbed
+  // on destruction (the PRG constructs one of these per expand call).
+  TC_SECRET std::array<uint8_t, 176> round_keys_{};
 };
 
 }  // namespace tc::crypto

@@ -1,0 +1,43 @@
+// tc_analyze fixture: A1 secret-leak. MUST fail the analyzer.
+//
+// Self-contained: fixtures are parsed standalone (no include paths), so the
+// sink shapes from src/common are re-declared minimally here. The annotation
+// is written raw rather than through TC_SECRET so the fixture needs no
+// headers at all.
+#define TC_SECRET [[clang::annotate("tc_secret")]]
+
+namespace tc {
+namespace internal {
+struct LogMessage {
+  LogMessage& operator<<(int v);
+  LogMessage& operator<<(const char* v);
+};
+}  // namespace internal
+
+struct Status {};
+Status InvalidArgument(const char* message);
+
+void RecordEvent(int kind, unsigned shard, const char* detail);
+
+using Key128 = unsigned char[16];
+
+// Violation 1: a TC_SECRET local streamed into the log.
+void LeakToLog() {
+  TC_SECRET int key_byte = 42;
+  internal::LogMessage() << "derived " << key_byte;
+}
+
+// Violation 2: a secret-typed parameter's first byte folded into a Status
+// message argument (derived expression, still tainted).
+Status LeakToStatus(const Key128& master_key) {
+  return InvalidArgument(master_key[0] ? "odd key" : "even key");
+}
+
+// Fine: logging non-secret values next to secret-handling code.
+void LogsPublicOnly(const Key128& master_key) {
+  (void)master_key;
+  int chunk_index = 7;
+  internal::LogMessage() << "ingested chunk " << chunk_index;
+}
+
+}  // namespace tc

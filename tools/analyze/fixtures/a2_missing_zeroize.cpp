@@ -1,0 +1,34 @@
+// tc_analyze fixture: A2 zeroize. MUST fail the analyzer.
+//
+// ChainState carries an annotated raw seed but never scrubs it, so its
+// bytes survive in freed heap/stack memory — exactly the defect A2 exists
+// to catch. ScrubbedState shows the compliant shape and must NOT be
+// reported.
+#define TC_SECRET [[clang::annotate("tc_secret")]]
+
+namespace tc {
+
+void SecureZero(unsigned char* data, unsigned long size);
+
+// Violation: secret member, destructor (implicit) never zeroizes.
+struct ChainState {
+  unsigned long index = 0;
+  TC_SECRET unsigned char seed[16];
+};
+
+// Fine: same member, scrubbed in the destructor.
+struct ScrubbedState {
+  unsigned long index = 0;
+  TC_SECRET unsigned char seed[16];
+
+  ScrubbedState() = default;
+  ~ScrubbedState() { SecureZero(seed, sizeof(seed)); }
+};
+
+// Fine: no secret members at all.
+struct PublicHeader {
+  unsigned long stream_uuid = 0;
+  unsigned long chunk_index = 0;
+};
+
+}  // namespace tc

@@ -1,0 +1,35 @@
+// tc_analyze fixture: A3 constant-time. MUST fail the analyzer.
+//
+// Early-exit comparisons on key material leak the matching prefix length
+// through timing; both the builtin operator and memcmp shapes are caught.
+#define TC_SECRET [[clang::annotate("tc_secret")]]
+
+namespace tc {
+
+using Key128 = unsigned char[16];
+
+bool ConstantTimeEqual(const unsigned char* a, const unsigned char* b,
+                       unsigned long size);
+int memcmp(const void* a, const void* b, unsigned long size);
+
+// Violation 1: builtin == on a secret-typed value.
+bool MacMatches(const Key128& expected_mac, unsigned char candidate) {
+  return expected_mac[0] == candidate;
+}
+
+// Violation 2: memcmp with a TC_SECRET operand.
+bool TokenMatches(TC_SECRET const unsigned char* token,
+                  const unsigned char* presented) {
+  return memcmp(token, presented, 16) == 0;
+}
+
+// Fine: the constant-time helper on the same operands.
+bool MacMatchesSafely(const Key128& expected_mac,
+                      const unsigned char* candidate) {
+  return ConstantTimeEqual(expected_mac, candidate, sizeof(Key128));
+}
+
+// Fine: comparing public metadata.
+bool SameChunk(unsigned long a, unsigned long b) { return a == b; }
+
+}  // namespace tc

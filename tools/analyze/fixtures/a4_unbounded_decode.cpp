@@ -1,0 +1,36 @@
+// tc_analyze fixture: A4 bounded-decode. MUST fail the analyzer.
+//
+// A function that walks the raw wire header by hand (it references
+// kFrameHeaderBytes) without going through DecodeFrameHeader skips the
+// body-length bound and the magic/type validation.
+
+namespace tc {
+namespace net {
+
+inline constexpr unsigned long kFrameHeaderBytes = 29;
+
+struct FrameHeader {
+  unsigned char type = 0;
+  unsigned body_len = 0;
+};
+
+bool DecodeFrameHeader(const unsigned char* data, unsigned long size,
+                       FrameHeader* out);
+
+// Violation: hand-rolled header scan, no DecodeFrameHeader call.
+unsigned ChecksumHeaderByHand(const unsigned char* buffer) {
+  unsigned sum = 0;
+  for (unsigned long i = 0; i < kFrameHeaderBytes; ++i) sum += buffer[i];
+  return sum;
+}
+
+// Fine: reaches the header through the bounded decoder.
+unsigned BodyLength(const unsigned char* buffer, unsigned long size) {
+  if (size < kFrameHeaderBytes) return 0;
+  FrameHeader header;
+  if (!DecodeFrameHeader(buffer, size, &header)) return 0;
+  return header.body_len;
+}
+
+}  // namespace net
+}  // namespace tc

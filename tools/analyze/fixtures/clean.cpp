@@ -1,0 +1,60 @@
+// tc_analyze fixture: the compliant shapes for all four rules plus the
+// suppression syntax. MUST pass the analyzer with zero findings.
+#define TC_SECRET [[clang::annotate("tc_secret")]]
+
+namespace tc {
+namespace internal {
+struct LogMessage {
+  LogMessage& operator<<(int v);
+  LogMessage& operator<<(const char* v);
+};
+}  // namespace internal
+
+void SecureZero(unsigned char* data, unsigned long size);
+bool ConstantTimeEqual(const unsigned char* a, const unsigned char* b,
+                       unsigned long size);
+
+namespace net {
+inline constexpr unsigned long kFrameHeaderBytes = 29;
+struct FrameHeader {
+  unsigned body_len = 0;
+};
+bool DecodeFrameHeader(const unsigned char* data, unsigned long size,
+                       FrameHeader* out);
+}  // namespace net
+
+using Key128 = unsigned char[16];
+
+// A2-clean: secret member scrubbed in the destructor.
+struct SessionKeys {
+  TC_SECRET unsigned char master[16];
+  ~SessionKeys() { SecureZero(master, sizeof(master)); }
+};
+
+// A1-clean: log carries only public metadata.
+void LogIngest(const Key128& leaf_key, unsigned long chunk) {
+  (void)leaf_key;
+  internal::LogMessage() << "chunk " << static_cast<int>(chunk);
+}
+
+// A3-clean: secret comparison routed through the constant-time helper.
+bool KeysEqual(const Key128& a, const Key128& b) {
+  return ConstantTimeEqual(a, b, sizeof(Key128));
+}
+
+// A4-clean: header reached through the bounded decoder.
+unsigned BodyLength(const unsigned char* buffer, unsigned long size) {
+  net::FrameHeader header;
+  if (size < net::kFrameHeaderBytes) return 0;
+  if (!net::DecodeFrameHeader(buffer, size, &header)) return 0;
+  return header.body_len;
+}
+
+// Suppression syntax: a real A4 hit silenced with a justified allow —
+// exercises the machinery the tcp.cpp accounting sites rely on.
+unsigned long HeaderOverhead(unsigned long frames) {
+  // tc_analyze:allow(bounded-decode) accounting only, no bytes parsed
+  return frames * net::kFrameHeaderBytes;
+}
+
+}  // namespace tc

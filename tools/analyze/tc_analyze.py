@@ -1,0 +1,722 @@
+#!/usr/bin/env python3
+"""Secret-hygiene AST analyzer (libclang) — registered as a CTest test and a
+CI job.
+
+Where tools/lint/tc_lint.py is regex-grade, this walks the real clang AST of
+every translation unit in src/ (driven by the CMake-exported
+compile_commands.json) and enforces the TC_SECRET discipline declared in
+src/common/secret.hpp:
+
+  A1  secret-leak     no secret value — a TC_SECRET-annotated decl, anything
+                      of type Key128/SecretBuffer, or any expression derived
+                      from one — may reach a TC_LOG stream, a
+                      trace::RecordEvent detail, a metric name/label
+                      (GetCounter/GetGauge/GetHistogram), or Status message
+                      construction (the makers in common/status.hpp or the
+                      Status constructor itself).
+  A2  zeroize         a record with a secret member (annotated, or typed
+                      Key128 at any nesting depth) must SecureZero it in its
+                      destructor or hold it in a SecretBuffer/SecretBytes.
+                      Members whose type is itself a self-zeroizing record
+                      (directly or inside vector/optional/smart pointers)
+                      are covered by that record's destructor.
+  A3  constant-time   a built-in ==/!= or a memcmp whose operand is secret
+                      must be replaced with ConstantTimeEqual (the AST
+                      upgrade of tc_lint R5 — R5 only sees identifier names
+                      in src/crypto/; this sees taint in all of src/).
+  A4  bounded-decode  a function that touches kFrameHeaderBytes must reach
+                      the header through the bounded DecodeFrameHeader
+                      overload (the AST upgrade of tc_lint R3 — per
+                      function, not per file).
+
+Taint is intraprocedural: annotated/secret-typed parameters and locals
+seed it, local initializations and assignments propagate it to a fixpoint,
+and any expression containing a tainted reference is tainted. Accessing a
+non-secret member of a secret-bearing object does NOT taint (so
+`a.depth == b.depth` inside AccessToken::operator== stays clean while
+`a.node_key` taints).
+
+Suppressions: `// tc_analyze:allow(<rule>) <justification>` on the
+violating line or the line above, where <rule> is one of secret-leak,
+zeroize, constant-time, bounded-decode. The justification is mandatory.
+
+Exit codes: 0 clean, 1 violations, 2 analyzer/environment error,
+77 skipped (python3-clang/libclang not installed — CTest maps this to
+SKIP via SKIP_RETURN_CODE; the CI job installs the real toolchain and
+never skips).
+
+Usage:
+  tc_analyze.py -p <build-dir>     analyze src/ TUs from compile_commands
+  tc_analyze.py --self-test        run the fixture suite in tools/analyze/
+"""
+
+import argparse
+import glob
+import json
+import multiprocessing
+import os
+import re
+import shlex
+import subprocess
+import sys
+from pathlib import Path
+
+EXIT_CLEAN = 0
+EXIT_VIOLATIONS = 1
+EXIT_ERROR = 2
+EXIT_SKIP = 77
+
+REPO = Path(__file__).resolve().parent.parent.parent
+SRC = REPO / "src"
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+RULE_SECRET_LEAK = "secret-leak"
+RULE_ZEROIZE = "zeroize"
+RULE_CONSTANT_TIME = "constant-time"
+RULE_BOUNDED_DECODE = "bounded-decode"
+
+# Type spellings (including any sugar position: vector<Key128>,
+# Result<Key128>, const Key128&) that make a value secret by type alone.
+SECRET_TYPE_WORDS = ("Key128", "SecretBuffer", "SecretBytes")
+# Types that are themselves the trusted scrubbing primitives: a field of
+# one of these types satisfies A2 without a destructor at the holder.
+SAFE_TYPE_WORDS = ("SecretBuffer", "SecretBytes")
+
+# Call-expression spellings that are A1 sinks when any argument is tainted.
+SINK_CALLS = frozenset({
+    "RecordEvent",
+    "GetCounter", "GetGauge", "GetHistogram",
+    "Status",
+    "InvalidArgument", "NotFound", "AlreadyExists", "PermissionDenied",
+    "OutOfRange", "FailedPrecondition", "Unavailable", "Internal",
+    "DataLoss", "Unimplemented",
+})
+
+# Functions allowed to touch kFrameHeaderBytes without DecodeFrameHeader
+# (the decoder itself and the frame encoder, both in src/net/wire).
+A4_ALLOWED_FUNCTIONS = frozenset({"DecodeFrameHeader", "EncodeFrame"})
+
+SUPPRESS_RE = re.compile(
+    r"//\s*tc_analyze:allow\((secret-leak|zeroize|constant-time|"
+    r"bounded-decode)\)\s*(\S.*)?$")
+
+_cindex = None  # set by load_cindex()
+
+
+def load_cindex():
+    """Import clang.cindex and locate libclang. Returns the module or None."""
+    global _cindex
+    if _cindex is not None:
+        return _cindex
+    try:
+        from clang import cindex
+    except ImportError:
+        return None
+    try:
+        cindex.Index.create()
+        _cindex = cindex
+        return cindex
+    except Exception:
+        pass
+    candidates = []
+    for pattern in ("/usr/lib/llvm-*/lib/libclang.so.1",
+                    "/usr/lib/llvm-*/lib/libclang-*.so.1",
+                    "/usr/lib/*/libclang-*.so.1",
+                    "/usr/lib/*/libclang.so.1",
+                    "/usr/lib/*/libclang.so"):
+        candidates.extend(sorted(glob.glob(pattern), reverse=True))
+    for lib in candidates:
+        try:
+            cindex.Config.set_library_file(lib)
+            cindex.Index.create()
+            _cindex = cindex
+            return cindex
+        except Exception:  # pylint: disable=broad-except
+            continue
+    return None
+
+
+def clang_resource_dir():
+    """clang's builtin-header dir, so libclang finds stddef.h and friends."""
+    for exe in ("clang", "clang-19", "clang-18", "clang-17", "clang-16",
+                "clang-15", "clang-14"):
+        try:
+            out = subprocess.run([exe, "-print-resource-dir"],
+                                 capture_output=True, text=True, timeout=30)
+            if out.returncode == 0 and out.stdout.strip():
+                return out.stdout.strip()
+        except (OSError, subprocess.TimeoutExpired):
+            continue
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Per-file suppression comments.
+# ---------------------------------------------------------------------------
+
+_suppress_cache = {}
+
+
+def suppressions_for(path):
+    """line number -> set of rule names allowed on that line or the next."""
+    cached = _suppress_cache.get(path)
+    if cached is not None:
+        return cached
+    allowed = {}
+    try:
+        lines = Path(path).read_text(encoding="utf-8",
+                                     errors="replace").splitlines()
+    except OSError:
+        _suppress_cache[path] = allowed
+        return allowed
+    for number, line in enumerate(lines, 1):
+        match = SUPPRESS_RE.search(line)
+        if match and match.group(2):  # justification is mandatory
+            rule = match.group(1)
+            allowed.setdefault(number, set()).add(rule)
+            allowed.setdefault(number + 1, set()).add(rule)
+    _suppress_cache[path] = allowed
+    return allowed
+
+
+def is_suppressed(rule, path, line):
+    return rule in suppressions_for(path).get(line, set())
+
+
+# ---------------------------------------------------------------------------
+# AST helpers.
+# ---------------------------------------------------------------------------
+
+def _word_in(words, spelling):
+    return any(re.search(r"\b" + re.escape(w) + r"\b", spelling)
+               for w in words)
+
+
+def type_is_secret(ctype):
+    try:
+        spelling = ctype.spelling
+    except Exception:
+        return False
+    return _word_in(SECRET_TYPE_WORDS, spelling)
+
+
+def type_is_safe_holder(ctype):
+    try:
+        spelling = ctype.spelling
+    except Exception:
+        return False
+    return _word_in(SAFE_TYPE_WORDS, spelling)
+
+
+def is_annotated(cursor, ck):
+    if cursor is None:
+        return False
+    try:
+        for child in cursor.get_children():
+            if child.kind == ck.ANNOTATE_ATTR and \
+                    child.spelling == "tc_secret":
+                return True
+    except Exception:
+        return False
+    return False
+
+
+class TuAnalyzer:
+    """Analyzes one parsed translation unit; collects violations."""
+
+    def __init__(self, cindex, tu, scope_dirs):
+        self.cx = cindex
+        self.ck = cindex.CursorKind
+        self.tu = tu
+        self.scope_dirs = [str(d) for d in scope_dirs]
+        self.violations = set()  # (rule, path, line, message)
+        self.records = {}        # usr -> record info dict
+        self.dtor_scrubs = set()  # USRs of records whose dtor calls SecureZero
+
+    # -- file scoping -------------------------------------------------------
+
+    def in_scope(self, cursor):
+        loc = cursor.location
+        if loc is None or loc.file is None:
+            return False
+        name = loc.file.name
+        return any(name.startswith(d) for d in self.scope_dirs)
+
+    def report(self, rule, cursor, message):
+        loc = cursor.location
+        path = loc.file.name
+        if is_suppressed(rule, path, loc.line):
+            return
+        try:
+            rel = str(Path(path).resolve().relative_to(REPO))
+        except ValueError:
+            rel = path
+        self.violations.add((rule, rel, loc.line, message))
+
+    # -- top-level walk -----------------------------------------------------
+
+    def run(self):
+        for cursor in self.tu.cursor.get_children():
+            self.visit(cursor)
+        self.check_records()
+
+    def visit(self, cursor):
+        ck = self.ck
+        if not self.in_scope(cursor):
+            return
+        kind = cursor.kind
+        if kind in (ck.NAMESPACE, ck.UNEXPOSED_DECL, ck.LINKAGE_SPEC):
+            for child in cursor.get_children():
+                self.visit(child)
+            return
+        if kind in (ck.CLASS_DECL, ck.STRUCT_DECL, ck.CLASS_TEMPLATE):
+            if cursor.is_definition():
+                self.collect_record(cursor)
+            for child in cursor.get_children():
+                self.visit(child)
+            return
+        if kind in (ck.FUNCTION_DECL, ck.CXX_METHOD, ck.CONSTRUCTOR,
+                    ck.DESTRUCTOR, ck.CONVERSION_FUNCTION,
+                    ck.FUNCTION_TEMPLATE):
+            if cursor.is_definition():
+                if kind == ck.DESTRUCTOR:
+                    self.collect_dtor(cursor)
+                self.analyze_function(cursor)
+            return
+
+    # -- A2: record collection + zeroize check ------------------------------
+
+    def collect_record(self, cursor):
+        usr = cursor.get_usr()
+        if not usr or usr in self.records:
+            return
+        ck = self.ck
+        fields = []
+        dtor = None
+        for child in cursor.get_children():
+            if child.kind == ck.FIELD_DECL:
+                fields.append((child.spelling, child.type.spelling,
+                               is_annotated(child, ck), child.location.line))
+            elif child.kind == ck.DESTRUCTOR and child.is_definition():
+                dtor = child
+        if dtor is not None and self.body_calls(dtor, "SecureZero"):
+            self.dtor_scrubs.add(usr)
+        self.records[usr] = {
+            "name": cursor.spelling,
+            "file": cursor.location.file.name,
+            "line": cursor.location.line,
+            "cursor": cursor,
+            "fields": fields,
+        }
+
+    def collect_dtor(self, cursor):
+        # Out-of-line destructor definition: credit the parent record.
+        parent = cursor.semantic_parent
+        if parent is not None and self.body_calls(cursor, "SecureZero"):
+            usr = parent.get_usr()
+            if usr:
+                self.dtor_scrubs.add(usr)
+
+    def body_calls(self, cursor, callee):
+        ck = self.ck
+        if cursor.kind == ck.CALL_EXPR and cursor.spelling == callee:
+            return True
+        return any(self.body_calls(child, callee)
+                   for child in cursor.get_children())
+
+    def check_records(self):
+        names = {info["name"]: usr for usr, info in self.records.items()
+                 if info["name"]}
+
+        memo = {}
+
+        def zeroize_safe(usr):
+            if usr in memo:
+                return memo[usr]
+            memo[usr] = True  # break cycles optimistically
+            info = self.records[usr]
+            safe = not self.raw_secret_fields(info, names) or \
+                usr in self.dtor_scrubs
+            memo[usr] = safe
+            return safe
+
+        for usr, info in self.records.items():
+            if info["name"] in SAFE_TYPE_WORDS:
+                continue
+            raw = self.raw_secret_fields(info, names)
+            if raw and usr not in self.dtor_scrubs:
+                field_names = ", ".join(name for name, _, _, _ in raw)
+                self.report(
+                    RULE_ZEROIZE, info["cursor"],
+                    f"type '{info['name']}' holds secret member(s) "
+                    f"[{field_names}] but its destructor never calls "
+                    "SecureZero; scrub them there or hold them in a "
+                    "SecretBuffer")
+            # An annotated field whose type is a record that does NOT
+            # zeroize itself is a violation at the holder too.
+            for name, type_spelling, annotated, line in info["fields"]:
+                if not annotated:
+                    continue
+                member_usr = self.record_in_spelling(type_spelling, names)
+                if member_usr and not zeroize_safe(member_usr):
+                    self.report(
+                        RULE_ZEROIZE, info["cursor"],
+                        f"member '{name}' of '{info['name']}' is TC_SECRET "
+                        f"but its type does not zeroize on destruction")
+
+    def raw_secret_fields(self, info, names):
+        """Fields holding bare key material this record must scrub itself."""
+        raw = []
+        for field in info["fields"]:
+            name, type_spelling, annotated, line = field
+            if _word_in(SAFE_TYPE_WORDS, type_spelling):
+                continue  # SecretBuffer/SecretBytes scrub themselves
+            if _word_in(SECRET_TYPE_WORDS, type_spelling):
+                raw.append(field)  # Key128 at any depth: vector<Key128> too
+                continue
+            if self.record_in_spelling(type_spelling, names):
+                continue  # delegated to that record's own A2 check
+            if annotated:
+                raw.append(field)  # annotated scalar/array/container
+        return raw
+
+    def record_in_spelling(self, type_spelling, names):
+        for name, usr in names.items():
+            if re.search(r"\b" + re.escape(name) + r"\b", type_spelling):
+                return usr
+        return None
+
+    # -- A1/A3/A4: per-function analysis ------------------------------------
+
+    def analyze_function(self, fn):
+        ck = self.ck
+        tainted = set()  # cursor hashes of tainted ParmDecls/VarDecls
+
+        defn_params = list(fn.get_arguments())
+        try:
+            canon_params = list(fn.canonical.get_arguments())
+        except Exception:
+            canon_params = []
+        for i, param in enumerate(defn_params):
+            annotated = is_annotated(param, ck) or \
+                (i < len(canon_params) and is_annotated(canon_params[i], ck))
+            if annotated or type_is_secret(param.type):
+                tainted.add(param.hash)
+
+        body = [c for c in fn.get_children()
+                if c.kind == ck.COMPOUND_STMT]
+        if not body:
+            return
+        body = body[0]
+
+        # Propagate taint through local declarations/assignments to a
+        # fixpoint (bounded: chains deeper than 4 re-assignments are not a
+        # shape this codebase has).
+        for _ in range(4):
+            before = len(tainted)
+            self.propagate(body, tainted)
+            if len(tainted) == before:
+                break
+
+        self.find_sinks(body, tainted, fn)
+
+        # A4: touching the raw header constant without the bounded decoder.
+        if fn.spelling not in A4_ALLOWED_FUNCTIONS:
+            ref = self.find_ref(body, "kFrameHeaderBytes")
+            if ref is not None and \
+                    not self.body_calls(body, "DecodeFrameHeader"):
+                self.report(
+                    RULE_BOUNDED_DECODE, ref,
+                    f"function '{fn.spelling}' reads kFrameHeaderBytes "
+                    "without calling DecodeFrameHeader; hand-rolled header "
+                    "parsing bypasses the body-length bound")
+
+    def propagate(self, node, tainted):
+        ck = self.ck
+        kind = node.kind
+        if kind == ck.VAR_DECL and node.hash not in tainted:
+            if is_annotated(node, ck) or type_is_secret(node.type) or \
+                    any(self.is_tainted(c, tainted)
+                        for c in node.get_children()):
+                tainted.add(node.hash)
+        elif kind == ck.BINARY_OPERATOR:
+            children = list(node.get_children())
+            if len(children) == 2 and \
+                    self.binop_spelling(node, children) == "=" and \
+                    children[0].kind == ck.DECL_REF_EXPR and \
+                    self.is_tainted(children[1], tainted):
+                ref = children[0].referenced
+                if ref is not None:
+                    tainted.add(ref.hash)
+        for child in node.get_children():
+            self.propagate(child, tainted)
+
+    def is_tainted(self, node, tainted):
+        ck = self.ck
+        kind = node.kind
+        if kind == ck.MEMBER_REF_EXPR:
+            ref = node.referenced
+            if ref is not None and ref.kind == ck.FIELD_DECL and \
+                    (is_annotated(ref, ck) or type_is_secret(ref.type)):
+                return True
+            return False  # non-secret member access blocks base taint
+        if kind == ck.DECL_REF_EXPR:
+            ref = node.referenced
+            if ref is None:
+                return False
+            if ref.kind in (ck.VAR_DECL, ck.PARM_DECL):
+                if ref.hash in tainted or is_annotated(ref, ck) or \
+                        type_is_secret(ref.type):
+                    return True
+            return False
+        return any(self.is_tainted(child, tainted)
+                   for child in node.get_children())
+
+    def find_sinks(self, node, tainted, fn):
+        ck = self.ck
+        if node.kind == ck.CALL_EXPR:
+            name = node.spelling
+            args = list(node.get_arguments())
+            if name == "operator<<" and \
+                    "LogMessage" in node.type.spelling and args:
+                # Chained stream: only the right-hand operand is this call's
+                # own payload (the left is the nested << call).
+                if self.is_tainted(args[-1], tainted):
+                    self.report(
+                        RULE_SECRET_LEAK, node,
+                        f"secret value streamed into TC_LOG in "
+                        f"'{fn.spelling}'; key material must never reach "
+                        "the log")
+            elif name in SINK_CALLS:
+                for arg in args:
+                    if self.is_tainted(arg, tainted):
+                        self.report(
+                            RULE_SECRET_LEAK, node,
+                            f"secret value passed to {name}() in "
+                            f"'{fn.spelling}'; key material must never "
+                            "reach logs, traces, metrics, or status "
+                            "messages")
+                        break
+            elif name == "memcmp":
+                for arg in args:
+                    if self.is_tainted(arg, tainted):
+                        self.report(
+                            RULE_CONSTANT_TIME, node,
+                            f"memcmp on secret operand in '{fn.spelling}'; "
+                            "use ConstantTimeEqual")
+                        break
+        elif node.kind == ck.BINARY_OPERATOR:
+            children = list(node.get_children())
+            if len(children) == 2:
+                op = self.binop_spelling(node, children)
+                if op in ("==", "!=") and \
+                        (self.is_tainted(children[0], tainted) or
+                         self.is_tainted(children[1], tainted)):
+                    self.report(
+                        RULE_CONSTANT_TIME, node,
+                        f"'{op}' on secret operand in '{fn.spelling}'; "
+                        "use ConstantTimeEqual so comparison time cannot "
+                        "leak key bytes")
+        for child in node.get_children():
+            self.find_sinks(child, tainted, fn)
+
+    def binop_spelling(self, node, children):
+        """Operator token of a builtin binary operator, via the token gap
+        between the operand extents (libclang has no direct accessor on
+        older bindings)."""
+        try:
+            left_end = children[0].extent.end.offset
+            right_start = children[1].extent.start.offset
+        except Exception:
+            return None
+        for token in node.get_tokens():
+            off = token.extent.start.offset
+            if left_end <= off < right_start and \
+                    token.kind == self.cx.TokenKind.PUNCTUATION:
+                return token.spelling
+        return None
+
+    def find_ref(self, node, name):
+        ck = self.ck
+        if node.kind == ck.DECL_REF_EXPR and node.spelling == name:
+            return node
+        for child in node.get_children():
+            found = self.find_ref(child, name)
+            if found is not None:
+                return found
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Driving: compile_commands.json and fixtures.
+# ---------------------------------------------------------------------------
+
+def parse_args_from_command(entry):
+    if "arguments" in entry:
+        argv = list(entry["arguments"])
+    else:
+        argv = shlex.split(entry["command"])
+    args = []
+    skip = False
+    src_file = entry["file"]
+    for arg in argv[1:]:
+        if skip:
+            skip = False
+            continue
+        if arg in ("-c", src_file):
+            continue
+        if arg == "-o":
+            skip = True
+            continue
+        if arg.endswith(".o") and args and args[-1] == "-o":
+            continue
+        args.append(arg)
+    return args
+
+
+def analyze_one(job):
+    """Worker: parse one TU and run the rules. Returns (violations, error)."""
+    src_file, args, scope_dirs = job
+    cindex = load_cindex()
+    if cindex is None:
+        return ([], "libclang unavailable in worker")
+    try:
+        index = cindex.Index.create()
+        tu = index.parse(src_file, args=args)
+        # Error-or-worse diagnostics mean an incomplete AST; a silently
+        # degraded parse must not be reported as "clean".
+        fatal = [d for d in tu.diagnostics if d.severity >= 3]
+        if fatal:
+            return ([], f"{src_file}: parse failed: {fatal[0].spelling}")
+        analyzer = TuAnalyzer(cindex, tu, scope_dirs)
+        analyzer.run()
+        return (sorted(analyzer.violations), None)
+    except Exception as exc:  # pylint: disable=broad-except
+        return ([], f"{src_file}: analyzer exception: {exc!r}")
+
+
+def analyze_fixture(path):
+    cindex = load_cindex()
+    if cindex is None:
+        return None
+    args = ["-x", "c++", "-std=c++20", "-Wno-everything"]
+    violations, error = analyze_one((str(path), args, [str(FIXTURES)]))
+    if error:
+        print(f"tc_analyze: {error}", file=sys.stderr)
+        return None
+    return violations
+
+
+def run_self_test():
+    expectations = {
+        "a1_secret_leak.cpp": {RULE_SECRET_LEAK},
+        "a2_missing_zeroize.cpp": {RULE_ZEROIZE},
+        "a3_nonconstant_compare.cpp": {RULE_CONSTANT_TIME},
+        "a4_unbounded_decode.cpp": {RULE_BOUNDED_DECODE},
+        "clean.cpp": set(),
+    }
+    failed = False
+    for name, expected in sorted(expectations.items()):
+        path = FIXTURES / name
+        if not path.exists():
+            print(f"tc_analyze: missing fixture {path}", file=sys.stderr)
+            failed = True
+            continue
+        violations = analyze_fixture(path)
+        if violations is None:
+            return EXIT_ERROR
+        got = {rule for rule, _, _, _ in violations}
+        if got != expected:
+            failed = True
+            print(f"tc_analyze: self-test FAILED for {name}: expected "
+                  f"rules {sorted(expected)}, got {sorted(got)}",
+                  file=sys.stderr)
+            for rule, rel, line, message in violations:
+                print(f"  {rel}:{line}: [{rule}] {message}",
+                      file=sys.stderr)
+        else:
+            status = "fails as expected" if expected else "passes clean"
+            print(f"tc_analyze: self-test {name}: {status} "
+                  f"({len(violations)} finding(s))")
+    if failed:
+        return EXIT_VIOLATIONS
+    print(f"tc_analyze: self-test clean ({len(expectations)} fixtures)")
+    return EXIT_CLEAN
+
+
+def run_full(build_dir, jobs):
+    db_path = Path(build_dir) / "compile_commands.json"
+    if not db_path.exists():
+        print(f"tc_analyze: {db_path} not found (configure CMake first)",
+              file=sys.stderr)
+        return EXIT_ERROR
+    entries = json.loads(db_path.read_text(encoding="utf-8"))
+    resource_dir = clang_resource_dir()
+    jobs_list = []
+    seen = set()
+    for entry in entries:
+        src_file = str(Path(entry["directory"], entry["file"]).resolve())
+        if not src_file.startswith(str(SRC) + os.sep):
+            continue  # analyze only src/ (CI wall-time budget)
+        if src_file in seen:
+            continue
+        seen.add(src_file)
+        args = parse_args_from_command(entry)
+        if resource_dir:
+            args += ["-resource-dir", resource_dir]
+        jobs_list.append((src_file, args, [str(SRC)]))
+    if not jobs_list:
+        print("tc_analyze: no src/ entries in compile_commands.json",
+              file=sys.stderr)
+        return EXIT_ERROR
+
+    all_violations = set()
+    errors = []
+    if jobs > 1:
+        with multiprocessing.Pool(jobs) as pool:
+            results = pool.map(analyze_one, jobs_list)
+    else:
+        results = [analyze_one(job) for job in jobs_list]
+    for violations, error in results:
+        if error:
+            errors.append(error)
+        all_violations.update(tuple(v) for v in violations)
+
+    if errors:
+        for error in errors:
+            print(f"tc_analyze: error: {error}", file=sys.stderr)
+        return EXIT_ERROR
+    if all_violations:
+        for rule, rel, line, message in sorted(all_violations,
+                                               key=lambda v: (v[1], v[2])):
+            print(f"{rel}:{line}: [{rule}] {message}")
+        print(f"tc_analyze: {len(all_violations)} violation(s)",
+              file=sys.stderr)
+        return EXIT_VIOLATIONS
+    print(f"tc_analyze: clean ({len(jobs_list)} translation units, "
+          "4 rules)")
+    return EXIT_CLEAN
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-p", "--build-dir", default=str(REPO / "build"),
+                        help="build dir containing compile_commands.json")
+    parser.add_argument("-j", "--jobs", type=int,
+                        default=max(1, (os.cpu_count() or 2) - 1))
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the fixture suite instead of src/")
+    options = parser.parse_args()
+
+    if load_cindex() is None:
+        print("tc_analyze: SKIP — python3-clang/libclang not available "
+              "(the CI job installs them; local builds skip)")
+        return EXIT_SKIP
+
+    if options.self_test:
+        return run_self_test()
+    return run_full(options.build_dir, options.jobs)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

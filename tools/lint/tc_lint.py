@@ -32,6 +32,11 @@ Checks cross-file invariants the compiler cannot see:
       output stays grep-able back to its single origin, and a kind never
       means two different things. (New MessageTypes like kTraceInfo get
       fuzz coverage through R2 automatically.)
+  R9  key-material members in src/crypto/*.hpp carry TC_SECRET: a data
+      member whose name mentions key/seed/secret must be annotated so
+      tools/analyze/tc_analyze.py sees it as a taint source and holds its
+      record to the zeroize-on-destruction rule. Members named *public*
+      (the public half of a keypair) are exempt.
 
 Run from anywhere: paths are resolved relative to the repo root (this
 file's grandparent directory). Exit code 0 = clean, 1 = violations (each
@@ -269,6 +274,37 @@ def check_trace_vocabulary():
                              "call site so output greps back to one origin")
 
 
+# --------------------------------------------------------------------- R9
+# A data-member declaration: optional TC_SECRET, a type, one identifier,
+# optional brace-init, semicolon. Initialized constants (`= 32;`) and
+# function declarations never match the identifier-before-semicolon shape.
+R9_MEMBER = re.compile(
+    r"^\s*(?:TC_SECRET\s+)?[\w:<>,*&\s\[\]]+?\s"
+    r"([A-Za-z_][A-Za-z0-9_]*)\s*(?:\{[^{}]*\})?\s*;")
+R9_NAME = re.compile(r"(?:key|seed|secret)", re.IGNORECASE)
+
+
+def check_crypto_secret_annotations():
+    for path in sorted((SRC / "crypto").glob("*.hpp")):
+        for number, line in enumerate(read(path).splitlines(), 1):
+            code = line.split("//")[0]
+            code = re.sub(r"\balignas\s*\([^)]*\)", "", code)
+            if "(" in code or "using " in code or "typedef " in code:
+                continue  # function/param/alias, not a data member
+            match = R9_MEMBER.match(code)
+            if not match:
+                continue
+            name = match.group(1)
+            if not R9_NAME.search(name) or "public" in name.lower():
+                continue
+            if "TC_SECRET" not in code:
+                fail(path, number,
+                     f"crypto member '{name}' looks like key material but "
+                     "is not annotated TC_SECRET (common/secret.hpp); "
+                     "tc_analyze cannot track or enforce zeroization "
+                     "without it")
+
+
 def main():
     enumerators = message_types()
     if not enumerators:
@@ -282,13 +318,14 @@ def main():
     check_metric_names()
     check_metrics_info_is_read()
     check_trace_vocabulary()
+    check_crypto_secret_annotations()
     if failures:
         for failure in failures:
             print(failure)
         print(f"tc_lint: {len(failures)} violation(s)", file=sys.stderr)
         return 1
     print(f"tc_lint: clean ({len(enumerators)} frame types, "
-          "8 invariants)")
+          "9 invariants)")
     return 0
 
 
