@@ -33,6 +33,10 @@ enum class StatusCode {
 std::string_view StatusCodeName(StatusCode code);
 
 /// A success-or-error value. Cheap to copy on success (no allocation).
+/// [[nodiscard]] (here and on Result) makes the compiler reject plainly
+/// ignored returns; tc_analyze rule "status-discard" (B3) catches the
+/// shapes the compiler can't — discards through references, comma
+/// operators, and unjustified casts to void.
 class [[nodiscard]] Status {
  public:
   Status() = default;  // OK
@@ -41,8 +45,8 @@ class [[nodiscard]] Status {
 
   static Status Ok() { return Status(); }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
   /// "OK" or "NOT_FOUND: stream 42 does not exist".
@@ -88,7 +92,8 @@ inline Status Unimplemented(std::string msg) {
   return {StatusCode::kUnimplemented, std::move(msg)};
 }
 
-/// Either a value of type T or an error Status. Never both.
+/// Either a value of type T or an error Status. Never both. (This is the
+/// repo's StatusOr: value-or-error with the same discard discipline.)
 template <typename T>
 class [[nodiscard]] Result {
  public:
@@ -98,11 +103,11 @@ class [[nodiscard]] Result {
            "Result must not be constructed from an OK status");
   }
 
-  bool ok() const { return std::holds_alternative<T>(data_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
   explicit operator bool() const { return ok(); }
 
   /// The error status; OK if a value is held.
-  Status status() const {
+  [[nodiscard]] Status status() const {
     if (ok()) return Status::Ok();
     return std::get<Status>(data_);
   }

@@ -21,9 +21,18 @@
 //    around the predicate. Never cv.wait(lock, lambda): the analysis is
 //    intraprocedural, so a predicate lambda reading guarded state is its
 //    own unanalyzable function.
-//  - TS_NO_ANALYSIS is reserved for the documented condvar/callback idioms
-//    below; a new escape needs a comment explaining why the analysis
-//    cannot see the invariant.
+//  - TS_NO_ANALYSIS currently has zero uses in src/ (even CondVar's
+//    release/reacquire hides inside std::condition_variable_any, not
+//    behind an escape). A new use needs a comment explaining why the
+//    analysis cannot see the invariant. Note that tc_analyze's
+//    concurrency rules (B1/B2, see tools/analyze/tc_analyze.py) do NOT
+//    honor TS_NO_ANALYSIS — their only escape hatch is a justified
+//    `// tc_analyze:allow(...)` comment.
+//  - Mark functions that can park the calling thread (socket I/O, fsync,
+//    condvar/future waits, sleeps) with TC_BLOCKING on their declaration.
+//    tc_analyze seeds its may-block summaries from it and rejects blocking
+//    calls made while a tc::Mutex/SharedMutex is held (B1) or from inside
+//    an Executor/AsyncCall callback (B2).
 #pragma once
 
 #include <chrono>
@@ -67,6 +76,24 @@
 #define ASSERT_SHARED_CAPABILITY(x) TC_TSA(assert_shared_capability(x))
 #define RETURN_CAPABILITY(x) TC_TSA(lock_returned(x))
 #define TS_NO_ANALYSIS TC_TSA(no_thread_safety_analysis)
+
+// ---------------------------------------------------------------------------
+// Blocking-call annotation (consumed by tools/analyze/tc_analyze.py, not by
+// the compiler). Place TC_BLOCKING at the very start of a declaration in a
+// header (tc_lint R10 enforces declaration placement):
+//
+//   TC_BLOCKING Status Sync() override;
+//   TC_BLOCKING static Result<std::unique_ptr<TcpClient>> Connect(...);
+//
+// Like TC_SECRET, it rides [[clang::annotate]] so it survives into the AST
+// that tc_analyze walks, and expands to nothing on GCC.
+// ---------------------------------------------------------------------------
+
+#if TC_TSA_HAS(annotate)
+#define TC_BLOCKING [[clang::annotate("tc_blocking")]]
+#else
+#define TC_BLOCKING  // no-op outside clang
+#endif
 
 namespace tc {
 
@@ -185,14 +212,16 @@ class CondVar {
   void NotifyAll() { cv_.notify_all(); }
 
   /// Atomically release `mu`, wait, reacquire. Spurious wakeups possible —
-  /// always wrap in a predicate while-loop.
-  void Wait(Mutex& mu) REQUIRES(mu) { cv_.wait(mu); }
+  /// always wrap in a predicate while-loop. Blocking, but exempt from
+  /// tc_analyze B1 (the wait releases the mutex by design); it still counts
+  /// for B2 — an executor task must never park its worker on a condvar.
+  TC_BLOCKING void Wait(Mutex& mu) REQUIRES(mu) { cv_.wait(mu); }
 
   /// Timed wait; returns std::cv_status::timeout when the duration elapsed
   /// without a notification.
   template <class Rep, class Period>
-  std::cv_status WaitFor(Mutex& mu,
-                         const std::chrono::duration<Rep, Period>& dur)
+  TC_BLOCKING std::cv_status WaitFor(
+      Mutex& mu, const std::chrono::duration<Rep, Period>& dur)
       REQUIRES(mu) {
     return cv_.wait_for(mu, dur);
   }
@@ -200,7 +229,7 @@ class CondVar {
   /// Deadline wait, for predicate loops that must not extend their total
   /// timeout on spurious wakeups.
   template <class Clock, class Duration>
-  std::cv_status WaitUntil(
+  TC_BLOCKING std::cv_status WaitUntil(
       Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
       REQUIRES(mu) {
     return cv_.wait_until(mu, deadline);

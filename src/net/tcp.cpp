@@ -167,6 +167,7 @@ struct TcpServer::Conn {
       ServerVolume().tx_bytes.Inc(frame.size());
     }
     MutexLock lock(write_mu);
+    // tc_analyze:allow(blocking-under-lock,blocking-in-executor) write_mu exists to serialize whole frames onto the socket — the write IS its critical section — and dispatch-pool handlers are the intended writers until the epoll rewrite (ROADMAP, gated on green B2)
     if (!WriteAll(fd, frame).ok()) {
       // Peer is gone or wedged shut: stop the reader too.
       alive = false;
@@ -560,6 +561,7 @@ PendingCall TcpClient::AsyncCall(MessageType type, BytesView body,
   Status write_status;
   {
     MutexLock lock(write_mu_);
+    // tc_analyze:allow(blocking-under-lock) write_mu_ exists to serialize request frames onto the socket — the write IS its critical section; mu_ (the bookkeeping lock) is never held here
     write_status = WriteAll(fd_, frame);
   }
   if (!write_status.ok()) {

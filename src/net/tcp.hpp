@@ -104,7 +104,7 @@ class TcpClient final : public Transport {
   /// poll); 0 keeps the OS default (blocking). `max_frame_body` bounds
   /// response frames — an oversized one fails the connection cleanly
   /// instead of driving an allocation.
-  static Result<std::unique_ptr<TcpClient>> Connect(
+  TC_BLOCKING static Result<std::unique_ptr<TcpClient>> Connect(
       const std::string& host, uint16_t port, int64_t connect_timeout_ms = 0,
       size_t max_frame_body = kDefaultMaxFrameBody);
   ~TcpClient() override;
@@ -152,8 +152,9 @@ class TcpClient final : public Transport {
 };
 
 /// Read exactly n bytes / write all bytes on a socket fd (helpers shared by
-/// server and client; exposed for tests).
-Status ReadExact(int fd, MutableBytesView out);
-Status WriteAll(int fd, BytesView data);
+/// server and client; exposed for tests). Both can park the caller in the
+/// kernel until the peer drains or supplies bytes.
+TC_BLOCKING Status ReadExact(int fd, MutableBytesView out);
+TC_BLOCKING Status WriteAll(int fd, BytesView data);
 
 }  // namespace tc::net

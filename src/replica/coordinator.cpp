@@ -197,6 +197,7 @@ void PrimaryCoordinator::HeartbeatLoop() {
           continue;
         }
         client = std::move(*dialed);
+        // tc_analyze:allow(status-discard) advisory timeout; a heartbeat that hangs instead is caught by the Call failure below
         (void)client->SetOpTimeout(timeout_ms);
       }
       auto sent = client->Call(net::MessageType::kReplicaHeartbeat,

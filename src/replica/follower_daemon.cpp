@@ -354,6 +354,7 @@ Status FollowerDaemon::RegisterTo(const std::string& host, uint16_t port) {
   int64_t timeout_ms = std::max<int64_t>(options_.tick_ms * 4, 500);
   auto client = net::TcpClient::Connect(host, port, timeout_ms);
   TC_RETURN_IF_ERROR(client.status());
+  // tc_analyze:allow(status-discard) advisory timeout; registration still works unbounded, the tick loop retries on silence
   (void)(*client)->SetOpTimeout(timeout_ms);
   for (size_t i = 0; i < shards_.size(); ++i) {
     net::ReplicaHelloRequest hello;

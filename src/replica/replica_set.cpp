@@ -231,6 +231,7 @@ Status ReplicaSet::Promote() {
   // Settle the survivors before reads resume (we hold state_mu_ exclusive,
   // so nothing serves mid-promotion): wait out the snapshots, then refresh
   // the read engines to the reconciled stores.
+  // tc_analyze:allow(blocking-under-lock) the exclusive state_mu_ hold IS the promotion barrier; serving resumes only after the survivors settle
   if (Status s = rkv->WaitCaughtUp(options_.kv.quorum_timeout_ms); !s.ok()) {
     TC_LOG_WARN << "promotion: survivors still catching up: " << s.ToString();
   }
@@ -420,9 +421,19 @@ size_t ReplicaSet::promotions() const {
 }
 
 Status ReplicaSet::WaitCaughtUp(int64_t timeout_ms) {
-  ReaderMutexLock lock(state_mu_);
-  if (!rkv_) return Status::Ok();
-  return rkv_->WaitCaughtUp(timeout_ms);
+  // Snapshot the pipeline under the lock, drain it outside: holding
+  // state_mu_ (even shared) across the catch-up wait would block Promote's
+  // exclusive acquisition — and with it failover — for up to timeout_ms.
+  // ReplicatedKvStore::WaitCaughtUp is safe on a detached snapshot; if a
+  // promotion swaps rkv_ mid-wait we drain the old pipeline, which is
+  // exactly the set of ops issued before this call.
+  std::shared_ptr<ReplicatedKvStore> rkv;
+  {
+    ReaderMutexLock lock(state_mu_);
+    rkv = rkv_;
+  }
+  if (!rkv) return Status::Ok();
+  return rkv->WaitCaughtUp(timeout_ms);
 }
 
 }  // namespace tc::replica

@@ -148,7 +148,7 @@ class ReplicaSet {
   uint64_t read_fallbacks() const { return read_fallbacks_.load(); }
 
   /// Drain the shipping pipeline (no-op without replicas).
-  Status WaitCaughtUp(int64_t timeout_ms = 30'000);
+  TC_BLOCKING Status WaitCaughtUp(int64_t timeout_ms = 30'000);
 
  private:
   ReplicaSet() = default;

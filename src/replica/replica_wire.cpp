@@ -30,6 +30,7 @@ Result<Bytes> RemoteFollower::Call(net::MessageType type, BytesView body) {
       auto client = net::TcpClient::Connect(host_, port_,
                                             /*connect_timeout_ms=*/5000);
       if (!client.ok()) return client.status();
+      // tc_analyze:allow(status-discard) advisory timeout; a client that rejects it still works, just unbounded
       (void)(*client)->SetOpTimeout(30'000);
       transport_ = std::shared_ptr<net::Transport>(std::move(*client));
     }
@@ -124,41 +125,51 @@ ReplicaApplier::ReplicaApplier(std::shared_ptr<store::KvStore> kv)
 }
 
 Status ReplicaApplier::PersistAppliedLocked() {
+  // Append the marker under mu_ so it lands after the batch it describes;
+  // the fsync that makes both durable happens in the caller AFTER mu_ is
+  // released (tc_analyze B1: no blocking while a tc::Mutex is held), and
+  // the ack is only encoded after that flush returns.
   BinaryWriter w;
   w.PutU64(applied_seq_);
-  TC_RETURN_IF_ERROR(kv_->Put(kAppliedSeqKey, w.data()));
-  // Flush the applied marker together with the data it describes: on a
-  // buffered durable store (LogKvStore) a SIGKILL would otherwise drop
-  // the whole shipped batch and force a full re-seed on restart. The
-  // marker is appended after the batch, so replay can never see it ahead
-  // of the data; a stale-low marker just re-ships an idempotent suffix.
-  return kv_->Sync();
+  return kv_->Put(kAppliedSeqKey, w.data());
 }
 
 Result<Bytes> ReplicaApplier::ApplyOps(const net::ReplicaOpsRequest& req) {
-  MutexLock lock(mu_);
-  if (req.first_seq > applied_seq_ + 1) {
-    // A gap means this store is missing history (daemon restart over a
-    // volatile store, or a diverged ex-peer). Applying a suffix would
-    // silently corrupt it; the shipper re-seeds on this error.
-    return FailedPrecondition(
-        "sequence gap: follower applied " + std::to_string(applied_seq_) +
-        ", shipment starts at " + std::to_string(req.first_seq));
-  }
-  for (size_t i = 0; i < req.ops.size(); ++i) {
-    const auto& op = req.ops[i];
-    uint64_t seq = req.first_seq + i;
-    if (seq <= applied_seq_) continue;  // re-delivered prefix
-    if (op.kind == net::kReplicaOpPut) {
-      TC_RETURN_IF_ERROR(kv_->Put(op.key, op.value));
-    } else {
-      Status s = kv_->Delete(op.key);
-      if (!s.ok() && s.code() != StatusCode::kNotFound) return s;
+  uint64_t acked = 0;
+  {
+    MutexLock lock(mu_);
+    if (req.first_seq > applied_seq_ + 1) {
+      // A gap means this store is missing history (daemon restart over a
+      // volatile store, or a diverged ex-peer). Applying a suffix would
+      // silently corrupt it; the shipper re-seeds on this error.
+      return FailedPrecondition(
+          "sequence gap: follower applied " + std::to_string(applied_seq_) +
+          ", shipment starts at " + std::to_string(req.first_seq));
     }
-    applied_seq_ = seq;
+    for (size_t i = 0; i < req.ops.size(); ++i) {
+      const auto& op = req.ops[i];
+      uint64_t seq = req.first_seq + i;
+      if (seq <= applied_seq_) continue;  // re-delivered prefix
+      if (op.kind == net::kReplicaOpPut) {
+        TC_RETURN_IF_ERROR(kv_->Put(op.key, op.value));
+      } else {
+        Status s = kv_->Delete(op.key);
+        if (!s.ok() && s.code() != StatusCode::kNotFound) return s;
+      }
+      applied_seq_ = seq;
+    }
+    TC_RETURN_IF_ERROR(PersistAppliedLocked());
+    acked = applied_seq_;
   }
-  TC_RETURN_IF_ERROR(PersistAppliedLocked());
-  return net::ReplicaAckResponse{applied_seq_}.Encode();
+  // Flush the batch and its applied marker with mu_ released — fsync must
+  // never run under the lock. On a buffered durable store (LogKvStore) a
+  // SIGKILL before this flush would drop the shipped batch, so the ack is
+  // only encoded after Sync returns; the marker was appended after the
+  // batch, so replay can never see it ahead of the data, and a stale-low
+  // marker just re-ships an idempotent suffix. The group-committing Sync
+  // covers the appends even if another shipment interleaves here.
+  TC_RETURN_IF_ERROR(kv_->Sync());
+  return net::ReplicaAckResponse{acked}.Encode();
 }
 
 Result<Bytes> ReplicaApplier::SnapshotBegin(
@@ -178,15 +189,21 @@ Result<Bytes> ReplicaApplier::SnapshotChunk(
 
 Result<Bytes> ReplicaApplier::SnapshotEnd(
     const net::ReplicaSnapshotEndRequest& req) {
-  MutexLock lock(mu_);
-  TC_RETURN_IF_ERROR(session_.End(req.seq, req.total_entries));
-  // A snapshot is the authoritative full state as of its seq — SET, not
-  // max: after failover the new primary restarts sequence numbering, and a
-  // re-homed survivor must adopt the new numbering or it would skip every
-  // subsequent shipment as "already applied".
-  applied_seq_ = req.seq;
-  TC_RETURN_IF_ERROR(PersistAppliedLocked());
-  return net::ReplicaAckResponse{applied_seq_}.Encode();
+  uint64_t acked = 0;
+  {
+    MutexLock lock(mu_);
+    TC_RETURN_IF_ERROR(session_.End(req.seq, req.total_entries));
+    // A snapshot is the authoritative full state as of its seq — SET, not
+    // max: after failover the new primary restarts sequence numbering, and a
+    // re-homed survivor must adopt the new numbering or it would skip every
+    // subsequent shipment as "already applied".
+    applied_seq_ = req.seq;
+    TC_RETURN_IF_ERROR(PersistAppliedLocked());
+    acked = applied_seq_;
+  }
+  // Same flush-outside-the-lock, ack-after-flush discipline as ApplyOps.
+  TC_RETURN_IF_ERROR(kv_->Sync());
+  return net::ReplicaAckResponse{acked}.Encode();
 }
 
 Result<Bytes> ReplicaApplier::Handle(net::MessageType type, BytesView body) {

@@ -40,8 +40,10 @@ class RemoteFollower final : public Follower {
   uint32_t shard() const { return shard_; }
 
  private:
-  /// One request over the (possibly redialed) transport.
-  Result<Bytes> Call(net::MessageType type, BytesView body) EXCLUDES(mu_);
+  /// One request over the (possibly redialed) transport. Blocking: dials
+  /// and awaits the response with mu_ released (unlock-before-I/O).
+  TC_BLOCKING Result<Bytes> Call(net::MessageType type, BytesView body)
+      EXCLUDES(mu_);
 
   Mutex mu_;
   /// The shared_ptr itself is guarded; the transport it points at is

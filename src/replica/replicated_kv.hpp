@@ -84,7 +84,7 @@ class Follower {
   /// kFailedPrecondition return means the follower cannot accept this run
   /// at all (a sequence gap: it restarted or diverged) and needs a fresh
   /// snapshot, not a retry.
-  virtual Status ApplyOps(std::span<const LoggedOp> ops) = 0;
+  TC_BLOCKING virtual Status ApplyOps(std::span<const LoggedOp> ops) = 0;
 
   /// Open a snapshot stream as of `seq`. `origin` identifies the shipping
   /// pipeline (random per ReplicatedKvStore): a stream is only resumable
@@ -93,16 +93,19 @@ class Follower {
   /// stream onto a half-received one from the dead primary. Returns the
   /// resume point: how many stream entries the follower already holds for
   /// this exact (origin, seq), 0 otherwise.
-  virtual Result<uint64_t> BeginSnapshot(uint64_t origin, uint64_t seq) = 0;
+  TC_BLOCKING virtual Result<uint64_t> BeginSnapshot(uint64_t origin,
+                                                     uint64_t seq) = 0;
 
   /// One bounded batch of the stream; `first_index` positions it.
-  virtual Status ApplySnapshotChunk(uint64_t seq, uint64_t first_index,
-                                    std::span<const SnapshotEntry> entries) = 0;
+  TC_BLOCKING virtual Status ApplySnapshotChunk(
+      uint64_t seq, uint64_t first_index,
+      std::span<const SnapshotEntry> entries) = 0;
 
   /// Close the stream: the follower deletes local keys the stream never
   /// named (reconverging diverged stores) and jumps its applied seq to
   /// `seq`. `total_entries` cross-checks that nothing was lost in transit.
-  virtual Status EndSnapshot(uint64_t seq, uint64_t total_entries) = 0;
+  TC_BLOCKING virtual Status EndSnapshot(uint64_t seq,
+                                         uint64_t total_entries) = 0;
 };
 
 /// Receiver-side state machine of the chunked snapshot stream, shared by
@@ -191,7 +194,7 @@ class ReplicatedKvStore final : public store::KvStore {
   bool Contains(const std::string& key) const override;
   size_t Size() const override;
   size_t ValueBytes() const override;
-  Status Sync() override;
+  TC_BLOCKING Status Sync() override;
   Status Scan(const std::function<void(const std::string&, BytesView)>& fn)
       const override;
   CompactionStats Compaction() const override {
@@ -223,7 +226,7 @@ class ReplicatedKvStore final : public store::KvStore {
   /// Block until every follower has applied every op issued before the
   /// call (or `timeout_ms` passes → Unavailable). Promotion and tests use
   /// this to drain the async pipeline.
-  Status WaitCaughtUp(int64_t timeout_ms = 30'000);
+  TC_BLOCKING Status WaitCaughtUp(int64_t timeout_ms = 30'000);
 
   const std::shared_ptr<store::KvStore>& primary() const { return primary_; }
 

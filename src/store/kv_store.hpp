@@ -12,6 +12,7 @@
 
 #include "common/bytes.hpp"
 #include "common/status.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace tc::store {
 
@@ -43,8 +44,10 @@ class KvStore {
 
   /// Flush buffered writes toward stable storage. No-op for volatile
   /// stores; durable stores (LogKvStore) override with a group-committing
-  /// flush so many callers share one flush of the same appends.
-  virtual Status Sync() { return Status::Ok(); }
+  /// flush so many callers share one flush of the same appends. Blocking:
+  /// a durable Sync parks the caller on fsync — never call it with a
+  /// tc::Mutex held (tc_analyze B1).
+  TC_BLOCKING virtual Status Sync() { return Status::Ok(); }
 
   /// Visit every (key, value) pair in unspecified order. The callback MUST
   /// NOT call back into this store (implementations iterate under their

@@ -54,7 +54,7 @@ class LogKvStore final : public KvStore {
   /// sequence number, and a Sync whose appends were already covered by a
   /// concurrent caller's flush returns without touching the file — N
   /// ingest threads share one flush per batch window.
-  Status Sync() override;
+  TC_BLOCKING Status Sync() override;
 
   /// Dead (overwritten/tombstoned) value bytes awaiting compaction.
   size_t DeadBytes() const;

@@ -27,7 +27,7 @@ class PrefixKvStore final : public KvStore {
   /// per Put; shard introspection uses the engine's index stats instead).
   size_t Size() const override;
   size_t ValueBytes() const override;
-  Status Sync() override;
+  TC_BLOCKING Status Sync() override;
   /// Visits only this view's slice: backend keys carrying the prefix, with
   /// the prefix stripped — so a scan of a view round-trips through Put
   /// unchanged, and sibling views' keys never leak in.

@@ -200,5 +200,90 @@ TEST_F(ServerTest, TotalIndexBytesAccumulates) {
   EXPECT_GT(engine_->TotalIndexBytes(), 0u);
 }
 
+// sync_each_insert flushes outside the stream lock (holding stream->mu
+// across an fsync would stall every reader behind the disk — tc_analyze
+// B1), so the ack-after-flush contract is asserted here directly: a
+// successful insert returns only after a Sync covered its Puts, and a
+// batch pays exactly one Sync.
+class SyncSpyKv final : public store::KvStore {
+ public:
+  explicit SyncSpyKv(std::shared_ptr<store::KvStore> inner)
+      : inner_(std::move(inner)) {}
+
+  Status Put(const std::string& key, BytesView value) override {
+    ++unsynced_writes_;
+    return inner_->Put(key, value);
+  }
+  Result<Bytes> Get(const std::string& key) const override {
+    return inner_->Get(key);
+  }
+  Status Delete(const std::string& key) override {
+    ++unsynced_writes_;
+    return inner_->Delete(key);
+  }
+  bool Contains(const std::string& key) const override {
+    return inner_->Contains(key);
+  }
+  size_t Size() const override { return inner_->Size(); }
+  size_t ValueBytes() const override { return inner_->ValueBytes(); }
+  Status Sync() override {
+    ++syncs_;
+    unsynced_writes_ = 0;
+    return inner_->Sync();
+  }
+  Status Scan(const std::function<void(const std::string&, BytesView)>& fn)
+      const override {
+    return inner_->Scan(fn);
+  }
+
+  int syncs() const { return syncs_; }
+  int unsynced_writes() const { return unsynced_writes_; }
+
+ private:
+  std::shared_ptr<store::KvStore> inner_;
+  int syncs_ = 0;
+  int unsynced_writes_ = 0;
+};
+
+TEST(ServerSyncEachInsert, AckImpliesFlushedAndBatchPaysOneSync) {
+  auto spy =
+      std::make_shared<SyncSpyKv>(std::make_shared<store::MemKvStore>());
+  ServerOptions opts;
+  opts.sync_each_insert = true;
+  ServerEngine engine(spy, opts);
+
+  net::StreamConfig config;
+  config.name = "s";
+  config.t0 = 0;
+  config.delta_ms = 1000;
+  config.schema.with_sum = true;
+  config.schema.with_count = false;
+  config.cipher = net::CipherKind::kPlain;
+  config.fanout = 4;
+  net::CreateStreamRequest create{1, config};
+  ASSERT_TRUE(
+      engine.Handle(MessageType::kCreateStream, create.Encode()).ok());
+
+  auto cipher = index::MakePlainCipher(1);
+  int syncs_before = spy->syncs();
+  net::InsertChunkRequest ins{
+      1, 0, *cipher->Encrypt(std::vector<uint64_t>{1}, 0), Bytes{0x01}};
+  ASSERT_TRUE(engine.Handle(MessageType::kInsertChunk, ins.Encode()).ok());
+  EXPECT_EQ(spy->syncs(), syncs_before + 1);  // one insert, one flush
+  EXPECT_EQ(spy->unsynced_writes(), 0);       // ...and it covered the Puts
+
+  net::InsertChunkBatchRequest batch;
+  batch.uuid = 1;
+  for (uint64_t i = 1; i <= 4; ++i) {
+    batch.entries.push_back(
+        {i, *cipher->Encrypt(std::vector<uint64_t>{i}, i), Bytes{0x01}});
+  }
+  syncs_before = spy->syncs();
+  ASSERT_TRUE(
+      engine.Handle(MessageType::kInsertChunkBatch, batch.Encode()).ok());
+  EXPECT_EQ(spy->syncs(), syncs_before + 1);  // whole batch, one flush
+  EXPECT_EQ(spy->unsynced_writes(), 0);
+}
+
 }  // namespace
 }  // namespace tc::server

@@ -1,0 +1,60 @@
+// Fixture: B1 blocking-under-lock must flag a TC_BLOCKING call (direct or
+// reached through a TU-local wrapper) made while a tc::Mutex is held — via
+// a scoped locker or a REQUIRES entry contract — and must NOT flag the
+// unlock-before-I/O and hand-over-hand shapes.
+#define TC_BLOCKING [[clang::annotate("tc_blocking")]]
+#define REQUIRES(...)
+
+namespace tc {
+
+class Mutex {
+ public:
+  void lock();
+  void unlock();
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu);
+  ~MutexLock();
+};
+
+TC_BLOCKING void BlockingIo();
+
+// TU-local wrapper: the bottom-up summary must mark this may-block.
+void WrapsBlocking() { BlockingIo(); }
+
+Mutex g_mu;
+
+// VIOLATION: annotated callee under a scoped locker.
+void DirectUnderLock() {
+  MutexLock lock(g_mu);
+  BlockingIo();
+}
+
+// VIOLATION: blocking reached through the TU-local wrapper.
+void IndirectUnderLock() {
+  MutexLock lock(g_mu);
+  WrapsBlocking();
+}
+
+// VIOLATION: REQUIRES means the caller already holds the lock on entry.
+void CalledLocked() REQUIRES(g_mu);
+void CalledLocked() { BlockingIo(); }
+
+// Clean: unlock-before-I/O — the locker scope closes before the call.
+void UnlockBeforeIo() {
+  {
+    MutexLock lock(g_mu);
+  }
+  BlockingIo();
+}
+
+// Clean: explicit hand-over-hand unlock drops the depth before blocking.
+void HandOverHand() {
+  g_mu.lock();
+  g_mu.unlock();
+  BlockingIo();
+}
+
+}  // namespace tc

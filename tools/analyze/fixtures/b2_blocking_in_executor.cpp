@@ -1,0 +1,63 @@
+// Fixture: B2 blocking-in-executor must flag a may-block call — annotated,
+// summary-reached, or a CondVar park — inside a lambda handed to
+// net::Executor::Submit or passed as an AsyncCall completion callback, and
+// must NOT flag non-blocking lambdas or blocking outside executor context.
+#define TC_BLOCKING [[clang::annotate("tc_blocking")]]
+
+namespace tc {
+
+class Mutex {};
+
+class CondVar {
+ public:
+  TC_BLOCKING void Wait(Mutex& mu);
+};
+
+class Function {
+ public:
+  template <typename F>
+  Function(F f);  // NOLINT: implicit, mirrors std::function
+};
+
+namespace net {
+
+class Executor {
+ public:
+  void Submit(Function task);
+};
+
+class Transport {
+ public:
+  void AsyncCall(int type, int body, Function on_done);
+};
+
+}  // namespace net
+
+TC_BLOCKING int SlowFetch();
+
+// TU-local wrapper: the summary must carry may-block into the lambda check.
+int WrapsFetch() { return SlowFetch(); }
+
+int Compute();
+
+// VIOLATION x3: direct blocking, wrapper-reached blocking, condvar park.
+void Hazards(net::Executor& exec, CondVar& cv, Mutex& mu) {
+  exec.Submit([] { SlowFetch(); });
+  exec.Submit([] { WrapsFetch(); });
+  exec.Submit([&cv, &mu] { cv.Wait(mu); });
+}
+
+// VIOLATION: completion callbacks run on the reader thread — same rule.
+void CallbackHazard(net::Transport& transport) {
+  transport.AsyncCall(1, 2, [] { SlowFetch(); });
+}
+
+// Clean: executor work that never parks.
+void CleanSubmit(net::Executor& exec) {
+  exec.Submit([] { Compute(); });
+}
+
+// Clean: blocking on a plain thread (not an executor root) is allowed.
+void CleanDirect() { SlowFetch(); }
+
+}  // namespace tc

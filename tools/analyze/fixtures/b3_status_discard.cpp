@@ -1,0 +1,46 @@
+// Fixture: B3 status-discard must flag every way a Status/Result can be
+// silently dropped — plain full-expression discard, discard through a
+// reference return (invisible to [[nodiscard]]), comma-operator discard,
+// and a cast to void without a justified suppression — and must NOT flag
+// consumed values.
+namespace tc {
+
+class Status {
+ public:
+  static Status Ok();
+  bool ok() const;
+
+ private:
+  int code_ = 0;
+};
+
+template <typename T>
+class Result {
+ public:
+  bool ok() const;
+
+ private:
+  T value_;
+};
+
+Status DoThing();
+Result<int> Fetch();
+Status& SharedStatus();  // reference return: [[nodiscard]] cannot see this
+
+void Discards() {
+  DoThing();       // VIOLATION: plain full-expression discard
+  Fetch();         // VIOLATION: Result<T> discard
+  SharedStatus();  // VIOLATION: discard through a reference
+  (DoThing(), 0);  // VIOLATION: comma-operator discard
+  (void)DoThing();  // VIOLATION: void cast without a justification
+}
+
+void CleanUses() {
+  Status kept = DoThing();
+  if (!kept.ok()) return;
+  if (!Fetch().ok()) return;
+  Status chain = (DoThing().ok() ? Status::Ok() : DoThing());
+  (void)chain.ok();  // bool cast: not a Status discard
+}
+
+}  // namespace tc

@@ -1,0 +1,83 @@
+// Fixture: the suppression path. Every B-rule hazard below carries a
+// justified `tc_analyze:allow` comment — including the comma-separated
+// two-rule form — so this file must analyze clean. It also proves that a
+// suppressed call does not propagate its may-block bit to callers.
+#define TC_BLOCKING [[clang::annotate("tc_blocking")]]
+
+namespace tc {
+
+class Mutex {
+ public:
+  void lock();
+  void unlock();
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu);
+  ~MutexLock();
+};
+
+class Function {
+ public:
+  template <typename F>
+  Function(F f);  // NOLINT: implicit, mirrors std::function
+};
+
+namespace net {
+
+class Executor {
+ public:
+  void Submit(Function task);
+};
+
+}  // namespace net
+
+class Status {
+ public:
+  bool ok() const;
+
+ private:
+  int code_ = 0;
+};
+
+TC_BLOCKING void BlockingIo();
+TC_BLOCKING Status Flush();
+Status Cleanup();
+
+Mutex g_mu;
+
+void SuppressedUnderLock() {
+  MutexLock lock(g_mu);
+  // tc_analyze:allow(blocking-under-lock) fixture: the lock exists to serialize this very call
+  BlockingIo();
+}
+
+// Because the call above is suppressed, SuppressedUnderLock must NOT be
+// summarized as may-block — this caller stays clean without its own
+// suppression.
+void CallsSuppressed() {
+  MutexLock lock(g_mu);
+  SuppressedUnderLock();
+}
+
+void SuppressedSubmit(net::Executor& exec) {
+  exec.Submit([] {
+    // tc_analyze:allow(blocking-in-executor) fixture: dedicated single-purpose pool sized for parked tasks
+    BlockingIo();
+  });
+}
+
+void SuppressedDiscard() {
+  // tc_analyze:allow(status-discard) fixture: best-effort cleanup, failure leaves only garbage behind
+  (void)Cleanup();
+}
+
+// The comma-separated list form: one line, two rules.
+void SuppressedCommaList() {
+  MutexLock lock(g_mu);
+  // tc_analyze:allow(blocking-under-lock,status-discard) fixture: flush-and-forget under the commit lock
+  (void)Flush();
+}
+
+}  // namespace tc

@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
-"""Secret-hygiene AST analyzer (libclang) — registered as a CTest test and a
-CI job.
+"""Secret-hygiene + concurrency-hazard AST analyzer (libclang) — registered
+as a CTest test and a CI job.
 
 Where tools/lint/tc_lint.py is regex-grade, this walks the real clang AST of
 every translation unit in src/ (driven by the CMake-exported
@@ -36,9 +36,48 @@ non-secret member of a secret-bearing object does NOT taint (so
 `a.depth == b.depth` inside AccessToken::operator== stays clean while
 `a.node_key` taints).
 
-Suppressions: `// tc_analyze:allow(<rule>) <justification>` on the
-violating line or the line above, where <rule> is one of secret-leak,
-zeroize, constant-time, bounded-decode. The justification is mandatory.
+Phase 2 adds the concurrency-hazard rules (the gate for the epoll
+event-loop and callback-shipper ROADMAP items), seeded from TC_BLOCKING
+(`[[clang::annotate("tc_blocking")]]`, src/common/thread_annotations.hpp)
+on the primitives that can park a thread — TcpClient::Connect,
+ReadExact/WriteAll, PendingCall::Wait, Transport::Call, CondVar::Wait*,
+KvStore::Sync, the Follower shipping interface — plus
+std::this_thread::sleep_* by name:
+
+  B1  blocking-under-lock   no may-block call while a tc::Mutex/SharedMutex
+                            is held. Lock depth is tracked through scoped
+                            lockers (MutexLock/ReaderMutexLock/
+                            WriterMutexLock), explicit lock()/unlock()
+                            hand-over-hand sequences, and REQUIRES/
+                            REQUIRES_SHARED entry contracts, so the
+                            unlock-before-I/O shape passes. CondVar waits
+                            are exempt (they release the mutex by design).
+  B2  blocking-in-executor  no may-block call (condvar waits included)
+                            reachable from a lambda submitted to
+                            net::Executor or passed as an AsyncCall
+                            completion callback. Executor workers and
+                            completion callbacks must never park — one
+                            blocked task stalls every request behind it.
+  B3  status-discard        no discarded Status/Result: full-expression
+                            discards (including through functions returning
+                            Status&, which [[nodiscard]] cannot see), comma-
+                            operator discards, and casts to void without a
+                            justified suppression.
+
+B1/B2 are interprocedural per TU: a bottom-up may-block summary propagates
+through the call graph to a fixpoint, so a helper that wraps WriteAll is as
+blocking as WriteAll itself. Calls into other TUs are a deliberate analysis
+seam — annotate the cross-TU declaration with TC_BLOCKING if it can block.
+A suppressed call-site does not propagate its blocking bit upward (the
+justification covers the callers too). Note B1/B2 do NOT honor the thread-
+safety TS_NO_ANALYSIS escape.
+
+Suppressions: `// tc_analyze:allow(<rules>) <justification>` on the
+violating line or the line above, where <rules> is one rule name or a
+comma-separated list (e.g. blocking-under-lock,blocking-in-executor) drawn
+from secret-leak, zeroize, constant-time, bounded-decode,
+blocking-under-lock, blocking-in-executor, status-discard. The
+justification is mandatory.
 
 Exit codes: 0 clean, 1 violations, 2 analyzer/environment error,
 77 skipped (python3-clang/libclang not installed — CTest maps this to
@@ -74,6 +113,14 @@ RULE_SECRET_LEAK = "secret-leak"
 RULE_ZEROIZE = "zeroize"
 RULE_CONSTANT_TIME = "constant-time"
 RULE_BOUNDED_DECODE = "bounded-decode"
+RULE_BLOCKING_LOCK = "blocking-under-lock"
+RULE_BLOCKING_EXEC = "blocking-in-executor"
+RULE_STATUS_DISCARD = "status-discard"
+
+ALL_RULES = frozenset({
+    RULE_SECRET_LEAK, RULE_ZEROIZE, RULE_CONSTANT_TIME, RULE_BOUNDED_DECODE,
+    RULE_BLOCKING_LOCK, RULE_BLOCKING_EXEC, RULE_STATUS_DISCARD,
+})
 
 # Type spellings (including any sugar position: vector<Key128>,
 # Result<Key128>, const Key128&) that make a value secret by type alone.
@@ -96,9 +143,21 @@ SINK_CALLS = frozenset({
 # (the decoder itself and the frame encoder, both in src/net/wire).
 A4_ALLOWED_FUNCTIONS = frozenset({"DecodeFrameHeader", "EncodeFrame"})
 
+# B1/B2: scoped-locker types (RAII acquire at declaration, release at the
+# end of the enclosing compound) and the lockable classes whose explicit
+# lock()/unlock() calls move the depth counter (hand-over-hand walks).
+LOCKER_TYPE_WORDS = ("MutexLock", "ReaderMutexLock", "WriterMutexLock")
+LOCKABLE_CLASSES = frozenset({"Mutex", "SharedMutex"})
+# Callees that block by name rather than by TC_BLOCKING annotation (we
+# cannot annotate the standard library).
+NAMED_BLOCKING_CALLS = frozenset({"sleep_for", "sleep_until", "usleep",
+                                  "nanosleep"})
+# B3: type words whose values must not be silently discarded.
+STATUS_TYPE_WORDS = ("Status", "Result")
+
+# One rule name or a comma-separated list; justification text mandatory.
 SUPPRESS_RE = re.compile(
-    r"//\s*tc_analyze:allow\((secret-leak|zeroize|constant-time|"
-    r"bounded-decode)\)\s*(\S.*)?$")
+    r"//\s*tc_analyze:allow\(([a-z][a-z, -]*[a-z])\)\s*(\S.*)?$")
 
 _cindex = None  # set by load_cindex()
 
@@ -172,9 +231,12 @@ def suppressions_for(path):
     for number, line in enumerate(lines, 1):
         match = SUPPRESS_RE.search(line)
         if match and match.group(2):  # justification is mandatory
-            rule = match.group(1)
-            allowed.setdefault(number, set()).add(rule)
-            allowed.setdefault(number + 1, set()).add(rule)
+            for rule in match.group(1).split(","):
+                rule = rule.strip()
+                if rule not in ALL_RULES:
+                    continue  # unknown names are inert, tc_lint R10 rejects
+                allowed.setdefault(number, set()).add(rule)
+                allowed.setdefault(number + 1, set()).add(rule)
     _suppress_cache[path] = allowed
     return allowed
 
@@ -208,17 +270,58 @@ def type_is_safe_holder(ctype):
     return _word_in(SAFE_TYPE_WORDS, spelling)
 
 
-def is_annotated(cursor, ck):
+def has_annotation(cursor, ck, name):
     if cursor is None:
         return False
     try:
         for child in cursor.get_children():
-            if child.kind == ck.ANNOTATE_ATTR and \
-                    child.spelling == "tc_secret":
+            if child.kind == ck.ANNOTATE_ATTR and child.spelling == name:
                 return True
     except Exception:
         return False
     return False
+
+
+def is_annotated(cursor, ck):
+    return has_annotation(cursor, ck, "tc_secret")
+
+
+def type_is_status(ctype):
+    try:
+        spelling = ctype.spelling
+    except Exception:
+        return False
+    return _word_in(STATUS_TYPE_WORDS, spelling)
+
+
+def callee_is_blocking(ref, ck):
+    """True when the resolved callee is declared may-block: TC_BLOCKING on
+    any of its declarations, or a named standard-library sleeper."""
+    if ref is None:
+        return False
+    if ref.spelling in NAMED_BLOCKING_CALLS:
+        return True
+    if has_annotation(ref, ck, "tc_blocking"):
+        return True
+    try:
+        canonical = ref.canonical
+    except Exception:
+        return False
+    return canonical is not None and \
+        has_annotation(canonical, ck, "tc_blocking")
+
+
+def callee_is_condvar_wait(ref, ck):
+    """CondVar::Wait/WaitFor/WaitUntil release the mutex while parked, so
+    they are exempt from B1 — but they still park the thread, so they count
+    for B2 (an executor worker must never reach one)."""
+    if ref is None or ref.spelling not in ("Wait", "WaitFor", "WaitUntil"):
+        return False
+    try:
+        parent = ref.semantic_parent
+    except Exception:
+        return False
+    return parent is not None and parent.spelling == "CondVar"
 
 
 class TuAnalyzer:
@@ -232,6 +335,8 @@ class TuAnalyzer:
         self.violations = set()  # (rule, path, line, message)
         self.records = {}        # usr -> record info dict
         self.dtor_scrubs = set()  # USRs of records whose dtor calls SecureZero
+        self.fn_infos = {}       # usr -> {name, calls} for B1/B2 summaries
+        self.executor_roots = []  # lambdas handed to Executor/AsyncCall
 
     # -- file scoping -------------------------------------------------------
 
@@ -259,6 +364,7 @@ class TuAnalyzer:
         for cursor in self.tu.cursor.get_children():
             self.visit(cursor)
         self.check_records()
+        self.check_blocking()
 
     def visit(self, cursor):
         ck = self.ck
@@ -431,6 +537,12 @@ class TuAnalyzer:
                     "without calling DecodeFrameHeader; hand-rolled header "
                     "parsing bypasses the body-length bound")
 
+        # B1/B2/B3: lock-depth-aware call collection, executor-lambda
+        # roots, and discarded Status values.
+        self.collect_concurrency(fn, body)
+        self.find_executor_roots(body)
+        self.find_discards(body, fn)
+
     def propagate(self, node, tainted):
         ck = self.ck
         kind = node.kind
@@ -546,6 +658,270 @@ class TuAnalyzer:
                 return found
         return None
 
+    # -- B1/B2: blocking-call discipline ------------------------------------
+
+    def call_record(self, node, ref):
+        """One call-site entry for the lock walk and the summaries."""
+        loc = node.location
+        try:
+            offset = node.extent.start.offset
+        except Exception:
+            offset = loc.offset
+        condvar = callee_is_condvar_wait(ref, self.ck)
+        return {
+            "offset": offset,
+            "cursor": node,
+            "name": ref.spelling,
+            "condvar": condvar,
+            "blocking": callee_is_blocking(ref, self.ck),
+            "callee_usr": ref.get_usr() or None,
+            "path": loc.file.name if loc.file else None,
+            "line": loc.line,
+            "depth": 0,
+        }
+
+    def decl_requires_lock(self, fn):
+        """True when any declaration of fn carries REQUIRES/REQUIRES_SHARED
+        (scanned as raw tokens before the body brace, so the macro spelling
+        survives). Such a function starts at lock depth 1."""
+        cursors = [fn]
+        try:
+            if fn.canonical is not None and fn.canonical != fn:
+                cursors.append(fn.canonical)
+        except Exception:
+            pass
+        for cursor in cursors:
+            try:
+                tokens = cursor.get_tokens()
+            except Exception:
+                continue
+            for token in tokens:
+                spelling = token.spelling
+                if spelling == "{":
+                    break
+                if spelling in ("REQUIRES", "REQUIRES_SHARED"):
+                    return True
+        return False
+
+    def collect_concurrency(self, fn, body):
+        """Walk fn's body in source order, tracking how many tc::Mutex/
+        SharedMutex acquisitions are live at each call site: scoped lockers
+        hold from their declaration to the end of the enclosing compound,
+        explicit lock()/unlock() calls move the counter (hand-over-hand
+        keeps depth at 1), and REQUIRES on any declaration seeds depth 1.
+        Lambda literals are skipped — their bodies run elsewhere and are
+        checked at their executor roots (B2)."""
+        events = []  # (source offset, depth delta)
+        calls = []
+        self.walk_locks(body, body.extent.end.offset, events, calls)
+        events.sort(key=lambda e: e[0])
+        depth = 1 if self.decl_requires_lock(fn) else 0
+        index = 0
+        for call in sorted(calls, key=lambda c: c["offset"]):
+            while index < len(events) and events[index][0] < call["offset"]:
+                depth = max(0, depth + events[index][1])
+                index += 1
+            call["depth"] = depth
+        usr = fn.get_usr()
+        if usr:
+            info = self.fn_infos.setdefault(
+                usr, {"name": fn.spelling, "calls": []})
+            info["calls"].extend(calls)
+
+    def walk_locks(self, node, compound_end, events, calls):
+        ck = self.ck
+        kind = node.kind
+        if kind == ck.LAMBDA_EXPR:
+            return
+        if kind == ck.VAR_DECL and \
+                _word_in(LOCKER_TYPE_WORDS, node.type.spelling):
+            try:
+                events.append((node.extent.start.offset, 1))
+                events.append((compound_end, -1))
+            except Exception:
+                pass
+        elif kind == ck.CALL_EXPR:
+            ref = node.referenced
+            if ref is not None:
+                parent = None
+                try:
+                    parent = ref.semantic_parent
+                except Exception:
+                    pass
+                parent_name = parent.spelling if parent is not None else ""
+                if parent_name in LOCKABLE_CLASSES and \
+                        ref.spelling in ("lock", "lock_shared"):
+                    events.append((node.extent.start.offset, 1))
+                elif parent_name in LOCKABLE_CLASSES and \
+                        ref.spelling in ("unlock", "unlock_shared"):
+                    events.append((node.extent.start.offset, -1))
+                else:
+                    calls.append(self.call_record(node, ref))
+        if kind == ck.COMPOUND_STMT:
+            try:
+                compound_end = node.extent.end.offset
+            except Exception:
+                pass
+        for child in node.get_children():
+            self.walk_locks(child, compound_end, events, calls)
+
+    def find_executor_roots(self, node):
+        """Lambdas whose bodies run on executor workers: the task argument
+        of net::Executor::Submit and the completion callback (argument 2)
+        of any AsyncCall overload."""
+        ck = self.ck
+        if node.kind == ck.CALL_EXPR:
+            ref = node.referenced
+            name = ref.spelling if ref is not None else ""
+            if name == "Submit":
+                parent = ref.semantic_parent
+                if parent is not None and parent.spelling == "Executor":
+                    self.add_executor_root(node, "Executor::Submit")
+            elif name == "AsyncCall":
+                args = list(node.get_arguments())
+                if len(args) >= 3:
+                    self.add_executor_root(args[2], "an AsyncCall callback")
+        for child in node.get_children():
+            self.find_executor_roots(child)
+
+    def add_executor_root(self, node, kind_label):
+        for lam in self.lambdas_in(node):
+            calls = []
+            for child in lam.get_children():
+                self.collect_lambda_calls(child, calls)
+            self.executor_roots.append({"kind": kind_label, "calls": calls})
+
+    def lambdas_in(self, node):
+        found = []
+        if node.kind == self.ck.LAMBDA_EXPR:
+            return [node]
+        for child in node.get_children():
+            found.extend(self.lambdas_in(child))
+        return found
+
+    def collect_lambda_calls(self, node, calls):
+        ck = self.ck
+        if node.kind == ck.LAMBDA_EXPR:
+            return  # a nested lambda is a value here, not a call
+        if node.kind == ck.CALL_EXPR:
+            ref = node.referenced
+            if ref is not None:
+                calls.append(self.call_record(node, ref))
+        for child in node.get_children():
+            self.collect_lambda_calls(child, calls)
+
+    def call_suppressed(self, call, rule):
+        return call["path"] is not None and \
+            is_suppressed(rule, call["path"], call["line"])
+
+    def check_blocking(self):
+        """Bottom-up may-block summaries over the TU-local call graph, then
+        the two rules. b1 excludes condvar waits (they release the mutex);
+        b2 includes them (an executor worker still parks). A suppressed
+        call-site does not propagate — the justification covers callers.
+        Calls into other TUs resolve to no summary: annotate the shared
+        declaration with TC_BLOCKING if it can block."""
+        b1, b2 = set(), set()
+        changed = True
+        while changed:
+            changed = False
+            for usr, info in self.fn_infos.items():
+                for call in info["calls"]:
+                    blocks1 = (call["blocking"] and not call["condvar"]) or \
+                        call["callee_usr"] in b1
+                    blocks2 = call["blocking"] or call["condvar"] or \
+                        call["callee_usr"] in b2
+                    if blocks1 and usr not in b1 and \
+                            not self.call_suppressed(call, RULE_BLOCKING_LOCK):
+                        b1.add(usr)
+                        changed = True
+                    if blocks2 and usr not in b2 and \
+                            not self.call_suppressed(call, RULE_BLOCKING_EXEC):
+                        b2.add(usr)
+                        changed = True
+
+        for info in self.fn_infos.values():
+            for call in info["calls"]:
+                if call["depth"] <= 0 or call["condvar"]:
+                    continue
+                if call["blocking"]:
+                    how = "is declared TC_BLOCKING"
+                elif call["callee_usr"] in b1:
+                    how = "reaches a TC_BLOCKING call"
+                else:
+                    continue
+                self.report(
+                    RULE_BLOCKING_LOCK, call["cursor"],
+                    f"'{call['name']}' {how} but '{info['name']}' calls it "
+                    "with a tc::Mutex/SharedMutex held; release the lock "
+                    "before blocking (README: unlock before I/O)")
+
+        for root in self.executor_roots:
+            for call in root["calls"]:
+                if call["blocking"] or call["condvar"]:
+                    how = "is declared TC_BLOCKING" if call["blocking"] \
+                        else "parks on a CondVar"
+                elif call["callee_usr"] in b2:
+                    how = "reaches a TC_BLOCKING call"
+                else:
+                    continue
+                self.report(
+                    RULE_BLOCKING_EXEC, call["cursor"],
+                    f"'{call['name']}' {how} inside a lambda handed to "
+                    f"{root['kind']}; executor workers and completion "
+                    "callbacks must never park")
+
+    # -- B3: discarded Status/Result ----------------------------------------
+
+    def contains_call(self, node):
+        if node.kind == self.ck.CALL_EXPR:
+            return True
+        return any(self.contains_call(c) for c in node.get_children())
+
+    def find_discards(self, node, fn):
+        ck = self.ck
+        kind = node.kind
+        if kind == ck.COMPOUND_STMT:
+            for child in node.get_children():
+                # A full-expression statement of Status/Result type is a
+                # discard — this catches returns through references, which
+                # [[nodiscard]] on the type cannot see.
+                if child.kind in (ck.CALL_EXPR, ck.UNEXPOSED_EXPR) and \
+                        type_is_status(child.type) and \
+                        self.contains_call(child):
+                    self.report(
+                        RULE_STATUS_DISCARD, child,
+                        f"call result of type Status/Result discarded in "
+                        f"'{fn.spelling}'; check it, return it, or cast to "
+                        "void with a tc_analyze:allow justification")
+        elif kind == ck.BINARY_OPERATOR:
+            children = list(node.get_children())
+            if len(children) == 2 and \
+                    self.binop_spelling(node, children) == "," and \
+                    type_is_status(children[0].type):
+                self.report(
+                    RULE_STATUS_DISCARD, children[0],
+                    f"Status/Result discarded by comma operator in "
+                    f"'{fn.spelling}'")
+        elif kind in (ck.CSTYLE_CAST_EXPR, ck.CXX_STATIC_CAST_EXPR):
+            try:
+                is_void = node.type.spelling == "void"
+            except Exception:
+                is_void = False
+            if is_void:
+                for child in node.get_children():
+                    if child.kind == ck.TYPE_REF:
+                        continue
+                    if type_is_status(child.type):
+                        self.report(
+                            RULE_STATUS_DISCARD, node,
+                            f"Status/Result cast to void in '{fn.spelling}' "
+                            "without a tc_analyze:allow(status-discard) "
+                            "justification")
+                        break
+        for child in node.get_children():
+            self.find_discards(child, fn)
+
 
 # ---------------------------------------------------------------------------
 # Driving: compile_commands.json and fixtures.
@@ -613,6 +989,10 @@ def run_self_test():
         "a2_missing_zeroize.cpp": {RULE_ZEROIZE},
         "a3_nonconstant_compare.cpp": {RULE_CONSTANT_TIME},
         "a4_unbounded_decode.cpp": {RULE_BOUNDED_DECODE},
+        "b1_blocking_under_lock.cpp": {RULE_BLOCKING_LOCK},
+        "b2_blocking_in_executor.cpp": {RULE_BLOCKING_EXEC},
+        "b3_status_discard.cpp": {RULE_STATUS_DISCARD},
+        "b_clean_suppressed.cpp": set(),
         "clean.cpp": set(),
     }
     failed = False
@@ -694,7 +1074,7 @@ def run_full(build_dir, jobs):
               file=sys.stderr)
         return EXIT_VIOLATIONS
     print(f"tc_analyze: clean ({len(jobs_list)} translation units, "
-          "4 rules)")
+          "7 rules)")
     return EXIT_CLEAN
 
 

@@ -37,6 +37,14 @@ Checks cross-file invariants the compiler cannot see:
       tools/analyze/tc_analyze.py sees it as a taint source and holds its
       record to the zeroize-on-destruction rule. Members named *public*
       (the public half of a keypair) are exempt.
+  R10 TC_BLOCKING annotates declarations, not call sites: outside
+      common/thread_annotations.hpp it may only appear in a header,
+      leading its declaration line — tc_analyze seeds interprocedural
+      may-block summaries from declarations, and an annotation in a .cpp
+      is invisible to callers in other TUs. Every tc_analyze:allow
+      suppression must name only known rules and carry a justification;
+      a typo'd or bare suppression is inert in the analyzer, so it is
+      rejected here instead.
 
 Run from anywhere: paths are resolved relative to the repo root (this
 file's grandparent directory). Exit code 0 = clean, 1 = violations (each
@@ -305,6 +313,46 @@ def check_crypto_secret_annotations():
                      "without it")
 
 
+# -------------------------------------------------------------------- R10
+R10_KNOWN_RULES = {
+    "secret-leak", "zeroize", "constant-time", "bounded-decode",
+    "blocking-under-lock", "blocking-in-executor", "status-discard",
+}
+R10_ALLOW = re.compile(r"//\s*tc_analyze:allow\(([^)]*)\)\s*(.*)$")
+
+
+def check_blocking_annotations():
+    annotations_hpp = SRC / "common" / "thread_annotations.hpp"
+    for path in sorted(SRC.rglob("*")):
+        if path.suffix not in (".hpp", ".cpp") or path == annotations_hpp:
+            continue
+        for number, line in enumerate(read(path).splitlines(), 1):
+            code = line.split("//")[0]
+            if "TC_BLOCKING" in code:
+                if path.suffix != ".hpp":
+                    fail(path, number,
+                         "TC_BLOCKING belongs on the declaration in the "
+                         "header — an annotation in a .cpp is invisible to "
+                         "callers in other TUs")
+                elif not code.lstrip().startswith("TC_BLOCKING"):
+                    fail(path, number,
+                         "TC_BLOCKING must lead its declaration line "
+                         "(annotate declarations, not call sites)")
+            match = R10_ALLOW.search(line)
+            if match:
+                rules = [r.strip() for r in match.group(1).split(",")]
+                unknown = [r for r in rules if r not in R10_KNOWN_RULES]
+                if unknown:
+                    fail(path, number,
+                         "tc_analyze:allow names unknown rule(s) "
+                         f"{unknown}; the analyzer silently ignores such "
+                         "a suppression")
+                if not match.group(2).strip():
+                    fail(path, number,
+                         "tc_analyze:allow without a justification; say "
+                         "why this hazard is safe here")
+
+
 def main():
     enumerators = message_types()
     if not enumerators:
@@ -319,13 +367,14 @@ def main():
     check_metrics_info_is_read()
     check_trace_vocabulary()
     check_crypto_secret_annotations()
+    check_blocking_annotations()
     if failures:
         for failure in failures:
             print(failure)
         print(f"tc_lint: {len(failures)} violation(s)", file=sys.stderr)
         return 1
     print(f"tc_lint: clean ({len(enumerators)} frame types, "
-          "9 invariants)")
+          "10 invariants)")
     return 0
 
 
